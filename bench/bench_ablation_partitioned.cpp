@@ -1,0 +1,55 @@
+// Ablation — monolithic vs partitioned CBM (§VIII future work): build time,
+// peak candidate-edge working set (the §VIII memory proxy), compression
+// ratio and AX multiply time, across clustering methods.
+#include "cbm/partitioned.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cbm;
+  using namespace cbm::bench;
+  const auto config = BenchConfig::from_env();
+  print_bench_header(config, "Ablation — monolithic vs partitioned CBM");
+  set_threads(config.threads);
+
+  TablePrinter table({"Graph", "Variant", "Build [s]", "PeakCand", "Ratio",
+                      "Parts", "T_AX [s]"});
+  for (const std::string name : {"ca-hepph", "collab", "copapersdblp"}) {
+    const auto& spec = dataset_spec(name);
+    const Graph g = load_dataset(spec, config);
+    const auto& a = g.adjacency();
+    const auto b = make_dense_operand<real_t>(g.num_nodes(), config.cols);
+    DenseMatrix<real_t> c(g.num_nodes(), config.cols);
+
+    {
+      CbmStats stats;
+      const auto cbm = CbmMatrix<real_t>::compress(a, {.alpha = 0}, &stats);
+      const auto t = time_repetitions([&] { cbm.multiply(b, c); },
+                                      config.reps, config.warmup);
+      table.add_row({name, "monolithic", fmt_seconds(stats.build_seconds),
+                     std::to_string(stats.candidate_edges),
+                     fmt_double(static_cast<double>(a.bytes()) / stats.bytes,
+                                2),
+                     "1", fmt_seconds(t.mean())});
+    }
+    for (const auto& [method, label] :
+         {std::pair{ClusterMethod::kConsecutive, "part/consecutive"},
+          std::pair{ClusterMethod::kMinHash, "part/minhash"},
+          std::pair{ClusterMethod::kLabelPropagation, "part/labelprop"}}) {
+      PartitionedOptions options;
+      options.method = method;
+      options.num_clusters = 16;
+      PartitionedStats stats;
+      auto part = PartitionedCbmMatrix<real_t>::compress(a, options, &stats);
+      const auto t = time_repetitions([&] { part.multiply(b, c); },
+                                      config.reps, config.warmup);
+      table.add_row({name, label, fmt_seconds(stats.build_seconds),
+                     std::to_string(stats.peak_candidate_edges),
+                     fmt_double(static_cast<double>(a.bytes()) / stats.bytes,
+                                2),
+                     std::to_string(stats.num_parts), fmt_seconds(t.mean())});
+    }
+  }
+  table.print();
+  return 0;
+}

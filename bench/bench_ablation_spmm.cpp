@@ -1,0 +1,144 @@
+// Kernel-level micro-benchmarks (google-benchmark): CSR SpMM scheduling
+// strategies, COO vs CSR, dense GEMM, and the CBM multiply/update split.
+// These expose where the CBM speedup comes from (less multiply-stage work)
+// and what it costs (the update-stage sweep).
+#include <benchmark/benchmark.h>
+
+#include "bench_util/datasets.hpp"
+#include "cbm/cbm_matrix.hpp"
+#include "cbm/spmm_cbm.hpp"
+#include "common/rng.hpp"
+#include "dense/gemm.hpp"
+#include "graph/generators.hpp"
+#include "sparse/spmm.hpp"
+
+namespace {
+
+using namespace cbm;
+
+constexpr index_t kCols = 64;
+
+/// Shared fixtures, built once.
+struct Fixture {
+  Graph graph;
+  DenseMatrix<real_t> b;
+  DenseMatrix<real_t> c;
+  CbmMatrix<real_t> cbm;
+
+  Fixture()
+      : graph(community_graph(
+            {.num_nodes = 8000, .team_min = 24, .team_max = 120,
+             .size_exponent = 1.8, .intra_prob = 1.0, .cross_per_node = 2.0},
+            0xF17ull)),
+        b(graph.num_nodes(), kCols),
+        c(graph.num_nodes(), kCols),
+        cbm(CbmMatrix<real_t>::compress(graph.adjacency(), {.alpha = 8})) {
+    Rng rng(1);
+    b.fill_uniform(rng);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_CsrSpmm_RowStatic(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    csr_spmm(f.graph.adjacency(), f.b, f.c, SpmmSchedule::kRowStatic);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.graph.adjacency().nnz());
+}
+BENCHMARK(BM_CsrSpmm_RowStatic);
+
+void BM_CsrSpmm_RowDynamic(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    csr_spmm(f.graph.adjacency(), f.b, f.c, SpmmSchedule::kRowDynamic);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.graph.adjacency().nnz());
+}
+BENCHMARK(BM_CsrSpmm_RowDynamic);
+
+void BM_CsrSpmm_NnzBalanced(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    csr_spmm(f.graph.adjacency(), f.b, f.c, SpmmSchedule::kNnzBalanced);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.graph.adjacency().nnz());
+}
+BENCHMARK(BM_CsrSpmm_NnzBalanced);
+
+void BM_CooSpmm(benchmark::State& state) {
+  auto& f = fixture();
+  const auto coo = f.graph.adjacency().to_coo();
+  for (auto _ : state) {
+    coo_spmm(coo, f.b, f.c);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+}
+BENCHMARK(BM_CooSpmm);
+
+void BM_CbmMultiplyTotal(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    f.cbm.multiply(f.b, f.c);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.cbm.delta_matrix().nnz());
+}
+BENCHMARK(BM_CbmMultiplyTotal);
+
+void BM_CbmMultiplyStageOnly(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    csr_spmm(f.cbm.delta_matrix(), f.b, f.c);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.cbm.delta_matrix().nnz());
+}
+BENCHMARK(BM_CbmMultiplyStageOnly);
+
+void BM_CbmUpdateStageOnly(benchmark::State& state) {
+  auto& f = fixture();
+  csr_spmm(f.cbm.delta_matrix(), f.b, f.c);
+  for (auto _ : state) {
+    cbm_update_stage<real_t>(f.cbm.tree(), f.cbm.kind(), {}, f.c,
+                             UpdateSchedule::kBranchDynamic);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+}
+BENCHMARK(BM_CbmUpdateStageOnly);
+
+void BM_DenseGemm(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  DenseMatrix<real_t> a(n, n), b(n, n), c(n, n);
+  Rng rng(2);
+  a.fill_uniform(rng);
+  b.fill_uniform(rng);
+  for (auto _ : state) {
+    gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2ull * n * n * n);
+}
+BENCHMARK(BM_DenseGemm)->Arg(128)->Arg(256);
+
+void BM_CbmCompression(benchmark::State& state) {
+  auto& f = fixture();
+  const int alpha = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto m = CbmMatrix<real_t>::compress(f.graph.adjacency(), {.alpha = alpha});
+    benchmark::DoNotOptimize(m.bytes());
+  }
+}
+BENCHMARK(BM_CbmCompression)->Arg(0)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

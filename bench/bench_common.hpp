@@ -1,0 +1,114 @@
+// Shared plumbing for the paper-table bench binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util/datasets.hpp"
+#include "bench_util/env.hpp"
+#include "bench_util/runner.hpp"
+#include "bench_util/table.hpp"
+#include "cbm/cbm_matrix.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "dense/dense_matrix.hpp"
+#include "graph/laplacian.hpp"
+#include "sparse/scale.hpp"
+#include "sparse/spmm.hpp"
+
+namespace cbm::bench {
+
+/// The three matrix-multiplication workloads of §VI-E/§VI-F.
+enum class Workload { kAX, kADX, kDADX };
+
+inline const char* workload_name(Workload w) {
+  switch (w) {
+    case Workload::kAX: return "AX";
+    case Workload::kADX: return "ADX";
+    case Workload::kDADX: return "DADX";
+  }
+  return "?";
+}
+
+/// Matched CSR / CBM operands for one workload on one graph. Following
+/// §VI-E, A is the raw adjacency matrix and D a single-precision positive
+/// diagonal (deterministic pseudo-random, entries in [0.5, 1.5)).
+template <typename T>
+struct OperandPair {
+  CsrMatrix<T> csr;
+  CbmMatrix<T> cbm;
+  CbmStats cbm_stats;
+  std::vector<T> diag;
+};
+
+template <typename T>
+OperandPair<T> make_operands(const Graph& g, Workload workload, int alpha) {
+  OperandPair<T> pair;
+  const auto& adj = g.adjacency();
+  // Re-type the (float-backed) adjacency into T.
+  std::vector<offset_t> indptr(adj.indptr().begin(), adj.indptr().end());
+  std::vector<index_t> indices(adj.indices().begin(), adj.indices().end());
+  std::vector<T> values(adj.values().size(), T{1});
+  const CsrMatrix<T> a(adj.rows(), adj.cols(), std::move(indptr),
+                       std::move(indices), std::move(values));
+
+  Rng rng(0xD1A6ull);
+  pair.diag.resize(static_cast<std::size_t>(a.rows()));
+  for (auto& v : pair.diag) v = static_cast<T>(0.5 + rng.next_double());
+  const std::span<const T> d(pair.diag);
+
+  const CbmOptions options{.alpha = alpha};
+  switch (workload) {
+    case Workload::kAX:
+      pair.csr = a;
+      pair.cbm = CbmMatrix<T>::compress(a, options, &pair.cbm_stats);
+      break;
+    case Workload::kADX:
+      pair.csr = scale_columns(a, d);
+      pair.cbm = CbmMatrix<T>::compress_scaled(a, d, CbmKind::kColumnScaled,
+                                               options, &pair.cbm_stats);
+      break;
+    case Workload::kDADX:
+      pair.csr = scale_both(a, d, d);
+      pair.cbm = CbmMatrix<T>::compress_scaled(a, d, CbmKind::kSymScaled,
+                                               options, &pair.cbm_stats);
+      break;
+  }
+  return pair;
+}
+
+/// Times C = op·B for both formats under the current thread count.
+template <typename T>
+struct SpeedupResult {
+  RunStats csr;
+  RunStats cbm;
+  [[nodiscard]] double speedup() const {
+    return cbm.mean() > 0.0 ? csr.mean() / cbm.mean() : 0.0;
+  }
+};
+
+template <typename T>
+SpeedupResult<T> time_pair(const OperandPair<T>& pair, const DenseMatrix<T>& b,
+                           const BenchConfig& config,
+                           UpdateSchedule schedule) {
+  SpeedupResult<T> result;
+  DenseMatrix<T> c(pair.csr.rows(), b.cols());
+  result.csr = time_repetitions([&] { csr_spmm(pair.csr, b, c); },
+                                config.reps, config.warmup);
+  result.cbm = time_repetitions([&] { pair.cbm.multiply(b, c, schedule); },
+                                config.reps, config.warmup);
+  return result;
+}
+
+/// Random dense operand with `cols` columns, entries in [0,1) (§VI-B).
+template <typename T>
+DenseMatrix<T> make_dense_operand(index_t rows, index_t cols,
+                                  std::uint64_t seed = 0xB0B0ull) {
+  Rng rng(seed);
+  DenseMatrix<T> b(rows, cols);
+  b.fill_uniform(rng);
+  return b;
+}
+
+}  // namespace cbm::bench

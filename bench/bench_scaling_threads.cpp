@@ -1,0 +1,39 @@
+// Thread-scaling study backing the §VI-E cache discussion: CSR vs CBM AX
+// across thread counts, on one well-compressed and one poorly-compressed
+// graph.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cbm;
+  using namespace cbm::bench;
+  const auto config = BenchConfig::from_env();
+  print_bench_header(config, "Thread scaling — CSR vs CBM (AX)");
+
+  TablePrinter table({"Graph", "Threads", "T_CSR [s]", "T_CBM [s]", "Speedup",
+                      "CSR scaling", "CBM scaling"});
+  for (const std::string name : {"pubmed", "collab"}) {
+    const auto& spec = dataset_spec(name);
+    const Graph g = load_dataset(spec, config);
+    const auto b = make_dense_operand<real_t>(g.num_nodes(), config.cols);
+    const auto pair =
+        make_operands<real_t>(g, Workload::kAX, spec.paper_best_alpha_par);
+
+    double csr_base = 0.0, cbm_base = 0.0;
+    for (int threads = 1; threads <= config.threads; ++threads) {
+      ThreadScope scope(threads);
+      const auto r = time_pair(pair, b, config,
+                               threads == 1 ? UpdateSchedule::kSequential
+                                            : UpdateSchedule::kBranchDynamic);
+      if (threads == 1) {
+        csr_base = r.csr.mean();
+        cbm_base = r.cbm.mean();
+      }
+      table.add_row({name, std::to_string(threads), fmt_seconds(r.csr.mean()),
+                     fmt_seconds(r.cbm.mean()), fmt_double(r.speedup(), 2),
+                     fmt_double(csr_base / r.csr.mean(), 2),
+                     fmt_double(cbm_base / r.cbm.mean(), 2)});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Matrix-vector products (the paper's §IV formulation at p = 1): CSR SpMV vs
+// CBM multiply_vector. With a single output column the update-stage traversal
+// overhead is at its relative worst — this bench quantifies how much of the
+// SpMM speedup survives.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cbm;
+  using namespace cbm::bench;
+  const auto config = BenchConfig::from_env();
+  print_bench_header(config, "SpMV — CSR vs CBM at p = 1");
+  set_threads(config.threads);
+
+  TablePrinter table({"Graph", "Alpha", "T_CSR [s]", "T_CBM [s]", "Speedup"});
+  for (const auto& spec : dataset_registry()) {
+    const Graph g = load_dataset(spec, config);
+    const auto pair = make_operands<real_t>(g, Workload::kAX,
+                                            spec.paper_best_alpha_par);
+    Rng rng(0x5B3Dull);
+    std::vector<real_t> x(static_cast<std::size_t>(g.num_nodes()));
+    for (auto& v : x) v = rng.next_float();
+    std::vector<real_t> y(x.size());
+
+    const auto t_csr = time_repetitions(
+        [&] {
+          csr_spmv(pair.csr, std::span<const real_t>(x), std::span<real_t>(y));
+        },
+        config.reps, config.warmup);
+    const auto t_cbm = time_repetitions(
+        [&] {
+          pair.cbm.multiply_vector(std::span<const real_t>(x),
+                                   std::span<real_t>(y));
+        },
+        config.reps, config.warmup);
+    table.add_row({spec.name, std::to_string(spec.paper_best_alpha_par),
+                   fmt_seconds(t_csr.mean()), fmt_seconds(t_cbm.mean()),
+                   fmt_double(t_csr.mean() / t_cbm.mean(), 2)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Table I — "Networks selected to evaluate the CBM format": nodes, edges,
+// average degree, and CSR footprint, for the stand-in datasets, with the
+// paper's reference values side by side.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cbm;
+  const auto config = BenchConfig::from_env();
+  print_bench_header(config, "Table I — dataset statistics");
+
+  TablePrinter table({"Graph", "#Nodes", "#Edges", "AvgDeg", "S_CSR [MiB]",
+                      "paper #Nodes", "paper #Edges", "paper AvgDeg"});
+  for (const auto& spec : dataset_registry()) {
+    const Graph g = load_dataset(spec, config);
+    table.add_row({spec.name, std::to_string(g.num_nodes()),
+                   std::to_string(g.num_edges()),
+                   fmt_double(g.average_degree(), 1),
+                   fmt_mib(g.adjacency().bytes()),
+                   std::to_string(spec.paper_nodes),
+                   std::to_string(spec.paper_edges),
+                   fmt_double(spec.paper_avg_degree, 1)});
+  }
+  table.print();
+  return 0;
+}

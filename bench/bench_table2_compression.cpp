@@ -1,0 +1,37 @@
+// Table II — compression analysis of the CBM format: build time (parallel),
+// S_CSR, S_CBM and the compression ratio at α = 0 and α = 32, with the
+// paper's measured ratio for reference.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cbm;
+  using namespace cbm::bench;
+  const auto config = BenchConfig::from_env();
+  print_bench_header(config, "Table II — CBM compression analysis");
+  set_threads(config.threads);
+
+  TablePrinter table({"Graph", "Alpha", "Time [s]", "S_CSR [MiB]",
+                      "S_CBM [MiB]", "Ratio", "paper Ratio(a=0)"});
+  for (const auto& spec : dataset_registry()) {
+    const Graph g = load_dataset(spec, config);
+    for (const int alpha : {0, 32}) {
+      // Build-time statistics over the configured repetition count.
+      RunStats build;
+      CbmStats stats;
+      for (int rep = 0; rep < std::max(1, config.reps - 1); ++rep) {
+        CbmMatrix<real_t>::compress(g.adjacency(), {.alpha = alpha}, &stats);
+        build.add(stats.build_seconds);
+      }
+      const double ratio =
+          static_cast<double>(g.adjacency().bytes()) / stats.bytes;
+      table.add_row({spec.name, "a=" + std::to_string(alpha),
+                     fmt_mean_std(build.mean(), build.stddev()),
+                     fmt_mib(g.adjacency().bytes()), fmt_mib(stats.bytes),
+                     fmt_double(ratio, 2),
+                     alpha == 0 ? fmt_double(spec.paper_ratio_alpha0, 2)
+                                : std::string("-")});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table III — performance of AX, ADX, and DADX with CSR vs CBM at each
+// graph's best α, for 1 core and all cores.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cbm;
+  using namespace cbm::bench;
+  const auto config = BenchConfig::from_env();
+  print_bench_header(config, "Table III — AX / ADX / DADX performance");
+
+  TablePrinter table({"Graph", "Alpha(Cores)", "Op", "T_CSR [s]", "T_CBM [s]",
+                      "Speedup"});
+  for (const auto& spec : dataset_registry()) {
+    const Graph g = load_dataset(spec, config);
+    const auto b = make_dense_operand<real_t>(g.num_nodes(), config.cols);
+
+    struct Mode {
+      int alpha;
+      int threads;
+      UpdateSchedule schedule;
+    };
+    const Mode modes[] = {
+        {spec.paper_best_alpha_seq, 1, UpdateSchedule::kSequential},
+        {spec.paper_best_alpha_par, config.threads,
+         UpdateSchedule::kBranchDynamic},
+    };
+    for (const auto& mode : modes) {
+      for (const Workload w :
+           {Workload::kAX, Workload::kADX, Workload::kDADX}) {
+        const auto pair = make_operands<real_t>(g, w, mode.alpha);
+        ThreadScope scope(mode.threads);
+        const auto r = time_pair(pair, b, config, mode.schedule);
+        table.add_row({spec.name,
+                       "a=" + std::to_string(mode.alpha) + " (" +
+                           std::to_string(mode.threads) + ")",
+                       workload_name(w),
+                       fmt_mean_std(r.csr.mean(), r.csr.stddev()),
+                       fmt_mean_std(r.cbm.mean(), r.cbm.stddev()),
+                       fmt_double(r.speedup(), 3)});
+      }
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table IV — inference time of the two-layer GCN (Eq. 1) with Â in CSR vs
+// CBM (DAD form), at each graph's best α, for 1 core and all cores.
+//
+// The paper uses 500-dimensional features/weights; CBM_BENCH_COLS scales the
+// width (default 128) so the suite stays laptop-friendly.
+#include "bench_common.hpp"
+#include "gnn/gcn.hpp"
+
+int main() {
+  using namespace cbm;
+  using namespace cbm::bench;
+  const auto config = BenchConfig::from_env();
+  print_bench_header(config, "Table IV — two-layer GCN inference");
+
+  const index_t dim = config.cols;  // feature = hidden = output width
+  TablePrinter table({"Graph", "Alpha(Cores)", "T_CSR [s]", "T_CBM [s]",
+                      "Speedup"});
+  for (const auto& spec : dataset_registry()) {
+    const Graph g = load_dataset(spec, config);
+    const index_t n = g.num_nodes();
+
+    // Â = D^{-1/2}(A+I)D^{-1/2}: CSR materialised; CBM in DAD form.
+    const auto norm = gcn_normalization<real_t>(g);
+    const CsrAdjacency<real_t> csr_adj(
+        scale_both<real_t>(norm.a_plus_i, norm.dinv_sqrt, norm.dinv_sqrt));
+
+    const Gcn2<real_t> model(dim, dim, dim, /*seed=*/2025);
+    const auto x = make_dense_operand<real_t>(n, dim, 0xFEEDull);
+    Gcn2<real_t>::Workspace ws(n, dim, dim);
+    DenseMatrix<real_t> out(n, dim);
+
+    struct Mode {
+      int alpha;
+      int threads;
+      UpdateSchedule schedule;
+    };
+    const Mode modes[] = {
+        {spec.paper_best_alpha_seq, 1, UpdateSchedule::kSequential},
+        {spec.paper_best_alpha_par, config.threads,
+         UpdateSchedule::kBranchDynamic},
+    };
+    for (const auto& mode : modes) {
+      const CbmAdjacency<real_t> cbm_adj(
+          CbmMatrix<real_t>::compress_scaled(
+              norm.a_plus_i, std::span<const real_t>(norm.dinv_sqrt),
+              CbmKind::kSymScaled, {.alpha = mode.alpha}),
+          mode.schedule);
+      ThreadScope scope(mode.threads);
+      const auto t_csr = time_repetitions(
+          [&] { model.forward(csr_adj, x, ws, out); }, config.reps,
+          config.warmup);
+      const auto t_cbm = time_repetitions(
+          [&] { model.forward(cbm_adj, x, ws, out); }, config.reps,
+          config.warmup);
+      table.add_row({spec.name,
+                     "a=" + std::to_string(mode.alpha) + " (" +
+                         std::to_string(mode.threads) + ")",
+                     fmt_mean_std(t_csr.mean(), t_csr.stddev()),
+                     fmt_mean_std(t_cbm.mean(), t_cbm.stddev()),
+                     fmt_double(t_csr.mean() / t_cbm.mean(), 3)});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// GCN training throughput (the paper's §VIII future-work target): time per
+// full forward+backward+SGD epoch with Â in CSR vs CBM form. Training runs
+// four Â-products per step (two forward, two gradient pullbacks), so CBM's
+// SpMM advantage compounds relative to inference.
+#include "bench_common.hpp"
+#include "gnn/train.hpp"
+
+int main() {
+  using namespace cbm;
+  using namespace cbm::bench;
+  const auto config = BenchConfig::from_env();
+  print_bench_header(config, "GCN training — seconds per epoch");
+  set_threads(config.threads);
+
+  const index_t dim = config.cols;
+  TablePrinter table({"Graph", "Alpha", "T_CSR/epoch [s]", "T_CBM/epoch [s]",
+                      "Speedup"});
+  for (const std::string name :
+       {"pubmed", "ca-hepph", "collab", "copapersciteseer"}) {
+    const auto& spec = dataset_spec(name);
+    const Graph g = load_dataset(spec, config);
+    const index_t n = g.num_nodes();
+
+    const auto norm = gcn_normalization<real_t>(g);
+    const CsrAdjacency<real_t> csr_adj(
+        scale_both<real_t>(norm.a_plus_i, norm.dinv_sqrt, norm.dinv_sqrt));
+    const CbmAdjacency<real_t> cbm_adj(CbmMatrix<real_t>::compress_scaled(
+        norm.a_plus_i, std::span<const real_t>(norm.dinv_sqrt),
+        CbmKind::kSymScaled, {.alpha = spec.paper_best_alpha_par}));
+
+    const auto x = make_dense_operand<real_t>(n, dim, 0x7124ull);
+    std::vector<index_t> labels(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) labels[i] = (i / 16) % 8;
+
+    auto time_training = [&](const AdjacencyOp<real_t>& adj) {
+      Gcn2<real_t> model(dim, dim, 8, /*seed=*/3);
+      GcnTrainer<real_t> trainer(model, n);
+      return time_repetitions(
+          [&] {
+            trainer.step(adj, x, std::span<const index_t>(labels), 0.1f);
+          },
+          config.reps, config.warmup);
+    };
+    const auto t_csr = time_training(csr_adj);
+    const auto t_cbm = time_training(cbm_adj);
+    table.add_row({name, std::to_string(spec.paper_best_alpha_par),
+                   fmt_mean_std(t_csr.mean(), t_csr.stddev()),
+                   fmt_mean_std(t_cbm.mean(), t_cbm.stddev()),
+                   fmt_double(t_csr.mean() / t_cbm.mean(), 3)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// GCN training with a CBM adjacency (the paper's §VIII future-work item):
+// node classification on a community graph where the label is the node's
+// community. Every forward AND backward pass routes its Â-products through
+// the pluggable adjacency operand, so CBM accelerates four SpMMs per step.
+//
+//   ./gcn_training [epochs]
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "gnn/train.hpp"
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cbm;
+  const int epochs = argc > 1 ? std::atoi(argv[1]) : 40;
+
+  // Community graph; labels = community id hashed into 4 classes. Since
+  // communities are consecutive node ranges, labels are piecewise constant
+  // and strongly homophilous — a realistic easy node-classification task.
+  const index_t n = 4000;
+  const Graph g = community_graph(
+      {.num_nodes = n, .team_min = 16, .team_max = 64, .size_exponent = 1.8,
+       .intra_prob = 1.0, .cross_per_node = 2.0},
+      11);
+  std::vector<index_t> labels(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) labels[i] = (i / 32) % 4;
+
+  const auto norm = gcn_normalization<real_t>(g);
+  const CbmAdjacency<real_t> adj(CbmMatrix<real_t>::compress_scaled(
+      norm.a_plus_i, std::span<const real_t>(norm.dinv_sqrt),
+      CbmKind::kSymScaled, {.alpha = 4}));
+
+  Rng rng(5);
+  DenseMatrix<real_t> x(n, 32);
+  x.fill_uniform(rng);
+
+  Gcn2<real_t> model(32, 24, 4, /*seed=*/9);
+  GcnTrainer<real_t> trainer(model, n);
+
+  Timer total;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const double loss =
+        trainer.step(adj, x, std::span<const index_t>(labels), 1.0f);
+    if (epoch % 5 == 0 || epoch == epochs - 1) {
+      // Training accuracy from the cached logits.
+      index_t correct = 0;
+      const auto& logits = trainer.logits();
+      for (index_t i = 0; i < n; ++i) {
+        index_t best = 0;
+        for (index_t c = 1; c < 4; ++c) {
+          if (logits(i, c) > logits(i, best)) best = c;
+        }
+        correct += best == labels[i];
+      }
+      std::printf("epoch %3d  loss %.4f  train-acc %.1f%%\n", epoch, loss,
+                  100.0 * correct / n);
+    }
+  }
+  std::printf("trained %d epochs in %.2f s with a %s adjacency operand\n",
+              epochs, total.seconds(), adj.name().c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Graph-compression survey: compresses all eight stand-in datasets, printing
+// the structural metrics the paper relates to compressibility (§VI-D, §VI-H):
+// average degree, clustering coefficient, compression ratio, tree shape.
+//
+//   ./graph_compression [scale]
+#include <cstdio>
+
+#include "bench_util/datasets.hpp"
+#include "cbm/cbm_matrix.hpp"
+#include "graph/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cbm;
+  BenchConfig config = BenchConfig::from_env();
+  if (argc > 1) config.scale = std::atof(argv[1]);
+
+  std::printf("%-18s %8s %8s %6s %7s %8s %8s %7s %6s\n", "graph", "nodes",
+              "avgdeg", "clust", "ratio", "deltas%", "fanout", "depth",
+              "build");
+  for (const auto& spec : dataset_registry()) {
+    const Graph g = load_dataset(spec, config);
+    CbmStats stats;
+    CbmMatrix<real_t>::compress(g.adjacency(), {.alpha = 0}, &stats);
+    const double ratio =
+        static_cast<double>(g.adjacency().bytes()) / stats.bytes;
+    const double delta_frac =
+        100.0 * stats.total_deltas / std::max<std::int64_t>(1, stats.source_nnz);
+    std::printf("%-18s %8d %8.1f %6.2f %6.2fx %7.1f%% %8d %7d %5.2fs\n",
+                spec.name.c_str(), g.num_nodes(), g.average_degree(),
+                average_clustering(g), ratio, delta_frac,
+                stats.root_out_degree, stats.max_depth, stats.build_seconds);
+  }
+  std::printf(
+      "\ndeltas%% = nnz(A')/nnz(A): the share of nonzeros the CBM delta\n"
+      "matrix retains; low values mean highly compressible rows (Property "
+      "1\nguarantees it never exceeds 100%%).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Partitioned CBM demo (§VIII of the paper, implemented): shows that
+// clustering rows before compression bounds the construction working set and
+// that MinHash clustering survives a hostile row ordering.
+//
+//   ./partitioned_compression [nodes]
+#include <cstdio>
+#include <numeric>
+
+#include "cbm/partitioned.hpp"
+#include "common/rng.hpp"
+#include "dense/ops.hpp"
+#include "graph/generators.hpp"
+#include "sparse/spmm.hpp"
+
+namespace {
+
+using namespace cbm;
+
+/// Applies a random symmetric permutation: destroys row locality, the way a
+/// real crawl ordering would.
+CsrMatrix<real_t> shuffle_rows(const Graph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<index_t> perm(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  CooMatrix<real_t> coo;
+  coo.rows = g.num_nodes();
+  coo.cols = g.num_nodes();
+  for (index_t i = 0; i < g.num_nodes(); ++i) {
+    for (const index_t j : g.neighbors(i)) coo.push(perm[i], perm[j], 1.0f);
+  }
+  return CsrMatrix<real_t>::from_coo(coo);
+}
+
+void report(const char* label, double build, std::size_t peak_cand,
+            double ratio, index_t parts) {
+  std::printf("%-20s build %6.2fs  peak-candidates %9zu  ratio %5.2fx"
+              "  parts %d\n",
+              label, build, peak_cand, ratio, parts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t n = argc > 1 ? std::atoi(argv[1]) : 8000;
+  const Graph g = community_graph(
+      {.num_nodes = n, .team_min = 24, .team_max = 96, .size_exponent = 1.8,
+       .intra_prob = 1.0, .cross_per_node = 2.0},
+      21);
+  const auto a = shuffle_rows(g, 22);
+  std::printf("community graph, %d nodes, %.1f avg degree, rows shuffled\n\n",
+              n, g.average_degree());
+
+  // Monolithic baseline.
+  CbmStats mono;
+  const auto cbm = CbmMatrix<real_t>::compress(a, {.alpha = 0}, &mono);
+  report("monolithic", mono.build_seconds, mono.candidate_edges,
+         static_cast<double>(a.bytes()) / mono.bytes, 1);
+
+  // Partitioned, three clustering strategies.
+  for (const auto& [method, label] :
+       {std::pair{ClusterMethod::kConsecutive, "consecutive"},
+        std::pair{ClusterMethod::kMinHash, "minhash"},
+        std::pair{ClusterMethod::kLabelPropagation, "labelprop"}}) {
+    PartitionedOptions options;
+    options.method = method;
+    options.num_clusters = 32;
+    PartitionedStats stats;
+    auto part = PartitionedCbmMatrix<real_t>::compress(a, options, &stats);
+    report(label, stats.build_seconds, stats.peak_candidate_edges,
+           static_cast<double>(a.bytes()) / stats.bytes, stats.num_parts);
+
+    // Spot-check correctness.
+    Rng rng(23);
+    DenseMatrix<real_t> b(n, 16);
+    b.fill_uniform(rng);
+    DenseMatrix<real_t> c_part(n, 16), c_csr(n, 16);
+    part.multiply(b, c_part);
+    csr_spmm(a, b, c_csr);
+    if (!allclose(c_part, c_csr, 1e-5, 1e-5)) {
+      std::printf("  !! result mismatch\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "\nMinHash regroups the shuffled near-duplicate rows, recovering most\n"
+      "of the monolithic ratio while bounding the per-part candidate set —\n"
+      "the scaling strategy the paper sketches for Reddit-sized graphs.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Registry of the paper's eight evaluation datasets (Table I) with synthetic
+// stand-ins (DESIGN.md §2).
+//
+// Each spec records the paper's measured properties (node/edge counts,
+// average degree, α=0 compression ratio, average clustering) so benches can
+// print paper-vs-measured side by side, plus a generator producing a
+// deterministic synthetic graph in the same structural regime, node-scaled
+// to laptop budgets. When CBM_BENCH_MTX_DIR contains "<name>.mtx" the real
+// graph is loaded instead.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util/env.hpp"
+#include "graph/graph.hpp"
+
+namespace cbm {
+
+struct DatasetSpec {
+  std::string name;        ///< registry key, e.g. "cora"
+  std::string family;      ///< citation | coauthor | collaboration | ppi
+  // Paper-reported reference values (Tables I, II, V):
+  index_t paper_nodes = 0;
+  offset_t paper_edges = 0;
+  double paper_avg_degree = 0.0;
+  double paper_clustering = 0.0;     ///< Table V
+  double paper_ratio_alpha0 = 0.0;   ///< Table II compression ratio, α=0
+  // Best-α values used in Tables III/IV:
+  int paper_best_alpha_seq = 4;
+  int paper_best_alpha_par = 16;
+};
+
+/// All eight dataset specs in the paper's Table I order.
+const std::vector<DatasetSpec>& dataset_registry();
+
+/// Spec lookup by name; throws CbmError for unknown names.
+const DatasetSpec& dataset_spec(const std::string& name);
+
+/// Materialises the dataset: a real .mtx when available in config.mtx_dir,
+/// otherwise the synthetic stand-in scaled by config.scale.
+Graph load_dataset(const DatasetSpec& spec, const BenchConfig& config);
+
+/// Generates the synthetic stand-in at the given scale factor (0, 1].
+Graph make_standin(const std::string& name, double scale);
+
+}  // namespace cbm

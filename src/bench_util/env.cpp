@@ -1,0 +1,50 @@
+#include "bench_util/env.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/parallel.hpp"
+
+namespace cbm {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atof(v);
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+BenchConfig BenchConfig::from_env() {
+  BenchConfig c;
+  c.cols = env_int("CBM_BENCH_COLS", c.cols);
+  c.reps = env_int("CBM_BENCH_REPS", c.reps);
+  c.warmup = env_int("CBM_BENCH_WARMUP", c.warmup);
+  c.threads = env_int("CBM_BENCH_THREADS", 0);
+  c.scale = env_double("CBM_BENCH_SCALE", c.scale);
+  c.mtx_dir = env_string("CBM_BENCH_MTX_DIR", "");
+  if (c.threads <= 0) c.threads = max_threads();
+  return c;
+}
+
+void print_bench_header(const BenchConfig& config, const std::string& title) {
+  std::cout << "# " << title << '\n';
+  std::cout << "# threads=" << config.threads << " cols=" << config.cols
+            << " reps=" << config.reps << " warmup=" << config.warmup
+            << " scale=" << config.scale;
+  if (!config.mtx_dir.empty()) std::cout << " mtx_dir=" << config.mtx_dir;
+  std::cout << "\n# (paper protocol: 500 cols, 250 reps, 16 cores;"
+            << " override via CBM_BENCH_* env vars)\n";
+}
+
+}  // namespace cbm

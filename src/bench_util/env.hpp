@@ -1,0 +1,43 @@
+// Benchmark configuration via environment variables.
+//
+// The paper's full protocol (500-column operands, 250 repetitions, 16 cores)
+// is too heavy for arbitrary hosts, so every knob is overridable:
+//   CBM_BENCH_COLS    columns of the dense operand X   (default 128; paper 500)
+//   CBM_BENCH_REPS    timed repetitions per measurement (default 3; paper 250)
+//   CBM_BENCH_WARMUP  untimed warmup runs               (default 1)
+//   CBM_BENCH_THREADS parallel thread count             (default: all cores)
+//   CBM_BENCH_SCALE   dataset size multiplier in (0,1]  (default 0.4)
+//   CBM_BENCH_MTX_DIR directory with real .mtx datasets (optional; stand-ins
+//                     are replaced by real graphs when the file exists)
+#pragma once
+
+#include <string>
+
+namespace cbm {
+
+struct BenchConfig {
+  int cols = 128;
+  int reps = 3;
+  int warmup = 1;
+  int threads = 0;  ///< 0 = all available
+  double scale = 0.4;
+  std::string mtx_dir;
+
+  /// Reads the CBM_BENCH_* environment.
+  static BenchConfig from_env();
+};
+
+/// Prints host/config context (threads, cols, reps, scale) so every bench
+/// output is self-describing.
+void print_bench_header(const BenchConfig& config, const std::string& title);
+
+/// Integer environment variable with default.
+int env_int(const char* name, int fallback);
+
+/// Double environment variable with default.
+double env_double(const char* name, double fallback);
+
+/// String environment variable with default.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace cbm

@@ -1,0 +1,5 @@
+// Intentionally header-only (time_repetitions is a template); this TU keeps
+// the library target non-empty and pins the header's compilation.
+#include "bench_util/runner.hpp"
+
+namespace cbm {}

@@ -1,0 +1,24 @@
+// Repetition-timing helper: warmup runs, then `reps` timed runs, collecting
+// mean ± std exactly as the paper reports (§VI-B: averages over 250 runs).
+#pragma once
+
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+
+namespace cbm {
+
+/// Times fn() `reps` times after `warmup` untimed calls; returns seconds
+/// statistics.
+template <typename Fn>
+RunStats time_repetitions(Fn&& fn, int reps, int warmup) {
+  for (int i = 0; i < warmup; ++i) fn();
+  RunStats stats;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    stats.add(t.seconds());
+  }
+  return stats;
+}
+
+}  // namespace cbm

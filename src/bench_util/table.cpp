@@ -1,0 +1,67 @@
+#include "bench_util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cbm {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  CBM_CHECK(cells.size() == headers_.size(),
+            "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::cout << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::cout << row[c] << std::string(width[c] - row[c].size(), ' ')
+                << " | ";
+    }
+    std::cout << '\n';
+  };
+  print_row(headers_);
+  std::cout << "|";
+  for (const std::size_t w : width) std::cout << std::string(w + 2, '-') << "|";
+  std::cout << '\n';
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", s);
+  return buf;
+}
+
+std::string fmt_double(double v, int digits) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_mean_std(double mean, double stddev) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f (±%.4f)", mean, stddev);
+  return buf;
+}
+
+std::string fmt_mib(std::size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", static_cast<double>(bytes) / kMiB);
+  return buf;
+}
+
+}  // namespace cbm

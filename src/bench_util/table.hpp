@@ -1,0 +1,36 @@
+// Fixed-width console table printer used by the paper-table benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cbm {
+
+/// Accumulates rows of string cells and prints an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Prints header, separator and all rows to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds as "x.xxxx" (the paper's table precision).
+std::string fmt_seconds(double s);
+
+/// Formats with `digits` decimal places.
+std::string fmt_double(double v, int digits = 2);
+
+/// Formats "mean (± std)".
+std::string fmt_mean_std(double mean, double stddev);
+
+/// Formats a byte count as MiB with 2 decimals.
+std::string fmt_mib(std::size_t bytes);
+
+}  // namespace cbm

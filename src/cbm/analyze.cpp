@@ -1,0 +1,81 @@
+#include "cbm/analyze.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cbm {
+
+template <typename T>
+CompressibilityEstimate estimate_compressibility(const CsrMatrix<T>& pattern,
+                                                 index_t samples,
+                                                 std::uint64_t seed) {
+  CBM_CHECK(samples > 0, "need at least one sample");
+  const index_t n = pattern.rows();
+  CompressibilityEstimate out;
+  if (n == 0 || pattern.nnz() == 0) {
+    out.samples = 0;
+    return out;
+  }
+  const CsrMatrix<T> at = pattern.transpose();
+
+  // Sample rows: a shuffled prefix when the matrix is small, independent
+  // draws otherwise (collisions negligible for samples << n).
+  Rng rng(seed);
+  std::vector<index_t> picks;
+  if (samples >= n) {
+    picks.resize(static_cast<std::size_t>(n));
+    std::iota(picks.begin(), picks.end(), index_t{0});
+  } else {
+    picks.reserve(static_cast<std::size_t>(samples));
+    for (index_t s = 0; s < samples; ++s) {
+      picks.push_back(static_cast<index_t>(rng.next_below(n)));
+    }
+  }
+
+  // For each sampled row, the exact minimum delta count over all reference
+  // rows (identical to one iteration of the builder's overlap scan).
+  std::vector<index_t> count(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> touched;
+  std::int64_t sampled_nnz = 0;
+  std::int64_t sampled_deltas = 0;
+  for (const index_t x : picks) {
+    const std::int64_t nnz_x = pattern.row_nnz(x);
+    std::int64_t best = nnz_x;  // the virtual-root option
+    for (const index_t j : pattern.row_indices(x)) {
+      for (const index_t y : at.row_indices(j)) {
+        if (y == x) continue;
+        if (count[y]++ == 0) touched.push_back(y);
+      }
+    }
+    for (const index_t y : touched) {
+      const std::int64_t h =
+          nnz_x + pattern.row_nnz(y) - 2 * static_cast<std::int64_t>(count[y]);
+      best = std::min(best, h);
+      count[y] = 0;
+    }
+    touched.clear();
+    sampled_nnz += nnz_x;
+    sampled_deltas += best;
+  }
+
+  out.samples = static_cast<index_t>(picks.size());
+  out.delta_fraction =
+      sampled_nnz > 0
+          ? static_cast<double>(sampled_deltas) / static_cast<double>(sampled_nnz)
+          : 1.0;
+  // The implied ratio ignores tree overhead (small for the graphs that
+  // matter) and simply inverts the delta fraction; 1/fraction is a good
+  // predictor above ~1.5 (see tests against the real builder).
+  out.est_ratio = out.delta_fraction > 0.0 ? 1.0 / out.delta_fraction : 1.0;
+  return out;
+}
+
+template CompressibilityEstimate estimate_compressibility<float>(
+    const CsrMatrix<float>&, index_t, std::uint64_t);
+template CompressibilityEstimate estimate_compressibility<double>(
+    const CsrMatrix<double>&, index_t, std::uint64_t);
+
+}  // namespace cbm

@@ -1,0 +1,293 @@
+#include "cbm/cbm_matrix.hpp"
+
+#include <utility>
+
+#include "cbm/deltas.hpp"
+#include "cbm/spmm_cbm.hpp"
+#include "common/timer.hpp"
+#include "sparse/spmm.hpp"
+#include "tree/arborescence.hpp"
+#include "tree/mst.hpp"
+
+namespace cbm {
+
+namespace {
+
+/// Solves for the compression tree and returns the per-row parent array
+/// (virtual root encoded as n).
+template <typename T>
+std::pair<std::vector<index_t>, std::int64_t> solve_tree(
+    const CsrMatrix<T>& pattern, const CbmOptions& options,
+    std::size_t* candidate_edges) {
+  const index_t n = pattern.rows();
+  if (options.algorithm == TreeAlgorithm::kMst) {
+    const DistanceGraph g = build_full_distance_graph(pattern);
+    *candidate_edges = g.candidate_edges;
+    const MstResult mst = kruskal_mst(g.num_nodes, g.edges);
+    auto parent = root_tree(g.num_nodes, g.edges, mst.edge_ids, g.root);
+    parent.resize(static_cast<std::size_t>(n));  // drop the root's own entry
+    return {std::move(parent), mst.total_weight};
+  }
+  const DistanceGraph g = build_distance_graph(
+      pattern,
+      {.alpha = options.alpha,
+       .max_candidates_per_row = options.max_candidates_per_row});
+  *candidate_edges = g.candidate_edges;
+  ArborescenceResult arb = chu_liu_edmonds(g.num_nodes, g.edges, g.root);
+  arb.parent.resize(static_cast<std::size_t>(n));
+  return {std::move(arb.parent), arb.total_weight};
+}
+
+}  // namespace
+
+namespace {
+
+// Row compression applies to any m×n binary matrix (rectangular parts of the
+// partitioned format rely on this); only D·A·D requires squareness.
+template <typename T>
+void check_compress_input(const CsrMatrix<T>& a) {
+  CBM_CHECK(a.is_binary(), "CBM compresses binary matrices");
+  CBM_CHECK(a.has_sorted_unique_rows(),
+            "CBM requires sorted, duplicate-free rows");
+}
+
+template <typename T>
+void check_diag_length(std::size_t need, std::span<const T> diag,
+                       const char* what) {
+  CBM_CHECK(diag.size() == need,
+            std::string(what) + " length does not match the matrix");
+}
+
+template <typename T>
+void check_diag_nonzero(std::span<const T> diag, const char* what) {
+  for (const T d : diag) {
+    CBM_CHECK(d != T{0},
+              std::string(what) + " requires nonzero entries (Eq. 6 divides"
+                                  " by the update-stage diagonal)");
+  }
+}
+
+}  // namespace
+
+template <typename T>
+CbmMatrix<T> CbmMatrix<T>::compress(const CsrMatrix<T>& a,
+                                    const CbmOptions& options,
+                                    CbmStats* stats) {
+  return compress_scaled(a, {}, CbmKind::kPlain, options, stats);
+}
+
+template <typename T>
+CbmMatrix<T> CbmMatrix<T>::compress_two_sided(const CsrMatrix<T>& a,
+                                              std::span<const T> left_diag,
+                                              std::span<const T> right_diag,
+                                              const CbmOptions& options,
+                                              CbmStats* stats) {
+  check_compress_input(a);
+  check_diag_length(static_cast<std::size_t>(a.rows()), left_diag,
+                    "left diagonal");
+  check_diag_length(static_cast<std::size_t>(a.cols()), right_diag,
+                    "right diagonal");
+  check_diag_nonzero(left_diag, "D1·A·D2");
+  return compress_impl(a, right_diag, left_diag, CbmKind::kTwoSided, options,
+                       stats);
+}
+
+template <typename T>
+CbmMatrix<T> CbmMatrix<T>::compress_scaled(const CsrMatrix<T>& a,
+                                           std::span<const T> diag,
+                                           CbmKind kind,
+                                           const CbmOptions& options,
+                                           CbmStats* stats) {
+  check_compress_input(a);
+  CBM_CHECK(kind != CbmKind::kTwoSided,
+            "use compress_two_sided for distinct diagonals");
+  if (kind == CbmKind::kPlain) {
+    CBM_CHECK(diag.empty(), "kPlain takes no diagonal");
+  } else if (kind == CbmKind::kColumnScaled) {
+    check_diag_length(static_cast<std::size_t>(a.cols()), diag, "diagonal");
+  } else {
+    CBM_CHECK(a.rows() == a.cols(), "D·A·D requires a square matrix");
+    check_diag_length(static_cast<std::size_t>(a.rows()), diag, "diagonal");
+    check_diag_nonzero(diag, "DAD");
+  }
+  return compress_impl(a, /*column_scale=*/diag,
+                       /*update_diag=*/
+                       kind == CbmKind::kSymScaled ? diag
+                                                   : std::span<const T>{},
+                       kind, options, stats);
+}
+
+template <typename T>
+CbmMatrix<T> CbmMatrix<T>::compress_impl(const CsrMatrix<T>& a,
+                                         std::span<const T> column_scale,
+                                         std::span<const T> update_diag,
+                                         CbmKind kind,
+                                         const CbmOptions& options,
+                                         CbmStats* stats) {
+  Timer timer;
+  CbmMatrix<T> m;
+  m.kind_ = kind;
+
+  std::size_t candidates = 0;
+  auto [parent, tree_weight] = solve_tree(a, options, &candidates);
+  m.tree_ = CompressionTree::from_parents(std::move(parent));
+
+  DeltaStats delta_stats;
+  m.delta_ = build_delta_matrix(a, m.tree_, column_scale, &delta_stats);
+  m.diag_.assign(update_diag.begin(), update_diag.end());
+
+  if (stats != nullptr) {
+    stats->build_seconds = timer.seconds();
+    stats->candidate_edges = candidates;
+    stats->tree_weight = tree_weight;
+    stats->total_deltas = delta_stats.total_deltas;
+    stats->source_nnz = delta_stats.total_nnz;
+    stats->root_out_degree = m.tree_.root_out_degree();
+    stats->max_depth = m.tree_.max_depth();
+    stats->bytes = m.bytes();
+  }
+  return m;
+}
+
+template <typename T>
+CbmMatrix<T> CbmMatrix<T>::from_parts(CbmKind kind, CompressionTree tree,
+                                      CsrMatrix<T> delta,
+                                      std::vector<T> diag) {
+  CBM_CHECK(tree.num_rows() == delta.rows(),
+            "from_parts: tree/delta row mismatch");
+  const bool needs_diag =
+      kind == CbmKind::kSymScaled || kind == CbmKind::kTwoSided;
+  if (needs_diag) {
+    CBM_CHECK(diag.size() == static_cast<std::size_t>(delta.rows()),
+              "from_parts: diagonal length mismatch");
+    check_diag_nonzero(std::span<const T>(diag), "row-scaled kind");
+  } else {
+    CBM_CHECK(diag.empty(), "from_parts: unexpected diagonal");
+  }
+  CbmMatrix<T> m;
+  m.kind_ = kind;
+  m.tree_ = std::move(tree);
+  m.delta_ = std::move(delta);
+  m.diag_ = std::move(diag);
+  return m;
+}
+
+template <typename T>
+void CbmMatrix<T>::multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                            UpdateSchedule schedule) const {
+  CBM_CHECK(cols() == b.rows(), "multiply: inner dimensions differ");
+  CBM_CHECK(c.rows() == rows() && c.cols() == b.cols(),
+            "multiply: output shape mismatch");
+  // Multiply stage: C = A'·B (or (AD)'·B) — one sparse-dense product.
+  csr_spmm(delta_, b, c);
+  // Update stage: fold parent rows down the compression tree.
+  cbm_update_stage(tree_, kind_, std::span<const T>(diag_), c, schedule);
+}
+
+template <typename T>
+void CbmMatrix<T>::multiply_vector(std::span<const T> x, std::span<T> y,
+                                   UpdateSchedule schedule) const {
+  CBM_CHECK(x.size() == static_cast<std::size_t>(cols()),
+            "multiply_vector: x length mismatch");
+  CBM_CHECK(y.size() == static_cast<std::size_t>(rows()),
+            "multiply_vector: y length mismatch");
+  csr_spmv(delta_, x, y);
+  cbm_update_stage_vector(tree_, kind_, std::span<const T>(diag_), y,
+                          schedule);
+}
+
+template <typename T>
+CsrMatrix<T> CbmMatrix<T>::materialize() const {
+  const index_t n = rows();
+  // Reconstruct each row from its parent along the tree (Eq. 2): +value
+  // inserts a column (carrying the folded column scale), −value removes it.
+  // Rows are kept around until all children are produced; total memory is
+  // one copy of the decompressed matrix.
+  std::vector<std::vector<std::pair<index_t, T>>> rows_data(
+      static_cast<std::size_t>(n));
+  std::vector<std::pair<index_t, T>> merged;
+  for (const index_t x : tree_.topological_order()) {
+    const auto cols = delta_.row_indices(x);
+    const auto vals = delta_.row_values(x);
+    const index_t p = tree_.parent(x);
+    if (p == tree_.virtual_root()) {
+      auto& row = rows_data[x];
+      row.reserve(cols.size());
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        CBM_DCHECK(vals[k] > T{0}, "root rows carry only positive deltas");
+        row.emplace_back(cols[k], vals[k]);
+      }
+      continue;
+    }
+    // Sorted merge of the parent's columns with the delta list.
+    const auto& parent_row = rows_data[p];
+    merged.clear();
+    merged.reserve(parent_row.size() + cols.size());
+    std::size_t i = 0, k = 0;
+    while (i < parent_row.size() || k < cols.size()) {
+      if (k == cols.size() ||
+          (i < parent_row.size() && parent_row[i].first < cols[k])) {
+        merged.push_back(parent_row[i++]);
+      } else if (i == parent_row.size() || cols[k] < parent_row[i].first) {
+        CBM_DCHECK(vals[k] > T{0}, "insertion delta must be positive");
+        merged.emplace_back(cols[k], vals[k]);
+        ++k;
+      } else {
+        // Same column: a negative delta deletes the inherited entry.
+        CBM_DCHECK(vals[k] < T{0}, "matching delta must be a removal");
+        ++i;
+        ++k;
+      }
+    }
+    rows_data[x] = merged;
+  }
+
+  std::vector<offset_t> indptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t x = 0; x < n; ++x) {
+    indptr[x + 1] = indptr[x] + static_cast<offset_t>(rows_data[x].size());
+  }
+  std::vector<index_t> indices(static_cast<std::size_t>(indptr.back()));
+  std::vector<T> values(static_cast<std::size_t>(indptr.back()));
+  const bool row_scaled =
+      kind_ == CbmKind::kSymScaled || kind_ == CbmKind::kTwoSided;
+  for (index_t x = 0; x < n; ++x) {
+    offset_t out = indptr[x];
+    const T row_scale = row_scaled ? diag_[x] : T{1};
+    for (const auto& [col, val] : rows_data[x]) {
+      indices[out] = col;
+      values[out] = row_scale * val;
+      ++out;
+    }
+  }
+  return CsrMatrix<T>(n, cols(), std::move(indptr), std::move(indices),
+                      std::move(values));
+}
+
+template <typename T>
+std::size_t CbmMatrix<T>::bytes() const {
+  return delta_.bytes() + tree_.bytes() + diag_.size() * sizeof(T);
+}
+
+template <typename T>
+std::size_t CbmMatrix<T>::scalar_ops(index_t bcols) const {
+  // Per output column (paper §IV): a root-attached row costs 2·nd − 1 (pure
+  // dot product of nd deltas); a compressed row costs 2·nd (dot product plus
+  // the accumulation of the parent's result).
+  std::size_t per_column = 0;
+  for (index_t x = 0; x < rows(); ++x) {
+    const auto nd = static_cast<std::size_t>(delta_.row_nnz(x));
+    if (tree_.is_root_child(x)) {
+      per_column += nd > 0 ? 2 * nd - 1 : 0;
+    } else {
+      // nd multiplies + (nd−1) adds for the delta dot product, plus one add
+      // of the parent's result (Eq. 4); an identical row costs just the add.
+      per_column += nd > 0 ? 2 * nd : 1;
+    }
+  }
+  return per_column * static_cast<std::size_t>(bcols);
+}
+
+template class CbmMatrix<float>;
+template class CbmMatrix<double>;
+
+}  // namespace cbm

@@ -1,0 +1,154 @@
+// CbmMatrix — the Compressed Binary Matrix format (the paper's primary
+// contribution).
+//
+// A CbmMatrix represents one of
+//   A        (kPlain):        a binary matrix,
+//   A·D      (kColumnScaled): columns scaled by a diagonal, and
+//   D·A·D    (kSymScaled):    the GCN-normalised form,
+// as a compression tree plus a CSR delta matrix (§III, §V-A). multiply()
+// computes C = op(A)·B in the two-stage multiply+update scheme of §IV/§V.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cbm/distance_graph.hpp"
+#include "dense/dense_matrix.hpp"
+#include "sparse/csr.hpp"
+#include "tree/compression_tree.hpp"
+
+namespace cbm {
+
+/// Which factorisation this CBM matrix represents.
+enum class CbmKind {
+  kPlain,         ///< A
+  kColumnScaled,  ///< A·D  (D folded into the delta values; D not stored)
+  kSymScaled,     ///< D·A·D (D folded into values + kept for the update)
+  kTwoSided,      ///< D₁·A·D₂ (D₂ folded into values, D₁ kept — the §V-A
+                  ///< "easily extended" generalisation)
+};
+
+/// Compression-tree solver choice.
+enum class TreeAlgorithm {
+  kMca,  ///< Chu–Liu/Edmonds on the α-pruned directed graph (default; for
+         ///< α = 0 it matches the MST cost — see tests)
+  kMst,  ///< Kruskal on the full undirected distance graph, the verbatim
+         ///< §III construction; ignores alpha
+};
+
+/// Update-stage execution policy (§V-B).
+enum class UpdateSchedule {
+  kSequential,     ///< single-threaded topological sweep
+  kBranchDynamic,  ///< OpenMP dynamic over branches (the paper's choice)
+  kBranchStatic,   ///< OpenMP static over branches (ablation)
+  kColumnSplit,    ///< every thread sweeps the whole tree over its own slice
+                   ///< of B's columns — parallelism independent of the
+                   ///< virtual root's fan-out (wins when the tree has few
+                   ///< branches, where the paper's scheme has no work units)
+};
+
+/// Options controlling compression.
+struct CbmOptions {
+  int alpha = 0;                       ///< §V-C pruning threshold
+  TreeAlgorithm algorithm = TreeAlgorithm::kMca;
+  index_t max_candidates_per_row = 0;  ///< 0 = unlimited (see DistanceGraph)
+};
+
+/// Construction statistics (the paper's Table II columns).
+struct CbmStats {
+  double build_seconds = 0.0;
+  std::size_t candidate_edges = 0;   ///< admitted distance-graph edges
+  std::int64_t tree_weight = 0;      ///< MST/MCA cost = total delta count
+  std::int64_t total_deltas = 0;     ///< nnz(A')
+  std::int64_t source_nnz = 0;       ///< nnz(A)
+  index_t root_out_degree = 0;       ///< update-stage parallelism
+  index_t max_depth = 0;
+  std::size_t bytes = 0;             ///< S_CBM
+};
+
+template <typename T>
+class CbmMatrix {
+ public:
+  CbmMatrix() = default;
+
+  /// Compresses a binary matrix A (kPlain).
+  static CbmMatrix compress(const CsrMatrix<T>& a,
+                            const CbmOptions& options = {},
+                            CbmStats* stats = nullptr);
+
+  /// Compresses A·D or D·A·D: `a` must be binary, `diag` holds the diagonal
+  /// of D. `kind` selects kColumnScaled or kSymScaled.
+  static CbmMatrix compress_scaled(const CsrMatrix<T>& a,
+                                   std::span<const T> diag, CbmKind kind,
+                                   const CbmOptions& options = {},
+                                   CbmStats* stats = nullptr);
+
+  /// Compresses D₁·A·D₂ with distinct diagonals (kTwoSided). D₂ is folded
+  /// into the delta values; D₁ must stay resident for the update stage and
+  /// must be free of zeros (Eq. 6 divides by it).
+  static CbmMatrix compress_two_sided(const CsrMatrix<T>& a,
+                                      std::span<const T> left_diag,
+                                      std::span<const T> right_diag,
+                                      const CbmOptions& options = {},
+                                      CbmStats* stats = nullptr);
+
+  /// Reassembles a CbmMatrix from its stored parts (deserialisation,
+  /// partitioned construction). Validates the same invariants compression
+  /// guarantees.
+  static CbmMatrix from_parts(CbmKind kind, CompressionTree tree,
+                              CsrMatrix<T> delta, std::vector<T> diag);
+
+  /// C = op(A) · B. C must be pre-shaped (rows() × B.cols()); its previous
+  /// content is overwritten. No allocations happen here (Property 3): the
+  /// multiply stage writes C directly and the update stage fixes it up
+  /// in place.
+  void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                UpdateSchedule schedule = UpdateSchedule::kBranchDynamic) const;
+
+  /// y = op(A) · x — the matrix-vector product of §IV (Eqs. 4–6). Same
+  /// two-stage structure with p = 1; y is overwritten.
+  void multiply_vector(
+      std::span<const T> x, std::span<T> y,
+      UpdateSchedule schedule = UpdateSchedule::kBranchDynamic) const;
+
+  /// Decompresses back to an explicit CSR matrix equal to op(A) — the exact
+  /// inverse of compression (Equation 2 applied down the tree). Useful for
+  /// interop and as a self-check; O(nnz(op(A))) time and memory.
+  [[nodiscard]] CsrMatrix<T> materialize() const;
+
+  [[nodiscard]] index_t rows() const { return delta_.rows(); }
+  [[nodiscard]] index_t cols() const { return delta_.cols(); }
+  [[nodiscard]] CbmKind kind() const { return kind_; }
+
+  [[nodiscard]] const CompressionTree& tree() const { return tree_; }
+  [[nodiscard]] const CsrMatrix<T>& delta_matrix() const { return delta_; }
+
+  /// Left/update-stage diagonal, kept for kSymScaled and kTwoSided (empty
+  /// otherwise).
+  [[nodiscard]] std::span<const T> diagonal() const { return diag_; }
+
+  /// Heap bytes of everything multiply() needs: delta CSR + tree (+ diagonal
+  /// for kSymScaled). The paper's S_CBM.
+  [[nodiscard]] std::size_t bytes() const;
+
+  /// Scalar multiply/add operations one multiply() against a p-column dense
+  /// matrix performs (Property-2 accounting; compare csr_spmm_flops).
+  [[nodiscard]] std::size_t scalar_ops(index_t bcols) const;
+
+ private:
+  static CbmMatrix compress_impl(const CsrMatrix<T>& a,
+                                 std::span<const T> column_scale,
+                                 std::span<const T> update_diag, CbmKind kind,
+                                 const CbmOptions& options, CbmStats* stats);
+
+  CbmKind kind_ = CbmKind::kPlain;
+  CompressionTree tree_;
+  CsrMatrix<T> delta_;   ///< A' or (AD)'
+  std::vector<T> diag_;  ///< update-stage diagonal (kSymScaled / kTwoSided)
+};
+
+extern template class CbmMatrix<float>;
+extern template class CbmMatrix<double>;
+
+}  // namespace cbm

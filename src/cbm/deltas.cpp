@@ -1,0 +1,101 @@
+#include "cbm/deltas.hpp"
+
+#include <numeric>
+
+namespace cbm {
+
+template <typename T>
+CsrMatrix<T> build_delta_matrix(const CsrMatrix<T>& pattern,
+                                const CompressionTree& tree,
+                                std::span<const T> column_scale,
+                                DeltaStats* stats) {
+  const index_t n = pattern.rows();
+  CBM_CHECK(tree.num_rows() == n, "tree size does not match matrix");
+  CBM_CHECK(column_scale.empty() ||
+                column_scale.size() == static_cast<std::size_t>(pattern.cols()),
+            "column scale length mismatch");
+  const index_t root = tree.virtual_root();
+
+  // Pass 1: delta count per row (merge-count of the two sorted index lists).
+  std::vector<offset_t> indptr(static_cast<std::size_t>(n) + 1, 0);
+#pragma omp parallel for schedule(dynamic, 256)
+  for (index_t x = 0; x < n; ++x) {
+    const index_t p = tree.parent(x);
+    if (p == root) {
+      indptr[x + 1] = pattern.row_nnz(x);
+      continue;
+    }
+    const auto rx = pattern.row_indices(x);
+    const auto rp = pattern.row_indices(p);
+    std::size_t i = 0, j = 0;
+    offset_t deltas = 0;
+    while (i < rx.size() && j < rp.size()) {
+      if (rx[i] == rp[j]) {
+        ++i;
+        ++j;
+      } else if (rx[i] < rp[j]) {
+        ++deltas;  // Δ⁺
+        ++i;
+      } else {
+        ++deltas;  // Δ⁻
+        ++j;
+      }
+    }
+    deltas += static_cast<offset_t>((rx.size() - i) + (rp.size() - j));
+    indptr[x + 1] = deltas;
+  }
+  std::partial_sum(indptr.begin(), indptr.end(), indptr.begin());
+
+  // Pass 2: fill, sorted by column (the merge is order-preserving).
+  std::vector<index_t> indices(static_cast<std::size_t>(indptr.back()));
+  std::vector<T> values(static_cast<std::size_t>(indptr.back()));
+#pragma omp parallel for schedule(dynamic, 256)
+  for (index_t x = 0; x < n; ++x) {
+    offset_t out = indptr[x];
+    const index_t p = tree.parent(x);
+    const auto rx = pattern.row_indices(x);
+    auto emit = [&](index_t col, T sign) {
+      indices[out] = col;
+      values[out] =
+          column_scale.empty() ? sign : sign * column_scale[col];
+      ++out;
+    };
+    if (p == root) {
+      for (const index_t c : rx) emit(c, T{1});
+      continue;
+    }
+    const auto rp = pattern.row_indices(p);
+    std::size_t i = 0, j = 0;
+    while (i < rx.size() && j < rp.size()) {
+      if (rx[i] == rp[j]) {
+        ++i;
+        ++j;
+      } else if (rx[i] < rp[j]) {
+        emit(rx[i++], T{1});
+      } else {
+        emit(rp[j++], T{-1});
+      }
+    }
+    while (i < rx.size()) emit(rx[i++], T{1});
+    while (j < rp.size()) emit(rp[j++], T{-1});
+  }
+
+  if (stats != nullptr) {
+    stats->total_deltas = indptr.back();
+    stats->total_nnz = pattern.nnz();
+    stats->saved = stats->total_nnz - stats->total_deltas;
+  }
+  return CsrMatrix<T>(n, pattern.cols(), std::move(indptr), std::move(indices),
+                      std::move(values));
+}
+
+template CsrMatrix<float> build_delta_matrix<float>(const CsrMatrix<float>&,
+                                                    const CompressionTree&,
+                                                    std::span<const float>,
+                                                    DeltaStats*);
+template CsrMatrix<double> build_delta_matrix<double>(const CsrMatrix<double>&,
+                                                      const CompressionTree&,
+                                                      std::span<const double>,
+                                                      DeltaStats*);
+
+}  // namespace cbm

@@ -1,0 +1,41 @@
+// Delta-matrix construction (paper §V-A).
+//
+// Given the compression tree, row x of the delta matrix A' holds
+//   +1 at the columns of Δ⁺(x, r_x)  (present in A_x, absent in A_{r_x})
+//   −1 at the columns of Δ⁻(x, r_x)  (absent in A_x, present in A_{r_x})
+// For rows hanging off the virtual root, A'_x = A_x (all +1).
+// A' is exactly as computable-with as A: SpMM on A' + the tree update stage
+// reproduces A·B.
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "tree/compression_tree.hpp"
+
+namespace cbm {
+
+/// Per-row delta counts (|Δ⁺| + |Δ⁻|), used for Property-1 accounting.
+struct DeltaStats {
+  std::int64_t total_deltas = 0;   ///< nnz(A')
+  std::int64_t total_nnz = 0;      ///< nnz(A)
+  std::int64_t saved = 0;          ///< nnz(A) − nnz(A')
+};
+
+/// Builds the delta matrix A' ∈ {−1,0,+1} for `pattern` under `tree`.
+/// Optionally scales column j of the result by d[j] (the (AD)' matrix of the
+/// paper; pass empty span for the unscaled A'). Parallelised over rows.
+template <typename T>
+CsrMatrix<T> build_delta_matrix(const CsrMatrix<T>& pattern,
+                                const CompressionTree& tree,
+                                std::span<const T> column_scale,
+                                DeltaStats* stats = nullptr);
+
+extern template CsrMatrix<float> build_delta_matrix<float>(
+    const CsrMatrix<float>&, const CompressionTree&, std::span<const float>,
+    DeltaStats*);
+extern template CsrMatrix<double> build_delta_matrix<double>(
+    const CsrMatrix<double>&, const CompressionTree&, std::span<const double>,
+    DeltaStats*);
+
+}  // namespace cbm

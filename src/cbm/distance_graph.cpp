@@ -1,0 +1,160 @@
+#include "cbm/distance_graph.hpp"
+
+#include <algorithm>
+
+#include "common/parallel.hpp"
+
+namespace cbm {
+
+namespace {
+
+/// Enumerates, for one row x, every row y with overlap(x, y) > 0 together
+/// with the overlap count, using a dense accumulator + touched list.
+/// `at` = transpose of the pattern (CSC view), so at.row(j) lists the rows
+/// that contain column j.
+template <typename T>
+class OverlapScanner {
+ public:
+  explicit OverlapScanner(index_t n)
+      : count_(static_cast<std::size_t>(n), 0) {}
+
+  /// Calls fn(y, overlap) for each y != x with positive overlap.
+  template <typename Fn>
+  void scan(const CsrMatrix<T>& pattern, const CsrMatrix<T>& at, index_t x,
+            Fn&& fn) {
+    for (const index_t j : pattern.row_indices(x)) {
+      for (const index_t y : at.row_indices(j)) {
+        if (y == x) continue;
+        if (count_[y]++ == 0) touched_.push_back(y);
+      }
+    }
+    for (const index_t y : touched_) {
+      fn(y, count_[y]);
+      count_[y] = 0;
+    }
+    touched_.clear();
+  }
+
+ private:
+  std::vector<index_t> count_;
+  std::vector<index_t> touched_;
+};
+
+/// Keeps the `cap` candidates with the smallest weight (best compression).
+void apply_cap(std::vector<WeightedEdge>& edges, std::size_t row_begin,
+               index_t cap) {
+  const std::size_t m = edges.size() - row_begin;
+  if (cap <= 0 || m <= static_cast<std::size_t>(cap)) return;
+  auto first = edges.begin() + static_cast<std::ptrdiff_t>(row_begin);
+  std::nth_element(first, first + cap, edges.end(),
+                   [](const WeightedEdge& a, const WeightedEdge& b) {
+                     return a.weight < b.weight;
+                   });
+  edges.resize(row_begin + static_cast<std::size_t>(cap));
+}
+
+}  // namespace
+
+template <typename T>
+DistanceGraph build_distance_graph(const CsrMatrix<T>& pattern,
+                                   const DistanceGraphOptions& options) {
+  CBM_CHECK(options.alpha >= 0, "alpha must be nonnegative");
+  const index_t n = pattern.rows();
+
+  DistanceGraph g;
+  g.num_nodes = n + 1;
+  g.root = n;
+  // Virtual edges first: tie-breaking in MST/MCA then prefers the root,
+  // which is the Property-2 engineering of §IV.
+  g.edges.reserve(static_cast<std::size_t>(n) * 2);
+  for (index_t x = 0; x < n; ++x) {
+    g.edges.push_back({n, x, pattern.row_nnz(x)});
+  }
+
+  const CsrMatrix<T> at = pattern.transpose();
+  const int threads = max_threads();
+  std::vector<std::vector<WeightedEdge>> local(
+      static_cast<std::size_t>(threads));
+
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = thread_id();
+    OverlapScanner<T> scanner(n);
+    auto& out = local[tid];
+#pragma omp for schedule(dynamic, 64)
+    for (index_t x = 0; x < n; ++x) {
+      const std::size_t row_begin = out.size();
+      const std::int64_t nnz_x = pattern.row_nnz(x);
+      scanner.scan(pattern, at, x, [&](index_t y, index_t overlap) {
+        const std::int64_t nnz_y = pattern.row_nnz(y);
+        // Admission rule (§V-C): keep y→x only when compressing x against y
+        // saves MORE than α deltas, i.e.
+        //   deltas(x wrt y) − nnz(A_x) = nnz_y − 2·overlap < −α.
+        // (The inequality as printed in the paper has the opposite sense,
+        // which would make larger α admit more edges — contradicting its own
+        // Table II and the "smaller amount of candidate edges" discussion.)
+        if (nnz_y - 2 * static_cast<std::int64_t>(overlap) <
+            -static_cast<std::int64_t>(options.alpha)) {
+          out.push_back({y, x, nnz_x + nnz_y - 2 * overlap});
+        }
+      });
+      apply_cap(out, row_begin, options.max_candidates_per_row);
+    }
+  }
+
+  for (auto& chunk : local) {
+    g.candidate_edges += chunk.size();
+    g.edges.insert(g.edges.end(), chunk.begin(), chunk.end());
+  }
+  return g;
+}
+
+template <typename T>
+DistanceGraph build_full_distance_graph(const CsrMatrix<T>& pattern) {
+  const index_t n = pattern.rows();
+
+  DistanceGraph g;
+  g.num_nodes = n + 1;
+  g.root = n;
+  for (index_t x = 0; x < n; ++x) {
+    g.edges.push_back({n, x, pattern.row_nnz(x)});
+  }
+
+  const CsrMatrix<T> at = pattern.transpose();
+  const int threads = max_threads();
+  std::vector<std::vector<WeightedEdge>> local(
+      static_cast<std::size_t>(threads));
+
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = thread_id();
+    OverlapScanner<T> scanner(n);
+    auto& out = local[tid];
+#pragma omp for schedule(dynamic, 64)
+    for (index_t x = 0; x < n; ++x) {
+      const std::int64_t nnz_x = pattern.row_nnz(x);
+      scanner.scan(pattern, at, x, [&](index_t y, index_t overlap) {
+        if (y < x) return;  // one undirected edge per pair
+        const std::int64_t nnz_y = pattern.row_nnz(y);
+        out.push_back({y, x, nnz_x + nnz_y - 2 * overlap});
+      });
+    }
+  }
+
+  for (auto& chunk : local) {
+    g.candidate_edges += chunk.size();
+    g.edges.insert(g.edges.end(), chunk.begin(), chunk.end());
+  }
+  return g;
+}
+
+template DistanceGraph build_distance_graph<float>(const CsrMatrix<float>&,
+                                                   const DistanceGraphOptions&);
+template DistanceGraph build_distance_graph<double>(
+    const CsrMatrix<double>&, const DistanceGraphOptions&);
+template DistanceGraph build_full_distance_graph<float>(
+    const CsrMatrix<float>&);
+template DistanceGraph build_full_distance_graph<double>(
+    const CsrMatrix<double>&);
+
+}  // namespace cbm

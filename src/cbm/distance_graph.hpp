@@ -1,0 +1,76 @@
+// Distance-graph construction for the CBM compression tree (paper §III and
+// §V-C).
+//
+// Nodes are the matrix rows 0..n-1 plus the virtual root n (the null row).
+// A candidate edge y→x carries the Hamming distance
+//     h(x,y) = nnz(A_x) + nnz(A_y) − 2·overlap(x,y)
+// and is admitted iff it saves MORE than α deltas over storing x directly:
+//     h(x,y) − nnz(A_x) < −α   ⇔   nnz(A_y) − 2·overlap(x,y) < −α.
+// Larger α therefore prunes more edges — fewer compressed rows, higher
+// virtual-root fan-out (more update-stage parallelism), worse compression —
+// matching the paper's §V-C discussion and Table II. (The inequality as
+// printed in the paper, "< α", has the opposite sense and would contradict
+// both.) The virtual edge root→x (weight nnz(A_x)) is always present,
+// guaranteeing an arborescence exists (Property 1).
+//
+// Instead of materialising the paper's dense n² distance matrix we enumerate
+// only row pairs with positive overlap, exactly like computing the sparsity
+// pattern of A·Aᵀ (the paper's own implementation computes AAᵀ — §VIII).
+// Zero-overlap pairs have h ≥ nnz(A_x) ≥ the virtual edge and can never
+// improve the tree, so skipping them loses nothing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "tree/edge.hpp"
+
+namespace cbm {
+
+/// Controls candidate-edge enumeration.
+struct DistanceGraphOptions {
+  /// The paper's pruning threshold α ≥ 0. Candidate edge y→x is kept iff
+  /// compressing x against y saves more than α deltas:
+  /// nnz(A_y) − 2·overlap(x,y) < −α.
+  int alpha = 0;
+
+  /// Optional cap on candidate in-edges per row, keeping those with the
+  /// largest savings. 0 = unlimited (faithful to the paper). A small cap
+  /// bounds the memory blow-up the paper reports for Reddit (§VIII).
+  index_t max_candidates_per_row = 0;
+};
+
+/// Result: directed candidate edges + the virtual edges, in an order where
+/// virtual edges come first so that tie-breaking prefers the virtual root
+/// (this enforces the Property-2 engineering of §IV).
+struct DistanceGraph {
+  index_t num_nodes = 0;  ///< n + 1 (rows plus virtual root)
+  index_t root = 0;       ///< index of the virtual root (== n)
+  std::vector<WeightedEdge> edges;
+  std::size_t candidate_edges = 0;  ///< non-virtual edges admitted
+};
+
+/// Builds the pruned distance graph of a binary matrix. Parallelised over
+/// rows (each thread owns a dense overlap accumulator, O(n) per thread).
+/// `pattern` must have sorted, duplicate-free rows.
+template <typename T>
+DistanceGraph build_distance_graph(const CsrMatrix<T>& pattern,
+                                   const DistanceGraphOptions& options);
+
+/// Undirected variant used by the Kruskal/MST path: one edge per unordered
+/// pair with positive overlap, no pruning (the paper's α=0 description).
+/// Virtual edges are emitted first (tie-break toward the root).
+template <typename T>
+DistanceGraph build_full_distance_graph(const CsrMatrix<T>& pattern);
+
+extern template DistanceGraph build_distance_graph<float>(
+    const CsrMatrix<float>&, const DistanceGraphOptions&);
+extern template DistanceGraph build_distance_graph<double>(
+    const CsrMatrix<double>&, const DistanceGraphOptions&);
+extern template DistanceGraph build_full_distance_graph<float>(
+    const CsrMatrix<float>&);
+extern template DistanceGraph build_full_distance_graph<double>(
+    const CsrMatrix<double>&);
+
+}  // namespace cbm

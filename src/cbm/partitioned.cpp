@@ -1,0 +1,160 @@
+#include "cbm/partitioned.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/timer.hpp"
+#include "common/vectorops.hpp"
+
+namespace cbm {
+
+namespace {
+
+/// Extracts the rectangular submatrix of the given (ascending) global rows;
+/// columns keep their global ids.
+template <typename T>
+CsrMatrix<T> extract_rows(const CsrMatrix<T>& a,
+                          const std::vector<index_t>& rows) {
+  std::vector<offset_t> indptr;
+  indptr.reserve(rows.size() + 1);
+  indptr.push_back(0);
+  offset_t nnz = 0;
+  for (const index_t r : rows) nnz += a.row_nnz(r);
+  std::vector<index_t> indices;
+  std::vector<T> values;
+  indices.reserve(static_cast<std::size_t>(nnz));
+  values.reserve(static_cast<std::size_t>(nnz));
+  for (const index_t r : rows) {
+    const auto cols = a.row_indices(r);
+    const auto vals = a.row_values(r);
+    indices.insert(indices.end(), cols.begin(), cols.end());
+    values.insert(values.end(), vals.begin(), vals.end());
+    indptr.push_back(static_cast<offset_t>(indices.size()));
+  }
+  return CsrMatrix<T>(static_cast<index_t>(rows.size()), a.cols(),
+                      std::move(indptr), std::move(indices),
+                      std::move(values));
+}
+
+}  // namespace
+
+template <typename T>
+PartitionedCbmMatrix<T> PartitionedCbmMatrix<T>::compress(
+    const CsrMatrix<T>& a, const PartitionedOptions& options,
+    PartitionedStats* stats) {
+  return compress_impl(a, {}, CbmKind::kPlain, options, stats);
+}
+
+template <typename T>
+PartitionedCbmMatrix<T> PartitionedCbmMatrix<T>::compress_scaled(
+    const CsrMatrix<T>& a, std::span<const T> diag, CbmKind kind,
+    const PartitionedOptions& options, PartitionedStats* stats) {
+  CBM_CHECK(kind == CbmKind::kColumnScaled || kind == CbmKind::kSymScaled,
+            "partitioned compression supports AD and DAD scaling");
+  CBM_CHECK(diag.size() == static_cast<std::size_t>(a.rows()) &&
+                a.rows() == a.cols(),
+            "diagonal length must match the (square) matrix");
+  return compress_impl(a, diag, kind, options, stats);
+}
+
+template <typename T>
+PartitionedCbmMatrix<T> PartitionedCbmMatrix<T>::compress_impl(
+    const CsrMatrix<T>& a, std::span<const T> diag, CbmKind kind,
+    const PartitionedOptions& options, PartitionedStats* stats) {
+  Timer total;
+  PartitionedCbmMatrix<T> m;
+  m.rows_ = a.rows();
+  m.cols_ = a.cols();
+
+  Timer cluster_timer;
+  const auto assignment =
+      cluster_rows(a, options.method, options.num_clusters, options.seed);
+  const index_t k = num_clusters(assignment);
+  const double cluster_seconds = cluster_timer.seconds();
+
+  // Bucket rows per cluster (ascending global order preserved).
+  std::vector<std::vector<index_t>> buckets(static_cast<std::size_t>(k));
+  for (index_t r = 0; r < a.rows(); ++r) {
+    buckets[assignment[r]].push_back(r);
+  }
+
+  PartitionedStats local;
+  local.cluster_seconds = cluster_seconds;
+  m.parts_.reserve(static_cast<std::size_t>(k));
+  for (auto& rows : buckets) {
+    if (rows.empty()) continue;
+    const CsrMatrix<T> sub = extract_rows(a, rows);
+    CbmStats part_stats;
+    Part part;
+    switch (kind) {
+      case CbmKind::kPlain:
+        part.cbm = CbmMatrix<T>::compress(sub, options.base, &part_stats);
+        break;
+      case CbmKind::kColumnScaled:
+        part.cbm = CbmMatrix<T>::compress_scaled(
+            sub, diag, CbmKind::kColumnScaled, options.base, &part_stats);
+        break;
+      case CbmKind::kSymScaled: {
+        // A DAD part is rectangular: D₂ is the full diagonal (columns), D₁
+        // its restriction to the part's rows.
+        std::vector<T> left(rows.size());
+        for (std::size_t i = 0; i < rows.size(); ++i) left[i] = diag[rows[i]];
+        part.cbm = CbmMatrix<T>::compress_two_sided(
+            sub, std::span<const T>(left), diag, options.base, &part_stats);
+        break;
+      }
+      default:
+        throw CbmError("unsupported kind for partitioned compression");
+    }
+    local.largest_part =
+        std::max(local.largest_part, static_cast<index_t>(rows.size()));
+    local.total_deltas += part_stats.total_deltas;
+    local.source_nnz += part_stats.source_nnz;
+    local.peak_candidate_edges =
+        std::max(local.peak_candidate_edges, part_stats.candidate_edges);
+    local.total_candidate_edges += part_stats.candidate_edges;
+    part.rows = std::move(rows);
+    m.parts_.push_back(std::move(part));
+  }
+  local.num_parts = static_cast<index_t>(m.parts_.size());
+  local.bytes = m.bytes();
+  local.build_seconds = total.seconds();
+  if (stats != nullptr) *stats = local;
+  return m;
+}
+
+template <typename T>
+void PartitionedCbmMatrix<T>::multiply(const DenseMatrix<T>& b,
+                                       DenseMatrix<T>& c,
+                                       UpdateSchedule schedule) {
+  CBM_CHECK(b.rows() == cols_, "multiply: inner dimensions differ");
+  CBM_CHECK(c.rows() == rows_ && c.cols() == b.cols(),
+            "multiply: output shape mismatch");
+  for (auto& part : parts_) {
+    if (part.scratch.rows() != part.cbm.rows() ||
+        part.scratch.cols() != b.cols()) {
+      part.scratch = DenseMatrix<T>(part.cbm.rows(), b.cols());
+    }
+    part.cbm.multiply(b, part.scratch, schedule);
+    // Scatter the part's rows back to their global positions.
+    const auto nrows = static_cast<index_t>(part.rows.size());
+#pragma omp parallel for schedule(static)
+    for (index_t i = 0; i < nrows; ++i) {
+      vec_copy(std::span<const T>(part.scratch.row(i)), c.row(part.rows[i]));
+    }
+  }
+}
+
+template <typename T>
+std::size_t PartitionedCbmMatrix<T>::bytes() const {
+  std::size_t total = 0;
+  for (const auto& part : parts_) {
+    total += part.cbm.bytes() + part.rows.size() * sizeof(index_t);
+  }
+  return total;
+}
+
+template class PartitionedCbmMatrix<float>;
+template class PartitionedCbmMatrix<double>;
+
+}  // namespace cbm

@@ -1,0 +1,143 @@
+#include "cbm/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace cbm {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'B', 'M', 'F'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename V>
+void write_pod(std::ostream& out, const V& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(V));
+}
+
+template <typename V>
+void write_array(std::ostream& out, std::span<const V> data) {
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(V)));
+}
+
+template <typename V>
+V read_pod(std::istream& in) {
+  V v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(V));
+  CBM_CHECK(in.good(), "cbm deserialisation: truncated stream");
+  return v;
+}
+
+template <typename V>
+std::vector<V> read_array(std::istream& in, std::size_t count,
+                          std::size_t sanity_limit) {
+  // Guard against hostile/corrupt length fields before allocating.
+  CBM_CHECK(count <= sanity_limit, "cbm deserialisation: implausible length");
+  std::vector<V> data(count);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(count * sizeof(V)));
+  CBM_CHECK(in.good() || (in.eof() && in.gcount() ==
+                              static_cast<std::streamsize>(count * sizeof(V))),
+            "cbm deserialisation: truncated array");
+  return data;
+}
+
+}  // namespace
+
+template <typename T>
+void save_cbm(std::ostream& out, const CbmMatrix<T>& m) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint32_t>(m.kind()));
+  write_pod(out, static_cast<std::uint32_t>(sizeof(T)));
+  write_pod(out, static_cast<std::int64_t>(m.rows()));
+  write_pod(out, static_cast<std::int64_t>(m.cols()));
+
+  const auto& tree = m.tree();
+  std::vector<index_t> parent(static_cast<std::size_t>(tree.num_rows()));
+  for (index_t x = 0; x < tree.num_rows(); ++x) parent[x] = tree.parent(x);
+  write_array(out, std::span<const index_t>(parent));
+
+  const auto& delta = m.delta_matrix();
+  write_pod(out, static_cast<std::int64_t>(delta.nnz()));
+  write_array(out, delta.indptr());
+  write_array(out, delta.indices());
+  write_array(out, delta.values());
+
+  write_pod(out, static_cast<std::int64_t>(m.diagonal().size()));
+  write_array(out, m.diagonal());
+  CBM_CHECK(out.good(), "cbm serialisation: write failure");
+}
+
+template <typename T>
+CbmMatrix<T> load_cbm(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  CBM_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
+            "cbm deserialisation: bad magic");
+  CBM_CHECK(read_pod<std::uint32_t>(in) == kVersion,
+            "cbm deserialisation: unsupported version");
+  const auto kind = static_cast<CbmKind>(read_pod<std::uint32_t>(in));
+  CBM_CHECK(kind == CbmKind::kPlain || kind == CbmKind::kColumnScaled ||
+                kind == CbmKind::kSymScaled || kind == CbmKind::kTwoSided,
+            "cbm deserialisation: unknown kind");
+  CBM_CHECK(read_pod<std::uint32_t>(in) == sizeof(T),
+            "cbm deserialisation: value-type width mismatch");
+  const auto rows = read_pod<std::int64_t>(in);
+  const auto cols = read_pod<std::int64_t>(in);
+  CBM_CHECK(rows >= 0 && cols >= 0 && rows < (1ll << 31) && cols < (1ll << 31),
+            "cbm deserialisation: bad dimensions");
+
+  constexpr std::size_t kLimit = std::size_t{1} << 40;  // 1 TiB of entries
+  auto parent = read_array<index_t>(in, static_cast<std::size_t>(rows),
+                                    kLimit);
+  auto tree = CompressionTree::from_parents(std::move(parent));
+
+  const auto nnz = read_pod<std::int64_t>(in);
+  CBM_CHECK(nnz >= 0, "cbm deserialisation: negative nnz");
+  auto indptr = read_array<offset_t>(in, static_cast<std::size_t>(rows) + 1,
+                                     kLimit);
+  auto indices =
+      read_array<index_t>(in, static_cast<std::size_t>(nnz), kLimit);
+  auto values = read_array<T>(in, static_cast<std::size_t>(nnz), kLimit);
+  // CsrMatrix's constructor revalidates the structure.
+  CsrMatrix<T> delta(static_cast<index_t>(rows), static_cast<index_t>(cols),
+                     std::move(indptr), std::move(indices),
+                     std::move(values));
+
+  const auto diag_len = read_pod<std::int64_t>(in);
+  CBM_CHECK(diag_len >= 0, "cbm deserialisation: negative diagonal length");
+  auto diag =
+      read_array<T>(in, static_cast<std::size_t>(diag_len), kLimit);
+  return CbmMatrix<T>::from_parts(kind, std::move(tree), std::move(delta),
+                                  std::move(diag));
+}
+
+template <typename T>
+void save_cbm_file(const std::string& path, const CbmMatrix<T>& m) {
+  std::ofstream out(path, std::ios::binary);
+  CBM_CHECK(out.good(), "cannot open file for writing: " + path);
+  save_cbm(out, m);
+}
+
+template <typename T>
+CbmMatrix<T> load_cbm_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CBM_CHECK(in.good(), "cannot open cbm file: " + path);
+  return load_cbm<T>(in);
+}
+
+template void save_cbm<float>(std::ostream&, const CbmMatrix<float>&);
+template void save_cbm<double>(std::ostream&, const CbmMatrix<double>&);
+template CbmMatrix<float> load_cbm<float>(std::istream&);
+template CbmMatrix<double> load_cbm<double>(std::istream&);
+template void save_cbm_file<float>(const std::string&,
+                                   const CbmMatrix<float>&);
+template void save_cbm_file<double>(const std::string&,
+                                    const CbmMatrix<double>&);
+template CbmMatrix<float> load_cbm_file<float>(const std::string&);
+template CbmMatrix<double> load_cbm_file<double>(const std::string&);
+
+}  // namespace cbm

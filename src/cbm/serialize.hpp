@@ -1,0 +1,53 @@
+// Binary (de)serialisation of the CBM format.
+//
+// The paper's timing protocol assumes the graph "must first be made
+// available in CBM format as a pre-processing step" (§VI-D); this module
+// makes that workflow concrete: compress once, persist, and load at
+// inference time without paying the O(n·nnz) construction cost again.
+//
+// Format (little-endian, version 1):
+//   magic   "CBMF"            4 bytes
+//   version u32               currently 1
+//   kind    u32               CbmKind
+//   value   u32               sizeof(T) — 4 (float) or 8 (double)
+//   rows    i64, cols i64
+//   parent  i32[rows]         compression tree (virtual root = rows)
+//   nnz     i64
+//   indptr  i64[rows+1], indices i32[nnz], values T[nnz]
+//   diag_len i64, diag T[diag_len]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cbm/cbm_matrix.hpp"
+
+namespace cbm {
+
+/// Writes a CbmMatrix to a binary stream. Throws CbmError on I/O failure.
+template <typename T>
+void save_cbm(std::ostream& out, const CbmMatrix<T>& m);
+
+/// Reads a CbmMatrix from a binary stream. Validates magic, version, value
+/// width and structural invariants; throws CbmError on any mismatch.
+template <typename T>
+CbmMatrix<T> load_cbm(std::istream& in);
+
+/// File-path convenience wrappers.
+template <typename T>
+void save_cbm_file(const std::string& path, const CbmMatrix<T>& m);
+template <typename T>
+CbmMatrix<T> load_cbm_file(const std::string& path);
+
+extern template void save_cbm<float>(std::ostream&, const CbmMatrix<float>&);
+extern template void save_cbm<double>(std::ostream&, const CbmMatrix<double>&);
+extern template CbmMatrix<float> load_cbm<float>(std::istream&);
+extern template CbmMatrix<double> load_cbm<double>(std::istream&);
+extern template void save_cbm_file<float>(const std::string&,
+                                          const CbmMatrix<float>&);
+extern template void save_cbm_file<double>(const std::string&,
+                                           const CbmMatrix<double>&);
+extern template CbmMatrix<float> load_cbm_file<float>(const std::string&);
+extern template CbmMatrix<double> load_cbm_file<double>(const std::string&);
+
+}  // namespace cbm

@@ -1,0 +1,160 @@
+#include "cbm/spmm_cbm.hpp"
+
+#include "common/parallel.hpp"
+#include "common/vectorops.hpp"
+
+namespace cbm {
+
+namespace {
+
+/// Applies the update for one row given its parent, restricted to the column
+/// range [col0, col0+len); shared by every schedule (branch schedules pass
+/// the full row). Parent rows are guaranteed final for the processed columns
+/// when this runs: topological order within a branch / within a column
+/// slice, independence across branches and across column slices.
+template <typename T>
+inline void update_row(const CompressionTree& tree, CbmKind kind,
+                       std::span<const T> diag, DenseMatrix<T>& c, index_t x,
+                       std::size_t col0, std::size_t len) {
+  const index_t p = tree.parent(x);
+  if (p == tree.virtual_root()) {
+    if (cbm_kind_row_scaled(kind)) {
+      vec_scale(diag[x], c.row(x).subspan(col0, len));
+    }
+    return;
+  }
+  if (cbm_kind_row_scaled(kind)) {
+    // Eq. 6, fused: C_x = d_x * (C_p / d_p + C_x) in one pass over the row.
+    vec_fused_scale_add(diag[x], T{1} / diag[p],
+                        std::span<const T>(c.row(p)).subspan(col0, len),
+                        c.row(x).subspan(col0, len));
+  } else {
+    vec_add(std::span<const T>(c.row(p)).subspan(col0, len),
+            c.row(x).subspan(col0, len));
+  }
+}
+
+/// Scalar (single-column) version for matrix-vector products.
+template <typename T>
+inline void update_entry(const CompressionTree& tree, CbmKind kind,
+                         std::span<const T> diag, std::span<T> y, index_t x) {
+  const index_t p = tree.parent(x);
+  if (p == tree.virtual_root()) {
+    if (cbm_kind_row_scaled(kind)) y[x] *= diag[x];
+    return;
+  }
+  if (cbm_kind_row_scaled(kind)) {
+    y[x] = diag[x] * (y[p] / diag[p] + y[x]);
+  } else {
+    y[x] += y[p];
+  }
+}
+
+/// Drives `apply(x)` over the tree under a branch-based schedule; the row
+/// and vector kernels share this traversal logic. kColumnSplit is handled by
+/// the matrix kernel directly (it needs the column dimension).
+template <typename Apply>
+void run_update(const CompressionTree& tree, bool row_scaled,
+                UpdateSchedule schedule, Apply&& apply) {
+  switch (schedule) {
+    case UpdateSchedule::kSequential: {
+      for (const index_t x : tree.topological_order()) apply(x);
+      break;
+    }
+    case UpdateSchedule::kBranchDynamic: {
+      const auto& branches = tree.branches();
+      const auto nb = static_cast<std::int64_t>(branches.size());
+#pragma omp parallel for schedule(dynamic)
+      for (std::int64_t b = 0; b < nb; ++b) {
+        // Unscaled singleton branches are no-ops; skip without touching c.
+        if (!row_scaled && branches[b].size() == 1) continue;
+        for (const index_t x : branches[b]) apply(x);
+      }
+      break;
+    }
+    case UpdateSchedule::kBranchStatic: {
+      const auto& branches = tree.branches();
+      const auto nb = static_cast<std::int64_t>(branches.size());
+#pragma omp parallel for schedule(static)
+      for (std::int64_t b = 0; b < nb; ++b) {
+        if (!row_scaled && branches[b].size() == 1) continue;
+        for (const index_t x : branches[b]) apply(x);
+      }
+      break;
+    }
+    case UpdateSchedule::kColumnSplit: {
+      // Only reachable from the vector kernel (p = 1), where a column split
+      // cannot help; fall back to the sequential sweep.
+      for (const index_t x : tree.topological_order()) apply(x);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void cbm_update_stage(const CompressionTree& tree, CbmKind kind,
+                      std::span<const T> diag, DenseMatrix<T>& c,
+                      UpdateSchedule schedule) {
+  CBM_CHECK(c.rows() == tree.num_rows(), "update stage: row count mismatch");
+  CBM_CHECK(!cbm_kind_row_scaled(kind) ||
+                diag.size() == static_cast<std::size_t>(tree.num_rows()),
+            "update stage: missing diagonal for row-scaled kind");
+  if (schedule == UpdateSchedule::kColumnSplit) {
+    // Each thread sweeps the entire tree restricted to one column slice:
+    // no cross-thread dependencies (updates never mix columns), and the
+    // available parallelism is p, not the root fan-out.
+    const auto cols = static_cast<std::size_t>(c.cols());
+#pragma omp parallel
+    {
+      const auto nth = static_cast<std::size_t>(team_size());
+      const auto tid = static_cast<std::size_t>(thread_id());
+      const std::size_t c0 = cols * tid / nth;
+      const std::size_t c1 = cols * (tid + 1) / nth;
+      if (c1 > c0) {
+        for (const index_t x : tree.topological_order()) {
+          update_row(tree, kind, diag, c, x, c0, c1 - c0);
+        }
+      }
+    }
+    return;
+  }
+  const auto cols = static_cast<std::size_t>(c.cols());
+  run_update(tree, cbm_kind_row_scaled(kind), schedule,
+             [&](index_t x) { update_row(tree, kind, diag, c, x, 0, cols); });
+}
+
+template <typename T>
+void cbm_update_stage_vector(const CompressionTree& tree, CbmKind kind,
+                             std::span<const T> diag, std::span<T> y,
+                             UpdateSchedule schedule) {
+  CBM_CHECK(y.size() == static_cast<std::size_t>(tree.num_rows()),
+            "update stage: vector length mismatch");
+  CBM_CHECK(!cbm_kind_row_scaled(kind) ||
+                diag.size() == static_cast<std::size_t>(tree.num_rows()),
+            "update stage: missing diagonal for row-scaled kind");
+  run_update(tree, cbm_kind_row_scaled(kind), schedule,
+             [&](index_t x) { update_entry(tree, kind, diag, y, x); });
+}
+
+index_t cbm_update_row_ops(const CompressionTree& tree) {
+  return tree.num_compressed_rows();
+}
+
+template void cbm_update_stage<float>(const CompressionTree&, CbmKind,
+                                      std::span<const float>,
+                                      DenseMatrix<float>&, UpdateSchedule);
+template void cbm_update_stage<double>(const CompressionTree&, CbmKind,
+                                       std::span<const double>,
+                                       DenseMatrix<double>&, UpdateSchedule);
+template void cbm_update_stage_vector<float>(const CompressionTree&, CbmKind,
+                                             std::span<const float>,
+                                             std::span<float>,
+                                             UpdateSchedule);
+template void cbm_update_stage_vector<double>(const CompressionTree&, CbmKind,
+                                              std::span<const double>,
+                                              std::span<double>,
+                                              UpdateSchedule);
+
+}  // namespace cbm

@@ -1,0 +1,60 @@
+// The CBM update stage (paper §IV, §V-A/B).
+//
+// After the multiply stage computes C = A'·B (a plain CSR SpMM on the delta
+// matrix), the update stage turns C into A·B by sweeping the compression
+// tree in topological order and accumulating each parent row into its
+// children:            C_x += C_{r_x}                    (plain / AD)
+//                      C_x  = d_x · (C_{r_x} / d_{r_x} + C_x)   (DAD, Eq. 6)
+// Rows hanging off the virtual root are already final (plain / AD) or only
+// need scaling by d_x (DAD).
+//
+// Parallel flavours process the branches of the compression tree (the
+// subtrees of the virtual root) as independent work units (§V-B).
+#pragma once
+
+#include "cbm/cbm_matrix.hpp"
+
+namespace cbm {
+
+/// True when the kind scales rows in the update stage (needs the diagonal).
+constexpr bool cbm_kind_row_scaled(CbmKind kind) {
+  return kind == CbmKind::kSymScaled || kind == CbmKind::kTwoSided;
+}
+
+/// Runs the update stage in place over c. `diag` is required (non-empty) iff
+/// cbm_kind_row_scaled(kind).
+template <typename T>
+void cbm_update_stage(const CompressionTree& tree, CbmKind kind,
+                      std::span<const T> diag, DenseMatrix<T>& c,
+                      UpdateSchedule schedule);
+
+/// Vector (p = 1) form of the update stage, for multiply_vector.
+template <typename T>
+void cbm_update_stage_vector(const CompressionTree& tree, CbmKind kind,
+                             std::span<const T> diag, std::span<T> y,
+                             UpdateSchedule schedule);
+
+/// Number of row-axpy operations the update stage performs (== compressed
+/// rows); used by op-count accounting and tests.
+index_t cbm_update_row_ops(const CompressionTree& tree);
+
+extern template void cbm_update_stage<float>(const CompressionTree&, CbmKind,
+                                             std::span<const float>,
+                                             DenseMatrix<float>&,
+                                             UpdateSchedule);
+extern template void cbm_update_stage<double>(const CompressionTree&, CbmKind,
+                                              std::span<const double>,
+                                              DenseMatrix<double>&,
+                                              UpdateSchedule);
+extern template void cbm_update_stage_vector<float>(const CompressionTree&,
+                                                    CbmKind,
+                                                    std::span<const float>,
+                                                    std::span<float>,
+                                                    UpdateSchedule);
+extern template void cbm_update_stage_vector<double>(const CompressionTree&,
+                                                     CbmKind,
+                                                     std::span<const double>,
+                                                     std::span<double>,
+                                                     UpdateSchedule);
+
+}  // namespace cbm

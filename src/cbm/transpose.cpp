@@ -1,0 +1,130 @@
+#include "cbm/transpose.hpp"
+
+#include "cbm/spmm_cbm.hpp"
+#include "common/parallel.hpp"
+#include "common/vectorops.hpp"
+#include "sparse/spmm.hpp"
+
+namespace cbm {
+
+namespace {
+
+/// Scales every row of the branch by the diagonal, then accumulates each row
+/// into its parent in reverse topological order, restricted to the column
+/// range [col0, col0+len). The pre-scaling must be a separate pass: a node's
+/// accumulated child contributions are already scaled and must not be scaled
+/// again.
+template <typename T>
+void reverse_branch(const CompressionTree& tree, bool row_scaled,
+                    std::span<const T> diag, DenseMatrix<T>& c,
+                    std::span<const index_t> branch, std::size_t col0,
+                    std::size_t len) {
+  if (row_scaled) {
+    for (const index_t x : branch) {
+      vec_scale(diag[x], c.row(x).subspan(col0, len));
+    }
+  }
+  for (std::size_t i = branch.size(); i-- > 0;) {
+    const index_t x = branch[i];
+    const index_t p = tree.parent(x);
+    if (p != tree.virtual_root()) {
+      vec_add(std::span<const T>(c.row(x)).subspan(col0, len),
+              c.row(p).subspan(col0, len));
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void cbm_reverse_update_stage(const CompressionTree& tree, CbmKind kind,
+                              std::span<const T> diag, DenseMatrix<T>& c,
+                              UpdateSchedule schedule) {
+  CBM_CHECK(c.rows() == tree.num_rows(),
+            "reverse update: row count mismatch");
+  const bool row_scaled = cbm_kind_row_scaled(kind);
+  CBM_CHECK(!row_scaled ||
+                diag.size() == static_cast<std::size_t>(tree.num_rows()),
+            "reverse update: missing diagonal for row-scaled kind");
+
+  const auto& branches = tree.branches();
+  const auto nb = static_cast<std::int64_t>(branches.size());
+  const auto cols = static_cast<std::size_t>(c.cols());
+  switch (schedule) {
+    case UpdateSchedule::kSequential: {
+      for (std::int64_t b = 0; b < nb; ++b) {
+        reverse_branch<T>(tree, row_scaled, diag, c, branches[b], 0, cols);
+      }
+      break;
+    }
+    case UpdateSchedule::kBranchDynamic: {
+#pragma omp parallel for schedule(dynamic)
+      for (std::int64_t b = 0; b < nb; ++b) {
+        if (!row_scaled && branches[b].size() == 1) continue;
+        reverse_branch<T>(tree, row_scaled, diag, c, branches[b], 0, cols);
+      }
+      break;
+    }
+    case UpdateSchedule::kBranchStatic: {
+#pragma omp parallel for schedule(static)
+      for (std::int64_t b = 0; b < nb; ++b) {
+        if (!row_scaled && branches[b].size() == 1) continue;
+        reverse_branch<T>(tree, row_scaled, diag, c, branches[b], 0, cols);
+      }
+      break;
+    }
+    case UpdateSchedule::kColumnSplit: {
+#pragma omp parallel
+      {
+        const auto nth = static_cast<std::size_t>(team_size());
+        const auto tid = static_cast<std::size_t>(thread_id());
+        const std::size_t c0 = cols * tid / nth;
+        const std::size_t c1 = cols * (tid + 1) / nth;
+        if (c1 > c0) {
+          for (std::int64_t b = 0; b < nb; ++b) {
+            reverse_branch<T>(tree, row_scaled, diag, c, branches[b], c0,
+                              c1 - c0);
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+template <typename T>
+CbmTranspose<T>::CbmTranspose(const CbmMatrix<T>& source)
+    : kind_(source.kind()),
+      tree_(source.tree()),
+      delta_t_(source.delta_matrix().transpose()),
+      diag_(source.diagonal().begin(), source.diagonal().end()) {}
+
+template <typename T>
+void CbmTranspose<T>::multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                               UpdateSchedule schedule) {
+  CBM_CHECK(b.rows() == delta_t_.cols(),
+            "transpose multiply: inner dimensions differ");
+  CBM_CHECK(c.rows() == delta_t_.rows() && c.cols() == b.cols(),
+            "transpose multiply: output shape mismatch");
+  if (scratch_.rows() != b.rows() || scratch_.cols() != b.cols()) {
+    scratch_ = DenseMatrix<T>(b.rows(), b.cols());
+  }
+  std::copy(b.data(), b.data() + b.size(), scratch_.data());
+  cbm_reverse_update_stage(tree_, kind_, std::span<const T>(diag_), scratch_,
+                           schedule);
+  csr_spmm(delta_t_, scratch_, c);
+}
+
+template class CbmTranspose<float>;
+template class CbmTranspose<double>;
+template void cbm_reverse_update_stage<float>(const CompressionTree&, CbmKind,
+                                              std::span<const float>,
+                                              DenseMatrix<float>&,
+                                              UpdateSchedule);
+template void cbm_reverse_update_stage<double>(const CompressionTree&,
+                                               CbmKind,
+                                               std::span<const double>,
+                                               DenseMatrix<double>&,
+                                               UpdateSchedule);
+
+}  // namespace cbm

@@ -1,0 +1,73 @@
+// Transposed products with the CBM format: C = op(A)ᵀ · B.
+//
+// The CBM decomposition is the matrix identity  op(A) = S_l · L · A'_s,
+// where A'_s is the (scaled) delta matrix, L is the path-accumulation
+// operator of the compression tree ((L·M)_x = M_x + (L·M)_{r_x}, realised by
+// the forward update stage) and S_l the row scaling of DAD-type kinds.
+// Transposing,
+//     op(A)ᵀ · B = A'_sᵀ · Lᵀ · (S_l · B),
+// where Lᵀ accumulates every node's row into its parent in REVERSE
+// topological order — the mirror image of the update stage. The column
+// scaling folded into A'_s automatically becomes the output-row scaling of
+// the transposed product.
+//
+// This enables CBM acceleration of gradient pullbacks through *directed*
+// graphs (for symmetric adjacencies, Âᵀ = Â and plain multiply suffices —
+// see gnn/train.cpp).
+#pragma once
+
+#include "cbm/cbm_matrix.hpp"
+
+namespace cbm {
+
+/// Precomputed transpose operator of a CbmMatrix. Holds A'ᵀ (one CSR
+/// transpose, done once) plus the pieces of the source it needs; the source
+/// may be destroyed afterwards.
+template <typename T>
+class CbmTranspose {
+ public:
+  /// Builds from a compressed matrix. O(nnz(A')) one-time cost.
+  explicit CbmTranspose(const CbmMatrix<T>& source);
+
+  /// C = op(A)ᵀ · B. C must be cols(A) × cols(B); overwritten. Uses an
+  /// internal scratch buffer of the shape of B (grown on first use, reused
+  /// afterwards — call multiply once with the production shape to
+  /// pre-warm).
+  void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                UpdateSchedule schedule = UpdateSchedule::kBranchDynamic);
+
+  [[nodiscard]] index_t rows() const { return delta_t_.rows(); }
+  [[nodiscard]] index_t cols() const { return delta_t_.cols(); }
+  [[nodiscard]] const CsrMatrix<T>& delta_transposed() const {
+    return delta_t_;
+  }
+
+ private:
+  CbmKind kind_;
+  CompressionTree tree_;
+  CsrMatrix<T> delta_t_;  ///< A'_sᵀ
+  std::vector<T> diag_;   ///< update-stage diagonal of the source
+  DenseMatrix<T> scratch_;
+};
+
+/// The Lᵀ sweep: accumulates rows child→parent in reverse topological order,
+/// scaling by the diagonal for row-scaled kinds. Exposed for tests.
+template <typename T>
+void cbm_reverse_update_stage(const CompressionTree& tree, CbmKind kind,
+                              std::span<const T> diag, DenseMatrix<T>& c,
+                              UpdateSchedule schedule);
+
+extern template class CbmTranspose<float>;
+extern template class CbmTranspose<double>;
+extern template void cbm_reverse_update_stage<float>(const CompressionTree&,
+                                                     CbmKind,
+                                                     std::span<const float>,
+                                                     DenseMatrix<float>&,
+                                                     UpdateSchedule);
+extern template void cbm_reverse_update_stage<double>(const CompressionTree&,
+                                                      CbmKind,
+                                                      std::span<const double>,
+                                                      DenseMatrix<double>&,
+                                                      UpdateSchedule);
+
+}  // namespace cbm

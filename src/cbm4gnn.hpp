@@ -1,0 +1,36 @@
+// Umbrella header: the full public API of the cbm4gnn library.
+//
+// Most users need only:
+//   CbmMatrix<T>::compress / compress_scaled / compress_two_sided
+//   CbmMatrix<T>::multiply / multiply_vector / materialize
+//   CbmTranspose<T>, PartitionedCbmMatrix<T>, save_cbm / load_cbm
+//   Graph, the generators, gcn_normalization
+//   Gcn2 / GcnStack / GinLayer / SageLayer with CsrAdjacency / CbmAdjacency
+#pragma once
+
+#include "cbm/analyze.hpp"         // IWYU pragma: export
+#include "cbm/cbm_matrix.hpp"      // IWYU pragma: export
+#include "cbm/partitioned.hpp"     // IWYU pragma: export
+#include "cbm/serialize.hpp"       // IWYU pragma: export
+#include "cbm/transpose.hpp"       // IWYU pragma: export
+#include "common/rng.hpp"          // IWYU pragma: export
+#include "common/timer.hpp"        // IWYU pragma: export
+#include "dense/dense_matrix.hpp"  // IWYU pragma: export
+#include "dense/gemm.hpp"          // IWYU pragma: export
+#include "dense/ops.hpp"           // IWYU pragma: export
+#include "gnn/gcn.hpp"             // IWYU pragma: export
+#include "gnn/gin.hpp"             // IWYU pragma: export
+#include "gnn/sage.hpp"            // IWYU pragma: export
+#include "gnn/train.hpp"           // IWYU pragma: export
+#include "graph/generators.hpp"    // IWYU pragma: export
+#include "graph/graph.hpp"         // IWYU pragma: export
+#include "graph/laplacian.hpp"     // IWYU pragma: export
+#include "graph/metrics.hpp"       // IWYU pragma: export
+#include "graph/reorder.hpp"       // IWYU pragma: export
+#include "sparse/io_edgelist.hpp"  // IWYU pragma: export
+#include "sparse/io_mm.hpp"        // IWYU pragma: export
+#include "sparse/scale.hpp"        // IWYU pragma: export
+#include "sparse/spmm.hpp"         // IWYU pragma: export
+#include "tree/arborescence.hpp"   // IWYU pragma: export
+#include "tree/compression_tree.hpp"  // IWYU pragma: export
+#include "tree/mst.hpp"            // IWYU pragma: export

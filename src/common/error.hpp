@@ -1,0 +1,46 @@
+// Error handling: CBM_CHECK for recoverable precondition violations (throws),
+// CBM_DCHECK for debug-only internal invariants (assert-like).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cbm {
+
+/// Exception thrown on precondition violations in the public API.
+class CbmError : public std::runtime_error {
+ public:
+  explicit CbmError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CBM_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CbmError(os.str());
+}
+
+}  // namespace detail
+}  // namespace cbm
+
+/// Checks a precondition and throws cbm::CbmError with context on failure.
+/// Enabled in all build types: public-API misuse must never silently corrupt.
+#define CBM_CHECK(expr, msg)                                               \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::cbm::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                      \
+  } while (0)
+
+/// Internal invariant check, compiled out in release builds.
+#ifndef NDEBUG
+#define CBM_DCHECK(expr, msg) CBM_CHECK(expr, msg)
+#else
+#define CBM_DCHECK(expr, msg) \
+  do {                        \
+  } while (0)
+#endif

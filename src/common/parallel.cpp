@@ -1,0 +1,45 @@
+#include "common/parallel.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace cbm {
+
+int max_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+int thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+int team_size() {
+#ifdef _OPENMP
+  return omp_get_num_threads();
+#else
+  return 1;
+#endif
+}
+
+void set_threads(int n) {
+#ifdef _OPENMP
+  if (n > 0) omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+ThreadScope::ThreadScope(int n) : saved_(max_threads()) { set_threads(n); }
+
+ThreadScope::~ThreadScope() { set_threads(saved_); }
+
+}  // namespace cbm

@@ -1,0 +1,32 @@
+// Thin OpenMP helpers so threading policy lives in one place.
+#pragma once
+
+namespace cbm {
+
+/// Number of threads an upcoming parallel region will use.
+int max_threads();
+
+/// Calling thread's id inside a parallel region (0 outside).
+int thread_id();
+
+/// Size of the current parallel team (1 outside a parallel region).
+int team_size();
+
+/// Overrides the global OpenMP thread count (used by benches to compare
+/// 1-core vs all-core configurations, mirroring the paper's tables).
+void set_threads(int n);
+
+/// RAII guard that sets the OpenMP thread count and restores it on scope
+/// exit; benches use it to switch between serial and parallel measurements.
+class ThreadScope {
+ public:
+  explicit ThreadScope(int n);
+  ~ThreadScope();
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace cbm

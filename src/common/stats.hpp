@@ -1,0 +1,34 @@
+// Online running statistics (Welford) for benchmark repetitions.
+//
+// The paper reports "average time ± std over 250 runs"; RunStats accumulates
+// exactly those quantities without storing samples.
+#pragma once
+
+#include <cstddef>
+
+namespace cbm {
+
+/// Accumulates count/mean/variance/min/max of a stream of doubles.
+class RunStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace cbm

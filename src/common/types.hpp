@@ -1,0 +1,27 @@
+// Core scalar and index types shared by every cbm4gnn module.
+//
+// Graphs evaluated in the paper reach ~40M edges and ~540k nodes, so 32-bit
+// column/row indices suffice while row-pointer arrays use 64-bit offsets to
+// stay safe for matrices whose nnz exceeds 2^31.
+#pragma once
+
+#include <cstdint>
+
+namespace cbm {
+
+/// Row/column index of a sparse or dense matrix.
+using index_t = std::int32_t;
+
+/// Offset into a nonzero array (CSR/CSC row pointers); 64-bit so that
+/// matrices with more than 2^31 nonzeros remain representable.
+using offset_t = std::int64_t;
+
+/// Default real scalar. The paper evaluates in single precision; all kernels
+/// are templated and also instantiated for double.
+using real_t = float;
+
+/// Number of bytes in one mebibyte; memory footprints are reported in MiB to
+/// match the paper's tables.
+inline constexpr double kMiB = 1024.0 * 1024.0;
+
+}  // namespace cbm

@@ -1,0 +1,90 @@
+// Span-based dense vector kernels: the axpy family used by the CBM update
+// stage (the paper offloads these to MKL's axpy; we provide an OpenMP-SIMD
+// implementation with identical semantics).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/error.hpp"
+
+namespace cbm {
+
+/// y += x (element-wise). Sizes must match.
+template <typename T>
+inline void vec_add(std::span<const T> x, std::span<T> y) {
+  CBM_DCHECK(x.size() == y.size(), "vec_add size mismatch");
+  const T* __restrict__ xp = x.data();
+  T* __restrict__ yp = y.data();
+  const std::size_t n = y.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) yp[i] += xp[i];
+}
+
+/// y += a * x.
+template <typename T>
+inline void vec_axpy(T a, std::span<const T> x, std::span<T> y) {
+  CBM_DCHECK(x.size() == y.size(), "vec_axpy size mismatch");
+  const T* __restrict__ xp = x.data();
+  T* __restrict__ yp = y.data();
+  const std::size_t n = y.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) yp[i] += a * xp[i];
+}
+
+/// y = a * (b * x + y): the fused scale-and-update of the DADX update stage
+/// (Eq. 6 of the paper), computed in one pass over y.
+template <typename T>
+inline void vec_fused_scale_add(T a, T b, std::span<const T> x,
+                                std::span<T> y) {
+  CBM_DCHECK(x.size() == y.size(), "vec_fused_scale_add size mismatch");
+  const T* __restrict__ xp = x.data();
+  T* __restrict__ yp = y.data();
+  const std::size_t n = y.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) yp[i] = a * (b * xp[i] + yp[i]);
+}
+
+/// y *= a.
+template <typename T>
+inline void vec_scale(T a, std::span<T> y) {
+  T* __restrict__ yp = y.data();
+  const std::size_t n = y.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) yp[i] *= a;
+}
+
+/// y = x.
+template <typename T>
+inline void vec_copy(std::span<const T> x, std::span<T> y) {
+  CBM_DCHECK(x.size() == y.size(), "vec_copy size mismatch");
+  const T* __restrict__ xp = x.data();
+  T* __restrict__ yp = y.data();
+  const std::size_t n = y.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) yp[i] = xp[i];
+}
+
+/// y = 0.
+template <typename T>
+inline void vec_zero(std::span<T> y) {
+  T* __restrict__ yp = y.data();
+  const std::size_t n = y.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) yp[i] = T{0};
+}
+
+/// Dot product.
+template <typename T>
+inline T vec_dot(std::span<const T> x, std::span<const T> y) {
+  CBM_DCHECK(x.size() == y.size(), "vec_dot size mismatch");
+  const T* __restrict__ xp = x.data();
+  const T* __restrict__ yp = y.data();
+  const std::size_t n = y.size();
+  T acc{0};
+#pragma omp simd reduction(+ : acc)
+  for (std::size_t i = 0; i < n; ++i) acc += xp[i] * yp[i];
+  return acc;
+}
+
+}  // namespace cbm

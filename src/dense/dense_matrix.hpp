@@ -1,0 +1,92 @@
+// Row-major dense matrix container.
+//
+// This is the right-hand operand type of every SpMM in the paper (the node
+// feature/embedding matrices X, W0, W1) and the output type of all kernels.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace cbm {
+
+/// Row-major dense matrix with contiguous storage.
+template <typename T>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// rows x cols matrix, zero-initialised.
+  DenseMatrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              T{0}) {
+    CBM_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be nonnegative");
+  }
+
+  /// Constructs from explicit row-major data (size must equal rows*cols).
+  DenseMatrix(index_t rows, index_t cols, std::vector<T> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    CBM_CHECK(data_.size() == static_cast<std::size_t>(rows) *
+                                  static_cast<std::size_t>(cols),
+              "data size does not match dimensions");
+  }
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+
+  T& operator()(index_t i, index_t j) {
+    CBM_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_, "index out of range");
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+  const T& operator()(index_t i, index_t j) const {
+    CBM_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_, "index out of range");
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+
+  /// Mutable view of row i.
+  [[nodiscard]] std::span<T> row(index_t i) {
+    CBM_DCHECK(i >= 0 && i < rows_, "row index out of range");
+    return {data_.data() + static_cast<std::size_t>(i) * cols_,
+            static_cast<std::size_t>(cols_)};
+  }
+  /// Read-only view of row i.
+  [[nodiscard]] std::span<const T> row(index_t i) const {
+    CBM_DCHECK(i >= 0 && i < rows_, "row index out of range");
+    return {data_.data() + static_cast<std::size_t>(i) * cols_,
+            static_cast<std::size_t>(cols_)};
+  }
+
+  /// Sets every element to v.
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Fills with uniform values in [lo, hi) from a deterministic stream. The
+  /// paper's correctness protocol multiplies by random matrices in [0,1).
+  void fill_uniform(Rng& rng, T lo = T{0}, T hi = T{1}) {
+    for (auto& v : data_) {
+      v = lo + static_cast<T>(rng.next_double()) * (hi - lo);
+    }
+  }
+
+  /// Memory footprint in bytes (storage only; metadata excluded).
+  [[nodiscard]] std::size_t bytes() const { return data_.size() * sizeof(T); }
+
+  bool operator==(const DenseMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace cbm

@@ -1,0 +1,85 @@
+#include "dense/gemm.hpp"
+
+#include <algorithm>
+
+namespace cbm {
+
+namespace {
+
+// Block sizes tuned for typical L1 (32 KiB) / L2 (≥512 KiB) caches with
+// single-precision data; correctness does not depend on them.
+constexpr index_t kBlockM = 64;
+constexpr index_t kBlockK = 256;
+
+}  // namespace
+
+template <typename T>
+void gemm(const DenseMatrix<T>& a, const DenseMatrix<T>& b, DenseMatrix<T>& c,
+          T alpha, T beta) {
+  CBM_CHECK(a.cols() == b.rows(), "gemm: inner dimensions differ");
+  CBM_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+            "gemm: output shape mismatch");
+  const index_t m = a.rows();
+  const index_t k = a.cols();
+  const index_t n = b.cols();
+
+#pragma omp parallel for schedule(static)
+  for (index_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const index_t i1 = std::min<index_t>(i0 + kBlockM, m);
+    // Scale the C block by beta once, then accumulate A-panel × B-panel.
+    for (index_t i = i0; i < i1; ++i) {
+      T* __restrict__ crow = c.row(i).data();
+      if (beta == T{0}) {
+        for (index_t j = 0; j < n; ++j) crow[j] = T{0};
+      } else if (beta != T{1}) {
+        for (index_t j = 0; j < n; ++j) crow[j] *= beta;
+      }
+    }
+    for (index_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const index_t p1 = std::min<index_t>(p0 + kBlockK, k);
+      for (index_t i = i0; i < i1; ++i) {
+        const T* __restrict__ arow = a.row(i).data();
+        T* __restrict__ crow = c.row(i).data();
+        for (index_t p = p0; p < p1; ++p) {
+          const T av = alpha * arow[p];
+          if (av == T{0}) continue;
+          const T* __restrict__ brow = b.row(p).data();
+#pragma omp simd
+          for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void gemm_naive(const DenseMatrix<T>& a, const DenseMatrix<T>& b,
+                DenseMatrix<T>& c, T alpha, T beta) {
+  CBM_CHECK(a.cols() == b.rows(), "gemm_naive: inner dimensions differ");
+  CBM_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+            "gemm_naive: output shape mismatch");
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < b.cols(); ++j) {
+      // Accumulate in double for a tighter test oracle.
+      double acc = 0.0;
+      for (index_t p = 0; p < a.cols(); ++p) {
+        acc += static_cast<double>(a(i, p)) * static_cast<double>(b(p, j));
+      }
+      c(i, j) = static_cast<T>(alpha * acc + beta * c(i, j));
+    }
+  }
+}
+
+template void gemm<float>(const DenseMatrix<float>&, const DenseMatrix<float>&,
+                          DenseMatrix<float>&, float, float);
+template void gemm<double>(const DenseMatrix<double>&,
+                           const DenseMatrix<double>&, DenseMatrix<double>&,
+                           double, double);
+template void gemm_naive<float>(const DenseMatrix<float>&,
+                                const DenseMatrix<float>&, DenseMatrix<float>&,
+                                float, float);
+template void gemm_naive<double>(const DenseMatrix<double>&,
+                                 const DenseMatrix<double>&,
+                                 DenseMatrix<double>&, double, double);
+
+}  // namespace cbm

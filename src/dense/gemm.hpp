@@ -1,0 +1,37 @@
+// Dense GEMM: C = A * B (+ beta * C), row-major.
+//
+// Used by the GCN layers for the X·W products. Implemented as a cache-blocked
+// OpenMP kernel — not MKL-class, but the same kernel is used for baseline and
+// CBM pipelines, so relative comparisons (the paper's metric) are unaffected.
+#pragma once
+
+#include "dense/dense_matrix.hpp"
+
+namespace cbm {
+
+/// C = alpha * A * B + beta * C. Shapes: A is m×k, B is k×n, C is m×n.
+/// Parallelised over row blocks of A with OpenMP; inner kernel is blocked
+/// for L1/L2 reuse and vectorised.
+template <typename T>
+void gemm(const DenseMatrix<T>& a, const DenseMatrix<T>& b, DenseMatrix<T>& c,
+          T alpha = T{1}, T beta = T{0});
+
+/// Reference triple-loop GEMM used by tests to validate the blocked kernel.
+template <typename T>
+void gemm_naive(const DenseMatrix<T>& a, const DenseMatrix<T>& b,
+                DenseMatrix<T>& c, T alpha = T{1}, T beta = T{0});
+
+extern template void gemm<float>(const DenseMatrix<float>&,
+                                 const DenseMatrix<float>&,
+                                 DenseMatrix<float>&, float, float);
+extern template void gemm<double>(const DenseMatrix<double>&,
+                                  const DenseMatrix<double>&,
+                                  DenseMatrix<double>&, double, double);
+extern template void gemm_naive<float>(const DenseMatrix<float>&,
+                                       const DenseMatrix<float>&,
+                                       DenseMatrix<float>&, float, float);
+extern template void gemm_naive<double>(const DenseMatrix<double>&,
+                                        const DenseMatrix<double>&,
+                                        DenseMatrix<double>&, double, double);
+
+}  // namespace cbm

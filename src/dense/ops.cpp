@@ -1,0 +1,112 @@
+#include "dense/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbm {
+
+template <typename T>
+void relu_inplace(DenseMatrix<T>& x) {
+  T* __restrict__ p = x.data();
+  const std::size_t n = x.size();
+#pragma omp parallel for simd schedule(static)
+  for (std::size_t i = 0; i < n; ++i) p[i] = p[i] > T{0} ? p[i] : T{0};
+}
+
+template <typename T>
+void add_bias_inplace(DenseMatrix<T>& x, std::span<const T> bias) {
+  CBM_CHECK(bias.size() == static_cast<std::size_t>(x.cols()),
+            "bias length must equal column count");
+  const index_t rows = x.rows();
+  const index_t cols = x.cols();
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < rows; ++i) {
+    T* __restrict__ row = x.row(i).data();
+    const T* __restrict__ b = bias.data();
+#pragma omp simd
+    for (index_t j = 0; j < cols; ++j) row[j] += b[j];
+  }
+}
+
+template <typename T>
+DenseMatrix<T> transpose(const DenseMatrix<T>& x) {
+  DenseMatrix<T> out(x.cols(), x.rows());
+  constexpr index_t kTile = 32;  // cache-friendly tiled transpose
+  const index_t rows = x.rows();
+  const index_t cols = x.cols();
+#pragma omp parallel for collapse(2) schedule(static)
+  for (index_t i0 = 0; i0 < rows; i0 += kTile) {
+    for (index_t j0 = 0; j0 < cols; j0 += kTile) {
+      const index_t i1 = std::min<index_t>(i0 + kTile, rows);
+      const index_t j1 = std::min<index_t>(j0 + kTile, cols);
+      for (index_t i = i0; i < i1; ++i) {
+        for (index_t j = j0; j < j1; ++j) out(j, i) = x(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+template <typename T>
+double max_abs_diff(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  CBM_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+            "max_abs_diff shape mismatch");
+  double worst = 0.0;
+  const T* pa = a.data();
+  const T* pb = b.data();
+#pragma omp parallel for reduction(max : worst) schedule(static)
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(pa[i]) -
+                                     static_cast<double>(pb[i])));
+  }
+  return worst;
+}
+
+template <typename T>
+bool allclose(const DenseMatrix<T>& a, const DenseMatrix<T>& b, double rtol,
+              double atol) {
+  CBM_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+            "allclose shape mismatch");
+  const T* pa = a.data();
+  const T* pb = b.data();
+  bool ok = true;
+#pragma omp parallel for reduction(&& : ok) schedule(static)
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = pa[i];
+    const double db = pb[i];
+    ok = ok && (std::abs(da - db) <= atol + rtol * std::abs(db));
+  }
+  return ok;
+}
+
+template <typename T>
+double frobenius_norm(const DenseMatrix<T>& a) {
+  double acc = 0.0;
+  const T* p = a.data();
+#pragma omp parallel for reduction(+ : acc) schedule(static)
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(p[i]) * static_cast<double>(p[i]);
+  }
+  return std::sqrt(acc);
+}
+
+template void relu_inplace<float>(DenseMatrix<float>&);
+template void relu_inplace<double>(DenseMatrix<double>&);
+template void add_bias_inplace<float>(DenseMatrix<float>&,
+                                      std::span<const float>);
+template void add_bias_inplace<double>(DenseMatrix<double>&,
+                                       std::span<const double>);
+template DenseMatrix<float> transpose<float>(const DenseMatrix<float>&);
+template DenseMatrix<double> transpose<double>(const DenseMatrix<double>&);
+template double max_abs_diff<float>(const DenseMatrix<float>&,
+                                    const DenseMatrix<float>&);
+template double max_abs_diff<double>(const DenseMatrix<double>&,
+                                     const DenseMatrix<double>&);
+template bool allclose<float>(const DenseMatrix<float>&,
+                              const DenseMatrix<float>&, double, double);
+template bool allclose<double>(const DenseMatrix<double>&,
+                               const DenseMatrix<double>&, double, double);
+template double frobenius_norm<float>(const DenseMatrix<float>&);
+template double frobenius_norm<double>(const DenseMatrix<double>&);
+
+}  // namespace cbm

@@ -1,0 +1,56 @@
+// Element-wise and structural dense operations used by the GNN layers and by
+// tests (allclose comparisons mirroring the paper's 1e-5 rtol protocol).
+#pragma once
+
+#include "dense/dense_matrix.hpp"
+
+namespace cbm {
+
+/// In-place ReLU: x = max(x, 0). The paper's GCN activation.
+template <typename T>
+void relu_inplace(DenseMatrix<T>& x);
+
+/// Adds a row-broadcast bias vector: x(i, :) += bias.
+template <typename T>
+void add_bias_inplace(DenseMatrix<T>& x, std::span<const T> bias);
+
+/// Returns Bᵀ (row-major).
+template <typename T>
+DenseMatrix<T> transpose(const DenseMatrix<T>& x);
+
+/// Elementwise maximum absolute difference.
+template <typename T>
+double max_abs_diff(const DenseMatrix<T>& a, const DenseMatrix<T>& b);
+
+/// True when |a-b| <= atol + rtol*|b| holds element-wise (numpy semantics).
+/// The paper validates kernels with rtol = 1e-5.
+template <typename T>
+bool allclose(const DenseMatrix<T>& a, const DenseMatrix<T>& b,
+              double rtol = 1e-5, double atol = 1e-6);
+
+/// Frobenius norm.
+template <typename T>
+double frobenius_norm(const DenseMatrix<T>& a);
+
+extern template void relu_inplace<float>(DenseMatrix<float>&);
+extern template void relu_inplace<double>(DenseMatrix<double>&);
+extern template void add_bias_inplace<float>(DenseMatrix<float>&,
+                                             std::span<const float>);
+extern template void add_bias_inplace<double>(DenseMatrix<double>&,
+                                              std::span<const double>);
+extern template DenseMatrix<float> transpose<float>(const DenseMatrix<float>&);
+extern template DenseMatrix<double> transpose<double>(
+    const DenseMatrix<double>&);
+extern template double max_abs_diff<float>(const DenseMatrix<float>&,
+                                           const DenseMatrix<float>&);
+extern template double max_abs_diff<double>(const DenseMatrix<double>&,
+                                            const DenseMatrix<double>&);
+extern template bool allclose<float>(const DenseMatrix<float>&,
+                                     const DenseMatrix<float>&, double, double);
+extern template bool allclose<double>(const DenseMatrix<double>&,
+                                      const DenseMatrix<double>&, double,
+                                      double);
+extern template double frobenius_norm<float>(const DenseMatrix<float>&);
+extern template double frobenius_norm<double>(const DenseMatrix<double>&);
+
+}  // namespace cbm

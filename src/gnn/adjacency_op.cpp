@@ -1,0 +1,24 @@
+#include "gnn/adjacency_op.hpp"
+
+#include "sparse/spmm.hpp"
+
+namespace cbm {
+
+template <typename T>
+void CsrAdjacency<T>::multiply(const DenseMatrix<T>& b,
+                               DenseMatrix<T>& c) const {
+  csr_spmm(m_, b, c);
+}
+
+template <typename T>
+void CbmAdjacency<T>::multiply(const DenseMatrix<T>& b,
+                               DenseMatrix<T>& c) const {
+  m_.multiply(b, c, schedule_);
+}
+
+template class CsrAdjacency<float>;
+template class CsrAdjacency<double>;
+template class CbmAdjacency<float>;
+template class CbmAdjacency<double>;
+
+}  // namespace cbm

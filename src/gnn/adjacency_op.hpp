@@ -1,0 +1,76 @@
+// Pluggable adjacency operand for GNN layers.
+//
+// The paper swaps the Â operand of a GCN between MKL-CSR and CBM while
+// keeping the rest of the network identical; AdjacencyOp is that seam.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cbm/cbm_matrix.hpp"
+#include "dense/dense_matrix.hpp"
+#include "sparse/csr.hpp"
+
+namespace cbm {
+
+/// A fixed sparse operand S with the single capability C = S·B.
+template <typename T>
+class AdjacencyOp {
+ public:
+  virtual ~AdjacencyOp() = default;
+
+  /// C = S · B; C must be pre-shaped, contents overwritten.
+  virtual void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c) const = 0;
+
+  [[nodiscard]] virtual index_t rows() const = 0;
+  [[nodiscard]] virtual index_t cols() const = 0;
+  [[nodiscard]] virtual std::size_t bytes() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// CSR-backed operand (the paper's baseline).
+template <typename T>
+class CsrAdjacency final : public AdjacencyOp<T> {
+ public:
+  explicit CsrAdjacency(CsrMatrix<T> m) : m_(std::move(m)) {}
+
+  void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c) const override;
+  [[nodiscard]] index_t rows() const override { return m_.rows(); }
+  [[nodiscard]] index_t cols() const override { return m_.cols(); }
+  [[nodiscard]] std::size_t bytes() const override { return m_.bytes(); }
+  [[nodiscard]] std::string name() const override { return "csr"; }
+
+  [[nodiscard]] const CsrMatrix<T>& matrix() const { return m_; }
+
+ private:
+  CsrMatrix<T> m_;
+};
+
+/// CBM-backed operand.
+template <typename T>
+class CbmAdjacency final : public AdjacencyOp<T> {
+ public:
+  explicit CbmAdjacency(
+      CbmMatrix<T> m,
+      UpdateSchedule schedule = UpdateSchedule::kBranchDynamic)
+      : m_(std::move(m)), schedule_(schedule) {}
+
+  void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c) const override;
+  [[nodiscard]] index_t rows() const override { return m_.rows(); }
+  [[nodiscard]] index_t cols() const override { return m_.cols(); }
+  [[nodiscard]] std::size_t bytes() const override { return m_.bytes(); }
+  [[nodiscard]] std::string name() const override { return "cbm"; }
+
+  [[nodiscard]] const CbmMatrix<T>& matrix() const { return m_; }
+
+ private:
+  CbmMatrix<T> m_;
+  UpdateSchedule schedule_;
+};
+
+extern template class CsrAdjacency<float>;
+extern template class CsrAdjacency<double>;
+extern template class CbmAdjacency<float>;
+extern template class CbmAdjacency<double>;
+
+}  // namespace cbm

@@ -1,0 +1,119 @@
+#include "gnn/gcn.hpp"
+
+#include <cmath>
+
+#include "dense/gemm.hpp"
+#include "dense/ops.hpp"
+
+namespace cbm {
+
+namespace {
+
+template <typename T>
+DenseMatrix<T> glorot_uniform(index_t rows, index_t cols, Rng& rng) {
+  DenseMatrix<T> w(rows, cols);
+  const double limit = std::sqrt(6.0 / (static_cast<double>(rows) + cols));
+  w.fill_uniform(rng, static_cast<T>(-limit), static_cast<T>(limit));
+  return w;
+}
+
+}  // namespace
+
+template <typename T>
+GcnLayer<T>::GcnLayer(index_t in_features, index_t out_features, Rng& rng,
+                      bool with_bias)
+    : weight_(glorot_uniform<T>(in_features, out_features, rng)) {
+  if (with_bias) bias_.assign(static_cast<std::size_t>(out_features), T{0});
+}
+
+template <typename T>
+GcnLayer<T>::GcnLayer(DenseMatrix<T> weight, std::vector<T> bias)
+    : weight_(std::move(weight)), bias_(std::move(bias)) {
+  CBM_CHECK(bias_.empty() ||
+                bias_.size() == static_cast<std::size_t>(weight_.cols()),
+            "bias length must equal out_features");
+}
+
+template <typename T>
+void GcnLayer<T>::forward(const AdjacencyOp<T>& adj, const DenseMatrix<T>& h,
+                          DenseMatrix<T>& scratch, DenseMatrix<T>& out) const {
+  CBM_CHECK(h.cols() == weight_.rows(), "GcnLayer: feature dim mismatch");
+  CBM_CHECK(adj.cols() == h.rows(), "GcnLayer: adjacency/feature mismatch");
+  CBM_CHECK(scratch.rows() == h.rows() && scratch.cols() == weight_.cols(),
+            "GcnLayer: bad scratch shape");
+  CBM_CHECK(out.rows() == adj.rows() && out.cols() == weight_.cols(),
+            "GcnLayer: bad output shape");
+  // Dense-first association (H·W shrinks before the expensive SpMM).
+  gemm(h, weight_, scratch);
+  adj.multiply(scratch, out);
+  if (!bias_.empty()) add_bias_inplace(out, std::span<const T>(bias_));
+}
+
+template <typename T>
+Gcn2<T>::Gcn2(index_t feature_dim, index_t hidden_dim, index_t out_dim,
+              std::uint64_t seed)
+    : l0_([&] {
+        Rng rng(seed);
+        return GcnLayer<T>(feature_dim, hidden_dim, rng);
+      }()),
+      l1_([&] {
+        Rng rng(seed + 0x9e3779b97f4a7c15ull);
+        return GcnLayer<T>(hidden_dim, out_dim, rng);
+      }()) {}
+
+template <typename T>
+void Gcn2<T>::forward(const AdjacencyOp<T>& adj, const DenseMatrix<T>& x,
+                      Workspace& ws, DenseMatrix<T>& out) const {
+  l0_.forward(adj, x, ws.xw, ws.h1);
+  relu_inplace(ws.h1);
+  l1_.forward(adj, ws.h1, ws.hw, out);
+}
+
+template <typename T>
+GcnStack<T>::GcnStack(const std::vector<index_t>& dims, std::uint64_t seed) {
+  CBM_CHECK(dims.size() >= 2, "GcnStack needs at least input and output dims");
+  layers_.reserve(dims.size() - 1);
+  Rng rng(seed);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+template <typename T>
+GcnStack<T>::Workspace::Workspace(index_t n,
+                                  const std::vector<index_t>& dims) {
+  CBM_CHECK(dims.size() >= 2, "GcnStack needs at least input and output dims");
+  scratch.reserve(dims.size() - 1);
+  act.reserve(dims.size() - 2);
+  for (std::size_t i = 1; i < dims.size(); ++i) {
+    scratch.emplace_back(n, dims[i]);
+    if (i + 1 < dims.size()) act.emplace_back(n, dims[i]);
+  }
+}
+
+template <typename T>
+void GcnStack<T>::forward(const AdjacencyOp<T>& adj, const DenseMatrix<T>& x,
+                          Workspace& ws, DenseMatrix<T>& out) const {
+  CBM_CHECK(ws.scratch.size() == layers_.size() &&
+                ws.act.size() + 1 == layers_.size(),
+            "workspace does not match the layer stack");
+  const DenseMatrix<T>* h = &x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const bool last = i + 1 == layers_.size();
+    DenseMatrix<T>& dst = last ? out : ws.act[i];
+    layers_[i].forward(adj, *h, ws.scratch[i], dst);
+    if (!last) {
+      relu_inplace(dst);
+      h = &dst;
+    }
+  }
+}
+
+template class GcnLayer<float>;
+template class GcnLayer<double>;
+template class Gcn2<float>;
+template class Gcn2<double>;
+template class GcnStack<float>;
+template class GcnStack<double>;
+
+}  // namespace cbm

@@ -1,0 +1,113 @@
+// Graph Convolutional Network (Kipf & Welling) — the paper's motivating
+// application (§II, Eq. 1):
+//     out = Â · σ(Â · X · W⁰) · W¹,  Â = D^{-1/2}(A+I)D^{-1/2}.
+//
+// The adjacency operand is abstracted so the same model runs with Â in CSR
+// (baseline) or CBM form (the Table IV experiment).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "gnn/adjacency_op.hpp"
+
+namespace cbm {
+
+/// One GCN layer: H' = Â · (H · W) [+ bias].
+template <typename T>
+class GcnLayer {
+ public:
+  /// Glorot/Xavier-uniform initialised weights in_features × out_features.
+  GcnLayer(index_t in_features, index_t out_features, Rng& rng,
+           bool with_bias = false);
+
+  /// Explicit weights (tests).
+  GcnLayer(DenseMatrix<T> weight, std::vector<T> bias);
+
+  /// Forward: writes Â·(H·W)+b into `out` (pre-shaped n × out_features).
+  /// `scratch` must be n × out_features as well; reused across calls so the
+  /// layer itself performs no allocation in steady state.
+  void forward(const AdjacencyOp<T>& adj, const DenseMatrix<T>& h,
+               DenseMatrix<T>& scratch, DenseMatrix<T>& out) const;
+
+  [[nodiscard]] index_t in_features() const { return weight_.rows(); }
+  [[nodiscard]] index_t out_features() const { return weight_.cols(); }
+  [[nodiscard]] const DenseMatrix<T>& weight() const { return weight_; }
+  [[nodiscard]] DenseMatrix<T>& weight_mut() { return weight_; }
+
+ private:
+  DenseMatrix<T> weight_;
+  std::vector<T> bias_;  // empty = no bias
+};
+
+/// The paper's two-layer GCN (Eq. 1): layer → ReLU → layer.
+template <typename T>
+class Gcn2 {
+ public:
+  /// feature_dim → hidden_dim → out_dim. The paper's Table IV configuration
+  /// is 500 → 500 → 500.
+  Gcn2(index_t feature_dim, index_t hidden_dim, index_t out_dim,
+       std::uint64_t seed);
+
+  /// Inference. `x` is n × feature_dim; result is n × out_dim. Scratch
+  /// buffers live in the caller-provided workspace to keep the hot path
+  /// allocation-free across repetitions (benchmark protocol).
+  struct Workspace {
+    DenseMatrix<T> xw;      ///< n × hidden: X·W⁰
+    DenseMatrix<T> h1;      ///< n × hidden: Â·(X·W⁰), then σ in place
+    DenseMatrix<T> hw;      ///< n × out: H1·W¹
+    Workspace(index_t n, index_t hidden, index_t out)
+        : xw(n, hidden), h1(n, hidden), hw(n, out) {}
+  };
+
+  void forward(const AdjacencyOp<T>& adj, const DenseMatrix<T>& x,
+               Workspace& ws, DenseMatrix<T>& out) const;
+
+  [[nodiscard]] const GcnLayer<T>& layer0() const { return l0_; }
+  [[nodiscard]] const GcnLayer<T>& layer1() const { return l1_; }
+  [[nodiscard]] GcnLayer<T>& layer0_mut() { return l0_; }
+  [[nodiscard]] GcnLayer<T>& layer1_mut() { return l1_; }
+
+ private:
+  GcnLayer<T> l0_;
+  GcnLayer<T> l1_;
+};
+
+/// Deep GCN: an arbitrary stack of GCN layers with ReLU between them (none
+/// after the last). Generalises Gcn2 to the multi-layer architectures the
+/// paper's §II motivates — every layer contributes one Â·(H·W) product that
+/// the CBM operand accelerates.
+template <typename T>
+class GcnStack {
+ public:
+  /// dims = {feature_dim, hidden_1, ..., out_dim}; at least 2 entries.
+  GcnStack(const std::vector<index_t>& dims, std::uint64_t seed);
+
+  /// Per-layer activation/scratch buffers (allocated once, reused).
+  struct Workspace {
+    std::vector<DenseMatrix<T>> scratch;  ///< H·Wᵢ per layer
+    std::vector<DenseMatrix<T>> act;      ///< Â·(H·Wᵢ) for layers 0..L-2
+    Workspace(index_t n, const std::vector<index_t>& dims);
+  };
+
+  /// Inference: x is n × dims.front(); out is n × dims.back().
+  void forward(const AdjacencyOp<T>& adj, const DenseMatrix<T>& x,
+               Workspace& ws, DenseMatrix<T>& out) const;
+
+  [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
+  [[nodiscard]] const GcnLayer<T>& layer(std::size_t i) const {
+    return layers_[i];
+  }
+
+ private:
+  std::vector<GcnLayer<T>> layers_;
+};
+
+extern template class GcnLayer<float>;
+extern template class GcnLayer<double>;
+extern template class Gcn2<float>;
+extern template class Gcn2<double>;
+extern template class GcnStack<float>;
+extern template class GcnStack<double>;
+
+}  // namespace cbm

@@ -1,0 +1,52 @@
+#include "gnn/gin.hpp"
+
+#include <cmath>
+
+#include "dense/gemm.hpp"
+#include "dense/ops.hpp"
+
+namespace cbm {
+
+namespace {
+
+template <typename T>
+DenseMatrix<T> glorot(index_t rows, index_t cols, Rng& rng) {
+  DenseMatrix<T> w(rows, cols);
+  const double limit = std::sqrt(6.0 / (static_cast<double>(rows) + cols));
+  w.fill_uniform(rng, static_cast<T>(-limit), static_cast<T>(limit));
+  return w;
+}
+
+}  // namespace
+
+template <typename T>
+GinLayer<T>::GinLayer(index_t in_features, index_t hidden,
+                      index_t out_features, T epsilon, Rng& rng)
+    : epsilon_(epsilon),
+      w0_(glorot<T>(in_features, hidden, rng)),
+      w1_(glorot<T>(hidden, out_features, rng)) {}
+
+template <typename T>
+void GinLayer<T>::forward(const AdjacencyOp<T>& adj, const DenseMatrix<T>& h,
+                          Workspace& ws, DenseMatrix<T>& out) const {
+  CBM_CHECK(h.cols() == w0_.rows(), "GinLayer: feature dim mismatch");
+  CBM_CHECK(ws.agg.rows() == h.rows() && ws.agg.cols() == h.cols(),
+            "GinLayer: bad workspace");
+  adj.multiply(h, ws.agg);  // A·H
+  // agg += (1+ε)·H, fused over the buffer.
+  const T scale = T{1} + epsilon_;
+  const T* __restrict__ hp = h.data();
+  T* __restrict__ ap = ws.agg.data();
+  const std::size_t total = ws.agg.size();
+#pragma omp parallel for simd schedule(static)
+  for (std::size_t i = 0; i < total; ++i) ap[i] += scale * hp[i];
+  // MLP with ReLU between the two dense layers.
+  gemm(ws.agg, w0_, ws.mid);
+  relu_inplace(ws.mid);
+  gemm(ws.mid, w1_, out);
+}
+
+template class GinLayer<float>;
+template class GinLayer<double>;
+
+}  // namespace cbm

@@ -1,0 +1,44 @@
+// Graph Isomorphism Network layer (Xu et al., one of the message-passing
+// architectures the paper's §II lists as CBM-accelerable):
+//     H' = MLP( (1 + ε)·H + A·H )
+// The aggregation A·H is the binary-adjacency SpMM that CBM targets; the MLP
+// is two dense layers with ReLU.
+#pragma once
+
+#include "common/rng.hpp"
+#include "gnn/adjacency_op.hpp"
+
+namespace cbm {
+
+template <typename T>
+class GinLayer {
+ public:
+  /// MLP: in_features → hidden → out_features, Glorot initialised.
+  GinLayer(index_t in_features, index_t hidden, index_t out_features,
+           T epsilon, Rng& rng);
+
+  struct Workspace {
+    DenseMatrix<T> agg;  ///< n × in: (1+ε)H + A·H
+    DenseMatrix<T> mid;  ///< n × hidden
+    Workspace(index_t n, index_t in, index_t hidden)
+        : agg(n, in), mid(n, hidden) {}
+  };
+
+  /// Forward into `out` (n × out_features).
+  void forward(const AdjacencyOp<T>& adj, const DenseMatrix<T>& h,
+               Workspace& ws, DenseMatrix<T>& out) const;
+
+  [[nodiscard]] T epsilon() const { return epsilon_; }
+  [[nodiscard]] const DenseMatrix<T>& w0() const { return w0_; }
+  [[nodiscard]] const DenseMatrix<T>& w1() const { return w1_; }
+
+ private:
+  T epsilon_;
+  DenseMatrix<T> w0_;
+  DenseMatrix<T> w1_;
+};
+
+extern template class GinLayer<float>;
+extern template class GinLayer<double>;
+
+}  // namespace cbm

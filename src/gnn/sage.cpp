@@ -1,0 +1,50 @@
+#include "gnn/sage.hpp"
+
+#include <cmath>
+
+#include "common/vectorops.hpp"
+#include "dense/gemm.hpp"
+#include "dense/ops.hpp"
+
+namespace cbm {
+
+namespace {
+
+template <typename T>
+DenseMatrix<T> glorot(index_t rows, index_t cols, Rng& rng) {
+  DenseMatrix<T> w(rows, cols);
+  const double limit = std::sqrt(6.0 / (static_cast<double>(rows) + cols));
+  w.fill_uniform(rng, static_cast<T>(-limit), static_cast<T>(limit));
+  return w;
+}
+
+}  // namespace
+
+template <typename T>
+SageLayer<T>::SageLayer(index_t in_features, index_t out_features,
+                        std::vector<T> inv_degree, Rng& rng)
+    : inv_degree_(std::move(inv_degree)),
+      w_self_(glorot<T>(in_features, out_features, rng)),
+      w_neigh_(glorot<T>(in_features, out_features, rng)) {}
+
+template <typename T>
+void SageLayer<T>::forward(const AdjacencyOp<T>& adj, const DenseMatrix<T>& h,
+                           Workspace& ws, DenseMatrix<T>& out) const {
+  CBM_CHECK(inv_degree_.size() == static_cast<std::size_t>(h.rows()),
+            "SageLayer: inv_degree length mismatch");
+  CBM_CHECK(h.cols() == w_self_.rows(), "SageLayer: feature dim mismatch");
+  adj.multiply(h, ws.agg);  // A·H
+  const index_t n = ws.agg.rows();
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < n; ++i) {
+    vec_scale(inv_degree_[i], ws.agg.row(i));  // D⁻¹·(A·H)
+  }
+  gemm(h, w_self_, out);                       // H·W_self
+  gemm(ws.agg, w_neigh_, out, T{1}, T{1});     // += (D⁻¹AH)·W_neigh
+  relu_inplace(out);
+}
+
+template class SageLayer<float>;
+template class SageLayer<double>;
+
+}  // namespace cbm

@@ -1,0 +1,41 @@
+// GraphSAGE layer with mean aggregation (Hamilton et al., cited in §II):
+//     H' = σ( H·W_self + mean_neigh(H)·W_neigh ),
+// where mean_neigh(H) = D⁻¹·A·H. The A·H product goes through the pluggable
+// adjacency operand (CSR or CBM); the 1/deg row scaling is applied after.
+#pragma once
+
+#include "common/rng.hpp"
+#include "gnn/adjacency_op.hpp"
+
+namespace cbm {
+
+template <typename T>
+class SageLayer {
+ public:
+  /// `inv_degree[i]` = 1/deg(i) (0 allowed for isolated nodes: their mean
+  /// aggregate is zero).
+  SageLayer(index_t in_features, index_t out_features,
+            std::vector<T> inv_degree, Rng& rng);
+
+  struct Workspace {
+    DenseMatrix<T> agg;  ///< n × in: D⁻¹AH
+    Workspace(index_t n, index_t in) : agg(n, in) {}
+  };
+
+  /// Forward with ReLU activation into `out` (n × out_features).
+  void forward(const AdjacencyOp<T>& adj, const DenseMatrix<T>& h,
+               Workspace& ws, DenseMatrix<T>& out) const;
+
+  [[nodiscard]] const DenseMatrix<T>& w_self() const { return w_self_; }
+  [[nodiscard]] const DenseMatrix<T>& w_neigh() const { return w_neigh_; }
+
+ private:
+  std::vector<T> inv_degree_;
+  DenseMatrix<T> w_self_;
+  DenseMatrix<T> w_neigh_;
+};
+
+extern template class SageLayer<float>;
+extern template class SageLayer<double>;
+
+}  // namespace cbm

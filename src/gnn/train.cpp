@@ -1,0 +1,127 @@
+#include "gnn/train.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dense/gemm.hpp"
+#include "dense/ops.hpp"
+
+namespace cbm {
+
+template <typename T>
+double softmax_cross_entropy(const DenseMatrix<T>& logits,
+                             std::span<const index_t> labels,
+                             DenseMatrix<T>& dlogits) {
+  CBM_CHECK(labels.size() == static_cast<std::size_t>(logits.rows()),
+            "one label per row required");
+  CBM_CHECK(dlogits.rows() == logits.rows() && dlogits.cols() == logits.cols(),
+            "dlogits shape mismatch");
+  const index_t n = logits.rows();
+  const index_t c = logits.cols();
+  // Validate before entering the parallel region (throwing across an OpenMP
+  // boundary would terminate).
+  for (index_t i = 0; i < n; ++i) {
+    CBM_CHECK(labels[i] >= 0 && labels[i] < c, "label out of range");
+  }
+  double loss = 0.0;
+#pragma omp parallel for reduction(+ : loss) schedule(static)
+  for (index_t i = 0; i < n; ++i) {
+    const auto row = logits.row(i);
+    auto grad = dlogits.row(i);
+    // Stable softmax.
+    T maxv = row[0];
+    for (index_t j = 1; j < c; ++j) maxv = std::max(maxv, row[j]);
+    double denom = 0.0;
+    for (index_t j = 0; j < c; ++j) {
+      denom += std::exp(static_cast<double>(row[j] - maxv));
+    }
+    const double log_denom = std::log(denom);
+    loss += log_denom - static_cast<double>(row[labels[i]] - maxv);
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (index_t j = 0; j < c; ++j) {
+      const double p = std::exp(static_cast<double>(row[j] - maxv)) / denom;
+      grad[j] = static_cast<T>((p - (j == labels[i] ? 1.0 : 0.0)) * inv_n);
+    }
+  }
+  return loss / static_cast<double>(n);
+}
+
+template <typename T>
+GcnTrainer<T>::GcnTrainer(Gcn2<T>& model, index_t n)
+    : model_(model),
+      xw_(n, model.layer0().out_features()),
+      h1pre_(n, model.layer0().out_features()),
+      h1_(n, model.layer0().out_features()),
+      hw_(n, model.layer1().out_features()),
+      out_(n, model.layer1().out_features()),
+      dout_(n, model.layer1().out_features()),
+      dz1_(n, model.layer1().out_features()),
+      dh1_(n, model.layer0().out_features()),
+      dz0_(n, model.layer0().out_features()),
+      dw0_(model.layer0().in_features(), model.layer0().out_features()),
+      dw1_(model.layer1().in_features(), model.layer1().out_features()) {}
+
+template <typename T>
+double GcnTrainer<T>::step(const AdjacencyOp<T>& adj, const DenseMatrix<T>& x,
+                           std::span<const index_t> labels, T learning_rate) {
+  // Forward with caches:
+  //   Z0 = X·W0, H1pre = Â·Z0, H1 = ReLU(H1pre), Z1 = H1·W1, out = Â·Z1.
+  gemm(x, model_.layer0().weight(), xw_);
+  adj.multiply(xw_, h1pre_);
+  h1_ = h1pre_;
+  relu_inplace(h1_);
+  gemm(h1_, model_.layer1().weight(), hw_);
+  adj.multiply(hw_, out_);
+
+  const double loss = softmax_cross_entropy(out_, labels, dout_);
+
+  // Backward. Â is symmetric, so ∂(Â·Z)/∂Z pulls back through the same
+  // operand (this is where CBM accelerates training, §VIII).
+  adj.multiply(dout_, dz1_);                      // dZ1 = Âᵀ·dOut = Â·dOut
+  {
+    const DenseMatrix<T> h1t = transpose(h1_);
+    gemm(h1t, dz1_, dw1_);                        // dW1 = H1ᵀ·dZ1
+  }
+  {
+    const DenseMatrix<T> w1t = transpose(model_.layer1().weight());
+    gemm(dz1_, w1t, dh1_);                        // dH1 = dZ1·W1ᵀ
+  }
+  // ReLU mask: dH1pre = dH1 ⊙ [H1pre > 0] (in place on dh1_).
+  {
+    const T* __restrict__ pre = h1pre_.data();
+    T* __restrict__ g = dh1_.data();
+    const std::size_t total = dh1_.size();
+#pragma omp parallel for simd schedule(static)
+    for (std::size_t i = 0; i < total; ++i) {
+      g[i] = pre[i] > T{0} ? g[i] : T{0};
+    }
+  }
+  adj.multiply(dh1_, dz0_);                       // dZ0 = Â·dH1pre
+  {
+    const DenseMatrix<T> xt = transpose(x);
+    gemm(xt, dz0_, dw0_);                         // dW0 = Xᵀ·dZ0
+  }
+
+  // SGD update.
+  auto sgd = [learning_rate](DenseMatrix<T>& w, const DenseMatrix<T>& g) {
+    T* __restrict__ wp = w.data();
+    const T* __restrict__ gp = g.data();
+    const std::size_t total = w.size();
+#pragma omp parallel for simd schedule(static)
+    for (std::size_t i = 0; i < total; ++i) wp[i] -= learning_rate * gp[i];
+  };
+  sgd(model_.layer0_mut().weight_mut(), dw0_);
+  sgd(model_.layer1_mut().weight_mut(), dw1_);
+  return loss;
+}
+
+template double softmax_cross_entropy<float>(const DenseMatrix<float>&,
+                                             std::span<const index_t>,
+                                             DenseMatrix<float>&);
+template double softmax_cross_entropy<double>(const DenseMatrix<double>&,
+                                              std::span<const index_t>,
+                                              DenseMatrix<double>&);
+template class GcnTrainer<float>;
+template class GcnTrainer<double>;
+
+}  // namespace cbm

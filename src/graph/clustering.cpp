@@ -1,0 +1,158 @@
+#include "graph/clustering.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+
+namespace cbm {
+
+namespace {
+
+/// Mixes a 64-bit value (splitmix64 finaliser) — the per-column hash of the
+/// MinHash signatures.
+inline std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+template <typename T>
+std::vector<index_t> consecutive_clusters(const CsrMatrix<T>& pattern,
+                                          index_t k) {
+  const index_t n = pattern.rows();
+  const index_t chunk = (n + k - 1) / k;
+  std::vector<index_t> out(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) out[i] = i / chunk;
+  return out;
+}
+
+template <typename T>
+std::vector<index_t> minhash_clusters(const CsrMatrix<T>& pattern, index_t k,
+                                      std::uint64_t seed) {
+  const index_t n = pattern.rows();
+  // Two independent MinHash signatures per row: rows with identical column
+  // sets get identical signatures, similar rows collide often; sorting by
+  // the signature pair therefore places similar rows adjacently.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sig(
+      static_cast<std::size_t>(n),
+      {~std::uint64_t{0}, ~std::uint64_t{0}});
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < n; ++i) {
+    for (const index_t j : pattern.row_indices(i)) {
+      const auto ju = static_cast<std::uint64_t>(j);
+      sig[i].first = std::min(sig[i].first, mix(ju ^ seed));
+      sig[i].second = std::min(sig[i].second, mix(ju ^ (seed * 0x9e37ull)));
+    }
+  }
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](index_t a, index_t b) { return sig[a] < sig[b]; });
+
+  const index_t chunk = (n + k - 1) / k;
+  std::vector<index_t> out(static_cast<std::size_t>(n));
+  for (index_t pos = 0; pos < n; ++pos) out[order[pos]] = pos / chunk;
+  return out;
+}
+
+template <typename T>
+std::vector<index_t> label_propagation_clusters(const CsrMatrix<T>& pattern,
+                                                index_t target,
+                                                std::uint64_t seed) {
+  const index_t n = pattern.rows();
+  std::vector<index_t> label(static_cast<std::size_t>(n));
+  std::iota(label.begin(), label.end(), index_t{0});
+
+  // Synchronous label propagation; ties broken toward the smaller label so
+  // the process is deterministic. A handful of rounds suffices for the
+  // community structures CBM targets.
+  std::vector<index_t> next(label);
+  std::unordered_map<index_t, index_t> counts;
+  Rng rng(seed);
+  for (int round = 0; round < 6; ++round) {
+    bool changed = false;
+    for (index_t v = 0; v < n; ++v) {
+      const auto neigh = pattern.row_indices(v);
+      if (neigh.empty()) continue;
+      counts.clear();
+      index_t best = label[v];
+      index_t best_count = 0;
+      for (const index_t u : neigh) {
+        const index_t c = ++counts[label[u]];
+        if (c > best_count || (c == best_count && label[u] < best)) {
+          best_count = c;
+          best = label[u];
+        }
+      }
+      next[v] = best;
+      changed |= best != label[v];
+    }
+    label.swap(next);
+    if (!changed) break;
+  }
+
+  // Densify labels, then merge the smallest communities until at most
+  // `target` remain (partial CBMs over tiny clusters waste tree overhead).
+  std::unordered_map<index_t, index_t> dense;
+  for (const index_t l : label) dense.emplace(l, dense.size());
+  std::vector<index_t> size(dense.size(), 0);
+  for (auto& l : label) {
+    l = dense[l];
+    ++size[l];
+  }
+  auto clusters = static_cast<index_t>(dense.size());
+  if (clusters > target) {
+    // Map the (clusters - target + 1) smallest communities to one bucket.
+    std::vector<index_t> by_size(clusters);
+    std::iota(by_size.begin(), by_size.end(), index_t{0});
+    std::sort(by_size.begin(), by_size.end(), [&](index_t a, index_t b) {
+      return size[a] != size[b] ? size[a] < size[b] : a < b;
+    });
+    std::vector<index_t> remap(clusters);
+    const index_t merged = clusters - target + 1;
+    for (index_t rank = 0; rank < clusters; ++rank) {
+      remap[by_size[rank]] = rank < merged ? 0 : rank - merged + 1;
+    }
+    for (auto& l : label) l = remap[l];
+  }
+  return label;
+}
+
+}  // namespace
+
+template <typename T>
+std::vector<index_t> cluster_rows(const CsrMatrix<T>& pattern,
+                                  ClusterMethod method,
+                                  index_t target_clusters,
+                                  std::uint64_t seed) {
+  CBM_CHECK(target_clusters >= 1, "need at least one cluster");
+  const index_t k =
+      std::min<index_t>(target_clusters, std::max<index_t>(1, pattern.rows()));
+  if (pattern.rows() == 0) return {};
+  switch (method) {
+    case ClusterMethod::kConsecutive:
+      return consecutive_clusters(pattern, k);
+    case ClusterMethod::kMinHash:
+      return minhash_clusters(pattern, k, seed);
+    case ClusterMethod::kLabelPropagation:
+      return label_propagation_clusters(pattern, k, seed);
+  }
+  throw CbmError("unknown cluster method");
+}
+
+index_t num_clusters(const std::vector<index_t>& assignment) {
+  index_t max_id = -1;
+  for (const index_t c : assignment) max_id = std::max(max_id, c);
+  return max_id + 1;
+}
+
+template std::vector<index_t> cluster_rows<float>(const CsrMatrix<float>&,
+                                                  ClusterMethod, index_t,
+                                                  std::uint64_t);
+template std::vector<index_t> cluster_rows<double>(const CsrMatrix<double>&,
+                                                   ClusterMethod, index_t,
+                                                   std::uint64_t);
+
+}  // namespace cbm

@@ -1,0 +1,41 @@
+// Row-clustering strategies for the partitioned CBM format (the paper's
+// §VIII future work: "clustering similar rows of the graph's adjacency
+// matrix and subsequently computing a partial CBM format for each cluster").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace cbm {
+
+enum class ClusterMethod {
+  kConsecutive,       ///< contiguous chunks in row order (baseline; optimal
+                      ///< when similar rows are already adjacent)
+  kMinHash,           ///< group rows by MinHash signatures of their column
+                      ///< sets, so near-duplicate rows land together even
+                      ///< when scattered across the matrix
+  kLabelPropagation,  ///< community detection on the graph (synchronous
+                      ///< label propagation); requires a symmetric pattern
+};
+
+/// Assigns each row a cluster id in [0, k). `target_clusters` is an upper
+/// bound for kConsecutive/kMinHash (exact unless n < target); for
+/// kLabelPropagation the community structure decides and small communities
+/// are merged until at most `target_clusters` remain.
+template <typename T>
+std::vector<index_t> cluster_rows(const CsrMatrix<T>& pattern,
+                                  ClusterMethod method,
+                                  index_t target_clusters,
+                                  std::uint64_t seed = 0x517Eull);
+
+/// Number of distinct cluster ids in an assignment (= max + 1; ids dense).
+index_t num_clusters(const std::vector<index_t>& assignment);
+
+extern template std::vector<index_t> cluster_rows<float>(
+    const CsrMatrix<float>&, ClusterMethod, index_t, std::uint64_t);
+extern template std::vector<index_t> cluster_rows<double>(
+    const CsrMatrix<double>&, ClusterMethod, index_t, std::uint64_t);
+
+}  // namespace cbm

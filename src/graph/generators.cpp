@@ -1,0 +1,293 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace cbm {
+
+namespace {
+
+using EdgeList = std::vector<std::pair<index_t, index_t>>;
+
+/// Packs an undirected pair into one 64-bit key for dedup sets.
+inline std::uint64_t edge_key(index_t u, index_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
+/// Samples a power-law distributed integer in [lo, hi] with exponent gamma.
+index_t power_law_int(Rng& rng, index_t lo, index_t hi, double gamma) {
+  // Inverse transform on the continuous Pareto, clamped to the range.
+  const double u = rng.next_double();
+  const double lo_pow = std::pow(static_cast<double>(lo), 1.0 - gamma);
+  const double hi_pow = std::pow(static_cast<double>(hi) + 1.0, 1.0 - gamma);
+  const double x = std::pow(lo_pow + u * (hi_pow - lo_pow), 1.0 / (1.0 - gamma));
+  return std::clamp(static_cast<index_t>(x), lo, hi);
+}
+
+}  // namespace
+
+Graph erdos_renyi(index_t n, offset_t m, std::uint64_t seed) {
+  CBM_CHECK(n >= 2, "erdos_renyi needs at least 2 nodes");
+  const offset_t max_edges = static_cast<offset_t>(n) * (n - 1) / 2;
+  CBM_CHECK(m >= 0 && m <= max_edges, "edge count out of range");
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  while (static_cast<offset_t>(edges.size()) < m) {
+    const auto u = static_cast<index_t>(rng.next_below(n));
+    const auto v = static_cast<index_t>(rng.next_below(n));
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph barabasi_albert(index_t n, index_t m_per_node, std::uint64_t seed) {
+  CBM_CHECK(m_per_node >= 1, "barabasi_albert needs m >= 1");
+  CBM_CHECK(n > m_per_node, "barabasi_albert needs n > m");
+  Rng rng(seed);
+  EdgeList edges;
+  // `targets` holds one entry per half-edge endpoint, so uniform sampling
+  // from it is sampling proportional to degree (the classic BA trick).
+  std::vector<index_t> targets;
+  targets.reserve(static_cast<std::size_t>(n) * m_per_node * 2);
+
+  // Seed clique over the first m+1 nodes.
+  for (index_t u = 0; u <= m_per_node; ++u) {
+    for (index_t v = u + 1; v <= m_per_node; ++v) {
+      edges.emplace_back(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  std::unordered_set<index_t> picked;
+  for (index_t u = m_per_node + 1; u < n; ++u) {
+    picked.clear();
+    while (static_cast<index_t>(picked.size()) < m_per_node) {
+      const index_t v = targets[rng.next_below(targets.size())];
+      picked.insert(v);
+    }
+    for (const index_t v : picked) {
+      edges.emplace_back(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph watts_strogatz(index_t n, index_t k, double beta, std::uint64_t seed) {
+  CBM_CHECK(k >= 1 && 2 * k < n, "watts_strogatz needs 1 <= k < n/2");
+  CBM_CHECK(beta >= 0.0 && beta <= 1.0, "beta must be a probability");
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * k);
+  for (index_t u = 0; u < n; ++u) {
+    for (index_t d = 1; d <= k; ++d) {
+      index_t v = static_cast<index_t>((u + d) % n);
+      if (rng.next_bool(beta)) {
+        // Rewire the far endpoint uniformly, avoiding loops and duplicates.
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          const auto w = static_cast<index_t>(rng.next_below(n));
+          if (w != u && !seen.contains(edge_key(u, w))) {
+            v = w;
+            break;
+          }
+        }
+      }
+      if (seen.insert(edge_key(u, v)).second) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph clique_union(const CliqueUnionParams& p, std::uint64_t seed) {
+  CBM_CHECK(p.num_nodes >= 2, "clique_union needs nodes");
+  CBM_CHECK(p.clique_min >= 2 && p.clique_max >= p.clique_min,
+            "invalid clique size range");
+  CBM_CHECK(p.reuse_prob >= 0.0 && p.reuse_prob <= 1.0,
+            "reuse_prob must be a probability");
+  Rng rng(seed);
+  EdgeList edges;
+  // Collaborator history per node; reuse draws come from here so that a
+  // node's successive groups overlap (and rows of A become near-duplicates).
+  std::vector<std::vector<index_t>> collaborators(
+      static_cast<std::size_t>(p.num_nodes));
+
+  std::vector<index_t> members;
+  for (index_t paper = 0; paper < p.num_cliques; ++paper) {
+    const index_t size =
+        power_law_int(rng, p.clique_min, p.clique_max, p.size_exponent);
+    members.clear();
+    const auto anchor = static_cast<index_t>(rng.next_below(p.num_nodes));
+    members.push_back(anchor);
+    const auto& history = collaborators[anchor];
+    while (static_cast<index_t>(members.size()) < size) {
+      index_t candidate;
+      if (!history.empty() && rng.next_bool(p.reuse_prob)) {
+        candidate = history[rng.next_below(history.size())];
+      } else {
+        candidate = static_cast<index_t>(rng.next_below(p.num_nodes));
+      }
+      if (std::find(members.begin(), members.end(), candidate) ==
+          members.end()) {
+        members.push_back(candidate);
+      }
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        edges.emplace_back(members[i], members[j]);
+      }
+    }
+    for (const index_t m : members) {
+      for (const index_t other : members) {
+        if (other != m) collaborators[m].push_back(other);
+      }
+    }
+  }
+  return Graph::from_edges(p.num_nodes, edges);
+}
+
+Graph stochastic_block_model(const SbmParams& p, std::uint64_t seed) {
+  CBM_CHECK(p.num_nodes >= 2 && p.num_blocks >= 1, "invalid SBM parameters");
+  Rng rng(seed);
+  const index_t block_size = (p.num_nodes + p.num_blocks - 1) / p.num_blocks;
+  std::unordered_set<std::uint64_t> seen;
+  EdgeList edges;
+
+  // Sample each block pair in G(n, m) form: expected degree × nodes / 2
+  // within-block edges, spread cross-block mass uniformly over other blocks.
+  for (index_t b = 0; b < p.num_blocks; ++b) {
+    const index_t lo = b * block_size;
+    const index_t hi = std::min<index_t>(lo + block_size, p.num_nodes);
+    const index_t nb = hi - lo;
+    if (nb < 2) continue;
+    const auto m_in = static_cast<offset_t>(p.expected_degree_in * nb / 2.0);
+    offset_t placed = 0;
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = static_cast<std::size_t>(m_in) * 20 + 64;
+    while (placed < m_in && attempts++ < max_attempts) {
+      const auto u = static_cast<index_t>(lo + rng.next_below(nb));
+      const auto v = static_cast<index_t>(lo + rng.next_below(nb));
+      if (u == v) continue;
+      if (seen.insert(edge_key(u, v)).second) {
+        edges.emplace_back(u, v);
+        ++placed;
+      }
+    }
+  }
+  const auto m_out =
+      static_cast<offset_t>(p.expected_degree_out * p.num_nodes / 2.0);
+  offset_t placed = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = static_cast<std::size_t>(m_out) * 20 + 64;
+  while (placed < m_out && attempts++ < max_attempts) {
+    const auto u = static_cast<index_t>(rng.next_below(p.num_nodes));
+    const auto v = static_cast<index_t>(rng.next_below(p.num_nodes));
+    if (u == v || u / block_size == v / block_size) continue;
+    if (seen.insert(edge_key(u, v)).second) {
+      edges.emplace_back(u, v);
+      ++placed;
+    }
+  }
+  return Graph::from_edges(p.num_nodes, edges);
+}
+
+Graph rmat(const RmatParams& p, std::uint64_t seed) {
+  CBM_CHECK(p.scale >= 1 && p.scale <= 30, "rmat scale out of range");
+  CBM_CHECK(p.a > 0 && p.b >= 0 && p.c >= 0 && p.a + p.b + p.c < 1.0,
+            "rmat quadrant probabilities must sum below 1");
+  CBM_CHECK(p.edges_per_node > 0, "rmat needs positive edge density");
+  Rng rng(seed);
+  const index_t n = index_t{1} << p.scale;
+  const auto m = static_cast<offset_t>(p.edges_per_node * n / 2.0);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (offset_t e = 0; e < m; ++e) {
+    index_t u = 0, v = 0;
+    for (int level = 0; level < p.scale; ++level) {
+      const double r = rng.next_double();
+      const int quadrant = r < p.a                 ? 0
+                           : r < p.a + p.b         ? 1
+                           : r < p.a + p.b + p.c   ? 2
+                                                   : 3;
+      u = (u << 1) | (quadrant >> 1);
+      v = (v << 1) | (quadrant & 1);
+    }
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph community_graph(const CommunityParams& p, std::uint64_t seed) {
+  CBM_CHECK(p.num_nodes >= 2, "community_graph needs nodes");
+  CBM_CHECK(p.team_min >= 2 && p.team_max >= p.team_min,
+            "invalid team size range");
+  CBM_CHECK(p.intra_prob > 0.0 && p.intra_prob <= 1.0,
+            "intra_prob must be in (0, 1]");
+  CBM_CHECK(p.cross_per_node >= 0.0, "cross_per_node must be nonnegative");
+  Rng rng(seed);
+  EdgeList edges;
+
+  // Partition nodes into consecutive teams with power-law sizes.
+  index_t next = 0;
+  while (next < p.num_nodes) {
+    const index_t size = std::min<index_t>(
+        power_law_int(rng, p.team_min, p.team_max, p.size_exponent),
+        p.num_nodes - next);
+    for (index_t i = 0; i < size; ++i) {
+      for (index_t j = i + 1; j < size; ++j) {
+        if (p.intra_prob >= 1.0 || rng.next_bool(p.intra_prob)) {
+          edges.emplace_back(next + i, next + j);
+        }
+      }
+    }
+    next += size;
+  }
+
+  // Uniform cross noise (duplicates/self-loops are cleaned by from_edges).
+  const auto cross =
+      static_cast<offset_t>(p.cross_per_node * p.num_nodes / 2.0);
+  for (offset_t e = 0; e < cross; ++e) {
+    const auto u = static_cast<index_t>(rng.next_below(p.num_nodes));
+    const auto v = static_cast<index_t>(rng.next_below(p.num_nodes));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(p.num_nodes, edges);
+}
+
+Graph near_duplicate_rows(index_t n, index_t groups, index_t base_degree,
+                          index_t flips, std::uint64_t seed) {
+  CBM_CHECK(groups >= 1 && groups <= n, "invalid group count");
+  CBM_CHECK(base_degree >= 1 && base_degree < n, "invalid base degree");
+  Rng rng(seed);
+  EdgeList edges;
+  for (index_t g = 0; g < groups; ++g) {
+    // One random neighborhood template per group...
+    std::unordered_set<index_t> base;
+    while (static_cast<index_t>(base.size()) < base_degree) {
+      base.insert(static_cast<index_t>(rng.next_below(n)));
+    }
+    // ...shared by all group members, each with `flips` private extras.
+    for (index_t u = g; u < n; u += groups) {
+      for (const index_t v : base) {
+        if (u != v) edges.emplace_back(u, v);
+      }
+      for (index_t f = 0; f < flips; ++f) {
+        const auto v = static_cast<index_t>(rng.next_below(n));
+        if (u != v) edges.emplace_back(u, v);
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace cbm

@@ -1,0 +1,97 @@
+// Deterministic random-graph generators.
+//
+// These produce the synthetic stand-ins for the paper's eight datasets
+// (DESIGN.md §2). Each family targets a different point on the
+// clustering/degree spectrum, which §VI-H of the paper identifies as the
+// driver of CBM compression:
+//   - preferential attachment  → citation graphs (low degree, ratio ≈ 1×)
+//   - co-authorship clique-union → ca-AstroPh/ca-HepPh (ratio 2–3×)
+//   - ego/community clique-union → COLLAB, coPapers (ratio ≫ 5×)
+//   - degree-corrected SBM      → ogbn-proteins (dense, modest clustering)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cbm {
+
+/// Erdős–Rényi G(n, m): m distinct uniform edges.
+Graph erdos_renyi(index_t n, offset_t m, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `m_per_node` existing nodes proportionally to degree. Models citation
+/// networks (Cora/PubMed stand-ins): low average degree, weak row similarity.
+Graph barabasi_albert(index_t n, index_t m_per_node, std::uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with k nearest neighbours per
+/// side, each edge rewired with probability beta.
+Graph watts_strogatz(index_t n, index_t k, double beta, std::uint64_t seed);
+
+/// Parameters of the co-authorship / collaboration generator.
+struct CliqueUnionParams {
+  index_t num_nodes = 0;      ///< authors / researchers
+  index_t num_cliques = 0;    ///< papers / ego groups
+  index_t clique_min = 2;     ///< smallest group size
+  index_t clique_max = 8;     ///< largest group size (power-law tail)
+  double reuse_prob = 0.6;    ///< prob. of drawing a member from the anchor's
+                              ///< previous collaborators (drives row
+                              ///< similarity and clustering)
+  double size_exponent = 2.0; ///< power-law exponent of group sizes
+};
+
+/// Union of cliques with collaborator reuse. Produces the highly clustered,
+/// high-row-similarity regime where CBM compresses best (coPapers/COLLAB).
+Graph clique_union(const CliqueUnionParams& params, std::uint64_t seed);
+
+/// Parameters of the stochastic block model.
+struct SbmParams {
+  index_t num_nodes = 0;
+  index_t num_blocks = 1;
+  double expected_degree_in = 8.0;   ///< expected within-block degree
+  double expected_degree_out = 2.0;  ///< expected cross-block degree
+};
+
+/// Degree-corrected-ish SBM sampled in expected-edge-count form; the
+/// ogbn-proteins stand-in (high degree, moderate clustering).
+Graph stochastic_block_model(const SbmParams& params, std::uint64_t seed);
+
+/// Parameters of the planted-community generator.
+struct CommunityParams {
+  index_t num_nodes = 0;
+  index_t team_min = 4;        ///< smallest community
+  index_t team_max = 64;       ///< largest community (power-law tail)
+  double size_exponent = 2.0;  ///< community-size power-law exponent
+  double intra_prob = 1.0;     ///< probability of each within-community edge
+  double cross_per_node = 2.0; ///< expected uniform cross edges per node
+};
+
+/// R-MAT / Kronecker-style recursive generator (Chakrabarti et al.): each
+/// edge recursively picks a quadrant with probabilities (a, b, c, d). The
+/// standard scale-free benchmark family in graph processing; produces skewed
+/// degrees and weak row similarity (a hard case for CBM, useful in tests and
+/// comparisons). `scale` = log2 of the node count.
+struct RmatParams {
+  int scale = 12;              ///< n = 2^scale nodes
+  double edges_per_node = 8.0;
+  double a = 0.57, b = 0.19, c = 0.19;  ///< d = 1 − a − b − c
+};
+Graph rmat(const RmatParams& params, std::uint64_t seed);
+
+/// Planted communities: nodes are partitioned into power-law-sized teams;
+/// each within-team pair is linked with `intra_prob`, plus sparse uniform
+/// cross edges. With intra_prob = 1 the rows of one team are identical up to
+/// the cross noise — exactly the regime where the CBM delta representation
+/// collapses (COLLAB/coPapers stand-ins); lower intra_prob dilutes both
+/// clustering and row similarity (ogbn-proteins stand-in).
+Graph community_graph(const CommunityParams& params, std::uint64_t seed);
+
+/// Convenience: graph whose rows are highly redundant by construction —
+/// `groups` groups of rows sharing one neighborhood template with `flips`
+/// per-row perturbations. Used by tests/benches to pin down compression
+/// behaviour precisely.
+Graph near_duplicate_rows(index_t n, index_t groups, index_t base_degree,
+                          index_t flips, std::uint64_t seed);
+
+}  // namespace cbm

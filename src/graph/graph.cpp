@@ -1,0 +1,69 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace cbm {
+
+namespace {
+
+Graph build_from_pairs(index_t num_nodes,
+                       std::vector<std::pair<index_t, index_t>> pairs) {
+  // Normalise to (min,max), drop self-loops, dedupe, then mirror.
+  for (auto& [u, v] : pairs) {
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  CooMatrix<real_t> coo;
+  coo.rows = num_nodes;
+  coo.cols = num_nodes;
+  coo.reserve(pairs.size() * 2);
+  for (const auto& [u, v] : pairs) {
+    if (u == v) continue;
+    coo.push(u, v, 1.0f);
+    coo.push(v, u, 1.0f);
+  }
+  return Graph::from_adjacency(CsrMatrix<real_t>::from_coo(coo));
+}
+
+}  // namespace
+
+Graph Graph::from_edges(
+    index_t num_nodes, const std::vector<std::pair<index_t, index_t>>& edges) {
+  for (const auto& [u, v] : edges) {
+    CBM_CHECK(u >= 0 && u < num_nodes && v >= 0 && v < num_nodes,
+              "edge endpoint out of range");
+  }
+  return build_from_pairs(num_nodes, edges);
+}
+
+Graph Graph::from_coo_pattern(const CooMatrix<real_t>& coo) {
+  CBM_CHECK(coo.rows == coo.cols, "adjacency pattern must be square");
+  std::vector<std::pair<index_t, index_t>> pairs;
+  pairs.reserve(coo.nnz());
+  for (std::size_t k = 0; k < coo.nnz(); ++k) {
+    pairs.emplace_back(coo.row_idx[k], coo.col_idx[k]);
+  }
+  return build_from_pairs(coo.rows, std::move(pairs));
+}
+
+Graph Graph::from_adjacency(CsrMatrix<real_t> adjacency) {
+  CBM_CHECK(adjacency.rows() == adjacency.cols(),
+            "adjacency must be square");
+  CBM_CHECK(adjacency.is_binary(), "adjacency must be binary");
+  CBM_CHECK(adjacency.has_sorted_unique_rows(),
+            "adjacency rows must be sorted and duplicate-free");
+  // Spot-check symmetry and empty diagonal in debug builds only: O(nnz log).
+#ifndef NDEBUG
+  for (index_t i = 0; i < adjacency.rows(); ++i) {
+    for (const index_t j : adjacency.row_indices(i)) {
+      CBM_DCHECK(i != j, "adjacency diagonal must be empty");
+      CBM_DCHECK(adjacency.at(j, i) == 1.0f, "adjacency must be symmetric");
+    }
+  }
+#endif
+  return Graph(std::move(adjacency));
+}
+
+}  // namespace cbm

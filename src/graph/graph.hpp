@@ -1,0 +1,57 @@
+// Undirected, unweighted simple graph backed by a binary CSR adjacency
+// matrix — the object the CBM format compresses.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace cbm {
+
+/// Simple undirected graph. The adjacency matrix is symmetric and binary with
+/// an empty diagonal; every query view is CSR-backed.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an undirected edge list. Duplicate edges and self-loops are
+  /// discarded; each surviving edge is stored in both directions.
+  static Graph from_edges(index_t num_nodes,
+                          const std::vector<std::pair<index_t, index_t>>& edges);
+
+  /// Builds from a (possibly directed / weighted) COO matrix by
+  /// symmetrising the pattern and dropping self-loops and weights. This is
+  /// how the paper treats ogbn-proteins ("we ignored the edge weights").
+  static Graph from_coo_pattern(const CooMatrix<real_t>& coo);
+
+  /// Wraps an existing binary symmetric CSR adjacency (validated).
+  static Graph from_adjacency(CsrMatrix<real_t> adjacency);
+
+  [[nodiscard]] index_t num_nodes() const { return adj_.rows(); }
+
+  /// Undirected edge count (half the number of stored nonzeros).
+  [[nodiscard]] offset_t num_edges() const { return adj_.nnz() / 2; }
+
+  [[nodiscard]] index_t degree(index_t v) const { return adj_.row_nnz(v); }
+
+  /// Sorted neighbor list of v.
+  [[nodiscard]] std::span<const index_t> neighbors(index_t v) const {
+    return adj_.row_indices(v);
+  }
+
+  /// Binary CSR adjacency matrix (values all 1).
+  [[nodiscard]] const CsrMatrix<real_t>& adjacency() const { return adj_; }
+
+  [[nodiscard]] double average_degree() const {
+    return num_nodes() == 0
+               ? 0.0
+               : static_cast<double>(adj_.nnz()) / num_nodes();
+  }
+
+ private:
+  explicit Graph(CsrMatrix<real_t> adj) : adj_(std::move(adj)) {}
+  CsrMatrix<real_t> adj_;
+};
+
+}  // namespace cbm

@@ -1,0 +1,44 @@
+#include "graph/laplacian.hpp"
+
+#include <cmath>
+
+#include "sparse/scale.hpp"
+
+namespace cbm {
+
+template <typename T>
+GcnNormalization<T> gcn_normalization(const Graph& g) {
+  GcnNormalization<T> out;
+  // Convert the (binary, real_t-typed) adjacency to T and add self-loops.
+  const auto& adj = g.adjacency();
+  std::vector<offset_t> indptr(adj.indptr().begin(), adj.indptr().end());
+  std::vector<index_t> indices(adj.indices().begin(), adj.indices().end());
+  std::vector<T> values(adj.values().size(), T{1});
+  CsrMatrix<T> a(adj.rows(), adj.cols(), std::move(indptr), std::move(indices),
+                 std::move(values));
+  out.a_plus_i = add_identity(a);
+
+  const index_t n = g.num_nodes();
+  out.dinv_sqrt.resize(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v) {
+    // Degree of (A+I) is deg+1 ≥ 1, so the inverse square root is finite.
+    out.dinv_sqrt[v] =
+        static_cast<T>(1.0 / std::sqrt(static_cast<double>(g.degree(v)) + 1.0));
+  }
+  return out;
+}
+
+template <typename T>
+CsrMatrix<T> gcn_normalized_adjacency(const Graph& g) {
+  const auto norm = gcn_normalization<T>(g);
+  return scale_both<T>(norm.a_plus_i, norm.dinv_sqrt, norm.dinv_sqrt);
+}
+
+template struct GcnNormalization<float>;
+template struct GcnNormalization<double>;
+template GcnNormalization<float> gcn_normalization<float>(const Graph&);
+template GcnNormalization<double> gcn_normalization<double>(const Graph&);
+template CsrMatrix<float> gcn_normalized_adjacency<float>(const Graph&);
+template CsrMatrix<double> gcn_normalized_adjacency<double>(const Graph&);
+
+}  // namespace cbm

@@ -1,0 +1,37 @@
+// GCN normalisation Â = D^{-1/2} (A + I) D^{-1/2} (Kipf & Welling), in the
+// factored form the CBM format consumes: a binary matrix (A + I) plus the
+// diagonal scaling vector d = deg^{-1/2}.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sparse/csr.hpp"
+
+namespace cbm {
+
+/// The factorisation Â = diag(d) · B · diag(d) with B = A + I binary.
+template <typename T>
+struct GcnNormalization {
+  CsrMatrix<T> a_plus_i;     ///< binary (A + I); the CBM-compressible part
+  std::vector<T> dinv_sqrt;  ///< d_i = (deg_i + 1)^{-1/2}
+};
+
+/// Computes the factored normalisation from a graph.
+template <typename T>
+GcnNormalization<T> gcn_normalization(const Graph& g);
+
+/// Materialises Â as an explicitly scaled CSR matrix (the baseline operand).
+template <typename T>
+CsrMatrix<T> gcn_normalized_adjacency(const Graph& g);
+
+extern template struct GcnNormalization<float>;
+extern template struct GcnNormalization<double>;
+extern template GcnNormalization<float> gcn_normalization<float>(const Graph&);
+extern template GcnNormalization<double> gcn_normalization<double>(
+    const Graph&);
+extern template CsrMatrix<float> gcn_normalized_adjacency<float>(const Graph&);
+extern template CsrMatrix<double> gcn_normalized_adjacency<double>(
+    const Graph&);
+
+}  // namespace cbm

@@ -1,0 +1,120 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cbm {
+
+namespace {
+
+/// Triangles through v = number of adjacent pairs among v's neighbors,
+/// counted by sorted-list intersection (adjacency rows are sorted).
+std::uint64_t triangles_at(const Graph& g, index_t v) {
+  const auto nv = g.neighbors(v);
+  std::uint64_t t = 0;
+  for (const index_t u : nv) {
+    const auto nu = g.neighbors(u);
+    // Count |N(v) ∩ N(u)| by linear merge.
+    std::size_t i = 0, j = 0;
+    while (i < nv.size() && j < nu.size()) {
+      if (nv[i] == nu[j]) {
+        ++t;
+        ++i;
+        ++j;
+      } else if (nv[i] < nu[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+  }
+  return t / 2;  // each adjacent pair (u,w) found twice (via u and via w)
+}
+
+}  // namespace
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  const index_t n = g.num_nodes();
+  if (n == 0) return s;
+  s.min = g.degree(0);
+  s.max = g.degree(0);
+  double sum = 0.0, sum2 = 0.0;
+  for (index_t v = 0; v < n; ++v) {
+    const index_t d = g.degree(v);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    sum += d;
+    sum2 += static_cast<double>(d) * d;
+  }
+  s.mean = sum / n;
+  s.stddev = std::sqrt(std::max(0.0, sum2 / n - s.mean * s.mean));
+  return s;
+}
+
+double local_clustering(const Graph& g, index_t v) {
+  const auto d = static_cast<double>(g.degree(v));
+  if (d < 2.0) return 0.0;
+  const double wedges = d * (d - 1.0) / 2.0;
+  return static_cast<double>(triangles_at(g, v)) / wedges;
+}
+
+double average_clustering(const Graph& g) {
+  const index_t n = g.num_nodes();
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+#pragma omp parallel for reduction(+ : acc) schedule(dynamic, 256)
+  for (index_t v = 0; v < n; ++v) acc += local_clustering(g, v);
+  return acc / n;
+}
+
+double average_clustering_sampled(const Graph& g, index_t samples,
+                                  std::uint64_t seed) {
+  CBM_CHECK(samples > 0, "need at least one sample");
+  const index_t n = g.num_nodes();
+  if (n == 0) return 0.0;
+  Rng rng(seed);
+  std::vector<index_t> picks(static_cast<std::size_t>(samples));
+  for (auto& v : picks) v = static_cast<index_t>(rng.next_below(n));
+  double acc = 0.0;
+#pragma omp parallel for reduction(+ : acc) schedule(dynamic, 64)
+  for (index_t i = 0; i < samples; ++i) acc += local_clustering(g, picks[i]);
+  return acc / samples;
+}
+
+std::uint64_t triangle_count(const Graph& g) {
+  const index_t n = g.num_nodes();
+  std::uint64_t acc = 0;
+#pragma omp parallel for reduction(+ : acc) schedule(dynamic, 256)
+  for (index_t v = 0; v < n; ++v) acc += triangles_at(g, v);
+  return acc / 3;  // each triangle counted at each of its 3 vertices
+}
+
+index_t connected_components(const Graph& g) {
+  const index_t n = g.num_nodes();
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<index_t> stack;
+  index_t components = 0;
+  for (index_t s = 0; s < n; ++s) {
+    if (visited[s]) continue;
+    ++components;
+    stack.push_back(s);
+    visited[s] = true;
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      stack.pop_back();
+      for (const index_t u : g.neighbors(v)) {
+        if (!visited[u]) {
+          visited[u] = true;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace cbm

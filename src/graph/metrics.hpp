@@ -1,0 +1,39 @@
+// Graph statistics reported in the paper's Tables I and V.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace cbm {
+
+/// Degree distribution summary.
+struct DegreeStats {
+  index_t min = 0;
+  index_t max = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// Local clustering coefficient of node v: triangles(v) / (deg(v) choose 2);
+/// 0 for degree < 2.
+double local_clustering(const Graph& g, index_t v);
+
+/// Exact average clustering coefficient (mean of local coefficients over all
+/// nodes) — the Table V metric. Parallelised over nodes.
+double average_clustering(const Graph& g);
+
+/// Sampled estimate over `samples` random nodes (Schank–Wagner style); used
+/// when the exact computation would dominate a bench run.
+double average_clustering_sampled(const Graph& g, index_t samples,
+                                  std::uint64_t seed);
+
+/// Total triangle count (each triangle counted once).
+std::uint64_t triangle_count(const Graph& g);
+
+/// Number of connected components (BFS).
+index_t connected_components(const Graph& g);
+
+}  // namespace cbm

@@ -1,0 +1,113 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace cbm {
+
+namespace {
+
+/// splitmix64 finaliser (shared hashing idiom with graph/clustering.cpp).
+inline std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<index_t> bfs_order(const Graph& g) {
+  const index_t n = g.num_nodes();
+  std::vector<index_t> by_degree(static_cast<std::size_t>(n));
+  std::iota(by_degree.begin(), by_degree.end(), index_t{0});
+  std::sort(by_degree.begin(), by_degree.end(), [&](index_t a, index_t b) {
+    return g.degree(a) != g.degree(b) ? g.degree(a) < g.degree(b) : a < b;
+  });
+
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> neighbors;
+  for (const index_t seed : by_degree) {
+    if (visited[seed]) continue;
+    visited[seed] = true;
+    order.push_back(seed);
+    for (std::size_t head = order.size() - 1; head < order.size(); ++head) {
+      const index_t v = order[head];
+      neighbors.assign(g.neighbors(v).begin(), g.neighbors(v).end());
+      std::sort(neighbors.begin(), neighbors.end(),
+                [&](index_t a, index_t b) {
+                  return g.degree(a) != g.degree(b)
+                             ? g.degree(a) < g.degree(b)
+                             : a < b;
+                });
+      for (const index_t u : neighbors) {
+        if (!visited[u]) {
+          visited[u] = true;
+          order.push_back(u);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<index_t> degree_order(const Graph& g) {
+  std::vector<index_t> order(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return g.degree(a) != g.degree(b) ? g.degree(a) > g.degree(b) : a < b;
+  });
+  return order;
+}
+
+std::vector<index_t> minhash_order(const Graph& g, std::uint64_t seed) {
+  const index_t n = g.num_nodes();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sig(
+      static_cast<std::size_t>(n), {~std::uint64_t{0}, ~std::uint64_t{0}});
+#pragma omp parallel for schedule(static)
+  for (index_t v = 0; v < n; ++v) {
+    for (const index_t u : g.neighbors(v)) {
+      const auto uu = static_cast<std::uint64_t>(u);
+      sig[v].first = std::min(sig[v].first, mix(uu ^ seed));
+      sig[v].second = std::min(sig[v].second, mix(uu ^ (seed * 0x9e37ull)));
+    }
+  }
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return sig[a] != sig[b] ? sig[a] < sig[b] : a < b;
+  });
+  return order;
+}
+
+bool is_permutation(const std::vector<index_t>& perm, index_t n) {
+  if (perm.size() != static_cast<std::size_t>(n)) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (const index_t v : perm) {
+    if (v < 0 || v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+Graph apply_order(const Graph& g, const std::vector<index_t>& perm) {
+  const index_t n = g.num_nodes();
+  CBM_CHECK(is_permutation(perm, n), "apply_order: not a permutation");
+  // inverse: old id -> new id
+  std::vector<index_t> inv(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) inv[perm[i]] = i;
+
+  std::vector<std::pair<index_t, index_t>> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (index_t v = 0; v < n; ++v) {
+    for (const index_t u : g.neighbors(v)) {
+      if (v < u) edges.emplace_back(inv[v], inv[u]);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace cbm

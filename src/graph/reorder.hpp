@@ -1,0 +1,35 @@
+// Row/node reordering utilities.
+//
+// CBM's compression is permutation-invariant (the distance graph sees all
+// row pairs), but orderings matter operationally: consecutive clustering of
+// the partitioned format, cache locality of the SpMM right-hand side, and
+// the branch layout of the update stage all improve when similar rows are
+// adjacent. These helpers provide the standard orderings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cbm {
+
+/// BFS (Cuthill–McKee-style) ordering from the lowest-degree node of each
+/// component, neighbors visited in ascending degree. perm[new_id] = old_id.
+std::vector<index_t> bfs_order(const Graph& g);
+
+/// Nodes sorted by descending degree (hubs first); ties by id.
+std::vector<index_t> degree_order(const Graph& g);
+
+/// MinHash ordering: rows sorted by a 2-signature MinHash of their neighbor
+/// sets, so near-duplicate rows become adjacent (the same signal the
+/// partitioned format's kMinHash clustering uses).
+std::vector<index_t> minhash_order(const Graph& g, std::uint64_t seed = 0x0DDull);
+
+/// Validates that perm is a permutation of 0..n-1.
+bool is_permutation(const std::vector<index_t>& perm, index_t n);
+
+/// Relabels the graph: new node i = old node perm[i].
+Graph apply_order(const Graph& g, const std::vector<index_t>& perm);
+
+}  // namespace cbm

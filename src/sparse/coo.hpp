@@ -1,0 +1,42 @@
+// Coordinate-list (COO) sparse matrix: the assembly format.
+//
+// Generators and file loaders produce COO triplets; CSR construction sorts
+// and deduplicates them. Mirrors the role COO plays in PyTorch/PyG pipelines
+// referenced by the paper.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cbm {
+
+/// Unsorted triplet list (row, col, value).
+template <typename T>
+struct CooMatrix {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row_idx;
+  std::vector<index_t> col_idx;
+  std::vector<T> values;
+
+  [[nodiscard]] std::size_t nnz() const { return values.size(); }
+
+  /// Appends one entry; bounds-checked.
+  void push(index_t r, index_t c, T v) {
+    CBM_CHECK(r >= 0 && r < rows && c >= 0 && c < cols,
+              "COO entry out of bounds");
+    row_idx.push_back(r);
+    col_idx.push_back(c);
+    values.push_back(v);
+  }
+
+  void reserve(std::size_t n) {
+    row_idx.reserve(n);
+    col_idx.reserve(n);
+    values.reserve(n);
+  }
+};
+
+}  // namespace cbm

@@ -1,0 +1,148 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cbm {
+
+template <typename T>
+CsrMatrix<T>::CsrMatrix(index_t rows, index_t cols,
+                        std::vector<offset_t> indptr,
+                        std::vector<index_t> indices, std::vector<T> values)
+    : rows_(rows),
+      cols_(cols),
+      indptr_(std::move(indptr)),
+      indices_(std::move(indices)),
+      values_(std::move(values)) {
+  CBM_CHECK(rows_ >= 0 && cols_ >= 0, "negative dimensions");
+  CBM_CHECK(indptr_.size() == static_cast<std::size_t>(rows_) + 1,
+            "indptr must have rows+1 entries");
+  CBM_CHECK(indptr_.front() == 0, "indptr must start at 0");
+  CBM_CHECK(std::is_sorted(indptr_.begin(), indptr_.end()),
+            "indptr must be nondecreasing");
+  CBM_CHECK(indices_.size() == values_.size(),
+            "indices/values length mismatch");
+  CBM_CHECK(indptr_.back() == static_cast<offset_t>(indices_.size()),
+            "indptr.back() must equal nnz");
+  for (const index_t c : indices_) {
+    CBM_CHECK(c >= 0 && c < cols_, "column index out of bounds");
+  }
+}
+
+template <typename T>
+CsrMatrix<T> CsrMatrix<T>::from_coo(const CooMatrix<T>& coo) {
+  const std::size_t nnz_in = coo.nnz();
+  // Sort a permutation by (row, col) instead of shuffling three arrays.
+  std::vector<std::size_t> perm(nnz_in);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    if (coo.row_idx[a] != coo.row_idx[b])
+      return coo.row_idx[a] < coo.row_idx[b];
+    return coo.col_idx[a] < coo.col_idx[b];
+  });
+
+  std::vector<offset_t> indptr(static_cast<std::size_t>(coo.rows) + 1, 0);
+  std::vector<index_t> indices;
+  std::vector<T> values;
+  indices.reserve(nnz_in);
+  values.reserve(nnz_in);
+
+  index_t prev_r = -1;
+  index_t prev_c = -1;
+  for (const std::size_t k : perm) {
+    const index_t r = coo.row_idx[k];
+    const index_t c = coo.col_idx[k];
+    if (r == prev_r && c == prev_c) {
+      values.back() += coo.values[k];  // duplicate: accumulate
+      continue;
+    }
+    indices.push_back(c);
+    values.push_back(coo.values[k]);
+    ++indptr[static_cast<std::size_t>(r) + 1];
+    prev_r = r;
+    prev_c = c;
+  }
+  std::partial_sum(indptr.begin(), indptr.end(), indptr.begin());
+  return CsrMatrix(coo.rows, coo.cols, std::move(indptr), std::move(indices),
+                   std::move(values));
+}
+
+template <typename T>
+CsrMatrix<T> CsrMatrix<T>::identity(index_t n) {
+  std::vector<offset_t> indptr(static_cast<std::size_t>(n) + 1);
+  std::iota(indptr.begin(), indptr.end(), offset_t{0});
+  std::vector<index_t> indices(static_cast<std::size_t>(n));
+  std::iota(indices.begin(), indices.end(), index_t{0});
+  std::vector<T> values(static_cast<std::size_t>(n), T{1});
+  return CsrMatrix(n, n, std::move(indptr), std::move(indices),
+                   std::move(values));
+}
+
+template <typename T>
+T CsrMatrix<T>::at(index_t i, index_t j) const {
+  CBM_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_, "at(): out of range");
+  const auto cols = row_indices(i);
+  const auto it = std::lower_bound(cols.begin(), cols.end(), j);
+  if (it == cols.end() || *it != j) return T{0};
+  return values_[indptr_[i] + (it - cols.begin())];
+}
+
+template <typename T>
+CsrMatrix<T> CsrMatrix<T>::transpose() const {
+  // Counting sort over destination rows (= source columns).
+  std::vector<offset_t> tptr(static_cast<std::size_t>(cols_) + 1, 0);
+  for (const index_t c : indices_) ++tptr[static_cast<std::size_t>(c) + 1];
+  std::partial_sum(tptr.begin(), tptr.end(), tptr.begin());
+
+  std::vector<index_t> tind(indices_.size());
+  std::vector<T> tval(values_.size());
+  std::vector<offset_t> cursor(tptr.begin(), tptr.end() - 1);
+  for (index_t i = 0; i < rows_; ++i) {
+    for (offset_t k = indptr_[i]; k < indptr_[i + 1]; ++k) {
+      const index_t c = indices_[k];
+      const offset_t dst = cursor[c]++;
+      tind[dst] = i;  // source rows visited in order => sorted output rows
+      tval[dst] = values_[k];
+    }
+  }
+  return CsrMatrix(cols_, rows_, std::move(tptr), std::move(tind),
+                   std::move(tval));
+}
+
+template <typename T>
+CooMatrix<T> CsrMatrix<T>::to_coo() const {
+  CooMatrix<T> coo;
+  coo.rows = rows_;
+  coo.cols = cols_;
+  coo.reserve(static_cast<std::size_t>(nnz()));
+  for (index_t i = 0; i < rows_; ++i) {
+    for (offset_t k = indptr_[i]; k < indptr_[i + 1]; ++k) {
+      coo.row_idx.push_back(i);
+      coo.col_idx.push_back(indices_[k]);
+      coo.values.push_back(values_[k]);
+    }
+  }
+  return coo;
+}
+
+template <typename T>
+bool CsrMatrix<T>::is_binary() const {
+  return std::all_of(values_.begin(), values_.end(),
+                     [](T v) { return v == T{1}; });
+}
+
+template <typename T>
+bool CsrMatrix<T>::has_sorted_unique_rows() const {
+  for (index_t i = 0; i < rows_; ++i) {
+    const auto cols = row_indices(i);
+    for (std::size_t k = 1; k < cols.size(); ++k) {
+      if (cols[k] <= cols[k - 1]) return false;
+    }
+  }
+  return true;
+}
+
+template class CsrMatrix<float>;
+template class CsrMatrix<double>;
+
+}  // namespace cbm

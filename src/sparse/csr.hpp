@@ -1,0 +1,99 @@
+// Compressed Sparse Row (CSR) matrix: the paper's baseline format and the
+// storage of the CBM delta matrix A'.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "sparse/coo.hpp"
+
+namespace cbm {
+
+/// CSR matrix with 64-bit row pointers and 32-bit column indices.
+/// Column indices within each row are kept sorted (construction enforces it);
+/// several CBM-builder kernels rely on sorted rows for linear merges.
+template <typename T>
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Takes ownership of raw CSR arrays. Validates structure.
+  CsrMatrix(index_t rows, index_t cols, std::vector<offset_t> indptr,
+            std::vector<index_t> indices, std::vector<T> values);
+
+  /// Builds from COO triplets: sorts by (row, col) and sums duplicates.
+  static CsrMatrix from_coo(const CooMatrix<T>& coo);
+
+  /// n×n identity.
+  static CsrMatrix identity(index_t n);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] offset_t nnz() const {
+    return indptr_.empty() ? 0 : indptr_.back();
+  }
+
+  [[nodiscard]] std::span<const offset_t> indptr() const { return indptr_; }
+  [[nodiscard]] std::span<const index_t> indices() const { return indices_; }
+  [[nodiscard]] std::span<const T> values() const { return values_; }
+  [[nodiscard]] std::span<T> values_mut() { return values_; }
+
+  /// Number of nonzeros in row i.
+  [[nodiscard]] index_t row_nnz(index_t i) const {
+    CBM_DCHECK(i >= 0 && i < rows_, "row out of range");
+    return static_cast<index_t>(indptr_[i + 1] - indptr_[i]);
+  }
+
+  /// Sorted column indices of row i.
+  [[nodiscard]] std::span<const index_t> row_indices(index_t i) const {
+    CBM_DCHECK(i >= 0 && i < rows_, "row out of range");
+    return {indices_.data() + indptr_[i],
+            static_cast<std::size_t>(indptr_[i + 1] - indptr_[i])};
+  }
+
+  /// Values of row i (parallel to row_indices).
+  [[nodiscard]] std::span<const T> row_values(index_t i) const {
+    CBM_DCHECK(i >= 0 && i < rows_, "row out of range");
+    return {values_.data() + indptr_[i],
+            static_cast<std::size_t>(indptr_[i + 1] - indptr_[i])};
+  }
+
+  /// Element lookup by binary search; returns 0 when absent. O(log row_nnz).
+  [[nodiscard]] T at(index_t i, index_t j) const;
+
+  /// Transpose (also functions as CSR→CSC conversion: the transpose's rows
+  /// are this matrix's columns). Counting-sort based, O(nnz + rows + cols).
+  [[nodiscard]] CsrMatrix transpose() const;
+
+  /// Back to COO (row-sorted).
+  [[nodiscard]] CooMatrix<T> to_coo() const;
+
+  /// True when every stored value equals 1 (binary adjacency check).
+  [[nodiscard]] bool is_binary() const;
+
+  /// True when all rows have strictly increasing column indices.
+  [[nodiscard]] bool has_sorted_unique_rows() const;
+
+  /// Actual heap bytes of indptr + indices + values. This is the S_CSR
+  /// quantity of the paper's Tables I/II (MiB = bytes / 2^20).
+  [[nodiscard]] std::size_t bytes() const {
+    return indptr_.size() * sizeof(offset_t) +
+           indices_.size() * sizeof(index_t) + values_.size() * sizeof(T);
+  }
+
+  bool operator==(const CsrMatrix& other) const = default;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<offset_t> indptr_ = {0};
+  std::vector<index_t> indices_;
+  std::vector<T> values_;
+};
+
+extern template class CsrMatrix<float>;
+extern template class CsrMatrix<double>;
+
+}  // namespace cbm

@@ -1,0 +1,55 @@
+#include "sparse/io_edgelist.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cbm {
+
+CooMatrix<real_t> read_edge_list(std::istream& in, index_t num_nodes) {
+  std::vector<std::pair<long long, long long>> pairs;
+  long long max_id = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream row(line);
+    long long u = -1, v = -1;
+    row >> u >> v;
+    // Failed extraction zero-fills since C++11, so test the stream state too.
+    CBM_CHECK(!row.fail() && u >= 0 && v >= 0,
+              "edge list: malformed line: " + line);
+    pairs.emplace_back(u, v);
+    max_id = std::max(max_id, std::max(u, v));
+  }
+  const long long n = num_nodes > 0 ? num_nodes : max_id + 1;
+  CBM_CHECK(max_id < n, "edge list: node id exceeds the forced dimension");
+  CBM_CHECK(n <= (1ll << 31) - 1, "edge list: too many nodes for 32-bit ids");
+
+  CooMatrix<real_t> coo;
+  coo.rows = static_cast<index_t>(n);
+  coo.cols = static_cast<index_t>(n);
+  coo.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) {
+    coo.push(static_cast<index_t>(u), static_cast<index_t>(v), 1.0f);
+  }
+  return coo;
+}
+
+CooMatrix<real_t> read_edge_list_file(const std::string& path,
+                                      index_t num_nodes) {
+  std::ifstream in(path);
+  CBM_CHECK(in.good(), "cannot open edge list file: " + path);
+  return read_edge_list(in, num_nodes);
+}
+
+void write_edge_list(std::ostream& out, const CooMatrix<real_t>& coo) {
+  out << "# nodes " << coo.rows << " entries " << coo.nnz() << '\n';
+  for (std::size_t k = 0; k < coo.nnz(); ++k) {
+    out << coo.row_idx[k] << '\t' << coo.col_idx[k] << '\n';
+  }
+}
+
+}  // namespace cbm

@@ -1,0 +1,24 @@
+// SNAP-style edge-list I/O ("u<TAB>v" per line, '#' comments) — the format
+// the paper's ca-AstroPh/ca-HepPh datasets ship in.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+
+namespace cbm {
+
+/// Reads an edge list into a square COO pattern (all values 1). Node count
+/// is max id + 1 unless `num_nodes` > 0 forces a dimension. Accepts
+/// whitespace-separated pairs; lines starting with '#' or '%' are comments.
+CooMatrix<real_t> read_edge_list(std::istream& in, index_t num_nodes = 0);
+
+/// File-path convenience; throws CbmError on missing files.
+CooMatrix<real_t> read_edge_list_file(const std::string& path,
+                                      index_t num_nodes = 0);
+
+/// Writes one "u v" line per stored entry.
+void write_edge_list(std::ostream& out, const CooMatrix<real_t>& coo);
+
+}  // namespace cbm

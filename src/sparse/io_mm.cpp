@@ -1,0 +1,112 @@
+#include "sparse/io_mm.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace cbm {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+template <typename T>
+CooMatrix<T> read_matrix_market(std::istream& in) {
+  std::string line;
+  CBM_CHECK(static_cast<bool>(std::getline(in, line)),
+            "matrix market: empty stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  CBM_CHECK(banner == "%%MatrixMarket", "matrix market: bad banner");
+  CBM_CHECK(lower(object) == "matrix" && lower(format) == "coordinate",
+            "matrix market: only 'matrix coordinate' supported");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  const bool pattern = field == "pattern";
+  CBM_CHECK(pattern || field == "real" || field == "integer",
+            "matrix market: unsupported field type " + field);
+  const bool symmetric = symmetry == "symmetric";
+  CBM_CHECK(symmetric || symmetry == "general",
+            "matrix market: unsupported symmetry " + symmetry);
+
+  // Skip comments, read size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size(line);
+  long long rows = 0, cols = 0, entries = 0;
+  size >> rows >> cols >> entries;
+  CBM_CHECK(rows > 0 && cols > 0 && entries >= 0,
+            "matrix market: bad size line");
+
+  CooMatrix<T> coo;
+  coo.rows = static_cast<index_t>(rows);
+  coo.cols = static_cast<index_t>(cols);
+  coo.reserve(static_cast<std::size_t>(symmetric ? 2 * entries : entries));
+  for (long long e = 0; e < entries; ++e) {
+    CBM_CHECK(static_cast<bool>(std::getline(in, line)),
+              "matrix market: truncated entry list");
+    std::istringstream row(line);
+    long long i = 0, j = 0;
+    double v = 1.0;
+    row >> i >> j;
+    if (!pattern) row >> v;
+    CBM_CHECK(i >= 1 && i <= rows && j >= 1 && j <= cols,
+              "matrix market: entry out of bounds");
+    coo.push(static_cast<index_t>(i - 1), static_cast<index_t>(j - 1),
+             static_cast<T>(v));
+    if (symmetric && i != j) {
+      coo.push(static_cast<index_t>(j - 1), static_cast<index_t>(i - 1),
+               static_cast<T>(v));
+    }
+  }
+  return coo;
+}
+
+template <typename T>
+CooMatrix<T> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  CBM_CHECK(in.good(), "cannot open matrix market file: " + path);
+  return read_matrix_market<T>(in);
+}
+
+template <typename T>
+void write_matrix_market(std::ostream& out, const CooMatrix<T>& coo) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << coo.rows << ' ' << coo.cols << ' ' << coo.nnz() << '\n';
+  for (std::size_t k = 0; k < coo.nnz(); ++k) {
+    out << (coo.row_idx[k] + 1) << ' ' << (coo.col_idx[k] + 1) << ' '
+        << coo.values[k] << '\n';
+  }
+}
+
+template <typename T>
+void write_matrix_market_file(const std::string& path,
+                              const CooMatrix<T>& coo) {
+  std::ofstream out(path);
+  CBM_CHECK(out.good(), "cannot open file for writing: " + path);
+  write_matrix_market(out, coo);
+}
+
+template CooMatrix<float> read_matrix_market<float>(std::istream&);
+template CooMatrix<double> read_matrix_market<double>(std::istream&);
+template CooMatrix<float> read_matrix_market_file<float>(const std::string&);
+template CooMatrix<double> read_matrix_market_file<double>(const std::string&);
+template void write_matrix_market<float>(std::ostream&,
+                                         const CooMatrix<float>&);
+template void write_matrix_market<double>(std::ostream&,
+                                          const CooMatrix<double>&);
+template void write_matrix_market_file<float>(const std::string&,
+                                              const CooMatrix<float>&);
+template void write_matrix_market_file<double>(const std::string&,
+                                               const CooMatrix<double>&);
+
+}  // namespace cbm

@@ -1,0 +1,50 @@
+// Matrix Market (.mtx) I/O.
+//
+// The paper's datasets (SNAP / DIMACS / OGB exports) are commonly distributed
+// in this format; benches accept --mtx <file> to run on the real graphs when
+// they are available locally, falling back to synthetic stand-ins otherwise.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace cbm {
+
+/// Reads a "matrix coordinate (real|integer|pattern) (general|symmetric)"
+/// Matrix Market stream into COO. Pattern entries get value 1; symmetric
+/// storage is expanded to both triangles (diagonal entries once).
+template <typename T>
+CooMatrix<T> read_matrix_market(std::istream& in);
+
+/// Reads from a file path. Throws CbmError on missing/invalid files.
+template <typename T>
+CooMatrix<T> read_matrix_market_file(const std::string& path);
+
+/// Writes COO as "coordinate real general".
+template <typename T>
+void write_matrix_market(std::ostream& out, const CooMatrix<T>& coo);
+
+/// Writes to a file path.
+template <typename T>
+void write_matrix_market_file(const std::string& path,
+                              const CooMatrix<T>& coo);
+
+extern template CooMatrix<float> read_matrix_market<float>(std::istream&);
+extern template CooMatrix<double> read_matrix_market<double>(std::istream&);
+extern template CooMatrix<float> read_matrix_market_file<float>(
+    const std::string&);
+extern template CooMatrix<double> read_matrix_market_file<double>(
+    const std::string&);
+extern template void write_matrix_market<float>(std::ostream&,
+                                                const CooMatrix<float>&);
+extern template void write_matrix_market<double>(std::ostream&,
+                                                 const CooMatrix<double>&);
+extern template void write_matrix_market_file<float>(const std::string&,
+                                                     const CooMatrix<float>&);
+extern template void write_matrix_market_file<double>(
+    const std::string&, const CooMatrix<double>&);
+
+}  // namespace cbm

@@ -1,0 +1,64 @@
+#include "sparse/pattern.hpp"
+
+#include <vector>
+
+namespace cbm {
+
+template <typename T>
+CsrMatrix<T> binarize(const CsrMatrix<T>& a) {
+  std::vector<offset_t> indptr(a.indptr().begin(), a.indptr().end());
+  std::vector<index_t> indices(a.indices().begin(), a.indices().end());
+  std::vector<T> values(a.values().size(), T{1});
+  return CsrMatrix<T>(a.rows(), a.cols(), std::move(indptr),
+                      std::move(indices), std::move(values));
+}
+
+template <typename T>
+CsrMatrix<T> symmetrize_pattern(const CsrMatrix<T>& a) {
+  CBM_CHECK(a.rows() == a.cols(), "symmetrize requires a square matrix");
+  CooMatrix<T> coo;
+  coo.rows = a.rows();
+  coo.cols = a.cols();
+  coo.reserve(static_cast<std::size_t>(a.nnz()) * 2);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (const index_t j : a.row_indices(i)) {
+      if (i == j) continue;
+      coo.push(i, j, T{1});
+      coo.push(j, i, T{1});
+    }
+  }
+  // from_coo sums duplicates; re-binarise afterwards.
+  return binarize(CsrMatrix<T>::from_coo(coo));
+}
+
+template <typename T>
+CsrMatrix<T> prune_zeros(const CsrMatrix<T>& a) {
+  std::vector<offset_t> indptr;
+  std::vector<index_t> indices;
+  std::vector<T> values;
+  indptr.reserve(static_cast<std::size_t>(a.rows()) + 1);
+  indptr.push_back(0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_indices(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (vals[k] != T{0}) {
+        indices.push_back(cols[k]);
+        values.push_back(vals[k]);
+      }
+    }
+    indptr.push_back(static_cast<offset_t>(indices.size()));
+  }
+  return CsrMatrix<T>(a.rows(), a.cols(), std::move(indptr),
+                      std::move(indices), std::move(values));
+}
+
+template CsrMatrix<float> binarize<float>(const CsrMatrix<float>&);
+template CsrMatrix<double> binarize<double>(const CsrMatrix<double>&);
+template CsrMatrix<float> symmetrize_pattern<float>(const CsrMatrix<float>&);
+template CsrMatrix<double> symmetrize_pattern<double>(
+    const CsrMatrix<double>&);
+template CsrMatrix<float> prune_zeros<float>(const CsrMatrix<float>&);
+template CsrMatrix<double> prune_zeros<double>(const CsrMatrix<double>&);
+
+}  // namespace cbm

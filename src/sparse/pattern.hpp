@@ -1,0 +1,35 @@
+// Pattern utilities: turning arbitrary sparse matrices into the binary,
+// sorted-row form the CBM compressor requires.
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace cbm {
+
+/// Returns the matrix with every stored value replaced by 1 (the paper's
+/// treatment of weighted inputs like ogbn-proteins: "we ignored the edge
+/// weights"). Structure is shared semantics-wise; arrays are copied.
+template <typename T>
+CsrMatrix<T> binarize(const CsrMatrix<T>& a);
+
+/// Returns the symmetrised pattern max(A, Aᵀ) of a square matrix, binary,
+/// with the diagonal removed — i.e. the adjacency matrix of the underlying
+/// undirected simple graph.
+template <typename T>
+CsrMatrix<T> symmetrize_pattern(const CsrMatrix<T>& a);
+
+/// Drops explicitly stored zeros.
+template <typename T>
+CsrMatrix<T> prune_zeros(const CsrMatrix<T>& a);
+
+extern template CsrMatrix<float> binarize<float>(const CsrMatrix<float>&);
+extern template CsrMatrix<double> binarize<double>(const CsrMatrix<double>&);
+extern template CsrMatrix<float> symmetrize_pattern<float>(
+    const CsrMatrix<float>&);
+extern template CsrMatrix<double> symmetrize_pattern<double>(
+    const CsrMatrix<double>&);
+extern template CsrMatrix<float> prune_zeros<float>(const CsrMatrix<float>&);
+extern template CsrMatrix<double> prune_zeros<double>(
+    const CsrMatrix<double>&);
+
+}  // namespace cbm

@@ -1,0 +1,120 @@
+#include "sparse/scale.hpp"
+
+#include <vector>
+
+namespace cbm {
+
+namespace {
+
+template <typename T>
+void check_diag(const CsrMatrix<T>& a, std::span<const T> d, bool rows) {
+  const auto need = static_cast<std::size_t>(rows ? a.rows() : a.cols());
+  CBM_CHECK(d.size() == need, "diagonal length mismatch");
+}
+
+}  // namespace
+
+template <typename T>
+CsrMatrix<T> scale_columns(const CsrMatrix<T>& a, std::span<const T> d) {
+  check_diag(a, d, /*rows=*/false);
+  std::vector<offset_t> indptr(a.indptr().begin(), a.indptr().end());
+  std::vector<index_t> indices(a.indices().begin(), a.indices().end());
+  std::vector<T> values(a.values().size());
+  const auto src = a.values();
+  const auto idx = a.indices();
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    values[k] = src[k] * d[idx[k]];
+  }
+  return CsrMatrix<T>(a.rows(), a.cols(), std::move(indptr),
+                      std::move(indices), std::move(values));
+}
+
+template <typename T>
+CsrMatrix<T> scale_rows(const CsrMatrix<T>& a, std::span<const T> d) {
+  check_diag(a, d, /*rows=*/true);
+  std::vector<offset_t> indptr(a.indptr().begin(), a.indptr().end());
+  std::vector<index_t> indices(a.indices().begin(), a.indices().end());
+  std::vector<T> values(a.values().begin(), a.values().end());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (offset_t k = indptr[i]; k < indptr[i + 1]; ++k) values[k] *= d[i];
+  }
+  return CsrMatrix<T>(a.rows(), a.cols(), std::move(indptr),
+                      std::move(indices), std::move(values));
+}
+
+template <typename T>
+CsrMatrix<T> scale_both(const CsrMatrix<T>& a, std::span<const T> dl,
+                        std::span<const T> dr) {
+  check_diag(a, dl, /*rows=*/true);
+  check_diag(a, dr, /*rows=*/false);
+  std::vector<offset_t> indptr(a.indptr().begin(), a.indptr().end());
+  std::vector<index_t> indices(a.indices().begin(), a.indices().end());
+  std::vector<T> values(a.values().size());
+  const auto src = a.values();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (offset_t k = indptr[i]; k < indptr[i + 1]; ++k) {
+      values[k] = dl[i] * src[k] * dr[indices[k]];
+    }
+  }
+  return CsrMatrix<T>(a.rows(), a.cols(), std::move(indptr),
+                      std::move(indices), std::move(values));
+}
+
+template <typename T>
+CsrMatrix<T> add_identity(const CsrMatrix<T>& a) {
+  CBM_CHECK(a.rows() == a.cols(), "add_identity requires a square matrix");
+  const index_t n = a.rows();
+  std::vector<offset_t> indptr;
+  std::vector<index_t> indices;
+  std::vector<T> values;
+  indptr.reserve(static_cast<std::size_t>(n) + 1);
+  indices.reserve(static_cast<std::size_t>(a.nnz()) + n);
+  values.reserve(static_cast<std::size_t>(a.nnz()) + n);
+  indptr.push_back(0);
+  for (index_t i = 0; i < n; ++i) {
+    const auto cols = a.row_indices(i);
+    const auto vals = a.row_values(i);
+    bool placed = false;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (!placed && cols[k] >= i) {
+        if (cols[k] == i) {
+          indices.push_back(i);
+          values.push_back(vals[k] + T{1});
+          placed = true;
+          continue;
+        }
+        indices.push_back(i);
+        values.push_back(T{1});
+        placed = true;
+      }
+      indices.push_back(cols[k]);
+      values.push_back(vals[k]);
+    }
+    if (!placed) {
+      indices.push_back(i);
+      values.push_back(T{1});
+    }
+    indptr.push_back(static_cast<offset_t>(indices.size()));
+  }
+  return CsrMatrix<T>(n, n, std::move(indptr), std::move(indices),
+                      std::move(values));
+}
+
+template CsrMatrix<float> scale_columns<float>(const CsrMatrix<float>&,
+                                               std::span<const float>);
+template CsrMatrix<double> scale_columns<double>(const CsrMatrix<double>&,
+                                                 std::span<const double>);
+template CsrMatrix<float> scale_rows<float>(const CsrMatrix<float>&,
+                                            std::span<const float>);
+template CsrMatrix<double> scale_rows<double>(const CsrMatrix<double>&,
+                                              std::span<const double>);
+template CsrMatrix<float> scale_both<float>(const CsrMatrix<float>&,
+                                            std::span<const float>,
+                                            std::span<const float>);
+template CsrMatrix<double> scale_both<double>(const CsrMatrix<double>&,
+                                              std::span<const double>,
+                                              std::span<const double>);
+template CsrMatrix<float> add_identity<float>(const CsrMatrix<float>&);
+template CsrMatrix<double> add_identity<double>(const CsrMatrix<double>&);
+
+}  // namespace cbm

@@ -1,0 +1,50 @@
+// Diagonal scalings of sparse matrices: AD, DA, D1·A·D2.
+//
+// The paper's GCN workload uses the symmetric normalisation
+// Â = D^{-1/2} (A+I) D^{-1/2}; these helpers build the explicitly scaled CSR
+// matrices that serve as the baseline operands.
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+
+namespace cbm {
+
+/// Returns A·D where D = diag(d): scales column j by d[j].
+template <typename T>
+CsrMatrix<T> scale_columns(const CsrMatrix<T>& a, std::span<const T> d);
+
+/// Returns D·A where D = diag(d): scales row i by d[i].
+template <typename T>
+CsrMatrix<T> scale_rows(const CsrMatrix<T>& a, std::span<const T> d);
+
+/// Returns diag(dl)·A·diag(dr).
+template <typename T>
+CsrMatrix<T> scale_both(const CsrMatrix<T>& a, std::span<const T> dl,
+                        std::span<const T> dr);
+
+/// Returns A + I (self-loops). Requires square A; entries on the diagonal are
+/// incremented (binary adjacency matrices of simple graphs have none).
+template <typename T>
+CsrMatrix<T> add_identity(const CsrMatrix<T>& a);
+
+extern template CsrMatrix<float> scale_columns<float>(const CsrMatrix<float>&,
+                                                      std::span<const float>);
+extern template CsrMatrix<double> scale_columns<double>(
+    const CsrMatrix<double>&, std::span<const double>);
+extern template CsrMatrix<float> scale_rows<float>(const CsrMatrix<float>&,
+                                                   std::span<const float>);
+extern template CsrMatrix<double> scale_rows<double>(const CsrMatrix<double>&,
+                                                     std::span<const double>);
+extern template CsrMatrix<float> scale_both<float>(const CsrMatrix<float>&,
+                                                   std::span<const float>,
+                                                   std::span<const float>);
+extern template CsrMatrix<double> scale_both<double>(const CsrMatrix<double>&,
+                                                     std::span<const double>,
+                                                     std::span<const double>);
+extern template CsrMatrix<float> add_identity<float>(const CsrMatrix<float>&);
+extern template CsrMatrix<double> add_identity<double>(
+    const CsrMatrix<double>&);
+
+}  // namespace cbm

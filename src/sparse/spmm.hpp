@@ -1,0 +1,65 @@
+// Sparse × dense multiplication kernels.
+//
+// csr_spmm is the baseline the paper benchmarks CBM against (there it is
+// Intel MKL's mkl_sparse_s_mm; here an OpenMP kernel with the same role) and
+// is also the multiply stage of the CBM product (A'B).
+#pragma once
+
+#include "dense/dense_matrix.hpp"
+#include "sparse/csr.hpp"
+
+namespace cbm {
+
+/// Row-partitioning strategy for the parallel CSR SpMM.
+enum class SpmmSchedule {
+  kRowStatic,    // omp static over rows
+  kRowDynamic,   // omp dynamic over row chunks
+  kNnzBalanced,  // precomputed row ranges with equal nnz per thread
+};
+
+/// C = A * B, A sparse CSR (m×k), B dense (k×p), C dense (m×p, overwritten).
+/// Parallelism follows the active OpenMP thread count; with 1 thread this is
+/// the sequential kernel of the paper's serial experiments.
+template <typename T>
+void csr_spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& b,
+              DenseMatrix<T>& c,
+              SpmmSchedule schedule = SpmmSchedule::kNnzBalanced);
+
+/// y = A * x (matrix-vector).
+template <typename T>
+void csr_spmv(const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y);
+
+/// C = A * B with A in row-sorted COO form; reference kernel for tests and
+/// the format-comparison ablation bench.
+template <typename T>
+void coo_spmm(const CooMatrix<T>& a, const DenseMatrix<T>& b,
+              DenseMatrix<T>& c);
+
+/// Scalar multiply–add count of a CSR SpMM: 2 * nnz * cols(B). Used by the
+/// op-count comparisons behind the paper's Property 2.
+template <typename T>
+[[nodiscard]] std::size_t csr_spmm_flops(const CsrMatrix<T>& a, index_t bcols);
+
+extern template void csr_spmm<float>(const CsrMatrix<float>&,
+                                     const DenseMatrix<float>&,
+                                     DenseMatrix<float>&, SpmmSchedule);
+extern template void csr_spmm<double>(const CsrMatrix<double>&,
+                                      const DenseMatrix<double>&,
+                                      DenseMatrix<double>&, SpmmSchedule);
+extern template void csr_spmv<float>(const CsrMatrix<float>&,
+                                     std::span<const float>, std::span<float>);
+extern template void csr_spmv<double>(const CsrMatrix<double>&,
+                                      std::span<const double>,
+                                      std::span<double>);
+extern template void coo_spmm<float>(const CooMatrix<float>&,
+                                     const DenseMatrix<float>&,
+                                     DenseMatrix<float>&);
+extern template void coo_spmm<double>(const CooMatrix<double>&,
+                                      const DenseMatrix<double>&,
+                                      DenseMatrix<double>&);
+extern template std::size_t csr_spmm_flops<float>(const CsrMatrix<float>&,
+                                                  index_t);
+extern template std::size_t csr_spmm_flops<double>(const CsrMatrix<double>&,
+                                                   index_t);
+
+}  // namespace cbm

@@ -1,0 +1,260 @@
+#include "tree/arborescence.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace cbm {
+
+namespace {
+
+constexpr std::size_t kNoEdge = std::numeric_limits<std::size_t>::max();
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
+/// Bookkeeping of one contraction round, kept for edge recovery.
+struct Round {
+  index_t num_nodes = 0;
+  index_t root = 0;
+  std::vector<std::size_t> chosen;   ///< original edge id per round node
+  std::vector<bool> in_cycle;        ///< round node was contracted this round
+  std::vector<index_t> node_map;     ///< round node -> next round node
+};
+
+/// Working edge: endpoints live in the current round's node space, the
+/// weight carries accumulated cycle adjustments, `orig` is the index into the
+/// caller's edge list.
+struct WorkEdge {
+  index_t src;
+  index_t dst;
+  std::int64_t weight;
+  std::size_t orig;
+};
+
+}  // namespace
+
+ArborescenceResult chu_liu_edmonds(index_t num_nodes,
+                                   const std::vector<WeightedEdge>& edges,
+                                   index_t root) {
+  CBM_CHECK(num_nodes >= 1, "arborescence needs at least one node");
+  CBM_CHECK(root >= 0 && root < num_nodes, "root out of range");
+
+  std::vector<WorkEdge> work;
+  work.reserve(edges.size());
+  for (std::size_t id = 0; id < edges.size(); ++id) {
+    const auto& e = edges[id];
+    CBM_CHECK(e.src >= 0 && e.src < num_nodes && e.dst >= 0 &&
+                  e.dst < num_nodes,
+              "edge endpoint out of range");
+    if (e.src == e.dst) continue;
+    work.push_back({e.src, e.dst, e.weight, id});
+  }
+
+  std::vector<Round> rounds;
+  index_t n = num_nodes;
+  index_t cur_root = root;
+
+  // Contraction phase: pick min in-edges, contract all cycles, repeat.
+  std::vector<std::size_t> final_chosen;  // acyclic round: original ids
+  while (true) {
+    // Min incoming work-edge per node.
+    std::vector<std::size_t> best(static_cast<std::size_t>(n), kNoEdge);
+    std::vector<std::int64_t> bestw(static_cast<std::size_t>(n), kInf);
+    for (std::size_t k = 0; k < work.size(); ++k) {
+      const auto& e = work[k];
+      if (e.dst == cur_root) continue;
+      if (e.weight < bestw[e.dst]) {
+        bestw[e.dst] = e.weight;
+        best[e.dst] = k;
+      }
+    }
+    for (index_t v = 0; v < n; ++v) {
+      CBM_CHECK(v == cur_root || best[v] != kNoEdge,
+                "graph has no arborescence rooted at the requested node");
+    }
+
+    // Cycle detection on the functional graph v -> src(best[v]).
+    // color: 0 unvisited, 1 on current path, 2 done.
+    std::vector<std::uint8_t> color(static_cast<std::size_t>(n), 0);
+    std::vector<index_t> cycle_id(static_cast<std::size_t>(n), -1);
+    index_t num_cycles = 0;
+    std::vector<index_t> path;
+    for (index_t start = 0; start < n; ++start) {
+      if (color[start] != 0) continue;
+      path.clear();
+      index_t v = start;
+      while (v != cur_root && color[v] == 0) {
+        color[v] = 1;
+        path.push_back(v);
+        v = work[best[v]].src;
+      }
+      if (v != cur_root && color[v] == 1) {
+        // Found a new cycle: everything on the path from v onward is in it.
+        const auto it = std::find(path.begin(), path.end(), v);
+        for (auto p = it; p != path.end(); ++p) cycle_id[*p] = num_cycles;
+        ++num_cycles;
+      }
+      for (const index_t u : path) color[u] = 2;
+    }
+
+    if (num_cycles == 0) {
+      final_chosen.assign(static_cast<std::size_t>(n), kNoEdge);
+      for (index_t v = 0; v < n; ++v) {
+        if (v != cur_root) final_chosen[v] = work[best[v]].orig;
+      }
+      break;
+    }
+
+    // Contract: cycles get ids [0, num_cycles), the rest follow.
+    Round round;
+    round.num_nodes = n;
+    round.root = cur_root;
+    round.chosen.assign(static_cast<std::size_t>(n), kNoEdge);
+    round.in_cycle.assign(static_cast<std::size_t>(n), false);
+    round.node_map.assign(static_cast<std::size_t>(n), -1);
+    for (index_t v = 0; v < n; ++v) {
+      if (v != cur_root) round.chosen[v] = work[best[v]].orig;
+      round.in_cycle[v] = cycle_id[v] >= 0;
+    }
+    index_t next_id = num_cycles;
+    for (index_t v = 0; v < n; ++v) {
+      round.node_map[v] = cycle_id[v] >= 0 ? cycle_id[v] : next_id++;
+    }
+    const index_t new_root = round.node_map[cur_root];
+    const index_t new_n = next_id;
+
+    // Rebuild the edge list in the contracted node space. Edges entering a
+    // cycle are reduced by the weight of the cycle edge they would displace.
+    std::vector<WorkEdge> next_work;
+    next_work.reserve(work.size());
+    for (const auto& e : work) {
+      const index_t ns = round.node_map[e.src];
+      const index_t nd = round.node_map[e.dst];
+      if (ns == nd) continue;
+      std::int64_t w = e.weight;
+      if (cycle_id[e.dst] >= 0) w -= bestw[e.dst];
+      next_work.push_back({ns, nd, w, e.orig});
+    }
+    rounds.push_back(std::move(round));
+    work = std::move(next_work);
+    n = new_n;
+    cur_root = new_root;
+    CBM_CHECK(rounds.size() <= static_cast<std::size_t>(num_nodes),
+              "contraction failed to converge");
+  }
+
+  // Recovery phase: expand rounds in reverse. `selected` holds original edge
+  // ids forming the arborescence of the current (expanded-so-far) round.
+  std::vector<std::size_t> selected = std::move(final_chosen);
+  selected.erase(std::remove(selected.begin(), selected.end(), kNoEdge),
+                 selected.end());
+  for (std::size_t r = rounds.size(); r-- > 0;) {
+    const Round& round = rounds[r];
+    std::vector<bool> covered(static_cast<std::size_t>(round.num_nodes),
+                              false);
+    // Edges selected at the contracted level keep their original identity;
+    // mark the round-level node each one really enters.
+    for (const std::size_t orig : selected) {
+      index_t head = edges[orig].dst;
+      for (std::size_t q = 0; q < r; ++q) head = rounds[q].node_map[head];
+      CBM_DCHECK(!covered[head], "two selected edges entering one node");
+      covered[head] = true;
+    }
+    // Cycle members not displaced by an entering edge keep their round edge.
+    for (index_t v = 0; v < round.num_nodes; ++v) {
+      if (v == round.root || covered[v] || !round.in_cycle[v]) continue;
+      selected.push_back(round.chosen[v]);
+    }
+  }
+
+  CBM_CHECK(selected.size() == static_cast<std::size_t>(num_nodes) - 1,
+            "arborescence recovery produced wrong edge count");
+
+  ArborescenceResult result;
+  result.parent.assign(static_cast<std::size_t>(num_nodes), -1);
+  result.chosen_edge.assign(static_cast<std::size_t>(num_nodes), kNoEdge);
+  for (const std::size_t id : selected) {
+    const auto& e = edges[id];
+    CBM_CHECK(result.chosen_edge[e.dst] == kNoEdge,
+              "arborescence recovery selected two in-edges for one node");
+    result.parent[e.dst] = e.src;
+    result.chosen_edge[e.dst] = id;
+    result.total_weight += e.weight;
+  }
+  CBM_CHECK(result.chosen_edge[root] == kNoEdge,
+            "arborescence recovery gave the root an in-edge");
+  return result;
+}
+
+std::int64_t arborescence_cost_reference(index_t num_nodes,
+                                         const std::vector<WeightedEdge>& edges,
+                                         index_t root) {
+  // Textbook recursive Chu–Liu/Edmonds (contract one round, recurse);
+  // cost-only, O(V·E). Kept simple as a test oracle.
+  std::vector<WeightedEdge> cur;
+  for (const auto& e : edges) {
+    if (e.src != e.dst) cur.push_back(e);
+  }
+  index_t n = num_nodes;
+  index_t r = root;
+  // Classic accounting: every round adds each node's min in-edge weight and
+  // discounts *all* edges by the min in-edge of their head, so the sums
+  // telescope to the true cost.
+  std::int64_t total = 0;
+  while (true) {
+    std::vector<std::int64_t> bestw(static_cast<std::size_t>(n), kInf);
+    std::vector<index_t> bestsrc(static_cast<std::size_t>(n), -1);
+    for (const auto& e : cur) {
+      if (e.dst != r && e.weight < bestw[e.dst]) {
+        bestw[e.dst] = e.weight;
+        bestsrc[e.dst] = e.src;
+      }
+    }
+    for (index_t v = 0; v < n; ++v) {
+      if (v == r) continue;
+      CBM_CHECK(bestsrc[v] >= 0, "no arborescence (reference)");
+      total += bestw[v];
+    }
+    // Find one cycle.
+    std::vector<index_t> vis(static_cast<std::size_t>(n), -1);
+    std::vector<index_t> id(static_cast<std::size_t>(n), -1);
+    index_t cycles = 0;
+    for (index_t v = 0; v < n; ++v) {
+      if (v == r) continue;
+      index_t u = v;
+      while (u != r && vis[u] == -1) {
+        vis[u] = v;
+        u = bestsrc[u];
+      }
+      if (u != r && vis[u] == v && id[u] == -1) {
+        // trace the cycle
+        index_t w = u;
+        do {
+          id[w] = cycles;
+          w = bestsrc[w];
+        } while (w != u);
+        ++cycles;
+      }
+    }
+    if (cycles == 0) return total;
+    index_t next = cycles;
+    for (index_t v = 0; v < n; ++v) {
+      if (id[v] == -1) id[v] = next++;
+    }
+    std::vector<WeightedEdge> nxt;
+    for (const auto& e : cur) {
+      const index_t ns = id[e.src];
+      const index_t nd = id[e.dst];
+      if (ns == nd) continue;
+      // Discount by the head's chosen weight (root has none).
+      const std::int64_t w =
+          e.dst == r ? e.weight : e.weight - bestw[e.dst];
+      nxt.push_back({ns, nd, w});
+    }
+    cur = std::move(nxt);
+    r = id[r];
+    n = next;
+  }
+}
+
+}  // namespace cbm

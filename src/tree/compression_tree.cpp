@@ -1,0 +1,81 @@
+#include "tree/compression_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace cbm {
+
+CompressionTree CompressionTree::from_parents(std::vector<index_t> parent) {
+  const auto n = static_cast<index_t>(parent.size());
+  for (const index_t p : parent) {
+    CBM_CHECK(p >= 0 && p <= n, "parent index out of range");
+  }
+
+  CompressionTree tree;
+  tree.parent_ = std::move(parent);
+
+  // Children lists in CSR-ish form (counts then bucket fill) over n+1 nodes,
+  // the last being the virtual root.
+  std::vector<index_t> child_count(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t x = 0; x < n; ++x) ++child_count[tree.parent_[x]];
+  std::vector<offset_t> child_ptr(static_cast<std::size_t>(n) + 2, 0);
+  for (index_t v = 0; v <= n; ++v) child_ptr[v + 1] = child_ptr[v] + child_count[v];
+  std::vector<index_t> child(static_cast<std::size_t>(n));
+  {
+    std::vector<offset_t> cursor(child_ptr.begin(), child_ptr.end() - 1);
+    for (index_t x = 0; x < n; ++x) child[cursor[tree.parent_[x]]++] = x;
+  }
+  tree.root_children_ = child_count[n];
+
+  // BFS from the virtual root: gives the topological order and verifies that
+  // every row is reachable (i.e. the parent array is acyclic).
+  tree.topo_.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> depth(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> queue;
+  queue.reserve(static_cast<std::size_t>(n));
+  for (offset_t k = child_ptr[n]; k < child_ptr[n + 1]; ++k) {
+    queue.push_back(child[k]);
+    depth[child[k]] = 1;
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const index_t v = queue[head];
+    tree.topo_.push_back(v);
+    tree.max_depth_ = std::max(tree.max_depth_, depth[v]);
+    for (offset_t k = child_ptr[v]; k < child_ptr[v + 1]; ++k) {
+      depth[child[k]] = depth[v] + 1;
+      queue.push_back(child[k]);
+    }
+  }
+  CBM_CHECK(tree.topo_.size() == static_cast<std::size_t>(n),
+            "parent array contains a cycle (not a tree)");
+  tree.compressed_ = n - tree.root_children_;
+
+  // Branch decomposition: BFS each root-child subtree. Singleton subtrees are
+  // kept — the plain/AD update skips them in O(1), but the DAD update still
+  // has to scale their rows (Eq. 6 applies to every row).
+  tree.branches_.reserve(static_cast<std::size_t>(tree.root_children_));
+  std::vector<index_t> sub;
+  for (offset_t k = child_ptr[n]; k < child_ptr[n + 1]; ++k) {
+    const index_t c = child[k];
+    sub.clear();
+    sub.push_back(c);
+    for (std::size_t head = 0; head < sub.size(); ++head) {
+      const index_t v = sub[head];
+      for (offset_t q = child_ptr[v]; q < child_ptr[v + 1]; ++q) {
+        sub.push_back(child[q]);
+      }
+    }
+    tree.branches_.push_back(sub);
+  }
+  return tree;
+}
+
+std::size_t CompressionTree::bytes() const {
+  std::size_t total = parent_.size() * sizeof(index_t);
+  for (const auto& b : branches_) total += b.size() * sizeof(index_t);
+  return total;
+}
+
+}  // namespace cbm

@@ -1,0 +1,79 @@
+// The CBM compression tree: a rooted tree over the matrix rows plus the
+// virtual node (paper §III). Row x is reconstructed from its parent row
+// parent(x); rows whose parent is the virtual node are stored directly
+// (their deltas are their adjacency lists).
+//
+// Also precomputes what the multiplication kernels need:
+//  - a topological order of rows (parents before children, paper §IV), and
+//  - the branch decomposition: the subtrees hanging off the virtual root are
+//    mutually independent in the update stage, so each is a unit of parallel
+//    work (paper §V-B). Branches are stored pre-sorted in topological order.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cbm {
+
+class CompressionTree {
+ public:
+  CompressionTree() = default;
+
+  /// Builds from a parent array over rows 0..n-1, where parent[x] is either
+  /// another row or `n` (the virtual root). Validates acyclicity.
+  static CompressionTree from_parents(std::vector<index_t> parent);
+
+  /// Number of matrix rows (excluding the virtual root).
+  [[nodiscard]] index_t num_rows() const {
+    return static_cast<index_t>(parent_.size());
+  }
+
+  /// Index used for the virtual root in parent().
+  [[nodiscard]] index_t virtual_root() const { return num_rows(); }
+
+  /// Parent row of x (== virtual_root() when x is stored directly).
+  [[nodiscard]] index_t parent(index_t x) const { return parent_[x]; }
+
+  /// True when x hangs directly off the virtual root.
+  [[nodiscard]] bool is_root_child(index_t x) const {
+    return parent_[x] == virtual_root();
+  }
+
+  /// All rows, parents before children.
+  [[nodiscard]] std::span<const index_t> topological_order() const {
+    return topo_;
+  }
+
+  /// Rows with a real (non-virtual) parent — the edges the update stage must
+  /// process.
+  [[nodiscard]] index_t num_compressed_rows() const { return compressed_; }
+
+  /// Branch decomposition: one entry per child of the virtual root, holding
+  /// that subtree's rows in topological order (the subtree root first).
+  /// Singleton branches are included (the DAD update must scale their rows).
+  [[nodiscard]] const std::vector<std::vector<index_t>>& branches() const {
+    return branches_;
+  }
+
+  /// Out-degree of the virtual root = available update-stage parallelism.
+  [[nodiscard]] index_t root_out_degree() const { return root_children_; }
+
+  /// Longest root-to-leaf path length (edges).
+  [[nodiscard]] index_t max_depth() const { return max_depth_; }
+
+  /// Heap bytes of the structures a multiplication kernel must keep resident
+  /// (parent array + branch lists); part of the paper's S_CBM.
+  [[nodiscard]] std::size_t bytes() const;
+
+ private:
+  std::vector<index_t> parent_;
+  std::vector<index_t> topo_;
+  std::vector<std::vector<index_t>> branches_;
+  index_t root_children_ = 0;
+  index_t compressed_ = 0;
+  index_t max_depth_ = 0;
+};
+
+}  // namespace cbm

@@ -1,0 +1,18 @@
+// Weighted edge shared by the MST / MCA solvers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace cbm {
+
+/// Directed (src → dst) or undirected edge with integral weight (Hamming
+/// distances / delta counts are integers).
+struct WeightedEdge {
+  index_t src = 0;
+  index_t dst = 0;
+  std::int64_t weight = 0;
+};
+
+}  // namespace cbm

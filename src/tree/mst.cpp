@@ -1,0 +1,67 @@
+#include "tree/mst.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "tree/union_find.hpp"
+
+namespace cbm {
+
+MstResult kruskal_mst(index_t num_nodes, std::vector<WeightedEdge> edges) {
+  CBM_CHECK(num_nodes >= 1, "MST needs at least one node");
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return edges[a].weight < edges[b].weight;
+                   });
+
+  UnionFind uf(num_nodes);
+  MstResult result;
+  result.edge_ids.reserve(static_cast<std::size_t>(num_nodes) - 1);
+  for (const std::size_t id : order) {
+    const auto& e = edges[id];
+    CBM_CHECK(e.src >= 0 && e.src < num_nodes && e.dst >= 0 &&
+                  e.dst < num_nodes,
+              "edge endpoint out of range");
+    if (uf.unite(e.src, e.dst)) {
+      result.edge_ids.push_back(id);
+      result.total_weight += e.weight;
+      if (uf.num_sets() == 1) break;
+    }
+  }
+  CBM_CHECK(uf.num_sets() == 1, "MST input graph is disconnected");
+  return result;
+}
+
+std::vector<index_t> root_tree(index_t num_nodes,
+                               const std::vector<WeightedEdge>& edges,
+                               const std::vector<std::size_t>& edge_ids,
+                               index_t root) {
+  CBM_CHECK(root >= 0 && root < num_nodes, "root out of range");
+  // Adjacency of the forest.
+  std::vector<std::vector<index_t>> adj(static_cast<std::size_t>(num_nodes));
+  for (const std::size_t id : edge_ids) {
+    adj[edges[id].src].push_back(edges[id].dst);
+    adj[edges[id].dst].push_back(edges[id].src);
+  }
+  std::vector<index_t> parent(static_cast<std::size_t>(num_nodes), -2);
+  std::vector<index_t> queue;
+  queue.push_back(root);
+  parent[root] = -1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const index_t v = queue[head];
+    for (const index_t u : adj[v]) {
+      if (parent[u] == -2) {
+        parent[u] = v;
+        queue.push_back(u);
+      }
+    }
+  }
+  CBM_CHECK(queue.size() == static_cast<std::size_t>(num_nodes),
+            "spanning edges do not reach every node");
+  return parent;
+}
+
+}  // namespace cbm

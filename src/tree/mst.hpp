@@ -1,0 +1,30 @@
+// Kruskal minimum spanning tree — the α = 0 (symmetric) compression-tree
+// solver of the paper's Section III.
+#pragma once
+
+#include <vector>
+
+#include "tree/edge.hpp"
+
+namespace cbm {
+
+/// Result of an MST computation on n nodes.
+struct MstResult {
+  std::int64_t total_weight = 0;
+  /// Indices into the input edge list of the n-1 chosen edges.
+  std::vector<std::size_t> edge_ids;
+};
+
+/// Kruskal over an undirected edge list. Requires the edges to connect all
+/// n nodes (the CBM distance graph always is, thanks to the virtual node).
+/// Throws CbmError when the graph is disconnected.
+MstResult kruskal_mst(index_t num_nodes, std::vector<WeightedEdge> edges);
+
+/// Converts an undirected spanning forest into a parent array rooted at
+/// `root` (parent[root] = -1) via BFS over the chosen edges.
+std::vector<index_t> root_tree(index_t num_nodes,
+                               const std::vector<WeightedEdge>& edges,
+                               const std::vector<std::size_t>& edge_ids,
+                               index_t root);
+
+}  // namespace cbm

@@ -1,0 +1,38 @@
+#include "tree/union_find.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace cbm {
+
+UnionFind::UnionFind(index_t n)
+    : parent_(static_cast<std::size_t>(n)),
+      size_(static_cast<std::size_t>(n), 1),
+      sets_(n) {
+  CBM_CHECK(n >= 0, "UnionFind size must be nonnegative");
+  std::iota(parent_.begin(), parent_.end(), index_t{0});
+}
+
+index_t UnionFind::find(index_t x) {
+  CBM_DCHECK(x >= 0 && x < static_cast<index_t>(parent_.size()),
+             "find out of range");
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(index_t a, index_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --sets_;
+  return true;
+}
+
+}  // namespace cbm

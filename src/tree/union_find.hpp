@@ -1,0 +1,32 @@
+// Disjoint-set union with path halving and union by size.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cbm {
+
+/// Union–find over {0, ..., n-1}.
+class UnionFind {
+ public:
+  explicit UnionFind(index_t n);
+
+  /// Representative of x's set (with path halving).
+  index_t find(index_t x);
+
+  /// Merges the sets of a and b; returns false when already joined.
+  bool unite(index_t a, index_t b);
+
+  /// True when a and b share a set.
+  bool connected(index_t a, index_t b) { return find(a) == find(b); }
+
+  [[nodiscard]] index_t num_sets() const { return sets_; }
+
+ private:
+  std::vector<index_t> parent_;
+  std::vector<index_t> size_;
+  index_t sets_;
+};
+
+}  // namespace cbm

@@ -1,0 +1,93 @@
+// Tests for the sampled compressibility probe (§VI-H alternative).
+#include <gtest/gtest.h>
+
+#include "bench_util/datasets.hpp"
+#include "cbm/analyze.hpp"
+#include "cbm/cbm_matrix.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+TEST(Analyze, FullSampleIsLowerBoundOnActualDeltas) {
+  // Sampling every row gives the per-row optimal delta count — a lower bound
+  // on what the arborescence (which must resolve cycles) achieves.
+  const auto a = test::clustered_binary(80, 5, 10, 2, 0xA11ull);
+  const auto est = estimate_compressibility(a, 80);
+  EXPECT_EQ(est.samples, 80);
+  CbmStats stats;
+  CbmMatrix<float>::compress(a, {.alpha = 0}, &stats);
+  const double actual_fraction =
+      static_cast<double>(stats.total_deltas) / stats.source_nnz;
+  EXPECT_LE(est.delta_fraction, actual_fraction + 1e-9);
+  // ...and not absurdly far below it on a well-behaved matrix.
+  EXPECT_GT(est.delta_fraction, actual_fraction * 0.5);
+}
+
+TEST(Analyze, SampledEstimateTracksFullEstimate) {
+  const Graph g = make_standin("copapersdblp", 0.05);
+  const auto& a = g.adjacency();
+  const auto full = estimate_compressibility(a, a.rows());
+  const auto sampled = estimate_compressibility(a, a.rows() / 8, 7);
+  EXPECT_NEAR(sampled.delta_fraction, full.delta_fraction, 0.12);
+}
+
+TEST(Analyze, SeparatesCompressibleFromIncompressible) {
+  const Graph collab = make_standin("collab", 0.05);
+  const Graph citation = make_standin("pubmed", 0.2);
+  const auto good =
+      estimate_compressibility(collab.adjacency(), 400, 1);
+  const auto poor =
+      estimate_compressibility(citation.adjacency(), 400, 1);
+  EXPECT_LT(good.delta_fraction, 0.35);   // strong compression predicted
+  EXPECT_GT(poor.delta_fraction, 0.75);   // near-parity predicted
+  EXPECT_GT(good.est_ratio, poor.est_ratio * 2);
+}
+
+TEST(Analyze, PredictedRatioCorrelatesWithRealRatio) {
+  // Rank agreement between the probe and the actual builder across three
+  // graph families.
+  std::vector<std::pair<double, double>> points;  // (estimate, actual)
+  for (const char* name : {"pubmed", "ca-hepph", "collab"}) {
+    const Graph g = make_standin(name, 0.08);
+    const auto est = estimate_compressibility(g.adjacency(), 300, 2);
+    CbmStats stats;
+    CbmMatrix<float>::compress(g.adjacency(), {.alpha = 0}, &stats);
+    points.emplace_back(
+        est.est_ratio,
+        static_cast<double>(g.adjacency().bytes()) / stats.bytes);
+  }
+  // Orders must agree pairwise.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      EXPECT_EQ(points[i].first < points[j].first,
+                points[i].second < points[j].second)
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Analyze, EmptyAndEdgeCases) {
+  CooMatrix<float> empty;
+  empty.rows = 4;
+  empty.cols = 4;
+  const auto a = CsrMatrix<float>::from_coo(empty);
+  const auto est = estimate_compressibility(a, 4);
+  EXPECT_DOUBLE_EQ(est.delta_fraction, 1.0);
+  EXPECT_THROW(estimate_compressibility(a, 0), CbmError);
+
+  // Identity: no overlaps anywhere → fraction exactly 1.
+  const auto eye = CsrMatrix<float>::identity(16);
+  const auto eye_est = estimate_compressibility(eye, 16);
+  EXPECT_DOUBLE_EQ(eye_est.delta_fraction, 1.0);
+}
+
+TEST(Analyze, DeterministicPerSeed) {
+  const auto a = test::clustered_binary(60, 4, 9, 2, 0xA12ull);
+  const auto x = estimate_compressibility(a, 20, 99);
+  const auto y = estimate_compressibility(a, 20, 99);
+  EXPECT_DOUBLE_EQ(x.delta_fraction, y.delta_fraction);
+}
+
+}  // namespace
+}  // namespace cbm

@@ -1,0 +1,154 @@
+// Tests for the Chu–Liu/Edmonds minimum-cost arborescence solver (the α>0
+// compression-tree engine). Validated three ways: known cases, structural
+// validity, and cost agreement with an independent reference implementation
+// on random digraphs.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tree/arborescence.hpp"
+
+namespace cbm {
+namespace {
+
+/// Checks that the result is a spanning arborescence rooted at `root` and
+/// that its reported weight matches the chosen edges.
+void expect_valid_arborescence(index_t n,
+                               const std::vector<WeightedEdge>& edges,
+                               index_t root, const ArborescenceResult& r) {
+  ASSERT_EQ(r.parent.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(r.parent[root], -1);
+  std::int64_t weight = 0;
+  for (index_t v = 0; v < n; ++v) {
+    if (v == root) continue;
+    ASSERT_GE(r.parent[v], 0);
+    const auto id = r.chosen_edge[v];
+    ASSERT_LT(id, edges.size());
+    EXPECT_EQ(edges[id].dst, v);
+    EXPECT_EQ(edges[id].src, r.parent[v]);
+    weight += edges[id].weight;
+  }
+  EXPECT_EQ(weight, r.total_weight);
+  // Walking up from every node must reach the root (acyclicity).
+  for (index_t v = 0; v < n; ++v) {
+    index_t cur = v;
+    for (index_t steps = 0; cur != root; ++steps) {
+      ASSERT_LE(steps, n) << "cycle in parent array";
+      cur = r.parent[cur];
+    }
+  }
+}
+
+TEST(Arborescence, TrivialSingleNode) {
+  const auto r = chu_liu_edmonds(1, {}, 0);
+  EXPECT_EQ(r.total_weight, 0);
+  EXPECT_EQ(r.parent[0], -1);
+}
+
+TEST(Arborescence, SimpleChain) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 5}, {1, 2, 3}};
+  const auto r = chu_liu_edmonds(3, edges, 0);
+  expect_valid_arborescence(3, edges, 0, r);
+  EXPECT_EQ(r.total_weight, 8);
+}
+
+TEST(Arborescence, PicksCheaperParent) {
+  const std::vector<WeightedEdge> edges = {
+      {0, 1, 10}, {0, 2, 1}, {2, 1, 2}};
+  const auto r = chu_liu_edmonds(3, edges, 0);
+  expect_valid_arborescence(3, edges, 0, r);
+  EXPECT_EQ(r.total_weight, 3);  // 0→2 (1), 2→1 (2)
+  EXPECT_EQ(r.parent[1], 2);
+}
+
+TEST(Arborescence, ResolvesTwoCycle) {
+  // 1 and 2 prefer each other (mutual weight 1); the root can only enter at
+  // cost 10. Optimal: one root edge + one cycle edge = 11.
+  const std::vector<WeightedEdge> edges = {
+      {0, 1, 10}, {0, 2, 10}, {1, 2, 1}, {2, 1, 1}};
+  const auto r = chu_liu_edmonds(3, edges, 0);
+  expect_valid_arborescence(3, edges, 0, r);
+  EXPECT_EQ(r.total_weight, 11);
+}
+
+TEST(Arborescence, ResolvesNestedCycles) {
+  // Two 2-cycles chained; forces at least two contraction rounds.
+  const std::vector<WeightedEdge> edges = {
+      {1, 2, 1}, {2, 1, 1},          // cycle A
+      {3, 4, 1}, {4, 3, 1},          // cycle B
+      {2, 3, 2},                     // A → B
+      {0, 1, 8},                     // root → A
+      {0, 3, 9},                     // root → B (worse)
+  };
+  const auto r = chu_liu_edmonds(5, edges, 0);
+  expect_valid_arborescence(5, edges, 0, r);
+  EXPECT_EQ(r.total_weight, 8 + 1 + 2 + 1);
+}
+
+TEST(Arborescence, UnreachableNodeThrows) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}};
+  EXPECT_THROW(chu_liu_edmonds(3, edges, 0), CbmError);
+}
+
+TEST(Arborescence, SelfLoopsIgnored) {
+  const std::vector<WeightedEdge> edges = {{1, 1, 0}, {0, 1, 4}};
+  const auto r = chu_liu_edmonds(2, edges, 0);
+  EXPECT_EQ(r.total_weight, 4);
+}
+
+TEST(Arborescence, ParallelEdgesUseCheapest) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 9}, {0, 1, 2}, {0, 1, 5}};
+  const auto r = chu_liu_edmonds(2, edges, 0);
+  EXPECT_EQ(r.total_weight, 2);
+  EXPECT_EQ(r.chosen_edge[1], 1u);
+}
+
+TEST(Arborescence, TieBreakPrefersEarlierEdge) {
+  // Equal-cost parents: the first edge in the list must win (strict < in the
+  // min scan). The CBM builder relies on this to prefer virtual-root edges.
+  const std::vector<WeightedEdge> edges = {{0, 2, 3}, {1, 2, 3}, {0, 1, 1}};
+  const auto r = chu_liu_edmonds(3, edges, 0);
+  EXPECT_EQ(r.parent[2], 0);
+}
+
+TEST(Arborescence, MatchesReferenceOnRandomDigraphs) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 120; ++trial) {
+    const index_t n = 2 + static_cast<index_t>(rng.next_below(14));
+    std::vector<WeightedEdge> edges;
+    // Root reaches everything (mirrors the CBM virtual node), then noise.
+    for (index_t v = 1; v < n; ++v) {
+      edges.push_back({0, v, static_cast<std::int64_t>(rng.next_below(30))});
+    }
+    const auto extra = rng.next_below(static_cast<std::uint64_t>(4 * n));
+    for (std::uint64_t e = 0; e < extra; ++e) {
+      const auto u = static_cast<index_t>(rng.next_below(n));
+      const auto v = static_cast<index_t>(rng.next_below(n));
+      edges.push_back(
+          {u, v, static_cast<std::int64_t>(rng.next_below(30))});
+    }
+    const auto r = chu_liu_edmonds(n, edges, 0);
+    expect_valid_arborescence(n, edges, 0, r);
+    EXPECT_EQ(r.total_weight, arborescence_cost_reference(n, edges, 0))
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(Arborescence, LargeRandomStressStaysValid) {
+  Rng rng(7);
+  const index_t n = 500;
+  std::vector<WeightedEdge> edges;
+  for (index_t v = 1; v < n; ++v) {
+    edges.push_back({0, v, static_cast<std::int64_t>(rng.next_below(100))});
+  }
+  for (int e = 0; e < 6000; ++e) {
+    const auto u = static_cast<index_t>(rng.next_below(n));
+    const auto v = static_cast<index_t>(rng.next_below(n));
+    edges.push_back({u, v, static_cast<std::int64_t>(rng.next_below(100))});
+  }
+  const auto r = chu_liu_edmonds(n, edges, 0);
+  expect_valid_arborescence(n, edges, 0, r);
+  EXPECT_EQ(r.total_weight, arborescence_cost_reference(n, edges, 0));
+}
+
+}  // namespace
+}  // namespace cbm

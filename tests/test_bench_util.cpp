@@ -1,0 +1,99 @@
+// Tests for the benchmark-harness utilities: env parsing, table formatting,
+// repetition timing, and the dataset registry's paper constants.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench_util/datasets.hpp"
+#include "bench_util/env.hpp"
+#include "bench_util/runner.hpp"
+#include "bench_util/table.hpp"
+
+namespace cbm {
+namespace {
+
+TEST(Env, IntDoubleStringWithDefaults) {
+  ::unsetenv("CBM_TEST_ENV_X");
+  EXPECT_EQ(env_int("CBM_TEST_ENV_X", 7), 7);
+  EXPECT_DOUBLE_EQ(env_double("CBM_TEST_ENV_X", 1.5), 1.5);
+  EXPECT_EQ(env_string("CBM_TEST_ENV_X", "dflt"), "dflt");
+  ::setenv("CBM_TEST_ENV_X", "42", 1);
+  EXPECT_EQ(env_int("CBM_TEST_ENV_X", 7), 42);
+  EXPECT_DOUBLE_EQ(env_double("CBM_TEST_ENV_X", 1.5), 42.0);
+  EXPECT_EQ(env_string("CBM_TEST_ENV_X", "dflt"), "42");
+  ::unsetenv("CBM_TEST_ENV_X");
+}
+
+TEST(Env, BenchConfigReadsOverrides) {
+  ::setenv("CBM_BENCH_COLS", "99", 1);
+  ::setenv("CBM_BENCH_SCALE", "0.25", 1);
+  const auto config = BenchConfig::from_env();
+  EXPECT_EQ(config.cols, 99);
+  EXPECT_DOUBLE_EQ(config.scale, 0.25);
+  EXPECT_GE(config.threads, 1);
+  ::unsetenv("CBM_BENCH_COLS");
+  ::unsetenv("CBM_BENCH_SCALE");
+}
+
+TEST(Table, RowWidthValidated) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CbmError);
+  t.add_row({"x", "y"});  // fine
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_seconds(0.12345), "0.1235");
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.14159, 0), "3");
+  EXPECT_EQ(fmt_mib(1024 * 1024), "1.00");
+  EXPECT_EQ(fmt_mib(3 * 1024 * 1024 / 2), "1.50");
+  const auto ms = fmt_mean_std(0.5, 0.01);
+  EXPECT_NE(ms.find("0.5000"), std::string::npos);
+  EXPECT_NE(ms.find("0.0100"), std::string::npos);
+}
+
+TEST(Runner, CountsRepsNotWarmup) {
+  int calls = 0;
+  const auto stats = time_repetitions([&] { ++calls; }, 5, 2);
+  EXPECT_EQ(calls, 7);
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_GE(stats.mean(), 0.0);
+}
+
+TEST(Datasets, RegistryMatchesPaperTableI) {
+  // Spot-check the recorded paper constants against Table I/II/V.
+  const auto& cora = dataset_spec("cora");
+  EXPECT_EQ(cora.paper_nodes, 2708);
+  EXPECT_EQ(cora.paper_edges, 10556);
+  EXPECT_DOUBLE_EQ(cora.paper_clustering, 0.24);
+
+  const auto& collab = dataset_spec("collab");
+  EXPECT_EQ(collab.paper_nodes, 372474);
+  EXPECT_DOUBLE_EQ(collab.paper_ratio_alpha0, 11.0);
+  EXPECT_EQ(collab.paper_best_alpha_seq, 4);
+  EXPECT_EQ(collab.paper_best_alpha_par, 16);
+
+  const auto& proteins = dataset_spec("ogbn-proteins");
+  EXPECT_DOUBLE_EQ(proteins.paper_avg_degree, 298.5);
+  EXPECT_EQ(proteins.paper_best_alpha_seq, 8);
+}
+
+TEST(Datasets, StandinsAreDeterministic) {
+  const Graph a = make_standin("ca-hepph", 0.05);
+  const Graph b = make_standin("ca-hepph", 0.05);
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+}
+
+TEST(Datasets, ScaleShrinksGraphs) {
+  const Graph small = make_standin("pubmed", 0.05);
+  const Graph large = make_standin("pubmed", 0.2);
+  EXPECT_LT(small.num_nodes(), large.num_nodes());
+}
+
+TEST(Datasets, InvalidScaleRejected) {
+  EXPECT_THROW(make_standin("cora", 0.0), CbmError);
+  EXPECT_THROW(make_standin("cora", 1.5), CbmError);
+}
+
+}  // namespace
+}  // namespace cbm

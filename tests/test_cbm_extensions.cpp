@@ -1,0 +1,294 @@
+// Tests for the CBM extensions beyond the paper's core experiments:
+// matrix-vector products (§IV's native formulation), the two-sided D₁·A·D₂
+// generalisation (§V-A), and rectangular (m×n) compression, which the
+// partitioned format builds on.
+#include <gtest/gtest.h>
+
+#include "cbm/cbm_matrix.hpp"
+#include "dense/ops.hpp"
+#include "sparse/scale.hpp"
+#include "sparse/spmm.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+class SpmvCase : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpmvCase, MultiplyVectorMatchesCsrSpmv) {
+  const int alpha = GetParam();
+  const index_t n = 80;
+  const auto a = test::clustered_binary(n, 6, 10, 2, 500 + alpha);
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = alpha});
+
+  Rng rng(7);
+  std::vector<float> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.next_float();
+  std::vector<float> y_cbm(x.size()), y_csr(x.size());
+  cbm.multiply_vector(std::span<const float>(x), std::span<float>(y_cbm));
+  csr_spmv(a, std::span<const float>(x), std::span<float>(y_csr));
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y_cbm[i], y_csr[i], 1e-3f) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, SpmvCase, ::testing::Values(0, 2, 8, 32));
+
+TEST(Spmv, AllKindsAndSchedules) {
+  const index_t n = 60;
+  const auto a = test::clustered_binary(n, 5, 9, 2, 61);
+  const auto d = test::random_diagonal<float>(n, 62);
+  Rng rng(63);
+  std::vector<float> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.next_float();
+
+  for (const CbmKind kind :
+       {CbmKind::kPlain, CbmKind::kColumnScaled, CbmKind::kSymScaled}) {
+    CsrMatrix<float> baseline = a;
+    if (kind == CbmKind::kColumnScaled) {
+      baseline = scale_columns(a, std::span<const float>(d));
+    }
+    if (kind == CbmKind::kSymScaled) {
+      baseline = scale_both(a, std::span<const float>(d),
+                            std::span<const float>(d));
+    }
+    const auto cbm =
+        kind == CbmKind::kPlain
+            ? CbmMatrix<float>::compress(a)
+            : CbmMatrix<float>::compress_scaled(a, std::span<const float>(d),
+                                                kind);
+    std::vector<float> y_csr(x.size());
+    csr_spmv(baseline, std::span<const float>(x), std::span<float>(y_csr));
+    for (const UpdateSchedule schedule :
+         {UpdateSchedule::kSequential, UpdateSchedule::kBranchDynamic,
+          UpdateSchedule::kBranchStatic}) {
+      std::vector<float> y(x.size());
+      cbm.multiply_vector(std::span<const float>(x), std::span<float>(y),
+                          schedule);
+      for (index_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(y[i], y_csr[i], 1e-3f)
+            << "kind " << static_cast<int>(kind) << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(Spmv, LengthValidation) {
+  const auto a = test::clustered_binary(10, 2, 4, 1, 64);
+  const auto cbm = CbmMatrix<float>::compress(a);
+  std::vector<float> x(9), y(10);
+  EXPECT_THROW(
+      cbm.multiply_vector(std::span<const float>(x), std::span<float>(y)),
+      CbmError);
+  std::vector<float> x_ok(10), y_bad(11);
+  EXPECT_THROW(cbm.multiply_vector(std::span<const float>(x_ok),
+                                   std::span<float>(y_bad)),
+               CbmError);
+}
+
+TEST(TwoSided, MatchesExplicitScaling) {
+  const index_t n = 70;
+  const auto a = test::clustered_binary(n, 6, 9, 2, 71);
+  const auto dl = test::random_diagonal<float>(n, 72);
+  const auto dr = test::random_diagonal<float>(n, 73);
+  const auto baseline =
+      scale_both(a, std::span<const float>(dl), std::span<const float>(dr));
+
+  const auto cbm = CbmMatrix<float>::compress_two_sided(
+      a, std::span<const float>(dl), std::span<const float>(dr),
+      {.alpha = 2});
+  EXPECT_EQ(cbm.kind(), CbmKind::kTwoSided);
+
+  const auto b = test::random_dense<float>(n, 11, 74);
+  DenseMatrix<float> c_cbm(n, 11), c_csr(n, 11);
+  cbm.multiply(b, c_cbm);
+  csr_spmm(baseline, b, c_csr);
+  EXPECT_TRUE(allclose(c_cbm, c_csr, 1e-4, 1e-5));
+
+  // Vector path too.
+  Rng rng(75);
+  std::vector<float> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.next_float();
+  std::vector<float> y_cbm(x.size()), y_csr(x.size());
+  cbm.multiply_vector(std::span<const float>(x), std::span<float>(y_cbm));
+  csr_spmv(baseline, std::span<const float>(x), std::span<float>(y_csr));
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(y_cbm[i], y_csr[i], 1e-3f);
+}
+
+TEST(TwoSided, ReducesToSymWhenDiagonalsEqual) {
+  const index_t n = 40;
+  const auto a = test::clustered_binary(n, 4, 8, 2, 81);
+  const auto d = test::random_diagonal<float>(n, 82);
+  const auto sym = CbmMatrix<float>::compress_scaled(
+      a, std::span<const float>(d), CbmKind::kSymScaled);
+  const auto two = CbmMatrix<float>::compress_two_sided(
+      a, std::span<const float>(d), std::span<const float>(d));
+  const auto b = test::random_dense<float>(n, 7, 83);
+  DenseMatrix<float> c_sym(n, 7), c_two(n, 7);
+  sym.multiply(b, c_sym);
+  two.multiply(b, c_two);
+  EXPECT_EQ(max_abs_diff(c_sym, c_two), 0.0);
+}
+
+TEST(TwoSided, Validation) {
+  const auto a = test::clustered_binary(10, 2, 4, 1, 84);
+  const std::vector<float> ok(10, 1.0f), bad(9, 1.0f);
+  const std::vector<float> with_zero = [] {
+    std::vector<float> v(10, 1.0f);
+    v[3] = 0.0f;
+    return v;
+  }();
+  EXPECT_THROW(CbmMatrix<float>::compress_two_sided(
+                   a, std::span<const float>(bad), std::span<const float>(ok)),
+               CbmError);
+  EXPECT_THROW(CbmMatrix<float>::compress_two_sided(
+                   a, std::span<const float>(ok), std::span<const float>(bad)),
+               CbmError);
+  // Zero entries are fatal on the left (update divides), fine on the right.
+  EXPECT_THROW(
+      CbmMatrix<float>::compress_two_sided(a, std::span<const float>(with_zero),
+                                           std::span<const float>(ok)),
+      CbmError);
+  EXPECT_NO_THROW(CbmMatrix<float>::compress_two_sided(
+      a, std::span<const float>(ok), std::span<const float>(with_zero)));
+}
+
+TEST(Rectangular, CompressAndMultiply) {
+  // 30×50 binary matrix with duplicate-heavy rows.
+  const index_t rows = 30, cols = 50;
+  Rng rng(91);
+  CooMatrix<float> coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  for (index_t i = 0; i < rows; ++i) {
+    const std::uint64_t group_seed = 1000 + i % 3;  // 3 row templates
+    Rng row_rng(group_seed);
+    for (int k = 0; k < 12; ++k) {
+      coo.push(i, static_cast<index_t>(row_rng.next_below(cols)), 1.0f);
+    }
+    // one private column per row
+    coo.push(i, static_cast<index_t>(rng.next_below(cols)), 1.0f);
+  }
+  // from_coo sums duplicates → re-binarise.
+  auto tmp = CsrMatrix<float>::from_coo(coo);
+  std::vector<float> ones(tmp.values().begin(), tmp.values().end());
+  for (auto& v : ones) v = 1.0f;
+  const CsrMatrix<float> a(rows, cols,
+                           {tmp.indptr().begin(), tmp.indptr().end()},
+                           {tmp.indices().begin(), tmp.indices().end()},
+                           std::move(ones));
+
+  CbmStats stats;
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = 0}, &stats);
+  EXPECT_LE(stats.total_deltas, stats.source_nnz);  // Property 1 holds
+
+  const auto b = test::random_dense<float>(cols, 6, 92);
+  DenseMatrix<float> c_cbm(rows, 6), c_csr(rows, 6);
+  cbm.multiply(b, c_cbm);
+  csr_spmm(a, b, c_csr);
+  EXPECT_TRUE(allclose(c_cbm, c_csr, 1e-4, 1e-5));
+
+  // Column-scaled rectangular: diagonal length = cols.
+  const auto d = test::random_diagonal<float>(cols, 93);
+  const auto scaled = CbmMatrix<float>::compress_scaled(
+      a, std::span<const float>(d), CbmKind::kColumnScaled);
+  const auto baseline = scale_columns(a, std::span<const float>(d));
+  DenseMatrix<float> c2_cbm(rows, 6), c2_csr(rows, 6);
+  scaled.multiply(b, c2_cbm);
+  csr_spmm(baseline, b, c2_csr);
+  EXPECT_TRUE(allclose(c2_cbm, c2_csr, 1e-4, 1e-5));
+}
+
+TEST(Rectangular, SymScaledStillRequiresSquare) {
+  CooMatrix<float> coo;
+  coo.rows = 3;
+  coo.cols = 4;
+  coo.push(0, 1, 1.0f);
+  const auto a = CsrMatrix<float>::from_coo(coo);
+  const std::vector<float> d(3, 1.0f);
+  EXPECT_THROW(CbmMatrix<float>::compress_scaled(
+                   a, std::span<const float>(d), CbmKind::kSymScaled),
+               CbmError);
+}
+
+TEST(Materialize, RoundTripsPlainMatrix) {
+  const auto a = test::clustered_binary(60, 5, 9, 2, 97);
+  for (const int alpha : {0, 4, 32}) {
+    const auto cbm = CbmMatrix<float>::compress(a, {.alpha = alpha});
+    EXPECT_EQ(cbm.materialize(), a) << "alpha=" << alpha;
+  }
+}
+
+TEST(Materialize, RoundTripsScaledKinds) {
+  const index_t n = 45;
+  const auto a = test::clustered_binary(n, 4, 8, 2, 98);
+  const auto dl = test::random_diagonal<float>(n, 99);
+  const auto dr = test::random_diagonal<float>(n, 100);
+  const std::span<const float> l(dl), r(dr);
+  {
+    const auto cbm =
+        CbmMatrix<float>::compress_scaled(a, r, CbmKind::kColumnScaled);
+    const auto back = cbm.materialize();
+    const auto expect = scale_columns(a, r);
+    ASSERT_EQ(back.nnz(), expect.nnz());
+    for (index_t i = 0; i < n; ++i) {
+      for (const index_t j : a.row_indices(i)) {
+        EXPECT_FLOAT_EQ(back.at(i, j), expect.at(i, j));
+      }
+    }
+  }
+  {
+    const auto cbm = CbmMatrix<float>::compress_two_sided(a, l, r);
+    const auto back = cbm.materialize();
+    const auto expect = scale_both(a, l, r);
+    for (index_t i = 0; i < n; ++i) {
+      for (const index_t j : a.row_indices(i)) {
+        EXPECT_NEAR(back.at(i, j), expect.at(i, j), 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(Materialize, RectangularRoundTrip) {
+  CooMatrix<float> coo;
+  coo.rows = 6;
+  coo.cols = 9;
+  for (const auto [i, j] : std::vector<std::pair<index_t, index_t>>{
+           {0, 1}, {0, 7}, {1, 1}, {1, 7}, {2, 1}, {2, 7}, {2, 8}, {5, 0}}) {
+    coo.push(i, j, 1.0f);
+  }
+  const auto a = CsrMatrix<float>::from_coo(coo);
+  const auto cbm = CbmMatrix<float>::compress(a);
+  EXPECT_EQ(cbm.materialize(), a);
+}
+
+TEST(FromParts, RoundTripsAndValidates) {
+  const auto a = test::clustered_binary(25, 3, 7, 2, 95);
+  const auto original = CbmMatrix<float>::compress(a, {.alpha = 1});
+  std::vector<index_t> parent(25);
+  for (index_t x = 0; x < 25; ++x) parent[x] = original.tree().parent(x);
+  auto rebuilt = CbmMatrix<float>::from_parts(
+      original.kind(), CompressionTree::from_parents(parent),
+      original.delta_matrix(), {});
+  const auto b = test::random_dense<float>(25, 5, 96);
+  DenseMatrix<float> c1(25, 5), c2(25, 5);
+  original.multiply(b, c1);
+  rebuilt.multiply(b, c2);
+  EXPECT_EQ(max_abs_diff(c1, c2), 0.0);
+
+  // Mismatched tree/delta rejected.
+  EXPECT_THROW(CbmMatrix<float>::from_parts(
+                   CbmKind::kPlain, CompressionTree::from_parents({1, 2, 2}),
+                   original.delta_matrix(), {}),
+               CbmError);
+  // Row-scaled kind without diagonal rejected.
+  EXPECT_THROW(
+      CbmMatrix<float>::from_parts(CbmKind::kSymScaled,
+                                   CompressionTree::from_parents(
+                                       std::vector<index_t>(parent)),
+                                   original.delta_matrix(), {}),
+      CbmError);
+}
+
+}  // namespace
+}  // namespace cbm

@@ -1,0 +1,237 @@
+// End-to-end correctness of the CBM format: compress + multiply must equal
+// the CSR baseline for A·X, AD·X and DAD·X under every schedule and α.
+#include <gtest/gtest.h>
+
+#include "cbm/cbm_matrix.hpp"
+#include "common/parallel.hpp"
+#include "dense/ops.hpp"
+#include "sparse/scale.hpp"
+#include "sparse/spmm.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+struct MultiplyCase {
+  index_t n;
+  int alpha;
+  CbmKind kind;
+  UpdateSchedule schedule;
+  TreeAlgorithm algorithm;
+};
+
+class CbmMultiply : public ::testing::TestWithParam<MultiplyCase> {};
+
+TEST_P(CbmMultiply, MatchesCsrBaseline) {
+  const auto p = GetParam();
+  const auto a = test::clustered_binary(p.n, 5, 9, 2, 1000 + p.n);
+  const auto diag = test::random_diagonal<float>(p.n, 55);
+
+  // Baseline operand in CSR (scaled explicitly when needed).
+  CsrMatrix<float> baseline = a;
+  std::span<const float> d(diag);
+  if (p.kind == CbmKind::kColumnScaled) {
+    baseline = scale_columns(a, d);
+  } else if (p.kind == CbmKind::kSymScaled) {
+    baseline = scale_both(a, d, d);
+  }
+
+  CbmOptions options;
+  options.alpha = p.alpha;
+  options.algorithm = p.algorithm;
+  const auto cbm =
+      p.kind == CbmKind::kPlain
+          ? CbmMatrix<float>::compress(a, options)
+          : CbmMatrix<float>::compress_scaled(a, d, p.kind, options);
+
+  const auto b = test::random_dense<float>(p.n, 13, 77);
+  DenseMatrix<float> c_cbm(p.n, 13), c_csr(p.n, 13);
+  cbm.multiply(b, c_cbm, p.schedule);
+  csr_spmm(baseline, b, c_csr);
+  EXPECT_TRUE(allclose(c_cbm, c_csr, 1e-4, 1e-5))
+      << "max diff " << max_abs_diff(c_cbm, c_csr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSchedules, CbmMultiply,
+    ::testing::Values(
+        MultiplyCase{40, 0, CbmKind::kPlain, UpdateSchedule::kSequential,
+                     TreeAlgorithm::kMca},
+        MultiplyCase{40, 0, CbmKind::kPlain, UpdateSchedule::kBranchDynamic,
+                     TreeAlgorithm::kMca},
+        MultiplyCase{40, 0, CbmKind::kPlain, UpdateSchedule::kBranchStatic,
+                     TreeAlgorithm::kMca},
+        MultiplyCase{40, 0, CbmKind::kPlain, UpdateSchedule::kSequential,
+                     TreeAlgorithm::kMst},
+        MultiplyCase{40, 0, CbmKind::kColumnScaled,
+                     UpdateSchedule::kSequential, TreeAlgorithm::kMca},
+        MultiplyCase{40, 0, CbmKind::kColumnScaled,
+                     UpdateSchedule::kBranchDynamic, TreeAlgorithm::kMca},
+        MultiplyCase{40, 0, CbmKind::kSymScaled, UpdateSchedule::kSequential,
+                     TreeAlgorithm::kMca},
+        MultiplyCase{40, 0, CbmKind::kSymScaled,
+                     UpdateSchedule::kBranchDynamic, TreeAlgorithm::kMca},
+        MultiplyCase{40, 0, CbmKind::kSymScaled,
+                     UpdateSchedule::kBranchStatic, TreeAlgorithm::kMst}));
+
+class CbmAlphaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CbmAlphaSweep, AllKindsCorrectAtThisAlpha) {
+  const int alpha = GetParam();
+  const index_t n = 64;
+  const auto a = test::clustered_binary(n, 6, 10, 3, 4242);
+  const auto diag = test::random_diagonal<float>(n, 4243);
+  const auto b = test::random_dense<float>(n, 9, 4244);
+  const std::span<const float> d(diag);
+
+  for (const CbmKind kind :
+       {CbmKind::kPlain, CbmKind::kColumnScaled, CbmKind::kSymScaled}) {
+    CsrMatrix<float> baseline = a;
+    if (kind == CbmKind::kColumnScaled) baseline = scale_columns(a, d);
+    if (kind == CbmKind::kSymScaled) baseline = scale_both(a, d, d);
+
+    const auto cbm =
+        kind == CbmKind::kPlain
+            ? CbmMatrix<float>::compress(a, {.alpha = alpha})
+            : CbmMatrix<float>::compress_scaled(a, d, kind, {.alpha = alpha});
+    DenseMatrix<float> c_cbm(n, 9), c_csr(n, 9);
+    cbm.multiply(b, c_cbm);
+    csr_spmm(baseline, b, c_csr);
+    EXPECT_TRUE(allclose(c_cbm, c_csr, 1e-4, 1e-5))
+        << "alpha=" << alpha << " kind=" << static_cast<int>(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, CbmAlphaSweep,
+                         ::testing::Values(0, 1, 2, 4, 8, 16, 32));
+
+TEST(CbmMatrix, WorksOnUnclusteredRandomMatrices) {
+  // No row similarity at all: CBM degenerates towards CSR but must stay
+  // correct.
+  const auto a = test::random_binary(70, 0.07, 31);
+  const auto cbm = CbmMatrix<float>::compress(a);
+  const auto b = test::random_dense<float>(70, 6, 32);
+  DenseMatrix<float> c_cbm(70, 6), c_csr(70, 6);
+  cbm.multiply(b, c_cbm);
+  csr_spmm(a, b, c_csr);
+  EXPECT_TRUE(allclose(c_cbm, c_csr, 1e-4, 1e-5));
+}
+
+TEST(CbmMatrix, EmptyAndDiagonalMatrices) {
+  // All-zero matrix.
+  CooMatrix<float> zero;
+  zero.rows = 5;
+  zero.cols = 5;
+  const auto z = CsrMatrix<float>::from_coo(zero);
+  const auto cbm_z = CbmMatrix<float>::compress(z);
+  const auto b = test::random_dense<float>(5, 3, 33);
+  DenseMatrix<float> c(5, 3);
+  c.fill(7.0f);
+  cbm_z.multiply(b, c);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c.data()[i], 0.0f);
+
+  // Identity matrix: rows are pairwise distance-2 apart; compression keeps
+  // correctness either way.
+  const auto eye = CsrMatrix<float>::identity(5);
+  const auto cbm_i = CbmMatrix<float>::compress(eye);
+  DenseMatrix<float> ci(5, 3);
+  cbm_i.multiply(b, ci);
+  EXPECT_TRUE(allclose(ci, b, 1e-5, 1e-6));
+}
+
+TEST(CbmMatrix, SequentialAndParallelSchedulesAgreeBitwise) {
+  const auto a = test::clustered_binary(90, 9, 11, 2, 35);
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = 4});
+  const auto b = test::random_dense<float>(90, 8, 36);
+  DenseMatrix<float> c_seq(90, 8), c_dyn(90, 8), c_sta(90, 8), c_col(90, 8);
+  cbm.multiply(b, c_seq, UpdateSchedule::kSequential);
+  cbm.multiply(b, c_dyn, UpdateSchedule::kBranchDynamic);
+  cbm.multiply(b, c_sta, UpdateSchedule::kBranchStatic);
+  cbm.multiply(b, c_col, UpdateSchedule::kColumnSplit);
+  // Every schedule performs the same per-element operations in the same
+  // order (per branch / per column slice), so results are bitwise identical.
+  EXPECT_EQ(max_abs_diff(c_seq, c_dyn), 0.0);
+  EXPECT_EQ(max_abs_diff(c_seq, c_sta), 0.0);
+  EXPECT_EQ(max_abs_diff(c_seq, c_col), 0.0);
+}
+
+TEST(CbmMatrix, ColumnSplitHandlesAllKindsAndOddWidths) {
+  // Column widths that don't divide evenly across threads, every kind.
+  const index_t n = 60;
+  const auto a = test::clustered_binary(n, 5, 9, 2, 46);
+  const auto d = test::random_diagonal<float>(n, 47);
+  for (const index_t p : {1, 3, 7}) {
+    const auto b = test::random_dense<float>(n, p, 48 + p);
+    for (const CbmKind kind :
+         {CbmKind::kPlain, CbmKind::kColumnScaled, CbmKind::kSymScaled}) {
+      const auto cbm =
+          kind == CbmKind::kPlain
+              ? CbmMatrix<float>::compress(a)
+              : CbmMatrix<float>::compress_scaled(
+                    a, std::span<const float>(d), kind);
+      DenseMatrix<float> c_seq(n, p), c_col(n, p);
+      cbm.multiply(b, c_seq, UpdateSchedule::kSequential);
+      cbm.multiply(b, c_col, UpdateSchedule::kColumnSplit);
+      EXPECT_EQ(max_abs_diff(c_seq, c_col), 0.0)
+          << "p=" << p << " kind=" << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(CbmMatrix, MultiplyShapeValidation) {
+  const auto a = test::clustered_binary(20, 2, 6, 1, 37);
+  const auto cbm = CbmMatrix<float>::compress(a);
+  DenseMatrix<float> b_bad(19, 4), c(20, 4);
+  EXPECT_THROW(cbm.multiply(b_bad, c), CbmError);
+  DenseMatrix<float> b(20, 4), c_bad(20, 5);
+  EXPECT_THROW(cbm.multiply(b, c_bad), CbmError);
+}
+
+TEST(CbmMatrix, CompressValidation) {
+  // Non-binary.
+  CooMatrix<float> weighted;
+  weighted.rows = 2;
+  weighted.cols = 2;
+  weighted.push(0, 0, 2.0f);
+  EXPECT_THROW(
+      CbmMatrix<float>::compress(CsrMatrix<float>::from_coo(weighted)),
+      CbmError);
+  // Diagonal length mismatch.
+  const auto a = test::random_binary(4, 0.5, 38);
+  const std::vector<float> short_diag = {1.0f, 2.0f};
+  EXPECT_THROW(CbmMatrix<float>::compress_scaled(
+                   a, std::span<const float>(short_diag),
+                   CbmKind::kColumnScaled),
+               CbmError);
+  // Zero diagonal entry forbidden for DAD (division in Eq. 6).
+  const std::vector<float> with_zero = {1.0f, 0.0f, 1.0f, 1.0f};
+  EXPECT_THROW(CbmMatrix<float>::compress_scaled(
+                   a, std::span<const float>(with_zero), CbmKind::kSymScaled),
+               CbmError);
+  // kPlain must not receive a diagonal.
+  const std::vector<float> diag4 = {1.0f, 1.0f, 1.0f, 1.0f};
+  EXPECT_THROW(
+      CbmMatrix<float>::compress_scaled(a, std::span<const float>(diag4),
+                                        CbmKind::kPlain),
+      CbmError);
+}
+
+TEST(CbmMatrix, DoublePrecisionInstantiation) {
+  CooMatrix<double> coo;
+  coo.rows = 20;
+  coo.cols = 20;
+  const auto af = test::clustered_binary(20, 2, 6, 1, 39);
+  for (index_t i = 0; i < 20; ++i) {
+    for (const index_t j : af.row_indices(i)) coo.push(i, j, 1.0);
+  }
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  const auto cbm = CbmMatrix<double>::compress(a);
+  const auto b = test::random_dense<double>(20, 5, 40);
+  DenseMatrix<double> c_cbm(20, 5), c_csr(20, 5);
+  cbm.multiply(b, c_cbm);
+  csr_spmm(a, b, c_csr);
+  EXPECT_TRUE(allclose(c_cbm, c_csr, 1e-10, 1e-12));
+}
+
+}  // namespace
+}  // namespace cbm

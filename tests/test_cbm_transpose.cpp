@@ -1,0 +1,160 @@
+// Tests for transposed CBM products: C = op(A)ᵀ·B must match the explicitly
+// transposed CSR baseline for every kind, schedule and α.
+#include <gtest/gtest.h>
+
+#include "cbm/spmm_cbm.hpp"
+#include "cbm/transpose.hpp"
+#include "dense/ops.hpp"
+#include "sparse/scale.hpp"
+#include "sparse/spmm.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+struct TransposeCase {
+  CbmKind kind;
+  int alpha;
+  UpdateSchedule schedule;
+};
+
+class CbmTransposeParam : public ::testing::TestWithParam<TransposeCase> {};
+
+TEST_P(CbmTransposeParam, MatchesTransposedCsr) {
+  const auto p = GetParam();
+  const index_t n = 60;
+  // Asymmetric binary matrix: transpose genuinely differs from the matrix.
+  const auto a = test::clustered_binary(n, 5, 9, 2, 600 + p.alpha);
+  const auto dl = test::random_diagonal<float>(n, 601);
+  const auto dr = test::random_diagonal<float>(n, 602);
+
+  CsrMatrix<float> baseline = a;
+  CbmMatrix<float> cbm;
+  switch (p.kind) {
+    case CbmKind::kPlain:
+      cbm = CbmMatrix<float>::compress(a, {.alpha = p.alpha});
+      break;
+    case CbmKind::kColumnScaled:
+      baseline = scale_columns(a, std::span<const float>(dr));
+      cbm = CbmMatrix<float>::compress_scaled(a, std::span<const float>(dr),
+                                              CbmKind::kColumnScaled,
+                                              {.alpha = p.alpha});
+      break;
+    case CbmKind::kSymScaled:
+      baseline = scale_both(a, std::span<const float>(dl),
+                            std::span<const float>(dl));
+      cbm = CbmMatrix<float>::compress_scaled(a, std::span<const float>(dl),
+                                              CbmKind::kSymScaled,
+                                              {.alpha = p.alpha});
+      break;
+    case CbmKind::kTwoSided:
+      baseline = scale_both(a, std::span<const float>(dl),
+                            std::span<const float>(dr));
+      cbm = CbmMatrix<float>::compress_two_sided(a, std::span<const float>(dl),
+                                                 std::span<const float>(dr),
+                                                 {.alpha = p.alpha});
+      break;
+  }
+
+  CbmTranspose<float> cbm_t(cbm);
+  const auto b = test::random_dense<float>(n, 9, 603);
+  DenseMatrix<float> c_cbm(n, 9), c_csr(n, 9);
+  cbm_t.multiply(b, c_cbm, p.schedule);
+  csr_spmm(baseline.transpose(), b, c_csr);
+  EXPECT_TRUE(allclose(c_cbm, c_csr, 1e-4, 1e-5))
+      << "kind=" << static_cast<int>(p.kind) << " alpha=" << p.alpha
+      << " max diff " << max_abs_diff(c_cbm, c_csr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CbmTransposeParam,
+    ::testing::Values(
+        TransposeCase{CbmKind::kPlain, 0, UpdateSchedule::kSequential},
+        TransposeCase{CbmKind::kPlain, 0, UpdateSchedule::kBranchDynamic},
+        TransposeCase{CbmKind::kPlain, 4, UpdateSchedule::kBranchStatic},
+        TransposeCase{CbmKind::kColumnScaled, 0, UpdateSchedule::kSequential},
+        TransposeCase{CbmKind::kColumnScaled, 8,
+                      UpdateSchedule::kBranchDynamic},
+        TransposeCase{CbmKind::kSymScaled, 0, UpdateSchedule::kSequential},
+        TransposeCase{CbmKind::kSymScaled, 2, UpdateSchedule::kBranchDynamic},
+        TransposeCase{CbmKind::kTwoSided, 0, UpdateSchedule::kSequential},
+        TransposeCase{CbmKind::kTwoSided, 4, UpdateSchedule::kBranchDynamic},
+        TransposeCase{CbmKind::kPlain, 0, UpdateSchedule::kColumnSplit},
+        TransposeCase{CbmKind::kSymScaled, 2,
+                      UpdateSchedule::kColumnSplit}));
+
+TEST(CbmTranspose, SymmetricMatrixTransposeEqualsForward) {
+  // For a symmetric pattern, Aᵀ·B == A·B; the two code paths must agree.
+  const index_t n = 50;
+  // Symmetrise a clustered matrix.
+  const auto raw = test::clustered_binary(n, 4, 8, 2, 610);
+  CooMatrix<float> sym;
+  sym.rows = n;
+  sym.cols = n;
+  for (index_t i = 0; i < n; ++i) {
+    for (const index_t j : raw.row_indices(i)) {
+      sym.push(i, j, 1.0f);
+      sym.push(j, i, 1.0f);
+    }
+  }
+  auto tmp = CsrMatrix<float>::from_coo(sym);
+  std::vector<float> ones(tmp.values().size(), 1.0f);
+  const CsrMatrix<float> a(n, n, {tmp.indptr().begin(), tmp.indptr().end()},
+                           {tmp.indices().begin(), tmp.indices().end()},
+                           std::move(ones));
+
+  const auto cbm = CbmMatrix<float>::compress(a);
+  CbmTranspose<float> cbm_t(cbm);
+  const auto b = test::random_dense<float>(n, 6, 611);
+  DenseMatrix<float> forward(n, 6), transposed(n, 6);
+  cbm.multiply(b, forward);
+  cbm_t.multiply(b, transposed);
+  EXPECT_TRUE(allclose(transposed, forward, 1e-4, 1e-5));
+}
+
+TEST(CbmTranspose, ReverseUpdateIsAdjointOfForwardUpdate) {
+  // ⟨L·u, v⟩ == ⟨u, Lᵀ·v⟩ for random u, v — the defining adjoint identity,
+  // checked in double precision.
+  const index_t n = 40;
+  std::vector<index_t> parent(n);
+  Rng rng(612);
+  parent[0] = n;
+  for (index_t x = 1; x < n; ++x) {
+    // random parent among earlier rows or the root
+    const auto pick = rng.next_below(static_cast<std::uint64_t>(x) + 1);
+    parent[x] = pick == static_cast<std::uint64_t>(x) ? n
+                                                      : static_cast<index_t>(pick);
+  }
+  const auto tree = CompressionTree::from_parents(parent);
+
+  DenseMatrix<double> u(n, 3), v(n, 3);
+  Rng r2(613);
+  u.fill_uniform(r2);
+  v.fill_uniform(r2);
+
+  DenseMatrix<double> lu = u;
+  cbm_update_stage<double>(tree, CbmKind::kPlain, {}, lu,
+                           UpdateSchedule::kSequential);
+  DenseMatrix<double> ltv = v;
+  cbm_reverse_update_stage<double>(tree, CbmKind::kPlain, {}, ltv,
+                                   UpdateSchedule::kSequential);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < lu.size(); ++i) {
+    lhs += lu.data()[i] * v.data()[i];
+    rhs += u.data()[i] * ltv.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-9 * std::abs(lhs));
+}
+
+TEST(CbmTranspose, ShapeValidation) {
+  const auto a = test::clustered_binary(12, 2, 5, 1, 614);
+  CbmTranspose<float> cbm_t(CbmMatrix<float>::compress(a));
+  DenseMatrix<float> b_bad(11, 3), c(12, 3);
+  EXPECT_THROW(cbm_t.multiply(b_bad, c), CbmError);
+  DenseMatrix<float> b(12, 3), c_bad(12, 4);
+  EXPECT_THROW(cbm_t.multiply(b, c_bad), CbmError);
+}
+
+}  // namespace
+}  // namespace cbm

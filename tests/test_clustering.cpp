@@ -1,0 +1,125 @@
+// Tests for the row-clustering strategies behind the partitioned CBM format.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/clustering.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+void expect_valid_assignment(const std::vector<index_t>& assignment,
+                             index_t rows, index_t max_clusters) {
+  ASSERT_EQ(assignment.size(), static_cast<std::size_t>(rows));
+  const index_t k = num_clusters(assignment);
+  EXPECT_GE(k, 1);
+  EXPECT_LE(k, max_clusters);
+  // Ids must be dense: every id in [0, k) appears.
+  std::vector<bool> seen(static_cast<std::size_t>(k), false);
+  for (const index_t c : assignment) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, k);
+    seen[c] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(Clustering, ConsecutiveChunksEvenly) {
+  const auto a = test::random_binary(100, 0.05, 1);
+  const auto assignment =
+      cluster_rows(a, ClusterMethod::kConsecutive, 4);
+  expect_valid_assignment(assignment, 100, 4);
+  EXPECT_EQ(assignment[0], 0);
+  EXPECT_EQ(assignment[24], 0);
+  EXPECT_EQ(assignment[25], 1);
+  EXPECT_EQ(assignment[99], 3);
+}
+
+TEST(Clustering, MinHashGroupsIdenticalRows) {
+  // Rows i and i+groups share a template (clustered_binary construction);
+  // with zero flips rows of the same group are identical and must share a
+  // MinHash signature, hence (with k = groups) usually a cluster.
+  const index_t n = 60, groups = 3;
+  const auto a = test::clustered_binary(n, groups, 10, 0, 2);
+  const auto assignment = cluster_rows(a, ClusterMethod::kMinHash, groups);
+  expect_valid_assignment(assignment, n, groups);
+  // All rows of a template have equal column sets → identical signatures →
+  // adjacent in the sort → same chunk (chunks are n/groups = group size).
+  for (index_t g = 0; g < groups; ++g) {
+    for (index_t i = g; i < n; i += groups) {
+      EXPECT_EQ(assignment[i], assignment[g]) << "row " << i;
+    }
+  }
+}
+
+TEST(Clustering, MinHashDeterministicPerSeed) {
+  const auto a = test::clustered_binary(80, 4, 9, 2, 3);
+  const auto x = cluster_rows(a, ClusterMethod::kMinHash, 8, 42);
+  const auto y = cluster_rows(a, ClusterMethod::kMinHash, 8, 42);
+  EXPECT_EQ(x, y);
+}
+
+TEST(Clustering, LabelPropagationFindsPlantedCommunities) {
+  // Planted disjoint cliques: label propagation must converge to one label
+  // per clique (up to the target cap).
+  const Graph g = community_graph(
+      {.num_nodes = 200, .team_min = 20, .team_max = 20, .size_exponent = 2.0,
+       .intra_prob = 1.0, .cross_per_node = 0.0},
+      4);
+  const auto assignment =
+      cluster_rows(g.adjacency(), ClusterMethod::kLabelPropagation, 50);
+  expect_valid_assignment(assignment, 200, 50);
+  // Every team (consecutive 20 rows) is a clique; all members must agree.
+  for (index_t team = 0; team < 10; ++team) {
+    const index_t label = assignment[team * 20];
+    for (index_t i = 0; i < 20; ++i) {
+      EXPECT_EQ(assignment[team * 20 + i], label) << "team " << team;
+    }
+  }
+}
+
+TEST(Clustering, LabelPropagationRespectsTargetCap) {
+  const Graph g = community_graph(
+      {.num_nodes = 300, .team_min = 10, .team_max = 10, .size_exponent = 2.0,
+       .intra_prob = 1.0, .cross_per_node = 0.0},
+      5);
+  // 30 natural communities, capped at 8 clusters.
+  const auto assignment =
+      cluster_rows(g.adjacency(), ClusterMethod::kLabelPropagation, 8);
+  expect_valid_assignment(assignment, 300, 8);
+}
+
+TEST(Clustering, TargetLargerThanRowsIsClamped) {
+  const auto a = test::random_binary(5, 0.4, 6);
+  const auto assignment = cluster_rows(a, ClusterMethod::kConsecutive, 100);
+  expect_valid_assignment(assignment, 5, 5);
+}
+
+TEST(Clustering, SingleClusterAlwaysWorks) {
+  const auto a = test::random_binary(30, 0.1, 7);
+  for (const auto method :
+       {ClusterMethod::kConsecutive, ClusterMethod::kMinHash,
+        ClusterMethod::kLabelPropagation}) {
+    const auto assignment = cluster_rows(a, method, 1);
+    EXPECT_EQ(num_clusters(assignment), 1) << static_cast<int>(method);
+  }
+}
+
+TEST(Clustering, EmptyMatrix) {
+  CooMatrix<float> coo;
+  coo.rows = 0;
+  coo.cols = 0;
+  const auto a = CsrMatrix<float>::from_coo(coo);
+  EXPECT_TRUE(cluster_rows(a, ClusterMethod::kMinHash, 4).empty());
+}
+
+TEST(Clustering, InvalidTargetRejected) {
+  const auto a = test::random_binary(10, 0.2, 8);
+  EXPECT_THROW(cluster_rows(a, ClusterMethod::kConsecutive, 0), CbmError);
+}
+
+}  // namespace
+}  // namespace cbm

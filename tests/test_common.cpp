@@ -1,0 +1,223 @@
+// Unit tests for the common substrate: RNG, statistics, vector kernels,
+// error handling, parallel helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "common/vectorops.hpp"
+
+namespace cbm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowRejectsZeroBound) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), CbmError);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(3);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, FloatInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.next_float();
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(9);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.1);
+}
+
+TEST(Rng, SplitStreamsDecorrelated) {
+  Rng parent(123);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent() == child());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(77);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(RunStats, EmptyIsZero) {
+  RunStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunStats, MeanAndStddev) {
+  RunStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample stddev of that classic dataset: sqrt(32/7).
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunStats, MergeMatchesSequential) {
+  RunStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-12);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunStats, MergeWithEmpty) {
+  RunStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(VectorOps, Add) {
+  std::vector<float> x = {1, 2, 3}, y = {10, 20, 30};
+  vec_add<float>(x, y);
+  EXPECT_EQ(y, (std::vector<float>{11, 22, 33}));
+}
+
+TEST(VectorOps, Axpy) {
+  std::vector<float> x = {1, 2, 3}, y = {1, 1, 1};
+  vec_axpy(2.0f, std::span<const float>(x), std::span<float>(y));
+  EXPECT_EQ(y, (std::vector<float>{3, 5, 7}));
+}
+
+TEST(VectorOps, FusedScaleAddMatchesComposition) {
+  // y = a*(b*x + y), the DAD update kernel (Eq. 6).
+  std::vector<double> x = {1, -2, 3}, y = {4, 5, -6};
+  const double a = 0.5, b = 2.0;
+  std::vector<double> expect(3);
+  for (int i = 0; i < 3; ++i) expect[i] = a * (b * x[i] + y[i]);
+  vec_fused_scale_add(a, b, std::span<const double>(x), std::span<double>(y));
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(y[i], expect[i]);
+}
+
+TEST(VectorOps, ScaleZeroCopyDot) {
+  std::vector<float> y = {2, 4, 6};
+  vec_scale(0.5f, std::span<float>(y));
+  EXPECT_EQ(y, (std::vector<float>{1, 2, 3}));
+
+  std::vector<float> dst(3);
+  vec_copy(std::span<const float>(y), std::span<float>(dst));
+  EXPECT_EQ(dst, y);
+
+  EXPECT_FLOAT_EQ(vec_dot(std::span<const float>(y), std::span<const float>(y)),
+                  1 + 4 + 9);
+
+  vec_zero(std::span<float>(dst));
+  EXPECT_EQ(dst, (std::vector<float>{0, 0, 0}));
+}
+
+TEST(Error, CheckThrowsWithContext) {
+  try {
+    CBM_CHECK(1 == 2, "one is not two");
+    FAIL() << "expected CbmError";
+  } catch (const CbmError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+  }
+}
+
+TEST(Parallel, ThreadScopeRestores) {
+  const int before = max_threads();
+  {
+    ThreadScope scope(1);
+    EXPECT_EQ(max_threads(), 1);
+  }
+  EXPECT_EQ(max_threads(), before);
+}
+
+TEST(Timer, NonNegativeAndMonotonic) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  t.reset();
+  EXPECT_GE(t.millis(), 0.0);
+}
+
+}  // namespace
+}  // namespace cbm

@@ -1,0 +1,99 @@
+// Tests for the CompressionTree structure (topological order + branch
+// decomposition used by the CBM update stage).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "tree/compression_tree.hpp"
+
+namespace cbm {
+namespace {
+
+TEST(CompressionTree, AllRootChildren) {
+  // parent[x] = 3 (virtual root) for all 3 rows.
+  const auto t = CompressionTree::from_parents({3, 3, 3});
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.virtual_root(), 3);
+  EXPECT_EQ(t.root_out_degree(), 3);
+  EXPECT_EQ(t.num_compressed_rows(), 0);
+  EXPECT_EQ(t.max_depth(), 1);
+  EXPECT_EQ(t.branches().size(), 3u);  // singletons kept
+  for (index_t x = 0; x < 3; ++x) EXPECT_TRUE(t.is_root_child(x));
+}
+
+TEST(CompressionTree, ChainTree) {
+  // 0 ← 1 ← 2 ← 3, with 0 hanging off the root (= 4).
+  const auto t = CompressionTree::from_parents({4, 0, 1, 2});
+  EXPECT_EQ(t.root_out_degree(), 1);
+  EXPECT_EQ(t.num_compressed_rows(), 3);
+  EXPECT_EQ(t.max_depth(), 4);
+  ASSERT_EQ(t.branches().size(), 1u);
+  EXPECT_EQ(t.branches()[0], (std::vector<index_t>{0, 1, 2, 3}));
+}
+
+TEST(CompressionTree, TopologicalOrderProperty) {
+  const std::vector<index_t> parent = {6, 0, 0, 1, 6, 4};
+  const auto t = CompressionTree::from_parents(parent);
+  const auto topo = t.topological_order();
+  ASSERT_EQ(topo.size(), 6u);
+  std::vector<index_t> position(6);
+  for (std::size_t i = 0; i < topo.size(); ++i) position[topo[i]] = i;
+  for (index_t x = 0; x < 6; ++x) {
+    if (parent[x] != t.virtual_root()) {
+      EXPECT_LT(position[parent[x]], position[x])
+          << "parent must precede child";
+    }
+  }
+}
+
+TEST(CompressionTree, BranchesPartitionRows) {
+  const std::vector<index_t> parent = {6, 0, 0, 1, 6, 4};
+  const auto t = CompressionTree::from_parents(parent);
+  EXPECT_EQ(t.branches().size(), 2u);
+  std::set<index_t> seen;
+  for (const auto& branch : t.branches()) {
+    // Within a branch, parents precede children too.
+    std::vector<index_t> pos(7, -1);
+    for (std::size_t i = 0; i < branch.size(); ++i) pos[branch[i]] = i;
+    for (const index_t x : branch) {
+      EXPECT_TRUE(seen.insert(x).second) << "row in two branches";
+      if (parent[x] != t.virtual_root()) {
+        EXPECT_GE(pos[parent[x]], 0);
+        EXPECT_LT(pos[parent[x]], pos[x]);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(CompressionTree, CycleDetected) {
+  // 0 ← 1 and 1 ← 0: unreachable from the root.
+  EXPECT_THROW(CompressionTree::from_parents({1, 0, 2}), CbmError);
+}
+
+TEST(CompressionTree, SelfParentDetected) {
+  EXPECT_THROW(CompressionTree::from_parents({0, 2}), CbmError);
+}
+
+TEST(CompressionTree, OutOfRangeParentRejected) {
+  EXPECT_THROW(CompressionTree::from_parents({5, 2}), CbmError);
+  EXPECT_THROW(CompressionTree::from_parents({-1, 2}), CbmError);
+}
+
+TEST(CompressionTree, EmptyTree) {
+  const auto t = CompressionTree::from_parents({});
+  EXPECT_EQ(t.num_rows(), 0);
+  EXPECT_TRUE(t.branches().empty());
+  EXPECT_EQ(t.max_depth(), 0);
+}
+
+TEST(CompressionTree, BytesAccountsParentAndBranches) {
+  const auto t = CompressionTree::from_parents({3, 0, 1});
+  // parent: 3 indices; one branch of 3 rows.
+  EXPECT_EQ(t.bytes(), 6 * sizeof(index_t));
+}
+
+}  // namespace
+}  // namespace cbm

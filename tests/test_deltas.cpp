@@ -1,0 +1,170 @@
+// Tests for delta-matrix construction: worked example, reconstruction
+// property (applying deltas down the tree reproduces every row), and the
+// scaled (AD)' variant.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cbm/deltas.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+CsrMatrix<float> example_matrix() {
+  // row0: {0,1}  row1: {0,1,2}  row2: {0,1,3}  row3: {2}
+  CooMatrix<float> coo;
+  coo.rows = 4;
+  coo.cols = 4;
+  for (const auto [i, j] :
+       std::vector<std::pair<index_t, index_t>>{
+           {0, 0}, {0, 1}, {1, 0}, {1, 1}, {1, 2}, {2, 0}, {2, 1}, {2, 3},
+           {3, 2}}) {
+    coo.push(i, j, 1.0f);
+  }
+  return CsrMatrix<float>::from_coo(coo);
+}
+
+TEST(Deltas, WorkedExample) {
+  const auto a = example_matrix();
+  // Tree: 0 and 3 attach to the virtual root (4); 1 and 2 compress against 0.
+  const auto tree = CompressionTree::from_parents({4, 0, 0, 4});
+  DeltaStats stats;
+  const auto d = build_delta_matrix<float>(a, tree, {}, &stats);
+
+  EXPECT_EQ(stats.total_nnz, 9);
+  EXPECT_EQ(stats.total_deltas, 5);
+  EXPECT_EQ(stats.saved, 4);
+
+  // Row 0 copied verbatim (+1 at {0,1}).
+  EXPECT_FLOAT_EQ(d.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(d.at(0, 1), 1.0f);
+  EXPECT_EQ(d.row_nnz(0), 2);
+  // Row 1 vs row 0: Δ⁺ = {2}.
+  EXPECT_EQ(d.row_nnz(1), 1);
+  EXPECT_FLOAT_EQ(d.at(1, 2), 1.0f);
+  // Row 2 vs row 0: Δ⁺ = {3}.
+  EXPECT_EQ(d.row_nnz(2), 1);
+  EXPECT_FLOAT_EQ(d.at(2, 3), 1.0f);
+  // Row 3 verbatim.
+  EXPECT_EQ(d.row_nnz(3), 1);
+  EXPECT_FLOAT_EQ(d.at(3, 2), 1.0f);
+}
+
+TEST(Deltas, NegativeDeltasEmitted) {
+  // row1 = {0}; compressing against row0 = {0,1} needs Δ⁻ = {1}.
+  CooMatrix<float> coo;
+  coo.rows = 2;
+  coo.cols = 2;
+  coo.push(0, 0, 1.0f);
+  coo.push(0, 1, 1.0f);
+  coo.push(1, 0, 1.0f);
+  const auto a = CsrMatrix<float>::from_coo(coo);
+  const auto tree = CompressionTree::from_parents({2, 0});
+  const auto d = build_delta_matrix<float>(a, tree, {});
+  EXPECT_FLOAT_EQ(d.at(1, 1), -1.0f);
+  EXPECT_EQ(d.row_nnz(1), 1);
+}
+
+/// Reconstructs every row by applying deltas along the tree in topological
+/// order and compares with the original matrix — the defining Equation 2.
+void expect_reconstruction(const CsrMatrix<float>& a,
+                           const CompressionTree& tree) {
+  const auto d = build_delta_matrix<float>(a, tree, {});
+  const index_t n = a.rows();
+  std::vector<std::vector<bool>> rows(
+      n, std::vector<bool>(static_cast<std::size_t>(a.cols()), false));
+  for (const index_t x : tree.topological_order()) {
+    if (tree.parent(x) != tree.virtual_root()) {
+      rows[x] = rows[tree.parent(x)];  // start from the reference row
+    }
+    const auto cols = d.row_indices(x);
+    const auto vals = d.row_values(x);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      rows[x][cols[k]] = vals[k] > 0.0f;  // +1 sets, −1 clears
+    }
+  }
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(rows[i][j], a.at(i, j) != 0.0f) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Deltas, ReconstructionOnChainTree) {
+  const auto a = test::clustered_binary(30, 3, 8, 2, 11);
+  // Chain: every row compresses against the previous one.
+  std::vector<index_t> parent(30);
+  parent[0] = 30;
+  for (index_t x = 1; x < 30; ++x) parent[x] = x - 1;
+  expect_reconstruction(a, CompressionTree::from_parents(parent));
+}
+
+TEST(Deltas, ReconstructionOnBushyTree) {
+  const auto a = test::clustered_binary(40, 4, 10, 2, 13);
+  // Group leaders attach to the root, members to their leader.
+  std::vector<index_t> parent(40);
+  for (index_t x = 0; x < 40; ++x) {
+    parent[x] = x < 4 ? 40 : x % 4;
+  }
+  expect_reconstruction(a, CompressionTree::from_parents(parent));
+}
+
+TEST(Deltas, IdenticalRowsYieldZeroDeltas) {
+  // Two identical rows: compressing one against the other stores nothing.
+  CooMatrix<float> coo;
+  coo.rows = 2;
+  coo.cols = 4;
+  for (const index_t j : {0, 2, 3}) {
+    coo.push(0, j, 1.0f);
+    coo.push(1, j, 1.0f);
+  }
+  CooMatrix<float> sq;
+  sq.rows = 4;
+  sq.cols = 4;
+  for (std::size_t k = 0; k < coo.nnz(); ++k) {
+    sq.push(coo.row_idx[k], coo.col_idx[k], 1.0f);
+  }
+  const auto a = CsrMatrix<float>::from_coo(sq);
+  const auto tree = CompressionTree::from_parents({4, 0, 4, 4});
+  DeltaStats stats;
+  const auto d = build_delta_matrix<float>(a, tree, {}, &stats);
+  EXPECT_EQ(d.row_nnz(1), 0);
+  EXPECT_EQ(stats.total_deltas, stats.total_nnz - 3);
+}
+
+TEST(Deltas, ColumnScaledVariant) {
+  const auto a = example_matrix();
+  const auto tree = CompressionTree::from_parents({4, 0, 0, 4});
+  const std::vector<float> d = {2.0f, 3.0f, 4.0f, 5.0f};
+  const auto scaled =
+      build_delta_matrix<float>(a, tree, std::span<const float>(d));
+  const auto plain = build_delta_matrix<float>(a, tree, {});
+  ASSERT_EQ(scaled.nnz(), plain.nnz());
+  for (index_t i = 0; i < 4; ++i) {
+    const auto cols = plain.row_indices(i);
+    const auto pv = plain.row_values(i);
+    const auto sv = scaled.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      EXPECT_FLOAT_EQ(sv[k], pv[k] * d[cols[k]]);
+    }
+  }
+}
+
+TEST(Deltas, ScaleLengthValidated) {
+  const auto a = example_matrix();
+  const auto tree = CompressionTree::from_parents({4, 0, 0, 4});
+  const std::vector<float> bad = {1.0f, 2.0f};
+  EXPECT_THROW(
+      build_delta_matrix<float>(a, tree, std::span<const float>(bad)),
+      CbmError);
+}
+
+TEST(Deltas, TreeSizeValidated) {
+  const auto a = example_matrix();
+  const auto tree = CompressionTree::from_parents({3, 0, 0});
+  EXPECT_THROW(build_delta_matrix<float>(a, tree, {}), CbmError);
+}
+
+}  // namespace
+}  // namespace cbm

@@ -1,0 +1,154 @@
+// Unit tests for the dense substrate: container, GEMM, elementwise ops.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dense/dense_matrix.hpp"
+#include "dense/gemm.hpp"
+#include "dense/ops.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+TEST(DenseMatrix, ZeroInitialised) {
+  DenseMatrix<float> m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0f);
+  }
+}
+
+TEST(DenseMatrix, RowSpanAliasesStorage) {
+  DenseMatrix<float> m(2, 3);
+  m.row(1)[2] = 7.0f;
+  EXPECT_EQ(m(1, 2), 7.0f);
+}
+
+TEST(DenseMatrix, FromDataValidatesSize) {
+  EXPECT_THROW(DenseMatrix<float>(2, 2, {1.0f, 2.0f, 3.0f}), CbmError);
+  DenseMatrix<float> ok(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(ok(1, 0), 3.0f);
+}
+
+TEST(DenseMatrix, FillUniformInRange) {
+  Rng rng(5);
+  DenseMatrix<float> m(10, 10);
+  m.fill_uniform(rng, -2.0f, 2.0f);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], -2.0f);
+    EXPECT_LT(m.data()[i], 2.0f);
+  }
+}
+
+TEST(DenseMatrix, BytesReflectsStorage) {
+  DenseMatrix<double> m(4, 5);
+  EXPECT_EQ(m.bytes(), 4u * 5u * sizeof(double));
+}
+
+struct GemmShape {
+  index_t m, k, n;
+};
+
+class GemmParam : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmParam, BlockedMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const auto a = test::random_dense<float>(m, k, 1);
+  const auto b = test::random_dense<float>(k, n, 2);
+  DenseMatrix<float> c_fast(m, n), c_ref(m, n);
+  gemm(a, b, c_fast);
+  gemm_naive(a, b, c_ref);
+  EXPECT_TRUE(allclose(c_fast, c_ref, 1e-4, 1e-5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmParam,
+                         ::testing::Values(GemmShape{1, 1, 1},
+                                           GemmShape{3, 5, 2},
+                                           GemmShape{17, 9, 33},
+                                           GemmShape{64, 64, 64},
+                                           GemmShape{70, 300, 65},
+                                           GemmShape{130, 257, 3}));
+
+TEST(Gemm, AlphaBetaSemantics) {
+  const auto a = test::random_dense<double>(8, 8, 3);
+  const auto b = test::random_dense<double>(8, 8, 4);
+  auto c = test::random_dense<double>(8, 8, 5);
+  auto c_ref = c;
+  gemm(a, b, c, 2.0, 3.0);
+  gemm_naive(a, b, c_ref, 2.0, 3.0);
+  EXPECT_TRUE(allclose(c, c_ref, 1e-10, 1e-12));
+}
+
+TEST(Gemm, BetaOneAccumulates) {
+  const auto a = test::random_dense<float>(6, 7, 8);
+  const auto b = test::random_dense<float>(7, 5, 9);
+  DenseMatrix<float> c(6, 5);
+  gemm(a, b, c);           // c = ab
+  gemm(a, b, c, 1.0f, 1.0f);  // c = ab + ab
+  DenseMatrix<float> twice(6, 5);
+  gemm(a, b, twice, 2.0f, 0.0f);
+  EXPECT_TRUE(allclose(c, twice, 1e-4, 1e-6));
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  DenseMatrix<float> a(2, 3), b(4, 2), c(2, 2);
+  EXPECT_THROW(gemm(a, b, c), CbmError);
+  DenseMatrix<float> b_ok(3, 2), c_bad(3, 2);
+  EXPECT_THROW(gemm(a, b_ok, c_bad), CbmError);
+}
+
+TEST(Ops, ReluClampsNegatives) {
+  DenseMatrix<float> m(1, 4, {-1.0f, 0.0f, 2.0f, -0.5f});
+  relu_inplace(m);
+  EXPECT_EQ(m(0, 0), 0.0f);
+  EXPECT_EQ(m(0, 1), 0.0f);
+  EXPECT_EQ(m(0, 2), 2.0f);
+  EXPECT_EQ(m(0, 3), 0.0f);
+}
+
+TEST(Ops, AddBiasBroadcastsRows) {
+  DenseMatrix<float> m(2, 3, {1, 2, 3, 4, 5, 6});
+  const std::vector<float> bias = {10, 20, 30};
+  add_bias_inplace(m, std::span<const float>(bias));
+  EXPECT_EQ(m(0, 0), 11.0f);
+  EXPECT_EQ(m(1, 2), 36.0f);
+}
+
+TEST(Ops, AddBiasLengthChecked) {
+  DenseMatrix<float> m(2, 3);
+  const std::vector<float> bad = {1, 2};
+  EXPECT_THROW(add_bias_inplace(m, std::span<const float>(bad)), CbmError);
+}
+
+TEST(Ops, TransposeRoundTrip) {
+  const auto m = test::random_dense<float>(37, 53, 6);
+  const auto tt = transpose(transpose(m));
+  EXPECT_TRUE(allclose(tt, m, 0.0, 0.0));
+}
+
+TEST(Ops, TransposeElementMapping) {
+  DenseMatrix<float> m(2, 3, {1, 2, 3, 4, 5, 6});
+  const auto t = transpose(m);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t(0, 1), 4.0f);
+  EXPECT_EQ(t(2, 0), 3.0f);
+}
+
+TEST(Ops, AllcloseRespectsRtol) {
+  DenseMatrix<float> a(1, 1, {100.0f});
+  DenseMatrix<float> b(1, 1, {100.001f});
+  EXPECT_TRUE(allclose(a, b, 1e-4, 0.0));
+  EXPECT_FALSE(allclose(a, b, 1e-7, 0.0));
+}
+
+TEST(Ops, MaxAbsDiffAndNorm) {
+  DenseMatrix<float> a(1, 3, {3, 0, 4});
+  DenseMatrix<float> b(1, 3, {3, 2, 4});
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(frobenius_norm(a), 5.0);
+}
+
+}  // namespace
+}  // namespace cbm

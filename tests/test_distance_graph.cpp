@@ -1,0 +1,154 @@
+// Tests for distance-graph construction (Hamming weights, α pruning,
+// virtual-root edges).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "cbm/distance_graph.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+/// 4×4 worked example used across the CBM tests:
+///   row0: {0,1}    row1: {0,1,2}    row2: {0,1,3}    row3: {2}
+CsrMatrix<float> example_matrix() {
+  CooMatrix<float> coo;
+  coo.rows = 4;
+  coo.cols = 4;
+  for (const auto [i, j] :
+       std::vector<std::pair<index_t, index_t>>{
+           {0, 0}, {0, 1}, {1, 0}, {1, 1}, {1, 2}, {2, 0}, {2, 1}, {2, 3},
+           {3, 2}}) {
+    coo.push(i, j, 1.0f);
+  }
+  return CsrMatrix<float>::from_coo(coo);
+}
+
+/// Brute-force Hamming distance between two rows.
+std::int64_t hamming(const CsrMatrix<float>& a, index_t x, index_t y) {
+  std::int64_t h = 0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    h += (a.at(x, j) != 0.0f) != (a.at(y, j) != 0.0f);
+  }
+  return h;
+}
+
+TEST(DistanceGraph, VirtualEdgesAlwaysPresentAndFirst) {
+  const auto a = example_matrix();
+  const auto g = build_distance_graph(a, {.alpha = 0});
+  EXPECT_EQ(g.num_nodes, 5);
+  EXPECT_EQ(g.root, 4);
+  ASSERT_GE(g.edges.size(), 4u);
+  for (index_t x = 0; x < 4; ++x) {
+    EXPECT_EQ(g.edges[x].src, 4);
+    EXPECT_EQ(g.edges[x].dst, x);
+    EXPECT_EQ(g.edges[x].weight, a.row_nnz(x));
+  }
+}
+
+TEST(DistanceGraph, WeightsAreHammingDistances) {
+  const auto a = example_matrix();
+  const auto g = build_distance_graph(a, {.alpha = 100});
+  for (std::size_t k = 4; k < g.edges.size(); ++k) {
+    const auto& e = g.edges[k];
+    EXPECT_EQ(e.weight, hamming(a, e.src, e.dst))
+        << e.src << "→" << e.dst;
+  }
+}
+
+TEST(DistanceGraph, AlphaZeroAdmitsOnlyStrictImprovements) {
+  const auto a = example_matrix();
+  const auto g = build_distance_graph(a, {.alpha = 0});
+  // Expected admitted edges (y→x with nnz_y − 2·ov < 0):
+  // 0→1(1), 1→0(1), 0→2(1), 2→0(1), 1→2(2), 2→1(2), 3→1(2).
+  EXPECT_EQ(g.candidate_edges, 7u);
+  std::map<std::pair<index_t, index_t>, std::int64_t> found;
+  for (std::size_t k = 4; k < g.edges.size(); ++k) {
+    found[{g.edges[k].src, g.edges[k].dst}] = g.edges[k].weight;
+  }
+  EXPECT_EQ(found.at({0, 1}), 1);
+  EXPECT_EQ(found.at({1, 0}), 1);
+  EXPECT_EQ(found.at({0, 2}), 1);
+  EXPECT_EQ(found.at({2, 0}), 1);
+  EXPECT_EQ(found.at({1, 2}), 2);
+  EXPECT_EQ(found.at({2, 1}), 2);
+  EXPECT_EQ(found.at({3, 1}), 2);
+  // 1→3 must be pruned: deltas(3 wrt 1) = 2 ≥ nnz(row3) = 1.
+  EXPECT_FALSE(found.contains({1, 3}));
+}
+
+TEST(DistanceGraph, AlphaMonotonicity) {
+  // Larger α prunes harder: candidate edges are non-increasing in α (§V-C:
+  // "the MCA algorithm considers a smaller amount of candidate edges").
+  const auto a = test::clustered_binary(60, 5, 10, 3, 3);
+  std::size_t prev = std::size_t(-1);
+  for (const int alpha : {0, 1, 2, 4, 8, 16}) {
+    const auto g = build_distance_graph(a, {.alpha = alpha});
+    EXPECT_LE(g.candidate_edges, prev) << "alpha=" << alpha;
+    prev = g.candidate_edges;
+  }
+}
+
+TEST(DistanceGraph, PruningRuleExact) {
+  const auto a = test::clustered_binary(40, 4, 8, 2, 5);
+  const int alpha = 3;
+  const auto g = build_distance_graph(a, {.alpha = alpha});
+  for (std::size_t k = static_cast<std::size_t>(a.rows());
+       k < g.edges.size(); ++k) {
+    const auto& e = g.edges[k];
+    // Admission inequality: h − nnz(dst) < −α (saves more than α deltas).
+    EXPECT_LT(e.weight - a.row_nnz(e.dst), -alpha);
+  }
+}
+
+TEST(DistanceGraph, CandidateCapKeepsBestEdges) {
+  const auto a = test::clustered_binary(50, 2, 12, 1, 7);
+  const auto full = build_distance_graph(a, {.alpha = 8});
+  const auto capped = build_distance_graph(
+      a, {.alpha = 8, .max_candidates_per_row = 2});
+  EXPECT_LE(capped.candidate_edges, 2u * 50u);
+  EXPECT_LE(capped.candidate_edges, full.candidate_edges);
+  // Virtual edges untouched.
+  for (index_t x = 0; x < 50; ++x) EXPECT_EQ(capped.edges[x].src, 50);
+}
+
+TEST(DistanceGraph, FullGraphUndirectedPairsOnce) {
+  const auto a = example_matrix();
+  const auto g = build_full_distance_graph(a);
+  // Pairs with positive overlap: (0,1), (0,2), (1,2), (1,3) → 4 edges.
+  EXPECT_EQ(g.candidate_edges, 4u);
+  for (std::size_t k = 4; k < g.edges.size(); ++k) {
+    const auto& e = g.edges[k];
+    EXPECT_EQ(e.weight, hamming(a, e.src, e.dst));
+  }
+}
+
+TEST(DistanceGraph, EmptyMatrix) {
+  CooMatrix<float> coo;
+  coo.rows = 3;
+  coo.cols = 3;
+  const auto a = CsrMatrix<float>::from_coo(coo);
+  const auto g = build_distance_graph(a, {.alpha = 0});
+  EXPECT_EQ(g.candidate_edges, 0u);
+  EXPECT_EQ(g.edges.size(), 3u);  // just the virtual edges (weight 0)
+  for (const auto& e : g.edges) EXPECT_EQ(e.weight, 0);
+}
+
+TEST(DistanceGraph, RectangularMatricesSupported) {
+  // Row compression never needed squareness; rectangular inputs power the
+  // partitioned format's per-cluster parts.
+  CooMatrix<float> coo;
+  coo.rows = 2;
+  coo.cols = 3;
+  coo.push(0, 2, 1.0f);
+  coo.push(1, 2, 1.0f);
+  const auto a = CsrMatrix<float>::from_coo(coo);
+  const auto g = build_distance_graph(a, {.alpha = 0});
+  EXPECT_EQ(g.num_nodes, 3);  // 2 rows + virtual root
+  EXPECT_EQ(g.candidate_edges, 2u);  // identical rows admit both directions
+}
+
+}  // namespace
+}  // namespace cbm

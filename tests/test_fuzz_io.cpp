@@ -1,0 +1,112 @@
+// Failure-injection / fuzz-style tests for the I/O paths: random garbage
+// must either parse cleanly or throw CbmError — never crash, hang, or
+// produce structurally invalid matrices.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "cbm/serialize.hpp"
+#include "common/rng.hpp"
+#include "sparse/io_edgelist.hpp"
+#include "sparse/io_mm.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+std::string random_text(Rng& rng, std::size_t length) {
+  static constexpr char alphabet[] =
+      "0123456789 \t\n%#-+.eE abcdefXYZ";
+  std::string s;
+  s.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    s.push_back(alphabet[rng.next_below(sizeof(alphabet) - 1)]);
+  }
+  return s;
+}
+
+TEST(FuzzIo, MatrixMarketGarbageNeverCrashes) {
+  Rng rng(0xF422ull);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::istringstream in(random_text(rng, 1 + rng.next_below(300)));
+    try {
+      const auto coo = read_matrix_market<float>(in);
+      // If it parsed, it must be structurally sound.
+      CsrMatrix<float>::from_coo(coo);
+    } catch (const CbmError&) {
+      // expected for garbage
+    }
+  }
+}
+
+TEST(FuzzIo, MatrixMarketGarbageAfterValidHeader) {
+  Rng rng(0xF423ull);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = "%%MatrixMarket matrix coordinate real general\n";
+    text += random_text(rng, 1 + rng.next_below(200));
+    std::istringstream in(text);
+    try {
+      const auto coo = read_matrix_market<float>(in);
+      CsrMatrix<float>::from_coo(coo);
+    } catch (const CbmError&) {
+    }
+  }
+}
+
+TEST(FuzzIo, EdgeListGarbageNeverCrashes) {
+  Rng rng(0xF424ull);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::istringstream in(random_text(rng, 1 + rng.next_below(300)));
+    try {
+      const auto coo = read_edge_list(in);
+      CsrMatrix<float>::from_coo(coo);
+    } catch (const CbmError&) {
+    }
+  }
+}
+
+TEST(FuzzIo, CbmFileBitFlipsNeverCrash) {
+  // Serialize a real matrix, flip random bytes, and confirm the loader
+  // either throws or — when the flip lands in a value — returns a matrix
+  // with intact structure.
+  const auto a = test::clustered_binary(30, 3, 7, 2, 0xF425ull);
+  const auto original = CbmMatrix<float>::compress(a, {.alpha = 1});
+  std::stringstream buf;
+  save_cbm(buf, original);
+  const std::string clean = buf.str();
+
+  Rng rng(0xF426ull);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupted = clean;
+    const std::size_t pos = rng.next_below(corrupted.size());
+    corrupted[pos] = static_cast<char>(rng.next_below(256));
+    std::stringstream in(corrupted);
+    try {
+      const auto loaded = load_cbm<float>(in);
+      // Whatever loads passed the full structural revalidation; exercising
+      // a multiply on it must be safe (shape-correct, no OOB indices).
+      DenseMatrix<float> b(loaded.cols(), 2), c(loaded.rows(), 2);
+      loaded.multiply(b, c);
+    } catch (const CbmError&) {
+      // expected for most flips
+    }
+  }
+}
+
+TEST(FuzzIo, CbmTruncationsAlwaysThrow) {
+  const auto a = test::clustered_binary(25, 2, 6, 1, 0xF427ull);
+  const auto original = CbmMatrix<float>::compress(a);
+  std::stringstream buf;
+  save_cbm(buf, original);
+  const std::string clean = buf.str();
+  Rng rng(0xF428ull);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t keep = rng.next_below(clean.size());  // strict prefix
+    std::stringstream in(clean.substr(0, keep));
+    EXPECT_THROW(load_cbm<float>(in), CbmError) << "kept " << keep;
+  }
+}
+
+}  // namespace
+}  // namespace cbm

@@ -1,0 +1,228 @@
+// Tests for the GNN layers: GCN (the paper's Eq. 1 application), GIN and
+// GraphSAGE. The load-bearing property: swapping the adjacency operand from
+// CSR to CBM never changes the network's output beyond float round-off.
+#include <gtest/gtest.h>
+
+#include "dense/gemm.hpp"
+#include "dense/ops.hpp"
+#include "gnn/gcn.hpp"
+#include "gnn/gin.hpp"
+#include "gnn/sage.hpp"
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+/// Builds matched CSR and CBM operands for Â of a graph.
+struct AhatPair {
+  std::unique_ptr<CsrAdjacency<float>> csr;
+  std::unique_ptr<CbmAdjacency<float>> cbm;
+};
+
+AhatPair make_ahat(const Graph& g, int alpha = 0) {
+  AhatPair pair;
+  pair.csr = std::make_unique<CsrAdjacency<float>>(
+      gcn_normalized_adjacency<float>(g));
+  const auto norm = gcn_normalization<float>(g);
+  pair.cbm = std::make_unique<CbmAdjacency<float>>(
+      CbmMatrix<float>::compress_scaled(norm.a_plus_i,
+                                        std::span<const float>(norm.dinv_sqrt),
+                                        CbmKind::kSymScaled, {.alpha = alpha}));
+  return pair;
+}
+
+TEST(GcnLayer, ForwardMatchesManualComputation) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  const auto ahat = gcn_normalized_adjacency<float>(g);
+  CsrAdjacency<float> adj(ahat);
+
+  DenseMatrix<float> w(2, 2, {1.0f, 0.0f, 0.0f, 2.0f});
+  GcnLayer<float> layer(w, {});
+  const DenseMatrix<float> h(3, 2, {1, 2, 3, 4, 5, 6});
+  DenseMatrix<float> scratch(3, 2), out(3, 2);
+  layer.forward(adj, h, scratch, out);
+
+  // Manual: HW then Â(HW).
+  DenseMatrix<float> hw(3, 2), expect(3, 2);
+  gemm_naive(h, w, hw);
+  const auto ahat_dense = test::to_dense(ahat);
+  gemm_naive(ahat_dense, hw, expect);
+  EXPECT_TRUE(allclose(out, expect, 1e-5, 1e-6));
+}
+
+TEST(GcnLayer, BiasApplied) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  CsrAdjacency<float> adj(gcn_normalized_adjacency<float>(g));
+  DenseMatrix<float> w(1, 2, {1.0f, 1.0f});
+  GcnLayer<float> with_bias(w, {10.0f, 20.0f});
+  GcnLayer<float> without(w, {});
+  const DenseMatrix<float> h(2, 1, {1.0f, 2.0f});
+  DenseMatrix<float> scratch(2, 2), out_a(2, 2), out_b(2, 2);
+  with_bias.forward(adj, h, scratch, out_a);
+  without.forward(adj, h, scratch, out_b);
+  for (index_t i = 0; i < 2; ++i) {
+    EXPECT_FLOAT_EQ(out_a(i, 0), out_b(i, 0) + 10.0f);
+    EXPECT_FLOAT_EQ(out_a(i, 1), out_b(i, 1) + 20.0f);
+  }
+}
+
+TEST(GcnLayer, ShapeValidation) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  CsrAdjacency<float> adj(gcn_normalized_adjacency<float>(g));
+  Rng rng(1);
+  GcnLayer<float> layer(3, 4, rng);
+  DenseMatrix<float> h_bad(2, 2), scratch(2, 4), out(2, 4);
+  EXPECT_THROW(layer.forward(adj, h_bad, scratch, out), CbmError);
+}
+
+class Gcn2Equivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(Gcn2Equivalence, CsrAndCbmOperandsAgree) {
+  const int alpha = GetParam();
+  const Graph g = clique_union(
+      {.num_nodes = 120, .num_cliques = 160, .clique_min = 3, .clique_max = 8,
+       .reuse_prob = 0.7, .size_exponent = 2.0},
+      91);
+  const auto pair = make_ahat(g, alpha);
+
+  const Gcn2<float> model(16, 12, 7, /*seed=*/5);
+  const auto x = test::random_dense<float>(g.num_nodes(), 16, 6);
+  Gcn2<float>::Workspace ws(g.num_nodes(), 12, 7);
+  DenseMatrix<float> out_csr(g.num_nodes(), 7), out_cbm(g.num_nodes(), 7);
+  model.forward(*pair.csr, x, ws, out_csr);
+  model.forward(*pair.cbm, x, ws, out_cbm);
+  // The paper's §VI-B criterion: relative tolerance 1e-5.
+  EXPECT_TRUE(allclose(out_cbm, out_csr, 1e-5, 1e-5))
+      << "alpha=" << alpha << " max diff " << max_abs_diff(out_cbm, out_csr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, Gcn2Equivalence,
+                         ::testing::Values(0, 1, 4, 16));
+
+TEST(GcnStack, DeepStackCsrAndCbmAgree) {
+  const Graph g = clique_union(
+      {.num_nodes = 90, .num_cliques = 120, .clique_min = 3, .clique_max = 7,
+       .reuse_prob = 0.7, .size_exponent = 2.0},
+      93);
+  const auto pair = make_ahat(g, 2);
+  const std::vector<index_t> dims = {12, 16, 10, 8, 4};  // 4 layers
+  const GcnStack<float> model(dims, 11);
+  EXPECT_EQ(model.num_layers(), 4u);
+
+  const auto x = test::random_dense<float>(g.num_nodes(), 12, 12);
+  GcnStack<float>::Workspace ws(g.num_nodes(), dims);
+  DenseMatrix<float> out_csr(g.num_nodes(), 4), out_cbm(g.num_nodes(), 4);
+  model.forward(*pair.csr, x, ws, out_csr);
+  model.forward(*pair.cbm, x, ws, out_cbm);
+  EXPECT_TRUE(allclose(out_cbm, out_csr, 1e-4, 1e-5));
+}
+
+TEST(GcnStack, SingleLayerMatchesGcnLayer) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  CsrAdjacency<float> adj(gcn_normalized_adjacency<float>(g));
+  const std::vector<index_t> dims = {3, 2};
+  const GcnStack<float> stack(dims, 21);
+  const auto x = test::random_dense<float>(4, 3, 22);
+  GcnStack<float>::Workspace ws(4, dims);
+  DenseMatrix<float> out_stack(4, 2), out_layer(4, 2), scratch(4, 2);
+  stack.forward(adj, x, ws, out_stack);
+  stack.layer(0).forward(adj, x, scratch, out_layer);
+  // Single layer: no trailing activation, outputs identical.
+  EXPECT_TRUE(allclose(out_stack, out_layer, 0.0, 0.0));
+}
+
+TEST(GcnStack, Validation) {
+  EXPECT_THROW(GcnStack<float>({5}, 1), CbmError);
+  const std::vector<index_t> dims = {4, 3, 2};
+  const GcnStack<float> model(dims, 2);
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  CsrAdjacency<float> adj(gcn_normalized_adjacency<float>(g));
+  const auto x = test::random_dense<float>(3, 4, 3);
+  // Workspace built for a different architecture must be rejected.
+  GcnStack<float>::Workspace wrong(3, {4, 2});
+  DenseMatrix<float> out(3, 2);
+  EXPECT_THROW(model.forward(adj, x, wrong, out), CbmError);
+}
+
+TEST(Gcn2, DeterministicConstruction) {
+  const Gcn2<float> a(8, 6, 4, 42), b(8, 6, 4, 42);
+  EXPECT_TRUE(allclose(a.layer0().weight(), b.layer0().weight(), 0.0, 0.0));
+  EXPECT_TRUE(allclose(a.layer1().weight(), b.layer1().weight(), 0.0, 0.0));
+}
+
+TEST(Gin, CsrAndCbmOperandsAgree) {
+  const Graph g = clique_union(
+      {.num_nodes = 80, .num_cliques = 100, .clique_min = 3, .clique_max = 6,
+       .reuse_prob = 0.6, .size_exponent = 2.0},
+      17);
+  // GIN aggregates over the raw binary adjacency (A·H).
+  CsrAdjacency<float> csr(g.adjacency());
+  CbmAdjacency<float> cbm(CbmMatrix<float>::compress(g.adjacency()));
+
+  Rng rng(3);
+  GinLayer<float> layer(10, 14, 6, /*epsilon=*/0.3f, rng);
+  const auto h = test::random_dense<float>(g.num_nodes(), 10, 4);
+  GinLayer<float>::Workspace ws(g.num_nodes(), 10, 14);
+  DenseMatrix<float> out_csr(g.num_nodes(), 6), out_cbm(g.num_nodes(), 6);
+  layer.forward(csr, h, ws, out_csr);
+  layer.forward(cbm, h, ws, out_cbm);
+  EXPECT_TRUE(allclose(out_cbm, out_csr, 1e-5, 1e-5));
+}
+
+TEST(Gin, EpsilonZeroMatchesPlainSum) {
+  // With ε=0 the aggregate is H + AH; verify on a tiny graph by hand.
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  CsrAdjacency<float> adj(g.adjacency());
+  Rng rng(8);
+  GinLayer<float> layer(1, 1, 1, 0.0f, rng);
+  const DenseMatrix<float> h(2, 1, {3.0f, 5.0f});
+  GinLayer<float>::Workspace ws(2, 1, 1);
+  DenseMatrix<float> out(2, 1);
+  layer.forward(adj, h, ws, out);
+  // agg = {3+5, 5+3} = {8, 8}; output = relu(8*w0)*w1 for both rows → equal.
+  EXPECT_FLOAT_EQ(out(0, 0), out(1, 0));
+}
+
+TEST(Sage, CsrAndCbmOperandsAgree) {
+  const Graph g = clique_union(
+      {.num_nodes = 70, .num_cliques = 90, .clique_min = 3, .clique_max = 6,
+       .reuse_prob = 0.6, .size_exponent = 2.0},
+      23);
+  CsrAdjacency<float> csr(g.adjacency());
+  CbmAdjacency<float> cbm(CbmMatrix<float>::compress(g.adjacency()));
+
+  std::vector<float> inv_deg(static_cast<std::size_t>(g.num_nodes()));
+  for (index_t v = 0; v < g.num_nodes(); ++v) {
+    inv_deg[v] = g.degree(v) > 0 ? 1.0f / g.degree(v) : 0.0f;
+  }
+  Rng rng(9);
+  SageLayer<float> layer(8, 5, inv_deg, rng);
+  const auto h = test::random_dense<float>(g.num_nodes(), 8, 10);
+  SageLayer<float>::Workspace ws(g.num_nodes(), 8);
+  DenseMatrix<float> out_csr(g.num_nodes(), 5), out_cbm(g.num_nodes(), 5);
+  layer.forward(csr, h, ws, out_csr);
+  layer.forward(cbm, h, ws, out_cbm);
+  EXPECT_TRUE(allclose(out_cbm, out_csr, 1e-5, 1e-5));
+}
+
+TEST(Sage, MeanAggregationIsExact) {
+  // Star: node 0 adjacent to 1,2; mean of neighbors' features.
+  const Graph g = Graph::from_edges(3, {{0, 1}, {0, 2}});
+  CsrAdjacency<float> adj(g.adjacency());
+  std::vector<float> inv_deg = {0.5f, 1.0f, 1.0f};
+  Rng rng(10);
+  SageLayer<float> layer(1, 1, inv_deg, rng);
+  const DenseMatrix<float> h(3, 1, {0.0f, 2.0f, 4.0f});
+  SageLayer<float>::Workspace ws(3, 1);
+  DenseMatrix<float> out(3, 1);
+  layer.forward(adj, h, ws, out);
+  // agg(0) = (2+4)/2 = 3; out = relu(0*ws + 3*wn).
+  const float wn = layer.w_neigh()(0, 0);
+  const float expect = std::max(0.0f, 3.0f * wn);
+  EXPECT_NEAR(out(0, 0), expect, 1e-6);
+}
+
+}  // namespace
+}  // namespace cbm

@@ -1,0 +1,165 @@
+// Tests for the Graph type and the synthetic dataset generators.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/metrics.hpp"
+
+namespace cbm {
+namespace {
+
+/// Structural invariants every generator must satisfy: symmetric binary
+/// adjacency, empty diagonal, sorted rows.
+void expect_simple_undirected(const Graph& g) {
+  const auto& adj = g.adjacency();
+  EXPECT_TRUE(adj.is_binary());
+  EXPECT_TRUE(adj.has_sorted_unique_rows());
+  for (index_t v = 0; v < g.num_nodes(); ++v) {
+    for (const index_t u : g.neighbors(v)) {
+      EXPECT_NE(u, v) << "self loop at " << v;
+      EXPECT_FLOAT_EQ(adj.at(u, v), 1.0f) << "asymmetry " << v << "→" << u;
+    }
+  }
+}
+
+TEST(Graph, FromEdgesDeduplicatesAndSymmetrises) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 0}, {0, 1}, {2, 3}, {3, 3}});
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 2);  // {0,1} and {2,3}; self loop dropped
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(3), 1);
+  expect_simple_undirected(g);
+}
+
+TEST(Graph, FromEdgesRejectsOutOfRange) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 2}}), CbmError);
+}
+
+TEST(Graph, FromCooPatternSymmetrises) {
+  CooMatrix<real_t> coo;
+  coo.rows = 3;
+  coo.cols = 3;
+  coo.push(0, 1, 5.0f);  // weight ignored
+  coo.push(2, 2, 1.0f);  // self loop dropped
+  const Graph g = Graph::from_coo_pattern(coo);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 1);
+  expect_simple_undirected(g);
+}
+
+TEST(Graph, AverageDegree) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0 * 3 / 4);
+}
+
+TEST(Generators, ErdosRenyiExactEdgeCount) {
+  const Graph g = erdos_renyi(100, 250, 1);
+  EXPECT_EQ(g.num_nodes(), 100);
+  EXPECT_EQ(g.num_edges(), 250);
+  expect_simple_undirected(g);
+}
+
+TEST(Generators, ErdosRenyiDeterministic) {
+  const Graph a = erdos_renyi(50, 100, 7);
+  const Graph b = erdos_renyi(50, 100, 7);
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+}
+
+TEST(Generators, ErdosRenyiRejectsTooManyEdges) {
+  EXPECT_THROW(erdos_renyi(4, 7, 1), CbmError);
+}
+
+TEST(Generators, BarabasiAlbertDegreeFloor) {
+  const Graph g = barabasi_albert(300, 3, 2);
+  EXPECT_EQ(g.num_nodes(), 300);
+  expect_simple_undirected(g);
+  // Every non-seed node attaches with >= m edges (dedup can only merge with
+  // seed clique edges, which only adds degree).
+  for (index_t v = 4; v < 300; ++v) EXPECT_GE(g.degree(v), 3);
+  // Preferential attachment produces a hub heavier than the mean.
+  const auto stats = degree_stats(g);
+  EXPECT_GT(stats.max, 3 * stats.mean);
+}
+
+TEST(Generators, WattsStrogatzRegularAtBetaZero) {
+  const Graph g = watts_strogatz(60, 3, 0.0, 3);
+  for (index_t v = 0; v < 60; ++v) EXPECT_EQ(g.degree(v), 6);
+  expect_simple_undirected(g);
+  // Ring lattice with k=3 has high clustering.
+  EXPECT_GT(average_clustering(g), 0.5);
+}
+
+TEST(Generators, WattsStrogatzRewiringReducesClustering) {
+  const Graph regular = watts_strogatz(200, 4, 0.0, 4);
+  const Graph random = watts_strogatz(200, 4, 1.0, 4);
+  EXPECT_LT(average_clustering(random), average_clustering(regular));
+  expect_simple_undirected(random);
+}
+
+TEST(Generators, CliqueUnionIsClusteredAndDeterministic) {
+  CliqueUnionParams p;
+  p.num_nodes = 400;
+  p.num_cliques = 500;
+  p.clique_min = 3;
+  p.clique_max = 8;
+  p.reuse_prob = 0.7;
+  const Graph g = clique_union(p, 5);
+  expect_simple_undirected(g);
+  EXPECT_GT(average_clustering(g), 0.4);  // cliques → high clustering
+  const Graph g2 = clique_union(p, 5);
+  EXPECT_EQ(g.adjacency(), g2.adjacency());
+}
+
+TEST(Generators, CliqueUnionValidation) {
+  CliqueUnionParams p;
+  p.num_nodes = 10;
+  p.num_cliques = 1;
+  p.clique_min = 5;
+  p.clique_max = 3;  // invalid range
+  EXPECT_THROW(clique_union(p, 1), CbmError);
+}
+
+TEST(Generators, SbmRespectsBlocks) {
+  SbmParams p;
+  p.num_nodes = 600;
+  p.num_blocks = 6;
+  p.expected_degree_in = 20.0;
+  p.expected_degree_out = 2.0;
+  const Graph g = stochastic_block_model(p, 6);
+  expect_simple_undirected(g);
+  // Count in-block vs cross-block adjacency: should be dominated by in-block.
+  const index_t block = 100;
+  offset_t in = 0, out = 0;
+  for (index_t v = 0; v < g.num_nodes(); ++v) {
+    for (const index_t u : g.neighbors(v)) {
+      (u / block == v / block ? in : out) += 1;
+    }
+  }
+  EXPECT_GT(in, 4 * out);
+  EXPECT_NEAR(g.average_degree(), 22.0, 5.0);
+}
+
+TEST(Generators, NearDuplicateRowsSharesNeighborhoods) {
+  const Graph g = near_duplicate_rows(200, 4, 12, 1, 8);
+  expect_simple_undirected(g);
+  // Rows in the same group overlap heavily: check two members of group 0.
+  const auto r0 = g.neighbors(0);
+  const auto r4 = g.neighbors(4);
+  std::size_t i = 0, j = 0, common = 0;
+  while (i < r0.size() && j < r4.size()) {
+    if (r0[i] == r4[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (r0[i] < r4[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  EXPECT_GE(common, 8u);
+}
+
+}  // namespace
+}  // namespace cbm

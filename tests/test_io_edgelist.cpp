@@ -1,0 +1,70 @@
+// SNAP edge-list I/O tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph.hpp"
+#include "sparse/io_edgelist.hpp"
+
+namespace cbm {
+namespace {
+
+TEST(EdgeList, ReadsPairsAndSkipsComments) {
+  std::istringstream in(
+      "# SNAP header\n"
+      "% another comment style\n"
+      "0\t1\n"
+      "2 3\n"
+      "\n"
+      "1 2\n");
+  const auto coo = read_edge_list(in);
+  EXPECT_EQ(coo.rows, 4);
+  EXPECT_EQ(coo.nnz(), 3u);
+  const Graph g = Graph::from_coo_pattern(coo);
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST(EdgeList, ForcedDimension) {
+  std::istringstream in("0 1\n");
+  const auto coo = read_edge_list(in, 10);
+  EXPECT_EQ(coo.rows, 10);
+  EXPECT_EQ(coo.cols, 10);
+}
+
+TEST(EdgeList, ForcedDimensionTooSmallThrows) {
+  std::istringstream in("0 7\n");
+  EXPECT_THROW(read_edge_list(in, 5), CbmError);
+}
+
+TEST(EdgeList, MalformedLineThrows) {
+  std::istringstream in("0 not-a-number\n");
+  EXPECT_THROW(read_edge_list(in), CbmError);
+}
+
+TEST(EdgeList, NegativeIdThrows) {
+  std::istringstream in("-1 2\n");
+  EXPECT_THROW(read_edge_list(in), CbmError);
+}
+
+TEST(EdgeList, WriteReadRoundTrip) {
+  CooMatrix<real_t> coo;
+  coo.rows = 5;
+  coo.cols = 5;
+  coo.push(0, 3, 1.0f);
+  coo.push(4, 1, 1.0f);
+  std::stringstream buf;
+  write_edge_list(buf, coo);
+  const auto back = read_edge_list(buf, 5);
+  ASSERT_EQ(back.nnz(), 2u);
+  EXPECT_EQ(back.row_idx[0], 0);
+  EXPECT_EQ(back.col_idx[0], 3);
+  EXPECT_EQ(back.row_idx[1], 4);
+  EXPECT_EQ(back.col_idx[1], 1);
+}
+
+TEST(EdgeList, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/graph.txt"), CbmError);
+}
+
+}  // namespace
+}  // namespace cbm

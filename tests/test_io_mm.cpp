@@ -1,0 +1,90 @@
+// Matrix Market I/O tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/io_mm.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+TEST(MatrixMarket, ReadGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "1 2 1.5\n"
+      "3 1 -2.0\n");
+  const auto coo = read_matrix_market<float>(in);
+  EXPECT_EQ(coo.rows, 3);
+  EXPECT_EQ(coo.cols, 3);
+  ASSERT_EQ(coo.nnz(), 2u);
+  const auto m = CsrMatrix<float>::from_coo(coo);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 1.5f);
+  EXPECT_FLOAT_EQ(m.at(2, 0), -2.0f);
+}
+
+TEST(MatrixMarket, ReadPatternDefaultsToOne) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  const auto m = CsrMatrix<float>::from_coo(read_matrix_market<float>(in));
+  EXPECT_TRUE(m.is_binary());
+  EXPECT_EQ(m.nnz(), 2);
+}
+
+TEST(MatrixMarket, SymmetricExpandsBothTriangles) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 3\n");
+  const auto m = CsrMatrix<float>::from_coo(read_matrix_market<float>(in));
+  EXPECT_FLOAT_EQ(m.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 1.0f);  // mirrored
+  EXPECT_FLOAT_EQ(m.at(2, 2), 1.0f);  // diagonal stored once
+  EXPECT_EQ(m.nnz(), 3);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const auto a = test::random_binary(25, 0.15, 21);
+  std::stringstream buf;
+  write_matrix_market(buf, a.to_coo());
+  const auto back =
+      CsrMatrix<float>::from_coo(read_matrix_market<float>(buf));
+  EXPECT_EQ(back, a);
+}
+
+TEST(MatrixMarket, RejectsBadBanner) {
+  std::istringstream in("%%NotMatrixMarket x y z w\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market<float>(in), CbmError);
+}
+
+TEST(MatrixMarket, RejectsUnsupportedField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate complex general\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market<float>(in), CbmError);
+}
+
+TEST(MatrixMarket, RejectsOutOfBoundsEntry) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market<float>(in), CbmError);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market<float>(in), CbmError);
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file<float>("/nonexistent/file.mtx"),
+               CbmError);
+}
+
+}  // namespace
+}  // namespace cbm

@@ -1,0 +1,63 @@
+// Tests for the GCN normalisation Â = D^{-1/2}(A+I)D^{-1/2}.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "sparse/scale.hpp"
+
+namespace cbm {
+namespace {
+
+TEST(Laplacian, FactorsAreConsistent) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  const auto norm = gcn_normalization<float>(g);
+  // A+I is binary with self-loops.
+  EXPECT_TRUE(norm.a_plus_i.is_binary());
+  for (index_t v = 0; v < 3; ++v) {
+    EXPECT_FLOAT_EQ(norm.a_plus_i.at(v, v), 1.0f);
+    EXPECT_FLOAT_EQ(norm.dinv_sqrt[v],
+                    1.0f / std::sqrt(static_cast<float>(g.degree(v) + 1)));
+  }
+}
+
+TEST(Laplacian, MaterialisedMatchesFactors) {
+  const Graph g = barabasi_albert(60, 2, 11);
+  const auto norm = gcn_normalization<float>(g);
+  const auto direct = gcn_normalized_adjacency<float>(g);
+  const auto composed =
+      scale_both<float>(norm.a_plus_i, norm.dinv_sqrt, norm.dinv_sqrt);
+  EXPECT_EQ(direct, composed);
+}
+
+TEST(Laplacian, KnownPathGraphValues) {
+  // Path 0-1-2: degrees+1 = {2, 3, 2}.
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  const auto ahat = gcn_normalized_adjacency<double>(g);
+  EXPECT_NEAR(ahat.at(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(ahat.at(1, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(ahat.at(0, 1), 1.0 / std::sqrt(6.0), 1e-12);
+  EXPECT_NEAR(ahat.at(1, 0), 1.0 / std::sqrt(6.0), 1e-12);
+  EXPECT_NEAR(ahat.at(0, 2), 0.0, 1e-12);
+}
+
+TEST(Laplacian, SymmetricResult) {
+  const Graph g = erdos_renyi(40, 80, 13);
+  const auto ahat = gcn_normalized_adjacency<float>(g);
+  for (index_t i = 0; i < 40; ++i) {
+    for (const index_t j : ahat.row_indices(i)) {
+      EXPECT_FLOAT_EQ(ahat.at(j, i), ahat.at(i, j));
+    }
+  }
+}
+
+TEST(Laplacian, IsolatedNodeHandled) {
+  // Node 2 isolated: deg+1 = 1 → Â(2,2) = 1.
+  const Graph g = Graph::from_edges(3, {{0, 1}});
+  const auto ahat = gcn_normalized_adjacency<float>(g);
+  EXPECT_FLOAT_EQ(ahat.at(2, 2), 1.0f);
+}
+
+}  // namespace
+}  // namespace cbm

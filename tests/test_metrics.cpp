@@ -1,0 +1,91 @@
+// Tests for graph metrics (clustering coefficient = the paper's Table V
+// compressibility indicator, triangles, components, degree stats).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace cbm {
+namespace {
+
+Graph triangle_plus_tail() {
+  // 0-1-2 triangle, 3 attached to 2, 4 isolated.
+  return Graph::from_edges(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+}
+
+TEST(Metrics, LocalClusteringKnownValues) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_DOUBLE_EQ(local_clustering(g, 0), 1.0);  // both neighbors adjacent
+  EXPECT_DOUBLE_EQ(local_clustering(g, 1), 1.0);
+  // Node 2 has neighbors {0,1,3}: one adjacent pair of three.
+  EXPECT_DOUBLE_EQ(local_clustering(g, 2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(local_clustering(g, 3), 0.0);  // degree 1
+  EXPECT_DOUBLE_EQ(local_clustering(g, 4), 0.0);  // isolated
+}
+
+TEST(Metrics, AverageClusteringKnownGraph) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_DOUBLE_EQ(average_clustering(g), (1.0 + 1.0 + 1.0 / 3.0) / 5.0);
+}
+
+TEST(Metrics, CompleteGraphClusteringIsOne) {
+  std::vector<std::pair<index_t, index_t>> edges;
+  for (index_t i = 0; i < 8; ++i) {
+    for (index_t j = i + 1; j < 8; ++j) edges.emplace_back(i, j);
+  }
+  const Graph k8 = Graph::from_edges(8, edges);
+  EXPECT_DOUBLE_EQ(average_clustering(k8), 1.0);
+  EXPECT_EQ(triangle_count(k8), 56u);  // C(8,3)
+}
+
+TEST(Metrics, StarGraphClusteringIsZero) {
+  std::vector<std::pair<index_t, index_t>> edges;
+  for (index_t i = 1; i < 10; ++i) edges.emplace_back(0, i);
+  const Graph star = Graph::from_edges(10, edges);
+  EXPECT_DOUBLE_EQ(average_clustering(star), 0.0);
+  EXPECT_EQ(triangle_count(star), 0u);
+}
+
+TEST(Metrics, TriangleCountKnownGraph) {
+  EXPECT_EQ(triangle_count(triangle_plus_tail()), 1u);
+}
+
+TEST(Metrics, SampledClusteringApproximatesExact) {
+  const Graph g = watts_strogatz(500, 5, 0.1, 17);
+  const double exact = average_clustering(g);
+  const double sampled = average_clustering_sampled(g, 400, 3);
+  EXPECT_NEAR(sampled, exact, 0.08);
+}
+
+TEST(Metrics, ConnectedComponents) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(connected_components(g), 3);  // {0,1,2}, {3,4}, {5}
+  const Graph connected = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(connected_components(connected), 1);
+}
+
+TEST(Metrics, DegreeStats) {
+  const Graph g = triangle_plus_tail();
+  const auto s = degree_stats(g);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 3);
+  EXPECT_DOUBLE_EQ(s.mean, 8.0 / 5.0);
+  EXPECT_GT(s.stddev, 0.0);
+}
+
+TEST(Metrics, CliqueFamilyOrderingMatchesPaper) {
+  // The paper's Table V claim: clique-heavy graphs cluster more than
+  // preferential-attachment graphs of similar size.
+  CliqueUnionParams p;
+  p.num_nodes = 500;
+  p.num_cliques = 700;
+  p.clique_min = 3;
+  p.clique_max = 9;
+  p.reuse_prob = 0.8;
+  const Graph cliquey = clique_union(p, 9);
+  const Graph citation = barabasi_albert(500, 3, 9);
+  EXPECT_GT(average_clustering(cliquey), average_clustering(citation));
+}
+
+}  // namespace
+}  // namespace cbm

@@ -1,0 +1,125 @@
+// Tests for union–find and Kruskal MST (the α=0 compression-tree solver).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tree/mst.hpp"
+#include "tree/union_find.hpp"
+
+namespace cbm {
+namespace {
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));  // already joined
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_FALSE(uf.connected(0, 3));
+  EXPECT_EQ(uf.num_sets(), 3);
+}
+
+TEST(UnionFind, FindIsIdempotent) {
+  UnionFind uf(10);
+  uf.unite(3, 7);
+  const index_t r = uf.find(3);
+  EXPECT_EQ(uf.find(7), r);
+  EXPECT_EQ(uf.find(r), r);
+}
+
+TEST(Mst, KnownTriangle) {
+  // Triangle with weights 1, 2, 3: MST = {1, 2}.
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {1, 2, 2}, {0, 2, 3}};
+  const auto mst = kruskal_mst(3, edges);
+  EXPECT_EQ(mst.total_weight, 3);
+  EXPECT_EQ(mst.edge_ids.size(), 2u);
+}
+
+TEST(Mst, DisconnectedThrows) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}};
+  EXPECT_THROW(kruskal_mst(3, edges), CbmError);
+}
+
+TEST(Mst, SingleNode) {
+  const auto mst = kruskal_mst(1, {});
+  EXPECT_EQ(mst.total_weight, 0);
+  EXPECT_TRUE(mst.edge_ids.empty());
+}
+
+TEST(Mst, TieBreakPrefersEarlierEdge) {
+  // Two weight-1 ways to connect node 1; stable sort keeps input order, so
+  // the first listed edge must win (this implements the paper's prefer-the-
+  // virtual-root engineering when virtual edges are emitted first).
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {2, 1, 1}, {0, 2, 0}};
+  const auto mst = kruskal_mst(3, edges);
+  EXPECT_EQ(mst.total_weight, 1);
+  EXPECT_TRUE(std::find(mst.edge_ids.begin(), mst.edge_ids.end(), 0u) !=
+              mst.edge_ids.end());
+}
+
+TEST(Mst, MatchesPrimOnRandomGraphs) {
+  // Cross-check Kruskal against an independent O(V^2) Prim oracle.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const index_t n = 2 + static_cast<index_t>(rng.next_below(30));
+    std::vector<WeightedEdge> edges;
+    // Random spanning path guarantees connectivity, then random extras.
+    for (index_t v = 1; v < n; ++v) {
+      edges.push_back({v - 1, v, static_cast<std::int64_t>(rng.next_below(50))});
+    }
+    const auto extra = rng.next_below(60);
+    for (std::uint64_t e = 0; e < extra; ++e) {
+      const auto u = static_cast<index_t>(rng.next_below(n));
+      const auto v = static_cast<index_t>(rng.next_below(n));
+      if (u != v) {
+        edges.push_back({u, v, static_cast<std::int64_t>(rng.next_below(50))});
+      }
+    }
+    // Prim oracle over an adjacency-matrix view.
+    std::vector<std::vector<std::int64_t>> w(
+        n, std::vector<std::int64_t>(n, 1 << 20));
+    for (const auto& e : edges) {
+      w[e.src][e.dst] = std::min(w[e.src][e.dst], e.weight);
+      w[e.dst][e.src] = std::min(w[e.dst][e.src], e.weight);
+    }
+    std::vector<bool> used(n, false);
+    std::vector<std::int64_t> dist(n, 1 << 20);
+    dist[0] = 0;
+    std::int64_t prim_total = 0;
+    for (index_t it = 0; it < n; ++it) {
+      index_t best = -1;
+      for (index_t v = 0; v < n; ++v) {
+        if (!used[v] && (best == -1 || dist[v] < dist[best])) best = v;
+      }
+      used[best] = true;
+      prim_total += dist[best];
+      for (index_t v = 0; v < n; ++v) {
+        if (!used[v]) dist[v] = std::min(dist[v], w[best][v]);
+      }
+    }
+    const auto mst = kruskal_mst(n, edges);
+    EXPECT_EQ(mst.total_weight, prim_total) << "trial " << trial;
+  }
+}
+
+TEST(RootTree, ParentArrayFromForest) {
+  // Star around node 2 rooted at 0 through chain 0-1-2.
+  const std::vector<WeightedEdge> edges = {
+      {0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {2, 4, 1}};
+  const std::vector<std::size_t> ids = {0, 1, 2, 3};
+  const auto parent = root_tree(5, edges, ids, 0);
+  EXPECT_EQ(parent[0], -1);
+  EXPECT_EQ(parent[1], 0);
+  EXPECT_EQ(parent[2], 1);
+  EXPECT_EQ(parent[3], 2);
+  EXPECT_EQ(parent[4], 2);
+}
+
+TEST(RootTree, UnreachableNodeThrows) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}};
+  const std::vector<std::size_t> ids = {0};
+  EXPECT_THROW(root_tree(3, edges, ids, 0), CbmError);
+}
+
+}  // namespace
+}  // namespace cbm

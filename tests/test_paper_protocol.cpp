@@ -1,0 +1,75 @@
+// The paper's own correctness protocol (§VI-B): multiply each graph's
+// adjacency matrix, in CBM format, by randomly generated dense matrices and
+// confirm the result matches the CSR baseline within relative tolerance
+// 1e-5. Here: scaled-down operand sizes, all three matrix kinds, both the
+// raw adjacency and the GCN-normalised form.
+#include <gtest/gtest.h>
+
+#include "bench_util/datasets.hpp"
+#include "cbm/cbm_matrix.hpp"
+#include "dense/ops.hpp"
+#include "graph/laplacian.hpp"
+#include "sparse/scale.hpp"
+#include "sparse/spmm.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+class PaperProtocol : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PaperProtocol, RandomMultiplyMatchesBaselineWithinTolerance) {
+  // Small-scale stand-in of the named dataset family.
+  const Graph g = make_standin(GetParam(), /*scale=*/0.02);
+  const auto& a = g.adjacency();
+  const index_t n = g.num_nodes();
+
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = 0});
+  // Paper: 50 random matrices with 500 columns; here 5 × 40 columns.
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto b =
+        test::random_dense<float>(n, 40, 9000 + trial);
+    DenseMatrix<float> c_cbm(n, 40), c_csr(n, 40);
+    cbm.multiply(b, c_cbm);
+    csr_spmm(a, b, c_csr);
+    EXPECT_TRUE(allclose(c_cbm, c_csr, 1e-5, 1e-5))
+        << GetParam() << " trial " << trial;
+  }
+}
+
+TEST_P(PaperProtocol, NormalizedAdjacencyDadForm) {
+  const Graph g = make_standin(GetParam(), /*scale=*/0.02);
+  const auto norm = gcn_normalization<float>(g);
+  const auto cbm = CbmMatrix<float>::compress_scaled(
+      norm.a_plus_i, std::span<const float>(norm.dinv_sqrt),
+      CbmKind::kSymScaled, {.alpha = 0});
+  const auto baseline = gcn_normalized_adjacency<float>(g);
+
+  const auto b = test::random_dense<float>(g.num_nodes(), 32, 8123);
+  DenseMatrix<float> c_cbm(g.num_nodes(), 32), c_csr(g.num_nodes(), 32);
+  cbm.multiply(b, c_cbm);
+  csr_spmm(baseline, b, c_csr);
+  EXPECT_TRUE(allclose(c_cbm, c_csr, 1e-5, 1e-5)) << GetParam();
+}
+
+TEST_P(PaperProtocol, ColumnScaledAdForm) {
+  const Graph g = make_standin(GetParam(), /*scale=*/0.02);
+  const auto& a = g.adjacency();
+  const auto d = test::random_diagonal<float>(g.num_nodes(), 5150);
+  const auto cbm = CbmMatrix<float>::compress_scaled(
+      a, std::span<const float>(d), CbmKind::kColumnScaled, {.alpha = 2});
+  const auto baseline = scale_columns(a, std::span<const float>(d));
+
+  const auto b = test::random_dense<float>(g.num_nodes(), 24, 777);
+  DenseMatrix<float> c_cbm(g.num_nodes(), 24), c_csr(g.num_nodes(), 24);
+  cbm.multiply(b, c_cbm);
+  csr_spmm(baseline, b, c_csr);
+  EXPECT_TRUE(allclose(c_cbm, c_csr, 1e-5, 1e-5)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, PaperProtocol,
+                         ::testing::Values("cora", "pubmed", "ca-hepph",
+                                           "collab", "ogbn-proteins"));
+
+}  // namespace
+}  // namespace cbm

@@ -1,0 +1,195 @@
+// Tests for the partitioned CBM format (§VIII future work): correctness
+// against CSR for every clustering method and kind, plus the memory-scaling
+// property that motivates it.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cbm/partitioned.hpp"
+#include "common/rng.hpp"
+#include "dense/ops.hpp"
+#include "graph/generators.hpp"
+#include "sparse/scale.hpp"
+#include "sparse/spmm.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+struct PartCase {
+  ClusterMethod method;
+  index_t clusters;
+  int alpha;
+};
+
+class PartitionedParam : public ::testing::TestWithParam<PartCase> {};
+
+TEST_P(PartitionedParam, MultiplyMatchesCsr) {
+  const auto p = GetParam();
+  const Graph g = community_graph(
+      {.num_nodes = 300, .team_min = 10, .team_max = 40, .size_exponent = 1.8,
+       .intra_prob = 1.0, .cross_per_node = 2.0},
+      800);
+  const auto& a = g.adjacency();
+
+  PartitionedOptions options;
+  options.base.alpha = p.alpha;
+  options.method = p.method;
+  options.num_clusters = p.clusters;
+  PartitionedStats stats;
+  auto part = PartitionedCbmMatrix<real_t>::compress(a, options, &stats);
+  EXPECT_EQ(stats.num_parts, part.num_parts());
+  EXPECT_GE(part.num_parts(), 1);
+  EXPECT_LE(part.num_parts(), p.clusters);
+
+  const auto b = test::random_dense<real_t>(g.num_nodes(), 8, 801);
+  DenseMatrix<real_t> c_part(g.num_nodes(), 8), c_csr(g.num_nodes(), 8);
+  part.multiply(b, c_part);
+  csr_spmm(a, b, c_csr);
+  EXPECT_TRUE(allclose(c_part, c_csr, 1e-4, 1e-5));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndAlphas, PartitionedParam,
+    ::testing::Values(PartCase{ClusterMethod::kConsecutive, 8, 0},
+                      PartCase{ClusterMethod::kConsecutive, 3, 4},
+                      PartCase{ClusterMethod::kMinHash, 8, 0},
+                      PartCase{ClusterMethod::kMinHash, 16, 8},
+                      PartCase{ClusterMethod::kLabelPropagation, 12, 0},
+                      PartCase{ClusterMethod::kLabelPropagation, 6, 2}));
+
+TEST(Partitioned, ScaledKindsMatchCsr) {
+  const Graph g = community_graph(
+      {.num_nodes = 200, .team_min = 10, .team_max = 30, .size_exponent = 1.8,
+       .intra_prob = 1.0, .cross_per_node = 2.0},
+      810);
+  const auto& a = g.adjacency();
+  const auto d = test::random_diagonal<real_t>(g.num_nodes(), 811);
+  const auto b = test::random_dense<real_t>(g.num_nodes(), 7, 812);
+
+  PartitionedOptions options;
+  options.num_clusters = 6;
+  {
+    auto part = PartitionedCbmMatrix<real_t>::compress_scaled(
+        a, std::span<const real_t>(d), CbmKind::kColumnScaled, options);
+    DenseMatrix<real_t> c_part(g.num_nodes(), 7), c_csr(g.num_nodes(), 7);
+    part.multiply(b, c_part);
+    csr_spmm(scale_columns(a, std::span<const real_t>(d)), b, c_csr);
+    EXPECT_TRUE(allclose(c_part, c_csr, 1e-4, 1e-5)) << "AD";
+  }
+  {
+    auto part = PartitionedCbmMatrix<real_t>::compress_scaled(
+        a, std::span<const real_t>(d), CbmKind::kSymScaled, options);
+    DenseMatrix<real_t> c_part(g.num_nodes(), 7), c_csr(g.num_nodes(), 7);
+    part.multiply(b, c_part);
+    csr_spmm(scale_both(a, std::span<const real_t>(d),
+                        std::span<const real_t>(d)),
+             b, c_csr);
+    EXPECT_TRUE(allclose(c_part, c_csr, 1e-4, 1e-5)) << "DAD";
+  }
+}
+
+TEST(Partitioned, PeakCandidateMemoryDropsVsMonolithic) {
+  // The §VIII motivation: per-cluster construction bounds the candidate-pair
+  // working set by the largest cluster instead of the whole matrix.
+  const Graph g = community_graph(
+      {.num_nodes = 600, .team_min = 20, .team_max = 60, .size_exponent = 1.8,
+       .intra_prob = 1.0, .cross_per_node = 1.0},
+      820);
+  CbmStats mono_stats;
+  CbmMatrix<real_t>::compress(g.adjacency(), {.alpha = 0}, &mono_stats);
+
+  PartitionedOptions options;
+  options.method = ClusterMethod::kMinHash;
+  options.num_clusters = 12;
+  PartitionedStats part_stats;
+  PartitionedCbmMatrix<real_t>::compress(g.adjacency(), options, &part_stats);
+  EXPECT_LT(part_stats.peak_candidate_edges, mono_stats.candidate_edges);
+  EXPECT_LE(part_stats.total_candidate_edges, mono_stats.candidate_edges);
+}
+
+TEST(Partitioned, MinHashRecoversShuffledCommunities) {
+  // Shuffle the rows of a community graph. Consecutive chunking then cuts
+  // communities apart (poor compression); MinHash regroups similar rows and
+  // must compress substantially better.
+  const Graph g = community_graph(
+      {.num_nodes = 400, .team_min = 25, .team_max = 50, .size_exponent = 1.8,
+       .intra_prob = 1.0, .cross_per_node = 1.0},
+      830);
+  // Random symmetric permutation of the adjacency.
+  Rng rng(831);
+  std::vector<index_t> perm(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  CooMatrix<real_t> shuffled;
+  shuffled.rows = g.num_nodes();
+  shuffled.cols = g.num_nodes();
+  for (index_t i = 0; i < g.num_nodes(); ++i) {
+    for (const index_t j : g.neighbors(i)) {
+      shuffled.push(perm[i], perm[j], 1.0f);
+    }
+  }
+  const auto a = CsrMatrix<real_t>::from_coo(shuffled);
+
+  auto ratio_with = [&](ClusterMethod method) {
+    PartitionedOptions options;
+    options.method = method;
+    options.num_clusters = 16;
+    PartitionedStats stats;
+    PartitionedCbmMatrix<real_t>::compress(a, options, &stats);
+    return static_cast<double>(a.bytes()) / stats.bytes;
+  };
+  const double consecutive = ratio_with(ClusterMethod::kConsecutive);
+  const double minhash = ratio_with(ClusterMethod::kMinHash);
+  EXPECT_GT(minhash, consecutive * 1.5)
+      << "minhash " << minhash << " vs consecutive " << consecutive;
+}
+
+TEST(Partitioned, SinglePartEqualsMonolithic) {
+  const auto a = test::clustered_binary(80, 5, 10, 2, 840);
+  PartitionedOptions options;
+  options.num_clusters = 1;
+  PartitionedStats stats;
+  auto part = PartitionedCbmMatrix<real_t>::compress(a, options, &stats);
+  ASSERT_EQ(part.num_parts(), 1);
+  CbmStats mono;
+  const auto cbm = CbmMatrix<real_t>::compress(a, {}, &mono);
+  EXPECT_EQ(stats.total_deltas, mono.total_deltas);
+}
+
+TEST(Partitioned, ShapeAndKindValidation) {
+  const auto a = test::clustered_binary(20, 2, 5, 1, 850);
+  PartitionedOptions options;
+  auto part = PartitionedCbmMatrix<real_t>::compress(a, options);
+  DenseMatrix<real_t> b(19, 4), c(20, 4);
+  EXPECT_THROW(part.multiply(b, c), CbmError);
+
+  const std::vector<real_t> d(20, 1.0f);
+  EXPECT_THROW(PartitionedCbmMatrix<real_t>::compress_scaled(
+                   a, std::span<const real_t>(d), CbmKind::kPlain, options),
+               CbmError);
+}
+
+TEST(Partitioned, StatsAreCoherent) {
+  const auto a = test::clustered_binary(120, 6, 9, 2, 860);
+  PartitionedOptions options;
+  options.num_clusters = 5;
+  PartitionedStats stats;
+  auto part = PartitionedCbmMatrix<real_t>::compress(a, options, &stats);
+  EXPECT_EQ(stats.source_nnz, a.nnz());
+  EXPECT_LE(stats.total_deltas, stats.source_nnz);  // Property 1, partitioned
+  EXPECT_EQ(stats.bytes, part.bytes());
+  EXPECT_GT(stats.build_seconds, 0.0);
+  EXPECT_GE(stats.build_seconds, stats.cluster_seconds);
+  index_t covered = 0;
+  for (const auto& p : part.parts()) {
+    covered += static_cast<index_t>(p.rows.size());
+    EXPECT_TRUE(std::is_sorted(p.rows.begin(), p.rows.end()));
+  }
+  EXPECT_EQ(covered, a.rows());
+}
+
+}  // namespace
+}  // namespace cbm

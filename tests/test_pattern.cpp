@@ -1,0 +1,96 @@
+// Tests for pattern utilities (binarize / symmetrize / prune) and the R-MAT
+// generator.
+#include <gtest/gtest.h>
+
+#include "cbm/cbm_matrix.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "sparse/pattern.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+TEST(Pattern, BinarizeReplacesValues) {
+  CooMatrix<float> coo;
+  coo.rows = 3;
+  coo.cols = 3;
+  coo.push(0, 1, 2.5f);
+  coo.push(2, 0, -4.0f);
+  const auto b = binarize(CsrMatrix<float>::from_coo(coo));
+  EXPECT_TRUE(b.is_binary());
+  EXPECT_EQ(b.nnz(), 2);
+  EXPECT_FLOAT_EQ(b.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(b.at(2, 0), 1.0f);
+}
+
+TEST(Pattern, SymmetrizeMirrorsAndDropsDiagonal) {
+  CooMatrix<float> coo;
+  coo.rows = 3;
+  coo.cols = 3;
+  coo.push(0, 1, 5.0f);   // only one direction stored
+  coo.push(1, 1, 7.0f);   // diagonal must vanish
+  coo.push(2, 0, 1.0f);
+  const auto s = symmetrize_pattern(CsrMatrix<float>::from_coo(coo));
+  EXPECT_TRUE(s.is_binary());
+  EXPECT_FLOAT_EQ(s.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 1), 0.0f);
+  EXPECT_EQ(s.nnz(), 4);
+  // Result is a valid Graph adjacency.
+  EXPECT_NO_THROW(Graph::from_adjacency(s));
+}
+
+TEST(Pattern, SymmetrizeRequiresSquare) {
+  CooMatrix<float> coo;
+  coo.rows = 2;
+  coo.cols = 3;
+  EXPECT_THROW(symmetrize_pattern(CsrMatrix<float>::from_coo(coo)), CbmError);
+}
+
+TEST(Pattern, PruneZerosRemovesExplicitZeros) {
+  CsrMatrix<float> a(2, 3, {0, 2, 3}, {0, 2, 1}, {1.0f, 0.0f, 3.0f});
+  const auto p = prune_zeros(a);
+  EXPECT_EQ(p.nnz(), 2);
+  EXPECT_FLOAT_EQ(p.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(p.at(0, 2), 0.0f);
+  EXPECT_FLOAT_EQ(p.at(1, 1), 3.0f);
+}
+
+TEST(Rmat, ProducesScaleFreeSimpleGraph) {
+  const Graph g = rmat({.scale = 10, .edges_per_node = 8.0}, 77);
+  EXPECT_EQ(g.num_nodes(), 1024);
+  EXPECT_GT(g.num_edges(), 2000);
+  const auto& adj = g.adjacency();
+  EXPECT_TRUE(adj.is_binary());
+  EXPECT_TRUE(adj.has_sorted_unique_rows());
+  // Skewed degrees: the max degree far exceeds the mean.
+  const auto stats = degree_stats(g);
+  EXPECT_GT(stats.max, 5 * stats.mean);
+}
+
+TEST(Rmat, DeterministicAndParamValidated) {
+  const Graph a = rmat({.scale = 8}, 5);
+  const Graph b = rmat({.scale = 8}, 5);
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+  EXPECT_THROW(rmat({.scale = 0}, 1), CbmError);
+  EXPECT_THROW(rmat({.scale = 8, .edges_per_node = 8, .a = 0.6, .b = 0.3,
+                     .c = 0.2},
+                    1),
+               CbmError);
+}
+
+TEST(Rmat, IsAHardCaseForCbm) {
+  // R-MAT rows have weak similarity: compression should hover near 1× —
+  // the negative control for the community graphs.
+  const Graph g = rmat({.scale = 11, .edges_per_node = 8.0}, 9);
+  CbmStats stats;
+  CbmMatrix<real_t>::compress(g.adjacency(), {.alpha = 0}, &stats);
+  const double ratio =
+      static_cast<double>(g.adjacency().bytes()) / stats.bytes;
+  EXPECT_LT(ratio, 1.6);
+}
+
+}  // namespace
+}  // namespace cbm

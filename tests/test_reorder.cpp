@@ -1,0 +1,119 @@
+// Tests for node-reordering utilities and their interaction with
+// compression (CBM's ratio is permutation-invariant; the partitioned
+// format's consecutive clustering is not).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cbm/cbm_matrix.hpp"
+#include "cbm/partitioned.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/reorder.hpp"
+
+namespace cbm {
+namespace {
+
+Graph sample_graph() {
+  return community_graph(
+      {.num_nodes = 200, .team_min = 10, .team_max = 30, .size_exponent = 1.8,
+       .intra_prob = 1.0, .cross_per_node = 2.0},
+      900);
+}
+
+TEST(Reorder, AllOrdersArePermutations) {
+  const Graph g = sample_graph();
+  EXPECT_TRUE(is_permutation(bfs_order(g), g.num_nodes()));
+  EXPECT_TRUE(is_permutation(degree_order(g), g.num_nodes()));
+  EXPECT_TRUE(is_permutation(minhash_order(g), g.num_nodes()));
+}
+
+TEST(Reorder, IsPermutationRejectsBadInputs) {
+  EXPECT_FALSE(is_permutation({0, 1, 1}, 3));   // duplicate
+  EXPECT_FALSE(is_permutation({0, 3, 1}, 3));   // out of range
+  EXPECT_FALSE(is_permutation({0, 1}, 3));      // wrong length
+  EXPECT_TRUE(is_permutation({2, 0, 1}, 3));
+}
+
+TEST(Reorder, DegreeOrderIsMonotone) {
+  const Graph g = sample_graph();
+  const auto order = degree_order(g);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(g.degree(order[i - 1]), g.degree(order[i]));
+  }
+}
+
+TEST(Reorder, BfsOrderVisitsComponentsContiguously) {
+  // Two disjoint cliques: BFS order must not interleave them.
+  std::vector<std::pair<index_t, index_t>> edges;
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = i + 1; j < 4; ++j) {
+      edges.emplace_back(i, j);
+      edges.emplace_back(4 + i, 4 + j);
+    }
+  }
+  const Graph g = Graph::from_edges(8, edges);
+  const auto order = bfs_order(g);
+  ASSERT_TRUE(is_permutation(order, 8));
+  // First four visited nodes all from one clique.
+  const index_t first_clique = order[0] / 4;
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(order[i] / 4, first_clique);
+}
+
+TEST(Reorder, ApplyOrderPreservesStructure) {
+  const Graph g = sample_graph();
+  const auto perm = minhash_order(g);
+  const Graph h = apply_order(g, perm);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  // Degrees carry over through the relabeling.
+  for (index_t i = 0; i < h.num_nodes(); ++i) {
+    EXPECT_EQ(h.degree(i), g.degree(perm[i]));
+  }
+}
+
+TEST(Reorder, ApplyOrderRejectsNonPermutation) {
+  const Graph g = Graph::from_edges(3, {{0, 1}});
+  EXPECT_THROW(apply_order(g, {0, 0, 1}), CbmError);
+}
+
+TEST(Reorder, CbmRatioIsPermutationInvariant) {
+  const Graph g = sample_graph();
+  const auto perm = degree_order(g);
+  const Graph h = apply_order(g, perm);
+  CbmStats original, reordered;
+  CbmMatrix<real_t>::compress(g.adjacency(), {.alpha = 0}, &original);
+  CbmMatrix<real_t>::compress(h.adjacency(), {.alpha = 0}, &reordered);
+  EXPECT_EQ(original.total_deltas, reordered.total_deltas);
+}
+
+TEST(Reorder, MinhashOrderRepairsConsecutiveClustering) {
+  // Scatter the community graph with a random shuffle (interleaves teams),
+  // then show minhash_order restores consecutive-clustering quality.
+  const Graph g = community_graph(
+      {.num_nodes = 400, .team_min = 25, .team_max = 50, .size_exponent = 1.8,
+       .intra_prob = 1.0, .cross_per_node = 1.0},
+      901);
+  Rng rng(902);
+  std::vector<index_t> shuffle(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(shuffle.begin(), shuffle.end(), index_t{0});
+  for (std::size_t i = shuffle.size(); i > 1; --i) {
+    std::swap(shuffle[i - 1], shuffle[rng.next_below(i)]);
+  }
+  const Graph scattered = apply_order(g, shuffle);
+  const Graph repaired = apply_order(scattered, minhash_order(scattered));
+
+  auto consecutive_ratio = [](const Graph& graph) {
+    PartitionedOptions options;
+    options.method = ClusterMethod::kConsecutive;
+    options.num_clusters = 16;
+    PartitionedStats stats;
+    PartitionedCbmMatrix<real_t>::compress(graph.adjacency(), options,
+                                           &stats);
+    return static_cast<double>(graph.adjacency().bytes()) / stats.bytes;
+  };
+  EXPECT_GT(consecutive_ratio(repaired), consecutive_ratio(scattered) * 1.3);
+}
+
+}  // namespace
+}  // namespace cbm

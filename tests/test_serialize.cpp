@@ -1,0 +1,142 @@
+// Tests for CBM binary (de)serialisation: round trips for every kind,
+// and rejection of corrupted streams.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "cbm/serialize.hpp"
+#include "dense/ops.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+template <typename T>
+void expect_equivalent(const CbmMatrix<T>& a, const CbmMatrix<T>& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(a.kind(), b.kind());
+  EXPECT_EQ(a.delta_matrix(), b.delta_matrix());
+  for (index_t x = 0; x < a.rows(); ++x) {
+    EXPECT_EQ(a.tree().parent(x), b.tree().parent(x));
+  }
+  ASSERT_EQ(a.diagonal().size(), b.diagonal().size());
+  for (std::size_t i = 0; i < a.diagonal().size(); ++i) {
+    EXPECT_EQ(a.diagonal()[i], b.diagonal()[i]);
+  }
+}
+
+TEST(Serialize, RoundTripPlain) {
+  const auto a = test::clustered_binary(40, 4, 8, 2, 700);
+  const auto original = CbmMatrix<float>::compress(a, {.alpha = 2});
+  std::stringstream buf;
+  save_cbm(buf, original);
+  const auto loaded = load_cbm<float>(buf);
+  expect_equivalent(original, loaded);
+
+  // Loaded object multiplies identically.
+  const auto b = test::random_dense<float>(40, 6, 701);
+  DenseMatrix<float> c1(40, 6), c2(40, 6);
+  original.multiply(b, c1);
+  loaded.multiply(b, c2);
+  EXPECT_EQ(max_abs_diff(c1, c2), 0.0);
+}
+
+TEST(Serialize, RoundTripScaledKinds) {
+  const auto a = test::clustered_binary(30, 3, 7, 2, 702);
+  const auto d = test::random_diagonal<float>(30, 703);
+  const auto dr = test::random_diagonal<float>(30, 704);
+  for (const auto& original : {
+           CbmMatrix<float>::compress_scaled(a, std::span<const float>(d),
+                                             CbmKind::kColumnScaled),
+           CbmMatrix<float>::compress_scaled(a, std::span<const float>(d),
+                                             CbmKind::kSymScaled),
+           CbmMatrix<float>::compress_two_sided(a, std::span<const float>(d),
+                                                std::span<const float>(dr)),
+       }) {
+    std::stringstream buf;
+    save_cbm(buf, original);
+    const auto loaded = load_cbm<float>(buf);
+    expect_equivalent(original, loaded);
+  }
+}
+
+TEST(Serialize, RoundTripDouble) {
+  CooMatrix<double> coo;
+  coo.rows = 20;
+  coo.cols = 20;
+  const auto af = test::clustered_binary(20, 2, 6, 1, 705);
+  for (index_t i = 0; i < 20; ++i) {
+    for (const index_t j : af.row_indices(i)) coo.push(i, j, 1.0);
+  }
+  const auto original =
+      CbmMatrix<double>::compress(CsrMatrix<double>::from_coo(coo));
+  std::stringstream buf;
+  save_cbm(buf, original);
+  expect_equivalent(original, load_cbm<double>(buf));
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto a = test::clustered_binary(25, 3, 6, 1, 706);
+  const auto original = CbmMatrix<float>::compress(a);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cbm_serialize_test.cbmf")
+          .string();
+  save_cbm_file(path, original);
+  const auto loaded = load_cbm_file<float>(path);
+  expect_equivalent(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "NOPE garbage";
+  EXPECT_THROW(load_cbm<float>(buf), CbmError);
+}
+
+TEST(Serialize, RejectsWrongValueWidth) {
+  const auto a = test::clustered_binary(10, 2, 4, 1, 707);
+  const auto original = CbmMatrix<float>::compress(a);
+  std::stringstream buf;
+  save_cbm(buf, original);
+  EXPECT_THROW(load_cbm<double>(buf), CbmError);  // float file, double reader
+}
+
+TEST(Serialize, RejectsTruncation) {
+  const auto a = test::clustered_binary(20, 2, 5, 1, 708);
+  const auto original = CbmMatrix<float>::compress(a);
+  std::stringstream buf;
+  save_cbm(buf, original);
+  const std::string full = buf.str();
+  // Chop the stream at several points; every prefix must be rejected.
+  for (const std::size_t keep :
+       {std::size_t{3}, std::size_t{9}, full.size() / 2, full.size() - 4}) {
+    std::stringstream cut(full.substr(0, keep));
+    EXPECT_THROW(load_cbm<float>(cut), CbmError) << "kept " << keep;
+  }
+}
+
+TEST(Serialize, RejectsCorruptedTree) {
+  const auto a = test::clustered_binary(15, 2, 5, 1, 709);
+  const auto original = CbmMatrix<float>::compress(a);
+  std::stringstream buf;
+  save_cbm(buf, original);
+  std::string data = buf.str();
+  // Parent array begins after magic(4)+version(4)+kind(4)+width(4)+dims(16).
+  const std::size_t parent_off = 32;
+  // Point row 0's parent at itself → cycle → CompressionTree must throw.
+  index_t self = 0;
+  std::memcpy(data.data() + parent_off, &self, sizeof(self));
+  std::stringstream corrupted(data);
+  EXPECT_THROW(load_cbm<float>(corrupted), CbmError);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_cbm_file<float>("/nonexistent/x.cbmf"), CbmError);
+}
+
+}  // namespace
+}  // namespace cbm

@@ -1,0 +1,139 @@
+// Unit tests for the CSR/COO containers and conversions.
+#include <gtest/gtest.h>
+
+#include "sparse/csr.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+CsrMatrix<float> small_matrix() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  CooMatrix<float> coo;
+  coo.rows = 3;
+  coo.cols = 3;
+  coo.push(2, 1, 4.0f);
+  coo.push(0, 2, 2.0f);
+  coo.push(0, 0, 1.0f);
+  coo.push(2, 0, 3.0f);
+  return CsrMatrix<float>::from_coo(coo);
+}
+
+TEST(Coo, PushBoundsChecked) {
+  CooMatrix<float> coo;
+  coo.rows = 2;
+  coo.cols = 2;
+  EXPECT_THROW(coo.push(2, 0, 1.0f), CbmError);
+  EXPECT_THROW(coo.push(0, -1, 1.0f), CbmError);
+}
+
+TEST(Csr, FromCooSortsRows) {
+  const auto m = small_matrix();
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_TRUE(m.has_sorted_unique_rows());
+  const auto r0 = m.row_indices(0);
+  ASSERT_EQ(r0.size(), 2u);
+  EXPECT_EQ(r0[0], 0);
+  EXPECT_EQ(r0[1], 2);
+  EXPECT_EQ(m.row_nnz(1), 0);
+}
+
+TEST(Csr, FromCooAccumulatesDuplicates) {
+  CooMatrix<float> coo;
+  coo.rows = 2;
+  coo.cols = 2;
+  coo.push(0, 1, 1.0f);
+  coo.push(0, 1, 2.5f);
+  const auto m = CsrMatrix<float>::from_coo(coo);
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 3.5f);
+}
+
+TEST(Csr, AtReturnsZeroForMissing) {
+  const auto m = small_matrix();
+  EXPECT_FLOAT_EQ(m.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m.at(2, 1), 4.0f);
+}
+
+TEST(Csr, TransposeIsExact) {
+  const auto m = small_matrix();
+  const auto t = m.transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.nnz(), m.nnz());
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 3; ++j) EXPECT_EQ(t.at(j, i), m.at(i, j));
+  }
+  EXPECT_TRUE(t.has_sorted_unique_rows());
+}
+
+TEST(Csr, TransposeRoundTripRandom) {
+  const auto m = test::random_binary(40, 0.1, 17);
+  const auto tt = m.transpose().transpose();
+  EXPECT_EQ(tt, m);
+}
+
+TEST(Csr, ToCooRoundTrip) {
+  const auto m = small_matrix();
+  const auto back = CsrMatrix<float>::from_coo(m.to_coo());
+  EXPECT_EQ(back, m);
+}
+
+TEST(Csr, IdentityStructure) {
+  const auto eye = CsrMatrix<float>::identity(4);
+  EXPECT_EQ(eye.nnz(), 4);
+  for (index_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(eye.at(i, i), 1.0f);
+    EXPECT_EQ(eye.row_nnz(i), 1);
+  }
+  EXPECT_TRUE(eye.is_binary());
+}
+
+TEST(Csr, IsBinaryDetectsNonUnitValues) {
+  EXPECT_FALSE(small_matrix().is_binary());
+  EXPECT_TRUE(test::random_binary(20, 0.2, 3).is_binary());
+}
+
+TEST(Csr, ValidationRejectsBadStructure) {
+  // indptr not starting at zero.
+  EXPECT_THROW(CsrMatrix<float>(1, 1, {1, 1}, {}, {}), CbmError);
+  // indptr length mismatch.
+  EXPECT_THROW(CsrMatrix<float>(2, 2, {0, 1}, {0}, {1.0f}), CbmError);
+  // column out of bounds.
+  EXPECT_THROW(CsrMatrix<float>(1, 2, {0, 1}, {5}, {1.0f}), CbmError);
+  // nnz mismatch between indptr and arrays.
+  EXPECT_THROW(CsrMatrix<float>(1, 2, {0, 2}, {0}, {1.0f}), CbmError);
+  // decreasing indptr.
+  EXPECT_THROW(CsrMatrix<float>(2, 2, {0, 1, 0}, {0}, {1.0f}), CbmError);
+}
+
+TEST(Csr, BytesCountsAllArrays) {
+  const auto m = small_matrix();
+  const std::size_t expect = 4 * sizeof(offset_t) + 4 * sizeof(index_t) +
+                             4 * sizeof(float);
+  EXPECT_EQ(m.bytes(), expect);
+}
+
+TEST(Csr, EmptyMatrix) {
+  CooMatrix<float> coo;
+  coo.rows = 3;
+  coo.cols = 3;
+  const auto m = CsrMatrix<float>::from_coo(coo);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_EQ(m.row_nnz(1), 0);
+  const auto t = m.transpose();
+  EXPECT_EQ(t.nnz(), 0);
+}
+
+TEST(Csr, SortedUniqueDetection) {
+  // Build a technically valid CSR with unsorted row content via raw arrays.
+  CsrMatrix<float> unsorted(1, 3, {0, 2}, {2, 0}, {1.0f, 1.0f});
+  EXPECT_FALSE(unsorted.has_sorted_unique_rows());
+}
+
+}  // namespace
+}  // namespace cbm

@@ -1,0 +1,112 @@
+// Tests for diagonal scaling (AD / DA / DAD) and A+I, the building blocks of
+// the paper's normalised-adjacency workloads.
+#include <gtest/gtest.h>
+
+#include "sparse/scale.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+TEST(Scale, ColumnsScaleByDiagonal) {
+  const auto a = test::random_binary(20, 0.2, 1);
+  const auto d = test::random_diagonal<float>(20, 2);
+  const auto ad = scale_columns(a, std::span<const float>(d));
+  for (index_t i = 0; i < 20; ++i) {
+    for (const index_t j : a.row_indices(i)) {
+      EXPECT_FLOAT_EQ(ad.at(i, j), d[j]);
+    }
+  }
+  EXPECT_EQ(ad.nnz(), a.nnz());
+}
+
+TEST(Scale, RowsScaleByDiagonal) {
+  const auto a = test::random_binary(20, 0.2, 3);
+  const auto d = test::random_diagonal<float>(20, 4);
+  const auto da = scale_rows(a, std::span<const float>(d));
+  for (index_t i = 0; i < 20; ++i) {
+    for (const index_t j : a.row_indices(i)) {
+      EXPECT_FLOAT_EQ(da.at(i, j), d[i]);
+    }
+  }
+}
+
+TEST(Scale, BothEqualsComposition) {
+  const auto a = test::random_binary(25, 0.15, 5);
+  const auto dl = test::random_diagonal<float>(25, 6);
+  const auto dr = test::random_diagonal<float>(25, 7);
+  const auto dad = scale_both(a, std::span<const float>(dl),
+                              std::span<const float>(dr));
+  const auto composed =
+      scale_rows(scale_columns(a, std::span<const float>(dr)),
+                 std::span<const float>(dl));
+  EXPECT_EQ(dad, composed);
+}
+
+TEST(Scale, LengthValidation) {
+  const auto a = test::random_binary(10, 0.2, 8);
+  const std::vector<float> bad(9, 1.0f);
+  EXPECT_THROW(scale_columns(a, std::span<const float>(bad)), CbmError);
+  EXPECT_THROW(scale_rows(a, std::span<const float>(bad)), CbmError);
+}
+
+TEST(AddIdentity, InsertsDiagonalWhenAbsent) {
+  // Row 0: {1}; row 1: {} — no diagonal entries anywhere.
+  CooMatrix<float> coo;
+  coo.rows = 2;
+  coo.cols = 2;
+  coo.push(0, 1, 1.0f);
+  const auto a = CsrMatrix<float>::from_coo(coo);
+  const auto ai = add_identity(a);
+  EXPECT_EQ(ai.nnz(), 3);
+  EXPECT_FLOAT_EQ(ai.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(ai.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(ai.at(1, 1), 1.0f);
+  EXPECT_TRUE(ai.has_sorted_unique_rows());
+}
+
+TEST(AddIdentity, IncrementsExistingDiagonal) {
+  CooMatrix<float> coo;
+  coo.rows = 2;
+  coo.cols = 2;
+  coo.push(0, 0, 2.0f);
+  coo.push(1, 0, 1.0f);
+  const auto ai = add_identity(CsrMatrix<float>::from_coo(coo));
+  EXPECT_FLOAT_EQ(ai.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(ai.at(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(ai.at(1, 0), 1.0f);
+}
+
+TEST(AddIdentity, DiagonalLastColumn) {
+  // Regression guard for the insert-at-end path.
+  CooMatrix<float> coo;
+  coo.rows = 3;
+  coo.cols = 3;
+  coo.push(2, 0, 1.0f);
+  coo.push(2, 1, 1.0f);
+  const auto ai = add_identity(CsrMatrix<float>::from_coo(coo));
+  EXPECT_FLOAT_EQ(ai.at(2, 2), 1.0f);
+  EXPECT_EQ(ai.row_nnz(2), 3);
+  EXPECT_TRUE(ai.has_sorted_unique_rows());
+}
+
+TEST(AddIdentity, RandomMatchesElementwise) {
+  const auto a = test::random_binary(30, 0.15, 9);
+  const auto ai = add_identity(a);
+  for (index_t i = 0; i < 30; ++i) {
+    for (index_t j = 0; j < 30; ++j) {
+      const float expect = a.at(i, j) + (i == j ? 1.0f : 0.0f);
+      EXPECT_FLOAT_EQ(ai.at(i, j), expect);
+    }
+  }
+}
+
+TEST(AddIdentity, RequiresSquare) {
+  CooMatrix<float> coo;
+  coo.rows = 2;
+  coo.cols = 3;
+  EXPECT_THROW(add_identity(CsrMatrix<float>::from_coo(coo)), CbmError);
+}
+
+}  // namespace
+}  // namespace cbm

@@ -1,0 +1,126 @@
+// Unit and property tests for the sparse-dense multiplication kernels (the
+// baseline of every paper comparison).
+#include <gtest/gtest.h>
+
+#include "common/parallel.hpp"
+#include "dense/gemm.hpp"
+#include "dense/ops.hpp"
+#include "sparse/spmm.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+/// Oracle: densify and run the reference GEMM.
+DenseMatrix<float> dense_product(const CsrMatrix<float>& a,
+                                 const DenseMatrix<float>& b) {
+  const auto ad = test::to_dense(a);
+  DenseMatrix<float> c(a.rows(), b.cols());
+  gemm_naive(ad, b, c);
+  return c;
+}
+
+struct SpmmCase {
+  index_t n;
+  double density;
+  index_t cols;
+  SpmmSchedule schedule;
+};
+
+class SpmmParam : public ::testing::TestWithParam<SpmmCase> {};
+
+TEST_P(SpmmParam, MatchesDenseOracle) {
+  const auto p = GetParam();
+  const auto a = test::random_binary(p.n, p.density, 42 + p.n);
+  const auto b = test::random_dense<float>(p.n, p.cols, 7);
+  DenseMatrix<float> c(p.n, p.cols);
+  csr_spmm(a, b, c, p.schedule);
+  EXPECT_TRUE(allclose(c, dense_product(a, b), 1e-4, 1e-5));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SpmmParam,
+    ::testing::Values(
+        SpmmCase{1, 1.0, 1, SpmmSchedule::kRowStatic},
+        SpmmCase{16, 0.3, 5, SpmmSchedule::kRowStatic},
+        SpmmCase{16, 0.3, 5, SpmmSchedule::kRowDynamic},
+        SpmmCase{16, 0.3, 5, SpmmSchedule::kNnzBalanced},
+        SpmmCase{83, 0.05, 17, SpmmSchedule::kRowStatic},
+        SpmmCase{83, 0.05, 17, SpmmSchedule::kRowDynamic},
+        SpmmCase{83, 0.05, 17, SpmmSchedule::kNnzBalanced},
+        SpmmCase{200, 0.02, 33, SpmmSchedule::kNnzBalanced},
+        SpmmCase{64, 0.0, 8, SpmmSchedule::kNnzBalanced}));
+
+TEST(Spmm, WeightedValuesHonoured) {
+  CooMatrix<float> coo;
+  coo.rows = 2;
+  coo.cols = 2;
+  coo.push(0, 0, 2.0f);
+  coo.push(1, 0, -1.0f);
+  coo.push(1, 1, 0.5f);
+  const auto a = CsrMatrix<float>::from_coo(coo);
+  DenseMatrix<float> b(2, 1, {3.0f, 4.0f});
+  DenseMatrix<float> c(2, 1);
+  csr_spmm(a, b, c);
+  EXPECT_FLOAT_EQ(c(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), -1.0f);
+}
+
+TEST(Spmm, OverwritesPreviousOutput) {
+  const auto a = test::random_binary(10, 0.3, 1);
+  const auto b = test::random_dense<float>(10, 4, 2);
+  DenseMatrix<float> c(10, 4);
+  c.fill(99.0f);
+  csr_spmm(a, b, c);
+  EXPECT_TRUE(allclose(c, dense_product(a, b), 1e-4, 1e-5));
+}
+
+TEST(Spmm, SequentialVsParallelIdenticalResult) {
+  const auto a = test::random_binary(120, 0.05, 9);
+  const auto b = test::random_dense<float>(120, 9, 10);
+  DenseMatrix<float> c_seq(120, 9), c_par(120, 9);
+  {
+    ThreadScope scope(1);
+    csr_spmm(a, b, c_seq);
+  }
+  csr_spmm(a, b, c_par);
+  // Same summation order per row -> bitwise equality expected.
+  EXPECT_EQ(max_abs_diff(c_seq, c_par), 0.0);
+}
+
+TEST(Spmm, ShapeMismatchThrows) {
+  const auto a = test::random_binary(4, 0.5, 3);
+  DenseMatrix<float> b(5, 2), c(4, 2);
+  EXPECT_THROW(csr_spmm(a, b, c), CbmError);
+  DenseMatrix<float> b_ok(4, 2), c_bad(4, 3);
+  EXPECT_THROW(csr_spmm(a, b_ok, c_bad), CbmError);
+}
+
+TEST(Spmv, MatchesSpmmSingleColumn) {
+  const auto a = test::random_binary(50, 0.1, 11);
+  const auto bvec = test::random_dense<float>(50, 1, 12);
+  std::vector<float> x(50), y(50);
+  for (index_t i = 0; i < 50; ++i) x[i] = bvec(i, 0);
+  csr_spmv(a, std::span<const float>(x), std::span<float>(y));
+  DenseMatrix<float> c(50, 1);
+  csr_spmm(a, bvec, c);
+  for (index_t i = 0; i < 50; ++i) EXPECT_FLOAT_EQ(y[i], c(i, 0));
+}
+
+TEST(CooSpmm, MatchesCsr) {
+  const auto a = test::random_binary(60, 0.08, 13);
+  const auto b = test::random_dense<float>(60, 7, 14);
+  DenseMatrix<float> c_coo(60, 7), c_csr(60, 7);
+  coo_spmm(a.to_coo(), b, c_coo);
+  csr_spmm(a, b, c_csr);
+  EXPECT_TRUE(allclose(c_coo, c_csr, 1e-4, 1e-5));
+}
+
+TEST(Spmm, FlopsAccounting) {
+  const auto a = test::random_binary(30, 0.2, 15);
+  EXPECT_EQ(csr_spmm_flops(a, 10),
+            2ull * static_cast<std::size_t>(a.nnz()) * 10ull);
+}
+
+}  // namespace
+}  // namespace cbm

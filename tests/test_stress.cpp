@@ -1,0 +1,177 @@
+// Stress and adversarial-structure tests: deep trees, tie-heavy distance
+// graphs, degenerate shapes, and large randomized sweeps that the focused
+// unit tests do not reach. Also compiles the umbrella header.
+#include <gtest/gtest.h>
+
+#include "cbm4gnn.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+TEST(Stress, DeepChainTree) {
+  // 4000 rows, each nearly identical to the previous one: the MCA naturally
+  // produces a very deep chain; the update stage must handle depth without
+  // recursion or stack growth.
+  const index_t n = 4000;
+  CooMatrix<float> coo;
+  coo.rows = n;
+  coo.cols = n;
+  // Row i = the window {i, ..., i+19} mod n: consecutive rows are Hamming-2
+  // apart, so the optimal tree is one long chain.
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t k = 0; k < 20; ++k) {
+      coo.push(i, (i + k) % n, 1.0f);
+    }
+  }
+  const auto a = CsrMatrix<float>::from_coo(coo);
+  CbmStats stats;
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = 0}, &stats);
+  EXPECT_LE(stats.total_deltas, stats.source_nnz);
+  EXPECT_GT(cbm.tree().max_depth(), n / 2) << "expected a deep chain";
+
+  const auto b = test::random_dense<float>(n, 4, 1);
+  DenseMatrix<float> c_cbm(n, 4), c_csr(n, 4);
+  cbm.multiply(b, c_cbm);
+  csr_spmm(a, b, c_csr);
+  EXPECT_TRUE(allclose(c_cbm, c_csr, 1e-4, 1e-4));
+}
+
+TEST(Stress, ManyIdenticalRows) {
+  // All rows identical: the tree collapses to one chain/star of zero-delta
+  // edges; deltas = nnz of one row.
+  const index_t n = 500;
+  CooMatrix<float> coo;
+  coo.rows = n;
+  coo.cols = n;
+  for (index_t i = 0; i < n; ++i) {
+    for (const index_t j : {3, 77, 200, 431}) coo.push(i, j, 1.0f);
+  }
+  const auto a = CsrMatrix<float>::from_coo(coo);
+  CbmStats stats;
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = 0}, &stats);
+  EXPECT_EQ(stats.total_deltas, 4);  // one explicit row, all others free
+  const auto b = test::random_dense<float>(n, 3, 2);
+  DenseMatrix<float> c_cbm(n, 3), c_csr(n, 3);
+  cbm.multiply(b, c_cbm);
+  csr_spmm(a, b, c_csr);
+  EXPECT_TRUE(allclose(c_cbm, c_csr, 1e-4, 1e-4));
+}
+
+TEST(Stress, DenseRowsAmongSparse) {
+  // A few fully dense rows inside a sparse matrix: candidate enumeration
+  // touches every row via the dense columns; correctness must survive.
+  const index_t n = 120;
+  CooMatrix<float> coo;
+  coo.rows = n;
+  coo.cols = n;
+  Rng rng(3);
+  for (index_t i = 0; i < n; ++i) {
+    if (i % 40 == 0) {
+      for (index_t j = 0; j < n; ++j) {
+        if (i != j) coo.push(i, j, 1.0f);
+      }
+    } else {
+      for (int k = 0; k < 4; ++k) {
+        coo.push(i, static_cast<index_t>(rng.next_below(n)), 1.0f);
+      }
+    }
+  }
+  auto tmp = CsrMatrix<float>::from_coo(coo);
+  std::vector<float> ones(tmp.values().size(), 1.0f);
+  const CsrMatrix<float> a(n, n, {tmp.indptr().begin(), tmp.indptr().end()},
+                           {tmp.indices().begin(), tmp.indices().end()},
+                           std::move(ones));
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = 0});
+  EXPECT_EQ(cbm.materialize(), a);
+}
+
+TEST(Stress, ZeroColumnOperand) {
+  // p = 0: legal no-op multiply.
+  const auto a = test::clustered_binary(20, 2, 5, 1, 4);
+  const auto cbm = CbmMatrix<float>::compress(a);
+  DenseMatrix<float> b(20, 0), c(20, 0);
+  cbm.multiply(b, c);  // must not crash
+  csr_spmm(a, b, c);
+  SUCCEED();
+}
+
+TEST(Stress, TieHeavyDistanceGraph) {
+  // Block-constant matrix: all within-block Hamming distances are 0 and all
+  // cross distances equal — maximal ties everywhere. The solver must still
+  // produce a valid tree with deltas == one template per block.
+  const index_t n = 300, blocks = 10;
+  CooMatrix<float> coo;
+  coo.rows = n;
+  coo.cols = n;
+  for (index_t i = 0; i < n; ++i) {
+    const index_t base = (i / (n / blocks)) * 7 % n;
+    for (index_t k = 0; k < 5; ++k) coo.push(i, (base + k) % n, 1.0f);
+  }
+  const auto a = CsrMatrix<float>::from_coo(coo);
+  CbmStats stats;
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = 0}, &stats);
+  EXPECT_EQ(stats.total_deltas, 5 * blocks);
+  EXPECT_EQ(cbm.materialize(), a);
+}
+
+TEST(Stress, RandomizedMultiplySweep) {
+  // Wide randomized sweep: shapes × densities × alphas, CSR oracle.
+  Rng rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    const index_t n = 10 + static_cast<index_t>(rng.next_below(120));
+    const double density = 0.02 + rng.next_double() * 0.2;
+    const int alpha = static_cast<int>(rng.next_below(12));
+    const index_t p = 1 + static_cast<index_t>(rng.next_below(9));
+    const auto a = test::random_binary(n, density, 1000 + trial);
+    const auto cbm = CbmMatrix<float>::compress(a, {.alpha = alpha});
+    const auto b = test::random_dense<float>(n, p, 2000 + trial);
+    DenseMatrix<float> c_cbm(n, p), c_csr(n, p);
+    cbm.multiply(b, c_cbm);
+    csr_spmm(a, b, c_csr);
+    EXPECT_TRUE(allclose(c_cbm, c_csr, 1e-4, 1e-4))
+        << "n=" << n << " density=" << density << " alpha=" << alpha;
+  }
+}
+
+TEST(Stress, ArborescenceLadderOfCycles) {
+  // k chained 2-cycles with expensive root entries: forces k contraction
+  // rounds in sequence. Validity + optimality vs the reference oracle.
+  const index_t k = 40;
+  std::vector<WeightedEdge> edges;
+  for (index_t i = 0; i < k; ++i) {
+    const index_t a = 1 + 2 * i, b = 2 + 2 * i;
+    edges.push_back({a, b, 1});
+    edges.push_back({b, a, 1});
+    if (i > 0) edges.push_back({static_cast<index_t>(2 * i), a, 2});
+  }
+  edges.push_back({0, 1, 10});
+  for (index_t v = 1; v < 2 * k + 1; ++v) edges.push_back({0, v, 100});
+  const auto r = chu_liu_edmonds(2 * k + 1, edges, 0);
+  EXPECT_EQ(r.total_weight,
+            arborescence_cost_reference(2 * k + 1, edges, 0));
+}
+
+TEST(Stress, CompressionTreeHugeFlat) {
+  // 100k rows all at the root: branch decomposition must stay O(n).
+  std::vector<index_t> parent(100000, 100000);
+  const auto t = CompressionTree::from_parents(std::move(parent));
+  EXPECT_EQ(t.root_out_degree(), 100000);
+  EXPECT_EQ(t.branches().size(), 100000u);
+  EXPECT_EQ(t.max_depth(), 1);
+}
+
+TEST(Stress, SpmmHugeColumnsSmallMatrix) {
+  // p much larger than n exercises the row-kernel inner loop bounds.
+  const auto a = test::random_binary(8, 0.4, 6);
+  const auto b = test::random_dense<float>(8, 700, 7);
+  DenseMatrix<float> c(8, 700);
+  csr_spmm(a, b, c);
+  const auto cbm = CbmMatrix<float>::compress(a);
+  DenseMatrix<float> c2(8, 700);
+  cbm.multiply(b, c2);
+  EXPECT_TRUE(allclose(c2, c, 1e-4, 1e-5));
+}
+
+}  // namespace
+}  // namespace cbm

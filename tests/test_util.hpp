@@ -1,0 +1,87 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dense/dense_matrix.hpp"
+#include "sparse/csr.hpp"
+
+namespace cbm::test {
+
+/// Random binary n×n matrix with expected `density` fraction of ones.
+inline CsrMatrix<float> random_binary(index_t n, double density,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix<float> coo;
+  coo.rows = n;
+  coo.cols = n;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      if (rng.next_bool(density)) coo.push(i, j, 1.0f);
+    }
+  }
+  return CsrMatrix<float>::from_coo(coo);
+}
+
+/// Random binary matrix with groups of near-duplicate rows (the regime CBM
+/// compresses): `groups` templates, each row = its group's template with
+/// `flips` random toggles.
+inline CsrMatrix<float> clustered_binary(index_t n, index_t groups,
+                                         index_t base_nnz, index_t flips,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<bool>> templates(
+      groups, std::vector<bool>(static_cast<std::size_t>(n), false));
+  for (auto& t : templates) {
+    for (index_t k = 0; k < base_nnz; ++k) {
+      t[rng.next_below(static_cast<std::uint64_t>(n))] = true;
+    }
+  }
+  CooMatrix<float> coo;
+  coo.rows = n;
+  coo.cols = n;
+  for (index_t i = 0; i < n; ++i) {
+    auto row = templates[static_cast<std::size_t>(i) % groups];
+    for (index_t f = 0; f < flips; ++f) {
+      const auto j = rng.next_below(static_cast<std::uint64_t>(n));
+      row[j] = !row[j];
+    }
+    for (index_t j = 0; j < n; ++j) {
+      if (row[j]) coo.push(i, j, 1.0f);
+    }
+  }
+  return CsrMatrix<float>::from_coo(coo);
+}
+
+/// Densifies a CSR matrix (test oracle input).
+template <typename T>
+DenseMatrix<T> to_dense(const CsrMatrix<T>& a) {
+  DenseMatrix<T> out(a.rows(), a.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_indices(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) out(i, cols[k]) = vals[k];
+  }
+  return out;
+}
+
+/// Random dense matrix in [0, 1).
+template <typename T>
+DenseMatrix<T> random_dense(index_t rows, index_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix<T> m(rows, cols);
+  m.fill_uniform(rng);
+  return m;
+}
+
+/// Random positive diagonal in [0.5, 1.5).
+template <typename T>
+std::vector<T> random_diagonal(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T> d(static_cast<std::size_t>(n));
+  for (auto& v : d) v = static_cast<T>(0.5 + rng.next_double());
+  return d;
+}
+
+}  // namespace cbm::test
