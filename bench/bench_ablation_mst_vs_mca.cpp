@@ -10,6 +10,7 @@ int main() {
   const auto config = BenchConfig::from_env();
   print_bench_header(config, "Ablation — MST vs MCA tree solver");
   set_threads(config.threads);
+  BenchReport report("ablation_mst_vs_mca", config);
 
   TablePrinter table({"Graph", "Solver", "Build [s]", "Deltas", "Ratio",
                       "RootFanout"});
@@ -25,8 +26,14 @@ int main() {
                                     {.alpha = 0, .algorithm = algo}, &stats);
         build.add(stats.build_seconds);
       }
+      const std::vector<std::pair<std::string, std::string>> labels = {
+          {"graph", name},
+          {"solver", algo == TreeAlgorithm::kMca ? "mca" : "mst"}};
+      report.add("build_seconds", build, labels);
+      report.add_scalar("total_deltas",
+                        static_cast<double>(stats.total_deltas), labels);
       table.add_row({name, algo == TreeAlgorithm::kMca ? "MCA" : "MST",
-                     fmt_mean_std(build.mean(), build.stddev()),
+                     fmt_stats(build),
                      std::to_string(stats.total_deltas),
                      fmt_double(static_cast<double>(g.adjacency().bytes()) /
                                     stats.bytes,

@@ -11,6 +11,7 @@ int main() {
   const auto config = BenchConfig::from_env();
   print_bench_header(config, "Ablation — monolithic vs partitioned CBM");
   set_threads(config.threads);
+  BenchReport report("ablation_partitioned", config);
 
   TablePrinter table({"Graph", "Variant", "Build [s]", "PeakCand", "Ratio",
                       "Parts", "T_AX [s]"});
@@ -26,6 +27,10 @@ int main() {
       const auto cbm = CbmMatrix<real_t>::compress(a, {.alpha = 0}, &stats);
       const auto t = time_repetitions([&] { cbm.multiply(b, c); },
                                       config.reps, config.warmup);
+      report.add("ax_seconds", t,
+                 {{"graph", name}, {"variant", "monolithic"}});
+      report.add_scalar("build_seconds", stats.build_seconds,
+                        {{"graph", name}, {"variant", "monolithic"}});
       table.add_row({name, "monolithic", fmt_seconds(stats.build_seconds),
                      std::to_string(stats.candidate_edges),
                      fmt_double(static_cast<double>(a.bytes()) / stats.bytes,
@@ -43,6 +48,9 @@ int main() {
       auto part = PartitionedCbmMatrix<real_t>::compress(a, options, &stats);
       const auto t = time_repetitions([&] { part.multiply(b, c); },
                                       config.reps, config.warmup);
+      report.add("ax_seconds", t, {{"graph", name}, {"variant", label}});
+      report.add_scalar("build_seconds", stats.build_seconds,
+                        {{"graph", name}, {"variant", label}});
       table.add_row({name, label, fmt_seconds(stats.build_seconds),
                      std::to_string(stats.peak_candidate_edges),
                      fmt_double(static_cast<double>(a.bytes()) / stats.bytes,

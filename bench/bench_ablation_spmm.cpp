@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util/datasets.hpp"
+#include "bench_util/env.hpp"
+#include "bench_util/report.hpp"
 #include "cbm/cbm_matrix.hpp"
 #include "cbm/spmm_cbm.hpp"
 #include "common/rng.hpp"
@@ -139,6 +141,40 @@ void BM_CbmCompression(benchmark::State& state) {
 BENCHMARK(BM_CbmCompression)->Arg(0)->Arg(8)->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
+/// Console reporter that also mirrors per-run real time (seconds/iteration)
+/// into a BenchReport, so CBM_BENCH_JSON works here like in the table benches.
+class ReportingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingReporter(BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration ||
+          run.iterations <= 0) {
+        continue;
+      }
+      report_.add_scalar(
+          run.benchmark_name(),
+          run.real_accumulated_time / static_cast<double>(run.iterations),
+          {{"iterations", std::to_string(run.iterations)}});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the binary can emit the shared
+// CBM_BENCH_JSON document alongside google-benchmark's own console output.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  cbm::BenchReport report("ablation_spmm", cbm::BenchConfig::from_env());
+  ReportingReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

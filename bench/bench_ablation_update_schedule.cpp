@@ -11,6 +11,7 @@ int main() {
   using namespace cbm::bench;
   const auto config = BenchConfig::from_env();
   print_bench_header(config, "Ablation — update-stage schedule");
+  BenchReport report("ablation_update_schedule", config);
 
   TablePrinter table({"Graph", "Alpha", "Branches", "UpdateSeq [s]",
                       "UpdateStatic [s]", "UpdateDynamic [s]",
@@ -46,6 +47,12 @@ int main() {
                                    config.threads);
       const auto col = time_update(UpdateSchedule::kColumnSplit,
                                    config.threads);
+      const std::vector<std::pair<std::string, std::string>> labels = {
+          {"graph", name}, {"alpha", std::to_string(alpha)}};
+      report.add("update_sequential_seconds", seq, labels);
+      report.add("update_branch_static_seconds", sta, labels);
+      report.add("update_branch_dynamic_seconds", dyn, labels);
+      report.add("update_column_split_seconds", col, labels);
       const double best =
           std::min({sta.mean(), dyn.mean(), col.mean()});
       table.add_row(

@@ -7,6 +7,7 @@
 
 #include "bench_util/datasets.hpp"
 #include "bench_util/env.hpp"
+#include "bench_util/report.hpp"
 #include "bench_util/runner.hpp"
 #include "bench_util/table.hpp"
 #include "cbm/cbm_matrix.hpp"

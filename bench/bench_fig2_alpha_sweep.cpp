@@ -8,6 +8,7 @@ int main() {
   using namespace cbm::bench;
   const auto config = BenchConfig::from_env();
   print_bench_header(config, "Figure 2 — alpha sweep for AX");
+  BenchReport report("fig2_alpha_sweep", config);
 
   const std::vector<int> alphas = {0, 1, 2, 4, 8, 16, 32};
   for (const auto& spec : dataset_registry()) {
@@ -35,6 +36,13 @@ int main() {
         ThreadScope scope(config.threads);
         par = time_pair(pair, b, config, UpdateSchedule::kBranchDynamic);
       }
+      const std::vector<std::pair<std::string, std::string>> labels = {
+          {"graph", spec.name}, {"alpha", std::to_string(alpha)}};
+      report.add("csr_seq_seconds", seq.csr, labels);
+      report.add("cbm_seq_seconds", seq.cbm, labels);
+      report.add("csr_par_seconds", par.csr, labels);
+      report.add("cbm_par_seconds", par.cbm, labels);
+      report.add_scalar("compression_ratio", ratio, labels);
       table.add_row({std::to_string(alpha), fmt_double(seq.speedup(), 2),
                      fmt_double(par.speedup(), 2), fmt_double(ratio, 2),
                      std::to_string(pair.cbm_stats.root_out_degree),

@@ -8,6 +8,7 @@ int main() {
   using namespace cbm::bench;
   const auto config = BenchConfig::from_env();
   print_bench_header(config, "Thread scaling — CSR vs CBM (AX)");
+  BenchReport report("scaling_threads", config);
 
   TablePrinter table({"Graph", "Threads", "T_CSR [s]", "T_CBM [s]", "Speedup",
                       "CSR scaling", "CBM scaling"});
@@ -28,6 +29,10 @@ int main() {
         csr_base = r.csr.mean();
         cbm_base = r.cbm.mean();
       }
+      const std::vector<std::pair<std::string, std::string>> labels = {
+          {"graph", name}, {"threads", std::to_string(threads)}};
+      report.add("csr_seconds", r.csr, labels);
+      report.add("cbm_seconds", r.cbm, labels);
       table.add_row({name, std::to_string(threads), fmt_seconds(r.csr.mean()),
                      fmt_seconds(r.cbm.mean()), fmt_double(r.speedup(), 2),
                      fmt_double(csr_base / r.csr.mean(), 2),

@@ -10,6 +10,7 @@ int main() {
   const auto config = BenchConfig::from_env();
   print_bench_header(config, "SpMV — CSR vs CBM at p = 1");
   set_threads(config.threads);
+  BenchReport report("spmv", config);
 
   TablePrinter table({"Graph", "Alpha", "T_CSR [s]", "T_CBM [s]", "Speedup"});
   for (const auto& spec : dataset_registry()) {
@@ -32,6 +33,11 @@ int main() {
                                    std::span<real_t>(y));
         },
         config.reps, config.warmup);
+    const std::vector<std::pair<std::string, std::string>> labels = {
+        {"graph", spec.name},
+        {"alpha", std::to_string(spec.paper_best_alpha_par)}};
+    report.add("csr_seconds", t_csr, labels);
+    report.add("cbm_seconds", t_cbm, labels);
     table.add_row({spec.name, std::to_string(spec.paper_best_alpha_par),
                    fmt_seconds(t_csr.mean()), fmt_seconds(t_cbm.mean()),
                    fmt_double(t_csr.mean() / t_cbm.mean(), 2)});

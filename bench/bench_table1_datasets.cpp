@@ -7,6 +7,7 @@ int main() {
   using namespace cbm;
   const auto config = BenchConfig::from_env();
   print_bench_header(config, "Table I — dataset statistics");
+  BenchReport report("table1_datasets", config);
 
   TablePrinter table({"Graph", "#Nodes", "#Edges", "AvgDeg", "S_CSR [MiB]",
                       "paper #Nodes", "paper #Edges", "paper AvgDeg"});
@@ -19,6 +20,13 @@ int main() {
                    std::to_string(spec.paper_nodes),
                    std::to_string(spec.paper_edges),
                    fmt_double(spec.paper_avg_degree, 1)});
+    report.add_scalar("nodes", static_cast<double>(g.num_nodes()),
+                      {{"graph", spec.name}});
+    report.add_scalar("edges", static_cast<double>(g.num_edges()),
+                      {{"graph", spec.name}});
+    report.add_scalar("csr_bytes",
+                      static_cast<double>(g.adjacency().bytes()),
+                      {{"graph", spec.name}});
   }
   table.print();
   return 0;

@@ -9,6 +9,7 @@ int main() {
   const auto config = BenchConfig::from_env();
   print_bench_header(config, "Table II — CBM compression analysis");
   set_threads(config.threads);
+  BenchReport report("table2_compression", config);
 
   TablePrinter table({"Graph", "Alpha", "Time [s]", "S_CSR [MiB]",
                       "S_CBM [MiB]", "Ratio", "paper Ratio(a=0)"});
@@ -24,8 +25,17 @@ int main() {
       }
       const double ratio =
           static_cast<double>(g.adjacency().bytes()) / stats.bytes;
+      const std::vector<std::pair<std::string, std::string>> labels = {
+          {"graph", spec.name}, {"alpha", std::to_string(alpha)}};
+      report.add("build_seconds", build, labels);
+      report.add_scalar("compression_ratio", ratio, labels);
+      report.add_scalar("distance_graph_seconds",
+                        stats.distance_graph_seconds, labels);
+      report.add_scalar("tree_solve_seconds", stats.tree_solve_seconds,
+                        labels);
+      report.add_scalar("delta_seconds", stats.delta_seconds, labels);
       table.add_row({spec.name, "a=" + std::to_string(alpha),
-                     fmt_mean_std(build.mean(), build.stddev()),
+                     fmt_stats(build),
                      fmt_mib(g.adjacency().bytes()), fmt_mib(stats.bytes),
                      fmt_double(ratio, 2),
                      alpha == 0 ? fmt_double(spec.paper_ratio_alpha0, 2)

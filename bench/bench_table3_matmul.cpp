@@ -7,6 +7,7 @@ int main() {
   using namespace cbm::bench;
   const auto config = BenchConfig::from_env();
   print_bench_header(config, "Table III — AX / ADX / DADX performance");
+  BenchReport report("table3_matmul", config);
 
   TablePrinter table({"Graph", "Alpha(Cores)", "Op", "T_CSR [s]", "T_CBM [s]",
                       "Speedup"});
@@ -30,12 +31,17 @@ int main() {
         const auto pair = make_operands<real_t>(g, w, mode.alpha);
         ThreadScope scope(mode.threads);
         const auto r = time_pair(pair, b, config, mode.schedule);
+        const std::vector<std::pair<std::string, std::string>> labels = {
+            {"graph", spec.name},
+            {"op", workload_name(w)},
+            {"alpha", std::to_string(mode.alpha)},
+            {"threads", std::to_string(mode.threads)}};
+        report.add("csr_seconds", r.csr, labels);
+        report.add("cbm_seconds", r.cbm, labels);
         table.add_row({spec.name,
                        "a=" + std::to_string(mode.alpha) + " (" +
                            std::to_string(mode.threads) + ")",
-                       workload_name(w),
-                       fmt_mean_std(r.csr.mean(), r.csr.stddev()),
-                       fmt_mean_std(r.cbm.mean(), r.cbm.stddev()),
+                       workload_name(w), fmt_stats(r.csr), fmt_stats(r.cbm),
                        fmt_double(r.speedup(), 3)});
       }
     }

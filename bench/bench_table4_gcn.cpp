@@ -11,6 +11,7 @@ int main() {
   using namespace cbm::bench;
   const auto config = BenchConfig::from_env();
   print_bench_header(config, "Table IV — two-layer GCN inference");
+  BenchReport report("table4_gcn", config);
 
   const index_t dim = config.cols;  // feature = hidden = output width
   TablePrinter table({"Graph", "Alpha(Cores)", "T_CSR [s]", "T_CBM [s]",
@@ -52,11 +53,16 @@ int main() {
       const auto t_cbm = time_repetitions(
           [&] { model.forward(cbm_adj, x, ws, out); }, config.reps,
           config.warmup);
+      const std::vector<std::pair<std::string, std::string>> labels = {
+          {"graph", spec.name},
+          {"alpha", std::to_string(mode.alpha)},
+          {"threads", std::to_string(mode.threads)}};
+      report.add("csr_seconds", t_csr, labels);
+      report.add("cbm_seconds", t_cbm, labels);
       table.add_row({spec.name,
                      "a=" + std::to_string(mode.alpha) + " (" +
                          std::to_string(mode.threads) + ")",
-                     fmt_mean_std(t_csr.mean(), t_csr.stddev()),
-                     fmt_mean_std(t_cbm.mean(), t_cbm.stddev()),
+                     fmt_stats(t_csr), fmt_stats(t_cbm),
                      fmt_double(t_csr.mean() / t_cbm.mean(), 3)});
     }
   }

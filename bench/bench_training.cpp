@@ -11,6 +11,7 @@ int main() {
   const auto config = BenchConfig::from_env();
   print_bench_header(config, "GCN training — seconds per epoch");
   set_threads(config.threads);
+  BenchReport report("training", config);
 
   const index_t dim = config.cols;
   TablePrinter table({"Graph", "Alpha", "T_CSR/epoch [s]", "T_CBM/epoch [s]",
@@ -43,9 +44,13 @@ int main() {
     };
     const auto t_csr = time_training(csr_adj);
     const auto t_cbm = time_training(cbm_adj);
+    const std::vector<std::pair<std::string, std::string>> report_labels = {
+        {"graph", name},
+        {"alpha", std::to_string(spec.paper_best_alpha_par)}};
+    report.add("csr_epoch_seconds", t_csr, report_labels);
+    report.add("cbm_epoch_seconds", t_cbm, report_labels);
     table.add_row({name, std::to_string(spec.paper_best_alpha_par),
-                   fmt_mean_std(t_csr.mean(), t_csr.stddev()),
-                   fmt_mean_std(t_cbm.mean(), t_cbm.stddev()),
+                   fmt_stats(t_csr), fmt_stats(t_cbm),
                    fmt_double(t_csr.mean() / t_cbm.mean(), 3)});
   }
   table.print();

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "bench_util/report.hpp"
+#include "common/error.hpp"
 #include "common/parallel.hpp"
 
 namespace cbm {
@@ -33,16 +35,28 @@ BenchConfig BenchConfig::from_env() {
   c.threads = env_int("CBM_BENCH_THREADS", 0);
   c.scale = env_double("CBM_BENCH_SCALE", c.scale);
   c.mtx_dir = env_string("CBM_BENCH_MTX_DIR", "");
+  // A bad knob must fail loudly: zero columns or reps silently produce
+  // degenerate (empty) measurements, and scale outside (0,1] builds graphs
+  // the stand-in calibration says nothing about.
+  CBM_CHECK(c.cols > 0, "CBM_BENCH_COLS must be positive");
+  CBM_CHECK(c.reps > 0, "CBM_BENCH_REPS must be positive");
+  CBM_CHECK(c.warmup >= 0, "CBM_BENCH_WARMUP must be nonnegative");
+  CBM_CHECK(c.scale > 0.0 && c.scale <= 1.0,
+            "CBM_BENCH_SCALE must be in (0, 1]");
   if (c.threads <= 0) c.threads = max_threads();
   return c;
 }
 
 void print_bench_header(const BenchConfig& config, const std::string& title) {
+  const HostInfo host = HostInfo::detect();
   std::cout << "# " << title << '\n';
   std::cout << "# threads=" << config.threads << " cols=" << config.cols
             << " reps=" << config.reps << " warmup=" << config.warmup
             << " scale=" << config.scale;
   if (!config.mtx_dir.empty()) std::cout << " mtx_dir=" << config.mtx_dir;
+  std::cout << "\n# build=" << host.build_type << " compiler=" << host.compiler
+            << " openmp=" << (host.openmp ? "on" : "off")
+            << " host=" << host.hostname;
   std::cout << "\n# (paper protocol: 500 cols, 250 reps, 16 cores;"
             << " override via CBM_BENCH_* env vars)\n";
 }

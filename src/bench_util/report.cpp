@@ -1,0 +1,149 @@
+#include "bench_util/report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace cbm {
+
+namespace {
+
+std::string detect_hostname() {
+#ifndef _WIN32
+  char buf[256] = {0};
+  if (::gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') return buf;
+#endif
+  return "unknown";
+}
+
+std::string detect_compiler() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+HostInfo HostInfo::detect() {
+  HostInfo info;
+  info.hostname = detect_hostname();
+  info.compiler = detect_compiler();
+#ifdef NDEBUG
+  info.build_type = "Release";
+#else
+  info.build_type = "Debug";
+#endif
+#ifdef _OPENMP
+  info.openmp = true;
+#endif
+  info.hardware_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  return info;
+}
+
+BenchReport::BenchReport(std::string bench_name, const BenchConfig& config)
+    : bench_name_(std::move(bench_name)), config_(config) {
+  const char* path = std::getenv("CBM_BENCH_JSON");
+  if (path != nullptr && *path != '\0') {
+    path_ = path;
+    // The document's "metrics" section should cover everything the bench
+    // runs, so start collecting right away.
+    obs::set_metrics_enabled(true);
+  }
+}
+
+BenchReport::~BenchReport() {
+  if (enabled() && !written_) write();
+}
+
+void BenchReport::add(
+    std::string name, const RunStats& stats,
+    std::vector<std::pair<std::string, std::string>> labels) {
+  if (!enabled()) return;
+  measurements_.push_back(
+      {std::move(name), std::move(labels), stats});
+  written_ = false;
+}
+
+void BenchReport::add_scalar(
+    std::string name, double value,
+    std::vector<std::pair<std::string, std::string>> labels) {
+  RunStats stats;
+  stats.add(value);
+  add(std::move(name), stats, std::move(labels));
+}
+
+void BenchReport::write() {
+  if (!enabled()) return;
+  std::ofstream os(path_);
+  if (!os) {
+    std::cerr << "CBM_BENCH_JSON: cannot open " << path_ << '\n';
+    return;
+  }
+  const HostInfo host = HostInfo::detect();
+
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.value("schema", "cbm-bench-v1");
+  w.value("bench", bench_name_);
+
+  w.begin_object("config");
+  w.value("cols", config_.cols);
+  w.value("reps", config_.reps);
+  w.value("warmup", config_.warmup);
+  w.value("threads", config_.threads);
+  w.value("scale", config_.scale);
+  w.value("mtx_dir", config_.mtx_dir);
+  w.end_object();
+
+  w.begin_object("host");
+  w.value("hostname", host.hostname);
+  w.value("compiler", host.compiler);
+  w.value("build_type", host.build_type);
+  w.value("openmp", host.openmp);
+  w.value("hardware_threads", host.hardware_threads);
+  w.end_object();
+
+  w.begin_array("measurements");
+  for (const BenchMeasurement& m : measurements_) {
+    w.begin_object();
+    w.value("name", m.name);
+    if (!m.labels.empty()) {
+      w.begin_object("labels");
+      for (const auto& [key, value] : m.labels) w.value(key, value);
+      w.end_object();
+    }
+    w.value("count", static_cast<std::uint64_t>(m.stats.count()));
+    w.value("mean", m.stats.mean());
+    w.value("stddev", m.stats.stddev());
+    w.value("min", m.stats.min());
+    w.value("max", m.stats.max());
+    w.value("median", m.stats.median());
+    w.end_object();
+  }
+  w.end_array();
+
+  // Per-stage counters/gauges/timings collected while the bench ran.
+  w.raw("metrics", obs::metrics_json(obs::metrics_snapshot()));
+  if (obs::trace_enabled()) w.value("trace_path", obs::trace_path());
+  w.end_object();
+  os << '\n';
+  written_ = true;
+}
+
+}  // namespace cbm

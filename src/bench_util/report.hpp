@@ -1,0 +1,76 @@
+// Machine-readable bench telemetry (the CBM_BENCH_JSON side channel).
+//
+// Every bench binary constructs one BenchReport next to its TablePrinter and
+// records each measurement it prints. When CBM_BENCH_JSON=<path> is set the
+// report writes a single JSON document on destruction — config, host info,
+// per-measurement statistics (count/mean/std/min/max/median), and a snapshot
+// of the cbm::obs metrics registry (metrics recording is switched on
+// automatically so per-stage counters land in the document). Without the
+// env var every call is a no-op, so benches pay nothing by default.
+//
+// The document layout is stable on purpose: BENCH_*.json trajectories diff
+// it across PRs. See docs/observability.md.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util/env.hpp"
+#include "common/stats.hpp"
+
+namespace cbm {
+
+/// Build/host facts that make pasted bench numbers self-describing.
+struct HostInfo {
+  std::string hostname;
+  std::string compiler;    ///< e.g. "gcc 13.2"
+  std::string build_type;  ///< "Release" (NDEBUG) or "Debug"
+  bool openmp = false;
+  int hardware_threads = 0;
+
+  static HostInfo detect();
+};
+
+/// One named measurement with optional string labels (graph, alpha, ...).
+struct BenchMeasurement {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  RunStats stats;
+};
+
+class BenchReport {
+ public:
+  /// Reads CBM_BENCH_JSON; when set, enables cbm::obs metrics so the final
+  /// document carries the per-stage counters of everything the bench ran.
+  BenchReport(std::string bench_name, const BenchConfig& config);
+
+  /// Writes the document (if enabled and not yet written).
+  ~BenchReport();
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Records one measurement series. No-op when disabled.
+  void add(std::string name, const RunStats& stats,
+           std::vector<std::pair<std::string, std::string>> labels = {});
+
+  /// Records a single scalar (ratios, byte counts, ...). No-op when disabled.
+  void add_scalar(std::string name, double value,
+                  std::vector<std::pair<std::string, std::string>> labels = {});
+
+  /// Writes the JSON document now; later add() calls start a new pending
+  /// document (normally the destructor is the only writer).
+  void write();
+
+ private:
+  std::string bench_name_;
+  BenchConfig config_;
+  std::string path_;
+  std::vector<BenchMeasurement> measurements_;
+  bool written_ = false;
+};
+
+}  // namespace cbm

@@ -58,6 +58,13 @@ std::string fmt_mean_std(double mean, double stddev) {
   return buf;
 }
 
+std::string fmt_stats(const RunStats& stats) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.4f (%.4f ±%.4f)", stats.median(),
+                stats.mean(), stats.stddev());
+  return buf;
+}
+
 std::string fmt_mib(std::size_t bytes) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.2f", static_cast<double>(bytes) / kMiB);

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
+
 namespace cbm {
 
 /// Accumulates rows of string cells and prints an aligned ASCII table.
@@ -29,6 +31,10 @@ std::string fmt_double(double v, int digits = 2);
 
 /// Formats "mean (± std)".
 std::string fmt_mean_std(double mean, double stddev);
+
+/// Formats a seconds-valued RunStats as "median (mean ±std)" — the median
+/// leads because the default 3-rep protocol makes the mean noise-dominated.
+std::string fmt_stats(const RunStats& stats);
 
 /// Formats a byte count as MiB with 2 decimals.
 std::string fmt_mib(std::size_t bytes);

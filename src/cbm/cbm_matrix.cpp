@@ -5,6 +5,7 @@
 #include "cbm/deltas.hpp"
 #include "cbm/spmm_cbm.hpp"
 #include "common/timer.hpp"
+#include "obs/obs.hpp"
 #include "sparse/spmm.hpp"
 #include "tree/arborescence.hpp"
 #include "tree/mst.hpp"
@@ -13,29 +14,55 @@ namespace cbm {
 
 namespace {
 
-/// Solves for the compression tree and returns the per-row parent array
-/// (virtual root encoded as n).
+/// Compression-tree solve result with the per-phase timing split.
+struct TreeSolve {
+  std::vector<index_t> parent;  ///< per-row parent (virtual root encoded as n)
+  std::int64_t weight = 0;
+  std::size_t candidate_edges = 0;
+  double distance_graph_seconds = 0.0;
+  double solve_seconds = 0.0;
+};
+
 template <typename T>
-std::pair<std::vector<index_t>, std::int64_t> solve_tree(
-    const CsrMatrix<T>& pattern, const CbmOptions& options,
-    std::size_t* candidate_edges) {
+TreeSolve solve_tree(const CsrMatrix<T>& pattern, const CbmOptions& options) {
   const index_t n = pattern.rows();
+  TreeSolve out;
+  Timer timer;
   if (options.algorithm == TreeAlgorithm::kMst) {
-    const DistanceGraph g = build_full_distance_graph(pattern);
-    *candidate_edges = g.candidate_edges;
+    DistanceGraph g;
+    {
+      CBM_SPAN("cbm.compress.distance_graph");
+      g = build_full_distance_graph(pattern);
+    }
+    out.candidate_edges = g.candidate_edges;
+    out.distance_graph_seconds = timer.seconds();
+    timer.reset();
+    CBM_SPAN("cbm.compress.tree_solve");
     const MstResult mst = kruskal_mst(g.num_nodes, g.edges);
-    auto parent = root_tree(g.num_nodes, g.edges, mst.edge_ids, g.root);
-    parent.resize(static_cast<std::size_t>(n));  // drop the root's own entry
-    return {std::move(parent), mst.total_weight};
+    out.parent = root_tree(g.num_nodes, g.edges, mst.edge_ids, g.root);
+    out.parent.resize(static_cast<std::size_t>(n));  // drop the root's entry
+    out.weight = mst.total_weight;
+    out.solve_seconds = timer.seconds();
+    return out;
   }
-  const DistanceGraph g = build_distance_graph(
-      pattern,
-      {.alpha = options.alpha,
-       .max_candidates_per_row = options.max_candidates_per_row});
-  *candidate_edges = g.candidate_edges;
+  DistanceGraph g;
+  {
+    CBM_SPAN("cbm.compress.distance_graph");
+    g = build_distance_graph(
+        pattern,
+        {.alpha = options.alpha,
+         .max_candidates_per_row = options.max_candidates_per_row});
+  }
+  out.candidate_edges = g.candidate_edges;
+  out.distance_graph_seconds = timer.seconds();
+  timer.reset();
+  CBM_SPAN("cbm.compress.tree_solve");
   ArborescenceResult arb = chu_liu_edmonds(g.num_nodes, g.edges, g.root);
   arb.parent.resize(static_cast<std::size_t>(n));
-  return {std::move(arb.parent), arb.total_weight};
+  out.parent = std::move(arb.parent);
+  out.weight = arb.total_weight;
+  out.solve_seconds = timer.seconds();
+  return out;
 }
 
 }  // namespace
@@ -124,22 +151,37 @@ CbmMatrix<T> CbmMatrix<T>::compress_impl(const CsrMatrix<T>& a,
                                          CbmKind kind,
                                          const CbmOptions& options,
                                          CbmStats* stats) {
+  CBM_SPAN("cbm.compress");
   Timer timer;
   CbmMatrix<T> m;
   m.kind_ = kind;
 
-  std::size_t candidates = 0;
-  auto [parent, tree_weight] = solve_tree(a, options, &candidates);
-  m.tree_ = CompressionTree::from_parents(std::move(parent));
+  TreeSolve solve = solve_tree(a, options);
+  m.tree_ = CompressionTree::from_parents(std::move(solve.parent));
 
+  Timer delta_timer;
   DeltaStats delta_stats;
-  m.delta_ = build_delta_matrix(a, m.tree_, column_scale, &delta_stats);
+  {
+    CBM_SPAN("cbm.compress.deltas");
+    m.delta_ = build_delta_matrix(a, m.tree_, column_scale, &delta_stats);
+  }
+  const double delta_seconds = delta_timer.seconds();
   m.diag_.assign(update_diag.begin(), update_diag.end());
+
+  CBM_COUNTER_ADD("cbm.compress.calls", 1);
+  CBM_COUNTER_ADD("cbm.compress.rows", static_cast<std::int64_t>(a.rows()));
+  CBM_TIMING_RECORD("cbm.compress.distance_graph",
+                    solve.distance_graph_seconds);
+  CBM_TIMING_RECORD("cbm.compress.tree_solve", solve.solve_seconds);
+  CBM_TIMING_RECORD("cbm.compress.deltas", delta_seconds);
 
   if (stats != nullptr) {
     stats->build_seconds = timer.seconds();
-    stats->candidate_edges = candidates;
-    stats->tree_weight = tree_weight;
+    stats->distance_graph_seconds = solve.distance_graph_seconds;
+    stats->tree_solve_seconds = solve.solve_seconds;
+    stats->delta_seconds = delta_seconds;
+    stats->candidate_edges = solve.candidate_edges;
+    stats->tree_weight = solve.weight;
     stats->total_deltas = delta_stats.total_deltas;
     stats->source_nnz = delta_stats.total_nnz;
     stats->root_out_degree = m.tree_.root_out_degree();
@@ -178,9 +220,17 @@ void CbmMatrix<T>::multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
   CBM_CHECK(cols() == b.rows(), "multiply: inner dimensions differ");
   CBM_CHECK(c.rows() == rows() && c.cols() == b.cols(),
             "multiply: output shape mismatch");
-  // Multiply stage: C = A'·B (or (AD)'·B) — one sparse-dense product.
-  csr_spmm(delta_, b, c);
-  // Update stage: fold parent rows down the compression tree.
+  CBM_SPAN("cbm.multiply");
+  CBM_COUNTER_ADD("cbm.multiply.calls", 1);
+  CBM_COUNTER_ADD("cbm.multiply.delta_nnz",
+                  static_cast<std::int64_t>(delta_.nnz()));
+  {
+    // Multiply stage: C = A'·B (or (AD)'·B) — one sparse-dense product.
+    CBM_SPAN("cbm.multiply_stage");
+    csr_spmm(delta_, b, c);
+  }
+  // Update stage: fold parent rows down the compression tree (its span and
+  // schedule counters live in cbm_update_stage).
   cbm_update_stage(tree_, kind_, std::span<const T>(diag_), c, schedule);
 }
 
@@ -191,7 +241,11 @@ void CbmMatrix<T>::multiply_vector(std::span<const T> x, std::span<T> y,
             "multiply_vector: x length mismatch");
   CBM_CHECK(y.size() == static_cast<std::size_t>(rows()),
             "multiply_vector: y length mismatch");
-  csr_spmv(delta_, x, y);
+  CBM_SPAN("cbm.multiply_vector");
+  {
+    CBM_SPAN("cbm.multiply_stage");
+    csr_spmv(delta_, x, y);
+  }
   cbm_update_stage_vector(tree_, kind_, std::span<const T>(diag_), y,
                           schedule);
 }

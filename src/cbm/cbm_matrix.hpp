@@ -55,9 +55,13 @@ struct CbmOptions {
   index_t max_candidates_per_row = 0;  ///< 0 = unlimited (see DistanceGraph)
 };
 
-/// Construction statistics (the paper's Table II columns).
+/// Construction statistics (the paper's Table II columns, plus the
+/// per-phase split that the stage-level profiling exposes).
 struct CbmStats {
   double build_seconds = 0.0;
+  double distance_graph_seconds = 0.0;  ///< candidate-edge enumeration
+  double tree_solve_seconds = 0.0;      ///< MST/MCA solve + rooting
+  double delta_seconds = 0.0;           ///< delta-matrix extraction
   std::size_t candidate_edges = 0;   ///< admitted distance-graph edges
   std::int64_t tree_weight = 0;      ///< MST/MCA cost = total delta count
   std::int64_t total_deltas = 0;     ///< nnz(A')

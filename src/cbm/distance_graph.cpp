@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace cbm {
 
@@ -99,6 +100,9 @@ DistanceGraph build_distance_graph(const CsrMatrix<T>& pattern,
         }
       });
       apply_cap(out, row_begin, options.max_candidates_per_row);
+      // Exercised from inside the OpenMP team on purpose: candidate counts
+      // land in this thread's metrics shard without serialising the scan.
+      CBM_COUNTER_ADD("cbm.distance_graph.rows_scanned", 1);
     }
   }
 
@@ -106,6 +110,8 @@ DistanceGraph build_distance_graph(const CsrMatrix<T>& pattern,
     g.candidate_edges += chunk.size();
     g.edges.insert(g.edges.end(), chunk.begin(), chunk.end());
   }
+  CBM_COUNTER_ADD("cbm.distance_graph.candidate_edges",
+                  static_cast<std::int64_t>(g.candidate_edges));
   return g;
 }
 

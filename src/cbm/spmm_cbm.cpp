@@ -1,11 +1,58 @@
 #include "cbm/spmm_cbm.hpp"
 
+#include <algorithm>
+
 #include "common/parallel.hpp"
 #include "common/vectorops.hpp"
+#include "obs/obs.hpp"
 
 namespace cbm {
 
 namespace {
+
+constexpr const char* schedule_counter_name(UpdateSchedule schedule) {
+  switch (schedule) {
+    case UpdateSchedule::kSequential: return "cbm.update.calls.sequential";
+    case UpdateSchedule::kBranchDynamic:
+      return "cbm.update.calls.branch_dynamic";
+    case UpdateSchedule::kBranchStatic:
+      return "cbm.update.calls.branch_static";
+    case UpdateSchedule::kColumnSplit:
+      return "cbm.update.calls.column_split";
+  }
+  return "cbm.update.calls.unknown";
+}
+
+/// Per-call counters behind the §V-B scheduling discussion: how many branch
+/// work units a call has and how skewed they are (max branch size over mean
+/// branch size — 1.0 is perfectly balanced). Only runs when metrics are on;
+/// the O(#branches) sweep never taxes an uninstrumented multiply.
+void record_update_metrics(const CompressionTree& tree,
+                           UpdateSchedule schedule) {
+  if (!obs::metrics_enabled()) return;
+  const auto& branches = tree.branches();
+  const std::size_t nb = branches.size();
+  std::size_t max_branch = 0;
+  std::size_t singletons = 0;
+  std::size_t total = 0;
+  for (const auto& branch : branches) {
+    max_branch = std::max(max_branch, branch.size());
+    singletons += branch.size() == 1 ? 1 : 0;
+    total += branch.size();
+  }
+  obs::counter_add("cbm.update.calls", 1);
+  obs::counter_add(schedule_counter_name(schedule), 1);
+  obs::counter_add("cbm.update.branches", static_cast<std::int64_t>(nb));
+  obs::counter_add("cbm.update.singleton_branches",
+                   static_cast<std::int64_t>(singletons));
+  obs::counter_add("cbm.update.row_ops",
+                   static_cast<std::int64_t>(tree.num_compressed_rows()));
+  if (nb > 0 && total > 0) {
+    obs::gauge_set("cbm.update.branch_imbalance",
+                   static_cast<double>(max_branch) *
+                       static_cast<double>(nb) / static_cast<double>(total));
+  }
+}
 
 /// Applies the update for one row given its parent, restricted to the column
 /// range [col0, col0+len); shared by every schedule (branch schedules pass
@@ -101,6 +148,8 @@ void cbm_update_stage(const CompressionTree& tree, CbmKind kind,
   CBM_CHECK(!cbm_kind_row_scaled(kind) ||
                 diag.size() == static_cast<std::size_t>(tree.num_rows()),
             "update stage: missing diagonal for row-scaled kind");
+  CBM_SPAN("cbm.update_stage");
+  record_update_metrics(tree, schedule);
   if (schedule == UpdateSchedule::kColumnSplit) {
     // Each thread sweeps the entire tree restricted to one column slice:
     // no cross-thread dependencies (updates never mix columns), and the
@@ -134,6 +183,8 @@ void cbm_update_stage_vector(const CompressionTree& tree, CbmKind kind,
   CBM_CHECK(!cbm_kind_row_scaled(kind) ||
                 diag.size() == static_cast<std::size_t>(tree.num_rows()),
             "update stage: missing diagonal for row-scaled kind");
+  CBM_SPAN("cbm.update_stage");
+  record_update_metrics(tree, schedule);
   run_update(tree, cbm_kind_row_scaled(kind), schedule,
              [&](index_t x) { update_entry(tree, kind, diag, y, x); });
 }

@@ -5,6 +5,16 @@
 
 namespace cbm {
 
+std::uint64_t RunStats::next_u64() {
+  // SplitMix64 step: deterministic, seeded identically in every RunStats, so
+  // two equal sample streams always produce the same reservoir.
+  lcg_ += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = lcg_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 void RunStats::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;
@@ -16,6 +26,13 @@ void RunStats::add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+  // Algorithm-R reservoir for the median.
+  if (samples_.size() < kReservoirCap) {
+    samples_.push_back(x);
+  } else {
+    const std::uint64_t j = next_u64() % n_;
+    if (j < kReservoirCap) samples_[j] = x;
+  }
 }
 
 double RunStats::mean() const { return n_ ? mean_ : 0.0; }
@@ -27,6 +44,18 @@ double RunStats::stddev() const {
 
 double RunStats::min() const { return min_; }
 double RunStats::max() const { return max_; }
+
+double RunStats::median() const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  const std::size_t mid = sorted.size() / 2;
+  std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
+  const double upper = sorted[mid];
+  if (sorted.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(sorted.begin(), sorted.begin() + mid);
+  return 0.5 * (lower + upper);
+}
 
 void RunStats::merge(const RunStats& other) {
   if (other.n_ == 0) return;
@@ -43,6 +72,14 @@ void RunStats::merge(const RunStats& other) {
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
   n_ += other.n_;
+  // Concatenate reservoirs; past the cap, evict deterministically.
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  while (samples_.size() > kReservoirCap) {
+    const std::uint64_t j = next_u64() % samples_.size();
+    samples_[j] = samples_.back();
+    samples_.pop_back();
+  }
 }
 
 }  // namespace cbm

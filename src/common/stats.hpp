@@ -1,14 +1,18 @@
 // Online running statistics (Welford) for benchmark repetitions.
 //
 // The paper reports "average time ± std over 250 runs"; RunStats accumulates
-// exactly those quantities without storing samples.
+// exactly those quantities without storing samples, plus a bounded-memory
+// median: the default 3-rep protocol is noise-dominated, and the median is
+// what the machine-readable bench trajectories track.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 namespace cbm {
 
-/// Accumulates count/mean/variance/min/max of a stream of doubles.
+/// Accumulates count/mean/variance/min/max/median of a stream of doubles.
 class RunStats {
  public:
   void add(double x);
@@ -19,16 +23,28 @@ class RunStats {
   [[nodiscard]] double stddev() const;
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
+  /// Median of the stream: exact up to kReservoirCap samples, after that a
+  /// deterministic-reservoir estimate (even counts average the two middles).
+  [[nodiscard]] double median() const;
 
   /// Merge another accumulator into this one (parallel reduction).
+  /// Mean/variance/min/max merge exactly; the median reservoirs concatenate
+  /// and are down-sampled deterministically past kReservoirCap.
   void merge(const RunStats& other);
 
+  /// Samples the median reservoir holds exactly before estimating.
+  static constexpr std::size_t kReservoirCap = 1024;
+
  private:
+  std::uint64_t next_u64();
+
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  std::vector<double> samples_;  ///< median reservoir (≤ kReservoirCap)
+  std::uint64_t lcg_ = 0x9E3779B97F4A7C15ull;  ///< deterministic eviction
 };
 
 }  // namespace cbm

@@ -1,5 +1,6 @@
 #include "gnn/adjacency_op.hpp"
 
+#include "obs/obs.hpp"
 #include "sparse/spmm.hpp"
 
 namespace cbm {
@@ -7,12 +8,16 @@ namespace cbm {
 template <typename T>
 void CsrAdjacency<T>::multiply(const DenseMatrix<T>& b,
                                DenseMatrix<T>& c) const {
+  CBM_SPAN("adj.csr.multiply");
+  CBM_COUNTER_ADD("adj.csr.multiply.calls", 1);
   csr_spmm(m_, b, c);
 }
 
 template <typename T>
 void CbmAdjacency<T>::multiply(const DenseMatrix<T>& b,
                                DenseMatrix<T>& c) const {
+  CBM_SPAN("adj.cbm.multiply");
+  CBM_COUNTER_ADD("adj.cbm.multiply.calls", 1);
   m_.multiply(b, c, schedule_);
 }
 

@@ -4,6 +4,7 @@
 
 #include "dense/gemm.hpp"
 #include "dense/ops.hpp"
+#include "obs/obs.hpp"
 
 namespace cbm {
 
@@ -43,9 +44,16 @@ void GcnLayer<T>::forward(const AdjacencyOp<T>& adj, const DenseMatrix<T>& h,
             "GcnLayer: bad scratch shape");
   CBM_CHECK(out.rows() == adj.rows() && out.cols() == weight_.cols(),
             "GcnLayer: bad output shape");
-  // Dense-first association (H·W shrinks before the expensive SpMM).
-  gemm(h, weight_, scratch);
-  adj.multiply(scratch, out);
+  CBM_SPAN("gnn.gcn.layer");
+  {
+    // Dense-first association (H·W shrinks before the expensive SpMM).
+    CBM_SPAN("gnn.gcn.layer.gemm");
+    gemm(h, weight_, scratch);
+  }
+  {
+    CBM_SPAN("gnn.gcn.layer.aggregate");
+    adj.multiply(scratch, out);
+  }
   if (!bias_.empty()) add_bias_inplace(out, std::span<const T>(bias_));
 }
 
@@ -64,6 +72,7 @@ Gcn2<T>::Gcn2(index_t feature_dim, index_t hidden_dim, index_t out_dim,
 template <typename T>
 void Gcn2<T>::forward(const AdjacencyOp<T>& adj, const DenseMatrix<T>& x,
                       Workspace& ws, DenseMatrix<T>& out) const {
+  CBM_SPAN("gnn.gcn2.forward");
   l0_.forward(adj, x, ws.xw, ws.h1);
   relu_inplace(ws.h1);
   l1_.forward(adj, ws.h1, ws.hw, out);
@@ -97,6 +106,7 @@ void GcnStack<T>::forward(const AdjacencyOp<T>& adj, const DenseMatrix<T>& x,
   CBM_CHECK(ws.scratch.size() == layers_.size() &&
                 ws.act.size() + 1 == layers_.size(),
             "workspace does not match the layer stack");
+  CBM_SPAN("gnn.gcn_stack.forward");
   const DenseMatrix<T>* h = &x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     const bool last = i + 1 == layers_.size();

@@ -4,6 +4,7 @@
 
 #include "dense/gemm.hpp"
 #include "dense/ops.hpp"
+#include "obs/obs.hpp"
 
 namespace cbm {
 
@@ -32,6 +33,7 @@ void GinLayer<T>::forward(const AdjacencyOp<T>& adj, const DenseMatrix<T>& h,
   CBM_CHECK(h.cols() == w0_.rows(), "GinLayer: feature dim mismatch");
   CBM_CHECK(ws.agg.rows() == h.rows() && ws.agg.cols() == h.cols(),
             "GinLayer: bad workspace");
+  CBM_SPAN("gnn.gin.layer");
   adj.multiply(h, ws.agg);  // A·H
   // agg += (1+ε)·H, fused over the buffer.
   const T scale = T{1} + epsilon_;

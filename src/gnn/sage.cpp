@@ -5,6 +5,7 @@
 #include "common/vectorops.hpp"
 #include "dense/gemm.hpp"
 #include "dense/ops.hpp"
+#include "obs/obs.hpp"
 
 namespace cbm {
 
@@ -33,6 +34,7 @@ void SageLayer<T>::forward(const AdjacencyOp<T>& adj, const DenseMatrix<T>& h,
   CBM_CHECK(inv_degree_.size() == static_cast<std::size_t>(h.rows()),
             "SageLayer: inv_degree length mismatch");
   CBM_CHECK(h.cols() == w_self_.rows(), "SageLayer: feature dim mismatch");
+  CBM_SPAN("gnn.sage.layer");
   adj.multiply(h, ws.agg);  // A·H
   const index_t n = ws.agg.rows();
 #pragma omp parallel for schedule(static)

@@ -5,6 +5,7 @@
 
 #include "dense/gemm.hpp"
 #include "dense/ops.hpp"
+#include "obs/obs.hpp"
 
 namespace cbm {
 
@@ -64,45 +65,56 @@ GcnTrainer<T>::GcnTrainer(Gcn2<T>& model, index_t n)
 template <typename T>
 double GcnTrainer<T>::step(const AdjacencyOp<T>& adj, const DenseMatrix<T>& x,
                            std::span<const index_t> labels, T learning_rate) {
-  // Forward with caches:
-  //   Z0 = X·W0, H1pre = Â·Z0, H1 = ReLU(H1pre), Z1 = H1·W1, out = Â·Z1.
-  gemm(x, model_.layer0().weight(), xw_);
-  adj.multiply(xw_, h1pre_);
-  h1_ = h1pre_;
-  relu_inplace(h1_);
-  gemm(h1_, model_.layer1().weight(), hw_);
-  adj.multiply(hw_, out_);
-
-  const double loss = softmax_cross_entropy(out_, labels, dout_);
-
-  // Backward. Â is symmetric, so ∂(Â·Z)/∂Z pulls back through the same
-  // operand (this is where CBM accelerates training, §VIII).
-  adj.multiply(dout_, dz1_);                      // dZ1 = Âᵀ·dOut = Â·dOut
+  CBM_SPAN("gnn.train.step");
+  CBM_COUNTER_ADD("gnn.train.steps", 1);
+  double loss = 0.0;
   {
-    const DenseMatrix<T> h1t = transpose(h1_);
-    gemm(h1t, dz1_, dw1_);                        // dW1 = H1ᵀ·dZ1
+    // Forward with caches:
+    //   Z0 = X·W0, H1pre = Â·Z0, H1 = ReLU(H1pre), Z1 = H1·W1, out = Â·Z1.
+    CBM_SPAN("gnn.train.forward");
+    gemm(x, model_.layer0().weight(), xw_);
+    adj.multiply(xw_, h1pre_);
+    h1_ = h1pre_;
+    relu_inplace(h1_);
+    gemm(h1_, model_.layer1().weight(), hw_);
+    adj.multiply(hw_, out_);
   }
   {
-    const DenseMatrix<T> w1t = transpose(model_.layer1().weight());
-    gemm(dz1_, w1t, dh1_);                        // dH1 = dZ1·W1ᵀ
+    CBM_SPAN("gnn.train.loss");
+    loss = softmax_cross_entropy(out_, labels, dout_);
   }
-  // ReLU mask: dH1pre = dH1 ⊙ [H1pre > 0] (in place on dh1_).
   {
-    const T* __restrict__ pre = h1pre_.data();
-    T* __restrict__ g = dh1_.data();
-    const std::size_t total = dh1_.size();
-#pragma omp parallel for simd schedule(static)
-    for (std::size_t i = 0; i < total; ++i) {
-      g[i] = pre[i] > T{0} ? g[i] : T{0};
+    // Backward. Â is symmetric, so ∂(Â·Z)/∂Z pulls back through the same
+    // operand (this is where CBM accelerates training, §VIII).
+    CBM_SPAN("gnn.train.backward");
+    adj.multiply(dout_, dz1_);                    // dZ1 = Âᵀ·dOut = Â·dOut
+    {
+      const DenseMatrix<T> h1t = transpose(h1_);
+      gemm(h1t, dz1_, dw1_);                      // dW1 = H1ᵀ·dZ1
     }
-  }
-  adj.multiply(dh1_, dz0_);                       // dZ0 = Â·dH1pre
-  {
-    const DenseMatrix<T> xt = transpose(x);
-    gemm(xt, dz0_, dw0_);                         // dW0 = Xᵀ·dZ0
+    {
+      const DenseMatrix<T> w1t = transpose(model_.layer1().weight());
+      gemm(dz1_, w1t, dh1_);                      // dH1 = dZ1·W1ᵀ
+    }
+    // ReLU mask: dH1pre = dH1 ⊙ [H1pre > 0] (in place on dh1_).
+    {
+      const T* __restrict__ pre = h1pre_.data();
+      T* __restrict__ g = dh1_.data();
+      const std::size_t total = dh1_.size();
+#pragma omp parallel for simd schedule(static)
+      for (std::size_t i = 0; i < total; ++i) {
+        g[i] = pre[i] > T{0} ? g[i] : T{0};
+      }
+    }
+    adj.multiply(dh1_, dz0_);                     // dZ0 = Â·dH1pre
+    {
+      const DenseMatrix<T> xt = transpose(x);
+      gemm(xt, dz0_, dw0_);                       // dW0 = Xᵀ·dZ0
+    }
   }
 
   // SGD update.
+  CBM_SPAN("gnn.train.sgd");
   auto sgd = [learning_rate](DenseMatrix<T>& w, const DenseMatrix<T>& g) {
     T* __restrict__ wp = w.data();
     const T* __restrict__ gp = g.data();

@@ -1,0 +1,114 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cbm::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::comma_and_key(std::string_view key) {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) os_ << ',';
+    needs_comma_.back() = true;
+  }
+  if (!key.empty()) os_ << json_escape(key) << ':';
+}
+
+void JsonWriter::begin_object(std::string_view key) {
+  comma_and_key(key);
+  os_ << '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  os_ << '}';
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::begin_array(std::string_view key) {
+  comma_and_key(key);
+  os_ << '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  os_ << ']';
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::value(std::string_view key, std::string_view s) {
+  comma_and_key(key);
+  os_ << json_escape(s);
+}
+
+void JsonWriter::value(std::string_view key, const char* s) {
+  value(key, std::string_view(s));
+}
+
+void JsonWriter::value(std::string_view key, double v) {
+  comma_and_key(key);
+  if (!std::isfinite(v)) {
+    os_ << "null";  // NaN/Inf are not valid JSON
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os_ << buf;
+}
+
+void JsonWriter::value(std::string_view key, std::int64_t v) {
+  comma_and_key(key);
+  os_ << v;
+}
+
+void JsonWriter::value(std::string_view key, std::uint64_t v) {
+  comma_and_key(key);
+  os_ << v;
+}
+
+void JsonWriter::value(std::string_view key, int v) {
+  value(key, static_cast<std::int64_t>(v));
+}
+
+void JsonWriter::value(std::string_view key, bool v) {
+  comma_and_key(key);
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::raw(std::string_view key, std::string_view json) {
+  comma_and_key(key);
+  os_ << json;
+}
+
+void JsonWriter::element(std::string_view s) { value({}, s); }
+void JsonWriter::element(double v) { value({}, v); }
+void JsonWriter::element(std::int64_t v) { value({}, v); }
+
+}  // namespace cbm::obs

@@ -1,0 +1,55 @@
+// Minimal streaming JSON writer shared by the observability exporters
+// (Chrome trace files, metrics snapshots, bench telemetry documents).
+//
+// Deliberately tiny: objects/arrays as an explicit open/close stack with
+// automatic comma placement, string escaping per RFC 8259, and numbers
+// printed so the output always reparses (no NaN/Inf literals).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbm::obs {
+
+/// Escapes `s` as a JSON string literal (including the quotes).
+std::string json_escape(std::string_view s);
+
+/// Streaming writer; every value/begin call may take a key (required inside
+/// objects, forbidden inside arrays — checked with assertions in debug).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object(std::string_view key = {});
+  void end_object();
+  void begin_array(std::string_view key = {});
+  void end_array();
+
+  void value(std::string_view key, std::string_view s);
+  void value(std::string_view key, const char* s);
+  void value(std::string_view key, double v);
+  void value(std::string_view key, std::int64_t v);
+  void value(std::string_view key, std::uint64_t v);
+  void value(std::string_view key, int v);
+  void value(std::string_view key, bool v);
+
+  /// Array-element overloads (no key).
+  void element(std::string_view s);
+  void element(double v);
+  void element(std::int64_t v);
+
+  /// Splices pre-serialised JSON as the value for `key` (caller guarantees
+  /// validity — used to embed one exporter's document in another's).
+  void raw(std::string_view key, std::string_view json);
+
+ private:
+  void comma_and_key(std::string_view key);
+
+  std::ostream& os_;
+  std::vector<bool> needs_comma_;  // one entry per open container
+};
+
+}  // namespace cbm::obs

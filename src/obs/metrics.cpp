@@ -1,0 +1,189 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace cbm::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct Shard {
+  std::mutex mutex;  // owner-thread writes vs. snapshot/reset reads
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, TimingSummary> timings;
+};
+
+struct MetricsState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Shard>> shards;
+};
+
+// Leaked on purpose (same reasoning as the trace registry): exit-time
+// flushes and late thread destruction must find it alive.
+MetricsState& state() {
+  static MetricsState* s = new MetricsState;
+  return *s;
+}
+
+Shard& local_shard() {
+  thread_local std::shared_ptr<Shard> shard = [] {
+    MetricsState& s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    auto sh = std::make_shared<Shard>();
+    s.shards.push_back(sh);
+    return sh;
+  }();
+  return *shard;
+}
+
+struct EnvInit {
+  EnvInit() {
+    const char* v = std::getenv("CBM_METRICS");
+    if (v != nullptr && *v != '\0' && std::string_view(v) != "0") {
+      set_metrics_enabled(true);
+    }
+  }
+} const env_init;
+
+std::size_t timing_bucket(double seconds) {
+  const double ns = seconds * 1e9;
+  if (ns < 1.0) return 0;
+  const auto b = static_cast<std::size_t>(std::log2(ns));
+  return std::min(b, TimingSummary::kBuckets - 1);
+}
+
+}  // namespace
+
+void set_metrics_enabled(bool enabled) {
+  detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void counter_add(const char* name, std::int64_t delta) {
+  if (!metrics_enabled()) return;
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.counters[name] += delta;
+}
+
+void gauge_set(const char* name, double value) {
+  if (!metrics_enabled()) return;
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.gauges[name] = value;
+}
+
+void timing_record(const char* name, double seconds) {
+  if (!metrics_enabled()) return;
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.timings[name].add(seconds);
+}
+
+void TimingSummary::add(double seconds) {
+  if (count == 0) {
+    min = max = seconds;
+  } else {
+    min = std::min(min, seconds);
+    max = std::max(max, seconds);
+  }
+  ++count;
+  sum += seconds;
+  ++buckets[timing_bucket(seconds)];
+}
+
+void TimingSummary::merge(const TimingSummary& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+double TimingSummary::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= target && buckets[i] > 0) {
+      // Geometric midpoint of [2^i, 2^{i+1}) ns, clamped to observed range.
+      const double mid_ns = std::exp2(static_cast<double>(i) + 0.5);
+      return std::clamp(mid_ns / 1e9, min, max);
+    }
+  }
+  return max;
+}
+
+MetricsSnapshot metrics_snapshot() {
+  MetricsSnapshot out;
+  MetricsState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (const auto& shard : s.shards) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    for (const auto& [name, v] : shard->counters) out.counters[name] += v;
+    for (const auto& [name, v] : shard->gauges) out.gauges[name] = v;
+    for (const auto& [name, t] : shard->timings) out.timings[name].merge(t);
+  }
+  return out;
+}
+
+void metrics_reset() {
+  MetricsState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (const auto& shard : s.shards) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    shard->counters.clear();
+    shard->gauges.clear();
+    shard->timings.clear();
+  }
+}
+
+std::string metrics_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.begin_object("counters");
+  for (const auto& [name, v] : snapshot.counters) w.value(name, v);
+  w.end_object();
+  w.begin_object("gauges");
+  for (const auto& [name, v] : snapshot.gauges) w.value(name, v);
+  w.end_object();
+  w.begin_object("timings");
+  for (const auto& [name, t] : snapshot.timings) {
+    w.begin_object(name);
+    w.value("count", static_cast<std::uint64_t>(t.count));
+    w.value("sum_seconds", t.sum);
+    w.value("min_seconds", t.min);
+    w.value("max_seconds", t.max);
+    w.value("mean_seconds", t.mean());
+    w.value("p50_seconds", t.quantile(0.5));
+    w.value("p99_seconds", t.quantile(0.99));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace cbm::obs

@@ -1,0 +1,80 @@
+// Process-wide metrics registry: counters, gauges, and timing histograms.
+//
+// Writes go to thread-local shards (each guarded by a mutex that is only
+// ever contended during a snapshot), so incrementing a counter inside an
+// OpenMP region is safe and never serialises the team. metrics_snapshot()
+// merges all shards into one consistent view.
+//
+// Recording is off unless CBM_METRICS is set (or set_metrics_enabled(true)
+// is called — the bench writer does this when CBM_BENCH_JSON is set); when
+// off, every recording call is one relaxed atomic load and a branch.
+//
+// Metric names must outlive the recording call (string literals in
+// practice); values are keyed by name content, not pointer identity.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cbm::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// True when metric writes are being recorded (relaxed atomic load).
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled);
+
+/// Monotonic counter += delta. No-op while disabled.
+void counter_add(const char* name, std::int64_t delta = 1);
+
+/// Point-in-time value; last write (in snapshot merge order) wins.
+void gauge_set(const char* name, double value);
+
+/// Records one duration into `name`'s histogram. No-op while disabled.
+void timing_record(const char* name, double seconds);
+
+/// Log-spaced duration histogram: bucket i counts samples in
+/// [2^i, 2^{i+1}) nanoseconds; the last bucket is unbounded above.
+struct TimingSummary {
+  static constexpr std::size_t kBuckets = 48;  // 1 ns .. ~78 h
+
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  [[nodiscard]] double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  /// Histogram-resolution (factor-of-two) estimate of quantile q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+  void add(double seconds);
+  void merge(const TimingSummary& other);
+};
+
+/// Merged view of every shard at one point in time.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, TimingSummary> timings;
+};
+
+MetricsSnapshot metrics_snapshot();
+
+/// Zeroes every shard (tests / between bench sections).
+void metrics_reset();
+
+/// Serialises a snapshot as one JSON object.
+std::string metrics_json(const MetricsSnapshot& snapshot);
+
+}  // namespace cbm::obs

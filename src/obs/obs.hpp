@@ -1,0 +1,48 @@
+// cbm::obs — umbrella header and instrumentation macros.
+//
+// Usage in hot paths:
+//
+//   void CbmMatrix<T>::multiply(...) {
+//     CBM_SPAN("cbm.multiply");          // RAII trace span
+//     ...
+//     CBM_COUNTER_ADD("cbm.multiply.calls", 1);
+//   }
+//
+// Both macros compile to a single relaxed-atomic-flag check when tracing /
+// metrics are disabled (the default), so they are safe on paths measured by
+// the benchmarks. See docs/observability.md for env vars and span naming.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#define CBM_OBS_CONCAT_INNER(a, b) a##b
+#define CBM_OBS_CONCAT(a, b) CBM_OBS_CONCAT_INNER(a, b)
+
+/// Opens a trace span covering the rest of the enclosing scope.
+#define CBM_SPAN(name) \
+  const ::cbm::obs::ScopedSpan CBM_OBS_CONCAT(cbm_obs_span_, __LINE__)(name)
+
+/// Counter increment, guarded so arguments are not evaluated when disabled.
+#define CBM_COUNTER_ADD(name, delta)                        \
+  do {                                                      \
+    if (::cbm::obs::metrics_enabled()) {                    \
+      ::cbm::obs::counter_add((name), (delta));             \
+    }                                                       \
+  } while (0)
+
+/// Gauge write, guarded like CBM_COUNTER_ADD.
+#define CBM_GAUGE_SET(name, value)                          \
+  do {                                                      \
+    if (::cbm::obs::metrics_enabled()) {                    \
+      ::cbm::obs::gauge_set((name), (value));               \
+    }                                                       \
+  } while (0)
+
+/// Duration sample, guarded like CBM_COUNTER_ADD.
+#define CBM_TIMING_RECORD(name, seconds)                    \
+  do {                                                      \
+    if (::cbm::obs::metrics_enabled()) {                    \
+      ::cbm::obs::timing_record((name), (seconds));         \
+    }                                                       \
+  } while (0)

@@ -1,0 +1,191 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace cbm::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+clock::time_point trace_epoch() {
+  static const clock::time_point epoch = clock::now();
+  return epoch;
+}
+
+struct TraceEvent {
+  const char* name;
+  std::int64_t begin_ns;
+  std::int64_t end_ns;
+};
+
+/// Single-writer (owning thread) / multi-reader ring buffer. The writer
+/// publishes each slot with a release store of `head`; readers only look at
+/// slots below an acquire load of `head`, so a flush taken while no span is
+/// mid-record sees a consistent prefix.
+struct ThreadBuffer {
+  static constexpr std::size_t kCapacity = 1 << 14;  // 16384 events / thread
+
+  explicit ThreadBuffer(int tid) : events(kCapacity), tid(tid) {}
+
+  void push(const char* name, std::int64_t begin_ns, std::int64_t end_ns) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    events[h % kCapacity] = {name, begin_ns, end_ns};
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  std::vector<TraceEvent> events;
+  std::atomic<std::uint64_t> head{0};
+  int tid;
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::string path;
+  int next_tid = 0;
+};
+
+// Leaked on purpose: the atexit writer and late-exiting threads may touch
+// the registry after static destruction would have run.
+TraceState& state() {
+  static TraceState* s = new TraceState;
+  return *s;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    TraceState& s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    auto b = std::make_shared<ThreadBuffer>(s.next_tid++);
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+/// Reads CBM_TRACE once at static-initialisation time so trace_enabled()
+/// is true from the first instruction of main().
+struct EnvInit {
+  EnvInit() {
+    trace_epoch();  // pin the epoch before any span
+    const char* path = std::getenv("CBM_TRACE");
+    if (path != nullptr && *path != '\0') enable_trace(path);
+  }
+} const env_init;
+
+}  // namespace
+
+namespace detail {
+
+std::int64_t trace_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                              trace_epoch())
+      .count();
+}
+
+void record_span(const char* name, std::int64_t begin_ns,
+                 std::int64_t end_ns) {
+  local_buffer().push(name, begin_ns, end_ns);
+}
+
+}  // namespace detail
+
+void enable_trace(const std::string& path) {
+  TraceState& s = state();
+  bool register_atexit = false;
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    register_atexit = !path.empty() && s.path.empty();
+    s.path = path;
+  }
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+  if (register_atexit) std::atexit([] { trace_write(); });
+}
+
+void disable_trace() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::string trace_path() {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.path;
+}
+
+void trace_write_to(std::ostream& os) {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  JsonWriter w(os);
+  w.begin_object();
+  w.value("displayTimeUnit", "ms");
+  w.begin_array("traceEvents");
+  for (const auto& buffer : s.buffers) {
+    const std::uint64_t head = buffer->head.load(std::memory_order_acquire);
+    const std::uint64_t count = std::min<std::uint64_t>(
+        head, ThreadBuffer::kCapacity);
+    // Oldest retained event first (chronological within a thread).
+    for (std::uint64_t i = head - count; i < head; ++i) {
+      const TraceEvent& e = buffer->events[i % ThreadBuffer::kCapacity];
+      w.begin_object();
+      w.value("name", e.name);
+      w.value("cat", "cbm");
+      w.value("ph", "X");
+      w.value("ts", static_cast<double>(e.begin_ns) / 1e3);
+      w.value("dur", static_cast<double>(e.end_ns - e.begin_ns) / 1e3);
+      w.value("pid", 1);
+      w.value("tid", buffer->tid);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  os.flush();
+}
+
+void trace_write() {
+  const std::string path = trace_path();
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) {
+    // Warn but never throw: this runs from the atexit hook.
+    std::fprintf(stderr, "CBM_TRACE: cannot open %s\n", path.c_str());
+    return;
+  }
+  trace_write_to(os);
+}
+
+void trace_reset() {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (const auto& buffer : s.buffers) {
+    buffer->head.store(0, std::memory_order_release);
+  }
+}
+
+std::size_t trace_dropped_events() {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::size_t dropped = 0;
+  for (const auto& buffer : s.buffers) {
+    const std::uint64_t head = buffer->head.load(std::memory_order_acquire);
+    if (head > ThreadBuffer::kCapacity) dropped += head - ThreadBuffer::kCapacity;
+  }
+  return dropped;
+}
+
+}  // namespace cbm::obs

@@ -1,0 +1,82 @@
+// Scoped-span tracing with Chrome trace-event JSON export.
+//
+// Spans record into fixed-capacity per-thread ring buffers (no allocation,
+// no locking on the hot path) and are exported as "ph":"X" complete events
+// loadable in chrome://tracing or Perfetto. Tracing is off unless the
+// process was started with CBM_TRACE=<path> (the file is written at exit)
+// or enabled programmatically; when off, a span costs exactly one relaxed
+// atomic load and a predictable branch.
+//
+// Span names must be string literals (or otherwise outlive the process):
+// buffers store the pointer, not a copy.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace cbm::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+
+/// Nanoseconds since the process-wide trace epoch (monotonic).
+std::int64_t trace_now_ns();
+
+void record_span(const char* name, std::int64_t begin_ns,
+                 std::int64_t end_ns);
+}  // namespace detail
+
+/// True when spans are being recorded. Hot-path check: relaxed atomic load.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Enables tracing and sets the file trace_write() / the atexit hook write
+/// to. An empty path enables recording without an output file (tests use
+/// trace_write_to directly).
+void enable_trace(const std::string& path);
+
+/// Stops recording (buffered events are kept until trace_reset()).
+void disable_trace();
+
+/// Path set via enable_trace / CBM_TRACE ("" when none).
+std::string trace_path();
+
+/// Writes the Chrome trace-event JSON for everything recorded so far.
+void trace_write_to(std::ostream& os);
+
+/// Writes to trace_path(); no-op when no path is set. Called automatically
+/// at process exit when CBM_TRACE is set.
+void trace_write();
+
+/// Drops all buffered events (and the dropped-event count).
+void trace_reset();
+
+/// Events lost to ring-buffer wrap-around since the last trace_reset().
+std::size_t trace_dropped_events();
+
+/// RAII span: records [construction, destruction) under `name`.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(trace_enabled() ? name : nullptr),
+        begin_ns_(name_ != nullptr ? detail::trace_now_ns() : 0) {}
+
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      detail::record_span(name_, begin_ns_, detail::trace_now_ns());
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t begin_ns_;
+};
+
+}  // namespace cbm::obs

@@ -2,12 +2,17 @@
 // repetition timing, and the dataset registry's paper constants.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "bench_util/datasets.hpp"
 #include "bench_util/env.hpp"
+#include "bench_util/report.hpp"
 #include "bench_util/runner.hpp"
 #include "bench_util/table.hpp"
+#include "obs/metrics.hpp"
 
 namespace cbm {
 namespace {
@@ -35,6 +40,21 @@ TEST(Env, BenchConfigReadsOverrides) {
   ::unsetenv("CBM_BENCH_SCALE");
 }
 
+TEST(Env, BenchConfigRejectsInvalidValues) {
+  const auto with_env = [](const char* name, const char* value) {
+    ::setenv(name, value, 1);
+    EXPECT_THROW(BenchConfig::from_env(), CbmError) << name << "=" << value;
+    ::unsetenv(name);
+  };
+  with_env("CBM_BENCH_COLS", "0");
+  with_env("CBM_BENCH_COLS", "-4");
+  with_env("CBM_BENCH_REPS", "0");
+  with_env("CBM_BENCH_WARMUP", "-1");
+  with_env("CBM_BENCH_SCALE", "0");
+  with_env("CBM_BENCH_SCALE", "1.5");
+  with_env("CBM_BENCH_SCALE", "-0.1");
+}
+
 TEST(Table, RowWidthValidated) {
   TablePrinter t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), CbmError);
@@ -50,6 +70,58 @@ TEST(Table, Formatters) {
   const auto ms = fmt_mean_std(0.5, 0.01);
   EXPECT_NE(ms.find("0.5000"), std::string::npos);
   EXPECT_NE(ms.find("0.0100"), std::string::npos);
+}
+
+TEST(Table, FmtStatsReportsMedianMeanStd) {
+  RunStats s;
+  for (const double x : {1.0, 1.0, 10.0}) s.add(x);
+  const auto text = fmt_stats(s);
+  EXPECT_NE(text.find("1.0000"), std::string::npos);  // median
+  EXPECT_NE(text.find("4.0000"), std::string::npos);  // mean
+}
+
+TEST(BenchReport, DisabledWithoutEnvVar) {
+  ::unsetenv("CBM_BENCH_JSON");
+  BenchConfig config;
+  BenchReport report("unit_test", config);
+  EXPECT_FALSE(report.enabled());
+  report.add_scalar("ignored", 1.0);  // must be a no-op
+}
+
+TEST(BenchReport, WritesParseableDocument) {
+  const std::string path = ::testing::TempDir() + "cbm_bench_report_test.json";
+  ::setenv("CBM_BENCH_JSON", path.c_str(), 1);
+  {
+    BenchConfig config;
+    config.cols = 12;
+    config.reps = 2;
+    BenchReport report("unit_test", config);
+    ASSERT_TRUE(report.enabled());
+    EXPECT_TRUE(obs::metrics_enabled());  // switched on by the report
+    RunStats s;
+    s.add(0.5);
+    s.add(1.5);
+    report.add("series", s, {{"graph", "toy"}});
+    report.add_scalar("ratio", 3.0);
+  }  // destructor writes
+  ::unsetenv("CBM_BENCH_JSON");
+  obs::set_metrics_enabled(false);
+  obs::metrics_reset();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+  // Structural spot-checks; test_obs.cpp holds the full JSON parser.
+  EXPECT_NE(doc.find("\"schema\":\"cbm-bench-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"bench\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(doc.find("\"cols\":12"), std::string::npos);
+  EXPECT_NE(doc.find("\"series\""), std::string::npos);
+  EXPECT_NE(doc.find("\"graph\":\"toy\""), std::string::npos);
+  EXPECT_NE(doc.find("\"median\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"metrics\""), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(Runner, CountsRepsNotWarmup) {

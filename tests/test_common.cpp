@@ -151,6 +151,60 @@ TEST(RunStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
+TEST(RunStats, MergeEmptyWithEmpty) {
+  RunStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.median(), 0.0);
+}
+
+TEST(RunStats, MergePropagatesMinMax) {
+  RunStats a, b;
+  a.add(5.0);
+  b.add(-2.0);
+  b.add(11.0);
+  a.merge(b);
+  EXPECT_EQ(a.min(), -2.0);
+  EXPECT_EQ(a.max(), 11.0);
+}
+
+TEST(RunStats, MedianOddAndEven) {
+  RunStats odd;
+  for (const double x : {9.0, 1.0, 5.0}) odd.add(x);
+  EXPECT_DOUBLE_EQ(odd.median(), 5.0);
+
+  RunStats even;
+  for (const double x : {4.0, 1.0, 3.0, 2.0}) even.add(x);
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+
+  RunStats single;
+  single.add(7.0);
+  EXPECT_DOUBLE_EQ(single.median(), 7.0);
+}
+
+TEST(RunStats, MedianIgnoresOutlierUnlikeMean) {
+  RunStats s;
+  for (int i = 0; i < 9; ++i) s.add(1.0);
+  s.add(1000.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  EXPECT_GT(s.mean(), 100.0);
+}
+
+TEST(RunStats, MedianSurvivesReservoirOverflowAndMerge) {
+  // More samples than the reservoir holds: the median must stay in the
+  // right ballpark (all values equal makes it exact).
+  RunStats big;
+  for (int i = 0; i < 5000; ++i) big.add(2.0);
+  EXPECT_DOUBLE_EQ(big.median(), 2.0);
+
+  RunStats other;
+  for (int i = 0; i < 5000; ++i) other.add(2.0);
+  big.merge(other);
+  EXPECT_EQ(big.count(), 10000u);
+  EXPECT_DOUBLE_EQ(big.median(), 2.0);
+}
+
 TEST(VectorOps, Add) {
   std::vector<float> x = {1, 2, 3}, y = {10, 20, 30};
   vec_add<float>(x, y);

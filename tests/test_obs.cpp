@@ -1,0 +1,465 @@
+// Tests for cbm::obs: the JSON writer, the metrics registry under OpenMP,
+// scoped-span tracing (including emission from parallel regions), and the
+// round-trip parseability of both export formats. A minimal recursive-descent
+// JSON parser lives at the top so the round-trip checks don't depend on any
+// external library.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cbm/cbm_matrix.hpp"
+#include "common/rng.hpp"
+#include "dense/dense_matrix.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+namespace cbm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser (enough to validate our own exports).
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    const auto it = object.find(key);
+    if (it == object.end()) {
+      ADD_FAILURE() << "missing key: " << key;
+      static const JsonValue null_value;
+      return null_value;
+    }
+    return it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return object.count(key) > 0;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    const JsonValue v = parse_value();
+    skip_ws();
+    ok_ &= pos_ == text_.size();
+    return v;
+  }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    ok_ = false;
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    JsonValue v;
+    if (pos_ >= text_.size()) {
+      ok_ = false;
+      return v;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == 't' && literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (c == 'f' && literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (c == 'n' && literal("null")) return v;
+    // Number.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      ok_ = false;
+      return v;
+    }
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    return v;
+  }
+
+  std::string parse_string() {
+    std::string out;
+    if (!consume('"')) {
+      ok_ = false;
+      return out;
+    }
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u':
+            // Keep it simple: skip the 4 hex digits, emit '?'.
+            pos_ += 4;
+            c = '?';
+            break;
+          default: c = esc;
+        }
+      }
+      out.push_back(c);
+    }
+    if (!consume('"')) ok_ = false;
+    return out;
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    consume('{');
+    skip_ws();
+    if (consume('}')) return v;
+    do {
+      skip_ws();
+      std::string key = parse_string();
+      if (!consume(':')) {
+        ok_ = false;
+        return v;
+      }
+      v.object.emplace(std::move(key), parse_value());
+    } while (consume(','));
+    if (!consume('}')) ok_ = false;
+    return v;
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    consume('[');
+    skip_ws();
+    if (consume(']')) return v;
+    do {
+      v.array.push_back(parse_value());
+    } while (consume(','));
+    if (!consume(']')) ok_ = false;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+JsonValue parse_json_or_fail(const std::string& text) {
+  JsonParser parser(text);
+  JsonValue v = parser.parse();
+  EXPECT_TRUE(parser.ok()) << "unparseable JSON: " << text;
+  return v;
+}
+
+// RAII guard: every test leaves tracing/metrics in the disabled, empty state.
+struct ObsGuard {
+  ObsGuard() { reset(); }
+  ~ObsGuard() { reset(); }
+  static void reset() {
+    obs::disable_trace();
+    obs::trace_reset();
+    obs::set_metrics_enabled(false);
+    obs::metrics_reset();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+TEST(JsonWriter, EscapesAndNesting) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.value("text", "a\"b\\c\nd\x01");
+  w.value("num", 1.5);
+  w.value("int", std::int64_t{-3});
+  w.value("flag", true);
+  w.begin_array("xs");
+  w.element(std::int64_t{1});
+  w.element("two");
+  w.end_array();
+  w.begin_object("inner");
+  w.end_object();
+  w.end_object();
+
+  const JsonValue v = parse_json_or_fail(os.str());
+  EXPECT_EQ(v.at("text").string, "a\"b\\c\nd?");  // \x01 parsed back as '?'
+  EXPECT_DOUBLE_EQ(v.at("num").number, 1.5);
+  EXPECT_DOUBLE_EQ(v.at("int").number, -3.0);
+  EXPECT_TRUE(v.at("flag").boolean);
+  ASSERT_EQ(v.at("xs").array.size(), 2u);
+  EXPECT_EQ(v.at("xs").array[1].string, "two");
+  EXPECT_EQ(v.at("inner").kind, JsonValue::Kind::kObject);
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.value("nan", std::nan(""));
+  w.end_object();
+  const JsonValue v = parse_json_or_fail(os.str());
+  EXPECT_EQ(v.at("nan").kind, JsonValue::Kind::kNull);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(Metrics, DisabledCallsAreNoOps) {
+  ObsGuard guard;
+  ASSERT_FALSE(obs::metrics_enabled());
+  obs::counter_add("test.disabled", 5);
+  obs::gauge_set("test.disabled_gauge", 1.0);
+  obs::timing_record("test.disabled_timing", 0.5);
+  const auto snap = obs::metrics_snapshot();
+  EXPECT_EQ(snap.counters.count("test.disabled"), 0u);
+  EXPECT_EQ(snap.gauges.count("test.disabled_gauge"), 0u);
+  EXPECT_EQ(snap.timings.count("test.disabled_timing"), 0u);
+}
+
+TEST(Metrics, CountersGaugesTimings) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::counter_add("test.counter", 2);
+  obs::counter_add("test.counter", 3);
+  obs::gauge_set("test.gauge", 1.5);
+  obs::gauge_set("test.gauge", 2.5);
+  obs::timing_record("test.timing", 1e-6);
+  obs::timing_record("test.timing", 3e-6);
+
+  const auto snap = obs::metrics_snapshot();
+  EXPECT_EQ(snap.counters.at("test.counter"), 5);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.gauge"), 2.5);
+  const auto& t = snap.timings.at("test.timing");
+  EXPECT_EQ(t.count, 2u);
+  EXPECT_DOUBLE_EQ(t.min, 1e-6);
+  EXPECT_DOUBLE_EQ(t.max, 3e-6);
+  EXPECT_NEAR(t.mean(), 2e-6, 1e-12);
+}
+
+TEST(Metrics, ConcurrentCountersInsideOmpParallel) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  constexpr int kIters = 20000;
+#pragma omp parallel for
+  for (int i = 0; i < kIters; ++i) {
+    obs::counter_add("test.omp_counter", 1);
+  }
+  const auto snap = obs::metrics_snapshot();
+  EXPECT_EQ(snap.counters.at("test.omp_counter"), kIters);
+}
+
+TEST(Metrics, TimingQuantileIsOrderOfMagnitudeRight) {
+  obs::TimingSummary t;
+  for (int i = 0; i < 1000; ++i) t.add(1e-6);  // all ~2^10 ns
+  const double p50 = t.quantile(0.5);
+  EXPECT_GT(p50, 0.25e-6);
+  EXPECT_LT(p50, 4e-6);
+}
+
+TEST(Metrics, TimingMergeAddsHistograms) {
+  obs::TimingSummary a, b;
+  a.add(1e-6);
+  b.add(1e-3);
+  b.add(2e-3);
+  a.merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_DOUBLE_EQ(a.min, 1e-6);
+  EXPECT_DOUBLE_EQ(a.max, 2e-3);
+}
+
+TEST(Metrics, JsonRoundTrip) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::counter_add("rt.counter", 7);
+  obs::gauge_set("rt.gauge", 0.25);
+  obs::timing_record("rt.timing", 5e-4);
+
+  const std::string json = obs::metrics_json(obs::metrics_snapshot());
+  const JsonValue v = parse_json_or_fail(json);
+  EXPECT_DOUBLE_EQ(v.at("counters").at("rt.counter").number, 7.0);
+  EXPECT_DOUBLE_EQ(v.at("gauges").at("rt.gauge").number, 0.25);
+  const auto& timing = v.at("timings").at("rt.timing");
+  EXPECT_DOUBLE_EQ(timing.at("count").number, 1.0);
+  EXPECT_DOUBLE_EQ(timing.at("min_seconds").number, 5e-4);
+  EXPECT_TRUE(timing.has("p50_seconds"));
+  EXPECT_TRUE(timing.has("p99_seconds"));
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+TEST(Trace, DisabledSpanRecordsNothing) {
+  ObsGuard guard;
+  ASSERT_FALSE(obs::trace_enabled());
+  { CBM_SPAN("test.should_not_appear"); }
+  obs::enable_trace("");
+  std::ostringstream os;
+  obs::trace_write_to(os);
+  EXPECT_EQ(os.str().find("test.should_not_appear"), std::string::npos);
+}
+
+TEST(Trace, SpansExportAsChromeTraceJson) {
+  ObsGuard guard;
+  obs::enable_trace("");
+  {
+    CBM_SPAN("test.outer");
+    CBM_SPAN("test.inner");
+  }
+  obs::disable_trace();
+
+  std::ostringstream os;
+  obs::trace_write_to(os);
+  const JsonValue doc = parse_json_or_fail(os.str());
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+  const auto& events = doc.at("traceEvents").array;
+  ASSERT_GE(events.size(), 2u);
+
+  const JsonValue* outer = nullptr;
+  const JsonValue* inner = nullptr;
+  for (const auto& e : events) {
+    EXPECT_EQ(e.at("ph").string, "X");
+    EXPECT_EQ(e.at("cat").string, "cbm");
+    if (e.at("name").string == "test.outer") outer = &e;
+    if (e.at("name").string == "test.inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // Nesting: inner is contained in [outer.ts, outer.ts + outer.dur].
+  const double outer_begin = outer->at("ts").number;
+  const double outer_end = outer_begin + outer->at("dur").number;
+  const double inner_begin = inner->at("ts").number;
+  const double inner_end = inner_begin + inner->at("dur").number;
+  EXPECT_GE(inner_begin, outer_begin);
+  EXPECT_LE(inner_end, outer_end);
+}
+
+TEST(Trace, SpansFromOmpParallelRegion) {
+  ObsGuard guard;
+  obs::enable_trace("");
+  constexpr int kIters = 64;
+#pragma omp parallel for
+  for (int i = 0; i < kIters; ++i) {
+    CBM_SPAN("test.parallel_span");
+  }
+  obs::disable_trace();
+
+  std::ostringstream os;
+  obs::trace_write_to(os);
+  const JsonValue doc = parse_json_or_fail(os.str());
+  int found = 0;
+  for (const auto& e : doc.at("traceEvents").array) {
+    found += e.at("name").string == "test.parallel_span";
+  }
+  EXPECT_EQ(found + static_cast<int>(obs::trace_dropped_events()), kIters);
+  EXPECT_GT(found, 0);
+}
+
+TEST(Trace, ResetDropsEvents) {
+  ObsGuard guard;
+  obs::enable_trace("");
+  { CBM_SPAN("test.dropped_by_reset"); }
+  obs::trace_reset();
+  std::ostringstream os;
+  obs::trace_write_to(os);
+  EXPECT_EQ(os.str().find("test.dropped_by_reset"), std::string::npos);
+  EXPECT_EQ(obs::trace_dropped_events(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented library code emits the documented span names.
+
+TEST(Trace, CompressAndMultiplyEmitDocumentedSpans) {
+  ObsGuard guard;
+  obs::enable_trace("");
+  obs::set_metrics_enabled(true);
+
+  // Tiny dense-ish matrix so compression finds some sharing.
+  std::vector<offset_t> indptr = {0, 3, 6, 9};
+  std::vector<index_t> indices = {0, 1, 2, 0, 1, 2, 0, 1, 2};
+  std::vector<float> values(9, 1.0f);
+  const CsrMatrix<float> a(3, 3, std::move(indptr), std::move(indices),
+                           std::move(values));
+  const auto m = CbmMatrix<float>::compress(a, {.alpha = 0});
+  DenseMatrix<float> b(3, 2), c(3, 2);
+  Rng rng(1);
+  b.fill_uniform(rng);
+  m.multiply(b, c);
+
+  obs::disable_trace();
+  std::ostringstream os;
+  obs::trace_write_to(os);
+  const JsonValue doc = parse_json_or_fail(os.str());
+  std::map<std::string, int> names;
+  for (const auto& e : doc.at("traceEvents").array) {
+    ++names[e.at("name").string];
+  }
+  EXPECT_GE(names["cbm.compress"], 1);
+  EXPECT_GE(names["cbm.compress.distance_graph"], 1);
+  EXPECT_GE(names["cbm.compress.tree_solve"], 1);
+  EXPECT_GE(names["cbm.compress.deltas"], 1);
+  EXPECT_GE(names["cbm.multiply"], 1);
+  EXPECT_GE(names["cbm.multiply_stage"], 1);
+  EXPECT_GE(names["cbm.update_stage"], 1);
+
+  const auto snap = obs::metrics_snapshot();
+  EXPECT_GE(snap.counters.at("cbm.compress.calls"), 1);
+  EXPECT_GE(snap.counters.at("cbm.multiply.calls"), 1);
+  EXPECT_GE(snap.counters.at("cbm.update.calls"), 1);
+}
+
+}  // namespace
+}  // namespace cbm
