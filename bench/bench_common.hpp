@@ -1,6 +1,7 @@
 // Shared plumbing for the paper-table bench binaries.
 #pragma once
 
+#include <cmath>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -101,6 +102,36 @@ SpeedupResult<T> time_pair(const OperandPair<T>& pair, const DenseMatrix<T>& b,
                                 config.reps, config.warmup);
   return result;
 }
+
+/// Times C = cbm·B under an explicit execution plan (e.g. the fused
+/// column-tiled engine) with the current thread count.
+template <typename T>
+RunStats time_cbm(const CbmMatrix<T>& cbm, const DenseMatrix<T>& b,
+                  const BenchConfig& config, const MultiplySchedule& schedule) {
+  DenseMatrix<T> c(cbm.rows(), b.cols());
+  return time_repetitions([&] { cbm.multiply(b, c, schedule); }, config.reps,
+                          config.warmup);
+}
+
+/// Accumulates speedup ratios and reports their geometric mean — the
+/// cross-graph summary statistic the paper's tables use.
+class GeomeanAccumulator {
+ public:
+  void add(double ratio) {
+    if (ratio > 0.0) {
+      log_sum_ += std::log(ratio);
+      ++count_;
+    }
+  }
+  [[nodiscard]] int count() const { return count_; }
+  [[nodiscard]] double value() const {
+    return count_ > 0 ? std::exp(log_sum_ / count_) : 0.0;
+  }
+
+ private:
+  double log_sum_ = 0.0;
+  int count_ = 0;
+};
 
 /// Random dense operand with `cols` columns, entries in [0,1) (§VI-B).
 template <typename T>

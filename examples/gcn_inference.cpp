@@ -33,9 +33,13 @@ int main(int argc, char** argv) {
   const CsrAdjacency<real_t> csr_adj(
       scale_both<real_t>(norm.a_plus_i, norm.dinv_sqrt, norm.dinv_sqrt));
   Timer build;
-  const CbmAdjacency<real_t> cbm_adj(CbmMatrix<real_t>::compress_scaled(
-      norm.a_plus_i, std::span<const real_t>(norm.dinv_sqrt),
-      CbmKind::kSymScaled, {.alpha = 8}));
+  // CBM_MULTIPLY_PATH=fused (plus CBM_TILE_COLS etc.) switches the engine
+  // without recompiling.
+  const CbmAdjacency<real_t> cbm_adj(
+      CbmMatrix<real_t>::compress_scaled(
+          norm.a_plus_i, std::span<const real_t>(norm.dinv_sqrt),
+          CbmKind::kSymScaled, {.alpha = 8}),
+      MultiplySchedule::from_env());
   std::printf("CBM build: %.3f s; footprint %.2f MiB vs CSR %.2f MiB\n",
               build.seconds(), cbm_adj.bytes() / kMiB,
               csr_adj.bytes() / kMiB);

@@ -27,9 +27,11 @@ int main(int argc, char** argv) {
   for (index_t i = 0; i < n; ++i) labels[i] = (i / 32) % 4;
 
   const auto norm = gcn_normalization<real_t>(g);
-  const CbmAdjacency<real_t> adj(CbmMatrix<real_t>::compress_scaled(
-      norm.a_plus_i, std::span<const real_t>(norm.dinv_sqrt),
-      CbmKind::kSymScaled, {.alpha = 4}));
+  const CbmAdjacency<real_t> adj(
+      CbmMatrix<real_t>::compress_scaled(
+          norm.a_plus_i, std::span<const real_t>(norm.dinv_sqrt),
+          CbmKind::kSymScaled, {.alpha = 4}),
+      MultiplySchedule::from_env());
 
   Rng rng(5);
   DenseMatrix<real_t> x(n, 32);

@@ -1,9 +1,12 @@
 #include "cbm/cbm_matrix.hpp"
 
+#include <cstdlib>
+#include <string>
 #include <utility>
 
 #include "cbm/deltas.hpp"
 #include "cbm/spmm_cbm.hpp"
+#include "cbm/spmm_cbm_fused.hpp"
 #include "common/timer.hpp"
 #include "obs/obs.hpp"
 #include "sparse/spmm.hpp"
@@ -11,6 +14,69 @@
 #include "tree/mst.hpp"
 
 namespace cbm {
+
+namespace {
+
+/// Environment-selected enum value: unset/empty keeps `fallback`, anything
+/// unrecognised throws with the variable name (benches must not silently
+/// measure the wrong engine).
+template <typename Enum, std::size_t N>
+Enum env_enum(const char* name,
+              const std::pair<const char*, Enum> (&table)[N], Enum fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  for (const auto& [text, value] : table) {
+    if (std::string(v) == text) return value;
+  }
+  throw CbmError(std::string(name) + ": unknown value '" + v + "'");
+}
+
+}  // namespace
+
+MultiplySchedule MultiplySchedule::two_stage(UpdateSchedule update,
+                                             SpmmSchedule spmm) {
+  MultiplySchedule s;
+  s.path = MultiplyPath::kTwoStage;
+  s.update = update;
+  s.spmm = spmm;
+  return s;
+}
+
+MultiplySchedule MultiplySchedule::fused(index_t tile_cols) {
+  MultiplySchedule s;
+  s.path = MultiplyPath::kFusedTiled;
+  s.tile_cols = tile_cols;
+  return s;
+}
+
+MultiplySchedule MultiplySchedule::from_env() {
+  static constexpr std::pair<const char*, MultiplyPath> kPaths[] = {
+      {"two_stage", MultiplyPath::kTwoStage},
+      {"fused", MultiplyPath::kFusedTiled},
+  };
+  static constexpr std::pair<const char*, SpmmSchedule> kSpmm[] = {
+      {"row_static", SpmmSchedule::kRowStatic},
+      {"row_dynamic", SpmmSchedule::kRowDynamic},
+      {"nnz_balanced", SpmmSchedule::kNnzBalanced},
+  };
+  static constexpr std::pair<const char*, UpdateSchedule> kUpdate[] = {
+      {"sequential", UpdateSchedule::kSequential},
+      {"branch_dynamic", UpdateSchedule::kBranchDynamic},
+      {"branch_static", UpdateSchedule::kBranchStatic},
+      {"column_split", UpdateSchedule::kColumnSplit},
+  };
+  MultiplySchedule s;
+  s.path = env_enum("CBM_MULTIPLY_PATH", kPaths, s.path);
+  s.spmm = env_enum("CBM_SPMM_SCHEDULE", kSpmm, s.spmm);
+  s.update = env_enum("CBM_UPDATE_SCHEDULE", kUpdate, s.update);
+  if (const char* v = std::getenv("CBM_TILE_COLS");
+      v != nullptr && *v != '\0') {
+    const int tile = std::atoi(v);
+    CBM_CHECK(tile > 0, "CBM_TILE_COLS must be a positive integer");
+    s.tile_cols = tile;
+  }
+  return s;
+}
 
 namespace {
 
@@ -217,6 +283,12 @@ CbmMatrix<T> CbmMatrix<T>::from_parts(CbmKind kind, CompressionTree tree,
 template <typename T>
 void CbmMatrix<T>::multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
                             UpdateSchedule schedule) const {
+  multiply(b, c, MultiplySchedule::two_stage(schedule));
+}
+
+template <typename T>
+void CbmMatrix<T>::multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                            const MultiplySchedule& schedule) const {
   CBM_CHECK(cols() == b.rows(), "multiply: inner dimensions differ");
   CBM_CHECK(c.rows() == rows() && c.cols() == b.cols(),
             "multiply: output shape mismatch");
@@ -224,14 +296,22 @@ void CbmMatrix<T>::multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
   CBM_COUNTER_ADD("cbm.multiply.calls", 1);
   CBM_COUNTER_ADD("cbm.multiply.delta_nnz",
                   static_cast<std::int64_t>(delta_.nnz()));
+  if (schedule.path == MultiplyPath::kFusedTiled) {
+    // Both stages run per column tile inside the fused engine (its span and
+    // tile counters live in cbm_multiply_fused).
+    cbm_multiply_fused(tree_, kind_, std::span<const T>(diag_), delta_, b, c,
+                       schedule.tile_cols);
+    return;
+  }
   {
     // Multiply stage: C = A'·B (or (AD)'·B) — one sparse-dense product.
     CBM_SPAN("cbm.multiply_stage");
-    csr_spmm(delta_, b, c);
+    csr_spmm(delta_, b, c, schedule.spmm);
   }
   // Update stage: fold parent rows down the compression tree (its span and
   // schedule counters live in cbm_update_stage).
-  cbm_update_stage(tree_, kind_, std::span<const T>(diag_), c, schedule);
+  cbm_update_stage(tree_, kind_, std::span<const T>(diag_), c,
+                   schedule.update);
 }
 
 template <typename T>

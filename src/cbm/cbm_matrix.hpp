@@ -16,6 +16,7 @@
 #include "cbm/distance_graph.hpp"
 #include "dense/dense_matrix.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/spmm.hpp"
 #include "tree/compression_tree.hpp"
 
 namespace cbm {
@@ -46,6 +47,38 @@ enum class UpdateSchedule {
                    ///< of B's columns — parallelism independent of the
                    ///< virtual root's fan-out (wins when the tree has few
                    ///< branches, where the paper's scheme has no work units)
+};
+
+/// How multiply() executes the two-stage product.
+enum class MultiplyPath {
+  kTwoStage,    ///< delta SpMM over all of C, then the tree update (§IV)
+  kFusedTiled,  ///< column-tiled: both stages per tile while it is hot
+};
+
+/// Full execution plan for one C = op(A)·B product: which engine runs, and
+/// the per-stage schedules the two-stage engine uses. The fused engine takes
+/// only the tile width (its stage interleaving replaces both schedules).
+struct MultiplySchedule {
+  MultiplyPath path = MultiplyPath::kTwoStage;
+  SpmmSchedule spmm = SpmmSchedule::kNnzBalanced;
+  UpdateSchedule update = UpdateSchedule::kBranchDynamic;
+  index_t tile_cols = 0;  ///< fused tile width; 0 = auto (CBM_TILE_COLS env
+                          ///< override, else detected cache geometry)
+
+  /// Two-stage plan with the given stage schedules (the historical default).
+  static MultiplySchedule two_stage(
+      UpdateSchedule update = UpdateSchedule::kBranchDynamic,
+      SpmmSchedule spmm = SpmmSchedule::kNnzBalanced);
+
+  /// Fused column-tiled plan; tile_cols 0 = auto.
+  static MultiplySchedule fused(index_t tile_cols = 0);
+
+  /// Reads CBM_MULTIPLY_PATH (two_stage | fused), CBM_SPMM_SCHEDULE
+  /// (row_static | row_dynamic | nnz_balanced), CBM_UPDATE_SCHEDULE
+  /// (sequential | branch_dynamic | branch_static | column_split) and
+  /// CBM_TILE_COLS. Unset variables keep the defaults above; unknown values
+  /// throw (a mistyped knob must not silently benchmark the wrong engine).
+  static MultiplySchedule from_env();
 };
 
 /// Options controlling compression.
@@ -109,6 +142,13 @@ class CbmMatrix {
   /// in place.
   void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
                 UpdateSchedule schedule = UpdateSchedule::kBranchDynamic) const;
+
+  /// C = op(A) · B under an explicit execution plan (engine + per-stage
+  /// schedules). The UpdateSchedule overload above is shorthand for the
+  /// two-stage plan; MultiplySchedule::fused() selects the column-tiled
+  /// engine. Every plan produces identical results.
+  void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                const MultiplySchedule& schedule) const;
 
   /// y = op(A) · x — the matrix-vector product of §IV (Eqs. 4–6). Same
   /// two-stage structure with p = 1; y is overwritten.

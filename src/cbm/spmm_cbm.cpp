@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "cbm/update_kernels.hpp"
 #include "common/parallel.hpp"
-#include "common/vectorops.hpp"
 #include "obs/obs.hpp"
 
 namespace cbm {
@@ -51,49 +51,6 @@ void record_update_metrics(const CompressionTree& tree,
     obs::gauge_set("cbm.update.branch_imbalance",
                    static_cast<double>(max_branch) *
                        static_cast<double>(nb) / static_cast<double>(total));
-  }
-}
-
-/// Applies the update for one row given its parent, restricted to the column
-/// range [col0, col0+len); shared by every schedule (branch schedules pass
-/// the full row). Parent rows are guaranteed final for the processed columns
-/// when this runs: topological order within a branch / within a column
-/// slice, independence across branches and across column slices.
-template <typename T>
-inline void update_row(const CompressionTree& tree, CbmKind kind,
-                       std::span<const T> diag, DenseMatrix<T>& c, index_t x,
-                       std::size_t col0, std::size_t len) {
-  const index_t p = tree.parent(x);
-  if (p == tree.virtual_root()) {
-    if (cbm_kind_row_scaled(kind)) {
-      vec_scale(diag[x], c.row(x).subspan(col0, len));
-    }
-    return;
-  }
-  if (cbm_kind_row_scaled(kind)) {
-    // Eq. 6, fused: C_x = d_x * (C_p / d_p + C_x) in one pass over the row.
-    vec_fused_scale_add(diag[x], T{1} / diag[p],
-                        std::span<const T>(c.row(p)).subspan(col0, len),
-                        c.row(x).subspan(col0, len));
-  } else {
-    vec_add(std::span<const T>(c.row(p)).subspan(col0, len),
-            c.row(x).subspan(col0, len));
-  }
-}
-
-/// Scalar (single-column) version for matrix-vector products.
-template <typename T>
-inline void update_entry(const CompressionTree& tree, CbmKind kind,
-                         std::span<const T> diag, std::span<T> y, index_t x) {
-  const index_t p = tree.parent(x);
-  if (p == tree.virtual_root()) {
-    if (cbm_kind_row_scaled(kind)) y[x] *= diag[x];
-    return;
-  }
-  if (cbm_kind_row_scaled(kind)) {
-    y[x] = diag[x] * (y[p] / diag[p] + y[x]);
-  } else {
-    y[x] += y[p];
   }
 }
 
@@ -163,15 +120,16 @@ void cbm_update_stage(const CompressionTree& tree, CbmKind kind,
       const std::size_t c1 = cols * (tid + 1) / nth;
       if (c1 > c0) {
         for (const index_t x : tree.topological_order()) {
-          update_row(tree, kind, diag, c, x, c0, c1 - c0);
+          detail::update_row(tree, kind, diag, c, x, c0, c1 - c0);
         }
       }
     }
     return;
   }
   const auto cols = static_cast<std::size_t>(c.cols());
-  run_update(tree, cbm_kind_row_scaled(kind), schedule,
-             [&](index_t x) { update_row(tree, kind, diag, c, x, 0, cols); });
+  run_update(tree, cbm_kind_row_scaled(kind), schedule, [&](index_t x) {
+    detail::update_row(tree, kind, diag, c, x, 0, cols);
+  });
 }
 
 template <typename T>
@@ -186,7 +144,7 @@ void cbm_update_stage_vector(const CompressionTree& tree, CbmKind kind,
   CBM_SPAN("cbm.update_stage");
   record_update_metrics(tree, schedule);
   run_update(tree, cbm_kind_row_scaled(kind), schedule,
-             [&](index_t x) { update_entry(tree, kind, diag, y, x); });
+             [&](index_t x) { detail::update_entry(tree, kind, diag, y, x); });
 }
 
 index_t cbm_update_row_ops(const CompressionTree& tree) {

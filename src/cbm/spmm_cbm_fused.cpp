@@ -1,0 +1,200 @@
+#include "cbm/spmm_cbm_fused.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "cbm/update_kernels.hpp"
+#include "common/cache_info.hpp"
+#include "common/parallel.hpp"
+#include "obs/obs.hpp"
+#include "sparse/spmm.hpp"
+
+namespace cbm {
+
+namespace {
+
+/// Traffic-reduction estimate for the metrics registry: the unfused update
+/// stage re-reads and re-writes all of C; fusion keeps each tile resident,
+/// so that second pass is served from cache. Attributed to DRAM when C
+/// exceeds the LLC (the paper's large-graph regime) and to the LLC when C
+/// only exceeds one core's L2.
+void record_fused_metrics(std::size_t c_bytes, index_t tiles,
+                          index_t tile_cols) {
+  if (!obs::metrics_enabled()) return;
+  const CacheInfo& cache = CacheInfo::host();
+  obs::counter_add("cbm.fused.calls", 1);
+  obs::counter_add("cbm.fused.tiles", tiles);
+  obs::gauge_set("cbm.fused.tile_cols", static_cast<double>(tile_cols));
+  const auto restream = static_cast<std::int64_t>(2 * c_bytes);
+  if (c_bytes > cache.llc_bytes) {
+    obs::counter_add("cbm.fused.est_dram_bytes_saved", restream);
+  } else if (c_bytes > cache.l2_bytes) {
+    obs::counter_add("cbm.fused.est_llc_bytes_saved", restream);
+  }
+}
+
+}  // namespace
+
+index_t cbm_fused_resolve_tile_cols(index_t rows, index_t bcols,
+                                    std::size_t elem_bytes) {
+  if (bcols <= 0) return 1;
+  if (const char* env = std::getenv("CBM_TILE_COLS");
+      env != nullptr && *env != '\0') {
+    const int requested = std::atoi(env);
+    CBM_CHECK(requested > 0, "CBM_TILE_COLS must be a positive integer");
+    return std::min<index_t>(requested, bcols);
+  }
+  return fused_tile_cols(rows, bcols, elem_bytes, max_threads());
+}
+
+template <typename T>
+void cbm_multiply_fused(const CompressionTree& tree, CbmKind kind,
+                        std::span<const T> diag, const CsrMatrix<T>& delta,
+                        const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                        index_t tile_cols) {
+  CBM_CHECK(delta.cols() == b.rows(), "fused multiply: inner dims differ");
+  CBM_CHECK(c.rows() == delta.rows() && c.cols() == b.cols(),
+            "fused multiply: output shape mismatch");
+  CBM_CHECK(c.rows() == tree.num_rows(), "fused multiply: tree row mismatch");
+  CBM_CHECK(!cbm_kind_row_scaled(kind) ||
+                diag.size() == static_cast<std::size_t>(tree.num_rows()),
+            "fused multiply: missing diagonal for row-scaled kind");
+  const index_t n = delta.rows();
+  const index_t p = b.cols();
+  if (n == 0 || p == 0) return;
+
+  const index_t w =
+      tile_cols > 0 ? std::min(tile_cols, p)
+                    : cbm_fused_resolve_tile_cols(n, p, sizeof(T));
+  const index_t ntiles = (p + w - 1) / w;
+  CBM_SPAN("cbm.fused_stage");
+  record_fused_metrics(static_cast<std::size_t>(n) *
+                           static_cast<std::size_t>(p) * sizeof(T),
+                       ntiles, w);
+
+  const bool row_scaled = cbm_kind_row_scaled(kind);
+  const int nth = max_threads();
+  const auto& branches = tree.branches();
+
+  if (ntiles >= static_cast<index_t>(nth) || nth == 1) {
+    // Tile-per-thread mode: each tile is one sequential unit with the two
+    // stages fused down to row granularity. Directly-stored rows (virtual
+    // parent) have no dependencies, so they run first in ascending row
+    // order — a sequential stream over the delta CSR, exactly like the
+    // unfused kernel. Compressed rows follow in topological order, when
+    // their parents are final. For the unscaled kinds the tree update then
+    // vanishes into the accumulator seed: C_x starts from C_parent instead
+    // of zero, so each row of C is touched in exactly one pass (the
+    // two-stage engine re-reads and re-writes all of C in its update
+    // stage). Row-scaled kinds keep the Eq. 6 fix-up, still applied while
+    // the row is hot. No barriers anywhere; dynamic scheduling absorbs nnz
+    // skew across tiles.
+    const auto topo = tree.topological_order();
+    const auto indptr = delta.indptr();
+    const auto indices = delta.indices();
+    const auto values = delta.values();
+    const index_t vroot = tree.virtual_root();
+#pragma omp parallel for schedule(dynamic)
+    for (index_t t = 0; t < ntiles; ++t) {
+      const index_t c0 = t * w;
+      const index_t c1 = std::min<index_t>(c0 + w, p);
+      const index_t width = c1 - c0;
+      // Computes C_x = seed_scale·C_parent + av_scale·(Δ_x · B) over the
+      // tile in a single pass. Eq. 6 folds in exactly: av_scale = d_x
+      // distributes over the delta sum (one scalar multiply per nonzero,
+      // hoisted out of the SIMD loop) and seed_scale = d_x/d_p covers the
+      // parent term, so even the row-scaled kinds need no fix-up pass.
+      const auto product_row = [&](index_t x, const T* __restrict__ prow,
+                                   T seed_scale, T av_scale) {
+        T* __restrict__ crow = c.row(x).data() + c0;
+        offset_t k = indptr[x];
+        const offset_t k_end = indptr[x + 1];
+        // The seed is folded into the first delta nonzero so every pass over
+        // the C row does real work: compressed rows typically hold only a
+        // couple of delta nonzeros, so a dedicated seed pass would be a
+        // sizeable share of their C-row traffic.
+        if (k < k_end) {
+          const T av = av_scale * values[k];
+          const T* __restrict__ brow = b.row(indices[k]).data() + c0;
+          if (prow != nullptr) {
+#pragma omp simd
+            for (index_t jj = 0; jj < width; ++jj) {
+              crow[jj] = seed_scale * prow[jj] + av * brow[jj];
+            }
+          } else {
+#pragma omp simd
+            for (index_t jj = 0; jj < width; ++jj) crow[jj] = av * brow[jj];
+          }
+          ++k;
+        } else if (prow != nullptr) {
+          for (index_t jj = 0; jj < width; ++jj) {
+            crow[jj] = seed_scale * prow[jj];
+          }
+        } else {
+          for (index_t jj = 0; jj < width; ++jj) crow[jj] = T{0};
+        }
+        for (; k < k_end; ++k) {
+          const T av = av_scale * values[k];
+          const T* __restrict__ brow = b.row(indices[k]).data() + c0;
+#pragma omp simd
+          for (index_t jj = 0; jj < width; ++jj) crow[jj] += av * brow[jj];
+        }
+      };
+      for (index_t x = 0; x < n; ++x) {
+        if (tree.parent(x) != vroot) continue;
+        product_row(x, nullptr, T{0}, row_scaled ? diag[x] : T{1});
+      }
+      for (const index_t x : topo) {
+        const index_t par = tree.parent(x);
+        if (par == vroot) continue;
+        const T* prow = c.row(par).data() + c0;
+        if (row_scaled) {
+          product_row(x, prow, diag[x] / diag[par], diag[x]);
+        } else {
+          product_row(x, prow, T{1}, T{1});
+        }
+      }
+    }
+    return;
+  }
+
+  // Fewer tiles than threads (wide tiles): parallelize inside each tile —
+  // nnz-balanced row ranges for the multiply, branches for the update. The
+  // barrier between the two worksharing loops is tile-local, so the tile of
+  // C never leaves cache between the stages.
+  const auto bounds = nnz_balanced_bounds(delta, nth);
+  const auto nparts = static_cast<std::int64_t>(bounds.size()) - 1;
+  const auto nb = static_cast<std::int64_t>(branches.size());
+#pragma omp parallel
+  for (index_t t = 0; t < ntiles; ++t) {
+    const index_t c0 = t * w;
+    const index_t c1 = std::min<index_t>(c0 + w, p);
+#pragma omp for schedule(static, 1)
+    for (std::int64_t part = 0; part < nparts; ++part) {
+      csr_spmm_range(delta, b, c, bounds[part], bounds[part + 1], c0, c1);
+    }
+    // Implicit barrier: the tile's multiply stage is complete here.
+#pragma omp for schedule(dynamic)
+    for (std::int64_t bi = 0; bi < nb; ++bi) {
+      if (!row_scaled && branches[bi].size() == 1) continue;
+      for (const index_t x : branches[bi]) {
+        detail::update_row(tree, kind, diag, c, x,
+                           static_cast<std::size_t>(c0),
+                           static_cast<std::size_t>(c1 - c0));
+      }
+    }
+  }
+}
+
+template void cbm_multiply_fused<float>(const CompressionTree&, CbmKind,
+                                        std::span<const float>,
+                                        const CsrMatrix<float>&,
+                                        const DenseMatrix<float>&,
+                                        DenseMatrix<float>&, index_t);
+template void cbm_multiply_fused<double>(const CompressionTree&, CbmKind,
+                                         std::span<const double>,
+                                         const CsrMatrix<double>&,
+                                         const DenseMatrix<double>&,
+                                         DenseMatrix<double>&, index_t);
+
+}  // namespace cbm

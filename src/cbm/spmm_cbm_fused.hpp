@@ -1,0 +1,55 @@
+// Fused column-tiled CBM multiply (the cache-aware execution engine).
+//
+// The two-stage product (spmm_cbm.hpp) makes two full passes over the n×p
+// output C: the delta SpMM writes all of it, then the tree update re-reads
+// and re-writes all of it. When C exceeds the cache the second pass streams
+// from DRAM. This engine instead partitions the columns of B/C into tiles
+// sized from the detected cache geometry and, for each tile, runs the delta
+// SpMM restricted to that column range immediately followed by the
+// topological tree update on the same range — one hot pass over every tile
+// of C instead of two cold ones. Tiles never mix columns, so they are
+// mutually independent work units; with fewer tiles than threads the engine
+// switches to within-tile parallelism (nnz-balanced row ranges for the
+// multiply, branches for the update) with only tile-local barriers.
+//
+// In tile-per-thread mode the engine goes further and fuses at row level:
+// each row's accumulator is seeded from its (already-final) parent row and
+// the Eq. 6 scaling folds into the per-nonzero multiply, so every element of
+// C is produced by exactly one pass. That seeds the parent term first where
+// the two-stage path adds it last, so results agree to rounding (allclose at
+// 1e-5 relative — the acceptance tolerance), not bitwise.
+#pragma once
+
+#include "cbm/cbm_matrix.hpp"
+
+namespace cbm {
+
+/// Runs the fused column-tiled product C = op(A)·B given a CBM's parts.
+/// `tile_cols` ≤ 0 means auto: the CBM_TILE_COLS environment variable when
+/// set, otherwise the cache-derived width of fused_tile_cols().
+template <typename T>
+void cbm_multiply_fused(const CompressionTree& tree, CbmKind kind,
+                        std::span<const T> diag, const CsrMatrix<T>& delta,
+                        const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                        index_t tile_cols = 0);
+
+/// The tile width cbm_multiply_fused would use for an n-row product with
+/// p-column operands (CBM_TILE_COLS override included). Exposed for tests,
+/// benches, and capacity planning.
+index_t cbm_fused_resolve_tile_cols(index_t rows, index_t bcols,
+                                    std::size_t elem_bytes);
+
+extern template void cbm_multiply_fused<float>(const CompressionTree&,
+                                               CbmKind,
+                                               std::span<const float>,
+                                               const CsrMatrix<float>&,
+                                               const DenseMatrix<float>&,
+                                               DenseMatrix<float>&, index_t);
+extern template void cbm_multiply_fused<double>(const CompressionTree&,
+                                                CbmKind,
+                                                std::span<const double>,
+                                                const CsrMatrix<double>&,
+                                                const DenseMatrix<double>&,
+                                                DenseMatrix<double>&, index_t);
+
+}  // namespace cbm

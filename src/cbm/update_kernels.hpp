@@ -1,0 +1,56 @@
+// Per-row / per-entry update kernels of the CBM update stage (Eqs. 4–6),
+// shared by the two-stage scheduler (spmm_cbm.cpp) and the fused
+// column-tiled engine (spmm_cbm_fused.cpp). Internal header.
+#pragma once
+
+#include <span>
+
+#include "cbm/spmm_cbm.hpp"
+#include "common/vectorops.hpp"
+
+namespace cbm::detail {
+
+/// Applies the update for one row given its parent, restricted to the column
+/// range [col0, col0+len); shared by every schedule (branch schedules pass
+/// the full row). Parent rows are guaranteed final for the processed columns
+/// when this runs: topological order within a branch / within a column
+/// slice, independence across branches and across column slices.
+template <typename T>
+inline void update_row(const CompressionTree& tree, CbmKind kind,
+                       std::span<const T> diag, DenseMatrix<T>& c, index_t x,
+                       std::size_t col0, std::size_t len) {
+  const index_t p = tree.parent(x);
+  if (p == tree.virtual_root()) {
+    if (cbm_kind_row_scaled(kind)) {
+      vec_scale(diag[x], c.row(x).subspan(col0, len));
+    }
+    return;
+  }
+  if (cbm_kind_row_scaled(kind)) {
+    // Eq. 6, fused: C_x = d_x * (C_p / d_p + C_x) in one pass over the row.
+    vec_fused_scale_add(diag[x], T{1} / diag[p],
+                        std::span<const T>(c.row(p)).subspan(col0, len),
+                        c.row(x).subspan(col0, len));
+  } else {
+    vec_add(std::span<const T>(c.row(p)).subspan(col0, len),
+            c.row(x).subspan(col0, len));
+  }
+}
+
+/// Scalar (single-column) version for matrix-vector products.
+template <typename T>
+inline void update_entry(const CompressionTree& tree, CbmKind kind,
+                         std::span<const T> diag, std::span<T> y, index_t x) {
+  const index_t p = tree.parent(x);
+  if (p == tree.virtual_root()) {
+    if (cbm_kind_row_scaled(kind)) y[x] *= diag[x];
+    return;
+  }
+  if (cbm_kind_row_scaled(kind)) {
+    y[x] = diag[x] * (y[p] / diag[p] + y[x]);
+  } else {
+    y[x] += y[p];
+  }
+}
+
+}  // namespace cbm::detail

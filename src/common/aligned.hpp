@@ -1,0 +1,56 @@
+// Over-aligned allocation for kernel operand storage.
+//
+// The SpMM microkernels stream dense rows with omp-simd loops; starting every
+// matrix at a 64-byte boundary keeps those accesses cache-line aligned and
+// lets the compiler emit aligned vector moves where the row pitch allows it.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace cbm {
+
+/// Cache-line / vector-register alignment used for dense kernel operands.
+inline constexpr std::size_t kKernelAlignment = 64;
+
+/// Minimal std::allocator replacement with a fixed over-alignment. All
+/// instances are interchangeable (stateless), so containers swap/move freely.
+template <typename T, std::size_t Alignment = kKernelAlignment>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment must not weaken the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// std::vector with 64-byte-aligned storage.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace cbm

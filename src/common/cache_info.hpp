@@ -1,0 +1,51 @@
+// Host cache-geometry detection for the cache-aware kernels.
+//
+// The fused column-tiled CBM multiply sizes its tiles so that one tile of C
+// plus the matching tile of B stays resident across both stages of the
+// product. That requires knowing the cache sizes of the machine we are on;
+// this module reads them once from sysfs (Linux) and falls back to common
+// desktop values anywhere else. Everything is overridable at the call site
+// (tests) or via CBM_TILE_COLS (operators), so detection only has to be
+// right in the common case.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace cbm {
+
+/// Per-core/shared cache capacities in bytes. Defaults model a mainstream
+/// x86 part and are used wherever sysfs is unavailable.
+struct CacheInfo {
+  std::size_t l1d_bytes = 32 * 1024;        ///< per-core L1 data
+  std::size_t l2_bytes = 1024 * 1024;       ///< per-core L2
+  std::size_t llc_bytes = 16 * 1024 * 1024; ///< last-level (shared)
+
+  /// Reads /sys/devices/system/cpu/cpu0/cache; missing entries keep their
+  /// defaults. Never throws.
+  static CacheInfo detect();
+
+  /// Process-wide detection result (detect() run once, cached).
+  static const CacheInfo& host();
+};
+
+/// Picks the column-tile width for the fused CBM multiply. Tiling re-streams
+/// the delta CSR once per tile, so it only engages when it buys residency
+/// the untiled pass cannot have: when one thread's share of B + C
+/// (2 · rows · total_cols · elem_bytes) exceeds its LLC share and would
+/// stream from DRAM. Then the widest tile fitting half that share is used,
+/// capped at kMaxFusedTileCols and rounded down to a multiple of
+/// kTileColsQuantum. Operands that are already LLC-resident — and tall
+/// operands for which not even kMinFusedTileCols columns fit (narrow tiles
+/// would only re-stream the delta with nothing resident in return) — run as
+/// a single full-width tile, keeping only the row-level fusion benefit.
+index_t fused_tile_cols(index_t rows, index_t total_cols,
+                        std::size_t elem_bytes, int threads,
+                        const CacheInfo& cache = CacheInfo::host());
+
+inline constexpr index_t kMinFusedTileCols = 32;
+inline constexpr index_t kMaxFusedTileCols = 512;
+inline constexpr index_t kTileColsQuantum = 16;
+
+}  // namespace cbm

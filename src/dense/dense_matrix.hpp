@@ -7,13 +7,15 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
 namespace cbm {
 
-/// Row-major dense matrix with contiguous storage.
+/// Row-major dense matrix with contiguous, 64-byte-aligned storage (the SpMM
+/// microkernels rely on operands starting at a cache-line boundary).
 template <typename T>
 class DenseMatrix {
  public:
@@ -28,8 +30,9 @@ class DenseMatrix {
   }
 
   /// Constructs from explicit row-major data (size must equal rows*cols).
+  /// Copies into aligned storage.
   DenseMatrix(index_t rows, index_t cols, std::vector<T> data)
-      : rows_(rows), cols_(cols), data_(std::move(data)) {
+      : rows_(rows), cols_(cols), data_(data.begin(), data.end()) {
     CBM_CHECK(data_.size() == static_cast<std::size_t>(rows) *
                                   static_cast<std::size_t>(cols),
               "data size does not match dimensions");
@@ -86,7 +89,7 @@ class DenseMatrix {
  private:
   index_t rows_ = 0;
   index_t cols_ = 0;
-  std::vector<T> data_;
+  AlignedVector<T> data_;
 };
 
 }  // namespace cbm

@@ -18,7 +18,7 @@ void CbmAdjacency<T>::multiply(const DenseMatrix<T>& b,
                                DenseMatrix<T>& c) const {
   CBM_SPAN("adj.cbm.multiply");
   CBM_COUNTER_ADD("adj.cbm.multiply.calls", 1);
-  m_.multiply(b, c, schedule_);
+  m_.multiply(b, c, schedule_);  // dispatches two-stage or fused per plan
 }
 
 template class CsrAdjacency<float>;

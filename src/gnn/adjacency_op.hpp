@@ -46,13 +46,18 @@ class CsrAdjacency final : public AdjacencyOp<T> {
   CsrMatrix<T> m_;
 };
 
-/// CBM-backed operand.
+/// CBM-backed operand. The execution plan is fixed at construction: layers
+/// call the capability interface, so this is where a GNN opts into the fused
+/// column-tiled engine (e.g. via MultiplySchedule::from_env()).
 template <typename T>
 class CbmAdjacency final : public AdjacencyOp<T> {
  public:
   explicit CbmAdjacency(
       CbmMatrix<T> m,
       UpdateSchedule schedule = UpdateSchedule::kBranchDynamic)
+      : m_(std::move(m)), schedule_(MultiplySchedule::two_stage(schedule)) {}
+
+  CbmAdjacency(CbmMatrix<T> m, const MultiplySchedule& schedule)
       : m_(std::move(m)), schedule_(schedule) {}
 
   void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c) const override;
@@ -62,10 +67,11 @@ class CbmAdjacency final : public AdjacencyOp<T> {
   [[nodiscard]] std::string name() const override { return "cbm"; }
 
   [[nodiscard]] const CbmMatrix<T>& matrix() const { return m_; }
+  [[nodiscard]] const MultiplySchedule& schedule() const { return schedule_; }
 
  private:
   CbmMatrix<T> m_;
-  UpdateSchedule schedule_;
+  MultiplySchedule schedule_;
 };
 
 extern template class CsrAdjacency<float>;

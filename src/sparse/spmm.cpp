@@ -28,29 +28,78 @@ inline void spmm_rows(const CsrMatrix<T>& a, const DenseMatrix<T>& b,
   }
 }
 
-/// Splits rows into `parts` contiguous ranges with roughly equal nnz. This is
-/// how MKL-class kernels balance skewed degree distributions (common in the
-/// power-law graphs the paper evaluates).
+}  // namespace
+
 template <typename T>
 std::vector<index_t> nnz_balanced_bounds(const CsrMatrix<T>& a, int parts) {
+  // Clamping (rather than padding with empty duplicate ranges) keeps every
+  // returned range meaningful even when parts exceeds the number of rows —
+  // the degenerate case of tiny delta matrices under many threads.
+  const index_t m = a.rows();
+  const int k = std::clamp(parts, 1, static_cast<int>(std::max<index_t>(m, 1)));
   const auto indptr = a.indptr();
   const offset_t total = a.nnz();
   std::vector<index_t> bounds;
-  bounds.reserve(static_cast<std::size_t>(parts) + 1);
+  bounds.reserve(static_cast<std::size_t>(k) + 1);
   bounds.push_back(0);
-  for (int t = 1; t < parts; ++t) {
-    const offset_t target = total * t / parts;
+  for (int t = 1; t < k; ++t) {
+    const offset_t target = total * t / k;
     const auto it =
         std::lower_bound(indptr.begin() + 1, indptr.end(), target);
     auto row = static_cast<index_t>(it - indptr.begin() - 1);
     row = std::max(row, bounds.back());  // keep ranges nondecreasing
     bounds.push_back(row);
   }
-  bounds.push_back(a.rows());
+  bounds.push_back(m);
   return bounds;
 }
 
-}  // namespace
+template <typename T>
+void csr_spmm_range(const CsrMatrix<T>& a, const DenseMatrix<T>& b,
+                    DenseMatrix<T>& c, index_t row_begin, index_t row_end,
+                    index_t col_begin, index_t col_end) {
+  CBM_CHECK(a.cols() == b.rows(), "csr_spmm_range: inner dimensions differ");
+  CBM_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+            "csr_spmm_range: output shape mismatch");
+  CBM_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= a.rows(),
+            "csr_spmm_range: row range out of bounds");
+  CBM_CHECK(0 <= col_begin && col_begin <= col_end && col_end <= b.cols(),
+            "csr_spmm_range: column range out of bounds");
+  // A row's nonzeros are walked exactly once whatever the range width: the
+  // scattered B-row reads are the expensive part of an SpMM, so they must
+  // not be repeated per column block. Ranges no wider than one cache line
+  // accumulate in registers and write C once; wider ranges accumulate
+  // directly into the (L1-resident) C row, like the full kernel.
+  constexpr index_t kBlock = static_cast<index_t>(64 / sizeof(T));
+  const auto indptr = a.indptr();
+  const auto indices = a.indices();
+  const auto values = a.values();
+  const index_t width = col_end - col_begin;
+  for (index_t i = row_begin; i < row_end; ++i) {
+    T* __restrict__ crow = c.row(i).data() + col_begin;
+    const offset_t k0 = indptr[i];
+    const offset_t k1 = indptr[i + 1];
+    if (width <= kBlock) {
+      T acc[kBlock];
+      for (index_t jj = 0; jj < width; ++jj) acc[jj] = T{0};
+      for (offset_t k = k0; k < k1; ++k) {
+        const T av = values[k];
+        const T* __restrict__ brow = b.row(indices[k]).data() + col_begin;
+#pragma omp simd
+        for (index_t jj = 0; jj < width; ++jj) acc[jj] += av * brow[jj];
+      }
+      for (index_t jj = 0; jj < width; ++jj) crow[jj] = acc[jj];
+    } else {
+      for (index_t jj = 0; jj < width; ++jj) crow[jj] = T{0};
+      for (offset_t k = k0; k < k1; ++k) {
+        const T av = values[k];
+        const T* __restrict__ brow = b.row(indices[k]).data() + col_begin;
+#pragma omp simd
+        for (index_t jj = 0; jj < width; ++jj) crow[jj] += av * brow[jj];
+      }
+    }
+  }
+}
 
 template <typename T>
 void csr_spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& b,
@@ -72,8 +121,8 @@ void csr_spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& b,
       break;
     }
     case SpmmSchedule::kNnzBalanced: {
-      const int parts = max_threads();
-      const auto bounds = nnz_balanced_bounds(a, parts);
+      const auto bounds = nnz_balanced_bounds(a, max_threads());
+      const int parts = static_cast<int>(bounds.size()) - 1;
 #pragma omp parallel for schedule(static, 1)
       for (int t = 0; t < parts; ++t) {
         spmm_rows(a, b, c, bounds[t], bounds[t + 1]);
@@ -133,6 +182,18 @@ template void csr_spmm<float>(const CsrMatrix<float>&,
 template void csr_spmm<double>(const CsrMatrix<double>&,
                                const DenseMatrix<double>&,
                                DenseMatrix<double>&, SpmmSchedule);
+template void csr_spmm_range<float>(const CsrMatrix<float>&,
+                                    const DenseMatrix<float>&,
+                                    DenseMatrix<float>&, index_t, index_t,
+                                    index_t, index_t);
+template void csr_spmm_range<double>(const CsrMatrix<double>&,
+                                     const DenseMatrix<double>&,
+                                     DenseMatrix<double>&, index_t, index_t,
+                                     index_t, index_t);
+template std::vector<index_t> nnz_balanced_bounds<float>(
+    const CsrMatrix<float>&, int);
+template std::vector<index_t> nnz_balanced_bounds<double>(
+    const CsrMatrix<double>&, int);
 template void csr_spmv<float>(const CsrMatrix<float>&, std::span<const float>,
                               std::span<float>);
 template void csr_spmv<double>(const CsrMatrix<double>&,

@@ -5,6 +5,8 @@
 // is also the multiply stage of the CBM product (A'B).
 #pragma once
 
+#include <vector>
+
 #include "dense/dense_matrix.hpp"
 #include "sparse/csr.hpp"
 
@@ -24,6 +26,29 @@ template <typename T>
 void csr_spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& b,
               DenseMatrix<T>& c,
               SpmmSchedule schedule = SpmmSchedule::kNnzBalanced);
+
+/// Ranged SpMM microkernel: overwrites the sub-block
+/// C[row_begin:row_end, col_begin:col_end) with A[row_begin:row_end, :] ·
+/// B[:, col_begin:col_end). Sequential by design — the fused column-tiled
+/// CBM engine and other callers parallelize over ranges themselves. Each
+/// row's nonzeros are walked exactly once regardless of range width (the
+/// scattered B reads dominate an SpMM and must not repeat per block);
+/// ranges up to one cache line wide accumulate in registers and write C
+/// once. The per-element summation order matches csr_spmm, so assembling a
+/// full product from ranges is bitwise identical to the one-shot kernel.
+template <typename T>
+void csr_spmm_range(const CsrMatrix<T>& a, const DenseMatrix<T>& b,
+                    DenseMatrix<T>& c, index_t row_begin, index_t row_end,
+                    index_t col_begin, index_t col_end);
+
+/// Splits A's rows into contiguous ranges of roughly equal nnz — how
+/// MKL-class kernels balance the skewed degree distributions of power-law
+/// graphs. Returns `k + 1` nondecreasing bounds covering [0, rows()) where
+/// `k = clamp(parts, 1, max(rows, 1))`: asking for more parts than rows
+/// would only manufacture empty duplicate ranges, so the request is clamped
+/// instead (callers iterate bounds.size() - 1 ranges).
+template <typename T>
+std::vector<index_t> nnz_balanced_bounds(const CsrMatrix<T>& a, int parts);
 
 /// y = A * x (matrix-vector).
 template <typename T>
@@ -46,6 +71,18 @@ extern template void csr_spmm<float>(const CsrMatrix<float>&,
 extern template void csr_spmm<double>(const CsrMatrix<double>&,
                                       const DenseMatrix<double>&,
                                       DenseMatrix<double>&, SpmmSchedule);
+extern template void csr_spmm_range<float>(const CsrMatrix<float>&,
+                                           const DenseMatrix<float>&,
+                                           DenseMatrix<float>&, index_t,
+                                           index_t, index_t, index_t);
+extern template void csr_spmm_range<double>(const CsrMatrix<double>&,
+                                            const DenseMatrix<double>&,
+                                            DenseMatrix<double>&, index_t,
+                                            index_t, index_t, index_t);
+extern template std::vector<index_t> nnz_balanced_bounds<float>(
+    const CsrMatrix<float>&, int);
+extern template std::vector<index_t> nnz_balanced_bounds<double>(
+    const CsrMatrix<double>&, int);
 extern template void csr_spmv<float>(const CsrMatrix<float>&,
                                      std::span<const float>, std::span<float>);
 extern template void csr_spmv<double>(const CsrMatrix<double>&,

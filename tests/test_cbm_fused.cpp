@@ -1,0 +1,253 @@
+// Property tests for the fused column-tiled CBM multiply engine: for every
+// kind × tile width × operand width × thread count, the fused engine must
+// match both the dense oracle and the two-stage engine (acceptance: 1e-5
+// relative), and the schedule/env plumbing must resolve exactly as
+// documented.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "cbm/cbm_matrix.hpp"
+#include "cbm/spmm_cbm_fused.hpp"
+#include "common/cache_info.hpp"
+#include "common/parallel.hpp"
+#include "dense/gemm.hpp"
+#include "dense/ops.hpp"
+#include "sparse/scale.hpp"
+#include "sparse/spmm.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+/// Sets an environment variable for the current scope, restoring the prior
+/// state on destruction (tests must not leak knobs into each other).
+class EnvGuard {
+ public:
+  EnvGuard(std::string name, const std::string& value)
+      : name_(std::move(name)) {
+    const char* old = std::getenv(name_.c_str());
+    if (old != nullptr) previous_ = old;
+    had_previous_ = old != nullptr;
+    ::setenv(name_.c_str(), value.c_str(), 1);
+  }
+  ~EnvGuard() {
+    if (had_previous_) {
+      ::setenv(name_.c_str(), previous_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  std::string name_;
+  std::string previous_;
+  bool had_previous_ = false;
+};
+
+struct FusedCase {
+  CbmKind kind;
+  index_t tile_cols;  // 0 = auto
+  index_t bcols;
+  int threads;
+};
+
+/// Builds the CBM operand and its explicit CSR equivalent for one kind.
+struct KindFixture {
+  CbmMatrix<float> cbm;
+  CsrMatrix<float> baseline;
+};
+
+KindFixture make_kind_fixture(CbmKind kind, index_t n, int alpha,
+                              std::uint64_t seed) {
+  const auto a = test::clustered_binary(n, 6, 11, 2, seed);
+  const auto d1 = test::random_diagonal<float>(n, seed + 1);
+  const auto d2 = test::random_diagonal<float>(n, seed + 2);
+  const std::span<const float> s1(d1), s2(d2);
+  const CbmOptions options{.alpha = alpha};
+  KindFixture f;
+  switch (kind) {
+    case CbmKind::kPlain:
+      f.baseline = a;
+      f.cbm = CbmMatrix<float>::compress(a, options);
+      break;
+    case CbmKind::kColumnScaled:
+      f.baseline = scale_columns(a, s1);
+      f.cbm = CbmMatrix<float>::compress_scaled(a, s1, kind, options);
+      break;
+    case CbmKind::kSymScaled:
+      f.baseline = scale_both(a, s1, s1);
+      f.cbm = CbmMatrix<float>::compress_scaled(a, s1, kind, options);
+      break;
+    case CbmKind::kTwoSided:
+      f.baseline = scale_both(a, s1, s2);
+      f.cbm = CbmMatrix<float>::compress_two_sided(a, s1, s2, options);
+      break;
+  }
+  return f;
+}
+
+class FusedMultiply : public ::testing::TestWithParam<FusedCase> {};
+
+TEST_P(FusedMultiply, MatchesOracleAndTwoStage) {
+  const auto p = GetParam();
+  const index_t n = 72;
+  const auto f = make_kind_fixture(p.kind, n, /*alpha=*/2, 9000 + p.bcols);
+  const auto b = test::random_dense<float>(n, p.bcols, 31 + p.bcols);
+
+  // Dense oracle.
+  DenseMatrix<float> c_oracle(n, p.bcols);
+  gemm_naive(test::to_dense(f.baseline), b, c_oracle);
+
+  ThreadScope scope(p.threads);
+  DenseMatrix<float> c_fused(n, p.bcols), c_two_stage(n, p.bcols);
+  c_fused.fill(-7.0f);  // fused must fully overwrite C
+  f.cbm.multiply(b, c_fused, MultiplySchedule::fused(p.tile_cols));
+  f.cbm.multiply(b, c_two_stage, MultiplySchedule::two_stage());
+
+  EXPECT_TRUE(allclose(c_fused, c_oracle, 1e-4, 1e-5))
+      << "vs oracle, max diff " << max_abs_diff(c_fused, c_oracle);
+  EXPECT_TRUE(allclose(c_fused, c_two_stage, 1e-5, 1e-6))
+      << "vs two-stage, max diff " << max_abs_diff(c_fused, c_two_stage);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsTilesWidthsThreads, FusedMultiply,
+    ::testing::Values(
+        // Tile width sweep: 1 (degenerate), smaller than p, larger than p,
+        // non-multiple of p, auto.
+        FusedCase{CbmKind::kPlain, 1, 13, 1},
+        FusedCase{CbmKind::kPlain, 4, 13, 1},
+        FusedCase{CbmKind::kPlain, 16, 13, 1},
+        FusedCase{CbmKind::kPlain, 0, 13, 1},
+        // p = 1 (vector-shaped) and p below any tile quantum.
+        FusedCase{CbmKind::kPlain, 0, 1, 2},
+        FusedCase{CbmKind::kColumnScaled, 4, 1, 1},
+        FusedCase{CbmKind::kColumnScaled, 0, 5, 2},
+        FusedCase{CbmKind::kColumnScaled, 8, 64, 4},
+        // Row-scaled kinds exercise the Eq. 6 update per tile.
+        FusedCase{CbmKind::kSymScaled, 1, 5, 2},
+        FusedCase{CbmKind::kSymScaled, 4, 13, 4},
+        FusedCase{CbmKind::kSymScaled, 0, 64, 2},
+        FusedCase{CbmKind::kTwoSided, 4, 13, 1},
+        FusedCase{CbmKind::kTwoSided, 16, 64, 4},
+        FusedCase{CbmKind::kTwoSided, 0, 5, 2}));
+
+TEST(FusedMultiply, UncompressibleMatrixStaysCorrect) {
+  // No row similarity: the tree degenerates but tiling must still cover C.
+  const auto a = test::random_binary(60, 0.08, 77);
+  const auto cbm = CbmMatrix<float>::compress(a);
+  const auto b = test::random_dense<float>(60, 24, 78);
+  DenseMatrix<float> c_fused(60, 24), c_csr(60, 24);
+  cbm.multiply(b, c_fused, MultiplySchedule::fused(7));
+  csr_spmm(a, b, c_csr);
+  EXPECT_TRUE(allclose(c_fused, c_csr, 1e-4, 1e-5));
+}
+
+TEST(FusedMultiply, TileColsEnvOverridesAuto) {
+  const EnvGuard env("CBM_TILE_COLS", "3");
+  const auto f = make_kind_fixture(CbmKind::kSymScaled, 48, 2, 555);
+  const auto b = test::random_dense<float>(48, 10, 556);
+  DenseMatrix<float> c_fused(48, 10), c_two_stage(48, 10);
+  // tile_cols = 0 defers to the env override.
+  f.cbm.multiply(b, c_fused, MultiplySchedule::fused(0));
+  f.cbm.multiply(b, c_two_stage, MultiplySchedule::two_stage());
+  EXPECT_TRUE(allclose(c_fused, c_two_stage, 1e-5, 1e-6));
+  EXPECT_EQ(cbm_fused_resolve_tile_cols(48, 10, sizeof(float)), 3);
+}
+
+TEST(FusedMultiply, TileColsEnvRejectsGarbage) {
+  for (const char* bad : {"0", "-4", "wide"}) {
+    const EnvGuard env("CBM_TILE_COLS", bad);
+    EXPECT_THROW(cbm_fused_resolve_tile_cols(48, 10, sizeof(float)), CbmError)
+        << "CBM_TILE_COLS=" << bad;
+  }
+}
+
+TEST(MultiplySchedule, FromEnvDefaults) {
+  // With no knobs set, from_env() must equal the default two-stage plan.
+  for (const char* var : {"CBM_MULTIPLY_PATH", "CBM_SPMM_SCHEDULE",
+                          "CBM_UPDATE_SCHEDULE", "CBM_TILE_COLS"}) {
+    ASSERT_EQ(std::getenv(var), nullptr)
+        << var << " leaked into the test environment";
+  }
+  const auto s = MultiplySchedule::from_env();
+  EXPECT_EQ(s.path, MultiplyPath::kTwoStage);
+  EXPECT_EQ(s.spmm, SpmmSchedule::kNnzBalanced);
+  EXPECT_EQ(s.update, UpdateSchedule::kBranchDynamic);
+  EXPECT_EQ(s.tile_cols, 0);
+}
+
+TEST(MultiplySchedule, FromEnvParsesAllKnobs) {
+  const EnvGuard path("CBM_MULTIPLY_PATH", "fused");
+  const EnvGuard spmm("CBM_SPMM_SCHEDULE", "row_dynamic");
+  const EnvGuard update("CBM_UPDATE_SCHEDULE", "column_split");
+  const EnvGuard tile("CBM_TILE_COLS", "48");
+  const auto s = MultiplySchedule::from_env();
+  EXPECT_EQ(s.path, MultiplyPath::kFusedTiled);
+  EXPECT_EQ(s.spmm, SpmmSchedule::kRowDynamic);
+  EXPECT_EQ(s.update, UpdateSchedule::kColumnSplit);
+  EXPECT_EQ(s.tile_cols, 48);
+}
+
+TEST(MultiplySchedule, FromEnvThrowsOnUnknownValue) {
+  {
+    const EnvGuard path("CBM_MULTIPLY_PATH", "warp");
+    EXPECT_THROW(MultiplySchedule::from_env(), CbmError);
+  }
+  {
+    const EnvGuard spmm("CBM_SPMM_SCHEDULE", "chunked");
+    EXPECT_THROW(MultiplySchedule::from_env(), CbmError);
+  }
+  {
+    const EnvGuard update("CBM_UPDATE_SCHEDULE", "bfs");
+    EXPECT_THROW(MultiplySchedule::from_env(), CbmError);
+  }
+}
+
+TEST(CacheInfo, DetectReportsPositiveSizes) {
+  const CacheInfo& info = CacheInfo::host();
+  EXPECT_GT(info.l1d_bytes, 0u);
+  EXPECT_GT(info.l2_bytes, 0u);
+  EXPECT_GE(info.llc_bytes, info.l2_bytes);
+}
+
+TEST(CacheInfo, TilePolicyRespectsBounds) {
+  const CacheInfo cache{.l1d_bytes = 32u << 10, .l2_bytes = 1u << 20,
+                        .llc_bytes = 16u << 20};
+  for (const index_t rows : {100, 10'000, 1'000'000}) {
+    for (const index_t total : {1, 17, 64, 500, 4096}) {
+      for (const int threads : {1, 4, 48}) {
+        const index_t w =
+            fused_tile_cols(rows, total, sizeof(float), threads, cache);
+        EXPECT_GE(w, 1);
+        EXPECT_LE(w, total);
+        if (w != total) {
+          // A real tile: quantised, within bounds, and only chosen when the
+          // untiled operand would overflow this thread's LLC share.
+          EXPECT_GE(w, kMinFusedTileCols);
+          EXPECT_LE(w, kMaxFusedTileCols);
+          EXPECT_EQ(w % kTileColsQuantum, 0);
+          const auto untiled = 2 * static_cast<std::size_t>(rows) *
+                               static_cast<std::size_t>(total) * sizeof(float);
+          EXPECT_GT(untiled, cache.llc_bytes /
+                                 static_cast<std::size_t>(threads));
+        }
+      }
+    }
+  }
+  // LLC-resident operand: stays a single full-width tile.
+  EXPECT_EQ(fused_tile_cols(10'000, 64, sizeof(float), 1, cache), 64);
+  // Short-fat DRAM-bound operand: the regime where tiling engages.
+  const index_t w = fused_tile_cols(10'000, 4096, sizeof(float), 1, cache);
+  EXPECT_LT(w, 4096);
+  EXPECT_GE(w, kMinFusedTileCols);
+  // Tall DRAM-bound operand where no worthwhile tile fits: untiled.
+  EXPECT_EQ(fused_tile_cols(10'000'000, 4096, sizeof(float), 1, cache), 4096);
+}
+
+}  // namespace
+}  // namespace cbm

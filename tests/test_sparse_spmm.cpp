@@ -122,5 +122,84 @@ TEST(Spmm, FlopsAccounting) {
             2ull * static_cast<std::size_t>(a.nnz()) * 10ull);
 }
 
+TEST(SpmmRange, AssemblesFullProduct) {
+  const auto a = test::random_binary(90, 0.06, 21);
+  const auto b = test::random_dense<float>(90, 37, 22);
+  DenseMatrix<float> c_full(90, 37), c_tiled(90, 37);
+  csr_spmm(a, b, c_full, SpmmSchedule::kRowStatic);
+  // Cover C with an uneven grid of row × column ranges, including width-1
+  // and non-multiple-of-block tiles.
+  const index_t row_cuts[] = {0, 1, 40, 90};
+  const index_t col_cuts[] = {0, 1, 16, 30, 37};
+  for (int ri = 0; ri + 1 < 4; ++ri) {
+    for (int ci = 0; ci + 1 < 5; ++ci) {
+      csr_spmm_range(a, b, c_tiled, row_cuts[ri], row_cuts[ri + 1],
+                     col_cuts[ci], col_cuts[ci + 1]);
+    }
+  }
+  // Same per-element summation order -> bitwise equality expected.
+  EXPECT_EQ(max_abs_diff(c_tiled, c_full), 0.0);
+}
+
+TEST(SpmmRange, EmptyRangesAreNoOps) {
+  const auto a = test::random_binary(12, 0.3, 23);
+  const auto b = test::random_dense<float>(12, 6, 24);
+  DenseMatrix<float> c(12, 6);
+  c.fill(5.0f);
+  csr_spmm_range(a, b, c, 3, 3, 0, 6);  // empty row range
+  csr_spmm_range(a, b, c, 0, 12, 4, 4);  // empty column range
+  for (index_t i = 0; i < 12; ++i) {
+    for (index_t j = 0; j < 6; ++j) EXPECT_EQ(c(i, j), 5.0f);
+  }
+}
+
+TEST(SpmmRange, InvalidRangesThrow) {
+  const auto a = test::random_binary(8, 0.3, 25);
+  const auto b = test::random_dense<float>(8, 4, 26);
+  DenseMatrix<float> c(8, 4);
+  EXPECT_THROW(csr_spmm_range(a, b, c, 5, 3, 0, 4), CbmError);
+  EXPECT_THROW(csr_spmm_range(a, b, c, 0, 9, 0, 4), CbmError);
+  EXPECT_THROW(csr_spmm_range(a, b, c, 0, 8, 2, 5), CbmError);
+}
+
+TEST(NnzBalancedBounds, CoversRowsMonotonically) {
+  const auto a = test::random_binary(100, 0.05, 27);
+  const auto bounds = nnz_balanced_bounds(a, 4);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds.front(), 0);
+  EXPECT_EQ(bounds.back(), 100);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LE(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(NnzBalancedBounds, PartsClampedToRows) {
+  // More parts than rows used to manufacture empty duplicate ranges; the
+  // request is clamped to the row count instead.
+  const auto a = test::random_binary(3, 1.0, 28);
+  const auto bounds = nnz_balanced_bounds(a, 16);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_EQ(bounds.front(), 0);
+  EXPECT_EQ(bounds.back(), 3);
+}
+
+TEST(NnzBalancedBounds, NonPositivePartsClampedToOne) {
+  const auto a = test::random_binary(10, 0.3, 29);
+  for (const int parts : {0, -4}) {
+    const auto bounds = nnz_balanced_bounds(a, parts);
+    ASSERT_EQ(bounds.size(), 2u);
+    EXPECT_EQ(bounds.front(), 0);
+    EXPECT_EQ(bounds.back(), 10);
+  }
+}
+
+TEST(NnzBalancedBounds, EmptyMatrixYieldsSinglePart) {
+  const CsrMatrix<float> a(0, 0, {0}, {}, {});
+  const auto bounds = nnz_balanced_bounds(a, 8);
+  ASSERT_EQ(bounds.size(), 2u);
+  EXPECT_EQ(bounds.front(), 0);
+  EXPECT_EQ(bounds.back(), 0);
+}
+
 }  // namespace
 }  // namespace cbm
