@@ -7,6 +7,7 @@
 #include "cbm/deltas.hpp"
 #include "cbm/spmm_cbm.hpp"
 #include "cbm/spmm_cbm_fused.hpp"
+#include "check/check.hpp"
 #include "common/timer.hpp"
 #include "obs/obs.hpp"
 #include "sparse/spmm.hpp"
@@ -234,6 +235,24 @@ CbmMatrix<T> CbmMatrix<T>::compress_impl(const CsrMatrix<T>& a,
   const double delta_seconds = delta_timer.seconds();
   m.diag_.assign(update_diag.begin(), update_diag.end());
 
+  // CBM_VALIDATE=build|full re-verifies the invariants compression just
+  // established (Property 1, arborescence shape, delta consistency, and the
+  // α admission for the MCA path — the MST path does not prune by α).
+  if (const auto level = check::validate_level_from_env();
+      level != check::ValidateLevel::kOff) {
+    CBM_SPAN("cbm.validate");
+    Timer validate_timer;
+    const check::ValidateOptions vopts{
+        .level = level,
+        .alpha = options.algorithm == TreeAlgorithm::kMca ? options.alpha
+                                                          : -1};
+    check::enforce(check::validate_against(
+        m.tree_, kind, std::span<const T>(m.diag_), m.delta_, a, column_scale,
+        vopts));
+    CBM_TIMING_RECORD("cbm.validate", validate_timer.seconds());
+    CBM_COUNTER_ADD("cbm.validate.calls", 1);
+  }
+
   CBM_COUNTER_ADD("cbm.compress.calls", 1);
   CBM_COUNTER_ADD("cbm.compress.rows", static_cast<std::int64_t>(a.rows()));
   CBM_TIMING_RECORD("cbm.compress.distance_graph",
@@ -277,6 +296,15 @@ CbmMatrix<T> CbmMatrix<T>::from_parts(CbmKind kind, CompressionTree tree,
   m.tree_ = std::move(tree);
   m.delta_ = std::move(delta);
   m.diag_ = std::move(diag);
+  // Parts arrive from outside the compression pipeline (deserialisation,
+  // partitioned assembly) — the natural place for CBM_VALIDATE to re-check
+  // the invariants the constructor cannot cheaply enforce itself.
+  if (const auto level = check::validate_level_from_env();
+      level != check::ValidateLevel::kOff) {
+    CBM_SPAN("cbm.validate");
+    check::enforce(check::validate(m, {.level = level}));
+    CBM_COUNTER_ADD("cbm.validate.calls", 1);
+  }
   return m;
 }
 

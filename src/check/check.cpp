@@ -1,0 +1,480 @@
+#include "check/check.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "cbm/spmm_cbm.hpp"  // cbm_kind_row_scaled (constexpr, header-only)
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace cbm::check {
+
+const char* to_string(ValidateLevel level) {
+  switch (level) {
+    case ValidateLevel::kOff:
+      return "off";
+    case ValidateLevel::kBuild:
+      return "build";
+    case ValidateLevel::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+ValidateLevel validate_level_from_env() {
+  const char* v = std::getenv("CBM_VALIDATE");
+  if (v == nullptr || *v == '\0') return ValidateLevel::kOff;
+  const std::string s(v);
+  if (s == "off") return ValidateLevel::kOff;
+  if (s == "build") return ValidateLevel::kBuild;
+  if (s == "full") return ValidateLevel::kFull;
+  throw CbmError("CBM_VALIDATE: unknown value '" + s +
+                 "' (expected off | build | full)");
+}
+
+std::string CheckReport::summary() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "cbm::check passed " << rules_checked << " rules at "
+       << to_string(level);
+    return os.str();
+  }
+  os << "cbm::check found " << issues.size() << " issue(s) at "
+     << to_string(level) << "; first: [" << issues.front().rule << "] "
+     << issues.front().detail;
+  return os.str();
+}
+
+std::string CheckReport::to_json() const {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.value("schema", "cbm-check-v1");
+  w.value("level", to_string(level));
+  w.value("ok", ok());
+  w.value("rules_checked", rules_checked);
+  w.value("total_deltas", total_deltas);
+  w.value("reconstructed_nnz", reconstructed_nnz);
+  w.begin_array("issues");
+  for (const CheckIssue& issue : issues) {
+    w.begin_object();
+    w.value("rule", issue.rule);
+    w.value("detail", issue.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+void enforce(const CheckReport& report) {
+  if (!report.ok()) throw CbmError(report.summary());
+}
+
+namespace {
+
+/// Collects issues with a per-rule cap (a corrupted matrix breaks one rule
+/// everywhere; the first few occurrences locate it, the rest only bloat).
+class Reporter {
+ public:
+  explicit Reporter(const ValidateOptions& options, CheckReport& report)
+      : cap_(options.max_issues_per_rule), report_(report) {}
+
+  /// Declares that a rule ran (whether or not it found anything).
+  void rule_checked() { ++report_.rules_checked; }
+
+  void fail(const char* rule, std::string detail) {
+    int& count = per_rule_[rule];
+    ++count;
+    if (count == cap_ + 1) {
+      report_.issues.push_back({rule, "further occurrences truncated"});
+      return;
+    }
+    if (count > cap_) return;
+    report_.issues.push_back({rule, std::move(detail)});
+  }
+
+  [[nodiscard]] bool rule_failed(const char* rule) const {
+    const auto it = per_rule_.find(rule);
+    return it != per_rule_.end() && it->second > 0;
+  }
+
+ private:
+  int cap_;
+  CheckReport& report_;
+  std::unordered_map<std::string, int> per_rule_;
+};
+
+template <typename... Parts>
+std::string cat(Parts&&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+/// Structural rules: tree shape, topological order, branch decomposition,
+/// diagonal constraints, delta-row ordering. O(n + nnz(A')).
+template <typename T>
+void check_structure(const CompressionTree& tree, CbmKind kind,
+                     std::span<const T> diag, const CsrMatrix<T>& delta,
+                     Reporter& rep) {
+  const index_t n = tree.num_rows();
+  const index_t root = tree.virtual_root();
+
+  rep.rule_checked();
+  if (n != delta.rows()) {
+    rep.fail("tree-delta-shape",
+             cat("tree has ", n, " rows, delta matrix ", delta.rows()));
+  }
+
+  // Arborescence shape: every node has exactly one parent (the parent array
+  // gives that by construction), each parent is a valid row or the virtual
+  // root, and no self-loops.
+  rep.rule_checked();
+  index_t compressed = 0;
+  for (index_t x = 0; x < n; ++x) {
+    const index_t p = tree.parent(x);
+    if (p < 0 || p > root || p == x) {
+      rep.fail("parent-range", cat("row ", x, " has parent ", p,
+                                   " (valid: 0..", root, ", != self)"));
+    } else if (p != root) {
+      ++compressed;
+    }
+  }
+  rep.rule_checked();
+  if (compressed != tree.num_compressed_rows()) {
+    rep.fail("compressed-count",
+             cat("tree reports ", tree.num_compressed_rows(),
+                 " compressed rows, parent array has ", compressed));
+  }
+
+  // Topological order: a permutation of the rows with every real parent
+  // before its child. Together with parent-range this proves acyclicity and
+  // reachability from the virtual root (induction down the order).
+  rep.rule_checked();
+  const auto topo = tree.topological_order();
+  std::vector<index_t> pos(static_cast<std::size_t>(n), -1);
+  if (static_cast<index_t>(topo.size()) != n) {
+    rep.fail("topological-order", cat("order has ", topo.size(),
+                                      " entries for ", n, " rows"));
+  } else {
+    for (index_t i = 0; i < n; ++i) {
+      const index_t x = topo[i];
+      if (x < 0 || x >= n) {
+        rep.fail("topological-order", cat("entry ", i, " is ", x));
+      } else if (pos[x] != -1) {
+        rep.fail("topological-order", cat("row ", x, " appears twice"));
+      } else {
+        pos[x] = i;
+      }
+    }
+    for (index_t x = 0; x < n && !rep.rule_failed("topological-order"); ++x) {
+      const index_t p = tree.parent(x);
+      if (p != root && p >= 0 && p < n && pos[p] > pos[x]) {
+        rep.fail("topological-order",
+                 cat("row ", x, " precedes its parent ", p));
+      }
+    }
+  }
+
+  // Branch decomposition: the branches partition the rows, each starts at a
+  // child of the virtual root, and within a branch parents come first.
+  rep.rule_checked();
+  const auto& branches = tree.branches();
+  if (tree.root_out_degree() != static_cast<index_t>(branches.size())) {
+    rep.fail("branch-partition",
+             cat("root out-degree ", tree.root_out_degree(), " but ",
+                 branches.size(), " branches"));
+  }
+  std::vector<index_t> branch_id(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> branch_pos(static_cast<std::size_t>(n), -1);
+  for (std::size_t b = 0; b < branches.size(); ++b) {
+    const auto& rows = branches[b];
+    if (rows.empty()) {
+      rep.fail("branch-partition", cat("branch ", b, " is empty"));
+      continue;
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const index_t r = rows[i];
+      if (r < 0 || r >= n) {
+        rep.fail("branch-partition", cat("branch ", b, " holds row ", r));
+        continue;
+      }
+      if (branch_id[r] != -1) {
+        rep.fail("branch-partition",
+                 cat("row ", r, " appears in branches ", branch_id[r],
+                     " and ", b));
+        continue;
+      }
+      branch_id[r] = static_cast<index_t>(b);
+      branch_pos[r] = static_cast<index_t>(i);
+      const index_t p = tree.parent(r);
+      if (i == 0) {
+        if (p != root) {
+          rep.fail("branch-partition",
+                   cat("branch ", b, " head ", r, " has non-root parent ", p));
+        }
+      } else if (p < 0 || p >= n || branch_id[p] != static_cast<index_t>(b) ||
+                 branch_pos[p] >= static_cast<index_t>(i)) {
+        rep.fail("branch-partition",
+                 cat("row ", r, " in branch ", b,
+                     " has parent ", p, " outside/after it"));
+      }
+    }
+  }
+  for (index_t x = 0; x < n; ++x) {
+    if (branch_id[x] == -1) {
+      rep.fail("branch-partition", cat("row ", x, " is in no branch"));
+    }
+  }
+
+  // Diagonal constraints per kind (Eq. 6 divides by the update diagonal).
+  rep.rule_checked();
+  if (cbm_kind_row_scaled(kind)) {
+    if (diag.size() != static_cast<std::size_t>(n)) {
+      rep.fail("diagonal", cat("row-scaled kind with diagonal of length ",
+                               diag.size(), " for ", n, " rows"));
+    } else {
+      for (index_t x = 0; x < n; ++x) {
+        if (diag[x] == T{0}) {
+          rep.fail("diagonal", cat("diagonal entry ", x, " is zero"));
+        }
+      }
+    }
+  } else if (!diag.empty()) {
+    rep.fail("diagonal",
+             cat("kind stores no diagonal but one of length ", diag.size(),
+                 " is present"));
+  }
+
+  // The CBM kernels' linear merges rely on sorted, duplicate-free delta rows.
+  rep.rule_checked();
+  if (!delta.has_sorted_unique_rows()) {
+    rep.fail("delta-rows-sorted",
+             "delta matrix has an unsorted or duplicated column index");
+  }
+}
+
+/// Reconstruction sweep (Equation 2 down the tree): classifies every delta
+/// against the parent's reconstructed row — a matching column is a removal
+/// and must carry the exact negated value; a new column is an insertion.
+/// Fills `rows_data` with the reconstruction (delta space: row scaling NOT
+/// applied) and returns its nnz. Tolerates a structurally broken tree by
+/// skipping rows whose parent was never produced.
+template <typename T>
+std::int64_t check_reconstruction(
+    const CompressionTree& tree, CbmKind kind, const CsrMatrix<T>& delta,
+    std::vector<std::vector<std::pair<index_t, T>>>& rows_data,
+    Reporter& rep) {
+  const index_t n = tree.num_rows();
+  const index_t root = tree.virtual_root();
+  rows_data.assign(static_cast<std::size_t>(n), {});
+  std::vector<bool> produced(static_cast<std::size_t>(n), false);
+  std::int64_t nnz = 0;
+  rep.rule_checked();
+  if (n != delta.rows()) return -1;  // reported by tree-delta-shape already
+
+  std::vector<std::pair<index_t, T>> merged;
+  for (const index_t x : tree.topological_order()) {
+    if (x < 0 || x >= n) continue;  // reported by topological-order
+    const auto cols = delta.row_indices(x);
+    const auto vals = delta.row_values(x);
+    const index_t p = tree.parent(x);
+    if (p == root) {
+      auto& row = rows_data[x];
+      row.reserve(cols.size());
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (kind == CbmKind::kPlain && vals[k] != T{1}) {
+          rep.fail("reconstruction",
+                   cat("root row ", x, " col ", cols[k], " has delta ",
+                       vals[k], " (want +1)"));
+        }
+        row.emplace_back(cols[k], vals[k]);
+      }
+      produced[x] = true;
+      nnz += static_cast<std::int64_t>(row.size());
+      continue;
+    }
+    if (p < 0 || p >= n || !produced[p]) continue;
+    const auto& parent_row = rows_data[p];
+    merged.clear();
+    merged.reserve(parent_row.size() + cols.size());
+    std::size_t i = 0, k = 0;
+    while (i < parent_row.size() || k < cols.size()) {
+      if (k == cols.size() ||
+          (i < parent_row.size() && parent_row[i].first < cols[k])) {
+        merged.push_back(parent_row[i++]);  // inherited unchanged
+      } else if (i == parent_row.size() ||
+                 cols[k] < parent_row[i].first) {
+        // Insertion: a column the parent lacks.
+        if (kind == CbmKind::kPlain && vals[k] != T{1}) {
+          rep.fail("reconstruction",
+                   cat("row ", x, " col ", cols[k], " inserts with delta ",
+                       vals[k], " (want +1)"));
+        }
+        merged.emplace_back(cols[k], vals[k]);
+        ++k;
+      } else {
+        // Removal: must cancel the inherited value exactly (both sides are
+        // ±scale[col] by construction, so bitwise negation is the contract).
+        if (vals[k] != -parent_row[i].second) {
+          rep.fail("reconstruction",
+                   cat("row ", x, " col ", cols[k], " removal delta ",
+                       vals[k], " does not negate parent value ",
+                       parent_row[i].second));
+        }
+        ++i;
+        ++k;
+      }
+    }
+    rows_data[x] = merged;
+    produced[x] = true;
+    nnz += static_cast<std::int64_t>(merged.size());
+  }
+  return nnz;
+}
+
+/// Shared body of validate_parts / validate_against; `source` may be null.
+template <typename T>
+CheckReport validate_impl(const CompressionTree& tree, CbmKind kind,
+                          std::span<const T> diag, const CsrMatrix<T>& delta,
+                          const CsrMatrix<T>* source,
+                          std::span<const T> column_scale,
+                          const ValidateOptions& options) {
+  CheckReport report;
+  report.level = options.level;
+  report.total_deltas = delta.nnz();
+  if (options.level == ValidateLevel::kOff) return report;
+  Reporter rep(options, report);
+
+  check_structure(tree, kind, diag, delta, rep);
+
+  if (source != nullptr) {
+    rep.rule_checked();
+    if (source->rows() != delta.rows() || source->cols() != delta.cols()) {
+      rep.fail("source-shape",
+               cat("source is ", source->rows(), "x", source->cols(),
+                   ", delta ", delta.rows(), "x", delta.cols()));
+    }
+    // Property 1: total deltas never exceed nnz(A). The source's nnz is at
+    // hand, so this is free even at kBuild.
+    rep.rule_checked();
+    if (delta.nnz() > source->nnz()) {
+      rep.fail("property-1", cat("nnz(A') = ", delta.nnz(), " > nnz(A) = ",
+                                 source->nnz()));
+    }
+    // α admissibility (§V-C, sign-corrected — DESIGN.md §1.3): every tree
+    // edge must save strictly more than α deltas over direct storage.
+    if (options.alpha >= 0) {
+      rep.rule_checked();
+      const index_t n = std::min(tree.num_rows(), source->rows());
+      for (index_t x = 0; x < n; ++x) {
+        if (tree.parent(x) == tree.virtual_root()) continue;
+        const auto deltas = static_cast<std::int64_t>(delta.row_nnz(x));
+        const auto direct = static_cast<std::int64_t>(source->row_nnz(x));
+        if (deltas + options.alpha >= direct) {
+          rep.fail("alpha-admissible",
+                   cat("row ", x, ": |delta| = ", deltas, " + alpha = ",
+                       options.alpha, " >= nnz(A_x) = ", direct));
+        }
+      }
+    }
+  }
+
+  if (options.level != ValidateLevel::kFull) return report;
+
+  std::vector<std::vector<std::pair<index_t, T>>> rows_data;
+  report.reconstructed_nnz =
+      check_reconstruction(tree, kind, delta, rows_data, rep);
+
+  // Property 1 without the source: against the reconstruction.
+  if (source == nullptr && report.reconstructed_nnz >= 0) {
+    rep.rule_checked();
+    if (report.total_deltas > report.reconstructed_nnz) {
+      rep.fail("property-1",
+               cat("nnz(A') = ", report.total_deltas,
+                   " > reconstructed nnz = ", report.reconstructed_nnz));
+    }
+  }
+
+  // Source equality: the reconstruction must be exactly the source pattern
+  // with `column_scale` folded in (row scaling lives in the update stage and
+  // is deliberately absent from delta space).
+  if (source != nullptr && !rep.rule_failed("source-shape") &&
+      report.reconstructed_nnz >= 0) {
+    rep.rule_checked();
+    const index_t n = std::min(tree.num_rows(), source->rows());
+    for (index_t x = 0; x < n; ++x) {
+      const auto& got = rows_data[static_cast<std::size_t>(x)];
+      const auto cols = source->row_indices(x);
+      if (got.size() != cols.size()) {
+        rep.fail("source-equal",
+                 cat("row ", x, " reconstructs ", got.size(),
+                     " entries, source has ", cols.size()));
+        continue;
+      }
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (got[k].first != cols[k]) {
+          rep.fail("source-equal",
+                   cat("row ", x, " entry ", k, " reconstructs col ",
+                       got[k].first, ", source has ", cols[k]));
+          break;
+        }
+        const T want = column_scale.empty() ? T{1} : column_scale[cols[k]];
+        if (got[k].second != want) {
+          rep.fail("source-equal",
+                   cat("row ", x, " col ", cols[k], " reconstructs ",
+                       got[k].second, ", want ", want));
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+template <typename T>
+CheckReport validate_parts(const CompressionTree& tree, CbmKind kind,
+                           std::span<const T> diag, const CsrMatrix<T>& delta,
+                           const ValidateOptions& options) {
+  return validate_impl<T>(tree, kind, diag, delta, /*source=*/nullptr,
+                          /*column_scale=*/{}, options);
+}
+
+template <typename T>
+CheckReport validate_against(const CompressionTree& tree, CbmKind kind,
+                             std::span<const T> diag,
+                             const CsrMatrix<T>& delta,
+                             const CsrMatrix<T>& source,
+                             std::span<const T> column_scale,
+                             const ValidateOptions& options) {
+  return validate_impl<T>(tree, kind, diag, delta, &source, column_scale,
+                          options);
+}
+
+template CheckReport validate_parts<float>(const CompressionTree&, CbmKind,
+                                           std::span<const float>,
+                                           const CsrMatrix<float>&,
+                                           const ValidateOptions&);
+template CheckReport validate_parts<double>(const CompressionTree&, CbmKind,
+                                            std::span<const double>,
+                                            const CsrMatrix<double>&,
+                                            const ValidateOptions&);
+template CheckReport validate_against<float>(const CompressionTree&, CbmKind,
+                                             std::span<const float>,
+                                             const CsrMatrix<float>&,
+                                             const CsrMatrix<float>&,
+                                             std::span<const float>,
+                                             const ValidateOptions&);
+template CheckReport validate_against<double>(const CompressionTree&, CbmKind,
+                                              std::span<const double>,
+                                              const CsrMatrix<double>&,
+                                              const CsrMatrix<double>&,
+                                              std::span<const double>,
+                                              const ValidateOptions&);
+
+}  // namespace cbm::check

@@ -1,0 +1,133 @@
+// cbm::check — runtime invariant validation for the CBM format.
+//
+// Compression establishes structural invariants the paper proves but the
+// rest of the code only assumes: Property 1 (total deltas ≤ nnz(A)), the
+// compression tree being an arborescence rooted at the virtual node, delta
+// rows that reconstruct the source exactly, and the §V-C α admission
+// inequality (with the sign correction of DESIGN.md §1.3). This module
+// re-verifies them on demand — after construction, after deserialisation,
+// after partitioned assembly — and reports violations as structured data
+// instead of asserting, so a corrupted matrix is diagnosable in production.
+//
+// Validation depth is the CBM_VALIDATE env knob (off | build | full):
+//   off    no checks beyond the constructors' own preconditions;
+//   build  structural checks only — O(n + nnz(A')), cheap enough to leave
+//          on during every compression;
+//   full   adds a reconstruction sweep (Equation 2 down the tree) that
+//          cross-checks every delta row against its parent, Property 1,
+//          and — when the source matrix is at hand — source equality and
+//          α admissibility. O(nnz(A)) time and one decompressed copy.
+// CbmMatrix construction (compress*/from_parts, hence also load_cbm) and
+// CbmAdjacency honour the knob and throw CbmError on any violation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cbm/cbm_matrix.hpp"
+#include "sparse/csr.hpp"
+#include "tree/compression_tree.hpp"
+
+namespace cbm::check {
+
+/// How deep validation goes (see file comment). Ordered: higher = stricter.
+enum class ValidateLevel { kOff, kBuild, kFull };
+
+[[nodiscard]] const char* to_string(ValidateLevel level);
+
+/// Reads CBM_VALIDATE (off | build | full). Unset/empty = kOff; anything
+/// else throws (a mistyped knob must not silently validate nothing).
+ValidateLevel validate_level_from_env();
+
+/// One violated invariant: the rule's stable name plus a human-readable
+/// locator (row, column, expected/actual).
+struct CheckIssue {
+  std::string rule;
+  std::string detail;
+};
+
+/// Outcome of one validate() call. `issues` empty ⇔ the matrix passed every
+/// rule the level enables; `rules_checked` says how many rules ran (so a
+/// kBuild pass is distinguishable from a kFull pass).
+struct CheckReport {
+  ValidateLevel level = ValidateLevel::kOff;
+  int rules_checked = 0;
+  std::vector<CheckIssue> issues;
+  std::int64_t total_deltas = 0;       ///< nnz(A')
+  std::int64_t reconstructed_nnz = -1; ///< nnz(op(A)); −1 = not reconstructed
+
+  [[nodiscard]] bool ok() const { return issues.empty(); }
+
+  /// One-line human summary ("cbm::check passed 9 rules at full" or the
+  /// first issue plus a count).
+  [[nodiscard]] std::string summary() const;
+
+  /// Machine-readable form (obs::JsonWriter): level, rule count, per-issue
+  /// rule/detail, delta accounting.
+  [[nodiscard]] std::string to_json() const;
+};
+
+struct ValidateOptions {
+  ValidateLevel level = ValidateLevel::kFull;
+  /// ≥ 0: verify the §V-C admission inequality per compressed row,
+  /// |Δ(x)| < nnz(A_x) − α (requires the source matrix). The MST path does
+  /// not prune by α, so callers pass −1 (skip) for it.
+  int alpha = -1;
+  /// Issues recorded per rule before the report truncates (a corrupted
+  /// matrix violates one rule thousands of times; the first few locate it).
+  int max_issues_per_rule = 8;
+};
+
+/// Validates a CBM decomposition given as parts (what from_parts and the
+/// serializer hold). Checks tree shape, topological order, the branch
+/// decomposition, diagonal constraints for the kind, delta-row ordering,
+/// and — at kFull — the reconstruction sweep plus Property 1.
+template <typename T>
+CheckReport validate_parts(const CompressionTree& tree, CbmKind kind,
+                           std::span<const T> diag, const CsrMatrix<T>& delta,
+                           const ValidateOptions& options = {});
+
+/// validate_parts plus the checks only the construction site can make:
+/// the reconstruction must equal `source` scaled by `column_scale` (empty =
+/// unscaled), Property 1 against the true nnz(A) (available even at kBuild),
+/// and α admissibility when options.alpha ≥ 0.
+template <typename T>
+CheckReport validate_against(const CompressionTree& tree, CbmKind kind,
+                             std::span<const T> diag,
+                             const CsrMatrix<T>& delta,
+                             const CsrMatrix<T>& source,
+                             std::span<const T> column_scale,
+                             const ValidateOptions& options = {});
+
+/// Convenience overload for an assembled matrix.
+template <typename T>
+CheckReport validate(const CbmMatrix<T>& m, const ValidateOptions& options = {}) {
+  return validate_parts(m.tree(), m.kind(), m.diagonal(), m.delta_matrix(),
+                        options);
+}
+
+/// Throws CbmError carrying report.summary() when the report has issues.
+void enforce(const CheckReport& report);
+
+extern template CheckReport validate_parts<float>(const CompressionTree&,
+                                                  CbmKind,
+                                                  std::span<const float>,
+                                                  const CsrMatrix<float>&,
+                                                  const ValidateOptions&);
+extern template CheckReport validate_parts<double>(const CompressionTree&,
+                                                   CbmKind,
+                                                   std::span<const double>,
+                                                   const CsrMatrix<double>&,
+                                                   const ValidateOptions&);
+extern template CheckReport validate_against<float>(
+    const CompressionTree&, CbmKind, std::span<const float>,
+    const CsrMatrix<float>&, const CsrMatrix<float>&, std::span<const float>,
+    const ValidateOptions&);
+extern template CheckReport validate_against<double>(
+    const CompressionTree&, CbmKind, std::span<const double>,
+    const CsrMatrix<double>&, const CsrMatrix<double>&,
+    std::span<const double>, const ValidateOptions&);
+
+}  // namespace cbm::check

@@ -1,0 +1,417 @@
+#include "check/oracle.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+
+namespace cbm::check {
+
+// ---------------------------------------------------------------- seeds --
+
+std::optional<std::uint64_t> env_seed() {
+  const char* v = std::getenv("CBM_TEST_SEED");
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  char* end = nullptr;
+  const std::uint64_t seed = std::strtoull(v, &end, /*base=*/0);
+  CBM_CHECK(end != v && *end == '\0',
+            std::string("CBM_TEST_SEED: not a number: '") + v + "'");
+  return seed;
+}
+
+std::uint64_t seed_from_name(std::string_view name, std::uint64_t salt) {
+  if (const auto fixed = env_seed()) return *fixed + salt;
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  std::uint64_t state = h ^ (salt * 0x9e3779b97f4a7c15ull);
+  return splitmix64(state);
+}
+
+// ----------------------------------------------------------- generators --
+
+template <typename T>
+CsrMatrix<T> random_binary(index_t n, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix<T> coo;
+  coo.rows = n;
+  coo.cols = n;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      if (rng.next_bool(density)) coo.push(i, j, T{1});
+    }
+  }
+  return CsrMatrix<T>::from_coo(coo);
+}
+
+template <typename T>
+CsrMatrix<T> clustered_binary(index_t n, index_t groups, index_t base_nnz,
+                              index_t flips, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<bool>> templates(
+      groups, std::vector<bool>(static_cast<std::size_t>(n), false));
+  for (auto& t : templates) {
+    for (index_t k = 0; k < base_nnz; ++k) {
+      t[rng.next_below(static_cast<std::uint64_t>(n))] = true;
+    }
+  }
+  CooMatrix<T> coo;
+  coo.rows = n;
+  coo.cols = n;
+  for (index_t i = 0; i < n; ++i) {
+    auto row = templates[static_cast<std::size_t>(i) % groups];
+    for (index_t f = 0; f < flips; ++f) {
+      const auto j = rng.next_below(static_cast<std::uint64_t>(n));
+      row[j] = !row[j];
+    }
+    for (index_t j = 0; j < n; ++j) {
+      if (row[j]) coo.push(i, j, T{1});
+    }
+  }
+  return CsrMatrix<T>::from_coo(coo);
+}
+
+template <typename T>
+CsrMatrix<T> banded_binary(index_t n, index_t bandwidth, double density,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix<T> coo;
+  coo.rows = n;
+  coo.cols = n;
+  for (index_t i = 0; i < n; ++i) {
+    const index_t lo = i > bandwidth ? i - bandwidth : 0;
+    const index_t hi = std::min<index_t>(n - 1, i + bandwidth);
+    for (index_t j = lo; j <= hi; ++j) {
+      if (rng.next_bool(density)) coo.push(i, j, T{1});
+    }
+  }
+  return CsrMatrix<T>::from_coo(coo);
+}
+
+template <typename T>
+CsrMatrix<T> power_law_binary(index_t n, index_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix<T> coo;
+  coo.rows = n;
+  coo.cols = n;
+  std::vector<bool> mask(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    std::fill(mask.begin(), mask.end(), false);
+    for (index_t k = 0; k < m; ++k) {
+      // Inverse-CDF draw with pdf ∝ 1/(j+1): hub columns land in most rows.
+      const double u = rng.next_double();
+      auto j = static_cast<index_t>(
+          std::pow(static_cast<double>(n), u)) - 1;
+      j = std::clamp<index_t>(j, 0, n - 1);
+      mask[j] = true;
+    }
+    for (index_t j = 0; j < n; ++j) {
+      if (mask[j]) coo.push(i, j, T{1});
+    }
+  }
+  return CsrMatrix<T>::from_coo(coo);
+}
+
+template <typename T>
+CsrMatrix<T> empty_binary(index_t rows, index_t cols) {
+  return CsrMatrix<T>(
+      rows, cols,
+      std::vector<offset_t>(static_cast<std::size_t>(rows) + 1, 0), {}, {});
+}
+
+template <typename T>
+CsrMatrix<T> dense_binary(index_t rows, index_t cols) {
+  CooMatrix<T> coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t j = 0; j < cols; ++j) coo.push(i, j, T{1});
+  }
+  return CsrMatrix<T>::from_coo(coo);
+}
+
+template <typename T>
+CsrMatrix<T> identical_rows_binary(index_t n, index_t row_nnz,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<bool> mask(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < row_nnz; ++k) {
+    mask[rng.next_below(static_cast<std::uint64_t>(n))] = true;
+  }
+  CooMatrix<T> coo;
+  coo.rows = n;
+  coo.cols = n;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      if (mask[j]) coo.push(i, j, T{1});
+    }
+  }
+  return CsrMatrix<T>::from_coo(coo);
+}
+
+template <typename T>
+CsrMatrix<T> single_dense_row_binary(index_t n, index_t dense_row,
+                                     double density, std::uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix<T> coo;
+  coo.rows = n;
+  coo.cols = n;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      if (i == dense_row || rng.next_bool(density)) coo.push(i, j, T{1});
+    }
+  }
+  return CsrMatrix<T>::from_coo(coo);
+}
+
+template <typename T>
+DenseMatrix<T> to_dense(const CsrMatrix<T>& a) {
+  DenseMatrix<T> out(a.rows(), a.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_indices(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) out(i, cols[k]) = vals[k];
+  }
+  return out;
+}
+
+template <typename T>
+DenseMatrix<T> random_dense(index_t rows, index_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix<T> m(rows, cols);
+  m.fill_uniform(rng);
+  return m;
+}
+
+template <typename T>
+std::vector<T> random_diagonal(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T> d(static_cast<std::size_t>(n));
+  for (auto& v : d) v = static_cast<T>(0.5 + rng.next_double());
+  return d;
+}
+
+// ------------------------------------------------------ reference kernels --
+
+template <typename T>
+DenseMatrix<T> dense_reference_multiply(const CsrMatrix<T>& a,
+                                        const DenseMatrix<T>& b) {
+  CBM_CHECK(a.cols() == b.rows(), "oracle: inner dimensions differ");
+  const DenseMatrix<T> ad = to_dense(a);
+  DenseMatrix<T> c(a.rows(), b.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (index_t k = 0; k < a.cols(); ++k) {
+        acc += static_cast<double>(ad(i, k)) * static_cast<double>(b(k, j));
+      }
+      c(i, j) = static_cast<T>(acc);
+    }
+  }
+  return c;
+}
+
+template <typename T>
+DenseMatrix<T> dense_reference_multiply_transposed(const CsrMatrix<T>& a,
+                                                   const DenseMatrix<T>& b) {
+  CBM_CHECK(a.rows() == b.rows(), "oracle: inner dimensions differ");
+  const DenseMatrix<T> ad = to_dense(a);
+  DenseMatrix<T> c(a.cols(), b.cols());
+  for (index_t i = 0; i < a.cols(); ++i) {
+    for (index_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (index_t k = 0; k < a.rows(); ++k) {
+        acc += static_cast<double>(ad(k, i)) * static_cast<double>(b(k, j));
+      }
+      c(i, j) = static_cast<T>(acc);
+    }
+  }
+  return c;
+}
+
+template <typename T>
+std::vector<T> dense_reference_multiply_vector(const CsrMatrix<T>& a,
+                                               std::span<const T> x) {
+  CBM_CHECK(x.size() == static_cast<std::size_t>(a.cols()),
+            "oracle: x length mismatch");
+  const DenseMatrix<T> ad = to_dense(a);
+  std::vector<T> y(static_cast<std::size_t>(a.rows()));
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    for (index_t k = 0; k < a.cols(); ++k) {
+      acc += static_cast<double>(ad(i, k)) * static_cast<double>(x[k]);
+    }
+    y[i] = static_cast<T>(acc);
+  }
+  return y;
+}
+
+// ------------------------------------------------------------ comparators --
+
+namespace {
+
+/// Maps a float onto the integer lattice where adjacent representable
+/// values differ by 1 and the ordering matches <. ±0 both map to 0, so the
+/// distance counts "through" zero.
+std::int64_t float_lattice(float f) {
+  const auto u = std::bit_cast<std::uint32_t>(f);
+  const std::int64_t mag = u & 0x7fffffffu;
+  return (u >> 31) != 0 ? -mag : mag;
+}
+
+std::int64_t double_lattice(double d) {
+  const auto u = std::bit_cast<std::uint64_t>(d);
+  const auto mag = static_cast<std::int64_t>(u & 0x7fffffffffffffffull);
+  return (u >> 63) != 0 ? -mag : mag;
+}
+
+std::int64_t lattice_distance(std::int64_t ka, std::int64_t kb) {
+  if ((ka < 0) == (kb < 0)) return ka < kb ? kb - ka : ka - kb;
+  const std::int64_t abs_a = ka < 0 ? -ka : ka;
+  const std::int64_t abs_b = kb < 0 ? -kb : kb;
+  if (abs_a > std::numeric_limits<std::int64_t>::max() - abs_b) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return abs_a + abs_b;
+}
+
+}  // namespace
+
+std::int64_t ulp_distance(float a, float b) {
+  if (!std::isfinite(a) || !std::isfinite(b)) {
+    return a == b ? 0 : std::numeric_limits<std::int64_t>::max();
+  }
+  return lattice_distance(float_lattice(a), float_lattice(b));
+}
+
+std::int64_t ulp_distance(double a, double b) {
+  if (!std::isfinite(a) || !std::isfinite(b)) {
+    return a == b ? 0 : std::numeric_limits<std::int64_t>::max();
+  }
+  return lattice_distance(double_lattice(a), double_lattice(b));
+}
+
+std::string CompareResult::to_string() const {
+  if (ok) return "ok";
+  std::ostringstream os;
+  if (row < 0) {
+    os << "shape mismatch";
+    return os.str();
+  }
+  os << "row " << row << " col " << col << ": actual " << actual
+     << " expected " << expected << " (abs " << max_abs_err << ", rel "
+     << max_rel_err << ", " << max_ulp << " ulp)";
+  return os.str();
+}
+
+namespace {
+
+template <typename T>
+CompareResult compare_impl(const T* actual, const T* expected, index_t rows,
+                           index_t cols, double rtol, double atol,
+                           std::int64_t max_ulps) {
+  CompareResult r;
+  double worst_badness = -1.0;
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t j = 0; j < cols; ++j) {
+      const std::size_t k = static_cast<std::size_t>(i) *
+                                static_cast<std::size_t>(cols) +
+                            static_cast<std::size_t>(j);
+      const double a = static_cast<double>(actual[k]);
+      const double e = static_cast<double>(expected[k]);
+      const double abs_err = std::abs(a - e);
+      const double tol = atol + rtol * std::abs(e);
+      const std::int64_t ulp = ulp_distance(actual[k], expected[k]);
+      const bool pass = abs_err <= tol || ulp <= max_ulps;
+      if (!pass) r.ok = false;
+      // Track the worst element by how far it overshoots its tolerance, so
+      // the reported coordinates are the most diagnostic ones.
+      const double badness = tol > 0 ? abs_err / tol : abs_err;
+      if (badness > worst_badness) {
+        worst_badness = badness;
+        r.row = i;
+        r.col = j;
+        r.actual = a;
+        r.expected = e;
+        r.max_ulp = ulp;
+      }
+      r.max_abs_err = std::max(r.max_abs_err, abs_err);
+      const double denom = std::max(std::abs(e), 1e-300);
+      r.max_rel_err = std::max(r.max_rel_err, abs_err / denom);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+template <typename T>
+CompareResult compare_allclose(const DenseMatrix<T>& actual,
+                               const DenseMatrix<T>& expected, double rtol,
+                               double atol, std::int64_t max_ulps) {
+  if (actual.rows() != expected.rows() || actual.cols() != expected.cols()) {
+    CompareResult r;
+    r.ok = false;
+    return r;
+  }
+  return compare_impl(actual.data(), expected.data(), actual.rows(),
+                      actual.cols(), rtol, atol, max_ulps);
+}
+
+template <typename T>
+CompareResult compare_allclose(std::span<const T> actual,
+                               std::span<const T> expected, double rtol,
+                               double atol, std::int64_t max_ulps) {
+  if (actual.size() != expected.size()) {
+    CompareResult r;
+    r.ok = false;
+    return r;
+  }
+  return compare_impl(actual.data(), expected.data(), 1,
+                      static_cast<index_t>(actual.size()), rtol, atol,
+                      max_ulps);
+}
+
+#define CBM_CHECK_ORACLE_INSTANTIATE(T)                                     \
+  template CsrMatrix<T> random_binary<T>(index_t, double, std::uint64_t);   \
+  template CsrMatrix<T> clustered_binary<T>(index_t, index_t, index_t,      \
+                                            index_t, std::uint64_t);        \
+  template CsrMatrix<T> banded_binary<T>(index_t, index_t, double,          \
+                                         std::uint64_t);                    \
+  template CsrMatrix<T> power_law_binary<T>(index_t, index_t,               \
+                                            std::uint64_t);                 \
+  template CsrMatrix<T> empty_binary<T>(index_t, index_t);                  \
+  template CsrMatrix<T> dense_binary<T>(index_t, index_t);                  \
+  template CsrMatrix<T> identical_rows_binary<T>(index_t, index_t,          \
+                                                 std::uint64_t);            \
+  template CsrMatrix<T> single_dense_row_binary<T>(index_t, index_t,        \
+                                                   double, std::uint64_t);  \
+  template DenseMatrix<T> to_dense<T>(const CsrMatrix<T>&);                 \
+  template DenseMatrix<T> random_dense<T>(index_t, index_t, std::uint64_t); \
+  template std::vector<T> random_diagonal<T>(index_t, std::uint64_t);       \
+  template DenseMatrix<T> dense_reference_multiply<T>(const CsrMatrix<T>&,  \
+                                                      const DenseMatrix<T>&); \
+  template DenseMatrix<T> dense_reference_multiply_transposed<T>(           \
+      const CsrMatrix<T>&, const DenseMatrix<T>&);                          \
+  template std::vector<T> dense_reference_multiply_vector<T>(               \
+      const CsrMatrix<T>&, std::span<const T>);                             \
+  template CompareResult compare_allclose<T>(const DenseMatrix<T>&,         \
+                                             const DenseMatrix<T>&, double, \
+                                             double, std::int64_t);         \
+  template CompareResult compare_allclose<T>(std::span<const T>,            \
+                                             std::span<const T>, double,    \
+                                             double, std::int64_t)
+
+CBM_CHECK_ORACLE_INSTANTIATE(float);
+CBM_CHECK_ORACLE_INSTANTIATE(double);
+#undef CBM_CHECK_ORACLE_INSTANTIATE
+
+}  // namespace cbm::check

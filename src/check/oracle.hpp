@@ -1,0 +1,193 @@
+// cbm::check oracle harness — seeded input generators, naive dense
+// reference kernels, and ULP-aware comparators for differential testing.
+//
+// Promoted out of tests/test_util.hpp so that every consumer of randomized
+// cross-checking (the unit tests, test_differential's path×schedule sweep,
+// fuzzing drivers, benches verifying their operands) shares one seeded,
+// reproducible vocabulary. Everything here is deterministic given the seed;
+// the CBM_TEST_SEED environment variable (see seed_from_name / env_seed)
+// re-drives any failed randomized case from the seed it logged.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dense/dense_matrix.hpp"
+#include "sparse/csr.hpp"
+
+namespace cbm::check {
+
+// ---------------------------------------------------------------- seeds --
+
+/// Parses CBM_TEST_SEED (decimal, or hex with 0x prefix). nullopt when
+/// unset/empty; throws CbmError on garbage (a mistyped seed must not
+/// silently run a different case than the one being reproduced).
+std::optional<std::uint64_t> env_seed();
+
+/// Deterministic per-test seed: the CBM_TEST_SEED override when set, else a
+/// 64-bit FNV-1a hash of `name` (e.g. the running gtest's "Suite.Case"
+/// string) mixed with `salt`. Distinct names ⇒ independent cases; equal
+/// names ⇒ bit-identical reruns. Log the returned value on failure so the
+/// case reproduces via CBM_TEST_SEED.
+std::uint64_t seed_from_name(std::string_view name, std::uint64_t salt = 0);
+
+// ----------------------------------------------------------- generators --
+
+/// Random binary n×n matrix with expected `density` fraction of ones.
+template <typename T>
+CsrMatrix<T> random_binary(index_t n, double density, std::uint64_t seed);
+
+/// Random binary matrix with groups of near-duplicate rows (the regime CBM
+/// compresses): `groups` templates, each row = its group's template with
+/// `flips` random toggles.
+template <typename T>
+CsrMatrix<T> clustered_binary(index_t n, index_t groups, index_t base_nnz,
+                              index_t flips, std::uint64_t seed);
+
+/// Banded binary matrix: entries only within `bandwidth` of the diagonal,
+/// present with probability `density` (mesh/chain-graph adjacency shape —
+/// neighbouring rows overlap heavily, distant rows not at all).
+template <typename T>
+CsrMatrix<T> banded_binary(index_t n, index_t bandwidth, double density,
+                           std::uint64_t seed);
+
+/// Power-law binary matrix: column j is drawn ∝ 1/(j+1) (Zipf), `m` draws
+/// per row — the skewed-degree regime of citation/social graphs where a few
+/// hub columns appear in most rows.
+template <typename T>
+CsrMatrix<T> power_law_binary(index_t n, index_t m, std::uint64_t seed);
+
+/// All-zero rows×cols matrix (nothing to compress; every path must still
+/// produce an all-zero product).
+template <typename T>
+CsrMatrix<T> empty_binary(index_t rows, index_t cols);
+
+/// All-ones matrix (one fully dense row pattern repeated — maximum row
+/// similarity AND maximum row density at once).
+template <typename T>
+CsrMatrix<T> dense_binary(index_t rows, index_t cols);
+
+/// Every row identical to one random template of `row_nnz` entries — the
+/// maximum-compression case (the tree collapses to one chain/star and all
+/// non-root delta rows are empty).
+template <typename T>
+CsrMatrix<T> identical_rows_binary(index_t n, index_t row_nnz,
+                                   std::uint64_t seed);
+
+/// One fully dense row (`dense_row`) in an otherwise random sparse matrix —
+/// the outlier-row case that stresses nnz-balanced partitioning.
+template <typename T>
+CsrMatrix<T> single_dense_row_binary(index_t n, index_t dense_row,
+                                     double density, std::uint64_t seed);
+
+/// Densifies a CSR matrix (oracle input).
+template <typename T>
+DenseMatrix<T> to_dense(const CsrMatrix<T>& a);
+
+/// Random dense matrix in [0, 1).
+template <typename T>
+DenseMatrix<T> random_dense(index_t rows, index_t cols, std::uint64_t seed);
+
+/// Random positive diagonal in [0.5, 1.5).
+template <typename T>
+std::vector<T> random_diagonal(index_t n, std::uint64_t seed);
+
+// ------------------------------------------------------ reference kernels --
+
+/// C = A·B by the naive triple loop, accumulating in double regardless of T
+/// — the trusted oracle every optimised path is differenced against.
+template <typename T>
+DenseMatrix<T> dense_reference_multiply(const CsrMatrix<T>& a,
+                                        const DenseMatrix<T>& b);
+
+/// C = Aᵀ·B, same contract (oracle for the CbmTranspose path).
+template <typename T>
+DenseMatrix<T> dense_reference_multiply_transposed(const CsrMatrix<T>& a,
+                                                   const DenseMatrix<T>& b);
+
+/// y = A·x (oracle for multiply_vector).
+template <typename T>
+std::vector<T> dense_reference_multiply_vector(const CsrMatrix<T>& a,
+                                               std::span<const T> x);
+
+// ------------------------------------------------------------ comparators --
+
+/// Units-in-the-last-place distance between two finite values: 0 for
+/// bitwise-equal (±0 included), else the number of representable values
+/// between them, counting through zero when the signs differ. Non-finite
+/// operands give INT64_MAX unless exactly equal.
+std::int64_t ulp_distance(float a, float b);
+std::int64_t ulp_distance(double a, double b);
+
+/// Worst element of an actual-vs-expected comparison. An element passes when
+/// |a−e| ≤ atol + rtol·|e| (numpy semantics, the paper's §VI-B protocol)
+/// OR its ULP distance is ≤ max_ulps — the ULP escape keeps legitimate
+/// reassociation differences from failing near zero crossings where relative
+/// error explodes.
+struct CompareResult {
+  bool ok = true;
+  index_t row = -1;        ///< worst element (−1 when shapes already differ)
+  index_t col = -1;
+  double actual = 0.0;
+  double expected = 0.0;
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;       ///< |a−e| / max(|e|, tiny)
+  std::int64_t max_ulp = 0;       ///< ULP distance at the worst element
+
+  /// "ok" or "row 3 col 7: actual … expected … (abs …, rel …, N ulp)".
+  [[nodiscard]] std::string to_string() const;
+};
+
+template <typename T>
+CompareResult compare_allclose(const DenseMatrix<T>& actual,
+                               const DenseMatrix<T>& expected,
+                               double rtol = 1e-5, double atol = 1e-6,
+                               std::int64_t max_ulps = 4);
+
+template <typename T>
+CompareResult compare_allclose(std::span<const T> actual,
+                               std::span<const T> expected,
+                               double rtol = 1e-5, double atol = 1e-6,
+                               std::int64_t max_ulps = 4);
+
+#define CBM_CHECK_ORACLE_EXTERN(T)                                          \
+  extern template CsrMatrix<T> random_binary<T>(index_t, double,            \
+                                                std::uint64_t);             \
+  extern template CsrMatrix<T> clustered_binary<T>(                         \
+      index_t, index_t, index_t, index_t, std::uint64_t);                   \
+  extern template CsrMatrix<T> banded_binary<T>(index_t, index_t, double,   \
+                                                std::uint64_t);             \
+  extern template CsrMatrix<T> power_law_binary<T>(index_t, index_t,        \
+                                                   std::uint64_t);          \
+  extern template CsrMatrix<T> empty_binary<T>(index_t, index_t);           \
+  extern template CsrMatrix<T> dense_binary<T>(index_t, index_t);           \
+  extern template CsrMatrix<T> identical_rows_binary<T>(index_t, index_t,   \
+                                                        std::uint64_t);     \
+  extern template CsrMatrix<T> single_dense_row_binary<T>(                  \
+      index_t, index_t, double, std::uint64_t);                             \
+  extern template DenseMatrix<T> to_dense<T>(const CsrMatrix<T>&);          \
+  extern template DenseMatrix<T> random_dense<T>(index_t, index_t,          \
+                                                 std::uint64_t);            \
+  extern template std::vector<T> random_diagonal<T>(index_t,                \
+                                                    std::uint64_t);         \
+  extern template DenseMatrix<T> dense_reference_multiply<T>(               \
+      const CsrMatrix<T>&, const DenseMatrix<T>&);                          \
+  extern template DenseMatrix<T> dense_reference_multiply_transposed<T>(    \
+      const CsrMatrix<T>&, const DenseMatrix<T>&);                          \
+  extern template std::vector<T> dense_reference_multiply_vector<T>(        \
+      const CsrMatrix<T>&, std::span<const T>);                             \
+  extern template CompareResult compare_allclose<T>(                        \
+      const DenseMatrix<T>&, const DenseMatrix<T>&, double, double,         \
+      std::int64_t);                                                        \
+  extern template CompareResult compare_allclose<T>(                        \
+      std::span<const T>, std::span<const T>, double, double, std::int64_t)
+
+CBM_CHECK_ORACLE_EXTERN(float);
+CBM_CHECK_ORACLE_EXTERN(double);
+#undef CBM_CHECK_ORACLE_EXTERN
+
+}  // namespace cbm::check

@@ -1,9 +1,19 @@
 #include "gnn/adjacency_op.hpp"
 
+#include "check/check.hpp"
 #include "obs/obs.hpp"
 #include "sparse/spmm.hpp"
 
 namespace cbm {
+
+template <typename T>
+void CbmAdjacency<T>::validate_env() const {
+  if (const auto level = check::validate_level_from_env();
+      level != check::ValidateLevel::kOff) {
+    CBM_SPAN("adj.cbm.validate");
+    check::enforce(check::validate(m_, {.level = level}));
+  }
+}
 
 template <typename T>
 void CsrAdjacency<T>::multiply(const DenseMatrix<T>& b,

@@ -48,17 +48,23 @@ class CsrAdjacency final : public AdjacencyOp<T> {
 
 /// CBM-backed operand. The execution plan is fixed at construction: layers
 /// call the capability interface, so this is where a GNN opts into the fused
-/// column-tiled engine (e.g. via MultiplySchedule::from_env()).
+/// column-tiled engine (e.g. via MultiplySchedule::from_env()). Construction
+/// honours CBM_VALIDATE (cbm::check) — an adjacency assembled from a stale
+/// or corrupted CBM must fail here, not after an epoch of wrong products.
 template <typename T>
 class CbmAdjacency final : public AdjacencyOp<T> {
  public:
   explicit CbmAdjacency(
       CbmMatrix<T> m,
       UpdateSchedule schedule = UpdateSchedule::kBranchDynamic)
-      : m_(std::move(m)), schedule_(MultiplySchedule::two_stage(schedule)) {}
+      : m_(std::move(m)), schedule_(MultiplySchedule::two_stage(schedule)) {
+    validate_env();
+  }
 
   CbmAdjacency(CbmMatrix<T> m, const MultiplySchedule& schedule)
-      : m_(std::move(m)), schedule_(schedule) {}
+      : m_(std::move(m)), schedule_(schedule) {
+    validate_env();
+  }
 
   void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c) const override;
   [[nodiscard]] index_t rows() const override { return m_.rows(); }
@@ -70,6 +76,9 @@ class CbmAdjacency final : public AdjacencyOp<T> {
   [[nodiscard]] const MultiplySchedule& schedule() const { return schedule_; }
 
  private:
+  /// Runs cbm::check at the CBM_VALIDATE level; throws CbmError on failure.
+  void validate_env() const;
+
   CbmMatrix<T> m_;
   MultiplySchedule schedule_;
 };

@@ -21,32 +21,7 @@
 namespace cbm {
 namespace {
 
-/// Sets an environment variable for the current scope, restoring the prior
-/// state on destruction (tests must not leak knobs into each other).
-class EnvGuard {
- public:
-  EnvGuard(std::string name, const std::string& value)
-      : name_(std::move(name)) {
-    const char* old = std::getenv(name_.c_str());
-    if (old != nullptr) previous_ = old;
-    had_previous_ = old != nullptr;
-    ::setenv(name_.c_str(), value.c_str(), 1);
-  }
-  ~EnvGuard() {
-    if (had_previous_) {
-      ::setenv(name_.c_str(), previous_.c_str(), 1);
-    } else {
-      ::unsetenv(name_.c_str());
-    }
-  }
-  EnvGuard(const EnvGuard&) = delete;
-  EnvGuard& operator=(const EnvGuard&) = delete;
-
- private:
-  std::string name_;
-  std::string previous_;
-  bool had_previous_ = false;
-};
+using test::EnvGuard;
 
 struct FusedCase {
   CbmKind kind;
@@ -95,8 +70,12 @@ class FusedMultiply : public ::testing::TestWithParam<FusedCase> {};
 TEST_P(FusedMultiply, MatchesOracleAndTwoStage) {
   const auto p = GetParam();
   const index_t n = 72;
-  const auto f = make_kind_fixture(p.kind, n, /*alpha=*/2, 9000 + p.bcols);
-  const auto b = test::random_dense<float>(n, p.bcols, 31 + p.bcols);
+  // Per-test seed (hashed from the parameterised test name, CBM_TEST_SEED
+  // override): every case draws an independent matrix/operand pair.
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto f = make_kind_fixture(p.kind, n, /*alpha=*/2, seed);
+  const auto b = test::random_dense<float>(n, p.bcols, test::auto_seed(1));
 
   // Dense oracle.
   DenseMatrix<float> c_oracle(n, p.bcols);

@@ -24,8 +24,13 @@ class CbmMultiply : public ::testing::TestWithParam<MultiplyCase> {};
 
 TEST_P(CbmMultiply, MatchesCsrBaseline) {
   const auto p = GetParam();
-  const auto a = test::clustered_binary(p.n, 5, 9, 2, 1000 + p.n);
-  const auto diag = test::random_diagonal<float>(p.n, 55);
+  // Per-test seeds (hashed from the parameterised test name, CBM_TEST_SEED
+  // override): each case draws independent inputs instead of sharing one
+  // literal across the whole suite.
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = test::clustered_binary(p.n, 5, 9, 2, seed);
+  const auto diag = test::random_diagonal<float>(p.n, test::auto_seed(1));
 
   // Baseline operand in CSR (scaled explicitly when needed).
   CsrMatrix<float> baseline = a;
@@ -44,7 +49,7 @@ TEST_P(CbmMultiply, MatchesCsrBaseline) {
           ? CbmMatrix<float>::compress(a, options)
           : CbmMatrix<float>::compress_scaled(a, d, p.kind, options);
 
-  const auto b = test::random_dense<float>(p.n, 13, 77);
+  const auto b = test::random_dense<float>(p.n, 13, test::auto_seed(2));
   DenseMatrix<float> c_cbm(p.n, 13), c_csr(p.n, 13);
   cbm.multiply(b, c_cbm, p.schedule);
   csr_spmm(baseline, b, c_csr);
@@ -79,9 +84,11 @@ class CbmAlphaSweep : public ::testing::TestWithParam<int> {};
 TEST_P(CbmAlphaSweep, AllKindsCorrectAtThisAlpha) {
   const int alpha = GetParam();
   const index_t n = 64;
-  const auto a = test::clustered_binary(n, 6, 10, 3, 4242);
-  const auto diag = test::random_diagonal<float>(n, 4243);
-  const auto b = test::random_dense<float>(n, 9, 4244);
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = test::clustered_binary(n, 6, 10, 3, seed);
+  const auto diag = test::random_diagonal<float>(n, test::auto_seed(1));
+  const auto b = test::random_dense<float>(n, 9, test::auto_seed(2));
   const std::span<const float> d(diag);
 
   for (const CbmKind kind :

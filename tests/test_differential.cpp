@@ -1,0 +1,489 @@
+// Differential-oracle tests (cbm::check harness): every multiply path the
+// library offers — two-stage under every SpMM × update schedule, the fused
+// column-tiled engine across tile widths, the partitioned format, the
+// transpose operator, and the vector product — must agree with the naive
+// dense reference kernel on the same inputs, across input regimes from
+// empty through power-law to fully dense, at 1 and several threads.
+//
+// All randomized inputs draw per-test seeds (test::auto_seed); a failure
+// logs the seed and CBM_TEST_SEED=<seed> reruns the exact case
+// (docs/testing.md). The validator tests at the bottom are the negative
+// side: CBM_VALIDATE=full must reject deliberately corrupted trees.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cbm/cbm_matrix.hpp"
+#include "cbm/partitioned.hpp"
+#include "cbm/transpose.hpp"
+#include "check/check.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "gnn/adjacency_op.hpp"
+#include "sparse/scale.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+using test::EnvGuard;
+
+// ------------------------------------------------------- input fixtures --
+
+/// Named input regime; `make` draws the matrix from a seed so that every
+/// test using the fixture gets an independent instance.
+struct GenCase {
+  const char* name;
+  CsrMatrix<float> (*make)(std::uint64_t seed);
+};
+
+CsrMatrix<float> gen_random(std::uint64_t s) {
+  return check::random_binary<float>(48, 0.07, s);
+}
+CsrMatrix<float> gen_clustered(std::uint64_t s) {
+  return check::clustered_binary<float>(64, 5, 10, 2, s);
+}
+CsrMatrix<float> gen_banded(std::uint64_t s) {
+  return check::banded_binary<float>(56, 4, 0.6, s);
+}
+CsrMatrix<float> gen_power_law(std::uint64_t s) {
+  return check::power_law_binary<float>(64, 4, s);
+}
+// Degenerate regimes (the named edge-case fixtures): empty, identity, a
+// single nonzero row, all rows identical (maximum compression), one fully
+// dense row in a sparse matrix, and the all-ones matrix.
+CsrMatrix<float> gen_empty(std::uint64_t) {
+  return check::empty_binary<float>(40, 40);
+}
+CsrMatrix<float> gen_identity(std::uint64_t) {
+  return CsrMatrix<float>::identity(32);
+}
+CsrMatrix<float> gen_single_row(std::uint64_t s) {
+  Rng rng(s);
+  CooMatrix<float> coo;
+  coo.rows = 36;
+  coo.cols = 36;
+  coo.push(11, 0, 1.0f);  // keep the row nonempty for any draw
+  for (index_t j = 1; j < 36; ++j) {
+    if (rng.next_bool(0.4)) coo.push(11, j, 1.0f);
+  }
+  return CsrMatrix<float>::from_coo(coo);
+}
+CsrMatrix<float> gen_identical_rows(std::uint64_t s) {
+  return check::identical_rows_binary<float>(48, 9, s);
+}
+CsrMatrix<float> gen_dense_row(std::uint64_t s) {
+  return check::single_dense_row_binary<float>(40, 7, 0.05, s);
+}
+CsrMatrix<float> gen_dense(std::uint64_t) {
+  return check::dense_binary<float>(24, 24);
+}
+
+const GenCase kGenCases[] = {
+    {"random", gen_random},         {"clustered", gen_clustered},
+    {"banded", gen_banded},         {"power_law", gen_power_law},
+    {"empty", gen_empty},           {"identity", gen_identity},
+    {"single_row", gen_single_row}, {"identical_rows", gen_identical_rows},
+    {"dense_row", gen_dense_row},   {"dense", gen_dense},
+};
+
+class DifferentialPaths : public ::testing::TestWithParam<GenCase> {};
+
+/// Oracle-vs-path tolerance: reassociation across schedules/engines moves
+/// float sums a few ULP; the dense oracle accumulates in double.
+constexpr double kRtol = 1e-4;
+constexpr double kAtol = 1e-5;
+constexpr std::int64_t kMaxUlps = 32;
+
+#define EXPECT_MATCHES_ORACLE(actual, oracle, what)                      \
+  do {                                                                   \
+    const auto cmp_ = check::compare_allclose((actual), (oracle), kRtol, \
+                                              kAtol, kMaxUlps);          \
+    EXPECT_TRUE(cmp_.ok) << what << ": " << cmp_.to_string();            \
+  } while (0)
+
+TEST_P(DifferentialPaths, TwoStageEverySchedulePair) {
+  const auto gen = GetParam();
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = gen.make(seed);
+  const index_t n = a.rows();
+  const auto b = check::random_dense<float>(a.cols(), 13, test::auto_seed(1));
+  const auto oracle = check::dense_reference_multiply(a, b);
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = 2});
+
+  for (const SpmmSchedule spmm :
+       {SpmmSchedule::kRowStatic, SpmmSchedule::kRowDynamic,
+        SpmmSchedule::kNnzBalanced}) {
+    for (const UpdateSchedule update :
+         {UpdateSchedule::kSequential, UpdateSchedule::kBranchDynamic,
+          UpdateSchedule::kBranchStatic, UpdateSchedule::kColumnSplit}) {
+      for (const int threads : {1, 4}) {
+        ThreadScope scope(threads);
+        DenseMatrix<float> c(n, 13);
+        c.fill(-3.0f);  // the product must fully overwrite C
+        cbm.multiply(b, c, MultiplySchedule::two_stage(update, spmm));
+        EXPECT_MATCHES_ORACLE(
+            c, oracle,
+            "spmm=" << static_cast<int>(spmm)
+                    << " update=" << static_cast<int>(update)
+                    << " threads=" << threads);
+      }
+    }
+  }
+}
+
+TEST_P(DifferentialPaths, FusedEveryTileWidth) {
+  const auto gen = GetParam();
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = gen.make(seed);
+  const index_t n = a.rows();
+  const auto b = check::random_dense<float>(a.cols(), 33, test::auto_seed(1));
+  const auto oracle = check::dense_reference_multiply(a, b);
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = 2});
+
+  for (const index_t tile : {index_t{0}, index_t{1}, index_t{3}, index_t{8},
+                             index_t{64}}) {
+    for (const int threads : {1, 4}) {
+      ThreadScope scope(threads);
+      DenseMatrix<float> c(n, 33);
+      c.fill(-3.0f);
+      cbm.multiply(b, c, MultiplySchedule::fused(tile));
+      EXPECT_MATCHES_ORACLE(c, oracle,
+                            "tile=" << tile << " threads=" << threads);
+    }
+  }
+}
+
+TEST_P(DifferentialPaths, PartitionedMatchesOracle) {
+  const auto gen = GetParam();
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = gen.make(seed);
+  const index_t n = a.rows();
+  const auto b = check::random_dense<float>(a.cols(), 7, test::auto_seed(1));
+  const auto oracle = check::dense_reference_multiply(a, b);
+
+  PartitionedOptions options;
+  options.base.alpha = 2;
+  options.num_clusters = 4;
+  auto part = PartitionedCbmMatrix<float>::compress(a, options);
+  for (const int threads : {1, 4}) {
+    ThreadScope scope(threads);
+    DenseMatrix<float> c(n, 7);
+    c.fill(-3.0f);
+    part.multiply(b, c);
+    EXPECT_MATCHES_ORACLE(c, oracle, "partitioned threads=" << threads);
+  }
+}
+
+TEST_P(DifferentialPaths, TransposeMatchesOracle) {
+  const auto gen = GetParam();
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = gen.make(seed);
+  const auto b = check::random_dense<float>(a.rows(), 9, test::auto_seed(1));
+  const auto oracle = check::dense_reference_multiply_transposed(a, b);
+
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = 2});
+  CbmTranspose<float> at(cbm);
+  for (const int threads : {1, 4}) {
+    ThreadScope scope(threads);
+    DenseMatrix<float> c(a.cols(), 9);
+    c.fill(-3.0f);
+    at.multiply(b, c);
+    EXPECT_MATCHES_ORACLE(c, oracle, "transpose threads=" << threads);
+  }
+}
+
+TEST_P(DifferentialPaths, VectorPathMatchesOracle) {
+  const auto gen = GetParam();
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = gen.make(seed);
+  const auto xm = check::random_dense<float>(a.cols(), 1, test::auto_seed(1));
+  const std::vector<float> x(xm.data(), xm.data() + a.cols());
+  const auto oracle =
+      check::dense_reference_multiply_vector(a, std::span<const float>(x));
+
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = 2});
+  std::vector<float> y(static_cast<std::size_t>(a.rows()), -3.0f);
+  cbm.multiply_vector(x, y);
+  const auto cmp = check::compare_allclose(
+      std::span<const float>(y), std::span<const float>(oracle), kRtol, kAtol,
+      kMaxUlps);
+  EXPECT_TRUE(cmp.ok) << cmp.to_string();
+}
+
+TEST_P(DifferentialPaths, ScaledKindsAcrossEngines) {
+  const auto gen = GetParam();
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = gen.make(seed);
+  const index_t n = a.rows();
+  if (n != a.cols()) GTEST_SKIP() << "scaled kinds need a square matrix";
+  const auto d1 = check::random_diagonal<float>(n, test::auto_seed(1));
+  const auto d2 = check::random_diagonal<float>(n, test::auto_seed(2));
+  const std::span<const float> s1(d1), s2(d2);
+  const auto b = check::random_dense<float>(n, 11, test::auto_seed(3));
+
+  struct ScaledCase {
+    const char* name;
+    CsrMatrix<float> baseline;
+    CbmMatrix<float> cbm;
+  };
+  const ScaledCase cases[] = {
+      {"AD", scale_columns(a, s1),
+       CbmMatrix<float>::compress_scaled(a, s1, CbmKind::kColumnScaled,
+                                         {.alpha = 2})},
+      {"DAD", scale_both(a, s1, s1),
+       CbmMatrix<float>::compress_scaled(a, s1, CbmKind::kSymScaled,
+                                         {.alpha = 2})},
+      {"D1AD2", scale_both(a, s1, s2),
+       CbmMatrix<float>::compress_two_sided(a, s1, s2, {.alpha = 2})},
+  };
+  for (const auto& sc : cases) {
+    const auto oracle = check::dense_reference_multiply(sc.baseline, b);
+    DenseMatrix<float> c_two(n, 11), c_fused(n, 11);
+    sc.cbm.multiply(b, c_two, MultiplySchedule::two_stage());
+    sc.cbm.multiply(b, c_fused, MultiplySchedule::fused(5));
+    EXPECT_MATCHES_ORACLE(c_two, oracle, sc.name << " two-stage");
+    EXPECT_MATCHES_ORACLE(c_fused, oracle, sc.name << " fused");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Regimes, DifferentialPaths,
+                         ::testing::ValuesIn(kGenCases),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+// ------------------------------------------------------ validator: positive
+
+TEST(Validator, EveryBuildPassesFullValidation) {
+  // CBM_VALIDATE=full re-checks each compression in-line; a throw fails.
+  const EnvGuard env("CBM_VALIDATE", "full");
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  for (const auto& gen : kGenCases) {
+    SCOPED_TRACE(gen.name);
+    const auto a = gen.make(seed);
+    for (const int alpha : {0, 2}) {
+      const auto cbm = CbmMatrix<float>::compress(a, {.alpha = alpha});
+      const auto report = check::validate(cbm);
+      EXPECT_TRUE(report.ok()) << report.summary();
+      EXPECT_GE(report.rules_checked, 8);
+    }
+    // The MST path prunes nothing by α; it must validate as well.
+    (void)CbmMatrix<float>::compress(a,
+                                     {.algorithm = TreeAlgorithm::kMst});
+  }
+}
+
+TEST(Validator, ReportCarriesAccountingAndJson) {
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = check::clustered_binary<float>(40, 4, 8, 2, seed);
+  const auto cbm = CbmMatrix<float>::compress(a);
+  const auto report = check::validate(cbm);
+  ASSERT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.total_deltas, cbm.delta_matrix().nnz());
+  EXPECT_EQ(report.reconstructed_nnz, a.nnz());
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"cbm-check-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"rules_checked\""), std::string::npos);
+  // kBuild skips the reconstruction sweep and says so.
+  const auto build =
+      check::validate(cbm, {.level = check::ValidateLevel::kBuild});
+  EXPECT_TRUE(build.ok());
+  EXPECT_EQ(build.reconstructed_nnz, -1);
+  EXPECT_LT(build.rules_checked, report.rules_checked);
+}
+
+TEST(Validator, LevelFromEnvParsesAndRejects) {
+  {
+    const EnvGuard env("CBM_VALIDATE", "build");
+    EXPECT_EQ(check::validate_level_from_env(), check::ValidateLevel::kBuild);
+  }
+  {
+    const EnvGuard env("CBM_VALIDATE", "full");
+    EXPECT_EQ(check::validate_level_from_env(), check::ValidateLevel::kFull);
+  }
+  {
+    const EnvGuard env("CBM_VALIDATE", "off");
+    EXPECT_EQ(check::validate_level_from_env(), check::ValidateLevel::kOff);
+  }
+  {
+    const EnvGuard env("CBM_VALIDATE", "paranoid");
+    EXPECT_THROW(check::validate_level_from_env(), CbmError);
+  }
+}
+
+// ------------------------------------------------------ validator: negative
+
+/// A tiny handcrafted CBM whose corruptions are deterministic:
+///   row 0 = {0,1} (root child), row 1 = {0,2} (parent row 0), row 2 = {0}.
+struct TinyParts {
+  std::vector<index_t> parent{3, 0, 3};
+  CsrMatrix<float> delta{
+      3, 3,
+      {0, 2, 4, 5},
+      {0, 1, /*row1:*/ 1, 2, /*row2:*/ 0},
+      {1.0f, 1.0f, /*row1:*/ -1.0f, 1.0f, /*row2:*/ 1.0f}};
+};
+
+TEST(Validator, AcceptsTheTinyHandcraftedParts) {
+  TinyParts t;
+  const auto tree = CompressionTree::from_parents(t.parent);
+  const auto report = check::validate_parts<float>(tree, CbmKind::kPlain, {},
+                                                   t.delta);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.reconstructed_nnz, 5);  // {0,1}, {0,2}, {0}
+}
+
+TEST(Validator, FullDetectsRewiredParent) {
+  // Point row 1 at row 2 ({0}) instead of row 0 ({0,1}): its −1 delta at
+  // column 1 no longer matches anything the parent holds.
+  TinyParts t;
+  t.parent[1] = 2;
+  const auto tree = CompressionTree::from_parents(t.parent);
+  const auto report = check::validate_parts<float>(tree, CbmKind::kPlain, {},
+                                                   t.delta);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues.front().rule, "reconstruction");
+
+  // kBuild is structural only and cannot see this corruption; kFull must.
+  const auto build = check::validate_parts<float>(
+      tree, CbmKind::kPlain, {}, t.delta,
+      {.level = check::ValidateLevel::kBuild});
+  EXPECT_TRUE(build.ok());
+
+  // End to end: from_parts under CBM_VALIDATE=full refuses the parts...
+  {
+    const EnvGuard env("CBM_VALIDATE", "full");
+    EXPECT_THROW(CbmMatrix<float>::from_parts(
+                     CbmKind::kPlain, CompressionTree::from_parents(t.parent),
+                     t.delta, {}),
+                 CbmError);
+  }
+  // ...and with validation off construction still succeeds, preserving the
+  // zero-overhead default (pinned: CI exports CBM_VALIDATE=full ambiently).
+  {
+    const EnvGuard env("CBM_VALIDATE", "off");
+    (void)CbmMatrix<float>::from_parts(CbmKind::kPlain,
+                                       CompressionTree::from_parents(t.parent),
+                                       t.delta, {});
+  }
+}
+
+TEST(Validator, FullDetectsCorruptedDeltaValue) {
+  TinyParts t;
+  t.delta.values_mut()[0] = 5.0f;  // root row must carry +1 deltas
+  const auto tree = CompressionTree::from_parents(t.parent);
+  const auto report = check::validate_parts<float>(tree, CbmKind::kPlain, {},
+                                                   t.delta);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues.front().rule, "reconstruction");
+}
+
+TEST(Validator, DetectsPropertyOneViolation) {
+  // Deltas that remove everything they inherit: nnz(A') exceeds nnz(A).
+  const std::vector<index_t> parent{2, 0};
+  const CsrMatrix<float> delta{2, 2,
+                               {0, 2, 4},
+                               {0, 1, 0, 1},
+                               {1.0f, 1.0f, -1.0f, -1.0f}};
+  const auto tree = CompressionTree::from_parents(parent);
+  const auto report =
+      check::validate_parts<float>(tree, CbmKind::kPlain, {}, delta);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& issue : report.issues) found |= issue.rule == "property-1";
+  EXPECT_TRUE(found) << report.summary();
+}
+
+TEST(Validator, DetectsDiagonalViolations) {
+  TinyParts t;
+  const auto tree = CompressionTree::from_parents(t.parent);
+  // Row-scaled kind with a zero diagonal entry (Eq. 6 divides by it).
+  const std::vector<float> bad_diag{1.0f, 0.0f, 1.0f};
+  const auto zero = check::validate_parts<float>(
+      tree, CbmKind::kSymScaled, std::span<const float>(bad_diag), t.delta);
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.issues.front().rule, "diagonal");
+  // Plain kind must not carry a diagonal at all.
+  const std::vector<float> stray{1.0f, 1.0f, 1.0f};
+  const auto extra = check::validate_parts<float>(
+      tree, CbmKind::kPlain, std::span<const float>(stray), t.delta);
+  ASSERT_FALSE(extra.ok());
+  EXPECT_EQ(extra.issues.front().rule, "diagonal");
+}
+
+TEST(Validator, AlphaAdmissibilityChecksAgainstSource) {
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = check::clustered_binary<float>(50, 4, 9, 2, seed);
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = 3});
+  // The builder's own edges satisfy the (sign-corrected) admission strictly.
+  const auto ok_report = check::validate_against<float>(
+      cbm.tree(), cbm.kind(), cbm.diagonal(), cbm.delta_matrix(), a, {},
+      {.alpha = 3});
+  EXPECT_TRUE(ok_report.ok()) << ok_report.summary();
+  // Demanding a larger α than the tree was built with must flag rows whose
+  // savings fall in between (skip silently when the tree compresses nothing).
+  const auto strict = check::validate_against<float>(
+      cbm.tree(), cbm.kind(), cbm.diagonal(), cbm.delta_matrix(), a, {},
+      {.alpha = 1 << 20});
+  if (cbm.tree().num_compressed_rows() > 0) {
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.issues.front().rule, "alpha-admissible");
+  }
+}
+
+TEST(Validator, TruncatesRepeatedIssues) {
+  // A corruption that breaks every row reports only the first few per rule.
+  const index_t n = 64;
+  std::vector<index_t> parent(static_cast<std::size_t>(n), n);
+  std::vector<offset_t> indptr(static_cast<std::size_t>(n) + 1);
+  std::vector<index_t> indices(static_cast<std::size_t>(n));
+  std::vector<float> values(static_cast<std::size_t>(n), -2.0f);  // bad
+  for (index_t i = 0; i < n; ++i) {
+    indptr[i + 1] = i + 1;
+    indices[i] = 0;
+  }
+  const CsrMatrix<float> delta(n, n, std::move(indptr), std::move(indices),
+                               std::move(values));
+  const auto tree = CompressionTree::from_parents(parent);
+  const auto report = check::validate_parts<float>(
+      tree, CbmKind::kPlain, {}, delta, {.max_issues_per_rule = 4});
+  ASSERT_FALSE(report.ok());
+  EXPECT_LE(report.issues.size(), 5u);  // 4 + the truncation marker
+}
+
+// ---------------------------------------- CbmAdjacency validation wiring --
+
+TEST(Validator, CbmAdjacencyHonoursTheKnob) {
+  TinyParts t;
+  t.parent[1] = 2;  // the rewired-parent corruption from above
+  auto corrupt = [&] {
+    const EnvGuard off("CBM_VALIDATE", "off");  // get the parts assembled
+    return CbmMatrix<float>::from_parts(
+        CbmKind::kPlain, CompressionTree::from_parents(t.parent), t.delta,
+        {});
+  };
+  {
+    const EnvGuard env("CBM_VALIDATE", "full");
+    EXPECT_THROW(CbmAdjacency<float>{corrupt()}, CbmError);
+  }
+  {
+    const EnvGuard env("CBM_VALIDATE", "off");
+    (void)CbmAdjacency<float>{corrupt()};  // validation off: accepted
+  }
+}
+
+}  // namespace
+}  // namespace cbm

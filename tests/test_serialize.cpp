@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "cbm/serialize.hpp"
+#include "check/check.hpp"
 #include "dense/ops.hpp"
 #include "test_util.hpp"
 
@@ -89,6 +90,35 @@ TEST(Serialize, FileRoundTrip) {
   const auto loaded = load_cbm_file<float>(path);
   expect_equivalent(original, loaded);
   std::remove(path.c_str());
+}
+
+TEST(Serialize, RoundTripUnderFullValidation) {
+  // Satellite check for cbm::check: serialize → deserialize → multiply with
+  // CBM_VALIDATE=full in force. load_cbm goes through from_parts, so the
+  // loaded matrix passes the whole validator, and the product still matches
+  // the dense oracle.
+  const test::EnvGuard env("CBM_VALIDATE", "full");
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = test::clustered_binary(44, 4, 9, 2, seed);
+  const auto d = test::random_diagonal<float>(44, test::auto_seed(1));
+  for (const auto& original : {
+           CbmMatrix<float>::compress(a, {.alpha = 2}),
+           CbmMatrix<float>::compress_scaled(a, std::span<const float>(d),
+                                             CbmKind::kSymScaled),
+       }) {
+    std::stringstream buf;
+    save_cbm(buf, original);
+    const auto loaded = load_cbm<float>(buf);  // validated inside from_parts
+    const auto report = check::validate(loaded);
+    EXPECT_TRUE(report.ok()) << report.summary();
+
+    const auto b = test::random_dense<float>(44, 6, test::auto_seed(2));
+    DenseMatrix<float> c1(44, 6), c2(44, 6);
+    original.multiply(b, c1);
+    loaded.multiply(b, c2);
+    EXPECT_EQ(max_abs_diff(c1, c2), 0.0);
+  }
 }
 
 TEST(Serialize, RejectsBadMagic) {

@@ -1,27 +1,76 @@
-// Shared helpers for the test suite.
+// Shared helpers for the test suite — thin aliases over the cbm::check
+// oracle harness (src/check/oracle.hpp), which owns the seeded generators,
+// dense reference kernels, and comparators, plus the gtest-specific seed
+// plumbing that cannot live in the library.
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "common/rng.hpp"
+#include "check/oracle.hpp"
 #include "dense/dense_matrix.hpp"
 #include "sparse/csr.hpp"
 
 namespace cbm::test {
 
+/// Sets an environment variable for the current scope, restoring the prior
+/// state on destruction (tests must not leak knobs into each other).
+class EnvGuard {
+ public:
+  EnvGuard(std::string name, const std::string& value)
+      : name_(std::move(name)) {
+    const char* old = std::getenv(name_.c_str());
+    if (old != nullptr) previous_ = old;
+    had_previous_ = old != nullptr;
+    ::setenv(name_.c_str(), value.c_str(), 1);
+  }
+  ~EnvGuard() {
+    if (had_previous_) {
+      ::setenv(name_.c_str(), previous_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  std::string name_;
+  std::string previous_;
+  bool had_previous_ = false;
+};
+
+/// Seed for the currently running gtest case: distinct per test (a hash of
+/// "Suite.Case", including the parameterisation suffix), reproducible across
+/// runs, overridable with CBM_TEST_SEED. Pass different `salt`s to draw
+/// several independent seeds inside one test. Include the returned value in
+/// assertion messages (or via SCOPED_TRACE) so a failure names the seed that
+/// reproduces it.
+inline std::uint64_t auto_seed(std::uint64_t salt = 0) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string name = "cbm-no-test";
+  if (info != nullptr) {
+    name = std::string(info->test_suite_name()) + "." + info->name();
+  }
+  return check::seed_from_name(name, salt);
+}
+
+/// SCOPED_TRACE message naming the active seed, e.g.
+/// `SCOPED_TRACE(test::seed_trace(seed));` — on failure gtest prints it,
+/// and `CBM_TEST_SEED=<value>` reruns the exact case (docs/testing.md).
+inline std::string seed_trace(std::uint64_t seed) {
+  return "reproduce with CBM_TEST_SEED=" + std::to_string(seed);
+}
+
 /// Random binary n×n matrix with expected `density` fraction of ones.
 inline CsrMatrix<float> random_binary(index_t n, double density,
                                       std::uint64_t seed) {
-  Rng rng(seed);
-  CooMatrix<float> coo;
-  coo.rows = n;
-  coo.cols = n;
-  for (index_t i = 0; i < n; ++i) {
-    for (index_t j = 0; j < n; ++j) {
-      if (rng.next_bool(density)) coo.push(i, j, 1.0f);
-    }
-  }
-  return CsrMatrix<float>::from_coo(coo);
+  return check::random_binary<float>(n, density, seed);
 }
 
 /// Random binary matrix with groups of near-duplicate rows (the regime CBM
@@ -30,58 +79,25 @@ inline CsrMatrix<float> random_binary(index_t n, double density,
 inline CsrMatrix<float> clustered_binary(index_t n, index_t groups,
                                          index_t base_nnz, index_t flips,
                                          std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::vector<bool>> templates(
-      groups, std::vector<bool>(static_cast<std::size_t>(n), false));
-  for (auto& t : templates) {
-    for (index_t k = 0; k < base_nnz; ++k) {
-      t[rng.next_below(static_cast<std::uint64_t>(n))] = true;
-    }
-  }
-  CooMatrix<float> coo;
-  coo.rows = n;
-  coo.cols = n;
-  for (index_t i = 0; i < n; ++i) {
-    auto row = templates[static_cast<std::size_t>(i) % groups];
-    for (index_t f = 0; f < flips; ++f) {
-      const auto j = rng.next_below(static_cast<std::uint64_t>(n));
-      row[j] = !row[j];
-    }
-    for (index_t j = 0; j < n; ++j) {
-      if (row[j]) coo.push(i, j, 1.0f);
-    }
-  }
-  return CsrMatrix<float>::from_coo(coo);
+  return check::clustered_binary<float>(n, groups, base_nnz, flips, seed);
 }
 
 /// Densifies a CSR matrix (test oracle input).
 template <typename T>
 DenseMatrix<T> to_dense(const CsrMatrix<T>& a) {
-  DenseMatrix<T> out(a.rows(), a.cols());
-  for (index_t i = 0; i < a.rows(); ++i) {
-    const auto cols = a.row_indices(i);
-    const auto vals = a.row_values(i);
-    for (std::size_t k = 0; k < cols.size(); ++k) out(i, cols[k]) = vals[k];
-  }
-  return out;
+  return check::to_dense(a);
 }
 
 /// Random dense matrix in [0, 1).
 template <typename T>
 DenseMatrix<T> random_dense(index_t rows, index_t cols, std::uint64_t seed) {
-  Rng rng(seed);
-  DenseMatrix<T> m(rows, cols);
-  m.fill_uniform(rng);
-  return m;
+  return check::random_dense<T>(rows, cols, seed);
 }
 
 /// Random positive diagonal in [0.5, 1.5).
 template <typename T>
 std::vector<T> random_diagonal(index_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<T> d(static_cast<std::size_t>(n));
-  for (auto& v : d) v = static_cast<T>(0.5 + rng.next_double());
-  return d;
+  return check::random_diagonal<T>(n, seed);
 }
 
 }  // namespace cbm::test
