@@ -113,6 +113,42 @@ RunStats time_cbm(const CbmMatrix<T>& cbm, const DenseMatrix<T>& b,
                           config.warmup);
 }
 
+/// Times C = cbm·B under resolve_plan()'s choice (autotuner when CBM_TUNE is
+/// on, analytic policy otherwise) and returns the timings together with the
+/// decision, so benches can record plan provenance next to the numbers.
+template <typename T>
+struct TunedTiming {
+  RunStats stats;
+  tune::PlanDecision decision;
+
+  /// Provenance labels for BenchReport: where the plan came from and what it
+  /// was (engine path, tile width, SIMD tier).
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>>
+  plan_labels() const {
+    return {{"plan", decision.tuned ? "tuned" : "analytic"},
+            {"plan_source", decision.tuned
+                                ? (decision.cache_hit ? "cache" : "probe")
+                                : "env"},
+            {"plan_path", multiply_path_name(decision.plan.schedule.path)},
+            {"plan_tile_cols",
+             std::to_string(decision.plan.schedule.tile_cols)},
+            {"plan_simd", simd_level_name(decision.plan.simd)}};
+  }
+};
+
+template <typename T>
+TunedTiming<T> time_cbm_auto(const CbmMatrix<T>& cbm, const DenseMatrix<T>& b,
+                             const BenchConfig& config) {
+  TunedTiming<T> result;
+  DenseMatrix<T> c(cbm.rows(), b.cols());
+  result.decision = cbm.resolve_plan(b, c);  // may probe (outside the timer)
+  SimdScope scope(result.decision.plan.simd);
+  result.stats = time_repetitions(
+      [&] { cbm.multiply(b, c, result.decision.plan.schedule); }, config.reps,
+      config.warmup);
+  return result;
+}
+
 /// Accumulates speedup ratios and reports their geometric mean — the
 /// cross-graph summary statistic the paper's tables use.
 class GeomeanAccumulator {

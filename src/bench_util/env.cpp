@@ -1,30 +1,27 @@
 #include "bench_util/env.hpp"
 
-#include <cstdlib>
 #include <iostream>
 
 #include "bench_util/report.hpp"
+#include "common/envknobs.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 
 namespace cbm {
 
+// All three delegate to the strict parsers in common/envknobs.hpp: a knob
+// holding garbage ("12abc", "fast") throws with the variable name instead of
+// silently benchmarking a half-parsed configuration.
 int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::atoi(v);
+  return env_int_strict(name, fallback);
 }
 
 double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::atof(v);
+  return env_double_strict(name, fallback);
 }
 
 std::string env_string(const char* name, const std::string& fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return v;
+  return env_string_knob(name, fallback);
 }
 
 BenchConfig BenchConfig::from_env() {

@@ -5,6 +5,8 @@
 #include <iostream>
 #include <thread>
 
+#include "common/cache_info.hpp"
+#include "common/vectorops.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -117,6 +119,19 @@ void BenchReport::write() {
   w.value("build_type", host.build_type);
   w.value("openmp", host.openmp);
   w.value("hardware_threads", host.hardware_threads);
+  w.end_object();
+
+  // SIMD tier + cache geometry, so a pasted report says which kernels ran
+  // and what the tile policy saw (docs/tuning.md).
+  const CacheInfo& cache = CacheInfo::host();
+  w.begin_object("cpu");
+  w.value("simd_active", simd_level_name(simd_level()));
+  w.value("simd_max", simd_level_name(simd_max_supported()));
+  w.value("avx2", simd_level_supported(SimdLevel::kAvx2));
+  w.value("avx512", simd_level_supported(SimdLevel::kAvx512));
+  w.value("l1d_bytes", static_cast<std::uint64_t>(cache.l1d_bytes));
+  w.value("l2_bytes", static_cast<std::uint64_t>(cache.l2_bytes));
+  w.value("llc_bytes", static_cast<std::uint64_t>(cache.llc_bytes));
   w.end_object();
 
   w.begin_array("measurements");

@@ -8,76 +8,15 @@
 #include "cbm/spmm_cbm.hpp"
 #include "cbm/spmm_cbm_fused.hpp"
 #include "check/check.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "common/vectorops.hpp"
 #include "obs/obs.hpp"
 #include "sparse/spmm.hpp"
 #include "tree/arborescence.hpp"
 #include "tree/mst.hpp"
 
 namespace cbm {
-
-namespace {
-
-/// Environment-selected enum value: unset/empty keeps `fallback`, anything
-/// unrecognised throws with the variable name (benches must not silently
-/// measure the wrong engine).
-template <typename Enum, std::size_t N>
-Enum env_enum(const char* name,
-              const std::pair<const char*, Enum> (&table)[N], Enum fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  for (const auto& [text, value] : table) {
-    if (std::string(v) == text) return value;
-  }
-  throw CbmError(std::string(name) + ": unknown value '" + v + "'");
-}
-
-}  // namespace
-
-MultiplySchedule MultiplySchedule::two_stage(UpdateSchedule update,
-                                             SpmmSchedule spmm) {
-  MultiplySchedule s;
-  s.path = MultiplyPath::kTwoStage;
-  s.update = update;
-  s.spmm = spmm;
-  return s;
-}
-
-MultiplySchedule MultiplySchedule::fused(index_t tile_cols) {
-  MultiplySchedule s;
-  s.path = MultiplyPath::kFusedTiled;
-  s.tile_cols = tile_cols;
-  return s;
-}
-
-MultiplySchedule MultiplySchedule::from_env() {
-  static constexpr std::pair<const char*, MultiplyPath> kPaths[] = {
-      {"two_stage", MultiplyPath::kTwoStage},
-      {"fused", MultiplyPath::kFusedTiled},
-  };
-  static constexpr std::pair<const char*, SpmmSchedule> kSpmm[] = {
-      {"row_static", SpmmSchedule::kRowStatic},
-      {"row_dynamic", SpmmSchedule::kRowDynamic},
-      {"nnz_balanced", SpmmSchedule::kNnzBalanced},
-  };
-  static constexpr std::pair<const char*, UpdateSchedule> kUpdate[] = {
-      {"sequential", UpdateSchedule::kSequential},
-      {"branch_dynamic", UpdateSchedule::kBranchDynamic},
-      {"branch_static", UpdateSchedule::kBranchStatic},
-      {"column_split", UpdateSchedule::kColumnSplit},
-  };
-  MultiplySchedule s;
-  s.path = env_enum("CBM_MULTIPLY_PATH", kPaths, s.path);
-  s.spmm = env_enum("CBM_SPMM_SCHEDULE", kSpmm, s.spmm);
-  s.update = env_enum("CBM_UPDATE_SCHEDULE", kUpdate, s.update);
-  if (const char* v = std::getenv("CBM_TILE_COLS");
-      v != nullptr && *v != '\0') {
-    const int tile = std::atoi(v);
-    CBM_CHECK(tile > 0, "CBM_TILE_COLS must be a positive integer");
-    s.tile_cols = tile;
-  }
-  return s;
-}
 
 namespace {
 
@@ -273,6 +212,8 @@ CbmMatrix<T> CbmMatrix<T>::compress_impl(const CsrMatrix<T>& a,
     stats->max_depth = m.tree_.max_depth();
     stats->bytes = m.bytes();
   }
+  m.fused_schedule_ = std::make_shared<const FusedRowSchedule<T>>(
+      build_fused_row_schedule(m.tree_, m.kind_, std::span<const T>(m.diag_)));
   return m;
 }
 
@@ -305,6 +246,8 @@ CbmMatrix<T> CbmMatrix<T>::from_parts(CbmKind kind, CompressionTree tree,
     check::enforce(check::validate(m, {.level = level}));
     CBM_COUNTER_ADD("cbm.validate.calls", 1);
   }
+  m.fused_schedule_ = std::make_shared<const FusedRowSchedule<T>>(
+      build_fused_row_schedule(m.tree_, m.kind_, std::span<const T>(m.diag_)));
   return m;
 }
 
@@ -328,7 +271,7 @@ void CbmMatrix<T>::multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
     // Both stages run per column tile inside the fused engine (its span and
     // tile counters live in cbm_multiply_fused).
     cbm_multiply_fused(tree_, kind_, std::span<const T>(diag_), delta_, b, c,
-                       schedule.tile_cols);
+                       schedule.tile_cols, fused_schedule_.get());
     return;
   }
   {
@@ -340,6 +283,61 @@ void CbmMatrix<T>::multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
   // schedule counters live in cbm_update_stage).
   cbm_update_stage(tree_, kind_, std::span<const T>(diag_), c,
                    schedule.update);
+}
+
+template <typename T>
+tune::PlanDecision CbmMatrix<T>::resolve_plan(const DenseMatrix<T>& b,
+                                              DenseMatrix<T>& c) const {
+  CBM_CHECK(cols() == b.rows(), "resolve_plan: inner dimensions differ");
+  CBM_CHECK(c.rows() == rows() && c.cols() == b.cols(),
+            "resolve_plan: output shape mismatch");
+  tune::ShapeKey key;
+  key.rows = rows();
+  key.cols = cols();
+  key.bcols = b.cols();
+  key.delta_nnz = static_cast<std::int64_t>(delta_.nnz());
+  key.threads = max_threads();
+  key.elem_bytes = sizeof(T);
+  // Probes are real multiplies into the caller's C: every candidate plan
+  // computes the identical product, so even a "wasted" probe leaves C
+  // correct and warm. One untimed warmup rep levels the cache state across
+  // candidates (otherwise whichever plan probes first pays the cold-operand
+  // cost and loses), then min-of-two timed reps rejects a plan that only
+  // looked fast because a context switch hit its rival.
+  const auto probe = [&](const tune::Plan& plan) -> double {
+    SimdScope scope(plan.simd);
+    double best = -1.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timer timer;
+      multiply(b, c, plan.schedule);
+      const double seconds = timer.seconds();
+      if (rep == 0) continue;  // warmup
+      if (best < 0.0 || seconds < best) best = seconds;
+    }
+    return best;
+  };
+  tune::PlanDecision decision = tune::Tuner::instance().decide(
+      key, tune::tune_mode_from_env(), probe);
+  if (!decision.tuned) {
+    // Analytic fallback: the CBM_* env plan, defaulting to the fused engine
+    // (whose LLC-share tile policy is the analytic tuner) when no path was
+    // forced, under the active SIMD level.
+    decision.plan.schedule = MultiplySchedule::from_env();
+    if (const char* v = std::getenv("CBM_MULTIPLY_PATH");
+        v == nullptr || *v == '\0') {
+      decision.plan.schedule.path = MultiplyPath::kFusedTiled;
+    }
+    decision.plan.simd = simd_level();
+  }
+  return decision;
+}
+
+template <typename T>
+void CbmMatrix<T>::multiply_auto(const DenseMatrix<T>& b,
+                                 DenseMatrix<T>& c) const {
+  const tune::PlanDecision decision = resolve_plan(b, c);
+  SimdScope scope(decision.plan.simd);
+  multiply(b, c, decision.plan.schedule);
 }
 
 template <typename T>

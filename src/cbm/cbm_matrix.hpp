@@ -10,16 +10,22 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "cbm/distance_graph.hpp"
+#include "cbm/multiply_plan.hpp"
 #include "dense/dense_matrix.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/spmm.hpp"
 #include "tree/compression_tree.hpp"
+#include "tune/tune.hpp"
 
 namespace cbm {
+
+template <typename T>
+struct FusedRowSchedule;  // cbm/spmm_cbm_fused.hpp
 
 /// Which factorisation this CBM matrix represents.
 enum class CbmKind {
@@ -38,48 +44,9 @@ enum class TreeAlgorithm {
          ///< §III construction; ignores alpha
 };
 
-/// Update-stage execution policy (§V-B).
-enum class UpdateSchedule {
-  kSequential,     ///< single-threaded topological sweep
-  kBranchDynamic,  ///< OpenMP dynamic over branches (the paper's choice)
-  kBranchStatic,   ///< OpenMP static over branches (ablation)
-  kColumnSplit,    ///< every thread sweeps the whole tree over its own slice
-                   ///< of B's columns — parallelism independent of the
-                   ///< virtual root's fan-out (wins when the tree has few
-                   ///< branches, where the paper's scheme has no work units)
-};
-
-/// How multiply() executes the two-stage product.
-enum class MultiplyPath {
-  kTwoStage,    ///< delta SpMM over all of C, then the tree update (§IV)
-  kFusedTiled,  ///< column-tiled: both stages per tile while it is hot
-};
-
-/// Full execution plan for one C = op(A)·B product: which engine runs, and
-/// the per-stage schedules the two-stage engine uses. The fused engine takes
-/// only the tile width (its stage interleaving replaces both schedules).
-struct MultiplySchedule {
-  MultiplyPath path = MultiplyPath::kTwoStage;
-  SpmmSchedule spmm = SpmmSchedule::kNnzBalanced;
-  UpdateSchedule update = UpdateSchedule::kBranchDynamic;
-  index_t tile_cols = 0;  ///< fused tile width; 0 = auto (CBM_TILE_COLS env
-                          ///< override, else detected cache geometry)
-
-  /// Two-stage plan with the given stage schedules (the historical default).
-  static MultiplySchedule two_stage(
-      UpdateSchedule update = UpdateSchedule::kBranchDynamic,
-      SpmmSchedule spmm = SpmmSchedule::kNnzBalanced);
-
-  /// Fused column-tiled plan; tile_cols 0 = auto.
-  static MultiplySchedule fused(index_t tile_cols = 0);
-
-  /// Reads CBM_MULTIPLY_PATH (two_stage | fused), CBM_SPMM_SCHEDULE
-  /// (row_static | row_dynamic | nnz_balanced), CBM_UPDATE_SCHEDULE
-  /// (sequential | branch_dynamic | branch_static | column_split) and
-  /// CBM_TILE_COLS. Unset variables keep the defaults above; unknown values
-  /// throw (a mistyped knob must not silently benchmark the wrong engine).
-  static MultiplySchedule from_env();
-};
+// UpdateSchedule, MultiplyPath, and MultiplySchedule live in
+// cbm/multiply_plan.hpp (included above) so the autotuner can reason about
+// plans without this header.
 
 /// Options controlling compression.
 struct CbmOptions {
@@ -150,6 +117,20 @@ class CbmMatrix {
   void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
                 const MultiplySchedule& schedule) const;
 
+  /// Resolves the execution plan multiply_auto() will run: the empirical
+  /// autotuner first (per CBM_TUNE — cached winner, or probing candidate
+  /// plans with short timed multiplies into `c`, so no probe work is
+  /// wasted), then the analytic policy (CBM_* env plan with the LLC-share
+  /// fused tiling) when tuning is off or unavailable. The returned decision
+  /// carries provenance (tuned vs analytic, cache hit) for telemetry.
+  tune::PlanDecision resolve_plan(const DenseMatrix<T>& b,
+                                  DenseMatrix<T>& c) const;
+
+  /// C = op(A) · B under resolve_plan()'s choice, including its SIMD kernel
+  /// tier. The first call for a new shape may probe (see CBM_TUNE); later
+  /// calls reuse the decision from the tuning cache.
+  void multiply_auto(const DenseMatrix<T>& b, DenseMatrix<T>& c) const;
+
   /// y = op(A) · x — the matrix-vector product of §IV (Eqs. 4–6). Same
   /// two-stage structure with p = 1; y is overwritten.
   void multiply_vector(
@@ -190,6 +171,9 @@ class CbmMatrix {
   CompressionTree tree_;
   CsrMatrix<T> delta_;   ///< A' or (AD)'
   std::vector<T> diag_;  ///< update-stage diagonal (kSymScaled / kTwoSided)
+  /// Fused-engine row schedule, derived from (tree_, kind_, diag_) at
+  /// construction and immutable afterwards — copies of the matrix share it.
+  std::shared_ptr<const FusedRowSchedule<T>> fused_schedule_;
 };
 
 extern template class CbmMatrix<float>;

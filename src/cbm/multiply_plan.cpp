@@ -1,0 +1,121 @@
+#include "cbm/multiply_plan.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/envknobs.hpp"
+#include "common/error.hpp"
+
+namespace cbm {
+
+namespace {
+
+/// Environment-selected enum value: unset/empty keeps `fallback`, anything
+/// unrecognised throws with the variable name (benches must not silently
+/// measure the wrong engine).
+template <typename Enum, std::size_t N>
+Enum env_enum(const char* name,
+              const std::pair<const char*, Enum> (&table)[N], Enum fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  for (const auto& [text, value] : table) {
+    if (std::string_view(v) == text) return value;
+  }
+  throw CbmError(std::string(name) + ": unknown value '" + v + "'");
+}
+
+template <typename Enum, std::size_t N>
+Enum parse_enum(const char* what,
+                const std::pair<const char*, Enum> (&table)[N],
+                std::string_view text) {
+  for (const auto& [name, value] : table) {
+    if (text == name) return value;
+  }
+  throw CbmError(std::string(what) + ": unknown value '" + std::string(text) +
+                 "'");
+}
+
+constexpr std::pair<const char*, MultiplyPath> kPaths[] = {
+    {"two_stage", MultiplyPath::kTwoStage},
+    {"fused", MultiplyPath::kFusedTiled},
+};
+constexpr std::pair<const char*, SpmmSchedule> kSpmm[] = {
+    {"row_static", SpmmSchedule::kRowStatic},
+    {"row_dynamic", SpmmSchedule::kRowDynamic},
+    {"nnz_balanced", SpmmSchedule::kNnzBalanced},
+};
+constexpr std::pair<const char*, UpdateSchedule> kUpdate[] = {
+    {"sequential", UpdateSchedule::kSequential},
+    {"branch_dynamic", UpdateSchedule::kBranchDynamic},
+    {"branch_static", UpdateSchedule::kBranchStatic},
+    {"column_split", UpdateSchedule::kColumnSplit},
+};
+
+}  // namespace
+
+MultiplySchedule MultiplySchedule::two_stage(UpdateSchedule update,
+                                             SpmmSchedule spmm) {
+  MultiplySchedule s;
+  s.path = MultiplyPath::kTwoStage;
+  s.update = update;
+  s.spmm = spmm;
+  return s;
+}
+
+MultiplySchedule MultiplySchedule::fused(index_t tile_cols) {
+  MultiplySchedule s;
+  s.path = MultiplyPath::kFusedTiled;
+  s.tile_cols = tile_cols;
+  return s;
+}
+
+MultiplySchedule MultiplySchedule::from_env() {
+  MultiplySchedule s;
+  s.path = env_enum("CBM_MULTIPLY_PATH", kPaths, s.path);
+  s.spmm = env_enum("CBM_SPMM_SCHEDULE", kSpmm, s.spmm);
+  s.update = env_enum("CBM_UPDATE_SCHEDULE", kUpdate, s.update);
+  if (const auto tile = env_tile_cols()) s.tile_cols = *tile;
+  return s;
+}
+
+const char* multiply_path_name(MultiplyPath path) {
+  switch (path) {
+    case MultiplyPath::kTwoStage: return "two_stage";
+    case MultiplyPath::kFusedTiled: return "fused";
+  }
+  return "?";
+}
+
+const char* spmm_schedule_name(SpmmSchedule schedule) {
+  switch (schedule) {
+    case SpmmSchedule::kRowStatic: return "row_static";
+    case SpmmSchedule::kRowDynamic: return "row_dynamic";
+    case SpmmSchedule::kNnzBalanced: return "nnz_balanced";
+  }
+  return "?";
+}
+
+const char* update_schedule_name(UpdateSchedule schedule) {
+  switch (schedule) {
+    case UpdateSchedule::kSequential: return "sequential";
+    case UpdateSchedule::kBranchDynamic: return "branch_dynamic";
+    case UpdateSchedule::kBranchStatic: return "branch_static";
+    case UpdateSchedule::kColumnSplit: return "column_split";
+  }
+  return "?";
+}
+
+MultiplyPath parse_multiply_path(std::string_view text) {
+  return parse_enum("multiply path", kPaths, text);
+}
+
+SpmmSchedule parse_spmm_schedule(std::string_view text) {
+  return parse_enum("spmm schedule", kSpmm, text);
+}
+
+UpdateSchedule parse_update_schedule(std::string_view text) {
+  return parse_enum("update schedule", kUpdate, text);
+}
+
+}  // namespace cbm

@@ -1,0 +1,72 @@
+// Execution-plan types for the CBM product C = op(A)·B.
+//
+// Extracted from cbm_matrix.hpp so the empirical autotuner (src/tune) can
+// describe, serialise, and compare plans without depending on the CbmMatrix
+// implementation — cbm_core links the tuner, not the other way round. The
+// names here are the serialisation vocabulary of the tuning cache
+// (cbm-tune-v1) and of bench telemetry, so they are stable strings.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+#include "sparse/spmm.hpp"
+
+namespace cbm {
+
+/// Update-stage execution policy (§V-B).
+enum class UpdateSchedule {
+  kSequential,     ///< single-threaded topological sweep
+  kBranchDynamic,  ///< OpenMP dynamic over branches (the paper's choice)
+  kBranchStatic,   ///< OpenMP static over branches (ablation)
+  kColumnSplit,    ///< every thread sweeps the whole tree over its own slice
+                   ///< of B's columns — parallelism independent of the
+                   ///< virtual root's fan-out (wins when the tree has few
+                   ///< branches, where the paper's scheme has no work units)
+};
+
+/// How multiply() executes the two-stage product.
+enum class MultiplyPath {
+  kTwoStage,    ///< delta SpMM over all of C, then the tree update (§IV)
+  kFusedTiled,  ///< column-tiled: both stages per tile while it is hot
+};
+
+/// Full execution plan for one C = op(A)·B product: which engine runs, and
+/// the per-stage schedules the two-stage engine uses. The fused engine takes
+/// only the tile width (its stage interleaving replaces both schedules).
+struct MultiplySchedule {
+  MultiplyPath path = MultiplyPath::kTwoStage;
+  SpmmSchedule spmm = SpmmSchedule::kNnzBalanced;
+  UpdateSchedule update = UpdateSchedule::kBranchDynamic;
+  index_t tile_cols = 0;  ///< fused tile width; 0 = auto (CBM_TILE_COLS env
+                          ///< override, else detected cache geometry)
+
+  /// Two-stage plan with the given stage schedules (the historical default).
+  static MultiplySchedule two_stage(
+      UpdateSchedule update = UpdateSchedule::kBranchDynamic,
+      SpmmSchedule spmm = SpmmSchedule::kNnzBalanced);
+
+  /// Fused column-tiled plan; tile_cols 0 = auto.
+  static MultiplySchedule fused(index_t tile_cols = 0);
+
+  /// Reads CBM_MULTIPLY_PATH (two_stage | fused), CBM_SPMM_SCHEDULE
+  /// (row_static | row_dynamic | nnz_balanced), CBM_UPDATE_SCHEDULE
+  /// (sequential | branch_dynamic | branch_static | column_split) and
+  /// CBM_TILE_COLS. Unset variables keep the defaults above; unknown values
+  /// throw (a mistyped knob must not silently benchmark the wrong engine).
+  static MultiplySchedule from_env();
+};
+
+/// Stable lower-case names — the serialisation vocabulary of the tuning
+/// cache and of bench telemetry.
+const char* multiply_path_name(MultiplyPath path);
+const char* spmm_schedule_name(SpmmSchedule schedule);
+const char* update_schedule_name(UpdateSchedule schedule);
+
+/// Inverse of the *_name functions; unknown text throws CbmError naming the
+/// offending value (a corrupt cache entry must not select a random engine).
+MultiplyPath parse_multiply_path(std::string_view text);
+SpmmSchedule parse_spmm_schedule(std::string_view text);
+UpdateSchedule parse_update_schedule(std::string_view text);
+
+}  // namespace cbm

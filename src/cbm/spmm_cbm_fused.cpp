@@ -1,11 +1,12 @@
 #include "cbm/spmm_cbm_fused.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "cbm/update_kernels.hpp"
 #include "common/cache_info.hpp"
+#include "common/envknobs.hpp"
 #include "common/parallel.hpp"
+#include "common/vectorops.hpp"
 #include "obs/obs.hpp"
 #include "sparse/spmm.hpp"
 
@@ -35,14 +36,44 @@ void record_fused_metrics(std::size_t c_bytes, index_t tiles,
 
 }  // namespace
 
+template <typename T>
+FusedRowSchedule<T> build_fused_row_schedule(const CompressionTree& tree,
+                                             CbmKind kind,
+                                             std::span<const T> diag) {
+  const bool row_scaled = cbm_kind_row_scaled(kind);
+  const index_t n = tree.num_rows();
+  const index_t vroot = tree.virtual_root();
+  FusedRowSchedule<T> schedule;
+  schedule.order.reserve(static_cast<std::size_t>(n));
+  schedule.parents.reserve(static_cast<std::size_t>(n));
+  schedule.seed_scales.reserve(static_cast<std::size_t>(n));
+  schedule.av_scales.reserve(static_cast<std::size_t>(n));
+  // Directly-stored rows first (no dependencies — a sequential stream over
+  // the delta CSR), then compressed rows in topological order so every
+  // parent row is final before a child seeds from it.
+  for (index_t x = 0; x < n; ++x) {
+    if (tree.parent(x) != vroot) continue;
+    schedule.order.push_back(x);
+    schedule.parents.push_back(index_t{-1});
+    schedule.seed_scales.push_back(T{0});
+    schedule.av_scales.push_back(row_scaled ? diag[x] : T{1});
+  }
+  for (const index_t x : tree.topological_order()) {
+    const index_t par = tree.parent(x);
+    if (par == vroot) continue;
+    schedule.order.push_back(x);
+    schedule.parents.push_back(par);
+    schedule.seed_scales.push_back(row_scaled ? diag[x] / diag[par] : T{1});
+    schedule.av_scales.push_back(row_scaled ? diag[x] : T{1});
+  }
+  return schedule;
+}
+
 index_t cbm_fused_resolve_tile_cols(index_t rows, index_t bcols,
                                     std::size_t elem_bytes) {
   if (bcols <= 0) return 1;
-  if (const char* env = std::getenv("CBM_TILE_COLS");
-      env != nullptr && *env != '\0') {
-    const int requested = std::atoi(env);
-    CBM_CHECK(requested > 0, "CBM_TILE_COLS must be a positive integer");
-    return std::min<index_t>(requested, bcols);
+  if (const auto requested = env_tile_cols()) {
+    return std::min<index_t>(*requested, bcols);
   }
   return fused_tile_cols(rows, bcols, elem_bytes, max_threads());
 }
@@ -51,7 +82,7 @@ template <typename T>
 void cbm_multiply_fused(const CompressionTree& tree, CbmKind kind,
                         std::span<const T> diag, const CsrMatrix<T>& delta,
                         const DenseMatrix<T>& b, DenseMatrix<T>& c,
-                        index_t tile_cols) {
+                        index_t tile_cols, const FusedRowSchedule<T>* schedule) {
   CBM_CHECK(delta.cols() == b.rows(), "fused multiply: inner dims differ");
   CBM_CHECK(c.rows() == delta.rows() && c.cols() == b.cols(),
             "fused multiply: output shape mismatch");
@@ -89,71 +120,36 @@ void cbm_multiply_fused(const CompressionTree& tree, CbmKind kind,
     // stage). Row-scaled kinds keep the Eq. 6 fix-up, still applied while
     // the row is hot. No barriers anywhere; dynamic scheduling absorbs nnz
     // skew across tiles.
-    const auto topo = tree.topological_order();
     const auto indptr = delta.indptr();
     const auto indices = delta.indices();
     const auto values = delta.values();
-    const index_t vroot = tree.virtual_root();
+    const auto& kern = simd::kernels<T>();
+    const auto ldb = static_cast<std::size_t>(b.cols());
+    const auto ldc = static_cast<std::size_t>(c.cols());
+    // The batched kernel computes, per scheduled row,
+    //   C_x = seed_scale·C_parent + av_scale·(Δ_x · B)
+    // over the tile in a single pass, with the row panel held in registers:
+    // each element of C_x is written exactly once. Eq. 6 folds in exactly:
+    // av_scale = d_x distributes over the delta sum (one scalar multiply per
+    // nonzero, hoisted into the broadcast) and seed_scale = d_x/d_p covers
+    // the parent term, so even the row-scaled kinds need no fix-up pass.
+    // The whole per-tile loop runs inside the dispatched translation unit —
+    // one indirect call per tile, not one per row.
+    FusedRowSchedule<T> local;
+    if (schedule == nullptr) {
+      local = build_fused_row_schedule(tree, kind, diag);
+      schedule = &local;
+    }
 #pragma omp parallel for schedule(dynamic)
     for (index_t t = 0; t < ntiles; ++t) {
       const index_t c0 = t * w;
       const index_t c1 = std::min<index_t>(c0 + w, p);
       const index_t width = c1 - c0;
-      // Computes C_x = seed_scale·C_parent + av_scale·(Δ_x · B) over the
-      // tile in a single pass. Eq. 6 folds in exactly: av_scale = d_x
-      // distributes over the delta sum (one scalar multiply per nonzero,
-      // hoisted out of the SIMD loop) and seed_scale = d_x/d_p covers the
-      // parent term, so even the row-scaled kinds need no fix-up pass.
-      const auto product_row = [&](index_t x, const T* __restrict__ prow,
-                                   T seed_scale, T av_scale) {
-        T* __restrict__ crow = c.row(x).data() + c0;
-        offset_t k = indptr[x];
-        const offset_t k_end = indptr[x + 1];
-        // The seed is folded into the first delta nonzero so every pass over
-        // the C row does real work: compressed rows typically hold only a
-        // couple of delta nonzeros, so a dedicated seed pass would be a
-        // sizeable share of their C-row traffic.
-        if (k < k_end) {
-          const T av = av_scale * values[k];
-          const T* __restrict__ brow = b.row(indices[k]).data() + c0;
-          if (prow != nullptr) {
-#pragma omp simd
-            for (index_t jj = 0; jj < width; ++jj) {
-              crow[jj] = seed_scale * prow[jj] + av * brow[jj];
-            }
-          } else {
-#pragma omp simd
-            for (index_t jj = 0; jj < width; ++jj) crow[jj] = av * brow[jj];
-          }
-          ++k;
-        } else if (prow != nullptr) {
-          for (index_t jj = 0; jj < width; ++jj) {
-            crow[jj] = seed_scale * prow[jj];
-          }
-        } else {
-          for (index_t jj = 0; jj < width; ++jj) crow[jj] = T{0};
-        }
-        for (; k < k_end; ++k) {
-          const T av = av_scale * values[k];
-          const T* __restrict__ brow = b.row(indices[k]).data() + c0;
-#pragma omp simd
-          for (index_t jj = 0; jj < width; ++jj) crow[jj] += av * brow[jj];
-        }
-      };
-      for (index_t x = 0; x < n; ++x) {
-        if (tree.parent(x) != vroot) continue;
-        product_row(x, nullptr, T{0}, row_scaled ? diag[x] : T{1});
-      }
-      for (const index_t x : topo) {
-        const index_t par = tree.parent(x);
-        if (par == vroot) continue;
-        const T* prow = c.row(par).data() + c0;
-        if (row_scaled) {
-          product_row(x, prow, diag[x] / diag[par], diag[x]);
-        } else {
-          product_row(x, prow, T{1}, T{1});
-        }
-      }
+      kern.fused_rows(b.data() + c0, ldb, indices.data(), values.data(),
+                      indptr.data(), schedule->order.data(),
+                      schedule->parents.data(), schedule->seed_scales.data(),
+                      schedule->av_scales.data(), schedule->order.size(),
+                      c.data() + c0, ldc, width);
     }
     return;
   }
@@ -186,15 +182,19 @@ void cbm_multiply_fused(const CompressionTree& tree, CbmKind kind,
   }
 }
 
-template void cbm_multiply_fused<float>(const CompressionTree&, CbmKind,
-                                        std::span<const float>,
-                                        const CsrMatrix<float>&,
-                                        const DenseMatrix<float>&,
-                                        DenseMatrix<float>&, index_t);
-template void cbm_multiply_fused<double>(const CompressionTree&, CbmKind,
-                                         std::span<const double>,
-                                         const CsrMatrix<double>&,
-                                         const DenseMatrix<double>&,
-                                         DenseMatrix<double>&, index_t);
+template struct FusedRowSchedule<float>;
+template struct FusedRowSchedule<double>;
+template FusedRowSchedule<float> build_fused_row_schedule<float>(
+    const CompressionTree&, CbmKind, std::span<const float>);
+template FusedRowSchedule<double> build_fused_row_schedule<double>(
+    const CompressionTree&, CbmKind, std::span<const double>);
+template void cbm_multiply_fused<float>(
+    const CompressionTree&, CbmKind, std::span<const float>,
+    const CsrMatrix<float>&, const DenseMatrix<float>&, DenseMatrix<float>&,
+    index_t, const FusedRowSchedule<float>*);
+template void cbm_multiply_fused<double>(
+    const CompressionTree&, CbmKind, std::span<const double>,
+    const CsrMatrix<double>&, const DenseMatrix<double>&, DenseMatrix<double>&,
+    index_t, const FusedRowSchedule<double>*);
 
 }  // namespace cbm

@@ -21,17 +21,41 @@
 #pragma once
 
 #include "cbm/cbm_matrix.hpp"
+#include "common/aligned.hpp"
 
 namespace cbm {
+
+/// Precomputed row schedule for the tile-per-thread fused engine: the row
+/// visit order (directly-stored rows in ascending order, then compressed
+/// rows topologically), each item's parent (-1 for direct rows) and its
+/// Eq. 6 seed/value scales. Derived from (tree, kind, diag) only, so it is
+/// valid for every multiply against the same CBM and every column tile —
+/// CbmMatrix builds it once and reuses it, turning the engine's per-row
+/// dispatch into one fused_rows kernel call per tile.
+template <typename T>
+struct FusedRowSchedule {
+  AlignedVector<index_t> order;
+  AlignedVector<index_t> parents;
+  AlignedVector<T> seed_scales;
+  AlignedVector<T> av_scales;
+};
+
+template <typename T>
+FusedRowSchedule<T> build_fused_row_schedule(const CompressionTree& tree,
+                                             CbmKind kind,
+                                             std::span<const T> diag);
 
 /// Runs the fused column-tiled product C = op(A)·B given a CBM's parts.
 /// `tile_cols` ≤ 0 means auto: the CBM_TILE_COLS environment variable when
 /// set, otherwise the cache-derived width of fused_tile_cols().
+/// `schedule` may pass a prebuilt row schedule (must match tree/kind/diag);
+/// nullptr builds one on the fly.
 template <typename T>
 void cbm_multiply_fused(const CompressionTree& tree, CbmKind kind,
                         std::span<const T> diag, const CsrMatrix<T>& delta,
                         const DenseMatrix<T>& b, DenseMatrix<T>& c,
-                        index_t tile_cols = 0);
+                        index_t tile_cols = 0,
+                        const FusedRowSchedule<T>* schedule = nullptr);
 
 /// The tile width cbm_multiply_fused would use for an n-row product with
 /// p-column operands (CBM_TILE_COLS override included). Exposed for tests,
@@ -39,17 +63,19 @@ void cbm_multiply_fused(const CompressionTree& tree, CbmKind kind,
 index_t cbm_fused_resolve_tile_cols(index_t rows, index_t bcols,
                                     std::size_t elem_bytes);
 
-extern template void cbm_multiply_fused<float>(const CompressionTree&,
-                                               CbmKind,
-                                               std::span<const float>,
-                                               const CsrMatrix<float>&,
-                                               const DenseMatrix<float>&,
-                                               DenseMatrix<float>&, index_t);
-extern template void cbm_multiply_fused<double>(const CompressionTree&,
-                                                CbmKind,
-                                                std::span<const double>,
-                                                const CsrMatrix<double>&,
-                                                const DenseMatrix<double>&,
-                                                DenseMatrix<double>&, index_t);
+extern template struct FusedRowSchedule<float>;
+extern template struct FusedRowSchedule<double>;
+extern template FusedRowSchedule<float> build_fused_row_schedule<float>(
+    const CompressionTree&, CbmKind, std::span<const float>);
+extern template FusedRowSchedule<double> build_fused_row_schedule<double>(
+    const CompressionTree&, CbmKind, std::span<const double>);
+extern template void cbm_multiply_fused<float>(
+    const CompressionTree&, CbmKind, std::span<const float>,
+    const CsrMatrix<float>&, const DenseMatrix<float>&, DenseMatrix<float>&,
+    index_t, const FusedRowSchedule<float>*);
+extern template void cbm_multiply_fused<double>(
+    const CompressionTree&, CbmKind, std::span<const double>,
+    const CsrMatrix<double>&, const DenseMatrix<double>&, DenseMatrix<double>&,
+    index_t, const FusedRowSchedule<double>*);
 
 }  // namespace cbm

@@ -27,6 +27,7 @@ std::size_t parse_size(const std::string& text) {
     value = value * 10 + static_cast<std::size_t>(text[i] - '0');
     ++i;
   }
+  if (i == 0) return 0;  // no leading digits at all
   if (i < text.size()) {
     if (text[i] == 'K' || text[i] == 'k') value *= 1024;
     if (text[i] == 'M' || text[i] == 'm') value *= 1024 * 1024;
@@ -35,21 +36,35 @@ std::size_t parse_size(const std::string& text) {
   return value;
 }
 
+/// Parses a cache "level" attribute; 0 on garbage (std::stoi would throw,
+/// and detect() promises it never does).
+int parse_level(const std::string& text) {
+  int level = 0;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') return 0;
+    level = level * 10 + (ch - '0');
+    if (level > 8) return 0;  // sysfs levels are single digits
+  }
+  return level;
+}
+
 }  // namespace
 
-CacheInfo CacheInfo::detect() {
-  CacheInfo info;
+CacheInfo CacheInfo::detect(const std::string& sysfs_cpu_dir) {
+  CacheInfo info;  // defaults survive wherever sysfs is absent or partial
   // cpu0's cache hierarchy stands in for every core (true on the homogeneous
   // parts this targets). The highest unified level observed becomes the LLC.
   int llc_level = 0;
+  bool saw_llc = false;
   for (int idx = 0; idx < 8; ++idx) {
-    const std::string dir = "/sys/devices/system/cpu/cpu0/cache/index" +
+    const std::string dir = sysfs_cpu_dir + "/cache/index" +
                             std::to_string(idx);
     const std::string type = read_attr(dir, "type");
     if (type.empty()) break;
+    // Partial trees (containers, old kernels) may expose an index directory
+    // without a readable size or level; skip the entry, keep the defaults.
     const std::size_t size = parse_size(read_attr(dir, "size"));
-    const std::string level_text = read_attr(dir, "level");
-    const int level = level_text.empty() ? 0 : std::stoi(level_text);
+    const int level = parse_level(read_attr(dir, "level"));
     if (size == 0 || level == 0) continue;
     if (level == 1 && type == "Data") info.l1d_bytes = size;
     if (level == 2 && (type == "Unified" || type == "Data")) {
@@ -58,11 +73,27 @@ CacheInfo CacheInfo::detect() {
     if (type == "Unified" && level >= llc_level && level >= 2) {
       llc_level = level;
       info.llc_bytes = size;
+      saw_llc = true;
     }
   }
-  // A two-level hierarchy reports no L3: the L2 is the LLC.
-  if (llc_level == 0) info.llc_bytes = std::max(info.llc_bytes, info.l2_bytes);
+  // A two-level hierarchy reports no L3: the L2 is the LLC. The same floor
+  // guards against a detected L3 smaller than the detected L2 (inconsistent
+  // partial trees): callers divide by llc_bytes and size tiles from it, so
+  // the invariant 0 < l2 <= llc must hold no matter what sysfs served.
+  if (llc_level == 0 || !saw_llc || info.llc_bytes < info.l2_bytes) {
+    info.llc_bytes = std::max(info.llc_bytes, info.l2_bytes);
+  }
+  const CacheInfo defaults;
+  if (info.l1d_bytes == 0) info.l1d_bytes = defaults.l1d_bytes;
+  if (info.l2_bytes == 0) info.l2_bytes = defaults.l2_bytes;
+  if (info.llc_bytes == 0) {
+    info.llc_bytes = std::max(defaults.llc_bytes, info.l2_bytes);
+  }
   return info;
+}
+
+CacheInfo CacheInfo::detect() {
+  return detect("/sys/devices/system/cpu/cpu0");
 }
 
 const CacheInfo& CacheInfo::host() {
@@ -83,7 +114,10 @@ index_t fused_tile_cols(index_t rows, index_t total_cols,
   // tile fits the L2 the whole operand very nearly does too, and the tile
   // overhead costs ~20-35%.)
   const auto nth = static_cast<std::size_t>(std::max(threads, 1));
-  const auto llc_share = cache.llc_bytes / nth;
+  // CacheInfo::detect() never reports a zero LLC, but callers can pass a
+  // hand-built CacheInfo; a zero share would tile everything to the minimum.
+  const auto llc_share =
+      std::max<std::size_t>(cache.llc_bytes, 64 * 1024) / nth;
   const auto per_col =
       2 * static_cast<std::size_t>(std::max<index_t>(rows, 1)) * elem_bytes;
   const auto untiled = per_col * static_cast<std::size_t>(total_cols);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "common/types.hpp"
 
@@ -22,9 +23,15 @@ struct CacheInfo {
   std::size_t l2_bytes = 1024 * 1024;       ///< per-core L2
   std::size_t llc_bytes = 16 * 1024 * 1024; ///< last-level (shared)
 
-  /// Reads /sys/devices/system/cpu/cpu0/cache; missing entries keep their
-  /// defaults. Never throws.
+  /// Reads /sys/devices/system/cpu/cpu0/cache; missing or unparsable
+  /// entries keep their defaults, so partial sysfs trees (containers,
+  /// exotic kernels) degrade gracefully. The result always satisfies
+  /// 0 < l1d, 0 < l2 <= llc. Never throws.
   static CacheInfo detect();
+
+  /// Same detection against an arbitrary per-cpu sysfs directory (the part
+  /// before "/cache/indexN") — lets tests fake the tree on disk.
+  static CacheInfo detect(const std::string& sysfs_cpu_dir);
 
   /// Process-wide detection result (detect() run once, cached).
   static const CacheInfo& host();

@@ -1,0 +1,69 @@
+#include "common/envknobs.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace cbm {
+
+namespace {
+
+const char* lookup(const char* name) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? nullptr : v;
+}
+
+[[noreturn]] void bad_value(const char* name, const char* value,
+                            const char* expected) {
+  throw CbmError(std::string(name) + ": invalid value '" + value +
+                 "' (expected " + expected + ")");
+}
+
+}  // namespace
+
+int env_int_strict(const char* name, int fallback) {
+  const char* v = lookup(name);
+  if (v == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, /*base=*/10);
+  if (end == v || *end != '\0') bad_value(name, v, "an integer");
+  if (errno == ERANGE || parsed < std::numeric_limits<int>::min() ||
+      parsed > std::numeric_limits<int>::max()) {
+    bad_value(name, v, "an integer in int range");
+  }
+  return static_cast<int>(parsed);
+}
+
+int env_positive_int(const char* name, int fallback) {
+  const int value = env_int_strict(name, fallback);
+  if (const char* v = lookup(name); v != nullptr && value < 1) {
+    bad_value(name, v, "a positive integer");
+  }
+  return value;
+}
+
+double env_double_strict(const char* name, double fallback) {
+  const char* v = lookup(name);
+  if (v == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') bad_value(name, v, "a number");
+  if (errno == ERANGE) bad_value(name, v, "a number in double range");
+  return parsed;
+}
+
+std::string env_string_knob(const char* name, const std::string& fallback) {
+  const char* v = lookup(name);
+  return v == nullptr ? fallback : std::string(v);
+}
+
+std::optional<index_t> env_tile_cols() {
+  if (lookup("CBM_TILE_COLS") == nullptr) return std::nullopt;
+  return static_cast<index_t>(env_positive_int("CBM_TILE_COLS", 0));
+}
+
+}  // namespace cbm

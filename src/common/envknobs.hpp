@@ -1,0 +1,33 @@
+// Strict environment-knob parsing, shared by every CBM_* integer/double
+// knob. The historical per-call-site atoi()/atof() parsing accepted garbage
+// silently ("12abc" → 12, "fast" → 0), which for a benchmark harness means
+// quietly measuring the wrong configuration. These parsers consume the whole
+// string or throw a CbmError naming the offending variable.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace cbm {
+
+/// Integer knob: unset/empty → fallback; non-numeric, trailing garbage, or
+/// out-of-range input throws CbmError naming `name`.
+int env_int_strict(const char* name, int fallback);
+
+/// Like env_int_strict, but additionally rejects values < 1.
+int env_positive_int(const char* name, int fallback);
+
+/// Double knob with the same whole-string contract.
+double env_double_strict(const char* name, double fallback);
+
+/// String knob: unset/empty → fallback.
+std::string env_string_knob(const char* name, const std::string& fallback);
+
+/// The CBM_TILE_COLS override, validated in one place: nullopt when unset,
+/// the (positive) requested width otherwise. Zero, negative, and non-numeric
+/// values throw.
+std::optional<index_t> env_tile_cols();
+
+}  // namespace cbm

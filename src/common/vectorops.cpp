@@ -1,0 +1,162 @@
+// Runtime SIMD dispatch: CPU feature detection, the CBM_SIMD knob, and the
+// active-kernel-table atomics read by the inline wrappers in vectorops.hpp.
+#include "common/vectorops.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "common/vectorops_backends.hpp"
+
+namespace cbm {
+
+namespace simd::detail {
+
+namespace {
+
+template <typename T>
+constexpr KernelTable<T> make_scalar_table() {
+  KernelTable<T> t{};
+  t.add = &generic_add<T>;
+  t.axpy = &generic_axpy<T>;
+  t.scale = &generic_scale<T>;
+  t.fused_scale_add = &generic_fused_scale_add<T>;
+  t.dot = &generic_dot<T>;
+  t.spmm_row = &generic_spmm_row<T>;
+  t.fused_rows = &generic_fused_rows<T>;
+  return t;
+}
+
+const KernelTable<float> kScalarF32 = make_scalar_table<float>();
+const KernelTable<double> kScalarF64 = make_scalar_table<double>();
+
+std::atomic<SimdLevel> g_level{SimdLevel::kScalar};
+std::mutex g_init_mutex;
+
+bool cpu_has_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512f() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+/// Installs the tables for `level`; caller has validated support.
+void install_tables(SimdLevel level) {
+  const KernelTable<float>* f32 = &kScalarF32;
+  const KernelTable<double>* f64 = &kScalarF64;
+#ifdef CBM_HAVE_AVX2_KERNELS
+  if (level == SimdLevel::kAvx2) {
+    f32 = &backend::avx2_f32();
+    f64 = &backend::avx2_f64();
+  }
+#endif
+#ifdef CBM_HAVE_AVX512_KERNELS
+  if (level == SimdLevel::kAvx512) {
+    f32 = &backend::avx512_f32();
+    f64 = &backend::avx512_f64();
+  }
+#endif
+  g_table_f32.store(f32, std::memory_order_relaxed);
+  g_table_f64.store(f64, std::memory_order_relaxed);
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::atomic<const KernelTable<float>*> g_table_f32{&kScalarF32};
+std::atomic<const KernelTable<double>*> g_table_f64{&kScalarF64};
+std::atomic<bool> g_initialized{false};
+
+void init_from_env() {
+  const std::lock_guard<std::mutex> lock(g_init_mutex);
+  if (g_initialized.load(std::memory_order_relaxed)) return;
+  const char* env = std::getenv("CBM_SIMD");
+  const std::string_view text =
+      (env == nullptr || *env == '\0') ? std::string_view("auto") : env;
+  install_tables(parse_simd_level(text));
+  g_initialized.store(true, std::memory_order_release);
+}
+
+}  // namespace simd::detail
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool simd_level_supported(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return true;
+    case SimdLevel::kAvx2:
+#ifdef CBM_HAVE_AVX2_KERNELS
+      return simd::detail::cpu_has_avx2();
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx512:
+#ifdef CBM_HAVE_AVX512_KERNELS
+      return simd::detail::cpu_has_avx512f();
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+SimdLevel simd_max_supported() {
+  if (simd_level_supported(SimdLevel::kAvx512)) return SimdLevel::kAvx512;
+  if (simd_level_supported(SimdLevel::kAvx2)) return SimdLevel::kAvx2;
+  return SimdLevel::kScalar;
+}
+
+SimdLevel parse_simd_level(std::string_view text) {
+  if (text == "auto") return simd_max_supported();
+  SimdLevel level;
+  if (text == "scalar") {
+    level = SimdLevel::kScalar;
+  } else if (text == "avx2") {
+    level = SimdLevel::kAvx2;
+  } else if (text == "avx512") {
+    level = SimdLevel::kAvx512;
+  } else {
+    throw CbmError("CBM_SIMD: unknown value '" + std::string(text) +
+                   "' (expected auto | avx512 | avx2 | scalar)");
+  }
+  CBM_CHECK(simd_level_supported(level),
+            std::string("CBM_SIMD: level '") + simd_level_name(level) +
+                "' is not available on this host/build");
+  return level;
+}
+
+SimdLevel simd_level() {
+  if (!simd::detail::g_initialized.load(std::memory_order_acquire)) {
+    simd::detail::init_from_env();
+  }
+  return simd::detail::g_level.load(std::memory_order_relaxed);
+}
+
+void set_simd_level(SimdLevel level) {
+  CBM_CHECK(simd_level_supported(level),
+            std::string("set_simd_level: level '") + simd_level_name(level) +
+                "' is not available on this host/build");
+  const std::lock_guard<std::mutex> lock(simd::detail::g_init_mutex);
+  simd::detail::install_tables(level);
+  simd::detail::g_initialized.store(true, std::memory_order_release);
+}
+
+}  // namespace cbm

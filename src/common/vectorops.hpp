@@ -1,35 +1,255 @@
-// Span-based dense vector kernels: the axpy family used by the CBM update
-// stage (the paper offloads these to MKL's axpy; we provide an OpenMP-SIMD
-// implementation with identical semantics).
+// Dense vector/row microkernels with runtime SIMD dispatch.
+//
+// The axpy family used by the CBM update stage (the paper offloads these to
+// MKL's axpy) and the SpMM row kernel shared by the delta multiply, the
+// fused column-tiled engine, and the CSR baselines all route through one
+// per-scalar-type kernel table. Three implementations exist — portable
+// scalar (compiler-autovectorised), explicit AVX2+FMA, and explicit
+// AVX-512 with masked tails — selected once at runtime from CPUID, the
+// CBM_SIMD environment knob (auto | avx512 | avx2 | scalar), or
+// set_simd_level() (tests, tuner). Types other than float/double always use
+// the portable path.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <span>
+#include <string_view>
+#include <type_traits>
 
 #include "common/error.hpp"
+#include "common/types.hpp"
 
 namespace cbm {
+
+/// Instruction-set tier of the dispatched kernels. Order is capability
+/// order: a level is usable iff the CPU supports it and the build compiled
+/// its kernels.
+enum class SimdLevel : int {
+  kScalar = 0,  ///< portable loops (autovectorised at build flags)
+  kAvx2 = 1,    ///< explicit AVX2 + FMA intrinsics
+  kAvx512 = 2,  ///< explicit AVX-512F intrinsics with masked tails
+};
+
+/// Stable lower-case name ("scalar" | "avx2" | "avx512").
+const char* simd_level_name(SimdLevel level);
+
+/// Highest level both compiled in and supported by this CPU.
+SimdLevel simd_max_supported();
+
+/// True iff `level` can be activated on this host/build.
+bool simd_level_supported(SimdLevel level);
+
+/// "auto" → simd_max_supported(); "avx512" / "avx2" / "scalar" → that level,
+/// throwing CbmError when the host/build cannot run it; anything else throws
+/// (a mistyped knob must not silently benchmark the wrong kernels).
+SimdLevel parse_simd_level(std::string_view text);
+
+/// Currently active level. First use reads CBM_SIMD (unset/empty = auto).
+SimdLevel simd_level();
+
+/// Activates `level` process-wide (throws if unsupported). Used by tests to
+/// sweep levels and by the autotuner to apply a tuned kernel choice.
+void set_simd_level(SimdLevel level);
+
+/// RAII level override (tests / per-plan kernel selection).
+class SimdScope {
+ public:
+  explicit SimdScope(SimdLevel level) : saved_(simd_level()) {
+    set_simd_level(level);
+  }
+  ~SimdScope() { set_simd_level(saved_); }
+  SimdScope(const SimdScope&) = delete;
+  SimdScope& operator=(const SimdScope&) = delete;
+
+ private:
+  SimdLevel saved_;
+};
+
+/// Read-prefetch hint (software prefetch of parent rows / B rows).
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+namespace simd {
+
+/// Per-scalar-type kernel table; one instance per (type, SimdLevel).
+template <typename T>
+struct KernelTable {
+  void (*add)(const T* x, T* y, std::size_t n);                   // y += x
+  void (*axpy)(T a, const T* x, T* y, std::size_t n);             // y += a·x
+  void (*scale)(T a, T* y, std::size_t n);                        // y *= a
+  void (*fused_scale_add)(T a, T b, const T* x, T* y,
+                          std::size_t n);                         // y = a(bx+y)
+  T (*dot)(const T* x, const T* y, std::size_t n);
+  /// Register-blocked SpMM row kernel:
+  ///   crow[0:width) = (seed_row ? seed_scale·seed_row : 0)
+  ///                 + Σ_{k∈[k0,k1)} (av_scale·values[k]) · B[indices[k]][0:width)
+  /// where B rows start at b + indices[k]·ldb. Column panels stay in
+  /// registers across the whole nonzero sweep, so each element of crow is
+  /// written exactly once; the per-element accumulation order over k matches
+  /// the scalar formulation (vectorisation is across columns only).
+  void (*spmm_row)(const T* b, std::size_t ldb, const index_t* indices,
+                   const T* values, offset_t k0, offset_t k1, T* crow,
+                   index_t width, const T* seed_row, T seed_scale, T av_scale);
+  /// Batched spmm_row over a precomputed row schedule, with the whole loop
+  /// inside the ISA translation unit — one indirect call per tile instead of
+  /// one per row (the call overhead dominates on graphs whose delta rows
+  /// hold only a handful of nonzeros). For each item i, with x = order[i]
+  /// and par = parents[i]:
+  ///   ctile[x·ldc : +width) = (par >= 0 ? seed_scales[i]·ctile[par·ldc : +width) : 0)
+  ///                         + Σ_{k∈[indptr[x],indptr[x+1])} (av_scales[i]·values[k]) · B[indices[k]][0:width)
+  /// The caller orders items so every parent row is final before a child
+  /// reads it; the next item's parent row is software-prefetched while the
+  /// current product runs.
+  void (*fused_rows)(const T* b, std::size_t ldb, const index_t* indices,
+                     const T* values, const offset_t* indptr,
+                     const index_t* order, const index_t* parents,
+                     const T* seed_scales, const T* av_scales,
+                     std::size_t nitems, T* ctile, std::size_t ldc,
+                     index_t width);
+};
+
+namespace detail {
+
+// Active tables, swapped atomically by set_simd_level(); initialised from
+// CBM_SIMD on first use.
+extern std::atomic<const KernelTable<float>*> g_table_f32;
+extern std::atomic<const KernelTable<double>*> g_table_f64;
+extern std::atomic<bool> g_initialized;
+void init_from_env();  // idempotent
+
+/// Portable reference bodies; also the kScalar dispatch targets and the
+/// implementation for types without a table.
+template <typename T>
+inline void generic_add(const T* __restrict__ x, T* __restrict__ y,
+                        std::size_t n) {
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+template <typename T>
+inline void generic_axpy(T a, const T* __restrict__ x, T* __restrict__ y,
+                         std::size_t n) {
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+template <typename T>
+inline void generic_scale(T a, T* __restrict__ y, std::size_t n) {
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) y[i] *= a;
+}
+
+template <typename T>
+inline void generic_fused_scale_add(T a, T b, const T* __restrict__ x,
+                                    T* __restrict__ y, std::size_t n) {
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) y[i] = a * (b * x[i] + y[i]);
+}
+
+template <typename T>
+inline T generic_dot(const T* __restrict__ x, const T* __restrict__ y,
+                     std::size_t n) {
+  T acc{0};
+#pragma omp simd reduction(+ : acc)
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+template <typename T>
+inline void generic_spmm_row(const T* b, std::size_t ldb,
+                             const index_t* indices, const T* values,
+                             offset_t k0, offset_t k1, T* crow, index_t width,
+                             const T* seed_row, T seed_scale, T av_scale) {
+  T* __restrict__ out = crow;
+  if (seed_row != nullptr) {
+    const T* __restrict__ sp = seed_row;
+#pragma omp simd
+    for (index_t j = 0; j < width; ++j) out[j] = seed_scale * sp[j];
+  } else {
+    for (index_t j = 0; j < width; ++j) out[j] = T{0};
+  }
+  for (offset_t k = k0; k < k1; ++k) {
+    const T av = av_scale * values[k];
+    const T* __restrict__ brow = b + static_cast<std::size_t>(indices[k]) * ldb;
+#pragma omp simd
+    for (index_t j = 0; j < width; ++j) out[j] += av * brow[j];
+  }
+}
+
+template <typename T>
+inline void generic_fused_rows(const T* b, std::size_t ldb,
+                               const index_t* indices, const T* values,
+                               const offset_t* indptr, const index_t* order,
+                               const index_t* parents, const T* seed_scales,
+                               const T* av_scales, std::size_t nitems,
+                               T* ctile, std::size_t ldc, index_t width) {
+  for (std::size_t i = 0; i < nitems; ++i) {
+    const index_t x = order[i];
+    // Pull the next item's parent row toward the core while this product
+    // runs — parent rows are scattered across C, the one access pattern the
+    // hardware prefetcher cannot predict.
+    if (i + 1 < nitems && parents[i + 1] >= 0) {
+      prefetch_read(ctile + static_cast<std::size_t>(parents[i + 1]) * ldc);
+    }
+    const index_t par = parents[i];
+    const T* seed =
+        par >= 0 ? ctile + static_cast<std::size_t>(par) * ldc : nullptr;
+    generic_spmm_row(b, ldb, indices, values, indptr[x], indptr[x + 1],
+                     ctile + static_cast<std::size_t>(x) * ldc, width, seed,
+                     seed_scales[i], av_scales[i]);
+  }
+}
+
+}  // namespace detail
+
+/// Active kernel table for T (float/double only; other types have none and
+/// must use the generic bodies — see the vec_* wrappers below).
+template <typename T>
+inline const KernelTable<T>& kernels() {
+  static_assert(std::is_same_v<T, float> || std::is_same_v<T, double>,
+                "kernel tables exist for float and double only");
+  if (!detail::g_initialized.load(std::memory_order_acquire)) {
+    detail::init_from_env();
+  }
+  if constexpr (std::is_same_v<T, float>) {
+    return *detail::g_table_f32.load(std::memory_order_relaxed);
+  } else {
+    return *detail::g_table_f64.load(std::memory_order_relaxed);
+  }
+}
+
+template <typename T>
+inline constexpr bool kDispatched =
+    std::is_same_v<T, float> || std::is_same_v<T, double>;
+
+}  // namespace simd
 
 /// y += x (element-wise). Sizes must match.
 template <typename T>
 inline void vec_add(std::span<const T> x, std::span<T> y) {
   CBM_DCHECK(x.size() == y.size(), "vec_add size mismatch");
-  const T* __restrict__ xp = x.data();
-  T* __restrict__ yp = y.data();
-  const std::size_t n = y.size();
-#pragma omp simd
-  for (std::size_t i = 0; i < n; ++i) yp[i] += xp[i];
+  if constexpr (simd::kDispatched<T>) {
+    simd::kernels<T>().add(x.data(), y.data(), y.size());
+  } else {
+    simd::detail::generic_add(x.data(), y.data(), y.size());
+  }
 }
 
 /// y += a * x.
 template <typename T>
 inline void vec_axpy(T a, std::span<const T> x, std::span<T> y) {
   CBM_DCHECK(x.size() == y.size(), "vec_axpy size mismatch");
-  const T* __restrict__ xp = x.data();
-  T* __restrict__ yp = y.data();
-  const std::size_t n = y.size();
-#pragma omp simd
-  for (std::size_t i = 0; i < n; ++i) yp[i] += a * xp[i];
+  if constexpr (simd::kDispatched<T>) {
+    simd::kernels<T>().axpy(a, x.data(), y.data(), y.size());
+  } else {
+    simd::detail::generic_axpy(a, x.data(), y.data(), y.size());
+  }
 }
 
 /// y = a * (b * x + y): the fused scale-and-update of the DADX update stage
@@ -38,23 +258,25 @@ template <typename T>
 inline void vec_fused_scale_add(T a, T b, std::span<const T> x,
                                 std::span<T> y) {
   CBM_DCHECK(x.size() == y.size(), "vec_fused_scale_add size mismatch");
-  const T* __restrict__ xp = x.data();
-  T* __restrict__ yp = y.data();
-  const std::size_t n = y.size();
-#pragma omp simd
-  for (std::size_t i = 0; i < n; ++i) yp[i] = a * (b * xp[i] + yp[i]);
+  if constexpr (simd::kDispatched<T>) {
+    simd::kernels<T>().fused_scale_add(a, b, x.data(), y.data(), y.size());
+  } else {
+    simd::detail::generic_fused_scale_add(a, b, x.data(), y.data(), y.size());
+  }
 }
 
 /// y *= a.
 template <typename T>
 inline void vec_scale(T a, std::span<T> y) {
-  T* __restrict__ yp = y.data();
-  const std::size_t n = y.size();
-#pragma omp simd
-  for (std::size_t i = 0; i < n; ++i) yp[i] *= a;
+  if constexpr (simd::kDispatched<T>) {
+    simd::kernels<T>().scale(a, y.data(), y.size());
+  } else {
+    simd::detail::generic_scale(a, y.data(), y.size());
+  }
 }
 
-/// y = x.
+/// y = x. (Straight copy — the compiler's memmove recognition beats any
+/// hand dispatch, so this stays generic at every level.)
 template <typename T>
 inline void vec_copy(std::span<const T> x, std::span<T> y) {
   CBM_DCHECK(x.size() == y.size(), "vec_copy size mismatch");
@@ -78,13 +300,11 @@ inline void vec_zero(std::span<T> y) {
 template <typename T>
 inline T vec_dot(std::span<const T> x, std::span<const T> y) {
   CBM_DCHECK(x.size() == y.size(), "vec_dot size mismatch");
-  const T* __restrict__ xp = x.data();
-  const T* __restrict__ yp = y.data();
-  const std::size_t n = y.size();
-  T acc{0};
-#pragma omp simd reduction(+ : acc)
-  for (std::size_t i = 0; i < n; ++i) acc += xp[i] * yp[i];
-  return acc;
+  if constexpr (simd::kDispatched<T>) {
+    return simd::kernels<T>().dot(x.data(), y.data(), y.size());
+  } else {
+    return simd::detail::generic_dot(x.data(), y.data(), y.size());
+  }
 }
 
 }  // namespace cbm

@@ -1,0 +1,69 @@
+// AVX2 + FMA backend. This TU is compiled with -mavx2 -mfma regardless of
+// the build's baseline -march; its symbols are only ever called after the
+// dispatcher has verified CPU support, so no illegal instruction can leak
+// onto an older host.
+#include <immintrin.h>
+
+#include "common/vectorops_backends.hpp"
+#include "common/vectorops_simd_impl.hpp"
+
+namespace cbm::simd::backend {
+
+namespace {
+
+struct TraitsF32 {
+  using V = __m256;
+  static constexpr std::size_t kLanes = 8;
+  static constexpr bool kHasMasks = false;
+  static V load(const float* p) { return _mm256_loadu_ps(p); }
+  static void store(float* p, V v) { _mm256_storeu_ps(p, v); }
+  static V set1(float a) { return _mm256_set1_ps(a); }
+  static V zero() { return _mm256_setzero_ps(); }
+  static V add(V a, V b) { return _mm256_add_ps(a, b); }
+  static V mul(V a, V b) { return _mm256_mul_ps(a, b); }
+  static V fmadd(V a, V b, V c) { return _mm256_fmadd_ps(a, b, c); }
+  static float reduce_add(V v) {
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    return _mm_cvtss_f32(s);
+  }
+  static void prefetch(const void* p) {
+    _mm_prefetch(static_cast<const char*>(p), _MM_HINT_T0);
+  }
+};
+
+struct TraitsF64 {
+  using V = __m256d;
+  static constexpr std::size_t kLanes = 4;
+  static constexpr bool kHasMasks = false;
+  static V load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, V v) { _mm256_storeu_pd(p, v); }
+  static V set1(double a) { return _mm256_set1_pd(a); }
+  static V zero() { return _mm256_setzero_pd(); }
+  static V add(V a, V b) { return _mm256_add_pd(a, b); }
+  static V mul(V a, V b) { return _mm256_mul_pd(a, b); }
+  static V fmadd(V a, V b, V c) { return _mm256_fmadd_pd(a, b, c); }
+  static double reduce_add(V v) {
+    const __m128d lo = _mm256_castpd256_pd128(v);
+    const __m128d hi = _mm256_extractf128_pd(v, 1);
+    __m128d s = _mm_add_pd(lo, hi);
+    s = _mm_add_sd(s, _mm_unpackhi_pd(s, s));
+    return _mm_cvtsd_f64(s);
+  }
+  static void prefetch(const void* p) {
+    _mm_prefetch(static_cast<const char*>(p), _MM_HINT_T0);
+  }
+};
+
+const KernelTable<float> kF32 = make_table<float, TraitsF32, KernelTable>();
+const KernelTable<double> kF64 = make_table<double, TraitsF64, KernelTable>();
+
+}  // namespace
+
+const KernelTable<float>& avx2_f32() { return kF32; }
+const KernelTable<double>& avx2_f64() { return kF64; }
+
+}  // namespace cbm::simd::backend

@@ -1,0 +1,91 @@
+// AVX-512F backend with masked tails (no remainder loops: sub-vector tails
+// run as one masked operation). Compiled with -mavx512f regardless of the
+// build's baseline -march; symbols are only called after the dispatcher has
+// verified CPU support.
+#include <immintrin.h>
+
+#include "common/vectorops_backends.hpp"
+#include "common/vectorops_simd_impl.hpp"
+
+namespace cbm::simd::backend {
+
+namespace {
+
+struct TraitsF32 {
+  using V = __m512;
+  using M = __mmask16;
+  static constexpr std::size_t kLanes = 16;
+  static constexpr bool kHasMasks = true;
+  static V load(const float* p) { return _mm512_loadu_ps(p); }
+  static void store(float* p, V v) { _mm512_storeu_ps(p, v); }
+  static V maskz_load(M m, const float* p) {
+    return _mm512_maskz_loadu_ps(m, p);
+  }
+  static void mask_store(float* p, M m, V v) {
+    _mm512_mask_storeu_ps(p, m, v);
+  }
+  static M tail_mask(std::size_t rem) {
+    return static_cast<M>((1u << rem) - 1u);
+  }
+  static V set1(float a) { return _mm512_set1_ps(a); }
+  static V zero() { return _mm512_setzero_ps(); }
+  static V add(V a, V b) { return _mm512_add_ps(a, b); }
+  static V mul(V a, V b) { return _mm512_mul_ps(a, b); }
+  static V fmadd(V a, V b, V c) { return _mm512_fmadd_ps(a, b, c); }
+  // Spill-and-sum instead of _mm512_reduce_add_ps: gcc 12's expansion of the
+  // reduce intrinsic trips -Wuninitialized (PR105593), and the reduction runs
+  // once per dot() call so it is nowhere near hot.
+  static float reduce_add(V v) {
+    alignas(64) float tmp[kLanes];
+    _mm512_store_ps(tmp, v);
+    float s = 0.0f;
+    for (std::size_t i = 0; i < kLanes; ++i) s += tmp[i];
+    return s;
+  }
+  static void prefetch(const void* p) {
+    _mm_prefetch(static_cast<const char*>(p), _MM_HINT_T0);
+  }
+};
+
+struct TraitsF64 {
+  using V = __m512d;
+  using M = __mmask8;
+  static constexpr std::size_t kLanes = 8;
+  static constexpr bool kHasMasks = true;
+  static V load(const double* p) { return _mm512_loadu_pd(p); }
+  static void store(double* p, V v) { _mm512_storeu_pd(p, v); }
+  static V maskz_load(M m, const double* p) {
+    return _mm512_maskz_loadu_pd(m, p);
+  }
+  static void mask_store(double* p, M m, V v) {
+    _mm512_mask_storeu_pd(p, m, v);
+  }
+  static M tail_mask(std::size_t rem) {
+    return static_cast<M>((1u << rem) - 1u);
+  }
+  static V set1(double a) { return _mm512_set1_pd(a); }
+  static V zero() { return _mm512_setzero_pd(); }
+  static V add(V a, V b) { return _mm512_add_pd(a, b); }
+  static V mul(V a, V b) { return _mm512_mul_pd(a, b); }
+  static V fmadd(V a, V b, V c) { return _mm512_fmadd_pd(a, b, c); }
+  static double reduce_add(V v) {
+    alignas(64) double tmp[kLanes];
+    _mm512_store_pd(tmp, v);
+    double s = 0.0;
+    for (std::size_t i = 0; i < kLanes; ++i) s += tmp[i];
+    return s;
+  }
+  static void prefetch(const void* p) {
+    _mm_prefetch(static_cast<const char*>(p), _MM_HINT_T0);
+  }
+};
+
+const KernelTable<float> kF32 = make_table<float, TraitsF32, KernelTable>();
+const KernelTable<double> kF64 = make_table<double, TraitsF64, KernelTable>();
+
+}  // namespace
+
+const KernelTable<float>& avx512_f32() { return kF32; }
+const KernelTable<double>& avx512_f64() { return kF64; }
+
+}  // namespace cbm::simd::backend

@@ -1,0 +1,16 @@
+// Internal: kernel tables exported by the per-ISA backend TUs. Each getter
+// is defined only when its TU is part of the build (x86 with a compiler
+// accepting the -m flags); the dispatcher references them behind the
+// matching CBM_HAVE_*_KERNELS macro.
+#pragma once
+
+#include "common/vectorops.hpp"
+
+namespace cbm::simd::backend {
+
+const KernelTable<float>& avx2_f32();
+const KernelTable<double>& avx2_f64();
+const KernelTable<float>& avx512_f32();
+const KernelTable<double>& avx512_f64();
+
+}  // namespace cbm::simd::backend

@@ -1,0 +1,334 @@
+// Internal: ISA-generic kernel bodies for the explicit SIMD backends.
+//
+// Each backend TU (vectorops_avx2.cpp, vectorops_avx512.cpp) is compiled
+// with its own -m flags, defines a Traits type wrapping the ISA's
+// load/store/fma primitives, and instantiates these templates. The bodies
+// never name an intrinsic directly, so the ISA-specific surface stays in
+// one Traits struct per backend.
+//
+// Numerical contract: vectorisation is across vector lanes (columns) only —
+// every output element accumulates its terms in the same order as the
+// portable scalar bodies in vectorops.hpp (dot is the one documented
+// exception: its lane-wise partial sums reassociate the reduction).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace cbm::simd::backend {
+
+// Traits requirements (V = vector register, M = lane mask):
+//   kLanes, kHasMasks
+//   V load(const T*), void store(T*, V), V set1(T), V zero()
+//   V add(V,V), V mul(V,V), V fmadd(V,V,V)   // fmadd(a,b,c) = a*b + c
+//   T reduce_add(V)
+//   void prefetch(const void*)
+//   with kHasMasks: M tail_mask(size_t rem), V maskz_load(M, const T*),
+//                   void mask_store(T*, M, V)
+
+template <typename T, typename Tr>
+void add_k(const T* x, T* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + Tr::kLanes <= n; i += Tr::kLanes) {
+    Tr::store(y + i, Tr::add(Tr::load(y + i), Tr::load(x + i)));
+  }
+  if (i < n) {
+    if constexpr (Tr::kHasMasks) {
+      const auto m = Tr::tail_mask(n - i);
+      Tr::mask_store(y + i, m,
+                     Tr::add(Tr::maskz_load(m, y + i), Tr::maskz_load(m, x + i)));
+    } else {
+      for (; i < n; ++i) y[i] += x[i];
+    }
+  }
+}
+
+template <typename T, typename Tr>
+void axpy_k(T a, const T* x, T* y, std::size_t n) {
+  const auto va = Tr::set1(a);
+  std::size_t i = 0;
+  for (; i + Tr::kLanes <= n; i += Tr::kLanes) {
+    Tr::store(y + i, Tr::fmadd(va, Tr::load(x + i), Tr::load(y + i)));
+  }
+  if (i < n) {
+    if constexpr (Tr::kHasMasks) {
+      const auto m = Tr::tail_mask(n - i);
+      Tr::mask_store(
+          y + i, m,
+          Tr::fmadd(va, Tr::maskz_load(m, x + i), Tr::maskz_load(m, y + i)));
+    } else {
+      for (; i < n; ++i) y[i] += a * x[i];
+    }
+  }
+}
+
+template <typename T, typename Tr>
+void scale_k(T a, T* y, std::size_t n) {
+  const auto va = Tr::set1(a);
+  std::size_t i = 0;
+  for (; i + Tr::kLanes <= n; i += Tr::kLanes) {
+    Tr::store(y + i, Tr::mul(va, Tr::load(y + i)));
+  }
+  if (i < n) {
+    if constexpr (Tr::kHasMasks) {
+      const auto m = Tr::tail_mask(n - i);
+      Tr::mask_store(y + i, m, Tr::mul(va, Tr::maskz_load(m, y + i)));
+    } else {
+      for (; i < n; ++i) y[i] *= a;
+    }
+  }
+}
+
+template <typename T, typename Tr>
+void fused_scale_add_k(T a, T b, const T* x, T* y, std::size_t n) {
+  const auto va = Tr::set1(a);
+  const auto vb = Tr::set1(b);
+  std::size_t i = 0;
+  for (; i + Tr::kLanes <= n; i += Tr::kLanes) {
+    Tr::store(y + i,
+              Tr::mul(va, Tr::fmadd(vb, Tr::load(x + i), Tr::load(y + i))));
+  }
+  if (i < n) {
+    if constexpr (Tr::kHasMasks) {
+      const auto m = Tr::tail_mask(n - i);
+      Tr::mask_store(y + i, m,
+                     Tr::mul(va, Tr::fmadd(vb, Tr::maskz_load(m, x + i),
+                                           Tr::maskz_load(m, y + i))));
+    } else {
+      for (; i < n; ++i) y[i] = a * (b * x[i] + y[i]);
+    }
+  }
+}
+
+template <typename T, typename Tr>
+T dot_k(const T* x, const T* y, std::size_t n) {
+  auto acc = Tr::zero();
+  std::size_t i = 0;
+  for (; i + Tr::kLanes <= n; i += Tr::kLanes) {
+    acc = Tr::fmadd(Tr::load(x + i), Tr::load(y + i), acc);
+  }
+  T tail{0};
+  if (i < n) {
+    if constexpr (Tr::kHasMasks) {
+      const auto m = Tr::tail_mask(n - i);
+      acc = Tr::fmadd(Tr::maskz_load(m, x + i), Tr::maskz_load(m, y + i), acc);
+    } else {
+      for (; i < n; ++i) tail += x[i] * y[i];
+    }
+  }
+  return Tr::reduce_add(acc) + tail;
+}
+
+/// Register-blocked SpMM row kernel (see KernelTable::spmm_row). Column
+/// panels of up to eight vectors stay in registers across the whole nonzero
+/// sweep: each element of crow is written exactly once, while B rows are
+/// streamed with a software prefetch one nonzero ahead. The widest panel
+/// matters most: every extra pass over [k0,k1) re-reads all of the row's B
+/// operand rows, so at the common p = 128 one AVX-512 float panel
+/// (8 × 16 lanes) covers the row in a single sweep.
+///
+/// kUnitScales specializes the common unscaled kinds (seed_scale == 1 and
+/// av_scale == 1): the seed loads straight into the accumulators and the
+/// per-nonzero coefficient is values[k] alone — on short delta rows the
+/// skipped multiplies are a measurable share of the row's work. Callers
+/// must only select it when both scales are exactly 1.
+template <typename T, typename Tr, bool kUnitScales = false>
+void spmm_row_k(const T* b, std::size_t ldb, const index_t* indices,
+                const T* values, offset_t k0, offset_t k1, T* crow,
+                index_t width, const T* seed_row, T seed_scale, T av_scale) {
+  using V = typename Tr::V;
+  const auto w = static_cast<std::size_t>(width);
+  constexpr std::size_t kL = Tr::kLanes;
+  std::size_t j = 0;
+  // 8-vector register panels. Eight accumulators plus the splatted
+  // coefficient fit the 16-register AVX2 file without spilling; AVX-512's
+  // 32 registers have room to spare.
+  for (; j + 8 * kL <= w; j += 8 * kL) {
+    V a0, a1, a2, a3, a4, a5, a6, a7;
+    if (seed_row != nullptr) {
+      if constexpr (kUnitScales) {
+        a0 = Tr::load(seed_row + j + 0 * kL);
+        a1 = Tr::load(seed_row + j + 1 * kL);
+        a2 = Tr::load(seed_row + j + 2 * kL);
+        a3 = Tr::load(seed_row + j + 3 * kL);
+        a4 = Tr::load(seed_row + j + 4 * kL);
+        a5 = Tr::load(seed_row + j + 5 * kL);
+        a6 = Tr::load(seed_row + j + 6 * kL);
+        a7 = Tr::load(seed_row + j + 7 * kL);
+      } else {
+        const V s = Tr::set1(seed_scale);
+        a0 = Tr::mul(s, Tr::load(seed_row + j + 0 * kL));
+        a1 = Tr::mul(s, Tr::load(seed_row + j + 1 * kL));
+        a2 = Tr::mul(s, Tr::load(seed_row + j + 2 * kL));
+        a3 = Tr::mul(s, Tr::load(seed_row + j + 3 * kL));
+        a4 = Tr::mul(s, Tr::load(seed_row + j + 4 * kL));
+        a5 = Tr::mul(s, Tr::load(seed_row + j + 5 * kL));
+        a6 = Tr::mul(s, Tr::load(seed_row + j + 6 * kL));
+        a7 = Tr::mul(s, Tr::load(seed_row + j + 7 * kL));
+      }
+    } else {
+      a0 = a1 = a2 = a3 = a4 = a5 = a6 = a7 = Tr::zero();
+    }
+    for (offset_t k = k0; k < k1; ++k) {
+      const T* brow = b + static_cast<std::size_t>(indices[k]) * ldb + j;
+      if (k + 1 < k1) {
+        Tr::prefetch(b + static_cast<std::size_t>(indices[k + 1]) * ldb + j);
+      }
+      const V av = Tr::set1(kUnitScales ? values[k] : av_scale * values[k]);
+      a0 = Tr::fmadd(av, Tr::load(brow + 0 * kL), a0);
+      a1 = Tr::fmadd(av, Tr::load(brow + 1 * kL), a1);
+      a2 = Tr::fmadd(av, Tr::load(brow + 2 * kL), a2);
+      a3 = Tr::fmadd(av, Tr::load(brow + 3 * kL), a3);
+      a4 = Tr::fmadd(av, Tr::load(brow + 4 * kL), a4);
+      a5 = Tr::fmadd(av, Tr::load(brow + 5 * kL), a5);
+      a6 = Tr::fmadd(av, Tr::load(brow + 6 * kL), a6);
+      a7 = Tr::fmadd(av, Tr::load(brow + 7 * kL), a7);
+    }
+    Tr::store(crow + j + 0 * kL, a0);
+    Tr::store(crow + j + 1 * kL, a1);
+    Tr::store(crow + j + 2 * kL, a2);
+    Tr::store(crow + j + 3 * kL, a3);
+    Tr::store(crow + j + 4 * kL, a4);
+    Tr::store(crow + j + 5 * kL, a5);
+    Tr::store(crow + j + 6 * kL, a6);
+    Tr::store(crow + j + 7 * kL, a7);
+  }
+  // 4-vector register panels.
+  for (; j + 4 * kL <= w; j += 4 * kL) {
+    V a0, a1, a2, a3;
+    if (seed_row != nullptr) {
+      if constexpr (kUnitScales) {
+        a0 = Tr::load(seed_row + j + 0 * kL);
+        a1 = Tr::load(seed_row + j + 1 * kL);
+        a2 = Tr::load(seed_row + j + 2 * kL);
+        a3 = Tr::load(seed_row + j + 3 * kL);
+      } else {
+        const V s = Tr::set1(seed_scale);
+        a0 = Tr::mul(s, Tr::load(seed_row + j + 0 * kL));
+        a1 = Tr::mul(s, Tr::load(seed_row + j + 1 * kL));
+        a2 = Tr::mul(s, Tr::load(seed_row + j + 2 * kL));
+        a3 = Tr::mul(s, Tr::load(seed_row + j + 3 * kL));
+      }
+    } else {
+      a0 = a1 = a2 = a3 = Tr::zero();
+    }
+    for (offset_t k = k0; k < k1; ++k) {
+      const T* brow = b + static_cast<std::size_t>(indices[k]) * ldb + j;
+      if (k + 1 < k1) {
+        Tr::prefetch(b + static_cast<std::size_t>(indices[k + 1]) * ldb + j);
+      }
+      const V av = Tr::set1(kUnitScales ? values[k] : av_scale * values[k]);
+      a0 = Tr::fmadd(av, Tr::load(brow + 0 * kL), a0);
+      a1 = Tr::fmadd(av, Tr::load(brow + 1 * kL), a1);
+      a2 = Tr::fmadd(av, Tr::load(brow + 2 * kL), a2);
+      a3 = Tr::fmadd(av, Tr::load(brow + 3 * kL), a3);
+    }
+    Tr::store(crow + j + 0 * kL, a0);
+    Tr::store(crow + j + 1 * kL, a1);
+    Tr::store(crow + j + 2 * kL, a2);
+    Tr::store(crow + j + 3 * kL, a3);
+  }
+  // Single-vector panels.
+  for (; j + kL <= w; j += kL) {
+    V acc = seed_row != nullptr
+                ? (kUnitScales
+                       ? Tr::load(seed_row + j)
+                       : Tr::mul(Tr::set1(seed_scale), Tr::load(seed_row + j)))
+                : Tr::zero();
+    for (offset_t k = k0; k < k1; ++k) {
+      const V av = Tr::set1(kUnitScales ? values[k] : av_scale * values[k]);
+      acc = Tr::fmadd(
+          av, Tr::load(b + static_cast<std::size_t>(indices[k]) * ldb + j),
+          acc);
+    }
+    Tr::store(crow + j, acc);
+  }
+  if (j >= w) return;
+  // Tail narrower than one vector.
+  if constexpr (Tr::kHasMasks) {
+    const auto m = Tr::tail_mask(w - j);
+    V acc = seed_row != nullptr
+                ? (kUnitScales ? Tr::maskz_load(m, seed_row + j)
+                               : Tr::mul(Tr::set1(seed_scale),
+                                         Tr::maskz_load(m, seed_row + j)))
+                : Tr::zero();
+    for (offset_t k = k0; k < k1; ++k) {
+      const V av = Tr::set1(kUnitScales ? values[k] : av_scale * values[k]);
+      acc = Tr::fmadd(
+          av,
+          Tr::maskz_load(m, b + static_cast<std::size_t>(indices[k]) * ldb + j),
+          acc);
+    }
+    Tr::mask_store(crow + j, m, acc);
+  } else {
+    // Stack accumulator: crow is still written exactly once per element.
+    T acc[kL];
+    const std::size_t rem = w - j;
+    for (std::size_t jj = 0; jj < rem; ++jj) {
+      acc[jj] = seed_row != nullptr
+                    ? (kUnitScales ? seed_row[j + jj]
+                                   : seed_scale * seed_row[j + jj])
+                    : T{0};
+    }
+    for (offset_t k = k0; k < k1; ++k) {
+      const T av = kUnitScales ? values[k] : av_scale * values[k];
+      const T* brow = b + static_cast<std::size_t>(indices[k]) * ldb + j;
+      for (std::size_t jj = 0; jj < rem; ++jj) acc[jj] += av * brow[jj];
+    }
+    for (std::size_t jj = 0; jj < rem; ++jj) crow[j + jj] = acc[jj];
+  }
+}
+
+/// Builds a kernel table from one Traits instantiation.
+/// Batched spmm_row over a precomputed schedule (see KernelTable::fused_rows).
+/// Living in the same translation unit as spmm_row_k, the per-row call
+/// inlines: the compiler hoists b/ldb/width across the whole tile and the
+/// fused engine pays one indirect call per tile instead of one per row.
+template <typename T, typename Tr>
+void fused_rows_k(const T* b, std::size_t ldb, const index_t* indices,
+                  const T* values, const offset_t* indptr,
+                  const index_t* order, const index_t* parents,
+                  const T* seed_scales, const T* av_scales,
+                  std::size_t nitems, T* ctile, std::size_t ldc,
+                  index_t width) {
+  for (std::size_t i = 0; i < nitems; ++i) {
+    const index_t x = order[i];
+    // Pull the next item's parent row toward the core while this product
+    // runs — parent rows are scattered across C, the one access pattern the
+    // hardware prefetcher cannot predict.
+    if (i + 1 < nitems && parents[i + 1] >= 0) {
+      Tr::prefetch(ctile + static_cast<std::size_t>(parents[i + 1]) * ldc);
+    }
+    const index_t par = parents[i];
+    const T* seed =
+        par >= 0 ? ctile + static_cast<std::size_t>(par) * ldc : nullptr;
+    // The unscaled kinds carry unit scales on every row, so this branch is
+    // constant across the whole schedule and predicts perfectly; the
+    // specialized instantiation drops the Eq. 6 multiplies entirely.
+    if (av_scales[i] == T{1} && (seed == nullptr || seed_scales[i] == T{1})) {
+      spmm_row_k<T, Tr, /*kUnitScales=*/true>(
+          b, ldb, indices, values, indptr[x], indptr[x + 1],
+          ctile + static_cast<std::size_t>(x) * ldc, width, seed, T{1}, T{1});
+    } else {
+      spmm_row_k<T, Tr>(b, ldb, indices, values, indptr[x], indptr[x + 1],
+                        ctile + static_cast<std::size_t>(x) * ldc, width, seed,
+                        seed_scales[i], av_scales[i]);
+    }
+  }
+}
+
+template <typename T, typename Tr, template <typename> class Table>
+constexpr Table<T> make_table() {
+  Table<T> t{};
+  t.add = &add_k<T, Tr>;
+  t.axpy = &axpy_k<T, Tr>;
+  t.scale = &scale_k<T, Tr>;
+  t.fused_scale_add = &fused_scale_add_k<T, Tr>;
+  t.dot = &dot_k<T, Tr>;
+  t.spmm_row = &spmm_row_k<T, Tr>;
+  t.fused_rows = &fused_rows_k<T, Tr>;
+  return t;
+}
+
+}  // namespace cbm::simd::backend

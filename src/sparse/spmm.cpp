@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "common/parallel.hpp"
+#include "common/vectorops.hpp"
 
 namespace cbm {
 
 namespace {
 
-/// Computes one block of C rows: C[i,:] = sum_k A[i,k] * B[k,:].
+/// Computes one block of C rows: C[i,:] = sum_k A[i,k] * B[k,:] through the
+/// dispatched register-blocked row kernel (one indirect call per row).
 template <typename T>
 inline void spmm_rows(const CsrMatrix<T>& a, const DenseMatrix<T>& b,
                       DenseMatrix<T>& c, index_t row_begin, index_t row_end) {
@@ -16,15 +18,13 @@ inline void spmm_rows(const CsrMatrix<T>& a, const DenseMatrix<T>& b,
   const auto indices = a.indices();
   const auto values = a.values();
   const index_t p = b.cols();
+  const T* bdata = b.data();
+  const auto ldb = static_cast<std::size_t>(b.cols());
+  const auto& kern = simd::kernels<T>();
   for (index_t i = row_begin; i < row_end; ++i) {
-    T* __restrict__ crow = c.row(i).data();
-    for (index_t j = 0; j < p; ++j) crow[j] = T{0};
-    for (offset_t k = indptr[i]; k < indptr[i + 1]; ++k) {
-      const T av = values[k];
-      const T* __restrict__ brow = b.row(indices[k]).data();
-#pragma omp simd
-      for (index_t j = 0; j < p; ++j) crow[j] += av * brow[j];
-    }
+    kern.spmm_row(bdata, ldb, indices.data(), values.data(), indptr[i],
+                  indptr[i + 1], c.row(i).data(), p,
+                  /*seed_row=*/nullptr, T{0}, /*av_scale=*/T{1});
   }
 }
 
@@ -67,37 +67,21 @@ void csr_spmm_range(const CsrMatrix<T>& a, const DenseMatrix<T>& b,
             "csr_spmm_range: column range out of bounds");
   // A row's nonzeros are walked exactly once whatever the range width: the
   // scattered B-row reads are the expensive part of an SpMM, so they must
-  // not be repeated per column block. Ranges no wider than one cache line
-  // accumulate in registers and write C once; wider ranges accumulate
-  // directly into the (L1-resident) C row, like the full kernel.
-  constexpr index_t kBlock = static_cast<index_t>(64 / sizeof(T));
+  // not be repeated per column block. The dispatched row kernel holds column
+  // panels in registers across the nonzero sweep, so every element of C is
+  // written exactly once whatever the width.
   const auto indptr = a.indptr();
   const auto indices = a.indices();
   const auto values = a.values();
   const index_t width = col_end - col_begin;
+  if (width == 0) return;
+  const T* bdata = b.data() + col_begin;
+  const auto ldb = static_cast<std::size_t>(b.cols());
+  const auto& kern = simd::kernels<T>();
   for (index_t i = row_begin; i < row_end; ++i) {
-    T* __restrict__ crow = c.row(i).data() + col_begin;
-    const offset_t k0 = indptr[i];
-    const offset_t k1 = indptr[i + 1];
-    if (width <= kBlock) {
-      T acc[kBlock];
-      for (index_t jj = 0; jj < width; ++jj) acc[jj] = T{0};
-      for (offset_t k = k0; k < k1; ++k) {
-        const T av = values[k];
-        const T* __restrict__ brow = b.row(indices[k]).data() + col_begin;
-#pragma omp simd
-        for (index_t jj = 0; jj < width; ++jj) acc[jj] += av * brow[jj];
-      }
-      for (index_t jj = 0; jj < width; ++jj) crow[jj] = acc[jj];
-    } else {
-      for (index_t jj = 0; jj < width; ++jj) crow[jj] = T{0};
-      for (offset_t k = k0; k < k1; ++k) {
-        const T av = values[k];
-        const T* __restrict__ brow = b.row(indices[k]).data() + col_begin;
-#pragma omp simd
-        for (index_t jj = 0; jj < width; ++jj) crow[jj] += av * brow[jj];
-      }
-    }
+    kern.spmm_row(bdata, ldb, indices.data(), values.data(), indptr[i],
+                  indptr[i + 1], c.row(i).data() + col_begin, width,
+                  /*seed_row=*/nullptr, T{0}, /*av_scale=*/T{1});
   }
 }
 
@@ -161,12 +145,10 @@ void coo_spmm(const CooMatrix<T>& a, const DenseMatrix<T>& b,
   c.fill(T{0});
   const index_t p = b.cols();
   // Sequential scatter over triplets; fine as a reference/ablation kernel.
+  const auto& kern = simd::kernels<T>();
   for (std::size_t k = 0; k < a.nnz(); ++k) {
-    T* __restrict__ crow = c.row(a.row_idx[k]).data();
-    const T* __restrict__ brow = b.row(a.col_idx[k]).data();
-    const T av = a.values[k];
-#pragma omp simd
-    for (index_t j = 0; j < p; ++j) crow[j] += av * brow[j];
+    kern.axpy(a.values[k], b.row(a.col_idx[k]).data(),
+              c.row(a.row_idx[k]).data(), static_cast<std::size_t>(p));
   }
 }
 

@@ -32,10 +32,11 @@ void csr_spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& b,
 /// B[:, col_begin:col_end). Sequential by design — the fused column-tiled
 /// CBM engine and other callers parallelize over ranges themselves. Each
 /// row's nonzeros are walked exactly once regardless of range width (the
-/// scattered B reads dominate an SpMM and must not repeat per block);
-/// ranges up to one cache line wide accumulate in registers and write C
-/// once. The per-element summation order matches csr_spmm, so assembling a
-/// full product from ranges is bitwise identical to the one-shot kernel.
+/// scattered B reads dominate an SpMM and must not repeat per block); the
+/// dispatched row kernel keeps column panels in registers across the sweep
+/// and writes each C element once. The per-element summation order matches
+/// csr_spmm, so assembling a full product from ranges is bitwise identical
+/// to the one-shot kernel.
 template <typename T>
 void csr_spmm_range(const CsrMatrix<T>& a, const DenseMatrix<T>& b,
                     DenseMatrix<T>& c, index_t row_begin, index_t row_end,

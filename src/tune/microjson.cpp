@@ -1,0 +1,235 @@
+#include "tune/microjson.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace cbm::microjson {
+
+const Value* Value::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::optional<std::string> Value::get_string(const std::string& key) const {
+  const Value* v = find(key);
+  if (v == nullptr || !v->is_string()) return std::nullopt;
+  return v->as_string();
+}
+
+std::optional<double> Value::get_number(const std::string& key) const {
+  const Value* v = find(key);
+  if (v == nullptr || !v->is_number()) return std::nullopt;
+  return v->as_number();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run() {
+    auto v = parse_value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume(char c) {
+    if (eof() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::optional<Value> parse_value() {
+    if (depth_ > kMaxDepth) return std::nullopt;
+    skip_ws();
+    if (eof()) return std::nullopt;
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return Value(std::move(*s));
+      }
+      case 't':
+        return consume_literal("true") ? std::optional<Value>(Value(true))
+                                       : std::nullopt;
+      case 'f':
+        return consume_literal("false") ? std::optional<Value>(Value(false))
+                                        : std::nullopt;
+      case 'n':
+        return consume_literal("null") ? std::optional<Value>(Value())
+                                       : std::nullopt;
+      default: return parse_number();
+    }
+  }
+
+  std::optional<Value> parse_object() {
+    ++depth_;
+    if (!consume('{')) return std::nullopt;
+    Object obj;
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      auto val = parse_value();
+      if (!val) return std::nullopt;
+      obj.insert_or_assign(std::move(*key), std::move(*val));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return std::nullopt;
+    }
+    --depth_;
+    return Value(std::move(obj));
+  }
+
+  std::optional<Value> parse_array() {
+    ++depth_;
+    if (!consume('[')) return std::nullopt;
+    Array arr;
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      auto val = parse_value();
+      if (!val) return std::nullopt;
+      arr.push_back(std::move(*val));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return std::nullopt;
+    }
+    --depth_;
+    return Value(std::move(arr));
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (eof()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            // ASCII-only \uXXXX (the cache writer never emits more).
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return std::nullopt;
+              }
+            }
+            if (code > 0x7F) return std::nullopt;
+            out.push_back(static_cast<char>(code));
+            break;
+          }
+          default: return std::nullopt;
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+      out.push_back(c);
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+      // sign consumed
+    }
+    bool digits = false;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      ++pos_;
+      digits = true;
+    }
+    if (consume('.')) {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+        digits = true;
+      }
+    }
+    if (!digits) return std::nullopt;
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      bool exp_digits = false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+        exp_digits = true;
+      }
+      if (!exp_digits) return std::nullopt;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    return Value(d);
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace cbm::microjson

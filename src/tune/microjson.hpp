@@ -1,0 +1,81 @@
+// Minimal JSON reader for the tuning cache.
+//
+// The repo emits JSON in several places (obs::JsonWriter) but until the
+// autotuner nothing needed to read any back. This is a small recursive-
+// descent parser covering the full JSON grammar minus exotica (no \u
+// surrogate pairs — the cache writer never emits non-ASCII). Malformed input
+// yields std::nullopt rather than throwing: a corrupted cache file must
+// degrade to "no cache", never take the process down.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace cbm::microjson {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  explicit Value(bool b) : v_(b) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(Array a) : v_(std::move(a)) {}
+  explicit Value(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(v_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(v_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(v_);
+  }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(v_);
+  }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(v_); }
+  [[nodiscard]] const Object& as_object() const {
+    return std::get<Object>(v_);
+  }
+
+  /// Object member lookup; nullptr when this is not an object or the key is
+  /// absent. Chains without intermediate checks.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  /// Typed member accessors for the common "optional field with shape
+  /// check" pattern; nullopt when absent or the wrong type.
+  [[nodiscard]] std::optional<std::string> get_string(
+      const std::string& key) const;
+  [[nodiscard]] std::optional<double> get_number(const std::string& key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). std::nullopt on any syntax error.
+std::optional<Value> parse(std::string_view text);
+
+}  // namespace cbm::microjson

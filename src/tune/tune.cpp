@@ -1,0 +1,258 @@
+#include "tune/tune.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "tune/microjson.hpp"
+
+namespace cbm::tune {
+
+namespace {
+
+std::optional<SimdLevel> simd_from_name(const std::string& name) {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "avx512") return SimdLevel::kAvx512;
+  return std::nullopt;
+}
+
+std::string default_cache_path() {
+  const char* home = std::getenv("HOME");
+  if (home != nullptr && *home != '\0') {
+    return std::string(home) + "/.cache/cbm/tune-v1.json";
+  }
+  return "/tmp/cbm-tune-v1.json";
+}
+
+}  // namespace
+
+TuneMode tune_mode_from_env() {
+  const char* v = std::getenv("CBM_TUNE");
+  if (v == nullptr || *v == '\0') return TuneMode::kOff;
+  const std::string_view s(v);
+  if (s == "off") return TuneMode::kOff;
+  if (s == "on") return TuneMode::kOn;
+  if (s == "force") return TuneMode::kForce;
+  throw CbmError("CBM_TUNE: unknown value '" + std::string(s) +
+                 "' (expected off | on | force)");
+}
+
+std::string ShapeKey::fingerprint() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "r%lldx%lld_p%lld_nnz%lld_t%d_e%zu",
+                static_cast<long long>(rows), static_cast<long long>(cols),
+                static_cast<long long>(bcols),
+                static_cast<long long>(delta_nnz), threads, elem_bytes);
+  return buf;
+}
+
+std::string cpu_model_key() {
+  static const std::string key = [] {
+    std::string model = "unknown-cpu";
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("model name", 0) == 0) {
+        const auto colon = line.find(':');
+        if (colon != std::string::npos) {
+          auto start = colon + 1;
+          while (start < line.size() && line[start] == ' ') ++start;
+          if (start < line.size()) model = line.substr(start);
+        }
+        break;
+      }
+    }
+    // A cache written by a build without AVX-512 kernels must not satisfy a
+    // build that has them (and vice versa): fold capability into the key.
+    return model + " [" + simd_level_name(simd_max_supported()) + "]";
+  }();
+  return key;
+}
+
+std::vector<Plan> candidate_plans(const ShapeKey& key) {
+  std::vector<SimdLevel> levels{simd_max_supported()};
+  if (levels.front() == SimdLevel::kAvx512 && key.bcols < 64) {
+    // 512-bit kernels can lose to AVX2 on narrow operands where masked
+    // tails dominate; worth one extra probe there. On wide operands the
+    // 512-bit panels win by construction, and keeping AVX2 in the pool
+    // only gives short-probe noise a chance to pick the slower tier.
+    levels.push_back(SimdLevel::kAvx2);
+  }
+
+  std::vector<MultiplySchedule> schedules;
+  schedules.push_back(MultiplySchedule::two_stage());
+  schedules.push_back(MultiplySchedule::fused(0));  // analytic tile policy
+  for (const index_t w : {index_t{64}, index_t{128}, index_t{256}}) {
+    if (w < key.bcols) schedules.push_back(MultiplySchedule::fused(w));
+  }
+  if (key.bcols > 0) {
+    schedules.push_back(MultiplySchedule::fused(key.bcols));  // full width
+  }
+
+  std::vector<Plan> plans;
+  plans.reserve(schedules.size() * levels.size());
+  for (const SimdLevel level : levels) {
+    for (const MultiplySchedule& s : schedules) {
+      plans.push_back(Plan{s, level});
+    }
+  }
+  return plans;
+}
+
+Tuner& Tuner::instance() {
+  static Tuner tuner;
+  return tuner;
+}
+
+void Tuner::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  loaded_ = false;
+}
+
+void Tuner::set_cache_path(std::string path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  path_ = std::move(path);
+  path_resolved_ = true;
+  entries_.clear();
+  loaded_ = false;
+}
+
+std::string Tuner::cache_path() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!path_resolved_) {
+    const char* v = std::getenv("CBM_TUNE_CACHE");
+    path_ = v != nullptr ? v : default_cache_path();
+    path_resolved_ = true;
+  }
+  return path_;
+}
+
+void Tuner::ensure_loaded_locked() {
+  if (loaded_) return;
+  loaded_ = true;
+  if (!path_resolved_) {
+    const char* v = std::getenv("CBM_TUNE_CACHE");
+    path_ = v != nullptr ? v : default_cache_path();
+    path_resolved_ = true;
+  }
+  if (path_.empty()) return;
+  std::ifstream in(path_);
+  if (!in) return;  // no cache yet
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = microjson::parse(buf.str());
+  // Anything malformed — syntax, schema mismatch, wrong shapes — degrades to
+  // an empty cache: the tuner re-probes and rewrites the file.
+  if (!doc || !doc->is_object()) return;
+  const auto schema = doc->get_string("schema");
+  if (!schema || *schema != kCacheSchema) return;
+  const microjson::Value* entries = doc->find("entries");
+  if (entries == nullptr || !entries->is_object()) return;
+  for (const auto& [key, value] : entries->as_object()) {
+    const auto path_name = value.get_string("path");
+    const auto spmm_name = value.get_string("spmm");
+    const auto update_name = value.get_string("update");
+    const auto tile = value.get_number("tile_cols");
+    const auto simd_name = value.get_string("simd");
+    if (!path_name || !spmm_name || !update_name || !tile || !simd_name) {
+      continue;
+    }
+    const auto simd = simd_from_name(*simd_name);
+    if (!simd || !simd_level_supported(*simd)) continue;
+    Entry entry;
+    try {
+      entry.plan.schedule.path = parse_multiply_path(*path_name);
+      entry.plan.schedule.spmm = parse_spmm_schedule(*spmm_name);
+      entry.plan.schedule.update = parse_update_schedule(*update_name);
+    } catch (const CbmError&) {
+      continue;  // unknown vocabulary (newer writer?) — skip the entry
+    }
+    if (*tile < 0) continue;
+    entry.plan.schedule.tile_cols = static_cast<index_t>(*tile);
+    entry.plan.simd = *simd;
+    entry.probe_seconds = value.get_number("probe_seconds").value_or(0.0);
+    entries_.insert_or_assign(key, entry);
+  }
+}
+
+void Tuner::save_locked() {
+  if (path_.empty()) return;
+  std::error_code ec;
+  const std::filesystem::path target(path_);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.value("schema", kCacheSchema);
+  json.begin_object("entries");
+  for (const auto& [key, entry] : entries_) {
+    json.begin_object(key);
+    json.value("path", multiply_path_name(entry.plan.schedule.path));
+    json.value("spmm", spmm_schedule_name(entry.plan.schedule.spmm));
+    json.value("update", update_schedule_name(entry.plan.schedule.update));
+    json.value("tile_cols", static_cast<int>(entry.plan.schedule.tile_cols));
+    json.value("simd", simd_level_name(entry.plan.simd));
+    json.value("probe_seconds", entry.probe_seconds);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  out << '\n';
+  // Temp-file + rename so concurrent readers never observe a torn cache.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) return;  // unwritable location: stay in-memory only
+    file << out.str();
+    if (!file.good()) return;
+  }
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
+PlanDecision Tuner::decide(const ShapeKey& key, TuneMode mode,
+                           const ProbeFn& probe) {
+  if (mode == TuneMode::kOff) return {};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ensure_loaded_locked();
+  const std::string entry_key = cpu_model_key() + "|" + key.fingerprint();
+  if (mode == TuneMode::kOn) {
+    const auto it = entries_.find(entry_key);
+    if (it != entries_.end()) {
+      CBM_COUNTER_ADD("cbm.tune.cache_hits", 1);
+      return PlanDecision{it->second.plan, /*tuned=*/true, /*cache_hit=*/true,
+                          it->second.probe_seconds};
+    }
+  }
+  CBM_COUNTER_ADD("cbm.tune.cache_misses", 1);
+  if (!probe) return {};
+
+  CBM_SPAN("cbm.tune.probe");
+  const auto plans = candidate_plans(key);
+  Entry best;
+  double best_seconds = -1.0;
+  for (const Plan& plan : plans) {
+    const double seconds = probe(plan);
+    CBM_COUNTER_ADD("cbm.tune.probes", 1);
+    if (seconds >= 0.0 && (best_seconds < 0.0 || seconds < best_seconds)) {
+      best_seconds = seconds;
+      best = Entry{plan, seconds};
+    }
+  }
+  if (best_seconds < 0.0) return {};  // every probe failed — analytic fallback
+  entries_.insert_or_assign(entry_key, best);
+  save_locked();
+  return PlanDecision{best.plan, /*tuned=*/true, /*cache_hit=*/false,
+                      best.probe_seconds};
+}
+
+}  // namespace cbm::tune

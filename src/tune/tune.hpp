@@ -1,0 +1,133 @@
+// Empirical multiply-plan autotuner.
+//
+// The analytic LLC-share tile policy (common/cache_info.hpp) picks a plan
+// from cache geometry alone; it cannot see nnz structure, SIMD throughput,
+// or memory-parallelism effects. The tuner instead *measures*: on first
+// contact with a matrix shape it times a small set of candidate plans
+// (path × schedule × tile width × SIMD kernel) with short probes — real
+// multiplies into the caller's output, so probing wastes no work — and
+// persists the winner to an on-disk JSON cache (schema cbm-tune-v1) keyed by
+// shape fingerprint + CPU model. Later runs, including later processes,
+// reuse the winner without probing.
+//
+// Knobs:
+//   CBM_TUNE        off (default) | on (probe on miss, reuse hits) |
+//                   force (always re-probe, refresh the cache)
+//   CBM_TUNE_CACHE  cache file path; default ~/.cache/cbm/tune-v1.json.
+//                   An empty value disables persistence (in-memory only).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cbm/multiply_plan.hpp"
+#include "common/types.hpp"
+#include "common/vectorops.hpp"
+
+namespace cbm::tune {
+
+inline constexpr const char* kCacheSchema = "cbm-tune-v1";
+
+enum class TuneMode {
+  kOff,    ///< never probe; callers fall back to the analytic policy
+  kOn,     ///< probe on cache miss, reuse cached winners
+  kForce,  ///< always probe, refreshing any cached entry
+};
+
+/// Reads CBM_TUNE (off | on | force; unset/empty = off). Unknown values
+/// throw — a mistyped knob must not silently change what gets benchmarked.
+TuneMode tune_mode_from_env();
+
+/// One candidate execution plan: the engine schedule plus the SIMD kernel
+/// tier it runs under.
+struct Plan {
+  MultiplySchedule schedule;
+  SimdLevel simd = SimdLevel::kScalar;
+};
+
+/// Identity of a tuning problem. Products with equal fingerprints get the
+/// same plan; the fields are the shape properties plan performance actually
+/// depends on (not the matrix content — probing tolerates that).
+struct ShapeKey {
+  index_t rows = 0;             ///< op(A) rows
+  index_t cols = 0;             ///< op(A) cols
+  index_t bcols = 0;            ///< dense operand width p
+  std::int64_t delta_nnz = 0;   ///< nnz of the CBM delta matrix
+  int threads = 1;              ///< active parallelism
+  std::size_t elem_bytes = 4;   ///< sizeof(T)
+
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// Outcome of Tuner::decide.
+struct PlanDecision {
+  Plan plan;
+  bool tuned = false;      ///< false: caller should use its analytic policy
+  bool cache_hit = false;  ///< plan came from the cache without probing
+  double probe_seconds = 0.0;  ///< winner's probe time (0 when untimed)
+};
+
+/// Measures one plan; returns seconds for a representative multiply (min of
+/// a couple of repetitions). Supplied by the caller so the tuner needs no
+/// dependency on CbmMatrix.
+using ProbeFn = std::function<double(const Plan&)>;
+
+/// Candidate plans for a product of the given shape: the two-stage engine,
+/// the fused engine at the analytic tile width, and the fused engine at a
+/// few fixed tile widths — each under the supported SIMD tiers worth
+/// separating (the maximum, plus AVX2 when AVX-512 is the maximum: wide
+/// vectors can lose to downclocking and split loads).
+std::vector<Plan> candidate_plans(const ShapeKey& key);
+
+/// CPU identity for cache keying: "model name" from /proc/cpuinfo (or
+/// "unknown-cpu"), with the build's maximum SIMD tier appended so caches
+/// survive being shared between differently-capable builds.
+std::string cpu_model_key();
+
+/// Process-wide tuner with the on-disk cache behind it. Thread-safe.
+class Tuner {
+ public:
+  static Tuner& instance();
+
+  /// Resolves a plan for `key` under `mode`. kOff (or a null probe) never
+  /// probes and reports tuned=false on a cache miss; kOn probes on miss;
+  /// kForce always probes. Probed winners are persisted when a cache path
+  /// is configured.
+  PlanDecision decide(const ShapeKey& key, TuneMode mode,
+                      const ProbeFn& probe);
+
+  /// Drops every in-memory entry and forgets the load state (tests).
+  void clear();
+
+  /// Overrides the cache file path; empty string disables persistence.
+  /// Clears in-memory state so the next decide() reads the new file.
+  void set_cache_path(std::string path);
+
+  /// Active cache file path (resolved from CBM_TUNE_CACHE / the default on
+  /// first use).
+  [[nodiscard]] std::string cache_path();
+
+ private:
+  struct Entry {
+    Plan plan;
+    double probe_seconds = 0.0;
+  };
+
+  Tuner() = default;
+
+  void ensure_loaded_locked();
+  void save_locked();
+
+  std::mutex mutex_;
+  bool path_resolved_ = false;
+  bool loaded_ = false;
+  std::string path_;
+  std::unordered_map<std::string, Entry> entries_;  ///< key: cpu|fingerprint
+};
+
+}  // namespace cbm::tune

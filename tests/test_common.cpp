@@ -1,20 +1,29 @@
 // Unit tests for the common substrate: RNG, statistics, vector kernels,
-// error handling, parallel helpers.
+// error handling, parallel helpers, cache detection, env-knob parsing.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "common/cache_info.hpp"
+#include "common/envknobs.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/timer.hpp"
 #include "common/vectorops.hpp"
+#include "test_util.hpp"
 
 namespace cbm {
 namespace {
+
+using test::EnvGuard;
 
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(42), b(42);
@@ -261,6 +270,177 @@ TEST(Parallel, ThreadScopeRestores) {
     EXPECT_EQ(max_threads(), 1);
   }
   EXPECT_EQ(max_threads(), before);
+}
+
+// ------------------------------------------------------ CacheInfo / sysfs --
+
+/// Builds a fake /sys/devices/system/cpu/cpu0-style tree on disk so
+/// CacheInfo::detect(dir) can be exercised without the host's real sysfs.
+class FakeSysfs {
+ public:
+  FakeSysfs() {
+    root_ = std::filesystem::path(::testing::TempDir()) /
+            ("cbm-sysfs-" +
+             std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    std::filesystem::create_directories(root_ / "cache");
+  }
+  ~FakeSysfs() {
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+
+  void add_index(int index, const std::string& level, const std::string& type,
+                 const std::string& size) {
+    const auto dir = root_ / "cache" / ("index" + std::to_string(index));
+    std::filesystem::create_directories(dir);
+    write(dir / "level", level);
+    write(dir / "type", type);
+    write(dir / "size", size);
+  }
+
+  [[nodiscard]] std::string dir() const { return root_.string(); }
+
+ private:
+  static void write(const std::filesystem::path& p, const std::string& text) {
+    std::ofstream(p) << text << '\n';
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST(CacheInfoDetect, ParsesAFullTree) {
+  FakeSysfs fs;
+  fs.add_index(0, "1", "Data", "48K");
+  fs.add_index(1, "1", "Instruction", "32K");
+  fs.add_index(2, "2", "Unified", "2048K");
+  fs.add_index(3, "3", "Unified", "36M");
+  const CacheInfo info = CacheInfo::detect(fs.dir());
+  EXPECT_EQ(info.l1d_bytes, 48u * 1024);
+  EXPECT_EQ(info.l2_bytes, 2048u * 1024);
+  EXPECT_EQ(info.llc_bytes, 36u * 1024 * 1024);
+}
+
+TEST(CacheInfoDetect, MissingTreeKeepsDefaults) {
+  const CacheInfo fallback;
+  const CacheInfo info = CacheInfo::detect("/nonexistent/cpu99");
+  EXPECT_EQ(info.l1d_bytes, fallback.l1d_bytes);
+  EXPECT_EQ(info.l2_bytes, fallback.l2_bytes);
+  EXPECT_EQ(info.llc_bytes, fallback.llc_bytes);
+}
+
+TEST(CacheInfoDetect, PartialTreeBackfillsAndKeepsInvariant) {
+  // Only an L2 entry (containers often hide the rest): the LLC must never
+  // come out zero or smaller than L2.
+  FakeSysfs fs;
+  fs.add_index(0, "2", "Unified", "4096K");
+  const CacheInfo info = CacheInfo::detect(fs.dir());
+  EXPECT_GT(info.l1d_bytes, 0u);
+  EXPECT_EQ(info.l2_bytes, 4096u * 1024);
+  EXPECT_GE(info.llc_bytes, info.l2_bytes);
+}
+
+TEST(CacheInfoDetect, GarbageAttributesAreSkippedNotFatal) {
+  FakeSysfs fs;
+  fs.add_index(0, "not-a-level", "Data", "48K");
+  fs.add_index(1, "2", "Unified", "chunky");  // unparsable size
+  fs.add_index(2, "3", "Unified", "8M");
+  CacheInfo info;
+  EXPECT_NO_THROW(info = CacheInfo::detect(fs.dir()));
+  EXPECT_GT(info.l1d_bytes, 0u);
+  EXPECT_GT(info.l2_bytes, 0u);
+  EXPECT_EQ(info.llc_bytes, 8u * 1024 * 1024);
+  EXPECT_LE(info.l2_bytes, info.llc_bytes);
+}
+
+TEST(CacheInfoDetect, L2LargerThanNamedLlcWins) {
+  // A malformed tree claiming LLC < L2 must be repaired, not trusted: the
+  // tile policy divides by the LLC share.
+  FakeSysfs fs;
+  fs.add_index(0, "2", "Unified", "8192K");
+  fs.add_index(1, "3", "Unified", "1024K");
+  const CacheInfo info = CacheInfo::detect(fs.dir());
+  EXPECT_GE(info.llc_bytes, info.l2_bytes);
+}
+
+TEST(CacheInfoDetect, HostDetectionSatisfiesInvariants) {
+  const CacheInfo& info = CacheInfo::host();
+  EXPECT_GT(info.l1d_bytes, 0u);
+  EXPECT_GT(info.l2_bytes, 0u);
+  EXPECT_GE(info.llc_bytes, info.l2_bytes);
+}
+
+// ------------------------------------------------------------- env knobs --
+
+TEST(EnvKnobs, IntStrictParsesAndFallsBack) {
+  {
+    const EnvGuard env("CBM_TEST_KNOB", "42");
+    EXPECT_EQ(env_int_strict("CBM_TEST_KNOB", 7), 42);
+  }
+  {
+    const EnvGuard env("CBM_TEST_KNOB", "-3");
+    EXPECT_EQ(env_int_strict("CBM_TEST_KNOB", 7), -3);
+  }
+  {
+    const EnvGuard env("CBM_TEST_KNOB", "");
+    EXPECT_EQ(env_int_strict("CBM_TEST_KNOB", 7), 7);
+  }
+  EXPECT_EQ(env_int_strict("CBM_TEST_KNOB_UNSET", 7), 7);
+}
+
+TEST(EnvKnobs, IntStrictRejectsGarbage) {
+  for (const char* bad : {"12abc", "abc", "1.5", " 12 ", "0x10",
+                          "99999999999999999999"}) {
+    const EnvGuard env("CBM_TEST_KNOB", bad);
+    EXPECT_THROW(env_int_strict("CBM_TEST_KNOB", 7), CbmError) << bad;
+  }
+  // The error names the variable so the operator can find the knob.
+  const EnvGuard env("CBM_TEST_KNOB", "fast");
+  try {
+    (void)env_int_strict("CBM_TEST_KNOB", 7);
+    FAIL() << "expected CbmError";
+  } catch (const CbmError& e) {
+    EXPECT_NE(std::string(e.what()).find("CBM_TEST_KNOB"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("fast"), std::string::npos);
+  }
+}
+
+TEST(EnvKnobs, PositiveIntRejectsZeroAndNegative) {
+  for (const char* bad : {"0", "-1", "-64"}) {
+    const EnvGuard env("CBM_TEST_KNOB", bad);
+    EXPECT_THROW(env_positive_int("CBM_TEST_KNOB", 7), CbmError) << bad;
+  }
+  const EnvGuard env("CBM_TEST_KNOB", "3");
+  EXPECT_EQ(env_positive_int("CBM_TEST_KNOB", 7), 3);
+}
+
+TEST(EnvKnobs, DoubleStrictParsesAndRejects) {
+  {
+    const EnvGuard env("CBM_TEST_KNOB", "0.25");
+    EXPECT_DOUBLE_EQ(env_double_strict("CBM_TEST_KNOB", 1.0), 0.25);
+  }
+  {
+    const EnvGuard env("CBM_TEST_KNOB", "2e-3");
+    EXPECT_DOUBLE_EQ(env_double_strict("CBM_TEST_KNOB", 1.0), 2e-3);
+  }
+  for (const char* bad : {"0.25x", "fast", "1e999"}) {
+    const EnvGuard env("CBM_TEST_KNOB", bad);
+    EXPECT_THROW(env_double_strict("CBM_TEST_KNOB", 1.0), CbmError) << bad;
+  }
+}
+
+TEST(EnvKnobs, TileColsValidatedCentrally) {
+  {
+    const EnvGuard env("CBM_TILE_COLS", "");  // empty = unset
+    EXPECT_EQ(env_tile_cols(), std::nullopt);
+  }
+  {
+    const EnvGuard env("CBM_TILE_COLS", "128");
+    EXPECT_EQ(env_tile_cols(), index_t{128});
+  }
+  for (const char* bad : {"0", "-8", "wide", "64cols"}) {
+    const EnvGuard env("CBM_TILE_COLS", bad);
+    EXPECT_THROW((void)env_tile_cols(), CbmError) << bad;
+  }
 }
 
 TEST(Timer, NonNegativeAndMonotonic) {

@@ -22,6 +22,7 @@
 #include "check/check.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/vectorops.hpp"
 #include "gnn/adjacency_op.hpp"
 #include "sparse/scale.hpp"
 #include "test_util.hpp"
@@ -155,6 +156,47 @@ TEST_P(DifferentialPaths, FusedEveryTileWidth) {
       cbm.multiply(b, c, MultiplySchedule::fused(tile));
       EXPECT_MATCHES_ORACLE(c, oracle,
                             "tile=" << tile << " threads=" << threads);
+    }
+  }
+}
+
+TEST_P(DifferentialPaths, EverySimdLevelEveryWidth) {
+  // The dispatched kernels (CBM_SIMD sweep): every level this host/build
+  // supports must match the dense oracle on both engines, at operand widths
+  // straddling the vector registers (1 through 63 columns — full panels,
+  // single vectors, masked/stack tails).
+  const auto gen = GetParam();
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = gen.make(seed);
+  const index_t n = a.rows();
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = 2});
+
+  for (const index_t p : {index_t{1}, index_t{3}, index_t{7}, index_t{15},
+                          index_t{63}}) {
+    const auto b = check::random_dense<float>(
+        a.cols(), p, test::auto_seed(static_cast<std::uint64_t>(p)));
+    const auto oracle = check::dense_reference_multiply(a, b);
+    for (const SimdLevel level :
+         {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+      if (!simd_level_supported(level)) continue;
+      SimdScope scope(level);
+      DenseMatrix<float> c(n, p);
+      c.fill(-3.0f);
+      cbm.multiply(b, c, MultiplySchedule::two_stage());
+      EXPECT_MATCHES_ORACLE(
+          c, oracle, "two-stage simd=" << simd_level_name(level) << " p=" << p);
+      c.fill(-3.0f);
+      cbm.multiply(b, c, MultiplySchedule::fused(0));
+      EXPECT_MATCHES_ORACLE(
+          c, oracle, "fused simd=" << simd_level_name(level) << " p=" << p);
+      if (p > 8) {
+        c.fill(-3.0f);
+        cbm.multiply(b, c, MultiplySchedule::fused(8));
+        EXPECT_MATCHES_ORACLE(c, oracle,
+                              "fused tile=8 simd=" << simd_level_name(level)
+                                                   << " p=" << p);
+      }
     }
   }
 }

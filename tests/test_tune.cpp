@@ -1,0 +1,359 @@
+// Autotuner tests (src/tune): shape fingerprints, mode parsing, the
+// decide() probe/cache flow with a fake probe function, on-disk cache
+// round-trips through the cbm-tune-v1 schema, corruption tolerance, and the
+// end-to-end multiply_auto() path against the dense oracle.
+//
+// The Tuner is a process-wide singleton; every test that touches it points
+// it at a private temp file (or disables persistence) and clear()s on the
+// way in, so tests stay order-independent.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "cbm/cbm_matrix.hpp"
+#include "check/check.hpp"
+#include "common/error.hpp"
+#include "test_util.hpp"
+#include "tune/microjson.hpp"
+#include "tune/tune.hpp"
+
+namespace cbm::tune {
+namespace {
+
+using test::EnvGuard;
+
+/// Points the singleton at a fresh temp cache file for one test and removes
+/// the file (and in-memory state) afterwards.
+class TunerSandbox {
+ public:
+  explicit TunerSandbox(const std::string& tag) {
+    path_ = ::testing::TempDir() + "cbm-tune-test-" + tag + ".json";
+    std::remove(path_.c_str());
+    Tuner::instance().set_cache_path(path_);
+  }
+  ~TunerSandbox() {
+    Tuner::instance().set_cache_path("");  // in-memory only between tests
+    Tuner::instance().clear();
+    std::remove(path_.c_str());
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+ShapeKey make_key() {
+  ShapeKey key;
+  key.rows = 100;
+  key.cols = 100;
+  key.bcols = 64;
+  key.delta_nnz = 500;
+  key.threads = 1;
+  key.elem_bytes = 4;
+  return key;
+}
+
+TEST(TuneMode, ParsesAndRejects) {
+  {
+    const EnvGuard env("CBM_TUNE", "off");
+    EXPECT_EQ(tune_mode_from_env(), TuneMode::kOff);
+  }
+  {
+    const EnvGuard env("CBM_TUNE", "on");
+    EXPECT_EQ(tune_mode_from_env(), TuneMode::kOn);
+  }
+  {
+    const EnvGuard env("CBM_TUNE", "force");
+    EXPECT_EQ(tune_mode_from_env(), TuneMode::kForce);
+  }
+  {
+    const EnvGuard env("CBM_TUNE", "");
+    EXPECT_EQ(tune_mode_from_env(), TuneMode::kOff);
+  }
+  {
+    const EnvGuard env("CBM_TUNE", "yes");
+    EXPECT_THROW(tune_mode_from_env(), CbmError);
+  }
+}
+
+TEST(ShapeKeyTest, FingerprintCoversEveryField) {
+  ShapeKey key = make_key();
+  const std::string base = key.fingerprint();
+  EXPECT_EQ(base, "r100x100_p64_nnz500_t1_e4");
+  ShapeKey other = make_key();
+  other.bcols = 65;
+  EXPECT_NE(other.fingerprint(), base);
+  other = make_key();
+  other.threads = 2;
+  EXPECT_NE(other.fingerprint(), base);
+  other = make_key();
+  other.elem_bytes = 8;
+  EXPECT_NE(other.fingerprint(), base);
+}
+
+TEST(CandidatePlans, CoverBothEnginesAtSupportedLevels) {
+  const auto plans = candidate_plans(make_key());
+  ASSERT_FALSE(plans.empty());
+  bool saw_two_stage = false, saw_fused = false, saw_full_width = false;
+  for (const Plan& plan : plans) {
+    EXPECT_TRUE(simd_level_supported(plan.simd));
+    saw_two_stage |= plan.schedule.path == MultiplyPath::kTwoStage;
+    saw_fused |= plan.schedule.path == MultiplyPath::kFusedTiled;
+    saw_full_width |= plan.schedule.path == MultiplyPath::kFusedTiled &&
+                      plan.schedule.tile_cols == 64;
+  }
+  EXPECT_TRUE(saw_two_stage);
+  EXPECT_TRUE(saw_fused);
+  EXPECT_TRUE(saw_full_width);
+}
+
+TEST(CandidatePlans, Avx2TierProbedOnlyOnNarrowOperands) {
+  if (simd_max_supported() != SimdLevel::kAvx512) {
+    GTEST_SKIP() << "needs an AVX-512 host to expose the AVX2 fallback tier";
+  }
+  ShapeKey narrow = make_key();
+  narrow.bcols = 32;
+  bool saw_avx2 = false;
+  for (const Plan& plan : candidate_plans(narrow)) {
+    saw_avx2 |= plan.simd == SimdLevel::kAvx2;
+  }
+  EXPECT_TRUE(saw_avx2) << "masked tails dominate at p=32; probe AVX2 there";
+
+  ShapeKey wide = make_key();
+  wide.bcols = 128;
+  for (const Plan& plan : candidate_plans(wide)) {
+    EXPECT_EQ(plan.simd, SimdLevel::kAvx512)
+        << "wide operands must not expose the slower tier to probe noise";
+  }
+}
+
+TEST(TunerDecide, OffNeverProbes) {
+  TunerSandbox sandbox("off");
+  int probes = 0;
+  const auto decision =
+      Tuner::instance().decide(make_key(), TuneMode::kOff, [&](const Plan&) {
+        ++probes;
+        return 1.0;
+      });
+  EXPECT_FALSE(decision.tuned);
+  EXPECT_EQ(probes, 0);
+}
+
+TEST(TunerDecide, OnProbesOnceThenHitsCache) {
+  TunerSandbox sandbox("on");
+  int probes = 0;
+  // Fake probe: make the two-stage engine the unambiguous winner.
+  const auto probe = [&](const Plan& plan) {
+    ++probes;
+    return plan.schedule.path == MultiplyPath::kTwoStage ? 0.5 : 2.0;
+  };
+  const auto first = Tuner::instance().decide(make_key(), TuneMode::kOn, probe);
+  EXPECT_TRUE(first.tuned);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.plan.schedule.path, MultiplyPath::kTwoStage);
+  EXPECT_GT(probes, 1);  // every candidate was timed
+
+  const int probes_after_first = probes;
+  const auto second =
+      Tuner::instance().decide(make_key(), TuneMode::kOn, probe);
+  EXPECT_TRUE(second.tuned);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(probes, probes_after_first);  // no re-probe
+  EXPECT_EQ(second.plan.schedule.path, MultiplyPath::kTwoStage);
+}
+
+TEST(TunerDecide, ForceAlwaysReprobes) {
+  TunerSandbox sandbox("force");
+  int probes = 0;
+  const auto probe = [&](const Plan&) {
+    ++probes;
+    return 1.0;
+  };
+  (void)Tuner::instance().decide(make_key(), TuneMode::kForce, probe);
+  const int first = probes;
+  (void)Tuner::instance().decide(make_key(), TuneMode::kForce, probe);
+  EXPECT_EQ(probes, 2 * first);
+}
+
+TEST(TunerDecide, AllProbesFailingFallsBackToAnalytic) {
+  TunerSandbox sandbox("fail");
+  const auto decision = Tuner::instance().decide(
+      make_key(), TuneMode::kOn, [](const Plan&) { return -1.0; });
+  EXPECT_FALSE(decision.tuned);
+}
+
+TEST(TunerCache, RoundTripsThroughDisk) {
+  TunerSandbox sandbox("roundtrip");
+  const auto probe = [](const Plan& plan) {
+    return plan.schedule.path == MultiplyPath::kFusedTiled &&
+                   plan.schedule.tile_cols == 64
+               ? 0.25
+               : 1.0;
+  };
+  (void)Tuner::instance().decide(make_key(), TuneMode::kOn, probe);
+
+  // The written document is valid cbm-tune-v1 JSON.
+  std::ifstream in(sandbox.path());
+  ASSERT_TRUE(in.good()) << "cache file missing: " << sandbox.path();
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = microjson::parse(buf.str());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->get_string("schema").value_or(""), kCacheSchema);
+
+  // A fresh load from the same file serves the entry without probing.
+  Tuner::instance().set_cache_path(sandbox.path());  // clears memory
+  int probes = 0;
+  const auto decision =
+      Tuner::instance().decide(make_key(), TuneMode::kOn, [&](const Plan&) {
+        ++probes;
+        return 1.0;
+      });
+  EXPECT_TRUE(decision.cache_hit);
+  EXPECT_EQ(probes, 0);
+  EXPECT_EQ(decision.plan.schedule.path, MultiplyPath::kFusedTiled);
+  EXPECT_EQ(decision.plan.schedule.tile_cols, 64);
+}
+
+TEST(TunerCache, CorruptedFileDegradesToReprobe) {
+  for (const char* corrupt : {
+           "not json at all {{{",
+           "{\"schema\":\"cbm-tune-v999\",\"entries\":{}}",
+           "{\"schema\":\"cbm-tune-v1\",\"entries\":{\"k\":{\"path\":"
+           "\"warp_drive\",\"spmm\":\"row_static\",\"update\":\"sequential\","
+           "\"tile_cols\":0,\"simd\":\"scalar\"}}}",
+           "{\"schema\":\"cbm-tune-v1\",\"entries\":42}",
+       }) {
+    TunerSandbox sandbox("corrupt");
+    {
+      std::ofstream out(sandbox.path());
+      out << corrupt;
+    }
+    Tuner::instance().set_cache_path(sandbox.path());
+    int probes = 0;
+    const auto decision =
+        Tuner::instance().decide(make_key(), TuneMode::kOn, [&](const Plan&) {
+          ++probes;
+          return 1.0;
+        });
+    EXPECT_TRUE(decision.tuned) << corrupt;
+    EXPECT_FALSE(decision.cache_hit) << corrupt;
+    EXPECT_GT(probes, 0) << corrupt;
+  }
+}
+
+TEST(TunerCache, CpuModelKeyNamesTheSimdTier) {
+  const std::string key = cpu_model_key();
+  EXPECT_NE(key.find(simd_level_name(simd_max_supported())),
+            std::string::npos)
+      << key;
+}
+
+TEST(MultiplyAuto, MatchesOracleWithTuningOn) {
+  TunerSandbox sandbox("auto");
+  const EnvGuard env("CBM_TUNE", "on");
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = check::random_binary<float>(48, 0.08, seed);
+  const auto b = check::random_dense<float>(48, 21, test::auto_seed(1));
+  const auto oracle = check::dense_reference_multiply(a, b);
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = 2});
+
+  DenseMatrix<float> c(48, 21);
+  c.fill(-3.0f);
+  cbm.multiply_auto(b, c);  // first contact: probes, persists
+  auto cmp = check::compare_allclose(c, oracle, 1e-4, 1e-5, 32);
+  EXPECT_TRUE(cmp.ok) << "probe run: " << cmp.to_string();
+
+  const auto decision = cbm.resolve_plan(b, c);
+  EXPECT_TRUE(decision.tuned);
+  EXPECT_TRUE(decision.cache_hit);
+
+  c.fill(-3.0f);
+  cbm.multiply_auto(b, c);  // cached plan
+  cmp = check::compare_allclose(c, oracle, 1e-4, 1e-5, 32);
+  EXPECT_TRUE(cmp.ok) << "cached run: " << cmp.to_string();
+}
+
+TEST(MultiplyAuto, TuningOffUsesAnalyticPlan) {
+  TunerSandbox sandbox("analytic");
+  const EnvGuard env("CBM_TUNE", "off");
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = check::random_binary<float>(40, 0.1, seed);
+  const auto b = check::random_dense<float>(40, 9, test::auto_seed(1));
+  const auto oracle = check::dense_reference_multiply(a, b);
+  const auto cbm = CbmMatrix<float>::compress(a, {.alpha = 2});
+
+  DenseMatrix<float> c(40, 9);
+  const auto decision = cbm.resolve_plan(b, c);
+  EXPECT_FALSE(decision.tuned);
+  EXPECT_EQ(decision.plan.schedule.path, MultiplyPath::kFusedTiled);
+
+  c.fill(-3.0f);
+  cbm.multiply_auto(b, c);
+  const auto cmp = check::compare_allclose(c, oracle, 1e-4, 1e-5, 32);
+  EXPECT_TRUE(cmp.ok) << cmp.to_string();
+}
+
+// ---------------------------------------------------------- plan naming --
+
+TEST(PlanVocabulary, NamesRoundTripThroughParse) {
+  for (const MultiplyPath p :
+       {MultiplyPath::kTwoStage, MultiplyPath::kFusedTiled}) {
+    EXPECT_EQ(parse_multiply_path(multiply_path_name(p)), p);
+  }
+  for (const SpmmSchedule s :
+       {SpmmSchedule::kRowStatic, SpmmSchedule::kRowDynamic,
+        SpmmSchedule::kNnzBalanced}) {
+    EXPECT_EQ(parse_spmm_schedule(spmm_schedule_name(s)), s);
+  }
+  for (const UpdateSchedule u :
+       {UpdateSchedule::kSequential, UpdateSchedule::kBranchDynamic,
+        UpdateSchedule::kBranchStatic, UpdateSchedule::kColumnSplit}) {
+    EXPECT_EQ(parse_update_schedule(update_schedule_name(u)), u);
+  }
+  EXPECT_THROW(parse_multiply_path("warp_drive"), CbmError);
+  EXPECT_THROW(parse_spmm_schedule(""), CbmError);
+  EXPECT_THROW(parse_update_schedule("Sequential"), CbmError);
+}
+
+// ------------------------------------------------------------- microjson --
+
+TEST(MicroJson, ParsesScalarsStringsAndNesting) {
+  const auto doc = microjson::parse(
+      R"({"a": 1.5, "b": [true, null, "x\nA"], "c": {"d": -2e3}})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_DOUBLE_EQ(doc->get_number("a").value_or(0), 1.5);
+  const auto* b = doc->find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->as_array().size(), 3u);
+  EXPECT_TRUE(b->as_array()[0].is_bool());
+  EXPECT_TRUE(b->as_array()[1].is_null());
+  EXPECT_EQ(b->as_array()[2].as_string(), "x\nA");
+  const auto* c = doc->find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->get_number("d").value_or(0), -2000.0);
+}
+
+TEST(MicroJson, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "{\"a\":1} trailing",
+                          "\"unterminated", "nul", "+1", "{\"a\" 1}"}) {
+    EXPECT_FALSE(microjson::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(MicroJson, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(microjson::parse(deep).has_value());
+}
+
+}  // namespace
+}  // namespace cbm::tune

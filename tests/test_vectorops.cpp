@@ -1,0 +1,259 @@
+// Kernel-table conformance tests for the runtime-dispatched SIMD layer
+// (common/vectorops.hpp): every operation, at every level this host/build
+// supports, must match a plain double-accumulated reference on sizes that
+// exercise full vectors, partial tails, and the empty case. The dispatch
+// plumbing itself (parse, scope, env knob) is covered at the bottom.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/vectorops.hpp"
+#include "test_util.hpp"
+
+namespace cbm {
+namespace {
+
+using test::EnvGuard;
+
+// Sizes around each vector width: 8/16 floats and 4/8 doubles per register,
+// the 4-register panel (64/32), and odd tails on both sides of each.
+const std::size_t kSizes[] = {0,  1,  7,  8,  9,  15, 16,
+                              17, 31, 33, 63, 64, 65, 128};
+
+std::vector<SimdLevel> supported_levels() {
+  std::vector<SimdLevel> levels;
+  for (const SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    if (simd_level_supported(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+template <typename T>
+std::vector<T> random_vec(std::size_t n, Rng& rng) {
+  std::vector<T> v(n);
+  for (auto& x : v) x = static_cast<T>(rng.next_double() * 2 - 1);
+  return v;
+}
+
+/// Elementwise tolerance: the kernels keep scalar accumulation order per
+/// element, so everything except dot should be bit-near; a few ULP covers
+/// FMA contraction differences between levels.
+template <typename T>
+void expect_near_vec(const std::vector<T>& actual,
+                     const std::vector<T>& expect, const char* what,
+                     double tol = 1e-5) {
+  ASSERT_EQ(actual.size(), expect.size()) << what;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double scale = std::max(1.0, std::abs(static_cast<double>(expect[i])));
+    EXPECT_NEAR(static_cast<double>(actual[i]),
+                static_cast<double>(expect[i]), tol * scale)
+        << what << " at i=" << i << " n=" << actual.size();
+  }
+}
+
+template <typename T>
+void run_elementwise_suite(SimdLevel level) {
+  SimdScope scope(level);
+  const auto& kern = simd::kernels<T>();
+  Rng rng(test::auto_seed());
+  const T a = static_cast<T>(1.25), b2 = static_cast<T>(-0.75);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_vec<T>(n, rng);
+    const auto y0 = random_vec<T>(n, rng);
+    const std::string what =
+        std::string(simd_level_name(level)) + " n=" + std::to_string(n);
+
+    auto y = y0;
+    kern.add(x.data(), y.data(), n);
+    std::vector<T> expect = y0;
+    for (std::size_t i = 0; i < n; ++i) expect[i] += x[i];
+    expect_near_vec(y, expect, ("add " + what).c_str());
+
+    y = y0;
+    kern.axpy(a, x.data(), y.data(), n);
+    expect = y0;
+    for (std::size_t i = 0; i < n; ++i) expect[i] += a * x[i];
+    expect_near_vec(y, expect, ("axpy " + what).c_str());
+
+    y = y0;
+    kern.scale(a, y.data(), n);
+    expect = y0;
+    for (std::size_t i = 0; i < n; ++i) expect[i] *= a;
+    expect_near_vec(y, expect, ("scale " + what).c_str());
+
+    y = y0;
+    kern.fused_scale_add(a, b2, x.data(), y.data(), n);
+    expect = y0;
+    for (std::size_t i = 0; i < n; ++i) expect[i] = a * (b2 * x[i] + expect[i]);
+    expect_near_vec(y, expect, ("fused_scale_add " + what).c_str());
+
+    const T dot = kern.dot(x.data(), y0.data(), n);
+    double ref = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ref += static_cast<double>(x[i]) * static_cast<double>(y0[i]);
+    }
+    // dot is the documented reassociation exception: lane-parallel partial
+    // sums, so tolerance scales with n.
+    EXPECT_NEAR(static_cast<double>(dot), ref,
+                1e-4 * std::max(1.0, std::abs(ref)))
+        << "dot " << what;
+  }
+}
+
+TEST(VectorOpsKernels, ElementwiseEveryLevelFloat) {
+  for (const SimdLevel level : supported_levels()) {
+    run_elementwise_suite<float>(level);
+  }
+}
+
+TEST(VectorOpsKernels, ElementwiseEveryLevelDouble) {
+  for (const SimdLevel level : supported_levels()) {
+    run_elementwise_suite<double>(level);
+  }
+}
+
+template <typename T>
+void run_spmm_row_suite(SimdLevel level) {
+  SimdScope scope(level);
+  const auto& kern = simd::kernels<T>();
+  Rng rng(test::auto_seed(1));
+  const std::size_t brows = 24;
+  for (const std::size_t width : kSizes) {
+    const std::size_t ldb = width;
+    const auto bmat = random_vec<T>(brows * ldb, rng);
+    const auto seed_row = random_vec<T>(width, rng);
+    // Nonzeros with repeated column indices (a row may reference the same
+    // B row twice after scaling folds).
+    const std::vector<index_t> indices = {3, 0, 17, 3, 9, 23, 11};
+    auto values = random_vec<T>(indices.size(), rng);
+    const T seed_scale = static_cast<T>(0.5), av_scale = static_cast<T>(-1.5);
+
+    for (const bool with_seed : {false, true}) {
+      for (const offset_t k1 :
+           {offset_t{0}, offset_t{2}, offset_t{5},
+            static_cast<offset_t>(indices.size())}) {
+        std::vector<T> crow(width, static_cast<T>(-3));  // must be overwritten
+        kern.spmm_row(bmat.data(), ldb, indices.data(), values.data(), 0, k1,
+                      crow.data(), static_cast<index_t>(width),
+                      with_seed ? seed_row.data() : nullptr, seed_scale,
+                      av_scale);
+        std::vector<T> expect(width, T{0});
+        if (with_seed) {
+          for (std::size_t j = 0; j < width; ++j) {
+            expect[j] = seed_scale * seed_row[j];
+          }
+        }
+        for (offset_t k = 0; k < k1; ++k) {
+          const T av = av_scale * values[k];
+          const T* brow = bmat.data() + indices[k] * ldb;
+          for (std::size_t j = 0; j < width; ++j) expect[j] += av * brow[j];
+        }
+        expect_near_vec(crow, expect,
+                        (std::string("spmm_row ") + simd_level_name(level) +
+                         " width=" + std::to_string(width) +
+                         " k1=" + std::to_string(k1) +
+                         (with_seed ? " seeded" : " unseeded"))
+                            .c_str());
+      }
+    }
+  }
+}
+
+TEST(VectorOpsKernels, SpmmRowEveryLevelFloat) {
+  for (const SimdLevel level : supported_levels()) {
+    run_spmm_row_suite<float>(level);
+  }
+}
+
+TEST(VectorOpsKernels, SpmmRowEveryLevelDouble) {
+  for (const SimdLevel level : supported_levels()) {
+    run_spmm_row_suite<double>(level);
+  }
+}
+
+TEST(VectorOpsKernels, LevelsAgreeOnElementwiseOps) {
+  // Per-element accumulation order is part of the contract for everything
+  // except dot, so levels may differ only by FMA contraction — at most an
+  // ULP or two per element, never a reassociated sum.
+  const auto levels = supported_levels();
+  if (levels.size() < 2) GTEST_SKIP() << "single-level host";
+  Rng rng(test::auto_seed());
+  const std::size_t n = 65;
+  const auto x = random_vec<float>(n, rng);
+  const auto y0 = random_vec<float>(n, rng);
+
+  std::vector<std::vector<float>> per_level;
+  for (const SimdLevel level : levels) {
+    SimdScope scope(level);
+    auto y = y0;
+    simd::kernels<float>().axpy(1.3f, x.data(), y.data(), n);
+    per_level.push_back(std::move(y));
+  }
+  for (std::size_t l = 1; l < per_level.size(); ++l) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(per_level[l][i], per_level[0][i],
+                  2e-6f * std::max(1.0f, std::abs(per_level[0][i])))
+          << "axpy differs between " << simd_level_name(levels[0]) << " and "
+          << simd_level_name(levels[l]) << " at i=" << i;
+    }
+  }
+}
+
+// ------------------------------------------------------ dispatch plumbing --
+
+TEST(SimdDispatch, ParseAcceptsKnownNames) {
+  EXPECT_EQ(parse_simd_level("auto"), simd_max_supported());
+  EXPECT_EQ(parse_simd_level("scalar"), SimdLevel::kScalar);
+  if (simd_level_supported(SimdLevel::kAvx2)) {
+    EXPECT_EQ(parse_simd_level("avx2"), SimdLevel::kAvx2);
+  }
+  if (simd_level_supported(SimdLevel::kAvx512)) {
+    EXPECT_EQ(parse_simd_level("avx512"), SimdLevel::kAvx512);
+  }
+}
+
+TEST(SimdDispatch, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_simd_level("sse9"), CbmError);
+  EXPECT_THROW(parse_simd_level(""), CbmError);
+  EXPECT_THROW(parse_simd_level("AVX2"), CbmError);  // names are lower-case
+}
+
+TEST(SimdDispatch, NamesRoundTrip) {
+  EXPECT_STREQ(simd_level_name(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx2), "avx2");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx512), "avx512");
+}
+
+TEST(SimdDispatch, ScalarAlwaysSupported) {
+  EXPECT_TRUE(simd_level_supported(SimdLevel::kScalar));
+  EXPECT_TRUE(simd_level_supported(simd_max_supported()));
+}
+
+TEST(SimdDispatch, ScopeRestoresLevel) {
+  const SimdLevel before = simd_level();
+  {
+    SimdScope scope(SimdLevel::kScalar);
+    EXPECT_EQ(simd_level(), SimdLevel::kScalar);
+  }
+  EXPECT_EQ(simd_level(), before);
+}
+
+TEST(SimdDispatch, SetLevelSwapsKernelTable) {
+  const auto* scalar_table = [] {
+    SimdScope scope(SimdLevel::kScalar);
+    return &simd::kernels<float>();
+  }();
+  const SimdLevel max = simd_max_supported();
+  if (max == SimdLevel::kScalar) GTEST_SKIP() << "scalar-only host";
+  SimdScope scope(max);
+  EXPECT_NE(&simd::kernels<float>(), scalar_table);
+}
+
+}  // namespace
+}  // namespace cbm
