@@ -80,11 +80,16 @@ OperandPair<T> make_operands(const Graph& g, Workload workload, int alpha) {
   return pair;
 }
 
-/// Times C = op·B for both formats under the current thread count.
+/// Times C = op·B for both formats under the current thread count. The
+/// RunStats carry the timing table; the HwBlocks carry the fastest rep's
+/// hardware-counter attribution (obs/hw.hpp) plus flop/byte accounting so
+/// reports can derive GFLOP/s and bytes-per-nnz per format.
 template <typename T>
 struct SpeedupResult {
   RunStats csr;
   RunStats cbm;
+  HwBlock csr_hw;
+  HwBlock cbm_hw;
   [[nodiscard]] double speedup() const {
     return cbm.mean() > 0.0 ? csr.mean() / cbm.mean() : 0.0;
   }
@@ -96,21 +101,41 @@ SpeedupResult<T> time_pair(const OperandPair<T>& pair, const DenseMatrix<T>& b,
                            UpdateSchedule schedule) {
   SpeedupResult<T> result;
   DenseMatrix<T> c(pair.csr.rows(), b.cols());
-  result.csr = time_repetitions([&] { csr_spmm(pair.csr, b, c); },
-                                config.reps, config.warmup);
-  result.cbm = time_repetitions([&] { pair.cbm.multiply(b, c, schedule); },
-                                config.reps, config.warmup);
+  const double nnz = static_cast<double>(pair.csr.nnz());
+  const auto csr = time_repetitions_hw([&] { csr_spmm(pair.csr, b, c); },
+                                       config.reps, config.warmup);
+  result.csr = csr.stats;
+  result.csr_hw = HwBlock::from(
+      csr, static_cast<double>(csr_spmm_flops(pair.csr, b.cols())),
+      static_cast<double>(pair.csr.bytes()), nnz);
+  const auto cbm = time_repetitions_hw(
+      [&] { pair.cbm.multiply(b, c, schedule); }, config.reps, config.warmup);
+  result.cbm = cbm.stats;
+  result.cbm_hw = HwBlock::from(
+      cbm, static_cast<double>(pair.cbm.scalar_ops(b.cols())),
+      static_cast<double>(pair.cbm.bytes()), nnz);
   return result;
 }
 
 /// Times C = cbm·B under an explicit execution plan (e.g. the fused
 /// column-tiled engine) with the current thread count.
 template <typename T>
-RunStats time_cbm(const CbmMatrix<T>& cbm, const DenseMatrix<T>& b,
-                  const BenchConfig& config, const MultiplySchedule& schedule) {
+struct CbmTiming {
+  RunStats stats;
+  HwBlock hw;
+};
+
+template <typename T>
+CbmTiming<T> time_cbm(const CbmMatrix<T>& cbm, const DenseMatrix<T>& b,
+                      const BenchConfig& config,
+                      const MultiplySchedule& schedule,
+                      double source_nnz = 0.0) {
   DenseMatrix<T> c(cbm.rows(), b.cols());
-  return time_repetitions([&] { cbm.multiply(b, c, schedule); }, config.reps,
-                          config.warmup);
+  const auto timed = time_repetitions_hw(
+      [&] { cbm.multiply(b, c, schedule); }, config.reps, config.warmup);
+  return {timed.stats,
+          HwBlock::from(timed, static_cast<double>(cbm.scalar_ops(b.cols())),
+                        static_cast<double>(cbm.bytes()), source_nnz)};
 }
 
 /// Times C = cbm·B under resolve_plan()'s choice (autotuner when CBM_TUNE is
@@ -119,6 +144,7 @@ RunStats time_cbm(const CbmMatrix<T>& cbm, const DenseMatrix<T>& b,
 template <typename T>
 struct TunedTiming {
   RunStats stats;
+  HwBlock hw;
   tune::PlanDecision decision;
 
   /// Provenance labels for BenchReport: where the plan came from and what it
@@ -138,14 +164,19 @@ struct TunedTiming {
 
 template <typename T>
 TunedTiming<T> time_cbm_auto(const CbmMatrix<T>& cbm, const DenseMatrix<T>& b,
-                             const BenchConfig& config) {
+                             const BenchConfig& config,
+                             double source_nnz = 0.0) {
   TunedTiming<T> result;
   DenseMatrix<T> c(cbm.rows(), b.cols());
   result.decision = cbm.resolve_plan(b, c);  // may probe (outside the timer)
   SimdScope scope(result.decision.plan.simd);
-  result.stats = time_repetitions(
+  const auto timed = time_repetitions_hw(
       [&] { cbm.multiply(b, c, result.decision.plan.schedule); }, config.reps,
       config.warmup);
+  result.stats = timed.stats;
+  result.hw =
+      HwBlock::from(timed, static_cast<double>(cbm.scalar_ops(b.cols())),
+                    static_cast<double>(cbm.bytes()), source_nnz);
   return result;
 }
 

@@ -38,10 +38,10 @@ int main() {
       }
       const std::vector<std::pair<std::string, std::string>> labels = {
           {"graph", spec.name}, {"alpha", std::to_string(alpha)}};
-      report.add("csr_seq_seconds", seq.csr, labels);
-      report.add("cbm_seq_seconds", seq.cbm, labels);
-      report.add("csr_par_seconds", par.csr, labels);
-      report.add("cbm_par_seconds", par.cbm, labels);
+      report.add("csr_seq_seconds", seq.csr, labels, seq.csr_hw);
+      report.add("cbm_seq_seconds", seq.cbm, labels, seq.cbm_hw);
+      report.add("csr_par_seconds", par.csr, labels, par.csr_hw);
+      report.add("cbm_par_seconds", par.cbm, labels, par.cbm_hw);
       report.add_scalar("compression_ratio", ratio, labels);
       table.add_row({std::to_string(alpha), fmt_double(seq.speedup(), 2),
                      fmt_double(par.speedup(), 2), fmt_double(ratio, 2),

@@ -31,8 +31,8 @@ int main() {
       }
       const std::vector<std::pair<std::string, std::string>> labels = {
           {"graph", name}, {"threads", std::to_string(threads)}};
-      report.add("csr_seconds", r.csr, labels);
-      report.add("cbm_seconds", r.cbm, labels);
+      report.add("csr_seconds", r.csr, labels, r.csr_hw);
+      report.add("cbm_seconds", r.cbm, labels, r.cbm_hw);
       table.add_row({name, std::to_string(threads), fmt_seconds(r.csr.mean()),
                      fmt_seconds(r.cbm.mean()), fmt_double(r.speedup(), 2),
                      fmt_double(csr_base / r.csr.mean(), 2),

@@ -40,9 +40,11 @@ int main() {
            {Workload::kAX, Workload::kADX, Workload::kDADX}) {
         const auto pair = make_operands<real_t>(g, w, mode.alpha);
         ThreadScope scope(mode.threads);
+        const double nnz = static_cast<double>(pair.csr.nnz());
         const auto r = time_pair(pair, b, config, mode.schedule);
-        const RunStats fused =
-            time_cbm(pair.cbm, b, config, MultiplySchedule::fused());
+        const auto fused_timing =
+            time_cbm(pair.cbm, b, config, MultiplySchedule::fused(), nnz);
+        const RunStats& fused = fused_timing.stats;
         // Min-of-reps ratio: timing jitter is strictly additive, so the
         // minimum is the noise-robust estimator for a same-machine engine
         // comparison (the millisecond-scale rows are outlier-dominated).
@@ -52,7 +54,7 @@ int main() {
         // Plan-resolved timing: the autotuner's pick when CBM_TUNE=on (first
         // contact probes, later runs hit the cache), the analytic fused plan
         // otherwise. Provenance rides along in the labels.
-        const auto tuned = time_cbm_auto(pair.cbm, b, config);
+        const auto tuned = time_cbm_auto(pair.cbm, b, config, nnz);
         if (tuned.stats.min() > 0.0) {
           tuned_vs_two_stage.add(r.cbm.min() / tuned.stats.min());
         }
@@ -61,14 +63,14 @@ int main() {
             {"op", workload_name(w)},
             {"alpha", std::to_string(mode.alpha)},
             {"threads", std::to_string(mode.threads)}};
-        report.add("csr_seconds", r.csr, labels);
-        report.add("cbm_seconds", r.cbm, labels);
-        report.add("cbm_fused_seconds", fused, labels);
+        report.add("csr_seconds", r.csr, labels, r.csr_hw);
+        report.add("cbm_seconds", r.cbm, labels, r.cbm_hw);
+        report.add("cbm_fused_seconds", fused, labels, fused_timing.hw);
         auto tuned_labels = labels;
         for (auto& kv : tuned.plan_labels()) {
           tuned_labels.push_back(std::move(kv));
         }
-        report.add("cbm_tuned_seconds", tuned.stats, tuned_labels);
+        report.add("cbm_tuned_seconds", tuned.stats, tuned_labels, tuned.hw);
         const std::string plan_cell =
             std::string(tuned.decision.tuned ? "tuned" : "analytic") + ":" +
             multiply_path_name(tuned.decision.plan.schedule.path) + "/t" +

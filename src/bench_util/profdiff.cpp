@@ -1,0 +1,269 @@
+#include "bench_util/profdiff.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "bench_util/table.hpp"
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "tune/microjson.hpp"
+
+namespace cbm::profdiff {
+
+namespace {
+
+/// Match identity: name|k1=v1,k2=v2 with label keys sorted and plan
+/// provenance dropped (see the header).
+std::string series_key(
+    const std::string& name,
+    const std::map<std::string, std::string>& labels) {
+  std::string key = name;
+  char sep = '|';
+  for (const auto& [k, v] : labels) {  // std::map: already sorted
+    if (k.rfind("plan", 0) == 0) continue;
+    key += sep;
+    key += k;
+    key += '=';
+    key += v;
+    sep = ',';
+  }
+  return key;
+}
+
+double stat_value(const Series& s, Stat stat) {
+  switch (stat) {
+    case Stat::kMin: return s.min;
+    case Stat::kMedian: return s.median;
+    case Stat::kMean: return s.mean;
+  }
+  return s.min;
+}
+
+std::string fmt_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* stat_name(Stat stat) {
+  switch (stat) {
+    case Stat::kMin: return "min";
+    case Stat::kMedian: return "median";
+    case Stat::kMean: return "mean";
+  }
+  return "?";
+}
+
+const char* verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kPass: return "pass";
+    case Verdict::kRegression: return "regression";
+    case Verdict::kImprovement: return "improvement";
+    case Verdict::kBaseOnly: return "base_only";
+    case Verdict::kCurrentOnly: return "current_only";
+    case Verdict::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+bool higher_is_better(const std::string& name) {
+  for (const char* marker :
+       {"speedup", "gflops", "throughput", "qps", "ratio"}) {
+    if (name.find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+Report parse_report(const std::string& text) {
+  const auto doc = microjson::parse(text);
+  if (!doc || !doc->is_object()) {
+    throw CbmError("cbmprof: not a JSON object");
+  }
+  const auto schema = doc->get_string("schema");
+  if (!schema) throw CbmError("cbmprof: report has no \"schema\" field");
+  if (*schema != kReportSchema) {
+    throw CbmError("cbmprof: unsupported schema '" + *schema +
+                   "' (expected " + kReportSchema + ")");
+  }
+  Report report;
+  report.bench = doc->get_string("bench").value_or("");
+  const microjson::Value* measurements = doc->find("measurements");
+  if (measurements == nullptr || !measurements->is_array()) {
+    throw CbmError("cbmprof: report has no \"measurements\" array");
+  }
+  for (const microjson::Value& m : measurements->as_array()) {
+    const auto name = m.get_string("name");
+    const auto min = m.get_number("min");
+    const auto mean = m.get_number("mean");
+    const auto median = m.get_number("median");
+    const auto count = m.get_number("count");
+    if (!name || !min || !mean || !median || !count) {
+      throw CbmError("cbmprof: malformed measurement entry");
+    }
+    std::map<std::string, std::string> labels;
+    if (const microjson::Value* l = m.find("labels");
+        l != nullptr && l->is_object()) {
+      for (const auto& [k, v] : l->as_object()) {
+        if (v.is_string()) labels.emplace(k, v.as_string());
+      }
+    }
+    Series s;
+    s.name = *name;
+    s.key = series_key(*name, labels);
+    s.min = *min;
+    s.mean = *mean;
+    s.median = *median;
+    s.count = static_cast<std::int64_t>(*count);
+    report.series.push_back(std::move(s));
+  }
+  std::sort(report.series.begin(), report.series.end(),
+            [](const Series& a, const Series& b) { return a.key < b.key; });
+  return report;
+}
+
+Report load_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw CbmError("cbmprof: cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse_report(buf.str());
+  } catch (const CbmError& e) {
+    throw CbmError(std::string(e.what()) + " [" + path + "]");
+  }
+}
+
+DiffResult diff(const Report& base, const Report& current,
+                const DiffOptions& options) {
+  DiffResult result;
+  const auto wanted = [&](const Series& s) {
+    return options.filter.empty() ||
+           s.name.find(options.filter) != std::string::npos;
+  };
+
+  // Both inputs are key-sorted: a single merge pass pairs them up.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < base.series.size() || j < current.series.size()) {
+    const Series* b =
+        i < base.series.size() ? &base.series[i] : nullptr;
+    const Series* c =
+        j < current.series.size() ? &current.series[j] : nullptr;
+    if (b != nullptr && c != nullptr && b->key == c->key) {
+      ++i;
+      ++j;
+      if (!wanted(*b)) continue;
+      DiffEntry e;
+      e.key = b->key;
+      e.name = b->name;
+      e.base = stat_value(*b, options.stat);
+      e.current = stat_value(*c, options.stat);
+      e.higher_is_better = higher_is_better(b->name);
+      if (e.base <= 0.0 || e.current <= 0.0) {
+        e.verdict = Verdict::kSkipped;
+      } else {
+        e.ratio = e.current / e.base;
+        // Normalise so `bad > 1` always means "got worse": invert the ratio
+        // for higher-is-better series, then apply the tolerance on that.
+        const double bad = e.higher_is_better ? 1.0 / e.ratio : e.ratio;
+        if (bad > 1.0 + options.tolerance) {
+          e.verdict = Verdict::kRegression;
+          ++result.regressions;
+        } else if (bad < 1.0 - options.tolerance) {
+          e.verdict = Verdict::kImprovement;
+          ++result.improvements;
+        } else {
+          e.verdict = Verdict::kPass;
+        }
+        ++result.compared;
+      }
+      result.entries.push_back(std::move(e));
+    } else if (c == nullptr || (b != nullptr && b->key < c->key)) {
+      ++i;
+      if (!wanted(*b)) continue;
+      DiffEntry e;
+      e.key = b->key;
+      e.name = b->name;
+      e.base = stat_value(*b, options.stat);
+      e.higher_is_better = higher_is_better(b->name);
+      e.verdict = Verdict::kBaseOnly;
+      ++result.base_only;
+      result.entries.push_back(std::move(e));
+    } else {
+      ++j;
+      if (!wanted(*c)) continue;
+      DiffEntry e;
+      e.key = c->key;
+      e.name = c->name;
+      e.current = stat_value(*c, options.stat);
+      e.higher_is_better = higher_is_better(c->name);
+      e.verdict = Verdict::kCurrentOnly;
+      ++result.current_only;
+      result.entries.push_back(std::move(e));
+    }
+  }
+  return result;
+}
+
+std::string diff_json(const DiffResult& result, const DiffOptions& options,
+                      const std::string& base_path,
+                      const std::string& current_path) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.value("schema", kDiffSchema);
+  w.value("base", base_path);
+  w.value("current", current_path);
+  w.value("tolerance", options.tolerance);
+  w.value("stat", stat_name(options.stat));
+  if (!options.filter.empty()) w.value("filter", options.filter);
+  w.begin_object("summary");
+  w.value("compared", result.compared);
+  w.value("regressions", result.regressions);
+  w.value("improvements", result.improvements);
+  w.value("base_only", result.base_only);
+  w.value("current_only", result.current_only);
+  w.value("ok", result.ok());
+  w.end_object();
+  w.begin_array("entries");
+  for (const DiffEntry& e : result.entries) {
+    w.begin_object();
+    w.value("key", e.key);
+    w.value("name", e.name);
+    w.value("verdict", verdict_name(e.verdict));
+    w.value("higher_is_better", e.higher_is_better);
+    if (e.base > 0.0) w.value("base", e.base);
+    if (e.current > 0.0) w.value("current", e.current);
+    if (e.ratio > 0.0) w.value("ratio", e.ratio);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  return os.str();
+}
+
+void print_diff(const DiffResult& result, const DiffOptions& options) {
+  TablePrinter table({"Series", "Base", "Current", "Ratio", "Dir", "Verdict"});
+  for (const DiffEntry& e : result.entries) {
+    table.add_row({e.key, e.base > 0.0 ? fmt_value(e.base) : "-",
+                   e.current > 0.0 ? fmt_value(e.current) : "-",
+                   e.ratio > 0.0 ? fmt_double(e.ratio, 3) : "-",
+                   e.higher_is_better ? "up" : "down",
+                   verdict_name(e.verdict)});
+  }
+  table.print();
+  std::printf(
+      "cbmprof: %d compared (stat=%s, tol=%.0f%%): "
+      "%d regression(s), %d improvement(s), %d base-only, %d new — %s\n",
+      result.compared, stat_name(options.stat), options.tolerance * 100.0,
+      result.regressions, result.improvements, result.base_only,
+      result.current_only, result.ok() ? "OK" : "FAIL");
+}
+
+}  // namespace cbm::profdiff

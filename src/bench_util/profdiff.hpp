@@ -1,0 +1,115 @@
+// Diffing of cbm-bench-v1 reports (the cbmprof engine).
+//
+// A BenchReport document is a set of measurement series keyed by name +
+// labels. This module loads two such documents, matches their series, and
+// classifies each matched pair as pass / regression / improvement under a
+// relative tolerance — the comparison the CI perf gate runs against the
+// committed baselines under bench/results/, and what `cbmprof diff` exposes
+// on the command line.
+//
+// Matching deliberately ignores labels whose key starts with "plan": plan
+// provenance (cache vs probe, tile width the tuner picked) legitimately
+// flips between runs and must not make series unpairable.
+//
+// Direction is inferred from the series name: names containing "speedup",
+// "gflops", "throughput", "qps", or "ratio" are higher-is-better; everything
+// else (seconds, bytes, ...) is lower-is-better.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace cbm::profdiff {
+
+inline constexpr const char* kReportSchema = "cbm-bench-v1";
+inline constexpr const char* kDiffSchema = "cbmprof-diff-v1";
+
+/// One measurement series pulled out of a report document.
+struct Series {
+  std::string name;
+  std::string key;  ///< name + sorted non-plan labels; the match identity
+  double min = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  std::int64_t count = 0;
+};
+
+/// A loaded cbm-bench-v1 document, reduced to what diffing needs.
+struct Report {
+  std::string bench;
+  std::vector<Series> series;  ///< sorted by key, unique
+};
+
+/// Parses a cbm-bench-v1 document. Throws CbmError on JSON syntax errors,
+/// a missing/mismatched "schema" field (reports written by an incompatible
+/// version must be rejected, not silently compared), or malformed
+/// measurements.
+Report parse_report(const std::string& text);
+
+/// parse_report over a file's contents. Throws CbmError when unreadable.
+Report load_report(const std::string& path);
+
+/// Which statistic of each series to compare. Min is the default: timing
+/// noise is strictly additive, so min-of-reps is the noise-robust estimator
+/// for same-machine comparisons.
+enum class Stat { kMin, kMedian, kMean };
+
+const char* stat_name(Stat stat);
+
+struct DiffOptions {
+  double tolerance = 0.10;  ///< relative; 0.10 = 10% change is significant
+  Stat stat = Stat::kMin;
+  std::string filter;  ///< substring on series names; empty = everything
+};
+
+enum class Verdict {
+  kPass,         ///< within tolerance
+  kRegression,   ///< worse than base beyond tolerance
+  kImprovement,  ///< better than base beyond tolerance
+  kBaseOnly,     ///< series vanished from the current report
+  kCurrentOnly,  ///< series new in the current report
+  kSkipped,      ///< non-positive value on either side; ratio undefined
+};
+
+const char* verdict_name(Verdict verdict);
+
+/// One matched (or unmatched) series pair.
+struct DiffEntry {
+  std::string key;
+  std::string name;
+  double base = 0.0;
+  double current = 0.0;
+  double ratio = 0.0;  ///< current / base (0 when either side is missing)
+  bool higher_is_better = false;
+  Verdict verdict = Verdict::kSkipped;
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> entries;  ///< sorted by key
+  int compared = 0;
+  int regressions = 0;
+  int improvements = 0;
+  int base_only = 0;
+  int current_only = 0;
+
+  /// The gate predicate: no regression beyond tolerance.
+  [[nodiscard]] bool ok() const { return regressions == 0; }
+};
+
+/// True when larger values of a series named `name` are better.
+bool higher_is_better(const std::string& name);
+
+DiffResult diff(const Report& base, const Report& current,
+                const DiffOptions& options);
+
+/// Serialises a diff as one cbmprof-diff-v1 JSON document.
+std::string diff_json(const DiffResult& result, const DiffOptions& options,
+                      const std::string& base_path,
+                      const std::string& current_path);
+
+/// Prints the human-readable verdict table + summary line to stdout.
+void print_diff(const DiffResult& result, const DiffOptions& options);
+
+}  // namespace cbm::profdiff

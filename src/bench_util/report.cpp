@@ -39,6 +39,67 @@ std::string detect_compiler() {
 #endif
 }
 
+// Emits a measurement's "hw" object. Unavailable counters still write an
+// explicit marker — a reader must be able to tell "not sampled" apart from
+// "sampled and fine" without guessing from absent keys. Raw counters that
+// stayed at their -1 "not opened" mark are skipped individually (HW and SW
+// event families degrade independently).
+void write_hw_block(obs::JsonWriter& w, const HwBlock& hw) {
+  const obs::hw::HwSample& s = hw.sample;
+  w.begin_object("hw");
+  w.value("available", s.available);
+  if (!s.available) {
+    w.value("reason", s.reason);
+    w.end_object();
+    return;
+  }
+  if (s.cycles >= 0) w.value("cycles", static_cast<std::uint64_t>(s.cycles));
+  if (s.instructions >= 0) {
+    w.value("instructions", static_cast<std::uint64_t>(s.instructions));
+  }
+  if (s.cycles > 0 && s.instructions >= 0) w.value("ipc", s.ipc());
+  if (s.llc_loads >= 0) {
+    w.value("llc_loads", static_cast<std::uint64_t>(s.llc_loads));
+  }
+  if (s.llc_misses >= 0) {
+    w.value("llc_misses", static_cast<std::uint64_t>(s.llc_misses));
+  }
+  if (s.llc_loads > 0 && s.llc_misses >= 0) {
+    w.value("llc_miss_rate", s.llc_miss_rate());
+  }
+  if (s.stalled_cycles >= 0) {
+    w.value("stalled_cycles", static_cast<std::uint64_t>(s.stalled_cycles));
+  }
+  if (s.cycles > 0 && s.stalled_cycles >= 0) {
+    w.value("stall_fraction", s.stall_fraction());
+  }
+  if (s.task_clock_ns >= 0) {
+    w.value("task_clock_ns", static_cast<std::uint64_t>(s.task_clock_ns));
+  }
+  if (s.page_faults >= 0) {
+    w.value("page_faults", static_cast<std::uint64_t>(s.page_faults));
+  }
+  if (s.context_switches >= 0) {
+    w.value("context_switches", static_cast<std::uint64_t>(s.context_switches));
+  }
+  // Kernel attribution: turn the known flop count / format footprint into
+  // rates a reader can compare across configs and machines.
+  if (hw.seconds > 0.0) w.value("seconds", hw.seconds);
+  if (hw.flops > 0.0) {
+    w.value("flops", hw.flops);
+    if (hw.seconds > 0.0) w.value("gflops", hw.flops / hw.seconds / 1e9);
+    if (s.instructions > 0) {
+      w.value("flops_per_instruction",
+              hw.flops / static_cast<double>(s.instructions));
+    }
+  }
+  if (hw.format_bytes > 0.0) {
+    w.value("format_bytes", hw.format_bytes);
+    if (hw.nnz > 0.0) w.value("bytes_per_nnz", hw.format_bytes / hw.nnz);
+  }
+  w.end_object();
+}
+
 }  // namespace
 
 HostInfo HostInfo::detect() {
@@ -78,7 +139,16 @@ void BenchReport::add(
     std::vector<std::pair<std::string, std::string>> labels) {
   if (!enabled()) return;
   measurements_.push_back(
-      {std::move(name), std::move(labels), stats});
+      {std::move(name), std::move(labels), stats, std::nullopt});
+  written_ = false;
+}
+
+void BenchReport::add(std::string name, const RunStats& stats,
+                      std::vector<std::pair<std::string, std::string>> labels,
+                      HwBlock hw) {
+  if (!enabled()) return;
+  measurements_.push_back(
+      {std::move(name), std::move(labels), stats, std::move(hw)});
   written_ = false;
 }
 
@@ -149,6 +219,7 @@ void BenchReport::write() {
     w.value("min", m.stats.min());
     w.value("max", m.stats.max());
     w.value("median", m.stats.median());
+    if (m.hw.has_value()) write_hw_block(w, *m.hw);
     w.end_object();
   }
   w.end_array();

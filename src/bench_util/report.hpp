@@ -12,12 +12,15 @@
 // it across PRs. See docs/observability.md.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench_util/env.hpp"
+#include "bench_util/runner.hpp"
 #include "common/stats.hpp"
+#include "obs/hw.hpp"
 
 namespace cbm {
 
@@ -32,11 +35,31 @@ struct HostInfo {
   static HostInfo detect();
 };
 
+/// Hardware-counter attribution for one measurement: the fastest rep's
+/// counter deltas plus the kernel facts (flop count, operand format bytes,
+/// source nnz) that turn raw counters into IPC / GFLOP/s / bytes-per-nnz in
+/// the written document. Zero-valued facts are simply omitted from the JSON.
+struct HwBlock {
+  obs::hw::HwSample sample;
+  double seconds = 0.0;  ///< wall time of the attributed rep
+  double flops = 0.0;    ///< known scalar-op count of the kernel (0 = n/a)
+  double format_bytes = 0.0;  ///< operand format footprint (0 = n/a)
+  double nnz = 0.0;           ///< source nonzeros (0 = n/a)
+
+  /// Pairs a time_repetitions_hw result with the kernel facts.
+  static HwBlock from(const HwTimedStats& timed, double flops,
+                      double format_bytes, double nnz) {
+    return HwBlock{timed.sample, timed.sample_seconds, flops, format_bytes,
+                   nnz};
+  }
+};
+
 /// One named measurement with optional string labels (graph, alpha, ...).
 struct BenchMeasurement {
   std::string name;
   std::vector<std::pair<std::string, std::string>> labels;
   RunStats stats;
+  std::optional<HwBlock> hw;  ///< per-config counter block when sampled
 };
 
 class BenchReport {
@@ -56,6 +79,14 @@ class BenchReport {
   /// Records one measurement series. No-op when disabled.
   void add(std::string name, const RunStats& stats,
            std::vector<std::pair<std::string, std::string>> labels = {});
+
+  /// Records a measurement series together with its hardware-counter block
+  /// (written as the measurement's "hw" object — or an explicit
+  /// {"available": false, "reason": ...} marker when counters were off or
+  /// refused). No-op when disabled.
+  void add(std::string name, const RunStats& stats,
+           std::vector<std::pair<std::string, std::string>> labels,
+           HwBlock hw);
 
   /// Records a single scalar (ratios, byte counts, ...). No-op when disabled.
   void add_scalar(std::string name, double value,

@@ -2,8 +2,11 @@
 // mean ± std exactly as the paper reports (§VI-B: averages over 250 runs).
 #pragma once
 
+#include <utility>
+
 #include "common/stats.hpp"
 #include "common/timer.hpp"
+#include "obs/hw.hpp"
 
 namespace cbm {
 
@@ -19,6 +22,39 @@ RunStats time_repetitions(Fn&& fn, int reps, int warmup) {
     stats.add(t.seconds());
   }
   return stats;
+}
+
+/// time_repetitions plus hardware-counter attribution (obs/hw.hpp): every
+/// timed rep runs inside an HwRegion and the deltas of the *fastest* rep are
+/// kept — timing jitter is additive, so the minimum-wall-time rep is the one
+/// whose counters describe the kernel rather than the noise. When CBM_PERF
+/// is off the sample carries available=false with the reason, so reports
+/// always have an explicit marker.
+struct HwTimedStats {
+  RunStats stats;
+  obs::hw::HwSample sample;    ///< counter deltas of the fastest rep
+  double sample_seconds = 0.0; ///< wall time of that rep (the stats min)
+};
+
+template <typename Fn>
+HwTimedStats time_repetitions_hw(Fn&& fn, int reps, int warmup) {
+  for (int i = 0; i < warmup; ++i) fn();
+  HwTimedStats out;
+  double best = -1.0;
+  for (int i = 0; i < reps; ++i) {
+    obs::hw::HwRegion region;
+    Timer t;
+    fn();
+    const double seconds = t.seconds();
+    obs::hw::HwSample sample = region.stop();
+    out.stats.add(seconds);
+    if (best < 0.0 || seconds < best) {
+      best = seconds;
+      out.sample = std::move(sample);
+      out.sample_seconds = seconds;
+    }
+  }
+  return out;
 }
 
 }  // namespace cbm

@@ -1,5 +1,6 @@
 #include "cbm/cbm_matrix.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <utility>
@@ -263,7 +264,7 @@ void CbmMatrix<T>::multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
   CBM_CHECK(cols() == b.rows(), "multiply: inner dimensions differ");
   CBM_CHECK(c.rows() == rows() && c.cols() == b.cols(),
             "multiply: output shape mismatch");
-  CBM_SPAN("cbm.multiply");
+  CBM_SPAN_HW("cbm.multiply");
   CBM_COUNTER_ADD("cbm.multiply.calls", 1);
   CBM_COUNTER_ADD("cbm.multiply.delta_nnz",
                   static_cast<std::int64_t>(delta_.nnz()));
@@ -304,15 +305,27 @@ tune::PlanDecision CbmMatrix<T>::resolve_plan(const DenseMatrix<T>& b,
   // candidates (otherwise whichever plan probes first pays the cold-operand
   // cost and loses), then min-of-two timed reps rejects a plan that only
   // looked fast because a context switch hit its rival.
-  const auto probe = [&](const tune::Plan& plan) -> double {
+  const auto probe = [&](const tune::Plan& plan) -> tune::ProbeSample {
+    CBM_SPAN("cbm.tune.probe_plan");
     SimdScope scope(plan.simd);
-    double best = -1.0;
+    tune::ProbeSample best;
     for (int rep = 0; rep < 3; ++rep) {
+      obs::hw::HwRegion region(/*request=*/rep > 0);  // skip the warmup rep
       Timer timer;
       multiply(b, c, plan.schedule);
       const double seconds = timer.seconds();
       if (rep == 0) continue;  // warmup
-      if (best < 0.0 || seconds < best) best = seconds;
+      const obs::hw::HwSample sample = region.stop();
+      if (best.seconds < 0.0 || seconds < best.seconds) {
+        best.seconds = seconds;
+        // Attribution of the fastest rep: *why* this plan's number is what
+        // it is — persisted into the tuning cache next to the winner.
+        best.ipc = sample.available ? std::max(sample.ipc(), 0.0) : 0.0;
+        best.llc_miss_rate = sample.available ? sample.llc_miss_rate() : -1.0;
+      }
+    }
+    if (best.seconds >= 0.0) {
+      CBM_TIMING_RECORD("cbm.tune.probe_seconds", best.seconds);
     }
     return best;
   };

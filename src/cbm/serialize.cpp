@@ -4,6 +4,8 @@
 #include <fstream>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace cbm {
 
 namespace {
@@ -48,6 +50,10 @@ std::vector<V> read_array(std::istream& in, std::size_t count,
 
 template <typename T>
 void save_cbm(std::ostream& out, const CbmMatrix<T>& m) {
+  CBM_SPAN("cbm.serialize.save");
+  CBM_COUNTER_ADD("cbm.serialize.saves", 1);
+  CBM_COUNTER_ADD("cbm.serialize.saved_bytes",
+                  static_cast<std::int64_t>(m.bytes()));
   out.write(kMagic, sizeof(kMagic));
   write_pod(out, kVersion);
   write_pod(out, static_cast<std::uint32_t>(m.kind()));
@@ -73,6 +79,8 @@ void save_cbm(std::ostream& out, const CbmMatrix<T>& m) {
 
 template <typename T>
 CbmMatrix<T> load_cbm(std::istream& in) {
+  CBM_SPAN("cbm.serialize.load");
+  CBM_COUNTER_ADD("cbm.serialize.loads", 1);
   char magic[4];
   in.read(magic, sizeof(magic));
   CBM_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),

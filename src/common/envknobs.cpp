@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <limits>
+#include <string_view>
 
 #include "common/error.hpp"
 
@@ -64,6 +65,25 @@ std::string env_string_knob(const char* name, const std::string& fallback) {
 std::optional<index_t> env_tile_cols() {
   if (lookup("CBM_TILE_COLS") == nullptr) return std::nullopt;
   return static_cast<index_t>(env_positive_int("CBM_TILE_COLS", 0));
+}
+
+PerfMode perf_mode_from_env() {
+  const char* v = lookup("CBM_PERF");
+  if (v == nullptr) return PerfMode::kOff;
+  const std::string_view s(v);
+  if (s == "off") return PerfMode::kOff;
+  if (s == "on") return PerfMode::kOn;
+  if (s == "force") return PerfMode::kForce;
+  bad_value("CBM_PERF", v, "off | on | force");
+}
+
+const char* perf_mode_name(PerfMode mode) {
+  switch (mode) {
+    case PerfMode::kOff: return "off";
+    case PerfMode::kOn: return "on";
+    case PerfMode::kForce: return "force";
+  }
+  return "?";
 }
 
 }  // namespace cbm

@@ -30,4 +30,20 @@ std::string env_string_knob(const char* name, const std::string& fallback);
 /// values throw.
 std::optional<index_t> env_tile_cols();
 
+/// Hardware performance-counter sampling policy (obs/hw.hpp).
+enum class PerfMode {
+  kOff,    ///< never open counters; sampling points cost one atomic load
+  kOn,     ///< sample; degrade to "unavailable" reports when the kernel or
+           ///< container refuses perf_event_open
+  kForce,  ///< sample; refusing every counter is an error, not a silent
+           ///< absence (use where unattributed numbers must not pass as real)
+};
+
+/// Reads CBM_PERF (off | on | force; unset/empty = off). Unknown values
+/// throw — a mistyped knob must not silently drop counter attribution.
+PerfMode perf_mode_from_env();
+
+/// Stable lower-case name of a PerfMode (telemetry / error messages).
+const char* perf_mode_name(PerfMode mode);
+
 }  // namespace cbm

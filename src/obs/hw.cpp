@@ -1,0 +1,319 @@
+#include "obs/hw.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define CBM_HW_HAVE_PERF 1
+#endif
+
+namespace cbm::obs::hw {
+
+namespace detail {
+std::atomic<int> g_mode{-1};
+
+int init_mode() {
+  const int parsed = static_cast<int>(perf_mode_from_env());
+  g_mode.store(parsed, std::memory_order_relaxed);
+  return parsed;
+}
+}  // namespace detail
+
+void set_sampling_mode(PerfMode mode) {
+  detail::g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+namespace {
+
+enum EventIndex : std::size_t {
+  kCycles = 0,
+  kInstructions,
+  kLlcLoads,
+  kLlcMisses,
+  kStalledCycles,
+  kTaskClock,
+  kPageFaults,
+  kContextSwitches,
+  kNumEvents,  // must stay <= the HwRegion::start_ capacity (8)
+};
+static_assert(kNumEvents <= 8, "HwRegion::start_ capacity");
+
+#ifdef CBM_HW_HAVE_PERF
+
+constexpr std::uint64_t hw_cache_config(std::uint64_t cache, std::uint64_t op,
+                                        std::uint64_t result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+const EventSpec kEvents[kNumEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     hw_cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                     PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {PERF_TYPE_HW_CACHE,
+     hw_cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                     PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES},
+};
+
+int open_event(std::uint32_t type, std::uint64_t config, bool exclude_kernel) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  attr.exclude_hv = 1;
+  attr.exclude_kernel = exclude_kernel ? 1 : 0;
+  return static_cast<int>(
+      ::syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                /*group_fd=*/-1, /*flags=*/0));
+}
+
+int read_paranoid() {
+  std::ifstream in("/proc/sys/kernel/perf_event_paranoid");
+  int v = -100;
+  in >> v;
+  return v;
+}
+
+/// Per-thread counter set, opened on first use after sampling is enabled.
+/// Counters are opened individually (not as a perf group) so the hardware
+/// family can be refused while the software family still delivers.
+struct ThreadCounters {
+  int fds[kNumEvents];
+  bool valid[kNumEvents] = {};
+  bool any = false;
+  std::string reason;
+
+  ThreadCounters() {
+    int first_errno = 0;
+    for (std::size_t i = 0; i < kNumEvents; ++i) {
+      fds[i] = open_event(kEvents[i].type, kEvents[i].config,
+                          /*exclude_kernel=*/false);
+      if (fds[i] < 0 && (errno == EACCES || errno == EPERM)) {
+        // perf_event_paranoid >= 2 forbids kernel-side counting; user-space
+        // cycles/instructions are still fine.
+        fds[i] = open_event(kEvents[i].type, kEvents[i].config,
+                            /*exclude_kernel=*/true);
+      }
+      if (fds[i] < 0 && i == kStalledCycles) {
+        // Backend-stall support is spotty; frontend stalls are the usual
+        // fallback (what `perf stat` prints as stalled-cycles-frontend).
+        fds[i] = open_event(PERF_TYPE_HARDWARE,
+                            PERF_COUNT_HW_STALLED_CYCLES_FRONTEND,
+                            /*exclude_kernel=*/true);
+      }
+      if (fds[i] >= 0) {
+        valid[i] = true;
+        any = true;
+      } else if (first_errno == 0) {
+        first_errno = errno;
+      }
+    }
+    if (!any) {
+      reason = std::string("perf_event_open failed: ") +
+               std::strerror(first_errno) +
+               " (perf_event_paranoid=" + std::to_string(read_paranoid()) +
+               "; VMs and containers often expose no PMU)";
+    }
+  }
+
+  ~ThreadCounters() {
+    for (std::size_t i = 0; i < kNumEvents; ++i) {
+      if (valid[i]) ::close(fds[i]);
+    }
+  }
+
+  /// Multiplex-scaled absolute reading; false when the read fails.
+  bool read_scaled(std::size_t i, double* out) const {
+    if (!valid[i]) return false;
+    std::uint64_t buf[3] = {};  // value, time_enabled, time_running
+    if (::read(fds[i], buf, sizeof(buf)) != sizeof(buf)) return false;
+    double value = static_cast<double>(buf[0]);
+    if (buf[2] != 0 && buf[1] != buf[2]) {
+      value *= static_cast<double>(buf[1]) / static_cast<double>(buf[2]);
+    }
+    *out = value;
+    return true;
+  }
+};
+
+ThreadCounters& local_counters() {
+  thread_local ThreadCounters counters;
+  return counters;
+}
+
+#endif  // CBM_HW_HAVE_PERF
+
+std::int64_t delta_field(double begin, double end, bool valid) {
+  if (!valid) return -1;
+  const double d = end - begin;
+  return d > 0.0 ? static_cast<std::int64_t>(std::llround(d)) : 0;
+}
+
+}  // namespace
+
+double HwSample::ipc() const {
+  if (instructions < 0 || cycles <= 0) return -1.0;
+  return static_cast<double>(instructions) / static_cast<double>(cycles);
+}
+
+double HwSample::llc_miss_rate() const {
+  if (llc_misses < 0 || llc_loads <= 0) return -1.0;
+  const double rate =
+      static_cast<double>(llc_misses) / static_cast<double>(llc_loads);
+  return rate > 1.0 ? 1.0 : rate;  // scaling jitter can nudge past 1
+}
+
+double HwSample::stall_fraction() const {
+  if (stalled_cycles < 0 || cycles <= 0) return -1.0;
+  const double f =
+      static_cast<double>(stalled_cycles) / static_cast<double>(cycles);
+  return f > 1.0 ? 1.0 : f;
+}
+
+void HwSample::accumulate(const HwSample& other) {
+  available = available || other.available;
+  if (reason.empty()) reason = other.reason;
+  const auto acc = [](std::int64_t& into, std::int64_t v) {
+    if (v >= 0) into = (into >= 0 ? into : 0) + v;
+  };
+  acc(cycles, other.cycles);
+  acc(instructions, other.instructions);
+  acc(llc_loads, other.llc_loads);
+  acc(llc_misses, other.llc_misses);
+  acc(stalled_cycles, other.stalled_cycles);
+  acc(task_clock_ns, other.task_clock_ns);
+  acc(page_faults, other.page_faults);
+  acc(context_switches, other.context_switches);
+}
+
+bool thread_counters_available() {
+#ifdef CBM_HW_HAVE_PERF
+  if (!sampling_enabled()) return false;
+  return local_counters().any;
+#else
+  return false;
+#endif
+}
+
+std::string thread_counters_reason() {
+#ifdef CBM_HW_HAVE_PERF
+  if (!sampling_enabled()) return "";
+  return local_counters().reason;
+#else
+  return "perf_event_open is Linux-only";
+#endif
+}
+
+HwRegion::HwRegion(bool request) {
+  if (!request || !sampling_enabled()) return;
+#ifdef CBM_HW_HAVE_PERF
+  ThreadCounters& counters = local_counters();
+  if (!counters.any) return;  // stop() reports the stored reason
+  active_ = true;
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    if (!counters.read_scaled(i, &start_[i])) start_[i] = -1.0;
+  }
+#endif
+}
+
+HwSample HwRegion::stop() {
+  HwSample sample;
+  if (!sampling_enabled()) {
+    sample.reason = "disabled (CBM_PERF=off)";
+    return sample;
+  }
+#ifdef CBM_HW_HAVE_PERF
+  ThreadCounters& counters = local_counters();
+  if (!active_ || !counters.any) {
+    sample.reason = counters.reason.empty()
+                        ? "no perf counters opened on this thread"
+                        : counters.reason;
+    if (sampling_mode() == PerfMode::kForce) {
+      throw CbmError("CBM_PERF=force but no perf counter is available: " +
+                     sample.reason);
+    }
+    return sample;
+  }
+  std::int64_t* const fields[kNumEvents] = {
+      &sample.cycles,        &sample.instructions,  &sample.llc_loads,
+      &sample.llc_misses,    &sample.stalled_cycles, &sample.task_clock_ns,
+      &sample.page_faults,   &sample.context_switches,
+  };
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    double end = -1.0;
+    const bool ok =
+        start_[i] >= 0.0 && counters.read_scaled(i, &end) && end >= 0.0;
+    *fields[i] = delta_field(start_[i], end, ok);
+    if (ok) sample.available = true;
+  }
+  if (!sample.available) sample.reason = "perf counter reads failed";
+  return sample;
+#else
+  sample.reason = "perf_event_open is Linux-only";
+  if (sampling_mode() == PerfMode::kForce) {
+    throw CbmError("CBM_PERF=force but no perf counter is available: " +
+                   sample.reason);
+  }
+  return sample;
+#endif
+}
+
+ScopedHwSample::ScopedHwSample(const char* name)
+    : name_(sampling_enabled() && metrics_enabled() ? name : nullptr),
+      region_(/*request=*/name_ != nullptr) {}
+
+ScopedHwSample::~ScopedHwSample() {
+  if (name_ == nullptr) return;
+  const std::string prefix = std::string("hw.") + name_;
+  // Destructors must not throw: report unavailability as a counter instead
+  // of letting stop()'s CBM_PERF=force escalation propagate. The bench-rep
+  // and probe HwRegions remain the force-enforcement points.
+  if (!thread_counters_available()) {
+    counter_add((prefix + ".unavailable").c_str(), 1);
+    return;
+  }
+  const HwSample sample = region_.stop();
+  if (!sample.available) {
+    counter_add((prefix + ".unavailable").c_str(), 1);
+    return;
+  }
+  counter_add((prefix + ".samples").c_str(), 1);
+  const auto record = [&](const char* field, std::int64_t v) {
+    if (v >= 0) counter_add((prefix + "." + field).c_str(), v);
+  };
+  record("cycles", sample.cycles);
+  record("instructions", sample.instructions);
+  record("llc_loads", sample.llc_loads);
+  record("llc_misses", sample.llc_misses);
+  record("stalled_cycles", sample.stalled_cycles);
+  record("task_clock_ns", sample.task_clock_ns);
+  record("page_faults", sample.page_faults);
+  record("context_switches", sample.context_switches);
+  if (sample.ipc() >= 0.0) gauge_set((prefix + ".ipc").c_str(), sample.ipc());
+  if (sample.llc_miss_rate() >= 0.0) {
+    gauge_set((prefix + ".llc_miss_rate").c_str(), sample.llc_miss_rate());
+  }
+}
+
+}  // namespace cbm::obs::hw

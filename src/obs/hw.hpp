@@ -1,0 +1,125 @@
+// Hardware performance-counter sampling (cbm::obs::hw).
+//
+// Wraps perf_event_open into per-thread counter sets that can be read around
+// any region of code: bench repetitions, autotuner probes, or any CBM_SPAN
+// via the CBM_SPAN_HW macro (obs.hpp). Counters measure the *calling thread*
+// (pid = 0, cpu = any), so a sample around an OpenMP product attributes the
+// orchestrating thread's work — pin to one thread for whole-kernel numbers.
+//
+// Sampling is off unless CBM_PERF=on|force (common/envknobs.hpp); when off,
+// a sampling point costs one relaxed atomic load and a branch, and no perf
+// fd is ever opened. When on, unavailable counters (perf_event_paranoid,
+// seccomp'd containers, VMs without a PMU) degrade per event: hardware
+// counters may be absent while the software fallbacks (task clock, page
+// faults, context switches) still deliver, and a sample says which — or
+// reports available=false with the reason when nothing opened at all.
+// CBM_PERF=force escalates "nothing opened" to a CbmError so a run that was
+// supposed to be attributed cannot silently produce bare wall times.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/envknobs.hpp"
+
+namespace cbm::obs::hw {
+
+namespace detail {
+/// PerfMode as int; -1 = CBM_PERF not parsed yet.
+extern std::atomic<int> g_mode;
+int init_mode();  // parses CBM_PERF (throws on garbage), stores, returns
+}  // namespace detail
+
+/// Active sampling mode. First call parses CBM_PERF (and may throw on an
+/// invalid value); later calls are one relaxed atomic load.
+inline PerfMode sampling_mode() {
+  int m = detail::g_mode.load(std::memory_order_relaxed);
+  if (m < 0) m = detail::init_mode();
+  return static_cast<PerfMode>(m);
+}
+
+/// True when counter sampling is requested (CBM_PERF=on|force).
+inline bool sampling_enabled() { return sampling_mode() != PerfMode::kOff; }
+
+/// Overrides the CBM_PERF decision (tests, programmatic enablement).
+void set_sampling_mode(PerfMode mode);
+
+/// Counter deltas over one sampled region. Raw fields are multiplex-scaled
+/// (value × time_enabled ÷ time_running); −1 means that counter was not
+/// available on this host. `available` is true when at least one counter
+/// delivered — hardware and software families degrade independently.
+struct HwSample {
+  bool available = false;
+  std::string reason;  ///< when !available: why nothing opened
+
+  // Hardware events.
+  std::int64_t cycles = -1;
+  std::int64_t instructions = -1;
+  std::int64_t llc_loads = -1;
+  std::int64_t llc_misses = -1;
+  std::int64_t stalled_cycles = -1;  ///< backend when supported, else frontend
+
+  // Software events (available wherever perf_event_open works at all).
+  std::int64_t task_clock_ns = -1;
+  std::int64_t page_faults = -1;
+  std::int64_t context_switches = -1;
+
+  /// Instructions per cycle; −1 when either counter is missing.
+  [[nodiscard]] double ipc() const;
+  /// LLC misses ÷ LLC loads in [0, 1]; −1 when either counter is missing.
+  [[nodiscard]] double llc_miss_rate() const;
+  /// Stalled ÷ total cycles; −1 when either counter is missing.
+  [[nodiscard]] double stall_fraction() const;
+
+  /// Field-wise sum (missing fields stay missing on either side).
+  void accumulate(const HwSample& other);
+};
+
+/// True when the calling thread managed to open at least one counter (opens
+/// lazily on first use; always false while sampling is disabled).
+bool thread_counters_available();
+
+/// Why the calling thread's counters are unavailable ("" when available or
+/// when sampling is disabled and nothing was ever attempted).
+std::string thread_counters_reason();
+
+/// Samples the region between construction and stop() on the calling
+/// thread. Cheap no-op construction when sampling is disabled; stop() then
+/// returns an unavailable sample whose reason names CBM_PERF. Under
+/// CBM_PERF=force, stop() throws CbmError if no counter at all opened.
+class HwRegion {
+ public:
+  /// `request = false` builds an inert region whose stop() reports
+  /// unavailability without ever touching a counter (conditional sampling).
+  explicit HwRegion(bool request = true);
+  HwRegion(const HwRegion&) = delete;
+  HwRegion& operator=(const HwRegion&) = delete;
+
+  /// Ends the region and returns the counter deltas. Call once.
+  HwSample stop();
+
+ private:
+  bool active_ = false;
+  // Scaled absolute readings at construction, indexed like the event table
+  // in hw.cpp; large enough for every event this module opens.
+  double start_[8] = {};
+};
+
+/// RAII companion to CBM_SPAN: samples the scope and records the deltas into
+/// the metrics registry as `hw.<name>.<counter>` counters plus an
+/// `hw.<name>.ipc` gauge. Active only when both sampling (CBM_PERF) and
+/// metrics recording are on; otherwise construction is two atomic loads.
+class ScopedHwSample {
+ public:
+  explicit ScopedHwSample(const char* name);
+  ~ScopedHwSample();
+  ScopedHwSample(const ScopedHwSample&) = delete;
+  ScopedHwSample& operator=(const ScopedHwSample&) = delete;
+
+ private:
+  const char* name_;  ///< nullptr = inactive
+  HwRegion region_;
+};
+
+}  // namespace cbm::obs::hw

@@ -55,7 +55,16 @@ struct TimingSummary {
   [[nodiscard]] double mean() const {
     return count > 0 ? sum / static_cast<double>(count) : 0.0;
   }
-  /// Histogram-resolution (factor-of-two) estimate of quantile q in [0,1].
+  /// Histogram-resolution estimate of quantile q in [0,1] (0 when empty).
+  ///
+  /// Error bound: the estimate is the geometric midpoint of the factor-of-two
+  /// bucket holding the target rank, so it is off from the true quantile by
+  /// at most a factor of √2 in either direction — except that it is always
+  /// clamped to the observed [min, max], so p50 can never exceed the
+  /// recorded max (nor undershoot the min), and a single-sample histogram
+  /// returns that sample exactly. Samples beyond the last bucket's lower
+  /// edge (~39 h) saturate into it; the clamp keeps their estimate at the
+  /// observed extremes rather than the bucket midpoint.
   [[nodiscard]] double quantile(double q) const;
 
   void add(double seconds);

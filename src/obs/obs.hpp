@@ -13,6 +13,7 @@
 // the benchmarks. See docs/observability.md for env vars and span naming.
 #pragma once
 
+#include "obs/hw.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -22,6 +23,15 @@
 /// Opens a trace span covering the rest of the enclosing scope.
 #define CBM_SPAN(name) \
   const ::cbm::obs::ScopedSpan CBM_OBS_CONCAT(cbm_obs_span_, __LINE__)(name)
+
+/// CBM_SPAN plus hardware-counter attribution: when CBM_PERF=on|force and
+/// metrics recording is active, the scope's counter deltas land in the
+/// metrics registry as `hw.<name>.*` (obs/hw.hpp). Costs two relaxed atomic
+/// loads when either switch is off.
+#define CBM_SPAN_HW(name)                                                  \
+  CBM_SPAN(name);                                                          \
+  const ::cbm::obs::hw::ScopedHwSample CBM_OBS_CONCAT(cbm_obs_hw_,         \
+                                                      __LINE__)(name)
 
 /// Counter increment, guarded so arguments are not evaluated when disabled.
 #define CBM_COUNTER_ADD(name, delta)                        \

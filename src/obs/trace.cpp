@@ -11,6 +11,10 @@
 
 #include "obs/json.hpp"
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 namespace cbm::obs {
 
 namespace detail {
@@ -39,7 +43,8 @@ struct TraceEvent {
 struct ThreadBuffer {
   static constexpr std::size_t kCapacity = 1 << 14;  // 16384 events / thread
 
-  explicit ThreadBuffer(int tid) : events(kCapacity), tid(tid) {}
+  ThreadBuffer(int tid, std::string label)
+      : events(kCapacity), tid(tid), label(std::move(label)) {}
 
   void push(const char* name, std::int64_t begin_ns, std::int64_t end_ns) {
     const std::uint64_t h = head.load(std::memory_order_relaxed);
@@ -50,7 +55,22 @@ struct ThreadBuffer {
   std::vector<TraceEvent> events;
   std::atomic<std::uint64_t> head{0};
   int tid;
+  std::string label;  ///< exported as the chrome://tracing thread name
 };
+
+/// Human-readable name for the registering thread, resolved once at its
+/// first span. Registration order makes tid 0 the main thread; workers that
+/// first record inside an OpenMP region are named by their team rank, which
+/// is what makes a multi-threaded update-stage trace readable.
+std::string thread_label(int tid) {
+  if (tid == 0) return "main";
+#ifdef _OPENMP
+  if (omp_in_parallel() != 0) {
+    return "omp-worker-" + std::to_string(omp_get_thread_num());
+  }
+#endif
+  return "thread-" + std::to_string(tid);
+}
 
 struct TraceState {
   std::mutex mutex;
@@ -70,7 +90,8 @@ ThreadBuffer& local_buffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     TraceState& s = state();
     const std::lock_guard<std::mutex> lock(s.mutex);
-    auto b = std::make_shared<ThreadBuffer>(s.next_tid++);
+    const int tid = s.next_tid++;
+    auto b = std::make_shared<ThreadBuffer>(tid, thread_label(tid));
     s.buffers.push_back(b);
     return b;
   }();
@@ -133,6 +154,28 @@ void trace_write_to(std::ostream& os) {
   w.begin_object();
   w.value("displayTimeUnit", "ms");
   w.begin_array("traceEvents");
+  // Thread metadata first: names + a stable sort order so chrome://tracing
+  // and Perfetto label the OpenMP workers instead of showing bare tids.
+  for (const auto& buffer : s.buffers) {
+    w.begin_object();
+    w.value("name", "thread_name");
+    w.value("ph", "M");
+    w.value("pid", 1);
+    w.value("tid", buffer->tid);
+    w.begin_object("args");
+    w.value("name", buffer->label);
+    w.end_object();
+    w.end_object();
+    w.begin_object();
+    w.value("name", "thread_sort_index");
+    w.value("ph", "M");
+    w.value("pid", 1);
+    w.value("tid", buffer->tid);
+    w.begin_object("args");
+    w.value("sort_index", buffer->tid);
+    w.end_object();
+    w.end_object();
+  }
   for (const auto& buffer : s.buffers) {
     const std::uint64_t head = buffer->head.load(std::memory_order_acquire);
     const std::uint64_t count = std::min<std::uint64_t>(

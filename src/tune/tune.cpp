@@ -177,7 +177,12 @@ void Tuner::ensure_loaded_locked() {
     if (*tile < 0) continue;
     entry.plan.schedule.tile_cols = static_cast<index_t>(*tile);
     entry.plan.simd = *simd;
-    entry.probe_seconds = value.get_number("probe_seconds").value_or(0.0);
+    entry.probe.seconds = value.get_number("probe_seconds").value_or(0.0);
+    // Counter attribution is additive: caches written before it existed (or
+    // on hosts without counters) load with the "unknown" markers.
+    entry.probe.ipc = value.get_number("probe_ipc").value_or(0.0);
+    entry.probe.llc_miss_rate =
+        value.get_number("probe_llc_miss_rate").value_or(-1.0);
     entries_.insert_or_assign(key, entry);
   }
 }
@@ -201,7 +206,11 @@ void Tuner::save_locked() {
     json.value("update", update_schedule_name(entry.plan.schedule.update));
     json.value("tile_cols", static_cast<int>(entry.plan.schedule.tile_cols));
     json.value("simd", simd_level_name(entry.plan.simd));
-    json.value("probe_seconds", entry.probe_seconds);
+    json.value("probe_seconds", entry.probe.seconds);
+    if (entry.probe.ipc > 0.0) json.value("probe_ipc", entry.probe.ipc);
+    if (entry.probe.llc_miss_rate >= 0.0) {
+      json.value("probe_llc_miss_rate", entry.probe.llc_miss_rate);
+    }
     json.end_object();
   }
   json.end_object();
@@ -230,7 +239,7 @@ PlanDecision Tuner::decide(const ShapeKey& key, TuneMode mode,
     if (it != entries_.end()) {
       CBM_COUNTER_ADD("cbm.tune.cache_hits", 1);
       return PlanDecision{it->second.plan, /*tuned=*/true, /*cache_hit=*/true,
-                          it->second.probe_seconds};
+                          it->second.probe};
     }
   }
   CBM_COUNTER_ADD("cbm.tune.cache_misses", 1);
@@ -241,18 +250,19 @@ PlanDecision Tuner::decide(const ShapeKey& key, TuneMode mode,
   Entry best;
   double best_seconds = -1.0;
   for (const Plan& plan : plans) {
-    const double seconds = probe(plan);
+    const ProbeSample sample = probe(plan);
     CBM_COUNTER_ADD("cbm.tune.probes", 1);
-    if (seconds >= 0.0 && (best_seconds < 0.0 || seconds < best_seconds)) {
-      best_seconds = seconds;
-      best = Entry{plan, seconds};
+    if (sample.seconds >= 0.0 &&
+        (best_seconds < 0.0 || sample.seconds < best_seconds)) {
+      best_seconds = sample.seconds;
+      best = Entry{plan, sample};
     }
   }
   if (best_seconds < 0.0) return {};  // every probe failed — analytic fallback
   entries_.insert_or_assign(entry_key, best);
   save_locked();
   return PlanDecision{best.plan, /*tuned=*/true, /*cache_hit=*/false,
-                      best.probe_seconds};
+                      best.probe};
 }
 
 }  // namespace cbm::tune

@@ -64,18 +64,33 @@ struct ShapeKey {
   [[nodiscard]] std::string fingerprint() const;
 };
 
+/// One probe measurement: wall time plus the hardware-counter attribution of
+/// the measured multiply (obs/hw.hpp; fields stay at their "unknown" marks
+/// when CBM_PERF is off or counters are unavailable). Implicitly
+/// constructible from bare seconds so counter-less probes stay one-liners.
+struct ProbeSample {
+  double seconds = -1.0;        ///< < 0: the probe failed
+  double ipc = 0.0;             ///< instructions/cycle; 0 = unknown
+  double llc_miss_rate = -1.0;  ///< LLC misses/loads; < 0 = unknown
+
+  ProbeSample() = default;
+  /*implicit*/ ProbeSample(double seconds) : seconds(seconds) {}
+};
+
 /// Outcome of Tuner::decide.
 struct PlanDecision {
   Plan plan;
   bool tuned = false;      ///< false: caller should use its analytic policy
   bool cache_hit = false;  ///< plan came from the cache without probing
-  double probe_seconds = 0.0;  ///< winner's probe time (0 when untimed)
+  /// Winner's probe measurement (seconds 0 when untimed) — the "why this
+  /// plan won" record the cache persists next to the plan.
+  ProbeSample probe{0.0};
 };
 
-/// Measures one plan; returns seconds for a representative multiply (min of
-/// a couple of repetitions). Supplied by the caller so the tuner needs no
-/// dependency on CbmMatrix.
-using ProbeFn = std::function<double(const Plan&)>;
+/// Measures one plan; returns the probe sample for a representative multiply
+/// (min-of-reps wall time, counters of the fastest rep). Supplied by the
+/// caller so the tuner needs no dependency on CbmMatrix.
+using ProbeFn = std::function<ProbeSample(const Plan&)>;
 
 /// Candidate plans for a product of the given shape: the two-stage engine,
 /// the fused engine at the analytic tile width, and the fused engine at a
@@ -115,7 +130,7 @@ class Tuner {
  private:
   struct Entry {
     Plan plan;
-    double probe_seconds = 0.0;
+    ProbeSample probe{0.0};
   };
 
   Tuner() = default;

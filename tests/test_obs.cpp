@@ -15,12 +15,17 @@
 #include <vector>
 
 #include "cbm/cbm_matrix.hpp"
+#include "cbm/serialize.hpp"
 #include "common/rng.hpp"
 #include "dense/dense_matrix.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace cbm {
 namespace {
@@ -310,6 +315,37 @@ TEST(Metrics, TimingQuantileIsOrderOfMagnitudeRight) {
   EXPECT_LT(p50, 4e-6);
 }
 
+TEST(Metrics, TimingQuantileEdgeCases) {
+  // Empty histogram: every quantile is 0 by definition.
+  obs::TimingSummary empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+
+  // Single sample: the min/max clamp collapses the bucket midpoint onto the
+  // sample, so the estimate is exact at every q.
+  obs::TimingSummary one;
+  one.add(3.7e-5);
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 3.7e-5);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 3.7e-5);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 3.7e-5);
+
+  // Out-of-range q is clamped, not UB.
+  EXPECT_DOUBLE_EQ(one.quantile(-1.0), 3.7e-5);
+  EXPECT_DOUBLE_EQ(one.quantile(2.0), 3.7e-5);
+
+  // Samples beyond the last bucket's lower edge (~39 h) saturate into it;
+  // its geometric midpoint undershoots them, but the clamp keeps the
+  // estimate inside the observed [min, max] instead of below it.
+  obs::TimingSummary huge;
+  const double kWeekSeconds = 7.0 * 24.0 * 3600.0;
+  huge.add(kWeekSeconds);
+  huge.add(2.0 * kWeekSeconds);
+  EXPECT_GE(huge.quantile(0.5), kWeekSeconds);
+  EXPECT_GE(huge.quantile(0.99), kWeekSeconds);
+  EXPECT_LE(huge.quantile(0.99), 2.0 * kWeekSeconds);
+}
+
 TEST(Metrics, TimingMergeAddsHistograms) {
   obs::TimingSummary a, b;
   a.add(1e-6);
@@ -370,7 +406,16 @@ TEST(Trace, SpansExportAsChromeTraceJson) {
 
   const JsonValue* outer = nullptr;
   const JsonValue* inner = nullptr;
+  const JsonValue* main_name = nullptr;
   for (const auto& e : events) {
+    if (e.at("ph").string == "M") {
+      // Thread metadata rides along so viewers show names, not bare tids.
+      if (e.at("name").string == "thread_name" &&
+          e.at("args").at("name").string == "main") {
+        main_name = &e;
+      }
+      continue;
+    }
     EXPECT_EQ(e.at("ph").string, "X");
     EXPECT_EQ(e.at("cat").string, "cbm");
     if (e.at("name").string == "test.outer") outer = &e;
@@ -378,6 +423,7 @@ TEST(Trace, SpansExportAsChromeTraceJson) {
   }
   ASSERT_NE(outer, nullptr);
   ASSERT_NE(inner, nullptr);
+  ASSERT_NE(main_name, nullptr);
   // Nesting: inner is contained in [outer.ts, outer.ts + outer.dur].
   const double outer_begin = outer->at("ts").number;
   const double outer_end = outer_begin + outer->at("dur").number;
@@ -401,11 +447,23 @@ TEST(Trace, SpansFromOmpParallelRegion) {
   obs::trace_write_to(os);
   const JsonValue doc = parse_json_or_fail(os.str());
   int found = 0;
+  int worker_names = 0;
   for (const auto& e : doc.at("traceEvents").array) {
     found += e.at("name").string == "test.parallel_span";
+    if (e.at("ph").string == "M" && e.at("name").string == "thread_name") {
+      worker_names +=
+          e.at("args").at("name").string.rfind("omp-worker-", 0) == 0;
+    }
   }
   EXPECT_EQ(found + static_cast<int>(obs::trace_dropped_events()), kIters);
   EXPECT_GT(found, 0);
+#ifdef _OPENMP
+  // Workers that first recorded inside the parallel region were named by
+  // their OpenMP team rank (with >1 thread; a 1-thread runtime has none).
+  if (omp_get_max_threads() > 1) EXPECT_GT(worker_names, 0);
+#else
+  (void)worker_names;
+#endif
 }
 
 TEST(Trace, ResetDropsEvents) {
@@ -459,6 +517,35 @@ TEST(Trace, CompressAndMultiplyEmitDocumentedSpans) {
   EXPECT_GE(snap.counters.at("cbm.compress.calls"), 1);
   EXPECT_GE(snap.counters.at("cbm.multiply.calls"), 1);
   EXPECT_GE(snap.counters.at("cbm.update.calls"), 1);
+}
+
+TEST(Trace, SerializeRoundTripEmitsSpansAndCounters) {
+  ObsGuard guard;
+  obs::enable_trace("");
+  obs::set_metrics_enabled(true);
+
+  std::vector<offset_t> indptr = {0, 2, 4};
+  std::vector<index_t> indices = {0, 1, 0, 1};
+  std::vector<float> values(4, 1.0f);
+  const CsrMatrix<float> a(2, 2, std::move(indptr), std::move(indices),
+                           std::move(values));
+  const auto m = CbmMatrix<float>::compress(a, {.alpha = 0});
+  std::stringstream buf;
+  save_cbm(buf, m);
+  const auto loaded = load_cbm<float>(buf);
+  EXPECT_EQ(loaded.rows(), m.rows());
+
+  obs::disable_trace();
+  std::ostringstream os;
+  obs::trace_write_to(os);
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("cbm.serialize.save"), std::string::npos);
+  EXPECT_NE(trace.find("cbm.serialize.load"), std::string::npos);
+
+  const auto snap = obs::metrics_snapshot();
+  EXPECT_EQ(snap.counters.at("cbm.serialize.saves"), 1);
+  EXPECT_EQ(snap.counters.at("cbm.serialize.loads"), 1);
+  EXPECT_GT(snap.counters.at("cbm.serialize.saved_bytes"), 0);
 }
 
 }  // namespace

@@ -1,0 +1,215 @@
+// Tests for cbm::profdiff — the cbmprof diff engine behind the CI perf
+// gate. Reports are synthesised inline so every verdict path is exercised
+// deterministically, and diff documents are re-parsed with microjson to keep
+// the cbmprof-diff-v1 output well-formed.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_util/profdiff.hpp"
+#include "common/error.hpp"
+#include "tune/microjson.hpp"
+
+namespace cbm {
+namespace {
+
+/// One measurement entry; value is used for min/mean/median alike.
+std::string measurement(const std::string& name, double value,
+                        const std::string& labels_json = "") {
+  std::string m = "{\"name\": \"" + name + "\"";
+  if (!labels_json.empty()) m += ", \"labels\": " + labels_json;
+  const std::string v = std::to_string(value);
+  m += ", \"count\": 3, \"mean\": " + v + ", \"stddev\": 0.0, \"min\": " + v +
+       ", \"max\": " + v + ", \"median\": " + v + "}";
+  return m;
+}
+
+std::string report_json(const std::string& measurements,
+                        const std::string& schema = "cbm-bench-v1") {
+  return "{\"schema\": \"" + schema +
+         "\", \"bench\": \"synthetic\", \"measurements\": [" + measurements +
+         "]}";
+}
+
+TEST(ProfDiff, RejectsSchemaMismatchAndGarbage) {
+  EXPECT_THROW(profdiff::parse_report("not json"), CbmError);
+  EXPECT_THROW(profdiff::parse_report("{\"bench\": \"x\"}"), CbmError);
+  EXPECT_THROW(
+      profdiff::parse_report(report_json(measurement("a", 1.0), "cbm-bench-v2")),
+      CbmError);
+  EXPECT_THROW(profdiff::parse_report("{\"schema\": \"cbm-bench-v1\"}"),
+               CbmError);
+}
+
+TEST(ProfDiff, IdenticalReportsPass) {
+  const auto base = profdiff::parse_report(report_json(
+      measurement("csr_seconds", 0.5) + "," + measurement("cbm_seconds", 0.2)));
+  const auto result = profdiff::diff(base, base, {});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.compared, 2);
+  EXPECT_EQ(result.regressions, 0);
+  EXPECT_EQ(result.improvements, 0);
+  for (const auto& e : result.entries) {
+    EXPECT_EQ(e.verdict, profdiff::Verdict::kPass);
+    EXPECT_DOUBLE_EQ(e.ratio, 1.0);
+  }
+}
+
+TEST(ProfDiff, TimeRegressionBeyondToleranceFails) {
+  const auto base =
+      profdiff::parse_report(report_json(measurement("cbm_seconds", 0.100)));
+  const auto current =
+      profdiff::parse_report(report_json(measurement("cbm_seconds", 0.115)));
+  profdiff::DiffOptions options;
+  options.tolerance = 0.10;
+  const auto result = profdiff::diff(base, current, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.regressions, 1);
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].verdict, profdiff::Verdict::kRegression);
+  EXPECT_NEAR(result.entries[0].ratio, 1.15, 1e-9);
+
+  // The same 15% move downward is an improvement for a time series.
+  const auto inverse = profdiff::diff(current, base, options);
+  EXPECT_TRUE(inverse.ok());
+  EXPECT_EQ(inverse.improvements, 1);
+}
+
+TEST(ProfDiff, SpeedupDirectionIsInverted) {
+  const auto base = profdiff::parse_report(
+      report_json(measurement("fused_geomean_speedup", 2.0)));
+  const auto slower = profdiff::parse_report(
+      report_json(measurement("fused_geomean_speedup", 1.5)));
+  profdiff::DiffOptions options;
+  options.tolerance = 0.10;
+  // A *drop* in speedup is the regression...
+  const auto result = profdiff::diff(base, slower, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.entries[0].verdict, profdiff::Verdict::kRegression);
+  // ...and a rise is an improvement, not a regression.
+  const auto inverse = profdiff::diff(slower, base, options);
+  EXPECT_TRUE(inverse.ok());
+  EXPECT_EQ(inverse.improvements, 1);
+}
+
+TEST(ProfDiff, WithinToleranceIsQuiet) {
+  const auto base =
+      profdiff::parse_report(report_json(measurement("cbm_seconds", 0.100)));
+  const auto current =
+      profdiff::parse_report(report_json(measurement("cbm_seconds", 0.107)));
+  profdiff::DiffOptions options;
+  options.tolerance = 0.10;
+  const auto result = profdiff::diff(base, current, options);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.entries[0].verdict, profdiff::Verdict::kPass);
+}
+
+TEST(ProfDiff, LabelsDistinguishSeriesButPlanProvenanceDoesNot) {
+  const std::string labels_a = "{\"graph\": \"ca-HepPh\", \"op\": \"AX\"}";
+  const std::string labels_b = "{\"graph\": \"ca-HepPh\", \"op\": \"ADX\"}";
+  const auto base = profdiff::parse_report(
+      report_json(measurement("cbm_seconds", 0.1, labels_a) + "," +
+                  measurement("cbm_seconds", 0.2, labels_b)));
+  const auto self = profdiff::diff(base, base, {});
+  EXPECT_EQ(self.compared, 2);  // distinct label sets stay distinct series
+
+  // Plan provenance flips between runs (cache vs probe) and must not break
+  // the pairing: a base labelled plan_source=probe matches a current
+  // labelled plan_source=cache.
+  const std::string probe_run =
+      "{\"graph\": \"g\", \"plan\": \"tuned\", \"plan_source\": \"probe\"}";
+  const std::string cache_run =
+      "{\"graph\": \"g\", \"plan\": \"tuned\", \"plan_source\": \"cache\"}";
+  const auto b2 = profdiff::parse_report(
+      report_json(measurement("cbm_tuned_seconds", 0.1, probe_run)));
+  const auto c2 = profdiff::parse_report(
+      report_json(measurement("cbm_tuned_seconds", 0.1, cache_run)));
+  const auto result = profdiff::diff(b2, c2, {});
+  EXPECT_EQ(result.compared, 1);
+  EXPECT_EQ(result.base_only, 0);
+  EXPECT_EQ(result.current_only, 0);
+}
+
+TEST(ProfDiff, UnpairedSeriesAreCountedNotCompared) {
+  const auto base = profdiff::parse_report(report_json(
+      measurement("vanished", 1.0) + "," + measurement("stable", 1.0)));
+  const auto current = profdiff::parse_report(report_json(
+      measurement("stable", 1.0) + "," + measurement("brand_new", 1.0)));
+  const auto result = profdiff::diff(base, current, {});
+  EXPECT_TRUE(result.ok());  // missing series are informational, not gating
+  EXPECT_EQ(result.compared, 1);
+  EXPECT_EQ(result.base_only, 1);
+  EXPECT_EQ(result.current_only, 1);
+}
+
+TEST(ProfDiff, FilterRestrictsComparison) {
+  const auto base = profdiff::parse_report(report_json(
+      measurement("cbm_seconds", 0.1) + "," +
+      measurement("fused_geomean_speedup", 2.0)));
+  const auto current = profdiff::parse_report(report_json(
+      measurement("cbm_seconds", 99.0) + "," +  // would regress unfiltered
+      measurement("fused_geomean_speedup", 2.0)));
+  profdiff::DiffOptions options;
+  options.filter = "geomean_speedup";
+  const auto result = profdiff::diff(base, current, options);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.compared, 1);
+  EXPECT_EQ(result.entries.size(), 1u);
+}
+
+TEST(ProfDiff, NonPositiveValuesAreSkipped) {
+  const auto base =
+      profdiff::parse_report(report_json(measurement("maybe_empty", 0.0)));
+  const auto current =
+      profdiff::parse_report(report_json(measurement("maybe_empty", 1.0)));
+  const auto result = profdiff::diff(base, current, {});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.compared, 0);
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].verdict, profdiff::Verdict::kSkipped);
+}
+
+TEST(ProfDiff, StatSelectionUsesTheRequestedStatistic) {
+  // min identical, mean regressed: the default (min) gate passes, a mean
+  // gate fails.
+  const std::string base_m =
+      "{\"name\": \"t\", \"count\": 3, \"mean\": 0.10, \"stddev\": 0, "
+      "\"min\": 0.05, \"max\": 0.2, \"median\": 0.1}";
+  const std::string cur_m =
+      "{\"name\": \"t\", \"count\": 3, \"mean\": 0.20, \"stddev\": 0, "
+      "\"min\": 0.05, \"max\": 0.4, \"median\": 0.1}";
+  const auto base = profdiff::parse_report(report_json(base_m));
+  const auto current = profdiff::parse_report(report_json(cur_m));
+  EXPECT_TRUE(profdiff::diff(base, current, {}).ok());
+  profdiff::DiffOptions mean_gate;
+  mean_gate.stat = profdiff::Stat::kMean;
+  EXPECT_FALSE(profdiff::diff(base, current, mean_gate).ok());
+}
+
+TEST(ProfDiff, DiffJsonIsWellFormedAndSummarises) {
+  const auto base = profdiff::parse_report(report_json(
+      measurement("cbm_seconds", 0.1) + "," + measurement("gone", 1.0)));
+  const auto current =
+      profdiff::parse_report(report_json(measurement("cbm_seconds", 0.2)));
+  const auto result = profdiff::diff(base, current, {});
+  const std::string json =
+      profdiff::diff_json(result, {}, "base.json", "cur.json");
+
+  const auto doc = microjson::parse(json);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_string("schema").value_or(""), "cbmprof-diff-v1");
+  const microjson::Value* summary = doc->find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_DOUBLE_EQ(summary->get_number("compared").value_or(-1), 1.0);
+  EXPECT_DOUBLE_EQ(summary->get_number("regressions").value_or(-1), 1.0);
+  EXPECT_DOUBLE_EQ(summary->get_number("base_only").value_or(-1), 1.0);
+  const microjson::Value* ok = summary->find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_FALSE(ok->as_bool());
+  const microjson::Value* entries = doc->find("entries");
+  ASSERT_NE(entries, nullptr);
+  EXPECT_EQ(entries->as_array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace cbm

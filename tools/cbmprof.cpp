@@ -1,0 +1,97 @@
+// cbmprof — compare two cbm-bench-v1 reports and gate on regressions.
+//
+// Usage:
+//   cbmprof diff <base.json> <current.json>
+//       [--tolerance R]        relative tolerance (default 0.10 = 10%)
+//       [--stat min|median|mean]  statistic compared (default min)
+//       [--filter SUBSTR]      only series whose name contains SUBSTR
+//       [--json PATH]          also write the cbmprof-diff-v1 document
+//
+// Exit codes: 0 = no regression, 1 = regression(s) beyond tolerance,
+// 2 = usage / unreadable input / schema mismatch. CI treats nonzero as a
+// failed perf gate (see .github/workflows/ci.yml and docs/observability.md).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "bench_util/profdiff.hpp"
+#include "common/error.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cbmprof diff <base.json> <current.json>\n"
+               "         [--tolerance R] [--stat min|median|mean]\n"
+               "         [--filter SUBSTR] [--json PATH]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cbm;
+  if (argc < 4 || std::string(argv[1]) != "diff") return usage();
+  const std::string base_path = argv[2];
+  const std::string current_path = argv[3];
+
+  profdiff::DiffOptions options;
+  std::string json_path;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--tolerance") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      char* end = nullptr;
+      options.tolerance = std::strtod(v, &end);
+      if (end == v || options.tolerance < 0.0) return usage();
+    } else if (arg == "--stat") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      const std::string s = v;
+      if (s == "min") {
+        options.stat = profdiff::Stat::kMin;
+      } else if (s == "median") {
+        options.stat = profdiff::Stat::kMedian;
+      } else if (s == "mean") {
+        options.stat = profdiff::Stat::kMean;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--filter") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      options.filter = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      json_path = v;
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    const profdiff::Report base = profdiff::load_report(base_path);
+    const profdiff::Report current = profdiff::load_report(current_path);
+    const profdiff::DiffResult result =
+        profdiff::diff(base, current, options);
+    profdiff::print_diff(result, options);
+    if (!json_path.empty()) {
+      std::ofstream os(json_path);
+      if (!os) {
+        std::fprintf(stderr, "cbmprof: cannot write %s\n", json_path.c_str());
+        return 2;
+      }
+      os << profdiff::diff_json(result, options, base_path, current_path);
+    }
+    return result.ok() ? 0 : 1;
+  } catch (const CbmError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}
