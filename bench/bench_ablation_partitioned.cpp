@@ -1,6 +1,11 @@
 // Ablation — monolithic vs partitioned CBM (§VIII future work): build time,
 // peak candidate-edge working set (the §VIII memory proxy), compression
-// ratio and AX multiply time, across clustering methods.
+// ratio and AX multiply time, across clustering methods. A second section
+// ablates the part executor itself: serial part loop vs the cbm::exec
+// task-graph fan-out, across parts × threads, with parallel efficiency and a
+// cross-graph geomean of the task-graph speedup at full thread count.
+#include <cstdlib>
+
 #include "cbm/partitioned.hpp"
 
 #include "bench_common.hpp"
@@ -59,5 +64,63 @@ int main() {
     }
   }
   table.print();
+
+  // ---- executor ablation: serial part loop vs task-graph, parts × threads.
+  TablePrinter exec_table({"Graph", "Parts", "Threads", "T_serial [s]",
+                           "T_taskgraph [s]", "TG speedup", "TG par-eff"});
+  GeomeanAccumulator tg_geomean;  // serial/taskgraph at full thread count
+  for (const std::string name : {"ca-hepph", "collab", "copapersdblp"}) {
+    const auto& spec = dataset_spec(name);
+    const Graph g = load_dataset(spec, config);
+    const auto& a = g.adjacency();
+    const auto b = make_dense_operand<real_t>(g.num_nodes(), config.cols);
+    DenseMatrix<real_t> c(g.num_nodes(), config.cols);
+
+    for (const index_t parts : {index_t{4}, index_t{16}}) {
+      PartitionedOptions options;
+      options.num_clusters = parts;
+      auto part = PartitionedCbmMatrix<real_t>::compress(a, options);
+      double tg_single = 0.0;
+      for (int threads = 1; threads <= config.threads; threads *= 2) {
+        ThreadScope scope(threads);
+        RunStats timings[2];
+        int slot = 0;
+        for (const char* exec_mode : {"serial", "taskgraph"}) {
+          setenv("CBM_PART_EXEC", exec_mode, 1);
+          const auto timed = time_repetitions_hw(
+              [&] { part.multiply(b, c); }, config.reps, config.warmup);
+          timings[slot] = timed.stats;
+          report.add("exec_seconds", timed.stats,
+                     {{"graph", name},
+                      {"parts", std::to_string(parts)},
+                      {"threads", std::to_string(threads)},
+                      {"part_exec", exec_mode}},
+                     HwBlock::from(timed, 0.0, 0.0,
+                                   static_cast<double>(a.nnz())));
+          ++slot;
+        }
+        unsetenv("CBM_PART_EXEC");
+        const double serial_s = timings[0].mean();
+        const double tg_s = std::max(timings[1].mean(), 1e-12);
+        if (threads == 1) tg_single = tg_s;
+        // Parallel efficiency of the task-graph path against its own
+        // single-thread time: (t1 / tN) / N.
+        const double par_eff = tg_single / tg_s / threads;
+        if (threads == config.threads) tg_geomean.add(serial_s / tg_s);
+        exec_table.add_row({name, std::to_string(parts),
+                            std::to_string(threads), fmt_seconds(serial_s),
+                            fmt_seconds(tg_s), fmt_double(serial_s / tg_s, 2),
+                            fmt_double(par_eff, 2)});
+      }
+    }
+  }
+  std::cout << "\nPart executor — serial loop vs task-graph (AX, consecutive "
+               "clustering)\n";
+  exec_table.print();
+  report.add_scalar("taskgraph_speedup_geomean", tg_geomean.value(),
+                    {{"threads", std::to_string(config.threads)}});
+  std::cout << "\nTask-graph speedup geomean at " << config.threads
+            << " threads: " << fmt_double(tg_geomean.value(), 3) << " ("
+            << tg_geomean.count() << " configs)\n";
   return 0;
 }

@@ -15,7 +15,8 @@ int main() {
 
   TablePrinter table({"Graph", "Alpha", "Branches", "UpdateSeq [s]",
                       "UpdateStatic [s]", "UpdateDynamic [s]",
-                      "UpdateColSplit [s]", "BestVsSeq"});
+                      "UpdateColSplit [s]", "UpdateTaskGraph [s]",
+                      "BestVsSeq"});
   for (const std::string name :
        {"ca-hepph", "collab", "copapersciteseer", "ogbn-proteins"}) {
     const auto& spec = dataset_spec(name);
@@ -47,19 +48,23 @@ int main() {
                                    config.threads);
       const auto col = time_update(UpdateSchedule::kColumnSplit,
                                    config.threads);
+      const auto tsk = time_update(UpdateSchedule::kTaskGraph,
+                                   config.threads);
       const std::vector<std::pair<std::string, std::string>> labels = {
           {"graph", name}, {"alpha", std::to_string(alpha)}};
       report.add("update_sequential_seconds", seq, labels);
       report.add("update_branch_static_seconds", sta, labels);
       report.add("update_branch_dynamic_seconds", dyn, labels);
       report.add("update_column_split_seconds", col, labels);
+      report.add("update_task_graph_seconds", tsk, labels);
       const double best =
-          std::min({sta.mean(), dyn.mean(), col.mean()});
+          std::min({sta.mean(), dyn.mean(), col.mean(), tsk.mean()});
       table.add_row(
           {name, std::to_string(alpha),
            std::to_string(pair.cbm.tree().branches().size()),
            fmt_seconds(seq.mean()), fmt_seconds(sta.mean()),
            fmt_seconds(dyn.mean()), fmt_seconds(col.mean()),
+           fmt_seconds(tsk.mean()),
            fmt_double(seq.mean() / std::max(best, 1e-12), 2)});
     }
   }

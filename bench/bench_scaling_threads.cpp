@@ -1,7 +1,12 @@
 // Thread-scaling study backing the §VI-E cache discussion: CSR vs CBM AX
 // across thread counts, on one well-compressed and one poorly-compressed
-// graph.
+// graph. A second series times the partitioned format under both part
+// executors (CBM_PART_EXEC=serial | taskgraph) so the cross-part task-graph
+// fan-out's scaling shows up next to the monolithic engines.
+#include <cstdlib>
+
 #include "bench_common.hpp"
+#include "cbm/partitioned.hpp"
 
 int main() {
   using namespace cbm;
@@ -12,6 +17,8 @@ int main() {
 
   TablePrinter table({"Graph", "Threads", "T_CSR [s]", "T_CBM [s]", "Speedup",
                       "CSR scaling", "CBM scaling"});
+  TablePrinter part_table({"Graph", "Threads", "T_serial [s]",
+                           "T_taskgraph [s]", "TG speedup", "TG scaling"});
   for (const std::string name : {"pubmed", "collab"}) {
     const auto& spec = dataset_spec(name);
     const Graph g = load_dataset(spec, config);
@@ -38,7 +45,44 @@ int main() {
                      fmt_double(csr_base / r.csr.mean(), 2),
                      fmt_double(cbm_base / r.cbm.mean(), 2)});
     }
+
+    // Partitioned series: same graph, both executors, same thread ladder.
+    PartitionedOptions options;
+    options.base.alpha = spec.paper_best_alpha_par;
+    options.num_clusters = 8;
+    auto part = PartitionedCbmMatrix<real_t>::compress(g.adjacency(), options);
+    DenseMatrix<real_t> c(g.num_nodes(), config.cols);
+    double tg_base = 0.0;
+    for (int threads = 1; threads <= config.threads; ++threads) {
+      ThreadScope scope(threads);
+      const std::vector<std::pair<std::string, std::string>> labels = {
+          {"graph", name}, {"threads", std::to_string(threads)}};
+      HwBlock hw[2];
+      RunStats stats[2];
+      int slot = 0;
+      for (const char* exec_mode : {"serial", "taskgraph"}) {
+        setenv("CBM_PART_EXEC", exec_mode, 1);
+        const auto timed = time_repetitions_hw(
+            [&] { part.multiply(b, c); }, config.reps, config.warmup);
+        stats[slot] = timed.stats;
+        hw[slot] = HwBlock::from(
+            timed, 0.0, 0.0, static_cast<double>(g.adjacency().nnz()));
+        auto tagged = labels;
+        tagged.emplace_back("part_exec", exec_mode);
+        report.add("partitioned_seconds", timed.stats, tagged, hw[slot]);
+        ++slot;
+      }
+      unsetenv("CBM_PART_EXEC");
+      if (threads == 1) tg_base = stats[1].mean();
+      part_table.add_row(
+          {name, std::to_string(threads), fmt_seconds(stats[0].mean()),
+           fmt_seconds(stats[1].mean()),
+           fmt_double(stats[0].mean() / std::max(stats[1].mean(), 1e-12), 2),
+           fmt_double(tg_base / std::max(stats[1].mean(), 1e-12), 2)});
+    }
   }
   table.print();
+  std::cout << "\nPartitioned (8 parts) — serial vs task-graph executor\n";
+  part_table.print();
   return 0;
 }

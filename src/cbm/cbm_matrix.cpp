@@ -8,6 +8,7 @@
 #include "cbm/deltas.hpp"
 #include "cbm/spmm_cbm.hpp"
 #include "cbm/spmm_cbm_fused.hpp"
+#include "cbm/update_kernels.hpp"
 #include "check/check.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
@@ -284,6 +285,32 @@ void CbmMatrix<T>::multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
   // schedule counters live in cbm_update_stage).
   cbm_update_stage(tree_, kind_, std::span<const T>(diag_), c,
                    schedule.update);
+}
+
+template <typename T>
+void CbmMatrix<T>::multiply_columns(const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                                    index_t col0, index_t col1,
+                                    const MultiplySchedule& schedule) const {
+  CBM_CHECK(cols() == b.rows(), "multiply_columns: inner dimensions differ");
+  CBM_CHECK(c.rows() == rows() && c.cols() == b.cols(),
+            "multiply_columns: output shape mismatch");
+  CBM_CHECK(col0 >= 0 && col0 <= col1 && col1 <= b.cols(),
+            "multiply_columns: column range out of bounds");
+  if (col1 == col0) return;
+  if (schedule.path == MultiplyPath::kFusedTiled) {
+    cbm_multiply_fused_columns(tree_, kind_, std::span<const T>(diag_), delta_,
+                               b, c, col0, col1, fused_schedule_.get());
+    return;
+  }
+  // Two-stage, panel-local: the delta SpMM over the panel, then one
+  // sequential topological sweep restricted to the same columns (updates
+  // never mix columns, so the panel needs no other panel's rows).
+  csr_spmm_range(delta_, b, c, 0, rows(), col0, col1);
+  const auto c0 = static_cast<std::size_t>(col0);
+  const auto len = static_cast<std::size_t>(col1 - col0);
+  for (const index_t x : tree_.topological_order()) {
+    detail::update_row(tree_, kind_, std::span<const T>(diag_), c, x, c0, len);
+  }
 }
 
 template <typename T>

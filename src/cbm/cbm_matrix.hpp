@@ -117,6 +117,16 @@ class CbmMatrix {
   void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
                 const MultiplySchedule& schedule) const;
 
+  /// Sequential C = op(A)·B restricted to the columns [col0, col1) of B/C —
+  /// the task body the partitioned task-graph executor schedules. Disjoint
+  /// panels are independent (no CBM stage mixes columns), so concurrent
+  /// calls on disjoint ranges race nowhere. Only the plan's path and
+  /// tile_cols matter here: each panel is one sequential unit, so the
+  /// per-stage parallel schedules do not apply.
+  void multiply_columns(const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                        index_t col0, index_t col1,
+                        const MultiplySchedule& schedule) const;
+
   /// Resolves the execution plan multiply_auto() will run: the empirical
   /// autotuner first (per CBM_TUNE — cached winner, or probing candidate
   /// plans with short timed multiplies into `c`, so no probe work is

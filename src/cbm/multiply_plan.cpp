@@ -50,6 +50,7 @@ constexpr std::pair<const char*, UpdateSchedule> kUpdate[] = {
     {"branch_dynamic", UpdateSchedule::kBranchDynamic},
     {"branch_static", UpdateSchedule::kBranchStatic},
     {"column_split", UpdateSchedule::kColumnSplit},
+    {"task_graph", UpdateSchedule::kTaskGraph},
 };
 
 }  // namespace
@@ -102,6 +103,7 @@ const char* update_schedule_name(UpdateSchedule schedule) {
     case UpdateSchedule::kBranchDynamic: return "branch_dynamic";
     case UpdateSchedule::kBranchStatic: return "branch_static";
     case UpdateSchedule::kColumnSplit: return "column_split";
+    case UpdateSchedule::kTaskGraph: return "task_graph";
   }
   return "?";
 }

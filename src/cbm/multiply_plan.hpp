@@ -23,6 +23,10 @@ enum class UpdateSchedule {
                    ///< of B's columns — parallelism independent of the
                    ///< virtual root's fan-out (wins when the tree has few
                    ///< branches, where the paper's scheme has no work units)
+  kTaskGraph,      ///< dependency-driven: subtree row blocks × column panels
+                   ///< as tasks on cbm::exec, each depending only on its
+                   ///< parent block — no level-wise barriers, parallelism
+                   ///< from both the tree shape and the column dimension
 };
 
 /// How multiply() executes the two-stage product.
@@ -51,9 +55,10 @@ struct MultiplySchedule {
 
   /// Reads CBM_MULTIPLY_PATH (two_stage | fused), CBM_SPMM_SCHEDULE
   /// (row_static | row_dynamic | nnz_balanced), CBM_UPDATE_SCHEDULE
-  /// (sequential | branch_dynamic | branch_static | column_split) and
-  /// CBM_TILE_COLS. Unset variables keep the defaults above; unknown values
-  /// throw (a mistyped knob must not silently benchmark the wrong engine).
+  /// (sequential | branch_dynamic | branch_static | column_split |
+  /// task_graph) and CBM_TILE_COLS. Unset variables keep the defaults above;
+  /// unknown values throw (a mistyped knob must not silently benchmark the
+  /// wrong engine).
   static MultiplySchedule from_env();
 };
 

@@ -3,8 +3,14 @@
 #include <algorithm>
 #include <numeric>
 
+#include "cbm/spmm_cbm_fused.hpp"
+#include "common/envknobs.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "common/vectorops.hpp"
+#include "exec/numa.hpp"
+#include "exec/task_graph.hpp"
+#include "obs/obs.hpp"
 
 namespace cbm {
 
@@ -127,22 +133,147 @@ template <typename T>
 void PartitionedCbmMatrix<T>::multiply(const DenseMatrix<T>& b,
                                        DenseMatrix<T>& c,
                                        UpdateSchedule schedule) {
-  CBM_CHECK(b.rows() == cols_, "multiply: inner dimensions differ");
+  multiply(b, c, MultiplySchedule::two_stage(schedule));
+}
+
+template <typename T>
+void PartitionedCbmMatrix<T>::multiply(const DenseMatrix<T>& b,
+                                       DenseMatrix<T>& c,
+                                       const MultiplySchedule& plan) {
+  const std::vector<MultiplySchedule> plans(parts_.size(), plan);
+  multiply_with_plans(b, c, plans);
+}
+
+template <typename T>
+void PartitionedCbmMatrix<T>::multiply_auto(const DenseMatrix<T>& b,
+                                            DenseMatrix<T>& c) {
+  CBM_CHECK(b.rows() == cols_, "multiply_auto: inner dimensions differ");
   CBM_CHECK(c.rows() == rows_ && c.cols() == b.cols(),
-            "multiply: output shape mismatch");
+            "multiply_auto: output shape mismatch");
+  // Each part resolves the plan for its own shape (its own tuning-cache
+  // entry; probes multiply into the part's scratch, so no probe work is
+  // wasted). Resolution runs serially up front — probing is itself a timed
+  // parallel multiply and must not race other parts.
+  std::vector<MultiplySchedule> plans;
+  plans.reserve(parts_.size());
+  tune::PlanDecision first;
   for (auto& part : parts_) {
     if (part.scratch.rows() != part.cbm.rows() ||
         part.scratch.cols() != b.cols()) {
       part.scratch = DenseMatrix<T>(part.cbm.rows(), b.cols());
     }
-    part.cbm.multiply(b, part.scratch, schedule);
-    // Scatter the part's rows back to their global positions.
-    const auto nrows = static_cast<index_t>(part.rows.size());
-#pragma omp parallel for schedule(static)
-    for (index_t i = 0; i < nrows; ++i) {
-      vec_copy(std::span<const T>(part.scratch.row(i)), c.row(part.rows[i]));
+    const tune::PlanDecision decision = part.cbm.resolve_plan(b, part.scratch);
+    if (plans.empty()) first = decision;
+    plans.push_back(decision.plan.schedule);
+  }
+  if (plans.empty()) return;
+  // One ambient SIMD level for the whole product: the kernel table is
+  // process-global, so per-part SIMD switching inside concurrent tasks would
+  // race. The parts share one CPU; the first part's pick stands in for all.
+  SimdScope scope(first.plan.simd);
+  multiply_with_plans(b, c, plans);
+}
+
+template <typename T>
+void PartitionedCbmMatrix<T>::multiply_with_plans(
+    const DenseMatrix<T>& b, DenseMatrix<T>& c,
+    std::span<const MultiplySchedule> plans) {
+  CBM_CHECK(b.rows() == cols_, "multiply: inner dimensions differ");
+  CBM_CHECK(c.rows() == rows_ && c.cols() == b.cols(),
+            "multiply: output shape mismatch");
+  CBM_CHECK(plans.size() == parts_.size(),
+            "multiply: one plan per part required");
+  CBM_SPAN("cbm.part_multiply");
+  CBM_COUNTER_ADD("cbm.part.calls", 1);
+  const PartExec exec_mode = part_exec_from_env();
+  const NumaMode numa_mode = numa_mode_from_env();
+  const exec::NumaTopology& topology = exec::NumaTopology::host();
+
+  // Size each part's scratch, first-touching fresh blocks on the node that
+  // will run the part (interleave/bind): DenseMatrix zero-fills at
+  // construction, so allocating under the node's affinity faults the pages
+  // there. Single-node hosts and CBM_NUMA=off make the guard a no-op.
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    Part& part = parts_[i];
+    if (part.scratch.rows() != part.cbm.rows() ||
+        part.scratch.cols() != b.cols()) {
+      const exec::NodeAffinityGuard guard(
+          topology, exec::placement_node(topology, numa_mode, i));
+      part.scratch = DenseMatrix<T>(part.cbm.rows(), b.cols());
     }
   }
+  if (b.cols() == 0) return;
+
+  if (exec_mode == PartExec::kSerial) {
+    // Historical baseline: parts one at a time, each part's multiply a full
+    // fork/join, then a separate parallel scatter — two barriers per part.
+    // Kept selectable (CBM_PART_EXEC=serial) as the comparison point for
+    // the task-graph executor.
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      Part& part = parts_[i];
+      part.cbm.multiply(b, part.scratch, plans[i]);
+      const auto nrows = static_cast<index_t>(part.rows.size());
+#pragma omp parallel for schedule(static)
+      for (index_t r = 0; r < nrows; ++r) {
+        vec_copy(std::span<const T>(part.scratch.row(r)),
+                 c.row(part.rows[r]));
+      }
+    }
+    return;
+  }
+
+  // Task-graph execution: every part splits into column-panel tasks, each
+  // task computing its panel of the part's product and immediately
+  // scattering those columns to the global C rows — the scatter rides in
+  // the task while the panel is cache-hot, instead of a separate barrier-
+  // bounded pass. Panels are mutually independent (no CBM stage mixes
+  // columns and parts own disjoint row sets), so the graph is pure fan-out:
+  // one parallel region, no inter-part barriers, dynamic load balance
+  // across parts of uneven size.
+  const index_t p = b.cols();
+  const auto nparts = parts_.size();
+  const auto nth =
+      static_cast<std::size_t>(std::max(1, max_threads()));
+  // Enough tasks to feed and balance the team, but no finer than needed.
+  const std::size_t target_tasks = std::max(4 * nth, nparts);
+  const std::size_t panels_per_part =
+      std::max<std::size_t>(1, (target_tasks + nparts - 1) / nparts);
+  exec::TaskGraph graph;
+  for (std::size_t i = 0; i < nparts; ++i) {
+    Part& part = parts_[i];
+    const MultiplySchedule& plan = plans[i];
+    index_t w;
+    if (plan.path == MultiplyPath::kFusedTiled) {
+      // Respect the fused engine's cache-derived (or plan-pinned) tile
+      // width — a panel is exactly one fused tile.
+      w = plan.tile_cols > 0
+              ? std::min(plan.tile_cols, p)
+              : cbm_fused_resolve_tile_cols(part.cbm.rows(), p, sizeof(T));
+    } else {
+      w = static_cast<index_t>((static_cast<std::size_t>(p) +
+                                panels_per_part - 1) /
+                               panels_per_part);
+      w = std::max(w, std::min<index_t>(p, 8));  // no slivers
+    }
+    w = std::max<index_t>(w, 1);
+    const int node = exec::placement_node(topology, numa_mode, i);
+    const int pin_node = numa_mode == NumaMode::kBind ? node : -1;
+    for (index_t c0 = 0; c0 < p; c0 += w) {
+      const index_t c1 = std::min<index_t>(c0 + w, p);
+      graph.add_task([&part, plan, &b, &c, c0, c1, &topology, pin_node] {
+        const exec::NodeAffinityGuard guard(topology, pin_node);
+        part.cbm.multiply_columns(b, part.scratch, c0, c1, plan);
+        const auto lo = static_cast<std::size_t>(c0);
+        const auto len = static_cast<std::size_t>(c1 - c0);
+        for (std::size_t r = 0; r < part.rows.size(); ++r) {
+          vec_copy(std::span<const T>(part.scratch.row(static_cast<index_t>(r)))
+                       .subspan(lo, len),
+                   c.row(part.rows[r]).subspan(lo, len));
+        }
+      });
+    }
+  }
+  graph.run();
 }
 
 template <typename T>

@@ -57,9 +57,28 @@ class PartitionedCbmMatrix {
 
   /// C = op(A)·B. Parts run through their own multiply and scatter into C.
   /// Unlike CbmMatrix::multiply this needs a gather workspace (one dense
-  /// block of the largest part's size), allocated lazily and reused.
+  /// block of the largest part's size per part), allocated lazily and
+  /// reused. Shorthand for the MultiplySchedule overload with a two-stage
+  /// plan built from `schedule`.
   void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
                 UpdateSchedule schedule = UpdateSchedule::kBranchDynamic);
+
+  /// C = op(A)·B under a full execution plan, applied to every part — the
+  /// fused engine and tuned plans work here exactly as on a monolithic
+  /// CbmMatrix. Execution strategy comes from CBM_PART_EXEC: the default
+  /// task-graph mode runs all parts' column-panel multiplies (row scatter
+  /// fused into each task) concurrently in one parallel region with no
+  /// inter-part barriers; serial mode keeps the historical part-at-a-time
+  /// loop as a baseline. CBM_NUMA places part scratch (and, for bind, the
+  /// part's tasks) across NUMA nodes; single-node hosts are a no-op.
+  void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                const MultiplySchedule& plan);
+
+  /// C = op(A)·B with each part running the plan CbmMatrix::resolve_plan
+  /// picks for its own shape (per-part tuning cache entries / probes), under
+  /// one ambient SIMD level (the kernel table is process-global, so per-part
+  /// SIMD switching inside concurrent tasks is not allowed).
+  void multiply_auto(const DenseMatrix<T>& b, DenseMatrix<T>& c);
 
   [[nodiscard]] index_t rows() const { return rows_; }
   [[nodiscard]] index_t cols() const { return cols_; }
@@ -82,6 +101,11 @@ class PartitionedCbmMatrix {
                                             CbmKind kind,
                                             const PartitionedOptions& options,
                                             PartitionedStats* stats);
+
+  /// Shared core of the multiply overloads: one (possibly per-part) plan per
+  /// part, dispatched to the serial or task-graph executor.
+  void multiply_with_plans(const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                           std::span<const MultiplySchedule> plans);
 
   std::vector<Part> parts_;
   index_t rows_ = 0;

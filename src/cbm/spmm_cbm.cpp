@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "cbm/update_kernels.hpp"
+#include "common/envknobs.hpp"
 #include "common/parallel.hpp"
+#include "exec/task_graph.hpp"
 #include "obs/obs.hpp"
 
 namespace cbm {
@@ -19,6 +21,8 @@ constexpr const char* schedule_counter_name(UpdateSchedule schedule) {
       return "cbm.update.calls.branch_static";
     case UpdateSchedule::kColumnSplit:
       return "cbm.update.calls.column_split";
+    case UpdateSchedule::kTaskGraph:
+      return "cbm.update.calls.task_graph";
   }
   return "cbm.update.calls.unknown";
 }
@@ -86,9 +90,11 @@ void run_update(const CompressionTree& tree, bool row_scaled,
       }
       break;
     }
-    case UpdateSchedule::kColumnSplit: {
-      // Only reachable from the vector kernel (p = 1), where a column split
-      // cannot help; fall back to the sequential sweep.
+    case UpdateSchedule::kColumnSplit:
+    case UpdateSchedule::kTaskGraph: {
+      // Only reachable from the vector kernel (p = 1), where neither a
+      // column split nor per-block task spawning can pay for itself; fall
+      // back to the sequential sweep.
       for (const index_t x : tree.topological_order()) apply(x);
       break;
     }
@@ -96,6 +102,75 @@ void run_update(const CompressionTree& tree, bool row_scaled,
 }
 
 }  // namespace
+
+UpdateTaskBlocks cbm_update_task_blocks(const CompressionTree& tree,
+                                        bool row_scaled, index_t grain) {
+  CBM_CHECK(grain > 0, "update task blocks: grain must be positive");
+  const index_t n = tree.num_rows();
+  const index_t vroot = tree.virtual_root();
+
+  // Children adjacency (CSR over parents; the virtual root's children are
+  // the DFS seeds).
+  std::vector<index_t> child_off(static_cast<std::size_t>(n) + 2, 0);
+  for (index_t x = 0; x < n; ++x) ++child_off[tree.parent(x) + 1];
+  for (std::size_t i = 1; i < child_off.size(); ++i) {
+    child_off[i] += child_off[i - 1];
+  }
+  std::vector<index_t> child(static_cast<std::size_t>(n));
+  {
+    std::vector<index_t> cursor(child_off.begin(), child_off.end() - 1);
+    for (index_t x = 0; x < n; ++x) child[cursor[tree.parent(x)]++] = x;
+  }
+
+  UpdateTaskBlocks blocks;
+  const auto grain_sz = static_cast<std::size_t>(grain);
+  // Depth-first sweep. An item's block is where its tree parent landed
+  // (kNoBlock for children of the virtual root, which depend on nothing);
+  // it joins that block while there is room, else it opens a new block
+  // depending on the parent's — so one overflowing subtree fans out into a
+  // chain/tree of blocks mirroring its own shape.
+  constexpr std::int32_t kNoBlock = -1;
+  struct Item {
+    index_t node;
+    std::int32_t block;
+  };
+  std::vector<Item> stack;
+  std::int32_t root_block = kNoBlock;  // rolling block shared by root rows
+  for (index_t r = child_off[vroot]; r < child_off[vroot + 1]; ++r) {
+    const index_t x = child[r];
+    // An unscaled singleton branch is a no-op for the update stage.
+    if (!row_scaled && child_off[x] == child_off[x + 1]) continue;
+    stack.push_back(Item{x, kNoBlock});
+  }
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    std::int32_t blk = item.block;
+    if (blk == kNoBlock) {
+      // Root rows share a rolling block: no dependencies between them, and
+      // packing keeps singleton-heavy trees from spawning per-row tasks.
+      if (root_block == kNoBlock ||
+          blocks.rows[static_cast<std::size_t>(root_block)].size() >=
+              grain_sz) {
+        root_block = static_cast<std::int32_t>(blocks.rows.size());
+        blocks.rows.emplace_back();
+      }
+      blk = root_block;
+    } else if (blocks.rows[static_cast<std::size_t>(blk)].size() >=
+               grain_sz) {
+      const auto fresh = static_cast<std::int32_t>(blocks.rows.size());
+      blocks.rows.emplace_back();
+      blocks.edges.emplace_back(blk, fresh);
+      blk = fresh;
+    }
+    blocks.rows[static_cast<std::size_t>(blk)].push_back(item.node);
+    for (index_t k = child_off[item.node];
+         k < child_off[item.node + 1]; ++k) {
+      stack.push_back(Item{child[k], blk});
+    }
+  }
+  return blocks;
+}
 
 template <typename T>
 void cbm_update_stage(const CompressionTree& tree, CbmKind kind,
@@ -107,6 +182,50 @@ void cbm_update_stage(const CompressionTree& tree, CbmKind kind,
             "update stage: missing diagonal for row-scaled kind");
   CBM_SPAN("cbm.update_stage");
   record_update_metrics(tree, schedule);
+  if (schedule == UpdateSchedule::kTaskGraph) {
+    // Dependency-driven sweep: subtree row blocks (× column panels) run as
+    // tasks the moment their parent block finishes — one parallel region,
+    // no level-wise barriers, and parallelism from the tree shape itself
+    // rather than only the virtual root's fan-out.
+    const bool row_scaled = cbm_kind_row_scaled(kind);
+    const UpdateTaskBlocks blocks =
+        cbm_update_task_blocks(tree, row_scaled, env_exec_grain());
+    if (blocks.rows.empty()) return;
+    const auto cols = static_cast<std::size_t>(c.cols());
+    const std::size_t nblocks = blocks.rows.size();
+    // Too few blocks (shallow tree or a coarse grain) cannot feed the team;
+    // widen with column panels. Panels never mix columns, so panel p of a
+    // block depends only on panel p of its parent block.
+    std::size_t npanels = 1;
+    const auto want = static_cast<std::size_t>(4 * max_threads());
+    if (nblocks < want && cols >= 16) {
+      npanels = std::max<std::size_t>(
+          1, std::min((want + nblocks - 1) / nblocks, cols / 8));
+    }
+    exec::TaskGraph graph;
+    for (std::size_t bi = 0; bi < nblocks; ++bi) {
+      const std::vector<index_t>* rows = &blocks.rows[bi];
+      for (std::size_t pi = 0; pi < npanels; ++pi) {
+        const std::size_t c0 = cols * pi / npanels;
+        const std::size_t len = cols * (pi + 1) / npanels - c0;
+        graph.add_task([&tree, kind, diag, &c, rows, c0, len] {
+          for (const index_t x : *rows) {
+            detail::update_row(tree, kind, diag, c, x, c0, len);
+          }
+        });
+      }
+    }
+    for (const auto& [parent, block] : blocks.edges) {
+      for (std::size_t pi = 0; pi < npanels; ++pi) {
+        graph.add_edge(static_cast<exec::TaskGraph::TaskId>(
+                           static_cast<std::size_t>(parent) * npanels + pi),
+                       static_cast<exec::TaskGraph::TaskId>(
+                           static_cast<std::size_t>(block) * npanels + pi));
+      }
+    }
+    graph.run();
+    return;
+  }
   if (schedule == UpdateSchedule::kColumnSplit) {
     // Each thread sweeps the entire tree restricted to one column slice:
     // no cross-thread dependencies (updates never mix columns), and the

@@ -12,6 +12,10 @@
 // subtrees of the virtual root) as independent work units (§V-B).
 #pragma once
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "cbm/cbm_matrix.hpp"
 
 namespace cbm {
@@ -37,6 +41,21 @@ void cbm_update_stage_vector(const CompressionTree& tree, CbmKind kind,
 /// Number of row-axpy operations the update stage performs (== compressed
 /// rows); used by op-count accounting and tests.
 index_t cbm_update_row_ops(const CompressionTree& tree);
+
+/// The kTaskGraph schedule's work decomposition: the tree's rows grouped
+/// into blocks of ≤ grain rows, each block topologically ordered internally,
+/// with an edge (parent block → child block) wherever a row's tree parent
+/// lives in an earlier block. Blocks are built by a depth-first sweep, so a
+/// subtree that outgrows one block fans out into dependent blocks — the
+/// schedule's parallelism follows the tree shape instead of only the virtual
+/// root's out-degree. When !row_scaled, singleton branches (update no-ops)
+/// are dropped. Exposed for tests and the update-schedule ablation bench.
+struct UpdateTaskBlocks {
+  std::vector<std::vector<index_t>> rows;           ///< per-block row lists
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;  ///< block deps
+};
+UpdateTaskBlocks cbm_update_task_blocks(const CompressionTree& tree,
+                                        bool row_scaled, index_t grain);
 
 extern template void cbm_update_stage<float>(const CompressionTree&, CbmKind,
                                              std::span<const float>,

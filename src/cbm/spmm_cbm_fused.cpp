@@ -182,6 +182,38 @@ void cbm_multiply_fused(const CompressionTree& tree, CbmKind kind,
   }
 }
 
+template <typename T>
+void cbm_multiply_fused_columns(const CompressionTree& tree, CbmKind kind,
+                                std::span<const T> diag,
+                                const CsrMatrix<T>& delta,
+                                const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                                index_t col0, index_t col1,
+                                const FusedRowSchedule<T>* schedule) {
+  CBM_CHECK(delta.cols() == b.rows(), "fused panel: inner dims differ");
+  CBM_CHECK(c.rows() == delta.rows() && c.cols() == b.cols(),
+            "fused panel: output shape mismatch");
+  CBM_CHECK(c.rows() == tree.num_rows(), "fused panel: tree row mismatch");
+  CBM_CHECK(col0 >= 0 && col0 <= col1 && col1 <= b.cols(),
+            "fused panel: column range out of bounds");
+  CBM_CHECK(!cbm_kind_row_scaled(kind) ||
+                diag.size() == static_cast<std::size_t>(tree.num_rows()),
+            "fused panel: missing diagonal for row-scaled kind");
+  if (delta.rows() == 0 || col1 == col0) return;
+  FusedRowSchedule<T> local;
+  if (schedule == nullptr) {
+    local = build_fused_row_schedule(tree, kind, diag);
+    schedule = &local;
+  }
+  const auto& kern = simd::kernels<T>();
+  kern.fused_rows(b.data() + col0, static_cast<std::size_t>(b.cols()),
+                  delta.indices().data(), delta.values().data(),
+                  delta.indptr().data(), schedule->order.data(),
+                  schedule->parents.data(), schedule->seed_scales.data(),
+                  schedule->av_scales.data(), schedule->order.size(),
+                  c.data() + col0, static_cast<std::size_t>(c.cols()),
+                  col1 - col0);
+}
+
 template struct FusedRowSchedule<float>;
 template struct FusedRowSchedule<double>;
 template FusedRowSchedule<float> build_fused_row_schedule<float>(
@@ -196,5 +228,13 @@ template void cbm_multiply_fused<double>(
     const CompressionTree&, CbmKind, std::span<const double>,
     const CsrMatrix<double>&, const DenseMatrix<double>&, DenseMatrix<double>&,
     index_t, const FusedRowSchedule<double>*);
+template void cbm_multiply_fused_columns<float>(
+    const CompressionTree&, CbmKind, std::span<const float>,
+    const CsrMatrix<float>&, const DenseMatrix<float>&, DenseMatrix<float>&,
+    index_t, index_t, const FusedRowSchedule<float>*);
+template void cbm_multiply_fused_columns<double>(
+    const CompressionTree&, CbmKind, std::span<const double>,
+    const CsrMatrix<double>&, const DenseMatrix<double>&, DenseMatrix<double>&,
+    index_t, index_t, const FusedRowSchedule<double>*);
 
 }  // namespace cbm

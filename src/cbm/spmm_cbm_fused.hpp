@@ -63,6 +63,19 @@ void cbm_multiply_fused(const CompressionTree& tree, CbmKind kind,
 index_t cbm_fused_resolve_tile_cols(index_t rows, index_t bcols,
                                     std::size_t elem_bytes);
 
+/// Sequential fused product restricted to columns [col0, col1): one
+/// fused_rows kernel call over the panel, no parallel region. Column panels
+/// never mix columns, so disjoint panels are independent — this is the task
+/// body the partitioned task-graph executor schedules. `schedule` may be a
+/// prebuilt row schedule (nullptr builds one on the fly).
+template <typename T>
+void cbm_multiply_fused_columns(const CompressionTree& tree, CbmKind kind,
+                                std::span<const T> diag,
+                                const CsrMatrix<T>& delta,
+                                const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                                index_t col0, index_t col1,
+                                const FusedRowSchedule<T>* schedule = nullptr);
+
 extern template struct FusedRowSchedule<float>;
 extern template struct FusedRowSchedule<double>;
 extern template FusedRowSchedule<float> build_fused_row_schedule<float>(
@@ -77,5 +90,13 @@ extern template void cbm_multiply_fused<double>(
     const CompressionTree&, CbmKind, std::span<const double>,
     const CsrMatrix<double>&, const DenseMatrix<double>&, DenseMatrix<double>&,
     index_t, const FusedRowSchedule<double>*);
+extern template void cbm_multiply_fused_columns<float>(
+    const CompressionTree&, CbmKind, std::span<const float>,
+    const CsrMatrix<float>&, const DenseMatrix<float>&, DenseMatrix<float>&,
+    index_t, index_t, const FusedRowSchedule<float>*);
+extern template void cbm_multiply_fused_columns<double>(
+    const CompressionTree&, CbmKind, std::span<const double>,
+    const CsrMatrix<double>&, const DenseMatrix<double>&, DenseMatrix<double>&,
+    index_t, index_t, const FusedRowSchedule<double>*);
 
 }  // namespace cbm

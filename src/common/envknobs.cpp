@@ -86,4 +86,44 @@ const char* perf_mode_name(PerfMode mode) {
   return "?";
 }
 
+NumaMode numa_mode_from_env() {
+  const char* v = lookup("CBM_NUMA");
+  if (v == nullptr) return NumaMode::kOff;
+  const std::string_view s(v);
+  if (s == "off") return NumaMode::kOff;
+  if (s == "interleave") return NumaMode::kInterleave;
+  if (s == "bind") return NumaMode::kBind;
+  bad_value("CBM_NUMA", v, "off | interleave | bind");
+}
+
+const char* numa_mode_name(NumaMode mode) {
+  switch (mode) {
+    case NumaMode::kOff: return "off";
+    case NumaMode::kInterleave: return "interleave";
+    case NumaMode::kBind: return "bind";
+  }
+  return "?";
+}
+
+PartExec part_exec_from_env() {
+  const char* v = lookup("CBM_PART_EXEC");
+  if (v == nullptr) return PartExec::kTaskGraph;
+  const std::string_view s(v);
+  if (s == "serial") return PartExec::kSerial;
+  if (s == "taskgraph") return PartExec::kTaskGraph;
+  bad_value("CBM_PART_EXEC", v, "serial | taskgraph");
+}
+
+const char* part_exec_name(PartExec exec) {
+  switch (exec) {
+    case PartExec::kSerial: return "serial";
+    case PartExec::kTaskGraph: return "taskgraph";
+  }
+  return "?";
+}
+
+index_t env_exec_grain() {
+  return static_cast<index_t>(env_positive_int("CBM_EXEC_GRAIN", 64));
+}
+
 }  // namespace cbm

@@ -46,4 +46,44 @@ PerfMode perf_mode_from_env();
 /// Stable lower-case name of a PerfMode (telemetry / error messages).
 const char* perf_mode_name(PerfMode mode);
 
+/// NUMA placement policy for the partitioned task-graph executor
+/// (exec/numa.hpp). Every mode degrades to a no-op on single-node hosts.
+enum class NumaMode {
+  kOff,         ///< no placement: scratch and tasks go wherever the OS puts
+                ///< them (the default — correct everywhere)
+  kInterleave,  ///< spread part scratch round-robin across nodes via
+                ///< first-touch; execution is not pinned
+  kBind,        ///< interleave placement plus pinning each part's tasks to
+                ///< its scratch's node for the task's duration
+};
+
+/// Reads CBM_NUMA (off | interleave | bind; unset/empty = off). Unknown
+/// values throw — a mistyped knob must not silently change placement.
+NumaMode numa_mode_from_env();
+
+/// Stable lower-case name of a NumaMode (telemetry / error messages).
+const char* numa_mode_name(NumaMode mode);
+
+/// How PartitionedCbmMatrix::multiply executes its parts.
+enum class PartExec {
+  kSerial,     ///< historical part-at-a-time loop (fork/join per part) —
+               ///< kept as the measurable baseline for the task graph
+  kTaskGraph,  ///< one task graph of part×column-panel tasks with the row
+               ///< scatter fused in: a single parallel region, no inter-part
+               ///< barriers (the default)
+};
+
+/// Reads CBM_PART_EXEC (serial | taskgraph; unset/empty = taskgraph).
+/// Unknown values throw.
+PartExec part_exec_from_env();
+
+/// Stable lower-case name of a PartExec (telemetry / error messages).
+const char* part_exec_name(PartExec exec);
+
+/// CBM_EXEC_GRAIN: rows per task in the kTaskGraph update schedule's subtree
+/// blocks. Unset/empty = 64; zero, negative, and non-numeric values throw.
+/// Small values stress dependency edges (the sanitizer jobs set 1–4); large
+/// values amortise spawn overhead.
+index_t env_exec_grain();
+
 }  // namespace cbm

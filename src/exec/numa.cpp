@@ -1,0 +1,138 @@
+#include "exec/numa.hpp"
+
+#include <sched.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+
+namespace cbm::exec {
+
+namespace {
+
+/// Parses the kernel's cpulist format: comma-separated cpu ids and ranges,
+/// e.g. "0-3,8,10-11". Malformed pieces are skipped (topology detection must
+/// never throw — worst case is a node with fewer usable cpus).
+std::vector<int> parse_cpulist(std::string_view text) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view item = text.substr(pos, end - pos);
+    pos = end + 1;
+    while (!item.empty() && (item.back() == '\n' || item.back() == ' ')) {
+      item.remove_suffix(1);
+    }
+    while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+    if (item.empty()) continue;
+    const std::size_t dash = item.find('-');
+    int lo = -1;
+    int hi = -1;
+    const auto parse_int = [](std::string_view s, int& out) {
+      if (s.empty()) return false;
+      int value = 0;
+      for (const char ch : s) {
+        if (ch < '0' || ch > '9') return false;
+        value = value * 10 + (ch - '0');
+        if (value < 0) return false;  // overflow
+      }
+      out = value;
+      return true;
+    };
+    if (dash == std::string_view::npos) {
+      if (!parse_int(item, lo)) continue;
+      hi = lo;
+    } else {
+      if (!parse_int(item.substr(0, dash), lo) ||
+          !parse_int(item.substr(dash + 1), hi) || hi < lo) {
+        continue;
+      }
+    }
+    for (int cpu = lo; cpu <= hi; ++cpu) cpus.push_back(cpu);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+}  // namespace
+
+NumaTopology NumaTopology::from_sysfs(const std::string& root) {
+  NumaTopology topology;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(root, ec)) {
+    if (ec) break;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("node", 0) != 0) continue;
+    const std::string_view digits = std::string_view(name).substr(4);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string_view::npos) {
+      continue;
+    }
+    Node node;
+    node.id = std::stoi(std::string(digits));
+    std::ifstream in(entry.path() / "cpulist");
+    if (in) {
+      std::string line;
+      std::getline(in, line);
+      node.cpus = parse_cpulist(line);
+    }
+    topology.nodes.push_back(std::move(node));
+  }
+  std::sort(topology.nodes.begin(), topology.nodes.end(),
+            [](const Node& a, const Node& b) { return a.id < b.id; });
+  if (topology.nodes.empty()) {
+    topology.nodes.push_back(Node{0, {}});  // single-node fallback
+  }
+  return topology;
+}
+
+const NumaTopology& NumaTopology::host() {
+  static const NumaTopology topology =
+      from_sysfs("/sys/devices/system/node");
+  return topology;
+}
+
+int placement_node(const NumaTopology& topology, NumaMode mode,
+                   std::size_t part_index) {
+  if (mode == NumaMode::kOff || !topology.multi_node()) return -1;
+  return topology.nodes[part_index % topology.nodes.size()].id;
+}
+
+NodeAffinityGuard::NodeAffinityGuard(const NumaTopology& topology, int node) {
+  if (node < 0 || !topology.multi_node()) return;
+  const auto it =
+      std::find_if(topology.nodes.begin(), topology.nodes.end(),
+                   [node](const NumaTopology::Node& n) { return n.id == node; });
+  if (it == topology.nodes.end() || it->cpus.empty()) return;
+  cpu_set_t target;
+  CPU_ZERO(&target);
+  bool any = false;
+  for (const int cpu : it->cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) {
+      CPU_SET(cpu, &target);
+      any = true;
+    }
+  }
+  if (!any) return;
+  cpu_set_t previous;
+  CPU_ZERO(&previous);
+  if (sched_getaffinity(0, sizeof(previous), &previous) != 0) return;
+  if (sched_setaffinity(0, sizeof(target), &target) != 0) return;
+  saved_.resize(sizeof(previous));
+  std::memcpy(saved_.data(), &previous, sizeof(previous));
+  active_ = true;
+}
+
+NodeAffinityGuard::~NodeAffinityGuard() {
+  if (!active_) return;
+  cpu_set_t previous;
+  std::memcpy(&previous, saved_.data(), sizeof(previous));
+  sched_setaffinity(0, sizeof(previous), &previous);
+}
+
+}  // namespace cbm::exec

@@ -1,0 +1,71 @@
+// NUMA topology detection and placement for the partitioned task-graph
+// executor (docs/tuning.md §CBM_NUMA).
+//
+// Deliberately libnuma-free: topology comes from sysfs
+// (/sys/devices/system/node/node*/cpulist) and placement uses plain
+// sched_setaffinity plus the kernel's first-touch page policy — a part's
+// scratch block is allocated (and therefore zero-filled, faulting its pages)
+// while the allocating thread is pinned to the part's node, and in bind mode
+// the part's tasks run pinned to the same node. Everything degrades to a
+// no-op on single-node hosts, in containers that refuse affinity calls, and
+// under CBM_NUMA=off (the default), so the same binary is correct anywhere.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/envknobs.hpp"
+
+namespace cbm::exec {
+
+/// The host's NUMA node layout: one entry per online node, ascending id,
+/// each with the cpus it owns. Always at least one node (a host with no
+/// sysfs node tree reports a single node 0 owning no enumerated cpus).
+struct NumaTopology {
+  struct Node {
+    int id = 0;
+    std::vector<int> cpus;  ///< ascending cpu ids
+  };
+  std::vector<Node> nodes;
+
+  [[nodiscard]] int num_nodes() const {
+    return static_cast<int>(nodes.size());
+  }
+  /// True when placement can matter at all (≥ 2 nodes).
+  [[nodiscard]] bool multi_node() const { return nodes.size() > 1; }
+
+  /// The running machine's topology, detected once and cached.
+  static const NumaTopology& host();
+
+  /// Parses a sysfs-style node tree rooted at `root` (containing node0/,
+  /// node1/, … each with a `cpulist` file). Exposed so tests can exercise
+  /// parsing against a faked root, as CacheInfo does.
+  static NumaTopology from_sysfs(const std::string& root);
+};
+
+/// The node the given part index should live on under `mode`: round-robin
+/// over the nodes for interleave/bind, -1 (no preference) for kOff or a
+/// single-node topology. A -1 makes every downstream placement a no-op.
+int placement_node(const NumaTopology& topology, NumaMode mode,
+                   std::size_t part_index);
+
+/// Pins the calling thread to one node's cpus for the guard's lifetime and
+/// restores the previous mask on destruction. Inactive — a no-op — when
+/// node < 0, the topology has one node, the node owns no cpus, or the
+/// kernel/container refuses the affinity calls; active() reports which.
+class NodeAffinityGuard {
+ public:
+  NodeAffinityGuard(const NumaTopology& topology, int node);
+  ~NodeAffinityGuard();
+  NodeAffinityGuard(const NodeAffinityGuard&) = delete;
+  NodeAffinityGuard& operator=(const NodeAffinityGuard&) = delete;
+
+  [[nodiscard]] bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  std::vector<unsigned char> saved_;  ///< previous cpu_set_t, raw bytes
+};
+
+}  // namespace cbm::exec

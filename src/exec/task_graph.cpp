@@ -1,0 +1,197 @@
+#include "exec/task_graph.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "obs/obs.hpp"
+
+namespace cbm::exec {
+
+double RunMetrics::idle_fraction() const {
+  const double capacity = wall_seconds * static_cast<double>(threads);
+  if (capacity <= 0.0) return 0.0;
+  return std::clamp(1.0 - busy_seconds / capacity, 0.0, 1.0);
+}
+
+TaskGraph::TaskId TaskGraph::add_task(std::function<void()> fn) {
+  CBM_CHECK(fn != nullptr, "task graph: task callable must be non-null");
+  tasks_.push_back(std::move(fn));
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+void TaskGraph::add_edge(TaskId before, TaskId after) {
+  const auto n = static_cast<TaskId>(tasks_.size());
+  CBM_CHECK(before >= 0 && before < n && after >= 0 && after < n,
+            "task graph: edge references an unknown task");
+  CBM_CHECK(before != after, "task graph: self-edge");
+  edges_.emplace_back(before, after);
+}
+
+namespace {
+
+/// Shared executor state: successor CSR + atomic pending counters. A task
+/// that finishes releases each successor with fetch_sub(acq_rel); the thread
+/// that drops a counter to zero acquires everything its predecessors wrote,
+/// so task bodies need no further synchronisation of their own.
+struct Executor {
+  const std::vector<std::function<void()>>& tasks;
+  std::vector<std::int32_t> succ_off;
+  std::vector<std::int32_t> succ;
+  std::vector<std::atomic<std::int32_t>> pending;
+  std::atomic<std::size_t> executed{0};
+  std::atomic<std::int64_t> busy_ns{0};
+  std::atomic<std::int32_t> ready_now{0};
+  std::atomic<std::int32_t> max_ready{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  explicit Executor(const std::vector<std::function<void()>>& t,
+                    const std::vector<std::pair<TaskGraph::TaskId,
+                                                TaskGraph::TaskId>>& edges)
+      : tasks(t),
+        succ_off(t.size() + 1, 0),
+        succ(edges.size(), 0),
+        pending(t.size()) {
+    for (const auto& [before, after] : edges) {
+      ++succ_off[static_cast<std::size_t>(before) + 1];
+      pending[static_cast<std::size_t>(after)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 1; i < succ_off.size(); ++i) {
+      succ_off[i] += succ_off[i - 1];
+    }
+    std::vector<std::int32_t> cursor(succ_off.begin(), succ_off.end() - 1);
+    for (const auto& [before, after] : edges) {
+      succ[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(before)]++)] = after;
+    }
+  }
+
+  void note_ready(std::int32_t count) {
+    const std::int32_t now =
+        ready_now.fetch_add(count, std::memory_order_relaxed) + count;
+    std::int32_t seen = max_ready.load(std::memory_order_relaxed);
+    while (now > seen && !max_ready.compare_exchange_weak(
+                             seen, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Runs one task body and releases its successors; returns the successors
+  /// that became ready (for the caller to spawn/queue).
+  template <typename OnReady>
+  void run_task(std::int32_t id, OnReady&& on_ready) {
+    ready_now.fetch_sub(1, std::memory_order_relaxed);
+    Timer timer;
+    try {
+      CBM_SPAN("cbm.exec.task");
+      tasks[static_cast<std::size_t>(id)]();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+    busy_ns.fetch_add(static_cast<std::int64_t>(timer.seconds() * 1e9),
+                      std::memory_order_relaxed);
+    executed.fetch_add(1, std::memory_order_relaxed);
+    for (std::int32_t k = succ_off[static_cast<std::size_t>(id)];
+         k < succ_off[static_cast<std::size_t>(id) + 1]; ++k) {
+      const std::int32_t next = succ[static_cast<std::size_t>(k)];
+      if (pending[static_cast<std::size_t>(next)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        note_ready(1);
+        on_ready(next);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+RunMetrics TaskGraph::run() {
+  CBM_CHECK(!ran_, "task graph: run() may be called only once");
+  ran_ = true;
+  RunMetrics metrics;
+  metrics.tasks = tasks_.size();
+  metrics.edges = edges_.size();
+  metrics.threads = std::max(1, max_threads());
+  if (tasks_.empty()) return metrics;
+
+  CBM_SPAN("cbm.exec.run");
+  Timer wall;
+  Executor ex(tasks_, edges_);
+
+  std::vector<std::int32_t> initial;
+  initial.reserve(tasks_.size());
+  const auto n = static_cast<std::int32_t>(tasks_.size());
+  for (std::int32_t id = 0; id < n; ++id) {
+    if (ex.pending[static_cast<std::size_t>(id)].load(
+            std::memory_order_relaxed) == 0) {
+      initial.push_back(id);
+    }
+  }
+  ex.note_ready(static_cast<std::int32_t>(initial.size()));
+
+#ifdef _OPENMP
+  const bool parallel = metrics.threads > 1;
+#else
+  const bool parallel = false;
+#endif
+  if (!parallel) {
+    // Serial drain: LIFO so a just-released child runs while its parent's
+    // output is still hot — the order a depth-first sweep would use.
+    std::vector<std::int32_t> stack(initial.rbegin(), initial.rend());
+    while (!stack.empty()) {
+      const std::int32_t id = stack.back();
+      stack.pop_back();
+      ex.run_task(id, [&](std::int32_t next) { stack.push_back(next); });
+    }
+  } else {
+#ifdef _OPENMP
+    // One parallel region for the whole graph. The single thread seeds the
+    // initially-ready tasks; every finishing task spawns the successors it
+    // releases as nested tasks. The region's closing barrier is the only
+    // join — idle threads steal queued tasks there, so there is no point at
+    // which the team waits on a partially-finished wavefront.
+    struct Spawner {
+      Executor* ex;  // pointer, not reference: firstprivate must copy the
+                     // handle, never the executor state behind it
+      void operator()(std::int32_t id) const {
+        Executor* e = ex;
+#pragma omp task firstprivate(id, e)
+        e->run_task(id, Spawner{e});
+      }
+    };
+    const Spawner spawn{&ex};
+#pragma omp parallel
+#pragma omp single nowait
+    for (const std::int32_t id : initial) spawn(id);
+#endif
+  }
+
+  metrics.wall_seconds = wall.seconds();
+  metrics.busy_seconds =
+      static_cast<double>(ex.busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+  metrics.max_ready = static_cast<std::size_t>(
+      std::max<std::int32_t>(0, ex.max_ready.load(std::memory_order_relaxed)));
+
+  CBM_COUNTER_ADD("cbm.exec.graphs", 1);
+  CBM_COUNTER_ADD("cbm.exec.tasks",
+                  static_cast<std::int64_t>(metrics.tasks));
+  CBM_COUNTER_ADD("cbm.exec.edges",
+                  static_cast<std::int64_t>(metrics.edges));
+  CBM_GAUGE_SET("cbm.exec.max_ready", static_cast<double>(metrics.max_ready));
+  CBM_GAUGE_SET("cbm.exec.idle_fraction", metrics.idle_fraction());
+  CBM_TIMING_RECORD("cbm.exec.run_seconds", metrics.wall_seconds);
+
+  if (ex.first_error) std::rethrow_exception(ex.first_error);
+  const std::size_t executed = ex.executed.load(std::memory_order_relaxed);
+  CBM_CHECK(executed == tasks_.size(),
+            "task graph: cycle detected (graph did not drain)");
+  return metrics;
+}
+
+}  // namespace cbm::exec

@@ -1,0 +1,75 @@
+// cbm::exec — dependency-driven task execution for the CBM engines.
+//
+// The partitioned multiply and the two-stage update sweep both have far more
+// parallelism than their historical loop structure exposes: parts are fully
+// independent, and inside one compression tree the only true dependencies
+// are the tree edges themselves. A TaskGraph captures exactly those
+// dependencies (tasks = part×column-panel multiplies or subtree row blocks;
+// edges = parent-before-child) and lowers them onto OpenMP tasks, so the
+// whole product runs in a single parallel region with no barrier other than
+// the final join — work that used to wait at a fork/join boundary now
+// overlaps with whatever is still running.
+//
+// The executor is deliberately small: append tasks, append edges, run once.
+// Scheduling is a per-task atomic pending counter — a finishing task
+// decrements each successor and spawns the ones that hit zero — which keeps
+// the happens-before edges explicit (acquire/release on the counter), so the
+// executor is clean under TSan with a TSan-aware OpenMP runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cbm::exec {
+
+/// What one run() observed; also mirrored into cbm::obs as cbm.exec.*
+/// counters/gauges so cbmprof and the Chrome trace can show the schedule.
+struct RunMetrics {
+  std::size_t tasks = 0;      ///< tasks executed
+  std::size_t edges = 0;      ///< dependency edges honoured
+  std::size_t max_ready = 0;  ///< peak ready-queue depth (spawned, not started)
+  int threads = 1;            ///< team size the graph ran under
+  double wall_seconds = 0.0;  ///< run() wall time
+  double busy_seconds = 0.0;  ///< sum of task body times across all threads
+
+  /// Fraction of the team's wall-clock capacity not spent in task bodies:
+  /// 1 − busy/(wall·threads). High values mean the graph starved the team
+  /// (too few ready tasks), not that tasks were slow.
+  [[nodiscard]] double idle_fraction() const;
+};
+
+/// A run-once DAG of void() tasks. Not thread-safe to build concurrently;
+/// run() executes every task exactly once, respecting all edges, and throws
+/// CbmError if the edges contain a cycle (detected as a non-quiescent
+/// graph — no deadlock).
+class TaskGraph {
+ public:
+  using TaskId = std::int32_t;
+
+  /// Appends a task; returns its id. The callable must be non-null and is
+  /// invoked exactly once by run() (possibly on another thread).
+  TaskId add_task(std::function<void()> fn);
+
+  /// Declares that `before` must complete before `after` starts. Both ids
+  /// must already exist; self-edges throw.
+  void add_edge(TaskId before, TaskId after);
+
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  /// Executes the graph — one OpenMP parallel region, tasks spawned as their
+  /// dependencies resolve; a serial topological sweep when the team is one
+  /// thread (or OpenMP is absent). A task throwing aborts nothing mid-run:
+  /// the graph still drains, then the first exception is rethrown. Call at
+  /// most once (pending counters are consumed).
+  RunMetrics run();
+
+ private:
+  std::vector<std::function<void()>> tasks_;
+  std::vector<std::pair<TaskId, TaskId>> edges_;
+  bool ran_ = false;
+};
+
+}  // namespace cbm::exec

@@ -87,6 +87,13 @@ std::vector<Plan> candidate_plans(const ShapeKey& key) {
 
   std::vector<MultiplySchedule> schedules;
   schedules.push_back(MultiplySchedule::two_stage());
+  if (key.threads > 1) {
+    // Dependency-driven update sweep (cbm::exec): worth probing only when a
+    // team exists — on one thread it is the sequential sweep plus task
+    // bookkeeping, strictly dominated by the plain two-stage plan.
+    schedules.push_back(
+        MultiplySchedule::two_stage(UpdateSchedule::kTaskGraph));
+  }
   schedules.push_back(MultiplySchedule::fused(0));  // analytic tile policy
   for (const index_t w : {index_t{64}, index_t{128}, index_t{256}}) {
     if (w < key.bcols) schedules.push_back(MultiplySchedule::fused(w));

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <vector>
@@ -121,7 +122,8 @@ TEST_P(DifferentialPaths, TwoStageEverySchedulePair) {
         SpmmSchedule::kNnzBalanced}) {
     for (const UpdateSchedule update :
          {UpdateSchedule::kSequential, UpdateSchedule::kBranchDynamic,
-          UpdateSchedule::kBranchStatic, UpdateSchedule::kColumnSplit}) {
+          UpdateSchedule::kBranchStatic, UpdateSchedule::kColumnSplit,
+          UpdateSchedule::kTaskGraph}) {
       for (const int threads : {1, 4}) {
         ThreadScope scope(threads);
         DenseMatrix<float> c(n, 13);
@@ -220,6 +222,172 @@ TEST_P(DifferentialPaths, PartitionedMatchesOracle) {
     c.fill(-3.0f);
     part.multiply(b, c);
     EXPECT_MATCHES_ORACLE(c, oracle, "partitioned threads=" << threads);
+  }
+}
+
+TEST_P(DifferentialPaths, PartitionedEveryExecPartsAndPlan) {
+  // The partitioned format across the full execution cross product: part
+  // counts × thread counts × per-part plans (two-stage incl. the task-graph
+  // update sweep, fused at several tile widths) × both executors
+  // (CBM_PART_EXEC=serial | taskgraph). Every combination must reproduce the
+  // dense oracle bit-for-bit within tolerance — in particular the task-graph
+  // path, whose fused row-scatter and column panels are new failure surface.
+  const auto gen = GetParam();
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = gen.make(seed);
+  const index_t n = a.rows();
+  const auto b = check::random_dense<float>(a.cols(), 19, test::auto_seed(1));
+  const auto oracle = check::dense_reference_multiply(a, b);
+
+  const MultiplySchedule plans[] = {
+      MultiplySchedule::two_stage(),
+      MultiplySchedule::two_stage(UpdateSchedule::kTaskGraph),
+      MultiplySchedule::fused(0),
+      MultiplySchedule::fused(5),
+  };
+  for (const index_t clusters : {index_t{1}, index_t{3}, index_t{8}}) {
+    PartitionedOptions options;
+    options.base.alpha = 2;
+    options.num_clusters = clusters;
+    auto part = PartitionedCbmMatrix<float>::compress(a, options);
+    for (const char* exec_mode : {"serial", "taskgraph"}) {
+      const EnvGuard env("CBM_PART_EXEC", exec_mode);
+      for (const auto& plan : plans) {
+        for (const int threads : {1, 4}) {
+          ThreadScope scope(threads);
+          DenseMatrix<float> c(n, 19);
+          c.fill(-3.0f);
+          part.multiply(b, c, plan);
+          EXPECT_MATCHES_ORACLE(
+              c, oracle,
+              "clusters=" << clusters << " exec=" << exec_mode << " path="
+                          << multiply_path_name(plan.path)
+                          << " tile=" << plan.tile_cols
+                          << " threads=" << threads);
+        }
+      }
+      // multiply_auto resolves a per-part plan; it must agree regardless of
+      // what each part picks.
+      ThreadScope scope(4);
+      DenseMatrix<float> c(n, 19);
+      c.fill(-3.0f);
+      part.multiply_auto(b, c);
+      EXPECT_MATCHES_ORACLE(c, oracle, "clusters=" << clusters << " exec="
+                                                   << exec_mode << " auto");
+    }
+  }
+}
+
+// Dependency-shape generators for the task-graph stress test: a staircase
+// (row i ⊇ row i-1 — one maximal parent chain) and a star (every row a
+// one-column variation of row 0 — maximal fan-out from a single parent).
+CsrMatrix<float> gen_staircase(index_t n) {
+  CooMatrix<float> coo;
+  coo.rows = n;
+  coo.cols = n;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) coo.push(i, j, 1.0f);
+  }
+  return CsrMatrix<float>::from_coo(coo);
+}
+
+CsrMatrix<float> gen_star(index_t n) {
+  CooMatrix<float> coo;
+  coo.rows = n;
+  coo.cols = n;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < 8; ++j) coo.push(i, j, 1.0f);
+    if (i >= 8) coo.push(i, i, 1.0f);  // one private column per row
+  }
+  return CsrMatrix<float>::from_coo(coo);
+}
+
+TEST(TaskGraphStress, DeepAndBushyTreesUnderTinyGrain) {
+  // CBM_EXEC_GRAIN=1 puts every compressed row in its own task block, so the
+  // task graph mirrors the full compression tree: the staircase becomes one
+  // long dependency chain, the star one huge fan-out. Run at 4 threads with
+  // randomized operands; any missed parent→child ordering corrupts C (and
+  // trips TSan in the sanitizer CI job).
+  const EnvGuard grain("CBM_EXEC_GRAIN", "1");
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  struct Shape {
+    const char* name;
+    CsrMatrix<float> a;
+  };
+  const Shape shapes[] = {
+      {"staircase", gen_staircase(96)},
+      {"star", gen_star(96)},
+  };
+  for (const auto& shape : shapes) {
+    const auto b =
+        check::random_dense<float>(shape.a.cols(), 21, test::auto_seed(1));
+    const auto oracle = check::dense_reference_multiply(shape.a, b);
+    const auto cbm = CbmMatrix<float>::compress(shape.a, {.alpha = 0});
+    ThreadScope scope(4);
+    for (int rep = 0; rep < 8; ++rep) {
+      DenseMatrix<float> c(shape.a.rows(), 21);
+      c.fill(-3.0f);
+      cbm.multiply(b, c,
+                   MultiplySchedule::two_stage(UpdateSchedule::kTaskGraph));
+      EXPECT_MATCHES_ORACLE(c, oracle, shape.name << " rep=" << rep);
+    }
+    // Row-scaled kinds exercise the Eq. 6 update variant under the same
+    // dependency shapes.
+    const auto diag =
+        check::random_diagonal<float>(shape.a.rows(), test::auto_seed(2));
+    const auto scaled = CbmMatrix<float>::compress_scaled(
+        shape.a, std::span<const float>(diag), CbmKind::kSymScaled,
+        {.alpha = 0});
+    const auto scaled_oracle = check::dense_reference_multiply(
+        scale_both(shape.a, std::span<const float>(diag),
+                   std::span<const float>(diag)),
+        b);
+    DenseMatrix<float> c(shape.a.rows(), 21);
+    c.fill(-3.0f);
+    scaled.multiply(b, c,
+                    MultiplySchedule::two_stage(UpdateSchedule::kTaskGraph));
+    EXPECT_MATCHES_ORACLE(c, scaled_oracle, shape.name << " sym-scaled");
+  }
+}
+
+TEST(TaskGraphStress, PartitionedTaskGraphUnderTinyGrainAndOversubscription) {
+  // Parts × panels with more tasks than threads, tiny grain, repeated runs:
+  // the cross-part fan-out must stay race-free and deterministic up to
+  // floating-point reassociation (each output row is written by exactly one
+  // task, so results must be bitwise-stable across reps).
+  const EnvGuard grain("CBM_EXEC_GRAIN", "2");
+  const EnvGuard exec("CBM_PART_EXEC", "taskgraph");
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = check::clustered_binary<float>(128, 8, 12, 3, seed);
+  const auto b = check::random_dense<float>(a.cols(), 17, test::auto_seed(1));
+  const auto oracle = check::dense_reference_multiply(a, b);
+
+  PartitionedOptions options;
+  options.base.alpha = 2;
+  options.num_clusters = 6;
+  auto part = PartitionedCbmMatrix<float>::compress(a, options);
+  ThreadScope scope(4);
+  DenseMatrix<float> first(a.rows(), 17);
+  for (int rep = 0; rep < 8; ++rep) {
+    DenseMatrix<float> c(a.rows(), 17);
+    c.fill(-3.0f);
+    part.multiply(b, c,
+                  MultiplySchedule::two_stage(UpdateSchedule::kTaskGraph));
+    EXPECT_MATCHES_ORACLE(c, oracle, "rep=" << rep);
+    if (rep == 0) {
+      first = c;
+    } else {
+      // Bitwise determinism: no task touches another task's rows, so the
+      // result may not drift across reps.
+      ASSERT_EQ(std::memcmp(first.data(), c.data(),
+                            sizeof(float) * static_cast<std::size_t>(
+                                                a.rows()) * 17),
+                0)
+          << "rep " << rep << " differs bitwise from rep 0";
+    }
   }
 }
 

@@ -29,6 +29,15 @@ class EnvGuard {
     had_previous_ = old != nullptr;
     ::setenv(name_.c_str(), value.c_str(), 1);
   }
+  /// Unset variant: clears the variable for the guard's lifetime, so a test
+  /// can assert default behaviour even when CI pins the knob ambiently
+  /// (e.g. the forced-schedule jobs export CBM_UPDATE_SCHEDULE et al.).
+  explicit EnvGuard(std::string name) : name_(std::move(name)) {
+    const char* old = std::getenv(name_.c_str());
+    if (old != nullptr) previous_ = old;
+    had_previous_ = old != nullptr;
+    ::unsetenv(name_.c_str());
+  }
   ~EnvGuard() {
     if (had_previous_) {
       ::setenv(name_.c_str(), previous_.c_str(), 1);
