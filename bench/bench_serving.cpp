@@ -1,0 +1,147 @@
+// Serving throughput/latency bench: a pool of small query graphs streamed
+// through cbm::serve::ServeContext.
+//
+// Two phases. The cold phase submits every distinct graph once, so the
+// adjacency cache compresses each exactly once. The steady phase then
+// streams CBM_SERVE_REQUESTS requests round-robin over the pool, all cache
+// hits; per-request latency (p50/p99, sorted exactly — not estimated) and
+// sustained QPS go into the cbm-bench-v1 report, together with the
+// telemetry proof that warm traffic never recompresses: the steady-phase
+// delta of cbm.compress.calls, reported as warm_compress_calls, must be 0.
+//
+// Knobs: CBM_SERVE_REQUESTS (default 200), CBM_SERVE_GRAPHS (pool size,
+// default 8), CBM_SERVE_NODES (nodes per graph, default 256),
+// CBM_SERVE_MAX_BATCH (default 8), plus the usual CBM_BENCH_* family
+// (cols caps at 32 here: serving features are embeddings, not paper-width
+// operands).
+#include <algorithm>
+#include <future>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "graph/generators.hpp"
+#include "obs/obs.hpp"
+#include "serve/serve.hpp"
+
+int main() {
+  using namespace cbm;
+  using namespace cbm::bench;
+  const auto config = BenchConfig::from_env();
+  print_bench_header(config, "Serving — batched GNN inference over cbm::serve");
+  set_threads(config.threads);
+  BenchReport report("serving", config);
+
+  const int num_requests = env_int("CBM_SERVE_REQUESTS", 200);
+  const int pool_size = env_int("CBM_SERVE_GRAPHS", 8);
+  const index_t nodes = env_int("CBM_SERVE_NODES", 256);
+  const index_t feat_cols = std::min(config.cols, 32);
+
+  // Query-graph pool: clustered small graphs (the regime CBM compresses).
+  std::vector<CsrMatrix<real_t>> adjacencies;
+  std::vector<DenseMatrix<real_t>> features;
+  Rng rng(0x5EBEull);
+  for (int i = 0; i < pool_size; ++i) {
+    const index_t n = nodes + static_cast<index_t>(16 * i);
+    const Graph g = barabasi_albert(n, 4, 0xC0FFEEull + i);
+    adjacencies.push_back(g.adjacency());
+    DenseMatrix<real_t> x(n, feat_cols);
+    x.fill_uniform(rng);
+    features.push_back(std::move(x));
+  }
+
+  serve::ServeOptions options;
+  options.max_batch = env_int("CBM_SERVE_MAX_BATCH", 8);
+  serve::ServeContext ctx(options);
+
+  auto make_request = [&](std::uint64_t id) {
+    serve::Request req;
+    req.id = id;
+    req.adjacency = adjacencies[id % adjacencies.size()];
+    req.features = features[id % features.size()];
+    return req;
+  };
+
+  // Cold phase: one pass over the pool populates the cache (each graph
+  // compresses exactly once).
+  Timer cold_timer;
+  {
+    std::vector<std::future<serve::Response>> futures;
+    for (std::uint64_t id = 0; id < adjacencies.size(); ++id) {
+      futures.push_back(ctx.submit(make_request(id)));
+    }
+    for (auto& f : futures) f.get();
+  }
+  const double cold_seconds = cold_timer.seconds();
+
+  // Steady phase: warm traffic only. Snapshot the metrics registry around
+  // it so the report can prove the cache path skipped recompression.
+  const auto before = obs::metrics_snapshot();
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(num_requests));
+  std::uint64_t warm_hits = 0;
+  Timer steady_timer;
+  {
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(static_cast<std::size_t>(num_requests));
+    for (int i = 0; i < num_requests; ++i) {
+      futures.push_back(ctx.submit(make_request(static_cast<std::uint64_t>(i))));
+    }
+    for (auto& f : futures) {
+      const serve::Response resp = f.get();
+      latencies.push_back(resp.total_seconds);
+      if (resp.cache_hit) ++warm_hits;
+    }
+  }
+  const double steady_seconds = steady_timer.seconds();
+  const auto after = obs::metrics_snapshot();
+
+  auto counter_delta = [&](const char* name) {
+    const auto b = before.counters.find(name);
+    const auto a = after.counters.find(name);
+    const std::int64_t vb = b == before.counters.end() ? 0 : b->second;
+    const std::int64_t va = a == after.counters.end() ? 0 : a->second;
+    return va - vb;
+  };
+  const auto warm_compress_calls =
+      static_cast<double>(counter_delta("cbm.compress.calls"));
+
+  // Exact quantiles from the sorted latency vector.
+  std::sort(latencies.begin(), latencies.end());
+  auto quantile = [&](double q) {
+    if (latencies.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(latencies.size() - 1));
+    return latencies[idx];
+  };
+  const double p50 = quantile(0.50);
+  const double p99 = quantile(0.99);
+  const double qps =
+      steady_seconds > 0.0 ? num_requests / steady_seconds : 0.0;
+  const double hit_rate =
+      num_requests > 0 ? static_cast<double>(warm_hits) / num_requests : 0.0;
+
+  RunStats latency_stats;
+  for (const double s : latencies) latency_stats.add(s);
+
+  const std::vector<std::pair<std::string, std::string>> labels = {
+      {"pool", std::to_string(pool_size)},
+      {"max_batch", std::to_string(options.max_batch)},
+      {"cols", std::to_string(feat_cols)}};
+  report.add("serve_latency_seconds", latency_stats, labels);
+  report.add_scalar("serve_p50_seconds", p50, labels);
+  report.add_scalar("serve_p99_seconds", p99, labels);
+  report.add_scalar("serve_qps", qps, labels);
+  report.add_scalar("serve_cache_hit_rate", hit_rate, labels);
+  report.add_scalar("serve_cold_seconds", cold_seconds, labels);
+  report.add_scalar("warm_compress_calls", warm_compress_calls, labels);
+
+  const auto stats = ctx.stats();
+  TablePrinter table({"Requests", "QPS", "p50 [s]", "p99 [s]", "Hit rate",
+                      "Batches", "Cold [s]", "Warm compress"});
+  table.add_row({std::to_string(num_requests), fmt_double(qps, 1),
+                 fmt_seconds(p50), fmt_seconds(p99), fmt_double(hit_rate, 3),
+                 std::to_string(stats.batches), fmt_seconds(cold_seconds),
+                 fmt_double(warm_compress_calls, 0)});
+  table.print();
+  return warm_compress_calls == 0.0 ? 0 : 1;
+}

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
       CbmMatrix<real_t>::compress_scaled(
           norm.a_plus_i, std::span<const real_t>(norm.dinv_sqrt),
           CbmKind::kSymScaled, {.alpha = 8}),
-      MultiplySchedule::from_env());
+      MultiplySchedule::from_config(RuntimeConfig::from_env()));
   std::printf("CBM build: %.3f s; footprint %.2f MiB vs CSR %.2f MiB\n",
               build.seconds(), cbm_adj.bytes() / kMiB,
               csr_adj.bytes() / kMiB);

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
       CbmMatrix<real_t>::compress_scaled(
           norm.a_plus_i, std::span<const real_t>(norm.dinv_sqrt),
           CbmKind::kSymScaled, {.alpha = 4}),
-      MultiplySchedule::from_env());
+      MultiplySchedule::from_config(RuntimeConfig::from_env()));
 
   Rng rng(5);
   DenseMatrix<real_t> x(n, 32);

@@ -1,7 +1,7 @@
 #include "cbm/cbm_matrix.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -255,6 +255,42 @@ CbmMatrix<T> CbmMatrix<T>::from_parts(CbmKind kind, CompressionTree tree,
 
 template <typename T>
 void CbmMatrix<T>::multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                            const MultiplyOptions& options) const {
+  CBM_CHECK(cols() == b.rows(), "multiply: inner dimensions differ");
+  CBM_CHECK(c.rows() == rows() && c.cols() == b.cols(),
+            "multiply: output shape mismatch");
+  const index_t col_end = options.col_end < 0 ? b.cols() : options.col_end;
+  CBM_CHECK(options.col_begin >= 0 && options.col_begin <= col_end &&
+                col_end <= b.cols(),
+            "multiply: column range out of bounds");
+  if (options.validate == MultiplyValidate::kFull) {
+    // Distrusted input (e.g. a deserialised cache entry): re-audit the
+    // format invariants before trusting the engines with it.
+    check::enforce(
+        check::validate(*this, {.level = check::ValidateLevel::kFull}));
+  }
+  MultiplySchedule plan;
+  std::optional<SimdLevel> simd = options.simd;
+  if (options.plan) {
+    plan = *options.plan;
+  } else {
+    const tune::PlanDecision decision =
+        options.runtime != nullptr ? resolve_plan(b, c, *options.runtime)
+                                   : resolve_plan(b, c);
+    plan = decision.plan.schedule;
+    if (!simd) simd = decision.plan.simd;
+  }
+  std::optional<SimdScope> scope;
+  if (simd) scope.emplace(*simd);
+  if (options.col_begin == 0 && col_end == b.cols()) {
+    multiply(b, c, plan);
+  } else {
+    multiply_columns(b, c, options.col_begin, col_end, plan);
+  }
+}
+
+template <typename T>
+void CbmMatrix<T>::multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
                             UpdateSchedule schedule) const {
   multiply(b, c, MultiplySchedule::two_stage(schedule));
 }
@@ -316,6 +352,13 @@ void CbmMatrix<T>::multiply_columns(const DenseMatrix<T>& b, DenseMatrix<T>& c,
 template <typename T>
 tune::PlanDecision CbmMatrix<T>::resolve_plan(const DenseMatrix<T>& b,
                                               DenseMatrix<T>& c) const {
+  return resolve_plan(b, c, RuntimeConfig::from_env());
+}
+
+template <typename T>
+tune::PlanDecision CbmMatrix<T>::resolve_plan(
+    const DenseMatrix<T>& b, DenseMatrix<T>& c,
+    const RuntimeConfig& config) const {
   CBM_CHECK(cols() == b.rows(), "resolve_plan: inner dimensions differ");
   CBM_CHECK(c.rows() == rows() && c.cols() == b.cols(),
             "resolve_plan: output shape mismatch");
@@ -357,14 +400,13 @@ tune::PlanDecision CbmMatrix<T>::resolve_plan(const DenseMatrix<T>& b,
     return best;
   };
   tune::PlanDecision decision = tune::Tuner::instance().decide(
-      key, tune::tune_mode_from_env(), probe);
+      key, tune::tune_mode_from_config(config), probe);
   if (!decision.tuned) {
-    // Analytic fallback: the CBM_* env plan, defaulting to the fused engine
+    // Analytic fallback: the config's plan, defaulting to the fused engine
     // (whose LLC-share tile policy is the analytic tuner) when no path was
     // forced, under the active SIMD level.
-    decision.plan.schedule = MultiplySchedule::from_env();
-    if (const char* v = std::getenv("CBM_MULTIPLY_PATH");
-        v == nullptr || *v == '\0') {
+    decision.plan.schedule = MultiplySchedule::from_config(config);
+    if (!config.multiply_path || config.multiply_path->empty()) {
       decision.plan.schedule.path = MultiplyPath::kFusedTiled;
     }
     decision.plan.simd = simd_level();
@@ -375,9 +417,7 @@ tune::PlanDecision CbmMatrix<T>::resolve_plan(const DenseMatrix<T>& b,
 template <typename T>
 void CbmMatrix<T>::multiply_auto(const DenseMatrix<T>& b,
                                  DenseMatrix<T>& c) const {
-  const tune::PlanDecision decision = resolve_plan(b, c);
-  SimdScope scope(decision.plan.simd);
-  multiply(b, c, decision.plan.schedule);
+  multiply(b, c, MultiplyOptions::auto_plan());
 }
 
 template <typename T>

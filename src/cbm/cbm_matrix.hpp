@@ -103,17 +103,28 @@ class CbmMatrix {
   static CbmMatrix from_parts(CbmKind kind, CompressionTree tree,
                               CsrMatrix<T> delta, std::vector<T> diag);
 
-  /// C = op(A) · B. C must be pre-shaped (rows() × B.cols()); its previous
-  /// content is overwritten. No allocations happen here (Property 3): the
-  /// multiply stage writes C directly and the update stage fixes it up
-  /// in place.
+  /// C = op(A) · B — the consolidated entry point. C must be pre-shaped
+  /// (rows() × B.cols()); its previous content is overwritten. No
+  /// allocations happen on the hot path (Property 3): the multiply stage
+  /// writes C directly and the update stage fixes it up in place.
+  ///
+  /// `options` carries everything the historical entry-point sprawl spread
+  /// over four signatures: an explicit plan (default: the two-stage engine)
+  /// or automatic resolution (`MultiplyOptions::auto_plan()` — tuning
+  /// cache / probe / analytic policy), the SIMD tier, the validation
+  /// level, and an optional column panel. See multiply_plan.hpp.
   void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
-                UpdateSchedule schedule = UpdateSchedule::kBranchDynamic) const;
+                const MultiplyOptions& options = {}) const;
 
-  /// C = op(A) · B under an explicit execution plan (engine + per-stage
-  /// schedules). The UpdateSchedule overload above is shorthand for the
-  /// two-stage plan; MultiplySchedule::fused() selects the column-tiled
-  /// engine. Every plan produces identical results.
+  /// Forwarding overload (docs-deprecated; prefer MultiplyOptions):
+  /// two-stage plan with the given update schedule.
+  void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                UpdateSchedule schedule) const;
+
+  /// Forwarding overload (docs-deprecated; prefer MultiplyOptions): run
+  /// exactly this execution plan (engine + per-stage schedules).
+  /// MultiplySchedule::fused() selects the column-tiled engine. Every plan
+  /// produces identical results.
   void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
                 const MultiplySchedule& schedule) const;
 
@@ -127,18 +138,26 @@ class CbmMatrix {
                         index_t col0, index_t col1,
                         const MultiplySchedule& schedule) const;
 
-  /// Resolves the execution plan multiply_auto() will run: the empirical
-  /// autotuner first (per CBM_TUNE — cached winner, or probing candidate
-  /// plans with short timed multiplies into `c`, so no probe work is
-  /// wasted), then the analytic policy (CBM_* env plan with the LLC-share
-  /// fused tiling) when tuning is off or unavailable. The returned decision
-  /// carries provenance (tuned vs analytic, cache hit) for telemetry.
+  /// Resolves the execution plan automatic mode will run: the empirical
+  /// autotuner first (per `config.tune_mode` — cached winner, or probing
+  /// candidate plans with short timed multiplies into `c`, so no probe
+  /// work is wasted), then the analytic policy (the config's plan fields
+  /// with the LLC-share fused tiling) when tuning is off or unavailable.
+  /// The returned decision carries provenance (tuned vs analytic, cache
+  /// hit) for telemetry.
+  tune::PlanDecision resolve_plan(const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                                  const RuntimeConfig& config) const;
+
+  /// resolve_plan against the ambient environment
+  /// (`RuntimeConfig::from_env()`).
   tune::PlanDecision resolve_plan(const DenseMatrix<T>& b,
                                   DenseMatrix<T>& c) const;
 
-  /// C = op(A) · B under resolve_plan()'s choice, including its SIMD kernel
-  /// tier. The first call for a new shape may probe (see CBM_TUNE); later
-  /// calls reuse the decision from the tuning cache.
+  /// Forwarding overload (docs-deprecated; prefer
+  /// `multiply(b, c, MultiplyOptions::auto_plan())`): C = op(A) · B under
+  /// resolve_plan()'s choice, including its SIMD kernel tier. The first
+  /// call for a new shape may probe (see CBM_TUNE); later calls reuse the
+  /// decision from the tuning cache.
   void multiply_auto(const DenseMatrix<T>& b, DenseMatrix<T>& c) const;
 
   /// y = op(A) · x — the matrix-vector product of §IV (Eqs. 4–6). Same

@@ -1,29 +1,13 @@
 #include "cbm/multiply_plan.hpp"
 
-#include <cstdlib>
 #include <string>
 #include <utility>
 
-#include "common/envknobs.hpp"
 #include "common/error.hpp"
 
 namespace cbm {
 
 namespace {
-
-/// Environment-selected enum value: unset/empty keeps `fallback`, anything
-/// unrecognised throws with the variable name (benches must not silently
-/// measure the wrong engine).
-template <typename Enum, std::size_t N>
-Enum env_enum(const char* name,
-              const std::pair<const char*, Enum> (&table)[N], Enum fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  for (const auto& [text, value] : table) {
-    if (std::string_view(v) == text) return value;
-  }
-  throw CbmError(std::string(name) + ": unknown value '" + v + "'");
-}
 
 template <typename Enum, std::size_t N>
 Enum parse_enum(const char* what,
@@ -71,13 +55,24 @@ MultiplySchedule MultiplySchedule::fused(index_t tile_cols) {
   return s;
 }
 
-MultiplySchedule MultiplySchedule::from_env() {
+MultiplySchedule MultiplySchedule::from_config(const RuntimeConfig& config) {
   MultiplySchedule s;
-  s.path = env_enum("CBM_MULTIPLY_PATH", kPaths, s.path);
-  s.spmm = env_enum("CBM_SPMM_SCHEDULE", kSpmm, s.spmm);
-  s.update = env_enum("CBM_UPDATE_SCHEDULE", kUpdate, s.update);
-  if (const auto tile = env_tile_cols()) s.tile_cols = *tile;
+  if (config.multiply_path) {
+    s.path = parse_enum("CBM_MULTIPLY_PATH", kPaths, *config.multiply_path);
+  }
+  if (config.spmm_schedule) {
+    s.spmm = parse_enum("CBM_SPMM_SCHEDULE", kSpmm, *config.spmm_schedule);
+  }
+  if (config.update_schedule) {
+    s.update =
+        parse_enum("CBM_UPDATE_SCHEDULE", kUpdate, *config.update_schedule);
+  }
+  if (config.tile_cols) s.tile_cols = *config.tile_cols;
   return s;
+}
+
+MultiplySchedule MultiplySchedule::from_env() {
+  return from_config(RuntimeConfig::from_env());
 }
 
 const char* multiply_path_name(MultiplyPath path) {

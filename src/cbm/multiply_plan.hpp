@@ -7,9 +7,12 @@
 // (cbm-tune-v1) and of bench telemetry, so they are stable strings.
 #pragma once
 
+#include <optional>
 #include <string_view>
 
+#include "common/envknobs.hpp"
 #include "common/types.hpp"
+#include "common/vectorops.hpp"
 #include "sparse/spmm.hpp"
 
 namespace cbm {
@@ -53,13 +56,85 @@ struct MultiplySchedule {
   /// Fused column-tiled plan; tile_cols 0 = auto.
   static MultiplySchedule fused(index_t tile_cols = 0);
 
+  /// Plan described by a RuntimeConfig: unset fields keep the defaults
+  /// above; unknown vocabulary throws (a mistyped knob must not silently
+  /// benchmark the wrong engine). This is the programmatic twin of
+  /// from_env() — build the config by hand and no environment is consulted.
+  static MultiplySchedule from_config(const RuntimeConfig& config);
+
   /// Reads CBM_MULTIPLY_PATH (two_stage | fused), CBM_SPMM_SCHEDULE
   /// (row_static | row_dynamic | nnz_balanced), CBM_UPDATE_SCHEDULE
   /// (sequential | branch_dynamic | branch_static | column_split |
-  /// task_graph) and CBM_TILE_COLS. Unset variables keep the defaults above;
-  /// unknown values throw (a mistyped knob must not silently benchmark the
-  /// wrong engine).
+  /// task_graph) and CBM_TILE_COLS. Exactly
+  /// `from_config(RuntimeConfig::from_env())` — RuntimeConfig is the single
+  /// point that touches the environment.
   static MultiplySchedule from_env();
+};
+
+/// How much checking multiply() performs before running the engines.
+enum class MultiplyValidate {
+  kShapes,  ///< dimension/shape checks only (the historical behaviour)
+  kFull,    ///< additionally re-audit the format invariants (Property 1,
+            ///< arborescence shape, Eq. 2 reconstruction) via cbm::check —
+            ///< expensive; for distrusted inputs (e.g. deserialised caches)
+};
+
+/// The consolidated option block for C = op(A)·B — one entry point instead
+/// of the historical multiply / multiply(plan) / multiply_auto /
+/// multiply_columns sprawl. Default-constructed options reproduce
+/// `multiply(b, c)` exactly (two-stage plan, ambient SIMD, shape checks,
+/// all columns).
+struct MultiplyOptions {
+  /// Execution plan. Engaged (the default): run exactly this plan.
+  /// nullopt: resolve automatically — tuning cache / probe / analytic
+  /// policy, the historical multiply_auto().
+  std::optional<MultiplySchedule> plan = MultiplySchedule{};
+
+  /// SIMD kernel tier for this product; nullopt = the ambient level
+  /// (CBM_SIMD / SimdScope). Auto-resolution fills in the tuner's choice
+  /// unless pinned here.
+  std::optional<SimdLevel> simd;
+
+  /// Validation level (see MultiplyValidate).
+  MultiplyValidate validate = MultiplyValidate::kShapes;
+
+  /// Column panel [col_begin, col_end) of B/C to compute; col_end = -1
+  /// means all columns. A proper sub-range runs the sequential panel body
+  /// (the historical multiply_columns) — disjoint panels may run
+  /// concurrently.
+  index_t col_begin = 0;
+  index_t col_end = -1;
+
+  /// Configuration for auto-resolution (tune mode, env plan fallback).
+  /// nullptr = resolve from the process environment per call (the
+  /// historical behaviour). Long-lived callers (cbm::serve) point this at
+  /// a config resolved once at construction. Not owned; must outlive the
+  /// call.
+  const RuntimeConfig* runtime = nullptr;
+
+  /// Options selecting automatic plan resolution (multiply_auto's policy).
+  static MultiplyOptions auto_plan() {
+    MultiplyOptions o;
+    o.plan = std::nullopt;
+    return o;
+  }
+
+  /// Options pinning an explicit plan.
+  static MultiplyOptions with_plan(const MultiplySchedule& plan) {
+    MultiplyOptions o;
+    o.plan = plan;
+    return o;
+  }
+
+  /// Options for a column panel under an explicit plan.
+  static MultiplyOptions columns(index_t col_begin, index_t col_end,
+                                 const MultiplySchedule& plan) {
+    MultiplyOptions o;
+    o.plan = plan;
+    o.col_begin = col_begin;
+    o.col_end = col_end;
+    return o;
+  }
 };
 
 /// Stable lower-case names — the serialisation vocabulary of the tuning

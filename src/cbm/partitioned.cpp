@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "cbm/spmm_cbm_fused.hpp"
 #include "common/envknobs.hpp"
@@ -132,24 +133,21 @@ PartitionedCbmMatrix<T> PartitionedCbmMatrix<T>::compress_impl(
 template <typename T>
 void PartitionedCbmMatrix<T>::multiply(const DenseMatrix<T>& b,
                                        DenseMatrix<T>& c,
-                                       UpdateSchedule schedule) {
-  multiply(b, c, MultiplySchedule::two_stage(schedule));
-}
-
-template <typename T>
-void PartitionedCbmMatrix<T>::multiply(const DenseMatrix<T>& b,
-                                       DenseMatrix<T>& c,
-                                       const MultiplySchedule& plan) {
-  const std::vector<MultiplySchedule> plans(parts_.size(), plan);
-  multiply_with_plans(b, c, plans);
-}
-
-template <typename T>
-void PartitionedCbmMatrix<T>::multiply_auto(const DenseMatrix<T>& b,
-                                            DenseMatrix<T>& c) {
-  CBM_CHECK(b.rows() == cols_, "multiply_auto: inner dimensions differ");
+                                       const MultiplyOptions& options) {
+  CBM_CHECK(options.col_begin == 0 && options.col_end < 0,
+            "partitioned multiply: column panels are not supported");
+  const RuntimeConfig config =
+      options.runtime != nullptr ? *options.runtime : RuntimeConfig::from_env();
+  if (options.plan) {
+    std::optional<SimdScope> scope;
+    if (options.simd) scope.emplace(*options.simd);
+    const std::vector<MultiplySchedule> plans(parts_.size(), *options.plan);
+    multiply_with_plans(b, c, plans, config);
+    return;
+  }
+  CBM_CHECK(b.rows() == cols_, "multiply: inner dimensions differ");
   CBM_CHECK(c.rows() == rows_ && c.cols() == b.cols(),
-            "multiply_auto: output shape mismatch");
+            "multiply: output shape mismatch");
   // Each part resolves the plan for its own shape (its own tuning-cache
   // entry; probes multiply into the part's scratch, so no probe work is
   // wasted). Resolution runs serially up front — probing is itself a timed
@@ -162,7 +160,8 @@ void PartitionedCbmMatrix<T>::multiply_auto(const DenseMatrix<T>& b,
         part.scratch.cols() != b.cols()) {
       part.scratch = DenseMatrix<T>(part.cbm.rows(), b.cols());
     }
-    const tune::PlanDecision decision = part.cbm.resolve_plan(b, part.scratch);
+    const tune::PlanDecision decision =
+        part.cbm.resolve_plan(b, part.scratch, config);
     if (plans.empty()) first = decision;
     plans.push_back(decision.plan.schedule);
   }
@@ -170,14 +169,34 @@ void PartitionedCbmMatrix<T>::multiply_auto(const DenseMatrix<T>& b,
   // One ambient SIMD level for the whole product: the kernel table is
   // process-global, so per-part SIMD switching inside concurrent tasks would
   // race. The parts share one CPU; the first part's pick stands in for all.
-  SimdScope scope(first.plan.simd);
-  multiply_with_plans(b, c, plans);
+  SimdScope scope(options.simd ? *options.simd : first.plan.simd);
+  multiply_with_plans(b, c, plans, config);
+}
+
+template <typename T>
+void PartitionedCbmMatrix<T>::multiply(const DenseMatrix<T>& b,
+                                       DenseMatrix<T>& c,
+                                       UpdateSchedule schedule) {
+  multiply(b, c, MultiplySchedule::two_stage(schedule));
+}
+
+template <typename T>
+void PartitionedCbmMatrix<T>::multiply(const DenseMatrix<T>& b,
+                                       DenseMatrix<T>& c,
+                                       const MultiplySchedule& plan) {
+  multiply(b, c, MultiplyOptions::with_plan(plan));
+}
+
+template <typename T>
+void PartitionedCbmMatrix<T>::multiply_auto(const DenseMatrix<T>& b,
+                                            DenseMatrix<T>& c) {
+  multiply(b, c, MultiplyOptions::auto_plan());
 }
 
 template <typename T>
 void PartitionedCbmMatrix<T>::multiply_with_plans(
     const DenseMatrix<T>& b, DenseMatrix<T>& c,
-    std::span<const MultiplySchedule> plans) {
+    std::span<const MultiplySchedule> plans, const RuntimeConfig& config) {
   CBM_CHECK(b.rows() == cols_, "multiply: inner dimensions differ");
   CBM_CHECK(c.rows() == rows_ && c.cols() == b.cols(),
             "multiply: output shape mismatch");
@@ -185,8 +204,8 @@ void PartitionedCbmMatrix<T>::multiply_with_plans(
             "multiply: one plan per part required");
   CBM_SPAN("cbm.part_multiply");
   CBM_COUNTER_ADD("cbm.part.calls", 1);
-  const PartExec exec_mode = part_exec_from_env();
-  const NumaMode numa_mode = numa_mode_from_env();
+  const PartExec exec_mode = config.part_exec;
+  const NumaMode numa_mode = config.numa;
   const exec::NumaTopology& topology = exec::NumaTopology::host();
 
   // Size each part's scratch, first-touching fresh blocks on the node that

@@ -55,29 +55,39 @@ class PartitionedCbmMatrix {
       const PartitionedOptions& options = {},
       PartitionedStats* stats = nullptr);
 
-  /// C = op(A)·B. Parts run through their own multiply and scatter into C.
-  /// Unlike CbmMatrix::multiply this needs a gather workspace (one dense
-  /// block of the largest part's size per part), allocated lazily and
-  /// reused. Shorthand for the MultiplySchedule overload with a two-stage
-  /// plan built from `schedule`.
-  void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
-                UpdateSchedule schedule = UpdateSchedule::kBranchDynamic);
-
-  /// C = op(A)·B under a full execution plan, applied to every part — the
-  /// fused engine and tuned plans work here exactly as on a monolithic
-  /// CbmMatrix. Execution strategy comes from CBM_PART_EXEC: the default
+  /// C = op(A)·B — the consolidated entry point (mirrors
+  /// CbmMatrix::multiply). Parts run through their own multiply and scatter
+  /// into C; unlike CbmMatrix::multiply this needs a gather workspace (one
+  /// dense block of the largest part's size per part), allocated lazily and
+  /// reused.
+  ///
+  /// An engaged `options.plan` applies to every part; `auto_plan()` lets
+  /// each part resolve the plan for its own shape (per-part tuning cache
+  /// entries / probes) under one ambient SIMD level (the kernel table is
+  /// process-global, so per-part SIMD switching inside concurrent tasks is
+  /// not allowed). Executor choice and NUMA placement come from
+  /// `options.runtime` (CBM_PART_EXEC / CBM_NUMA when null): the default
   /// task-graph mode runs all parts' column-panel multiplies (row scatter
   /// fused into each task) concurrently in one parallel region with no
   /// inter-part barriers; serial mode keeps the historical part-at-a-time
-  /// loop as a baseline. CBM_NUMA places part scratch (and, for bind, the
-  /// part's tasks) across NUMA nodes; single-node hosts are a no-op.
+  /// loop as a baseline. Column panels (`options.col_begin/col_end`) are
+  /// not supported here.
+  void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                const MultiplyOptions& options = {});
+
+  /// Forwarding overload (docs-deprecated; prefer MultiplyOptions):
+  /// two-stage plan built from `schedule`, applied to every part.
+  void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
+                UpdateSchedule schedule);
+
+  /// Forwarding overload (docs-deprecated; prefer MultiplyOptions): one
+  /// full execution plan applied to every part — the fused engine and
+  /// tuned plans work here exactly as on a monolithic CbmMatrix.
   void multiply(const DenseMatrix<T>& b, DenseMatrix<T>& c,
                 const MultiplySchedule& plan);
 
-  /// C = op(A)·B with each part running the plan CbmMatrix::resolve_plan
-  /// picks for its own shape (per-part tuning cache entries / probes), under
-  /// one ambient SIMD level (the kernel table is process-global, so per-part
-  /// SIMD switching inside concurrent tasks is not allowed).
+  /// Forwarding overload (docs-deprecated; prefer
+  /// `multiply(b, c, MultiplyOptions::auto_plan())`).
   void multiply_auto(const DenseMatrix<T>& b, DenseMatrix<T>& c);
 
   [[nodiscard]] index_t rows() const { return rows_; }
@@ -103,9 +113,11 @@ class PartitionedCbmMatrix {
                                             PartitionedStats* stats);
 
   /// Shared core of the multiply overloads: one (possibly per-part) plan per
-  /// part, dispatched to the serial or task-graph executor.
+  /// part, dispatched to the serial or task-graph executor per
+  /// `config.part_exec`, with `config.numa` placement.
   void multiply_with_plans(const DenseMatrix<T>& b, DenseMatrix<T>& c,
-                           std::span<const MultiplySchedule> plans);
+                           std::span<const MultiplySchedule> plans,
+                           const RuntimeConfig& config);
 
   std::vector<Part> parts_;
   index_t rows_ = 0;

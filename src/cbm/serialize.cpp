@@ -1,7 +1,9 @@
 #include "cbm/serialize.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
+#include <string>
 #include <vector>
 
 #include "obs/obs.hpp"
@@ -11,7 +13,14 @@ namespace cbm {
 namespace {
 
 constexpr char kMagic[4] = {'C', 'B', 'M', 'F'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+/// Written natively; reads back byte-swapped on an opposite-endian host.
+constexpr std::uint32_t kEndianSentinel = 0x01020304u;
+
+std::uint32_t byte_swapped(std::uint32_t v) {
+  return ((v & 0x000000FFu) << 24) | ((v & 0x0000FF00u) << 8) |
+         ((v & 0x00FF0000u) >> 8) | ((v & 0xFF000000u) >> 24);
+}
 
 template <typename V>
 void write_pod(std::ostream& out, const V& v) {
@@ -24,25 +33,33 @@ void write_array(std::ostream& out, std::span<const V> data) {
             static_cast<std::streamsize>(data.size() * sizeof(V)));
 }
 
+/// `what` names the field being read so a truncated stream reports where it
+/// ended, not just that it did.
 template <typename V>
-V read_pod(std::istream& in) {
+V read_pod(std::istream& in, const char* what) {
   V v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(V));
-  CBM_CHECK(in.good(), "cbm deserialisation: truncated stream");
+  CBM_CHECK(in.good(), std::string("cbm deserialisation: truncated stream "
+                                   "while reading ") +
+                           what + " (file cut short or not a CBM file)");
   return v;
 }
 
 template <typename V>
 std::vector<V> read_array(std::istream& in, std::size_t count,
-                          std::size_t sanity_limit) {
+                          std::size_t sanity_limit, const char* what) {
   // Guard against hostile/corrupt length fields before allocating.
-  CBM_CHECK(count <= sanity_limit, "cbm deserialisation: implausible length");
+  CBM_CHECK(count <= sanity_limit,
+            std::string("cbm deserialisation: implausible ") + what +
+                " length " + std::to_string(count) + " (corrupt header?)");
   std::vector<V> data(count);
   in.read(reinterpret_cast<char*>(data.data()),
           static_cast<std::streamsize>(count * sizeof(V)));
   CBM_CHECK(in.good() || (in.eof() && in.gcount() ==
                               static_cast<std::streamsize>(count * sizeof(V))),
-            "cbm deserialisation: truncated array");
+            std::string("cbm deserialisation: truncated ") + what +
+                " array (expected " + std::to_string(count * sizeof(V)) +
+                " bytes; file cut short)");
   return data;
 }
 
@@ -56,6 +73,7 @@ void save_cbm(std::ostream& out, const CbmMatrix<T>& m) {
                   static_cast<std::int64_t>(m.bytes()));
   out.write(kMagic, sizeof(kMagic));
   write_pod(out, kVersion);
+  write_pod(out, kEndianSentinel);
   write_pod(out, static_cast<std::uint32_t>(m.kind()));
   write_pod(out, static_cast<std::uint32_t>(sizeof(T)));
   write_pod(out, static_cast<std::int64_t>(m.rows()));
@@ -84,41 +102,71 @@ CbmMatrix<T> load_cbm(std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
   CBM_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
-            "cbm deserialisation: bad magic");
-  CBM_CHECK(read_pod<std::uint32_t>(in) == kVersion,
-            "cbm deserialisation: unsupported version");
-  const auto kind = static_cast<CbmKind>(read_pod<std::uint32_t>(in));
+            "cbm deserialisation: bad magic (not a CBM file — expected it to "
+            "start with \"CBMF\")");
+  const auto version = read_pod<std::uint32_t>(in, "version");
+  if (version != kVersion) {
+    // A byte-swapped current version means the writer ran on an
+    // opposite-endian host — name that directly instead of reporting a
+    // nonsense version number.
+    CBM_CHECK(byte_swapped(version) != kVersion,
+              "cbm deserialisation: endianness mismatch (file written on an "
+              "opposite-endian host; re-save it on this architecture)");
+    throw CbmError("cbm deserialisation: unsupported format version " +
+                   std::to_string(version) + " (this build reads version " +
+                   std::to_string(kVersion) +
+                   "; re-save the matrix with this build)");
+  }
+  const auto endian = read_pod<std::uint32_t>(in, "endianness sentinel");
+  if (endian != kEndianSentinel) {
+    CBM_CHECK(byte_swapped(endian) != kEndianSentinel,
+              "cbm deserialisation: endianness mismatch (file written on an "
+              "opposite-endian host; re-save it on this architecture)");
+    throw CbmError("cbm deserialisation: corrupt endianness sentinel (got 0x" +
+                   [endian] {
+                     char buf[16];
+                     std::snprintf(buf, sizeof(buf), "%08x", endian);
+                     return std::string(buf);
+                   }() +
+                   ", expected 0x01020304)");
+  }
+  const auto kind = static_cast<CbmKind>(read_pod<std::uint32_t>(in, "kind"));
   CBM_CHECK(kind == CbmKind::kPlain || kind == CbmKind::kColumnScaled ||
                 kind == CbmKind::kSymScaled || kind == CbmKind::kTwoSided,
             "cbm deserialisation: unknown kind");
-  CBM_CHECK(read_pod<std::uint32_t>(in) == sizeof(T),
-            "cbm deserialisation: value-type width mismatch");
-  const auto rows = read_pod<std::int64_t>(in);
-  const auto cols = read_pod<std::int64_t>(in);
+  const auto width = read_pod<std::uint32_t>(in, "value width");
+  CBM_CHECK(width == sizeof(T),
+            "cbm deserialisation: value-type width mismatch (file holds " +
+                std::to_string(width) + "-byte values, loading as " +
+                std::to_string(sizeof(T)) + "-byte)");
+  const auto rows = read_pod<std::int64_t>(in, "rows");
+  const auto cols = read_pod<std::int64_t>(in, "cols");
   CBM_CHECK(rows >= 0 && cols >= 0 && rows < (1ll << 31) && cols < (1ll << 31),
             "cbm deserialisation: bad dimensions");
 
   constexpr std::size_t kLimit = std::size_t{1} << 40;  // 1 TiB of entries
   auto parent = read_array<index_t>(in, static_cast<std::size_t>(rows),
-                                    kLimit);
+                                    kLimit, "parent");
   auto tree = CompressionTree::from_parents(std::move(parent));
 
-  const auto nnz = read_pod<std::int64_t>(in);
+  const auto nnz = read_pod<std::int64_t>(in, "nnz");
   CBM_CHECK(nnz >= 0, "cbm deserialisation: negative nnz");
   auto indptr = read_array<offset_t>(in, static_cast<std::size_t>(rows) + 1,
-                                     kLimit);
+                                     kLimit, "indptr");
   auto indices =
-      read_array<index_t>(in, static_cast<std::size_t>(nnz), kLimit);
-  auto values = read_array<T>(in, static_cast<std::size_t>(nnz), kLimit);
+      read_array<index_t>(in, static_cast<std::size_t>(nnz), kLimit,
+                          "indices");
+  auto values =
+      read_array<T>(in, static_cast<std::size_t>(nnz), kLimit, "values");
   // CsrMatrix's constructor revalidates the structure.
   CsrMatrix<T> delta(static_cast<index_t>(rows), static_cast<index_t>(cols),
                      std::move(indptr), std::move(indices),
                      std::move(values));
 
-  const auto diag_len = read_pod<std::int64_t>(in);
+  const auto diag_len = read_pod<std::int64_t>(in, "diagonal length");
   CBM_CHECK(diag_len >= 0, "cbm deserialisation: negative diagonal length");
-  auto diag =
-      read_array<T>(in, static_cast<std::size_t>(diag_len), kLimit);
+  auto diag = read_array<T>(in, static_cast<std::size_t>(diag_len), kLimit,
+                            "diagonal");
   return CbmMatrix<T>::from_parts(kind, std::move(tree), std::move(delta),
                                   std::move(diag));
 }
@@ -134,7 +182,11 @@ template <typename T>
 CbmMatrix<T> load_cbm_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   CBM_CHECK(in.good(), "cannot open cbm file: " + path);
-  return load_cbm<T>(in);
+  try {
+    return load_cbm<T>(in);
+  } catch (const CbmError& e) {
+    throw CbmError(path + ": " + e.what());
+  }
 }
 
 template void save_cbm<float>(std::ostream&, const CbmMatrix<float>&);

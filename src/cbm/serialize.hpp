@@ -5,15 +5,25 @@
 // makes that workflow concrete: compress once, persist, and load at
 // inference time without paying the O(n·nnz) construction cost again.
 //
-// Format (little-endian, version 1):
-//   magic   "CBMF"            4 bytes
-//   version u32               currently 1
-//   kind    u32               CbmKind
-//   value   u32               sizeof(T) — 4 (float) or 8 (double)
-//   rows    i64, cols i64
-//   parent  i32[rows]         compression tree (virtual root = rows)
-//   nnz     i64
-//   indptr  i64[rows+1], indices i32[nnz], values T[nnz]
+// It is also the persistence tier of the serving-layer adjacency cache
+// (serve/cache.hpp), which loads entries written by earlier processes —
+// hence the hardened header below: a versioned magic, an endianness
+// sentinel, and actionable errors on truncation, so a stale or corrupt
+// cache file degrades to a clean CbmError instead of undefined behaviour.
+//
+// Format (native-endian with an explicit sentinel, version 2):
+//   magic    "CBMF"            4 bytes
+//   version  u32               currently 2 (v1 files lack the sentinel and
+//                              are rejected with an actionable error)
+//   endian   u32               0x01020304 written natively; a reader on an
+//                              opposite-endian host sees 0x04030201 and
+//                              rejects the file instead of mis-reading it
+//   kind     u32               CbmKind
+//   value    u32               sizeof(T) — 4 (float) or 8 (double)
+//   rows     i64, cols i64
+//   parent   i32[rows]         compression tree (virtual root = rows)
+//   nnz      i64
+//   indptr   i64[rows+1], indices i32[nnz], values T[nnz]
 //   diag_len i64, diag T[diag_len]
 #pragma once
 
@@ -28,12 +38,15 @@ namespace cbm {
 template <typename T>
 void save_cbm(std::ostream& out, const CbmMatrix<T>& m);
 
-/// Reads a CbmMatrix from a binary stream. Validates magic, version, value
-/// width and structural invariants; throws CbmError on any mismatch.
+/// Reads a CbmMatrix from a binary stream. Validates magic, version,
+/// endianness sentinel, value width and structural invariants; throws
+/// CbmError with an actionable message (what was found, what was expected)
+/// on any mismatch or truncation.
 template <typename T>
 CbmMatrix<T> load_cbm(std::istream& in);
 
-/// File-path convenience wrappers.
+/// File-path convenience wrappers. load_cbm_file prefixes any load error
+/// with the offending path.
 template <typename T>
 void save_cbm_file(const std::string& path, const CbmMatrix<T>& m);
 template <typename T>

@@ -126,4 +126,21 @@ index_t env_exec_grain() {
   return static_cast<index_t>(env_positive_int("CBM_EXEC_GRAIN", 64));
 }
 
+RuntimeConfig RuntimeConfig::from_env() {
+  RuntimeConfig cfg;
+  if (const char* v = lookup("CBM_MULTIPLY_PATH")) cfg.multiply_path = v;
+  if (const char* v = lookup("CBM_SPMM_SCHEDULE")) cfg.spmm_schedule = v;
+  if (const char* v = lookup("CBM_UPDATE_SCHEDULE")) cfg.update_schedule = v;
+  cfg.tile_cols = env_tile_cols();
+  if (const char* v = lookup("CBM_TUNE")) cfg.tune_mode = v;
+  // Unlike lookup()-based knobs, an explicitly empty CBM_TUNE_CACHE is
+  // meaningful (it disables persistence), so read the raw variable.
+  if (const char* v = std::getenv("CBM_TUNE_CACHE")) cfg.tune_cache = v;
+  cfg.part_exec = part_exec_from_env();
+  cfg.numa = numa_mode_from_env();
+  cfg.exec_grain = env_exec_grain();
+  cfg.perf = perf_mode_from_env();
+  return cfg;
+}
+
 }  // namespace cbm

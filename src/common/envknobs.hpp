@@ -86,4 +86,50 @@ const char* part_exec_name(PartExec exec);
 /// values amortise spawn overhead.
 index_t env_exec_grain();
 
+/// The full runtime configuration that historically lived in per-call-site
+/// CBM_* environment reads, as one explicitly-constructible value.
+///
+/// `from_env()` is the single point that reads the CBM_* execution knobs;
+/// everything downstream (`MultiplySchedule::from_config`,
+/// `tune::tune_mode_from_config`, `PartitionedCbmMatrix`, `cbm::serve`)
+/// consumes a RuntimeConfig instead of the process environment, so a
+/// programmatic caller — a serving context resolving its configuration once
+/// at construction, a test pinning a plan — builds the struct directly and
+/// never depends on ambient state.
+///
+/// Plan-vocabulary fields (multiply_path, spmm_schedule, update_schedule,
+/// tune_mode) are carried as strings: their vocabularies belong to the cbm
+/// and tune layers, which `common` cannot depend on. They are validated by
+/// those layers' parsers at use (unknown values still throw, exactly as the
+/// historical from_env readers did); the integer and common-enum knobs are
+/// validated eagerly here.
+struct RuntimeConfig {
+  /// CBM_MULTIPLY_PATH (two_stage | fused); nullopt = engine default.
+  std::optional<std::string> multiply_path;
+  /// CBM_SPMM_SCHEDULE (row_static | row_dynamic | nnz_balanced).
+  std::optional<std::string> spmm_schedule;
+  /// CBM_UPDATE_SCHEDULE (sequential | branch_dynamic | branch_static |
+  /// column_split | task_graph).
+  std::optional<std::string> update_schedule;
+  /// CBM_TILE_COLS; nullopt = auto (cache geometry).
+  std::optional<index_t> tile_cols;
+  /// CBM_TUNE (off | on | force) — parsed by tune::tune_mode_from_config.
+  std::string tune_mode = "off";
+  /// CBM_TUNE_CACHE; nullopt = the tuner's default path, "" = no persistence.
+  std::optional<std::string> tune_cache;
+  /// CBM_PART_EXEC — partitioned executor choice.
+  PartExec part_exec = PartExec::kTaskGraph;
+  /// CBM_NUMA — partitioned scratch/task placement.
+  NumaMode numa = NumaMode::kOff;
+  /// CBM_EXEC_GRAIN — task-graph update-schedule block rows.
+  index_t exec_grain = 64;
+  /// CBM_PERF — hardware-counter sampling policy.
+  PerfMode perf = PerfMode::kOff;
+
+  /// Reads every knob above from the environment, with the same strict
+  /// validation the historical per-site readers applied (garbage throws).
+  /// This is the one supported path from process environment to config.
+  static RuntimeConfig from_env();
+};
+
 }  // namespace cbm

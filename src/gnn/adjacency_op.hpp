@@ -48,7 +48,8 @@ class CsrAdjacency final : public AdjacencyOp<T> {
 
 /// CBM-backed operand. The execution plan is fixed at construction: layers
 /// call the capability interface, so this is where a GNN opts into the fused
-/// column-tiled engine (e.g. via MultiplySchedule::from_env()). Construction
+/// column-tiled engine (e.g. via
+/// MultiplySchedule::from_config(RuntimeConfig::from_env())). Construction
 /// honours CBM_VALIDATE (cbm::check) — an adjacency assembled from a stale
 /// or corrupted CBM must fail here, not after an epoch of wrong products.
 template <typename T>

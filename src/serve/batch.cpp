@@ -1,0 +1,147 @@
+#include "serve/batch.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace cbm::serve {
+
+template <typename T>
+PackedBatch<T> pack_batch(std::span<const BatchItem<T>> items) {
+  CBM_SPAN("cbm.serve.pack");
+  CBM_CHECK(!items.empty(), "pack_batch: empty batch");
+
+  // Validate up front and size the concatenated arrays.
+  index_t total_rows = 0;
+  index_t total_cols = 0;
+  std::size_t total_nnz = 0;
+  std::size_t total_diag = 0;
+  const CbmKind kind = items[0].graph != nullptr ? items[0].graph->kind()
+                                                 : CbmKind::kPlain;
+  const index_t width =
+      items[0].features != nullptr ? items[0].features->cols() : 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& item = items[i];
+    CBM_CHECK(item.graph != nullptr && item.features != nullptr,
+              "pack_batch: item " + std::to_string(i) + " has a null matrix");
+    CBM_CHECK(item.graph->kind() == kind,
+              "pack_batch: item " + std::to_string(i) +
+                  " has a different CbmKind than item 0 (mixed compression "
+                  "kinds cannot share one block-diagonal multiply)");
+    CBM_CHECK(item.features->cols() == width,
+              "pack_batch: mixed feature widths (item " + std::to_string(i) +
+                  " has " + std::to_string(item.features->cols()) +
+                  " columns, item 0 has " + std::to_string(width) + ")");
+    CBM_CHECK(item.features->rows() == item.graph->cols(),
+              "pack_batch: item " + std::to_string(i) + " features have " +
+                  std::to_string(item.features->rows()) +
+                  " rows but its graph has " +
+                  std::to_string(item.graph->cols()) + " columns");
+    total_rows += item.graph->rows();
+    total_cols += item.graph->cols();
+    total_nnz += static_cast<std::size_t>(item.graph->delta_matrix().nnz());
+    total_diag += item.graph->diagonal().size();
+  }
+
+  PackedBatch<T> packed;
+  packed.row_offsets.reserve(items.size() + 1);
+  packed.row_offsets.push_back(0);
+
+  // Concatenated compression tree: each part keeps its internal parent
+  // edges (shifted by its row offset); rows whose parent was the part's
+  // local virtual root (encoded as the part's row count) re-parent to the
+  // global virtual root (encoded as total_rows).
+  std::vector<index_t> parent(static_cast<std::size_t>(total_rows));
+  // Block-diagonal delta CSR: row pointers accumulate, column indices shift
+  // by each part's column offset.
+  std::vector<offset_t> indptr(static_cast<std::size_t>(total_rows) + 1, 0);
+  std::vector<index_t> indices;
+  indices.reserve(total_nnz);
+  std::vector<T> values;
+  values.reserve(total_nnz);
+  std::vector<T> diag;
+  diag.reserve(total_diag);
+
+  index_t row_off = 0;
+  index_t col_off = 0;
+  for (const auto& item : items) {
+    const CbmMatrix<T>& g = *item.graph;
+    const index_t n = g.rows();
+    const auto& tree = g.tree();
+    for (index_t x = 0; x < n; ++x) {
+      const index_t p = tree.parent(x);
+      parent[static_cast<std::size_t>(row_off + x)] =
+          p == tree.virtual_root() ? total_rows : row_off + p;
+    }
+    const auto& delta = g.delta_matrix();
+    const auto part_indptr = delta.indptr();
+    const offset_t base = static_cast<offset_t>(indices.size());
+    for (index_t x = 0; x < n; ++x) {
+      indptr[static_cast<std::size_t>(row_off + x) + 1] =
+          base + part_indptr[static_cast<std::size_t>(x) + 1];
+    }
+    const auto part_indices = delta.indices();
+    for (const index_t j : part_indices) indices.push_back(col_off + j);
+    const auto part_values = delta.values();
+    values.insert(values.end(), part_values.begin(), part_values.end());
+    diag.insert(diag.end(), g.diagonal().begin(), g.diagonal().end());
+
+    row_off += n;
+    col_off += g.cols();
+    packed.row_offsets.push_back(row_off);
+  }
+
+  auto tree = CompressionTree::from_parents(std::move(parent));
+  CsrMatrix<T> delta(total_rows, total_cols, std::move(indptr),
+                     std::move(indices), std::move(values));
+  packed.cbm = CbmMatrix<T>::from_parts(kind, std::move(tree),
+                                        std::move(delta), std::move(diag));
+
+  // Stack the feature operands: part i's features occupy the operand rows
+  // matching its column block.
+  packed.features = DenseMatrix<T>(total_cols, width);
+  index_t feat_row = 0;
+  for (const auto& item : items) {
+    for (index_t r = 0; r < item.features->rows(); ++r, ++feat_row) {
+      const auto src = item.features->row(r);
+      std::copy(src.begin(), src.end(), packed.features.row(feat_row).begin());
+    }
+  }
+  return packed;
+}
+
+template <typename T>
+void scatter_batch(const DenseMatrix<T>& packed_output,
+                   std::span<const index_t> row_offsets,
+                   std::span<DenseMatrix<T>* const> outputs) {
+  CBM_SPAN("cbm.serve.scatter");
+  CBM_CHECK(row_offsets.size() == outputs.size() + 1,
+            "scatter_batch: row_offsets must have outputs+1 entries");
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    DenseMatrix<T>& out = *outputs[i];
+    const index_t begin = row_offsets[i];
+    const index_t end = row_offsets[i + 1];
+    CBM_CHECK(out.rows() == end - begin &&
+                  out.cols() == packed_output.cols(),
+              "scatter_batch: output " + std::to_string(i) +
+                  " has the wrong shape");
+    for (index_t r = begin; r < end; ++r) {
+      const auto src = packed_output.row(r);
+      std::copy(src.begin(), src.end(), out.row(r - begin).begin());
+    }
+  }
+}
+
+template PackedBatch<float> pack_batch<float>(
+    std::span<const BatchItem<float>>);
+template PackedBatch<double> pack_batch<double>(
+    std::span<const BatchItem<double>>);
+template void scatter_batch<float>(const DenseMatrix<float>&,
+                                   std::span<const index_t>,
+                                   std::span<DenseMatrix<float>* const>);
+template void scatter_batch<double>(const DenseMatrix<double>&,
+                                    std::span<const index_t>,
+                                    std::span<DenseMatrix<double>* const>);
+
+}  // namespace cbm::serve

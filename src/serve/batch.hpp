@@ -1,0 +1,76 @@
+// Block-diagonal batch packing for GNN inference serving.
+//
+// Many small query graphs amortise poorly: each one is a short SpMM that
+// cannot fill the machine. Packing them into one block-diagonal CBM matrix
+//
+//     A_batch = diag(A_1, ..., A_k),   B_batch = [B_1; ...; B_k]
+//
+// turns k tiny multiplies into a single fused SpMM over the whole batch —
+// the compression trees concatenate (each part keeps its own virtual root
+// semantics under a shared global root), the delta CSRs concatenate with a
+// column shift, and the per-row scale diagonals concatenate. scatter_batch
+// then slices the stacked output back into per-request responses.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cbm/cbm_matrix.hpp"
+#include "dense/dense_matrix.hpp"
+
+namespace cbm::serve {
+
+/// One request's slot in a batch: its compressed adjacency (typically a
+/// cache entry) and its feature operand. Both are borrowed; they must
+/// outlive the pack/multiply.
+template <typename T>
+struct BatchItem {
+  const CbmMatrix<T>* graph = nullptr;
+  const DenseMatrix<T>* features = nullptr;
+};
+
+/// A packed batch ready for one fused multiply.
+template <typename T>
+struct PackedBatch {
+  CbmMatrix<T> cbm;         ///< block-diagonal compressed adjacency
+  DenseMatrix<T> features;  ///< vertically stacked feature operands
+  /// Output-row ranges per item (size items+1): item i owns packed output
+  /// rows [row_offsets[i], row_offsets[i+1]).
+  std::vector<index_t> row_offsets;
+};
+
+/// Packs `items` into one block-diagonal CBM plus a stacked operand.
+///
+/// Requirements (violations throw CbmError with the offending item index):
+///  - at least one item, all pointers non-null;
+///  - every graph has the same CbmKind (mixed scaled/plain blocks would
+///    need per-block update semantics the fused engine does not model);
+///  - every features matrix has the same width (they stack into one
+///    operand) and features->rows() == graph->cols().
+///
+/// Single-node graphs and empty delta matrices pack fine — each part's
+/// rows whose parent is its local virtual root re-parent to the shared
+/// global virtual root.
+template <typename T>
+PackedBatch<T> pack_batch(std::span<const BatchItem<T>> items);
+
+/// Slices the packed multiply's output back into per-request outputs.
+/// `outputs[i]` must already be shaped (row_offsets[i+1]-row_offsets[i]) x
+/// packed_output.cols().
+template <typename T>
+void scatter_batch(const DenseMatrix<T>& packed_output,
+                   std::span<const index_t> row_offsets,
+                   std::span<DenseMatrix<T>* const> outputs);
+
+extern template PackedBatch<float> pack_batch<float>(
+    std::span<const BatchItem<float>>);
+extern template PackedBatch<double> pack_batch<double>(
+    std::span<const BatchItem<double>>);
+extern template void scatter_batch<float>(const DenseMatrix<float>&,
+                                          std::span<const index_t>,
+                                          std::span<DenseMatrix<float>* const>);
+extern template void scatter_batch<double>(
+    const DenseMatrix<double>&, std::span<const index_t>,
+    std::span<DenseMatrix<double>* const>);
+
+}  // namespace cbm::serve

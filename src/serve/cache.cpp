@@ -1,0 +1,139 @@
+#include "serve/cache.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "cbm/serialize.hpp"
+#include "obs/obs.hpp"
+
+namespace cbm::serve {
+
+template <typename T>
+AdjacencyCache<T>::AdjacencyCache(std::size_t byte_budget,
+                                  std::string persist_dir)
+    : byte_budget_(byte_budget), persist_dir_(std::move(persist_dir)) {}
+
+template <typename T>
+std::string AdjacencyCache<T>::entry_path(const GraphKey& key) const {
+  if (persist_dir_.empty()) return {};
+  char name[64];
+  std::snprintf(name, sizeof(name), "%016llx-%u-%d.cbmf",
+                static_cast<unsigned long long>(key.fingerprint), key.kind,
+                key.alpha);
+  return persist_dir_ + "/" + name;
+}
+
+template <typename T>
+typename AdjacencyCache<T>::EntryPtr AdjacencyCache<T>::lookup(
+    const GraphKey& key) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      CBM_COUNTER_ADD("cbm.serve.cache.hits", 1);
+      return *it->second;
+    }
+  }
+  // In-memory miss: try the disk tier before making the caller recompress.
+  if (!persist_dir_.empty()) {
+    try {
+      CbmMatrix<T> cbm = load_cbm_file<T>(entry_path(key));
+      if (cbm.rows() == key.rows && cbm.cols() == key.cols &&
+          static_cast<std::uint32_t>(cbm.kind()) == key.kind) {
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.disk_hits;
+        }
+        CBM_COUNTER_ADD("cbm.serve.cache.disk_hits", 1);
+        return insert(key, std::move(cbm));
+      }
+      // Shape/kind disagree with the key: stale or colliding file. Treat as
+      // a miss; the re-insert below will overwrite it.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.disk_errors;
+      CBM_COUNTER_ADD("cbm.serve.cache.disk_errors", 1);
+    } catch (const CbmError&) {
+      // Absent, truncated, or wrong-format file — all degrade to a miss.
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  CBM_COUNTER_ADD("cbm.serve.cache.misses", 1);
+  return nullptr;
+}
+
+template <typename T>
+typename AdjacencyCache<T>::EntryPtr AdjacencyCache<T>::insert(
+    const GraphKey& key, CbmMatrix<T> cbm) {
+  auto entry = std::make_shared<CacheEntry<T>>(key, std::move(cbm));
+  if (!persist_dir_.empty()) {
+    try {
+      save_cbm_file(entry_path(key), entry->cbm());
+    } catch (const CbmError&) {
+      // Persistence is an optimisation tier: an unwritable directory must
+      // not fail the request that compressed the graph.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.disk_errors;
+      CBM_COUNTER_ADD("cbm.serve.cache.disk_errors", 1);
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // First writer wins: a concurrent compression of the same graph already
+    // landed. Return the resident entry so plan memoisation stays shared.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return *it->second;
+  }
+  lru_.push_front(entry);
+  index_.emplace(key, lru_.begin());
+  bytes_ += entry->bytes();
+  evict_over_budget_locked();
+  stats_.entries = index_.size();
+  stats_.bytes = bytes_;
+  CBM_GAUGE_SET("cbm.serve.cache.bytes", static_cast<std::int64_t>(bytes_));
+  CBM_GAUGE_SET("cbm.serve.cache.entries",
+                static_cast<std::int64_t>(index_.size()));
+  return entry;
+}
+
+template <typename T>
+void AdjacencyCache<T>::evict_over_budget_locked() {
+  // Never evict the MRU entry (the one just inserted/touched): a single
+  // over-budget graph still has to be servable.
+  while (bytes_ > byte_budget_ && lru_.size() > 1) {
+    const EntryPtr& victim = lru_.back();
+    bytes_ -= victim->bytes();
+    index_.erase(victim->key());
+    lru_.pop_back();
+    ++stats_.evictions;
+    CBM_COUNTER_ADD("cbm.serve.cache.evictions", 1);
+  }
+}
+
+template <typename T>
+void AdjacencyCache<T>::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  stats_.entries = 0;
+  stats_.bytes = 0;
+  CBM_GAUGE_SET("cbm.serve.cache.bytes", 0);
+  CBM_GAUGE_SET("cbm.serve.cache.entries", 0);
+}
+
+template <typename T>
+typename AdjacencyCache<T>::Stats AdjacencyCache<T>::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+template class CacheEntry<float>;
+template class CacheEntry<double>;
+template class AdjacencyCache<float>;
+template class AdjacencyCache<double>;
+
+}  // namespace cbm::serve

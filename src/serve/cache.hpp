@@ -1,0 +1,141 @@
+// Compressed-adjacency cache — the serving layer's reason to exist.
+//
+// Compression is the expensive step of the CBM pipeline (distance graph +
+// MCA solve), and production inference sees the same graphs over and over;
+// the cache makes every request after the first pay only the multiply. It
+// is an LRU over GraphKey with a byte budget, an optional on-disk
+// persistence tier (serialize.hpp — entries survive process restarts), and
+// per-entry memoised execution plans so a cached graph skips re-planning as
+// well as recompression.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cbm/cbm_matrix.hpp"
+#include "serve/fingerprint.hpp"
+
+namespace cbm::serve {
+
+/// One cached compressed adjacency.
+template <typename T>
+class CacheEntry {
+ public:
+  CacheEntry(GraphKey key, CbmMatrix<T> cbm)
+      : key_(key), cbm_(std::move(cbm)), bytes_(cbm_.bytes()) {}
+
+  [[nodiscard]] const GraphKey& key() const { return key_; }
+  [[nodiscard]] const CbmMatrix<T>& cbm() const { return cbm_; }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+
+  /// The resolved MultiplySchedule for operands of width `bcols`, memoised
+  /// per entry: the first request of a given width pays plan resolution
+  /// (tuning-cache lookup / probe / analytic policy via `resolve`), every
+  /// later one reuses the decision — cached graphs skip re-planning exactly
+  /// as they skip recompression. Thread-safe.
+  MultiplySchedule plan_for(
+      index_t bcols,
+      const std::function<MultiplySchedule(const CbmMatrix<T>&)>& resolve) {
+    const std::lock_guard<std::mutex> lock(plan_mutex_);
+    const auto it = plans_.find(bcols);
+    if (it != plans_.end()) return it->second;
+    const MultiplySchedule plan = resolve(cbm_);
+    plans_.emplace(bcols, plan);
+    return plan;
+  }
+
+  /// Number of widths with a memoised plan (tests / stats).
+  [[nodiscard]] std::size_t plans_resolved() {
+    const std::lock_guard<std::mutex> lock(plan_mutex_);
+    return plans_.size();
+  }
+
+ private:
+  GraphKey key_;
+  CbmMatrix<T> cbm_;
+  std::size_t bytes_ = 0;
+  std::mutex plan_mutex_;
+  std::unordered_map<index_t, MultiplySchedule> plans_;
+};
+
+/// LRU cache of compressed adjacencies with a byte budget and an optional
+/// disk tier. Thread-safe; entries are handed out as shared_ptr so an
+/// eviction never invalidates a multiply in flight.
+///
+/// Byte accounting covers the CBM payloads (CbmMatrix::bytes()). Inserting
+/// over budget evicts least-recently-used entries until the new entry fits;
+/// a single entry larger than the whole budget is still admitted (a cache
+/// that cannot hold its only working graph would be useless) and simply
+/// evicts everything else.
+///
+/// When `persist_dir` is set, inserts write the entry through to
+/// `<dir>/<fingerprint>-<kind>-<alpha>.cbmf` and lookups that miss in
+/// memory try that file before reporting a miss — the persistence tier
+/// outlives the process. Disk entries are verified against the key's shape
+/// on load; unreadable or mismatched files degrade to a miss (and the
+/// cbm.serve.cache.disk_errors counter), never to an exception.
+template <typename T>
+class AdjacencyCache {
+ public:
+  using EntryPtr = std::shared_ptr<CacheEntry<T>>;
+
+  struct Stats {
+    std::uint64_t hits = 0;        ///< in-memory lookup hits
+    std::uint64_t misses = 0;      ///< full misses (caller must compress)
+    std::uint64_t evictions = 0;   ///< entries dropped for the byte budget
+    std::uint64_t disk_hits = 0;   ///< misses satisfied by the disk tier
+    std::uint64_t disk_errors = 0; ///< unreadable/mismatched disk entries
+    std::size_t entries = 0;       ///< current resident entry count
+    std::size_t bytes = 0;         ///< current resident payload bytes
+  };
+
+  explicit AdjacencyCache(std::size_t byte_budget,
+                          std::string persist_dir = "");
+
+  /// Finds the entry for `key`, consulting the disk tier on an in-memory
+  /// miss. Returns nullptr on a full miss. Hits move the entry to the MRU
+  /// position.
+  EntryPtr lookup(const GraphKey& key);
+
+  /// Inserts a freshly compressed adjacency (write-through to the disk tier
+  /// when configured), evicting LRU entries as needed. If the key is
+  /// already resident the existing entry is returned instead (first writer
+  /// wins — concurrent compressions of the same graph converge).
+  EntryPtr insert(const GraphKey& key, CbmMatrix<T> cbm);
+
+  /// Drops every in-memory entry (the disk tier is left alone).
+  void clear();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t byte_budget() const { return byte_budget_; }
+
+  /// Disk-tier file for a key (empty when persistence is off) — exposed for
+  /// tests and cbmprof-style tooling.
+  [[nodiscard]] std::string entry_path(const GraphKey& key) const;
+
+ private:
+  void evict_over_budget_locked();
+
+  const std::size_t byte_budget_;
+  const std::string persist_dir_;
+
+  mutable std::mutex mutex_;
+  /// MRU at the front. The list owns the entry handles; the map indexes it.
+  std::list<EntryPtr> lru_;
+  std::unordered_map<GraphKey, typename std::list<EntryPtr>::iterator,
+                     GraphKeyHash>
+      index_;
+  std::size_t bytes_ = 0;
+  Stats stats_;
+};
+
+extern template class CacheEntry<float>;
+extern template class CacheEntry<double>;
+extern template class AdjacencyCache<float>;
+extern template class AdjacencyCache<double>;
+
+}  // namespace cbm::serve

@@ -1,0 +1,33 @@
+#include "serve/fingerprint.hpp"
+
+namespace cbm::serve {
+
+std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                      std::uint64_t seed) {
+  constexpr std::uint64_t kPrime = 0x100000001B3ull;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t graph_fingerprint(const CsrMatrix<T>& a) {
+  const std::int64_t header[2] = {a.rows(), a.cols()};
+  std::uint64_t h = fnv1a64(header, sizeof(header));
+  const auto indptr = a.indptr();
+  h = fnv1a64(indptr.data(), indptr.size_bytes(), h);
+  const auto indices = a.indices();
+  h = fnv1a64(indices.data(), indices.size_bytes(), h);
+  const auto values = a.values();
+  h = fnv1a64(values.data(), values.size_bytes(), h);
+  return h;
+}
+
+template std::uint64_t graph_fingerprint<float>(const CsrMatrix<float>&);
+template std::uint64_t graph_fingerprint<double>(const CsrMatrix<double>&);
+
+}  // namespace cbm::serve

@@ -1,0 +1,77 @@
+// Graph fingerprints and cache keys for the serving layer.
+//
+// The adjacency cache (serve/cache.hpp) must recognise "the same graph
+// again" across requests without holding the raw adjacency: a 64-bit FNV-1a
+// digest over the CSR arrays is the recognition handle, and the full
+// GraphKey — fingerprint plus the exact shape/nnz and the compression
+// recipe — is the equality key, so a fingerprint collision degrades to a
+// cache miss, never to serving the wrong graph's aggregation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace cbm::serve {
+
+/// 64-bit FNV-1a over a byte range, chainable via `seed` (pass the previous
+/// digest to extend it).
+std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                      std::uint64_t seed = 0xCBF29CE484222325ull);
+
+/// Digest of a CSR adjacency: shape, indptr, indices, and values. Two
+/// structurally identical matrices fingerprint equally regardless of how
+/// they were built.
+template <typename T>
+std::uint64_t graph_fingerprint(const CsrMatrix<T>& a);
+
+/// Full identity of a cached compressed adjacency: the content digest plus
+/// everything that changes the compressed artefact — shape, nnz, the CBM
+/// kind the serving mode compresses to, and the pruning threshold α. All
+/// fields participate in equality, so entries whose fingerprints collide
+/// still resolve correctly (to a miss).
+struct GraphKey {
+  std::uint64_t fingerprint = 0;
+  index_t rows = 0;
+  index_t cols = 0;
+  std::int64_t nnz = 0;
+  std::uint32_t kind = 0;  ///< CbmKind the entry was compressed as
+  std::int32_t alpha = 0;  ///< CbmOptions::alpha used for compression
+
+  bool operator==(const GraphKey&) const = default;
+};
+
+/// Key for a request's adjacency under a given compression recipe.
+template <typename T>
+GraphKey make_graph_key(const CsrMatrix<T>& a, std::uint32_t kind,
+                        std::int32_t alpha) {
+  GraphKey key;
+  key.fingerprint = graph_fingerprint(a);
+  key.rows = a.rows();
+  key.cols = a.cols();
+  key.nnz = static_cast<std::int64_t>(a.nnz());
+  key.kind = kind;
+  key.alpha = alpha;
+  return key;
+}
+
+struct GraphKeyHash {
+  std::size_t operator()(const GraphKey& key) const {
+    // The fingerprint already mixes the content; fold in the recipe fields
+    // so distinct kinds of the same graph land in distinct buckets.
+    std::uint64_t h = key.fingerprint;
+    h = fnv1a64(&key.kind, sizeof(key.kind), h);
+    h = fnv1a64(&key.alpha, sizeof(key.alpha), h);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+extern template std::uint64_t graph_fingerprint<float>(
+    const CsrMatrix<float>&);
+extern template std::uint64_t graph_fingerprint<double>(
+    const CsrMatrix<double>&);
+
+}  // namespace cbm::serve

@@ -1,0 +1,285 @@
+#include "serve/serve.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <map>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "serve/batch.hpp"
+#include "sparse/scale.hpp"
+
+namespace cbm::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+/// A submitted request in flight through the pipeline.
+struct ServeContext::Pending {
+  Request request;
+  std::promise<Response> promise;
+  Clock::time_point submitted;
+  Clock::time_point picked_up;
+  // Filled by the worker:
+  typename AdjacencyCache<real_t>::EntryPtr entry;
+  bool cache_hit = false;
+  bool failed = false;
+};
+
+ServeContext::ServeContext(ServeOptions options)
+    : options_(std::move(options)),
+      runtime_(options_.runtime ? *options_.runtime : RuntimeConfig::from_env()),
+      cache_(options_.cache_bytes, options_.cache_dir),
+      ring_(options_.queue_capacity) {
+  CBM_CHECK(options_.max_batch >= 1, "ServeContext: max_batch must be >= 1");
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+ServeContext::~ServeContext() {
+  stop_.store(true, std::memory_order_release);
+  // Wake the worker even if the ring is empty so it can observe stop_.
+  items_.release();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::future<Response> ServeContext::submit(Request request) {
+  auto pending = std::make_unique<Pending>();
+  pending->request = std::move(request);
+  pending->submitted = Clock::now();
+  std::future<Response> future = pending->promise.get_future();
+
+  Pending* raw = pending.release();  // ownership passes through the ring
+  {
+    const std::lock_guard<std::mutex> lock(submit_mutex_);
+    while (!ring_.try_push(raw)) {
+      // Backpressure: the bounded ring is the admission control. Yield to
+      // the worker rather than growing an unbounded queue.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  submitted_.fetch_add(1, std::memory_order_release);
+  CBM_COUNTER_ADD("cbm.serve.requests", 1);
+  CBM_GAUGE_SET("cbm.serve.queue_depth",
+                static_cast<std::int64_t>(ring_.size_approx()));
+  items_.release();
+  return future;
+}
+
+Response ServeContext::infer(Request request) {
+  return submit(std::move(request)).get();
+}
+
+void ServeContext::flush() {
+  const std::uint64_t target = submitted_.load(std::memory_order_acquire);
+  while (completed_.load(std::memory_order_acquire) < target) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+ServeStats ServeContext::stats() const {
+  const auto cache = cache_.stats();
+  ServeStats s;
+  s.requests = completed_.load(std::memory_order_acquire);
+  s.batches = batches_.load(std::memory_order_acquire);
+  s.cache_hits = cache.hits;
+  s.cache_misses = cache.misses;
+  s.cache_evictions = cache.evictions;
+  s.cache_disk_hits = cache.disk_hits;
+  return s;
+}
+
+void ServeContext::worker_loop() {
+  std::vector<Pending*> batch;
+  while (true) {
+    // Block for the first item (or the stop signal) …
+    items_.acquire();
+    batch.clear();
+    Pending* p = nullptr;
+    if (ring_.try_pop(p)) batch.push_back(p);
+    // … then drain whatever else is already queued, up to max_batch. Each
+    // successful pop consumes the matching semaphore token.
+    while (static_cast<int>(batch.size()) < options_.max_batch &&
+           items_.try_acquire()) {
+      if (!ring_.try_pop(p)) {
+        // Token without an item: this was the destructor's wake-up token.
+        items_.release();
+        break;
+      }
+      batch.push_back(p);
+    }
+    if (!batch.empty()) process_batch(batch);
+    if (stop_.load(std::memory_order_acquire) && ring_.empty_approx() &&
+        completed_.load(std::memory_order_acquire) >=
+            submitted_.load(std::memory_order_acquire)) {
+      return;
+    }
+  }
+}
+
+void ServeContext::process_batch(std::vector<Pending*>& batch) {
+  CBM_SPAN("cbm.serve.batch");
+  CBM_COUNTER_ADD("cbm.serve.batches", 1);
+  CBM_TIMING_RECORD("cbm.serve.batch_size",
+                    static_cast<double>(batch.size()));
+  batches_.fetch_add(1, std::memory_order_release);
+  const auto now = Clock::now();
+  for (Pending* p : batch) p->picked_up = now;
+
+  // Requests only fuse when their operands stack: group by feature width,
+  // preserving arrival order within each group.
+  std::map<index_t, std::vector<Pending*>> groups;
+  for (Pending* p : batch) groups[p->request.features.cols()].push_back(p);
+  for (auto& [width, group] : groups) process_group(group);
+}
+
+void ServeContext::process_group(std::vector<Pending*>& group) {
+  const std::uint32_t kind = static_cast<std::uint32_t>(
+      options_.gcn_normalize ? CbmKind::kSymScaled : CbmKind::kPlain);
+
+  // Stage 1 — resolve every adjacency to a cache entry, compressing on
+  // miss. Failures here are per-request: a bad adjacency fails its own
+  // future and drops out of the batch.
+  for (Pending* p : group) {
+    try {
+      const Request& req = p->request;
+      CBM_CHECK(req.features.rows() == req.adjacency.cols(),
+                "serve: features have " + std::to_string(req.features.rows()) +
+                    " rows but the adjacency has " +
+                    std::to_string(req.adjacency.cols()) + " columns");
+      const GraphKey key =
+          make_graph_key(req.adjacency, kind, options_.compress.alpha);
+      p->entry = cache_.lookup(key);
+      p->cache_hit = p->entry != nullptr;
+      if (!p->entry) {
+        CBM_SPAN("cbm.serve.compress");
+        CbmMatrix<real_t> cbm;
+        if (options_.gcn_normalize) {
+          // GCN propagation: compress D^-1/2 (A+I) D^-1/2 from the raw
+          // binary adjacency (degrees of A+I are >= 1, so the inverse
+          // square roots are finite).
+          const CsrMatrix<real_t> a_hat = add_identity(req.adjacency);
+          const index_t n = a_hat.rows();
+          std::vector<real_t> dinv(static_cast<std::size_t>(n));
+          const auto indptr = a_hat.indptr();
+          for (index_t v = 0; v < n; ++v) {
+            const auto deg = indptr[static_cast<std::size_t>(v) + 1] -
+                             indptr[static_cast<std::size_t>(v)];
+            dinv[static_cast<std::size_t>(v)] =
+                real_t{1} / std::sqrt(static_cast<real_t>(deg));
+          }
+          cbm = CbmMatrix<real_t>::compress_scaled(
+              a_hat, dinv, CbmKind::kSymScaled, options_.compress);
+        } else {
+          cbm = CbmMatrix<real_t>::compress(req.adjacency, options_.compress);
+        }
+        p->entry = cache_.insert(key, std::move(cbm));
+      }
+    } catch (...) {
+      p->failed = true;
+      p->promise.set_exception(std::current_exception());
+      completed_.fetch_add(1, std::memory_order_release);
+    }
+  }
+  std::vector<Pending*> live;
+  live.reserve(group.size());
+  for (Pending* p : group) {
+    if (!p->failed) live.push_back(p);
+  }
+  if (live.empty()) {
+    for (Pending* p : group) delete p;
+    return;
+  }
+
+  // Stage 2 — one fused multiply for the group.
+  try {
+    std::vector<DenseMatrix<real_t>> outputs(live.size());
+    if (live.size() == 1) {
+      // Single request: use the entry's memoised plan so warm traffic skips
+      // plan resolution along with compression.
+      Pending* p = live.front();
+      const CbmMatrix<real_t>& cbm = p->entry->cbm();
+      outputs[0] = DenseMatrix<real_t>(cbm.rows(), p->request.features.cols());
+      const MultiplySchedule plan = p->entry->plan_for(
+          p->request.features.cols(),
+          [&](const CbmMatrix<real_t>& m) {
+            return m.resolve_plan(p->request.features, outputs[0], runtime_)
+                .plan.schedule;
+          });
+      CBM_SPAN("cbm.serve.multiply");
+      MultiplyOptions mopts = MultiplyOptions::with_plan(plan);
+      mopts.runtime = &runtime_;
+      cbm.multiply(p->request.features, outputs[0], mopts);
+    } else {
+      std::vector<BatchItem<real_t>> items;
+      items.reserve(live.size());
+      for (Pending* p : live) {
+        items.push_back({&p->entry->cbm(), &p->request.features});
+      }
+      PackedBatch<real_t> packed =
+          pack_batch(std::span<const BatchItem<real_t>>(items));
+      DenseMatrix<real_t> packed_out(packed.cbm.rows(),
+                                     packed.features.cols());
+      {
+        CBM_SPAN("cbm.serve.multiply");
+        // Batch shapes vary call to call; the analytic plan from the
+        // context's config (fused engine unless a path is forced) avoids
+        // re-probing the tuner per batch.
+        MultiplySchedule plan = MultiplySchedule::from_config(runtime_);
+        if (!runtime_.multiply_path || runtime_.multiply_path->empty()) {
+          plan.path = MultiplyPath::kFusedTiled;
+        }
+        MultiplyOptions mopts = MultiplyOptions::with_plan(plan);
+        mopts.runtime = &runtime_;
+        packed.cbm.multiply(packed.features, packed_out, mopts);
+      }
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        outputs[i] = DenseMatrix<real_t>(
+            packed.row_offsets[i + 1] - packed.row_offsets[i],
+            packed_out.cols());
+      }
+      std::vector<DenseMatrix<real_t>*> out_ptrs(outputs.size());
+      for (std::size_t i = 0; i < outputs.size(); ++i) {
+        out_ptrs[i] = &outputs[i];
+      }
+      scatter_batch(packed_out,
+                    std::span<const index_t>(packed.row_offsets),
+                    std::span<DenseMatrix<real_t>* const>(out_ptrs));
+      CBM_COUNTER_ADD("cbm.serve.batched_requests",
+                      static_cast<std::int64_t>(live.size()));
+    }
+
+    const auto done = Clock::now();
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      Pending* p = live[i];
+      Response resp;
+      resp.id = p->request.id;
+      resp.output = std::move(outputs[i]);
+      resp.cache_hit = p->cache_hit;
+      resp.batch_size = static_cast<int>(live.size());
+      resp.queue_seconds = seconds_between(p->submitted, p->picked_up);
+      resp.total_seconds = seconds_between(p->submitted, done);
+      CBM_TIMING_RECORD("cbm.serve.latency", resp.total_seconds);
+      p->promise.set_value(std::move(resp));
+      completed_.fetch_add(1, std::memory_order_release);
+    }
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (Pending* p : live) {
+      p->promise.set_exception(error);
+      completed_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  for (Pending* p : group) delete p;
+}
+
+}  // namespace cbm::serve

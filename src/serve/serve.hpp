@@ -1,0 +1,142 @@
+// cbm::serve — batched, cached, concurrent GNN inference serving.
+//
+// ServeContext is the public face of the serving subsystem: callers submit
+// (adjacency, features) requests and get back futures for op(A)·X. Behind
+// the API sits the full pipeline the rest of src/serve/ provides:
+//
+//   submit() ──SPSC ring──► batching worker ──OpenMP──► fused SpMM
+//                               │
+//                               ├─ AdjacencyCache: fingerprint lookup; only
+//                               │  first-seen graphs pay compression, and
+//                               │  cached graphs reuse memoised plans
+//                               └─ pack_batch: co-pending requests of one
+//                                  feature width merge into a block-diagonal
+//                                  CBM for a single batched multiply
+//
+// Every stage emits cbm.serve.* spans/counters, so a cbmprof report shows
+// exactly where a request's latency went and whether the cache is doing its
+// job (warm traffic must show no cbm.compress spans).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cbm/cbm_matrix.hpp"
+#include "common/envknobs.hpp"
+#include "common/types.hpp"
+#include "dense/dense_matrix.hpp"
+#include "serve/cache.hpp"
+#include "serve/spsc_queue.hpp"
+
+namespace cbm::serve {
+
+/// One inference request: aggregate `features` over `adjacency`.
+/// The adjacency must be a binary, sorted-row CSR matrix (the compression
+/// contract); with ServeOptions::gcn_normalize it must also be square.
+struct Request {
+  std::uint64_t id = 0;
+  CsrMatrix<real_t> adjacency;
+  DenseMatrix<real_t> features;
+};
+
+/// The served result plus the per-request telemetry a latency SLO needs.
+struct Response {
+  std::uint64_t id = 0;
+  DenseMatrix<real_t> output;   ///< op(A)·X, adjacency.rows() x features.cols()
+  bool cache_hit = false;       ///< adjacency came from the cache
+  int batch_size = 0;           ///< requests fused into this multiply
+  double queue_seconds = 0.0;   ///< submit → worker pickup
+  double total_seconds = 0.0;   ///< submit → response ready
+};
+
+/// Context-wide configuration, resolved once at construction.
+struct ServeOptions {
+  /// Adjacency-cache byte budget (compressed payload bytes).
+  std::size_t cache_bytes = std::size_t{256} << 20;
+  /// Directory for the cache's persistence tier; empty disables it.
+  std::string cache_dir;
+  /// Max requests fused into one block-diagonal multiply.
+  int max_batch = 16;
+  /// SPSC ring capacity (rounded up to a power of two). submit() applies
+  /// backpressure — blocks briefly, then retries — when the ring is full.
+  std::size_t queue_capacity = 256;
+  /// When true, serve D^-1/2 (A+I) D^-1/2 · X (the GCN propagation rule,
+  /// compressed as kSymScaled) instead of raw A·X; adjacencies must be
+  /// square.
+  bool gcn_normalize = false;
+  /// Compression recipe for cache misses; alpha participates in GraphKey.
+  CbmOptions compress{};
+  /// Execution knobs. Disengaged: snapshot the CBM_* environment once at
+  /// construction (the serving path never re-reads env per request).
+  std::optional<RuntimeConfig> runtime;
+};
+
+/// Aggregate context statistics (monotonic since construction).
+struct ServeStats {
+  std::uint64_t requests = 0;  ///< responses delivered (incl. failures)
+  std::uint64_t batches = 0;   ///< fused multiplies executed
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_disk_hits = 0;
+};
+
+/// The serving engine. Owns the ingest ring, the batching worker thread,
+/// and the adjacency cache; thread-safe for concurrent submit().
+///
+/// Failure isolation: a request whose adjacency violates the compression
+/// contract (or whose shapes disagree) fails its own future with CbmError;
+/// the batch it rode in on is unaffected.
+class ServeContext {
+ public:
+  explicit ServeContext(ServeOptions options = {});
+  /// Stops the worker after draining every submitted request.
+  ~ServeContext();
+
+  ServeContext(const ServeContext&) = delete;
+  ServeContext& operator=(const ServeContext&) = delete;
+
+  /// Enqueues a request; the future resolves when its batch completes.
+  std::future<Response> submit(Request request);
+
+  /// Synchronous convenience: submit + wait.
+  Response infer(Request request);
+
+  /// Blocks until every request submitted so far has been answered.
+  void flush();
+
+  [[nodiscard]] ServeStats stats() const;
+  [[nodiscard]] const ServeOptions& options() const { return options_; }
+  /// The execution config the context resolved at construction.
+  [[nodiscard]] const RuntimeConfig& runtime() const { return runtime_; }
+
+ private:
+  struct Pending;
+
+  void worker_loop();
+  void process_batch(std::vector<Pending*>& batch);
+  void process_group(std::vector<Pending*>& group);
+
+  ServeOptions options_;
+  RuntimeConfig runtime_;
+  AdjacencyCache<real_t> cache_;
+  SpscRing<Pending*> ring_;
+
+  std::mutex submit_mutex_;  ///< serialises producers onto the SPSC ring
+  std::counting_semaphore<> items_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::thread worker_;
+};
+
+}  // namespace cbm::serve

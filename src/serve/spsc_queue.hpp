@@ -1,0 +1,74 @@
+// Single-producer/single-consumer lock-free ring buffer.
+//
+// The serving pipeline's hand-off: the ingest thread pushes accepted
+// requests, the batching worker pops them. One atomic load+store per
+// operation, acquire/release pairing only (no seq_cst, no CAS), with the
+// head and tail counters on separate cache lines so the producer and
+// consumer never false-share.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cbm::serve {
+
+/// Bounded SPSC ring of `T`. Capacity is rounded up to a power of two so
+/// the slot index is a mask, not a modulo. Exactly one thread may call
+/// try_push and exactly one may call try_pop; wrap the producer side in a
+/// mutex (as ServeContext does) to admit multiple submitters.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    CBM_CHECK(capacity > 0, "SpscRing: capacity must be positive");
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Actual (rounded-up) capacity.
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(T value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    // Cursors run free (never wrap to the mask), so tail-head is the exact
+    // element count and all capacity() slots are usable.
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate — exact only when called from the producer or
+  /// consumer thread; advisory elsewhere (queue-depth gauge).
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  [[nodiscard]] bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+};
+
+}  // namespace cbm::serve

@@ -32,15 +32,17 @@ std::string default_cache_path() {
 
 }  // namespace
 
-TuneMode tune_mode_from_env() {
-  const char* v = std::getenv("CBM_TUNE");
-  if (v == nullptr || *v == '\0') return TuneMode::kOff;
-  const std::string_view s(v);
-  if (s == "off") return TuneMode::kOff;
+TuneMode tune_mode_from_config(const RuntimeConfig& config) {
+  const std::string_view s(config.tune_mode);
+  if (s.empty() || s == "off") return TuneMode::kOff;
   if (s == "on") return TuneMode::kOn;
   if (s == "force") return TuneMode::kForce;
   throw CbmError("CBM_TUNE: unknown value '" + std::string(s) +
                  "' (expected off | on | force)");
+}
+
+TuneMode tune_mode_from_env() {
+  return tune_mode_from_config(RuntimeConfig::from_env());
 }
 
 std::string ShapeKey::fingerprint() const {
@@ -134,8 +136,8 @@ void Tuner::set_cache_path(std::string path) {
 std::string Tuner::cache_path() {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!path_resolved_) {
-    const char* v = std::getenv("CBM_TUNE_CACHE");
-    path_ = v != nullptr ? v : default_cache_path();
+    const auto configured = RuntimeConfig::from_env().tune_cache;
+    path_ = configured ? *configured : default_cache_path();
     path_resolved_ = true;
   }
   return path_;
@@ -145,8 +147,8 @@ void Tuner::ensure_loaded_locked() {
   if (loaded_) return;
   loaded_ = true;
   if (!path_resolved_) {
-    const char* v = std::getenv("CBM_TUNE_CACHE");
-    path_ = v != nullptr ? v : default_cache_path();
+    const auto configured = RuntimeConfig::from_env().tune_cache;
+    path_ = configured ? *configured : default_cache_path();
     path_resolved_ = true;
   }
   if (path_.empty()) return;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cbm/multiply_plan.hpp"
+#include "common/envknobs.hpp"
 #include "common/types.hpp"
 #include "common/vectorops.hpp"
 
@@ -39,8 +40,13 @@ enum class TuneMode {
   kForce,  ///< always probe, refreshing any cached entry
 };
 
-/// Reads CBM_TUNE (off | on | force; unset/empty = off). Unknown values
-/// throw — a mistyped knob must not silently change what gets benchmarked.
+/// Tune mode named by a RuntimeConfig (off | on | force; empty = off).
+/// Unknown values throw — a mistyped knob must not silently change what
+/// gets benchmarked.
+TuneMode tune_mode_from_config(const RuntimeConfig& config);
+
+/// Reads CBM_TUNE: exactly `tune_mode_from_config(RuntimeConfig::from_env())`
+/// — RuntimeConfig is the single point that touches the environment.
 TuneMode tune_mode_from_env();
 
 /// One candidate execution plan: the engine schedule plus the SIMD kernel

@@ -188,6 +188,102 @@ TEST(MultiplySchedule, FromEnvThrowsOnUnknownValue) {
   }
 }
 
+TEST(MultiplySchedule, FromConfigUsesCarriedStringsWithoutEnv) {
+  // from_config must resolve entirely from the explicit RuntimeConfig —
+  // poison the ambient env to prove it is never consulted.
+  const EnvGuard path("CBM_MULTIPLY_PATH", "not-a-path");
+  RuntimeConfig config;
+  config.multiply_path = "fused";
+  config.spmm_schedule = "row_dynamic";
+  config.update_schedule = "column_split";
+  config.tile_cols = 48;
+  const auto s = MultiplySchedule::from_config(config);
+  EXPECT_EQ(s.path, MultiplyPath::kFusedTiled);
+  EXPECT_EQ(s.spmm, SpmmSchedule::kRowDynamic);
+  EXPECT_EQ(s.update, UpdateSchedule::kColumnSplit);
+  EXPECT_EQ(s.tile_cols, 48);
+}
+
+TEST(MultiplySchedule, FromConfigRejectsUnknownVocab) {
+  RuntimeConfig config;
+  config.multiply_path = "warp";
+  EXPECT_THROW(MultiplySchedule::from_config(config), CbmError);
+}
+
+TEST(MultiplyOptions, DefaultOptionsEqualLegacyDefaultMultiply) {
+  const index_t n = 72;
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto f = make_kind_fixture(CbmKind::kSymScaled, n, 2, seed);
+  const auto b = test::random_dense<float>(n, 10, test::auto_seed(1));
+  DenseMatrix<float> c_options(n, 10), c_legacy(n, 10);
+  f.cbm.multiply(b, c_options);  // binds to the MultiplyOptions overload
+  f.cbm.multiply(b, c_legacy, MultiplySchedule::two_stage());
+  EXPECT_TRUE(allclose(c_options, c_legacy, 1e-6, 1e-7));
+}
+
+TEST(MultiplyOptions, ColumnsFactoryEqualsMultiplyColumns) {
+  const index_t n = 72;
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto f = make_kind_fixture(CbmKind::kPlain, n, 2, seed);
+  const auto b = test::random_dense<float>(n, 12, test::auto_seed(1));
+  const auto plan = MultiplySchedule::two_stage();
+  DenseMatrix<float> c_options(n, 12), c_legacy(n, 12);
+  f.cbm.multiply(b, c_options, MultiplyOptions::columns(3, 9, plan));
+  f.cbm.multiply_columns(b, c_legacy, 3, 9, plan);
+  EXPECT_TRUE(allclose(c_options, c_legacy, 1e-6, 1e-7));
+  // Only the panel is written.
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < 12; ++j) {
+      if (j < 3 || j >= 9) EXPECT_EQ(c_options(i, j), 0.0f);
+    }
+  }
+}
+
+TEST(MultiplyOptions, AutoPlanEqualsMultiplyAuto) {
+  const EnvGuard tune("CBM_TUNE");  // analytic policy on both paths
+  const EnvGuard path("CBM_MULTIPLY_PATH");
+  const index_t n = 72;
+  const auto f = make_kind_fixture(CbmKind::kPlain, n, 2, test::auto_seed());
+  const auto b = test::random_dense<float>(n, 10, test::auto_seed(1));
+  DenseMatrix<float> c_options(n, 10), c_auto(n, 10), c_ref(n, 10);
+  f.cbm.multiply(b, c_options, MultiplyOptions::auto_plan());
+  f.cbm.multiply_auto(b, c_auto);
+  f.cbm.multiply(b, c_ref, MultiplySchedule::two_stage());
+  EXPECT_TRUE(allclose(c_options, c_auto, 1e-6, 1e-7));
+  EXPECT_TRUE(allclose(c_options, c_ref, 1e-5, 1e-6));
+}
+
+TEST(MultiplyOptions, ExplicitRuntimeConfigBypassesAmbientEnv) {
+  // An auto-resolving multiply carrying its own RuntimeConfig must succeed
+  // even when the ambient environment holds a value that would make
+  // from_env() throw — proof the serving layer's resolve-once contract
+  // holds on the multiply path.
+  const EnvGuard poison("CBM_MULTIPLY_PATH", "not-a-path");
+  const index_t n = 48;
+  const auto f = make_kind_fixture(CbmKind::kPlain, n, 2, test::auto_seed());
+  const auto b = test::random_dense<float>(n, 8, test::auto_seed(1));
+  DenseMatrix<float> c(n, 8), c_ref(n, 8);
+  RuntimeConfig config;  // defaults; never reads env
+  MultiplyOptions options = MultiplyOptions::auto_plan();
+  options.runtime = &config;
+  f.cbm.multiply(b, c, options);
+  f.cbm.multiply(b, c_ref, MultiplySchedule::two_stage());
+  EXPECT_TRUE(allclose(c, c_ref, 1e-5, 1e-6));
+}
+
+TEST(MultiplyOptions, FullValidationPassesOnSoundMatrix) {
+  const index_t n = 48;
+  const auto f = make_kind_fixture(CbmKind::kSymScaled, n, 2,
+                                   test::auto_seed());
+  const auto b = test::random_dense<float>(n, 8, test::auto_seed(1));
+  DenseMatrix<float> c(n, 8);
+  MultiplyOptions options;
+  options.validate = MultiplyValidate::kFull;
+  EXPECT_NO_THROW(f.cbm.multiply(b, c, options));
+}
+
 TEST(CacheInfo, DetectReportsPositiveSizes) {
   const CacheInfo& info = CacheInfo::host();
   EXPECT_GT(info.l1d_bytes, 0u);

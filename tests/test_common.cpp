@@ -443,6 +443,72 @@ TEST(EnvKnobs, TileColsValidatedCentrally) {
   }
 }
 
+TEST(RuntimeConfig, FromEnvDefaultsWhenUnset) {
+  const EnvGuard e1("CBM_MULTIPLY_PATH");
+  const EnvGuard e2("CBM_SPMM_SCHEDULE");
+  const EnvGuard e3("CBM_UPDATE_SCHEDULE");
+  const EnvGuard e4("CBM_TILE_COLS");
+  const EnvGuard e5("CBM_TUNE");
+  const EnvGuard e6("CBM_TUNE_CACHE");
+  const EnvGuard e7("CBM_PART_EXEC");
+  const EnvGuard e8("CBM_NUMA");
+  const EnvGuard e9("CBM_EXEC_GRAIN");
+  const EnvGuard e10("CBM_PERF");
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  EXPECT_FALSE(cfg.multiply_path.has_value());
+  EXPECT_FALSE(cfg.spmm_schedule.has_value());
+  EXPECT_FALSE(cfg.update_schedule.has_value());
+  EXPECT_FALSE(cfg.tile_cols.has_value());
+  EXPECT_EQ(cfg.tune_mode, "off");
+  EXPECT_FALSE(cfg.tune_cache.has_value());
+  EXPECT_EQ(cfg.part_exec, PartExec::kTaskGraph);
+  EXPECT_EQ(cfg.numa, NumaMode::kOff);
+  EXPECT_EQ(cfg.exec_grain, 64);
+  EXPECT_EQ(cfg.perf, PerfMode::kOff);
+}
+
+TEST(RuntimeConfig, FromEnvSnapshotsEveryKnob) {
+  const EnvGuard e1("CBM_MULTIPLY_PATH", "two_stage");
+  const EnvGuard e2("CBM_SPMM_SCHEDULE", "static");
+  const EnvGuard e3("CBM_UPDATE_SCHEDULE", "branch_static");
+  const EnvGuard e4("CBM_TILE_COLS", "96");
+  const EnvGuard e5("CBM_TUNE", "on");
+  const EnvGuard e6("CBM_TUNE_CACHE", "/tmp/plans.json");
+  const EnvGuard e7("CBM_PART_EXEC", "serial");
+  const EnvGuard e8("CBM_NUMA", "off");
+  const EnvGuard e9("CBM_EXEC_GRAIN", "32");
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  EXPECT_EQ(cfg.multiply_path, "two_stage");
+  EXPECT_EQ(cfg.spmm_schedule, "static");
+  EXPECT_EQ(cfg.update_schedule, "branch_static");
+  EXPECT_EQ(cfg.tile_cols, index_t{96});
+  EXPECT_EQ(cfg.tune_mode, "on");
+  EXPECT_EQ(cfg.tune_cache, "/tmp/plans.json");
+  EXPECT_EQ(cfg.part_exec, PartExec::kSerial);
+  EXPECT_EQ(cfg.exec_grain, 32);
+}
+
+TEST(RuntimeConfig, EmptyTuneCacheIsMeaningful) {
+  // CBM_TUNE_CACHE="" disables persistence — distinct from unset (default
+  // path), so from_env must preserve the empty string rather than dropping
+  // the knob.
+  const EnvGuard env("CBM_TUNE_CACHE", "");
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  ASSERT_TRUE(cfg.tune_cache.has_value());
+  EXPECT_TRUE(cfg.tune_cache->empty());
+}
+
+TEST(RuntimeConfig, IsExplicitlyConstructible) {
+  // The whole point of RuntimeConfig: callers can pin the execution
+  // configuration in code with no environment involved.
+  RuntimeConfig cfg;
+  cfg.multiply_path = "fused_tiled";
+  cfg.tile_cols = 64;
+  cfg.exec_grain = 128;
+  EXPECT_EQ(*cfg.multiply_path, "fused_tiled");
+  EXPECT_EQ(*cfg.tile_cols, 64);
+}
+
 TEST(Timer, NonNegativeAndMonotonic) {
   Timer t;
   const double a = t.seconds();

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "cbm/serialize.hpp"
@@ -155,8 +156,9 @@ TEST(Serialize, RejectsCorruptedTree) {
   std::stringstream buf;
   save_cbm(buf, original);
   std::string data = buf.str();
-  // Parent array begins after magic(4)+version(4)+kind(4)+width(4)+dims(16).
-  const std::size_t parent_off = 32;
+  // Parent array begins after
+  // magic(4)+version(4)+endian(4)+kind(4)+width(4)+dims(16).
+  const std::size_t parent_off = 36;
   // Point row 0's parent at itself → cycle → CompressionTree must throw.
   index_t self = 0;
   std::memcpy(data.data() + parent_off, &self, sizeof(self));
@@ -166,6 +168,126 @@ TEST(Serialize, RejectsCorruptedTree) {
 
 TEST(Serialize, MissingFileThrows) {
   EXPECT_THROW(load_cbm_file<float>("/nonexistent/x.cbmf"), CbmError);
+}
+
+/// Extracts the message of the CbmError `body` throws (empty = no throw).
+template <typename Fn>
+std::string error_message(Fn&& body) {
+  try {
+    body();
+  } catch (const CbmError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Serialize, RejectsUnsupportedVersionActionably) {
+  const auto a = test::clustered_binary(10, 2, 4, 1, 710);
+  const auto original = CbmMatrix<float>::compress(a);
+  std::stringstream buf;
+  save_cbm(buf, original);
+  std::string data = buf.str();
+  const std::uint32_t old_version = 1;  // a v1 writer: no endian sentinel
+  std::memcpy(data.data() + 4, &old_version, sizeof(old_version));
+  std::stringstream stale(data);
+  const std::string msg =
+      error_message([&] { (void)load_cbm<float>(stale); });
+  EXPECT_NE(msg.find("unsupported format version 1"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("version 2"), std::string::npos) << msg;
+}
+
+TEST(Serialize, RejectsByteSwappedVersionAsEndianness) {
+  const auto a = test::clustered_binary(10, 2, 4, 1, 711);
+  const auto original = CbmMatrix<float>::compress(a);
+  std::stringstream buf;
+  save_cbm(buf, original);
+  std::string data = buf.str();
+  // What an opposite-endian writer would have produced for version 2.
+  const std::uint32_t swapped = 0x02000000u;
+  std::memcpy(data.data() + 4, &swapped, sizeof(swapped));
+  std::stringstream foreign(data);
+  const std::string msg =
+      error_message([&] { (void)load_cbm<float>(foreign); });
+  EXPECT_NE(msg.find("endianness mismatch"), std::string::npos) << msg;
+}
+
+TEST(Serialize, RejectsByteSwappedSentinelAsEndianness) {
+  const auto a = test::clustered_binary(10, 2, 4, 1, 712);
+  const auto original = CbmMatrix<float>::compress(a);
+  std::stringstream buf;
+  save_cbm(buf, original);
+  std::string data = buf.str();
+  const std::uint32_t swapped = 0x04030201u;  // byte-swapped 0x01020304
+  std::memcpy(data.data() + 8, &swapped, sizeof(swapped));
+  std::stringstream foreign(data);
+  const std::string msg =
+      error_message([&] { (void)load_cbm<float>(foreign); });
+  EXPECT_NE(msg.find("endianness mismatch"), std::string::npos) << msg;
+}
+
+TEST(Serialize, RejectsCorruptSentinel) {
+  const auto a = test::clustered_binary(10, 2, 4, 1, 713);
+  const auto original = CbmMatrix<float>::compress(a);
+  std::stringstream buf;
+  save_cbm(buf, original);
+  std::string data = buf.str();
+  const std::uint32_t junk = 0xDEADBEEFu;
+  std::memcpy(data.data() + 8, &junk, sizeof(junk));
+  std::stringstream corrupt(data);
+  const std::string msg =
+      error_message([&] { (void)load_cbm<float>(corrupt); });
+  EXPECT_NE(msg.find("endianness sentinel"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("deadbeef"), std::string::npos) << msg;
+}
+
+TEST(Serialize, TruncationErrorsNameTheField) {
+  const auto a = test::clustered_binary(20, 2, 5, 1, 714);
+  const auto original = CbmMatrix<float>::compress(a);
+  std::stringstream buf;
+  save_cbm(buf, original);
+  const std::string full = buf.str();
+  // Cut inside the header: the version read must name itself.
+  std::stringstream header_cut(full.substr(0, 6));
+  const std::string header_msg =
+      error_message([&] { (void)load_cbm<float>(header_cut); });
+  EXPECT_NE(header_msg.find("version"), std::string::npos) << header_msg;
+  // Cut inside the trailing arrays: a truncated-array error, not a crash.
+  std::stringstream body_cut(full.substr(0, full.size() - 2));
+  const std::string body_msg =
+      error_message([&] { (void)load_cbm<float>(body_cut); });
+  EXPECT_NE(body_msg.find("truncated"), std::string::npos) << body_msg;
+}
+
+TEST(Serialize, FileLoadErrorsNameThePath) {
+  const auto dir = std::filesystem::temp_directory_path() / "cbm-serialize-t";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "garbage.cbmf").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "CBMF";  // valid magic, then nothing — truncated at version
+  }
+  const std::string msg =
+      error_message([&] { (void)load_cbm_file<float>(path); });
+  EXPECT_NE(msg.find(path), std::string::npos) << msg;
+  EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Serialize, RoundTripSurvivesHardenedHeader) {
+  // The belt-and-braces check that v2 files round-trip bit-for-bit through
+  // the persistence tier the serving cache uses.
+  const auto a = test::clustered_binary(30, 3, 6, 2, 715);
+  const auto diag = test::random_diagonal<float>(30, 716);
+  const auto original = CbmMatrix<float>::compress_scaled(
+      a, std::span<const float>(diag), CbmKind::kSymScaled);
+  const auto dir = std::filesystem::temp_directory_path() / "cbm-serialize-r";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "roundtrip.cbmf").string();
+  save_cbm_file(path, original);
+  const auto loaded = load_cbm_file<float>(path);
+  expect_equivalent(original, loaded);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

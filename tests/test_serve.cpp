@@ -1,0 +1,508 @@
+// Serving-layer tests: graph fingerprints, the adjacency cache (LRU /
+// byte-budget / persistence / collision safety), the block-diagonal batch
+// packer against per-graph oracles, the SPSC ring, and the end-to-end
+// ServeContext pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <future>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "dense/ops.hpp"
+#include "serve/batch.hpp"
+#include "serve/cache.hpp"
+#include "serve/fingerprint.hpp"
+#include "serve/serve.hpp"
+#include "serve/spsc_queue.hpp"
+#include "sparse/scale.hpp"
+#include "sparse/spmm.hpp"
+#include "test_util.hpp"
+
+namespace cbm::serve {
+namespace {
+
+using test::auto_seed;
+using test::seed_trace;
+
+/// Undirected ring: node i <-> i±1 (mod n), no self-loops, binary, sorted.
+CsrMatrix<float> ring_graph(index_t n) {
+  std::vector<offset_t> indptr{0};
+  std::vector<index_t> indices;
+  std::vector<float> values;
+  for (index_t i = 0; i < n; ++i) {
+    std::vector<index_t> nbrs{static_cast<index_t>((i + n - 1) % n),
+                              static_cast<index_t>((i + 1) % n)};
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    for (index_t j : nbrs) {
+      if (j == i) continue;
+      indices.push_back(j);
+      values.push_back(1.0f);
+    }
+    indptr.push_back(static_cast<offset_t>(indices.size()));
+  }
+  return {n, n, std::move(indptr), std::move(indices), std::move(values)};
+}
+
+/// Scratch directory for persistence tests, unique per test case.
+std::string scratch_dir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string dir = ::testing::TempDir() + "cbm_serve_" + info->name();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------- fingerprint
+
+TEST(Fingerprint, DistinguishesContentAndMatchesItself) {
+  const auto a = test::clustered_binary(64, 4, 6, 2, auto_seed());
+  const auto b = test::clustered_binary(64, 4, 6, 2, auto_seed(1));
+  EXPECT_EQ(graph_fingerprint(a), graph_fingerprint(a));
+  EXPECT_NE(graph_fingerprint(a), graph_fingerprint(b));
+}
+
+TEST(Fingerprint, KeyEqualityCoversRecipe) {
+  const auto a = test::clustered_binary(32, 4, 5, 1, auto_seed());
+  const GraphKey plain = make_graph_key(a, 0, 0);
+  GraphKey scaled = make_graph_key(a, 2, 0);
+  GraphKey pruned = make_graph_key(a, 0, 2);
+  EXPECT_EQ(plain.fingerprint, scaled.fingerprint);
+  EXPECT_FALSE(plain == scaled);  // kind differs
+  EXPECT_FALSE(plain == pruned);  // alpha differs
+}
+
+// ---------------------------------------------------------------------- ring
+
+TEST(SpscRing, FifoAndCapacity) {
+  SpscRing<int> ring(3);  // rounds up to 4
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));  // empty
+  // Wrap-around keeps working after the cursors pass the capacity.
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(ring.try_push(round));
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, round);
+  }
+}
+
+// --------------------------------------------------------------------- cache
+
+TEST(AdjacencyCache, HitReturnsSharedEntry) {
+  const auto a = test::clustered_binary(64, 4, 6, 2, auto_seed());
+  const GraphKey key = make_graph_key(a, 0, 0);
+  AdjacencyCache<float> cache(std::size_t{64} << 20);
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  auto inserted = cache.insert(key, CbmMatrix<float>::compress(a));
+  ASSERT_NE(inserted, nullptr);
+  EXPECT_EQ(cache.lookup(key).get(), inserted.get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(AdjacencyCache, EvictsLeastRecentlyUsedUnderByteBudget) {
+  const auto a = test::clustered_binary(128, 4, 8, 2, auto_seed());
+  const auto b = test::clustered_binary(128, 4, 8, 2, auto_seed(1));
+  const auto c = test::clustered_binary(128, 4, 8, 2, auto_seed(2));
+  auto cbm_a = CbmMatrix<float>::compress(a);
+  auto cbm_b = CbmMatrix<float>::compress(b);
+  auto cbm_c = CbmMatrix<float>::compress(c);
+  // Budget fits two of the three entries.
+  const std::size_t budget =
+      cbm_a.bytes() + cbm_b.bytes() + cbm_c.bytes() / 2;
+  AdjacencyCache<float> cache(budget);
+  const GraphKey ka = make_graph_key(a, 0, 0);
+  const GraphKey kb = make_graph_key(b, 0, 0);
+  const GraphKey kc = make_graph_key(c, 0, 0);
+  cache.insert(ka, std::move(cbm_a));
+  cache.insert(kb, std::move(cbm_b));
+  EXPECT_NE(cache.lookup(ka), nullptr);  // touch A: B becomes LRU
+  cache.insert(kc, std::move(cbm_c));    // over budget: evicts B
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.lookup(ka), nullptr);
+  EXPECT_NE(cache.lookup(kc), nullptr);
+  EXPECT_EQ(cache.lookup(kb), nullptr);
+  EXPECT_LE(cache.stats().bytes, budget);
+}
+
+TEST(AdjacencyCache, FingerprintCollisionResolvesToMiss) {
+  const auto a = test::clustered_binary(64, 4, 6, 2, auto_seed());
+  const GraphKey key = make_graph_key(a, 0, 0);
+  AdjacencyCache<float> cache(std::size_t{64} << 20);
+  cache.insert(key, CbmMatrix<float>::compress(a));
+  // A hostile twin: same 64-bit fingerprint, different structure. Full-field
+  // equality must refuse to serve the resident entry for it.
+  GraphKey collider = key;
+  collider.nnz = key.nnz + 1;
+  EXPECT_EQ(cache.lookup(collider), nullptr);
+  GraphKey reshaped = key;
+  reshaped.rows = key.rows + 1;
+  EXPECT_EQ(cache.lookup(reshaped), nullptr);
+  EXPECT_NE(cache.lookup(key), nullptr);
+}
+
+TEST(AdjacencyCache, PersistsAcrossInstances) {
+  const std::string dir = scratch_dir();
+  const auto a = test::clustered_binary(96, 4, 7, 2, auto_seed());
+  const GraphKey key = make_graph_key(a, 0, 0);
+  {
+    AdjacencyCache<float> warm(std::size_t{64} << 20, dir);
+    warm.insert(key, CbmMatrix<float>::compress(a));
+    EXPECT_TRUE(std::filesystem::exists(warm.entry_path(key)));
+  }
+  // A fresh cache (fresh process, conceptually) finds the entry on disk and
+  // the loaded matrix still multiplies correctly.
+  AdjacencyCache<float> cold(std::size_t{64} << 20, dir);
+  auto entry = cold.lookup(key);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(cold.stats().disk_hits, 1u);
+  EXPECT_EQ(cold.stats().misses, 0u);
+  const auto b = test::random_dense<float>(96, 8, auto_seed(1));
+  DenseMatrix<float> got(96, 8), want(96, 8);
+  entry->cbm().multiply(b, got);
+  csr_spmm(a, b, want);
+  EXPECT_TRUE(allclose(got, want, 1e-4f, 1e-5f));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AdjacencyCache, PlanMemoisationResolvesOnce) {
+  const auto a = test::clustered_binary(64, 4, 6, 2, auto_seed());
+  CacheEntry<float> entry(make_graph_key(a, 0, 0),
+                          CbmMatrix<float>::compress(a));
+  int resolves = 0;
+  const auto resolve = [&](const CbmMatrix<float>&) {
+    ++resolves;
+    return MultiplySchedule{};
+  };
+  entry.plan_for(8, resolve);
+  entry.plan_for(8, resolve);
+  entry.plan_for(16, resolve);
+  EXPECT_EQ(resolves, 2);  // one per distinct operand width
+  EXPECT_EQ(entry.plans_resolved(), 2u);
+}
+
+// -------------------------------------------------------------------- packer
+
+TEST(BatchPacker, RejectsEmptyBatch) {
+  EXPECT_THROW(pack_batch(std::span<const BatchItem<float>>{}), CbmError);
+}
+
+TEST(BatchPacker, RejectsMixedFeatureWidths) {
+  const auto a = test::clustered_binary(32, 4, 5, 1, auto_seed());
+  const auto cbm = CbmMatrix<float>::compress(a);
+  const auto b8 = test::random_dense<float>(32, 8, auto_seed(1));
+  const auto b16 = test::random_dense<float>(32, 16, auto_seed(2));
+  const std::vector<BatchItem<float>> items{{&cbm, &b8}, {&cbm, &b16}};
+  try {
+    pack_batch(std::span<const BatchItem<float>>(items));
+    FAIL() << "expected CbmError";
+  } catch (const CbmError& e) {
+    EXPECT_NE(std::string(e.what()).find("mixed feature widths"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BatchPacker, RejectsMixedKinds) {
+  const auto a = test::clustered_binary(32, 4, 5, 1, auto_seed());
+  const auto diag = test::random_diagonal<float>(32, auto_seed(1));
+  const auto plain = CbmMatrix<float>::compress(a);
+  const auto scaled = CbmMatrix<float>::compress_scaled(
+      a, diag, CbmKind::kSymScaled);
+  const auto b = test::random_dense<float>(32, 8, auto_seed(2));
+  const std::vector<BatchItem<float>> items{{&plain, &b}, {&scaled, &b}};
+  EXPECT_THROW(pack_batch(std::span<const BatchItem<float>>(items)), CbmError);
+}
+
+TEST(BatchPacker, PacksSingleNodeGraph) {
+  // A 1x1 adjacency [[1]]: the smallest legal graph must pack (its one row
+  // parents to the global virtual root).
+  CsrMatrix<float> one(1, 1, {0, 1}, {0}, {1.0f});
+  const auto cbm = CbmMatrix<float>::compress(one);
+  const auto b = test::random_dense<float>(1, 4, auto_seed());
+  const std::vector<BatchItem<float>> items{{&cbm, &b}, {&cbm, &b}};
+  const auto packed = pack_batch(std::span<const BatchItem<float>>(items));
+  EXPECT_EQ(packed.cbm.rows(), 2);
+  EXPECT_EQ(packed.features.rows(), 2);
+  DenseMatrix<float> out(2, 4);
+  packed.cbm.multiply(packed.features, out);
+  for (index_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(out(0, j), b(0, j));
+    EXPECT_FLOAT_EQ(out(1, j), b(0, j));
+  }
+}
+
+TEST(BatchPacker, BlockDiagonalMatchesPerGraphMultiplies) {
+  const std::uint64_t seed = auto_seed();
+  SCOPED_TRACE(seed_trace(seed));
+  const index_t sizes[] = {48, 1, 96, 17};
+  std::vector<CsrMatrix<float>> graphs;
+  std::vector<CbmMatrix<float>> cbms;
+  std::vector<DenseMatrix<float>> feats;
+  for (std::size_t i = 0; i < std::size(sizes); ++i) {
+    const index_t n = sizes[i];
+    graphs.push_back(n == 1 ? CsrMatrix<float>(1, 1, {0, 1}, {0}, {1.0f})
+                            : test::clustered_binary(n, 4, 6, 2, seed + i));
+    cbms.push_back(CbmMatrix<float>::compress(graphs.back()));
+    feats.push_back(test::random_dense<float>(n, 8, seed + 100 + i));
+  }
+  std::vector<BatchItem<float>> items;
+  for (std::size_t i = 0; i < cbms.size(); ++i) {
+    items.push_back({&cbms[i], &feats[i]});
+  }
+  const auto packed = pack_batch(std::span<const BatchItem<float>>(items));
+  DenseMatrix<float> fused(packed.cbm.rows(), 8);
+  packed.cbm.multiply(packed.features, fused);
+
+  // Scatter back and compare each slice against that graph's own multiply.
+  std::vector<DenseMatrix<float>> outs;
+  std::vector<DenseMatrix<float>*> out_ptrs;
+  for (std::size_t i = 0; i < cbms.size(); ++i) {
+    outs.emplace_back(sizes[i], 8);
+  }
+  for (auto& o : outs) out_ptrs.push_back(&o);
+  scatter_batch(fused, std::span<const index_t>(packed.row_offsets),
+                std::span<DenseMatrix<float>* const>(out_ptrs));
+  for (std::size_t i = 0; i < cbms.size(); ++i) {
+    DenseMatrix<float> want(sizes[i], 8);
+    csr_spmm(graphs[i], feats[i], want);
+    EXPECT_TRUE(allclose(outs[i], want, 1e-4f, 1e-5f))
+        << "graph " << i << " max diff " << max_abs_diff(outs[i], want);
+  }
+}
+
+TEST(BatchPacker, BlockDiagonalMatchesOracleForScaledKind) {
+  const std::uint64_t seed = auto_seed();
+  SCOPED_TRACE(seed_trace(seed));
+  std::vector<CsrMatrix<float>> graphs;
+  std::vector<std::vector<float>> diags;
+  std::vector<CbmMatrix<float>> cbms;
+  std::vector<DenseMatrix<float>> feats;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const index_t n = 32 + static_cast<index_t>(16 * i);
+    graphs.push_back(test::clustered_binary(n, 4, 6, 2, seed + i));
+    diags.push_back(test::random_diagonal<float>(n, seed + 50 + i));
+    cbms.push_back(CbmMatrix<float>::compress_scaled(
+        graphs.back(), diags.back(), CbmKind::kSymScaled));
+    feats.push_back(test::random_dense<float>(n, 8, seed + 100 + i));
+  }
+  std::vector<BatchItem<float>> items;
+  for (std::size_t i = 0; i < cbms.size(); ++i) {
+    items.push_back({&cbms[i], &feats[i]});
+  }
+  const auto packed = pack_batch(std::span<const BatchItem<float>>(items));
+  DenseMatrix<float> fused(packed.cbm.rows(), 8);
+  packed.cbm.multiply(packed.features, fused);
+  index_t off = 0;
+  for (std::size_t i = 0; i < cbms.size(); ++i) {
+    const index_t n = graphs[i].rows();
+    const auto dad =
+        scale_both(graphs[i], std::span<const float>(diags[i]),
+                   std::span<const float>(diags[i]));
+    DenseMatrix<float> want(n, 8);
+    csr_spmm(dad, feats[i], want);
+    for (index_t r = 0; r < n; ++r) {
+      for (index_t j = 0; j < 8; ++j) {
+        EXPECT_NEAR(fused(off + r, j), want(r, j),
+                    1e-3f + 1e-3f * std::abs(want(r, j)))
+            << "graph " << i << " row " << r;
+      }
+    }
+    off += n;
+  }
+}
+
+// ------------------------------------------------------------- serve context
+
+TEST(ServeContext, EndToEndMatchesOracleAndCaches) {
+  const std::uint64_t seed = auto_seed();
+  SCOPED_TRACE(seed_trace(seed));
+  const auto a = test::clustered_binary(64, 4, 6, 2, seed);
+  const auto b = test::clustered_binary(96, 4, 6, 2, seed + 1);
+
+  ServeOptions options;
+  options.max_batch = 8;
+  ServeContext ctx(options);
+
+  auto make_request = [&](std::uint64_t id, const CsrMatrix<float>& adj) {
+    Request req;
+    req.id = id;
+    req.adjacency = adj;
+    req.features =
+        test::random_dense<float>(adj.cols(), 8, seed + 200 + id);
+    return req;
+  };
+
+  std::vector<Request> requests;
+  for (std::uint64_t id = 0; id < 6; ++id) {
+    requests.push_back(make_request(id, id % 2 == 0 ? a : b));
+  }
+  std::vector<DenseMatrix<float>> oracles;
+  for (const auto& req : requests) {
+    DenseMatrix<float> want(req.adjacency.rows(), 8);
+    csr_spmm(req.adjacency, req.features, want);
+    oracles.push_back(std::move(want));
+  }
+
+  std::vector<std::future<Response>> futures;
+  for (auto& req : requests) futures.push_back(ctx.submit(std::move(req)));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    Response resp = futures[i].get();
+    EXPECT_EQ(resp.id, i);
+    EXPECT_GE(resp.batch_size, 1);
+    EXPECT_GE(resp.total_seconds, 0.0);
+    EXPECT_TRUE(allclose(resp.output, oracles[i], 1e-4f, 1e-5f))
+        << "request " << i;
+  }
+  ctx.flush();
+  const auto stats = ctx.stats();
+  EXPECT_EQ(stats.requests, 6u);
+  // Only two distinct graphs were ever compressed; the other four requests
+  // must have hit the cache.
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.cache_hits, 4u);
+}
+
+TEST(ServeContext, WarmRequestsSkipCompression) {
+  const auto a = test::clustered_binary(64, 4, 6, 2, auto_seed());
+  ServeContext ctx;
+  Request req;
+  req.adjacency = a;
+  req.features = test::random_dense<float>(64, 8, auto_seed(1));
+  ctx.infer(std::move(req));  // cold: compresses
+
+  // Telemetry proof: with metrics on, a warm request of the same graph must
+  // record zero compression calls.
+  obs::set_metrics_enabled(true);
+  obs::metrics_reset();
+  Request warm;
+  warm.adjacency = a;
+  warm.features = test::random_dense<float>(64, 8, auto_seed(2));
+  const Response resp = ctx.infer(std::move(warm));
+  const auto snap = obs::metrics_snapshot();
+  obs::set_metrics_enabled(false);
+  EXPECT_TRUE(resp.cache_hit);
+  const auto compress = snap.counters.find("cbm.compress.calls");
+  EXPECT_TRUE(compress == snap.counters.end() || compress->second == 0)
+      << "warm request recompressed the adjacency";
+  const auto hits = snap.counters.find("cbm.serve.cache.hits");
+  ASSERT_NE(hits, snap.counters.end());
+  EXPECT_GE(hits->second, 1);
+}
+
+TEST(ServeContext, BadRequestFailsAloneGoodOnesSurvive) {
+  const auto good_adj = test::clustered_binary(48, 4, 6, 2, auto_seed());
+  ServeContext ctx;
+
+  // Non-binary adjacency: violates the compression contract.
+  CsrMatrix<float> weighted(2, 2, {0, 1, 2}, {1, 0}, {0.5f, 2.0f});
+  Request bad;
+  bad.id = 1;
+  bad.adjacency = weighted;
+  bad.features = test::random_dense<float>(2, 8, auto_seed(1));
+
+  Request good;
+  good.id = 2;
+  good.adjacency = good_adj;
+  good.features = test::random_dense<float>(48, 8, auto_seed(2));
+  const DenseMatrix<float> good_features = good.features;
+
+  auto bad_future = ctx.submit(std::move(bad));
+  auto good_future = ctx.submit(std::move(good));
+  EXPECT_THROW(bad_future.get(), CbmError);
+  const Response resp = good_future.get();
+  DenseMatrix<float> want(48, 8);
+  csr_spmm(good_adj, good_features, want);
+  EXPECT_TRUE(allclose(resp.output, want, 1e-4f, 1e-5f));
+
+  // Shape mismatch fails its own future too.
+  Request misshapen;
+  misshapen.adjacency = good_adj;
+  misshapen.features = test::random_dense<float>(47, 8, auto_seed(3));
+  EXPECT_THROW(ctx.infer(std::move(misshapen)), CbmError);
+}
+
+TEST(ServeContext, GcnNormalizeMatchesExplicitDadOracle) {
+  const index_t n = 48;
+  const auto a = ring_graph(n);
+  ServeOptions options;
+  options.gcn_normalize = true;
+  ServeContext ctx(options);
+
+  Request req;
+  req.adjacency = a;
+  req.features = test::random_dense<float>(n, 8, auto_seed());
+  DenseMatrix<float> features_copy = req.features;
+  const Response resp = ctx.infer(std::move(req));
+
+  // Oracle: explicitly materialised D^-1/2 (A+I) D^-1/2.
+  const auto a_hat = add_identity(a);
+  std::vector<float> dinv(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v) {
+    const auto deg = a_hat.indptr()[static_cast<std::size_t>(v) + 1] -
+                     a_hat.indptr()[static_cast<std::size_t>(v)];
+    dinv[static_cast<std::size_t>(v)] =
+        1.0f / std::sqrt(static_cast<float>(deg));
+  }
+  const auto dad = scale_both(a_hat, std::span<const float>(dinv),
+                              std::span<const float>(dinv));
+  DenseMatrix<float> want(n, 8);
+  csr_spmm(dad, features_copy, want);
+  EXPECT_TRUE(allclose(resp.output, want, 1e-4f, 1e-5f))
+      << "max diff " << max_abs_diff(resp.output, want);
+}
+
+TEST(ServeContext, BatchedAndSequentialAgree) {
+  // The same workload served through a wide batch window and one request at
+  // a time must produce identical results (block-diagonal fusion is exact).
+  const std::uint64_t seed = auto_seed();
+  SCOPED_TRACE(seed_trace(seed));
+  std::vector<CsrMatrix<float>> graphs;
+  std::vector<DenseMatrix<float>> feats;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const index_t n = 24 + static_cast<index_t>(8 * i);
+    graphs.push_back(test::clustered_binary(n, 3, 5, 2, seed + i));
+    feats.push_back(test::random_dense<float>(n, 8, seed + 60 + i));
+  }
+
+  auto run = [&](int max_batch) {
+    ServeOptions options;
+    options.max_batch = max_batch;
+    ServeContext ctx(options);
+    std::vector<std::future<Response>> futures;
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      Request req;
+      req.id = i;
+      req.adjacency = graphs[i];
+      req.features = feats[i];
+      futures.push_back(ctx.submit(std::move(req)));
+    }
+    std::vector<DenseMatrix<float>> outs;
+    for (auto& f : futures) outs.push_back(f.get().output);
+    return outs;
+  };
+
+  const auto batched = run(8);
+  const auto sequential = run(1);
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_TRUE(allclose(batched[i], sequential[i], 1e-4f, 1e-5f))
+        << "request " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cbm::serve
