@@ -1,0 +1,185 @@
+// Streaming-mutation bench: sustained edge-absorption rate while serving
+// multiplies (docs/dynamic_graphs.md).
+//
+// Phase 1 (absorb-and-serve): a compressed adjacency lives in a
+// serve::AdjacencyCache; every round applies one random edge batch through
+// mutate_or_invalidate (threshold pinned to 1.0 so no recompression
+// interferes with the rate measurement) and then serves one multiply
+// through the mutated entry's memoised plan — the steady-state mix of a
+// dynamic-graph service. Reported: sustained edges/sec absorbed (mutation
+// wall time only), the per-round staleness series, per-round mutation
+// latency, and served-multiply latency.
+//
+// Phase 2 (forced threshold): a fresh cache runs the same batches with the
+// threshold pinned to 0.0, so the FIRST mutation crosses it and triggers
+// exactly one full background recompression — then the recompressed entry's
+// staleness is back to 0 and stays under the threshold's reach until
+// mutations degrade it again. The cbm.serve.cache.recompressions delta is
+// reported (forced_recompressions) and the bench exits nonzero unless it is
+// exactly 1 for the first batch, making the trigger CI-assertable.
+//
+// Knobs: CBM_STREAM_ROUNDS (default 40), CBM_STREAM_BATCH (edges per batch,
+// default 256), CBM_STREAM_NODES (default 2048), plus the usual CBM_BENCH_*
+// family. cbm-bench-v1 JSON via CBM_BENCH_JSON.
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cbm/mutate.hpp"
+#include "common/timer.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "serve/cache.hpp"
+#include "serve/fingerprint.hpp"
+
+int main() {
+  using namespace cbm;
+  using namespace cbm::bench;
+  const auto config = BenchConfig::from_env();
+  print_bench_header(config,
+                     "Streaming — edge absorption while serving multiplies");
+  set_threads(config.threads);
+  BenchReport report("streaming", config);
+  // The exit status asserts the forced recompression through its counter
+  // delta, so recording must be on even without CBM_METRICS/CBM_BENCH_JSON.
+  obs::set_metrics_enabled(true);
+
+  const int rounds = env_int("CBM_STREAM_ROUNDS", 40);
+  const int batch_edges = env_int("CBM_STREAM_BATCH", 256);
+  const index_t nodes =
+      static_cast<index_t>(env_int("CBM_STREAM_NODES", 2048));
+  const index_t feat_cols = std::min(config.cols, 64);
+
+  const Graph g = barabasi_albert(nodes, 8, 0xD15C0ull);
+  const CsrMatrix<real_t> a = g.adjacency();
+  std::set<std::pair<index_t, index_t>> pattern;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (const index_t c : a.row_indices(r)) pattern.insert({r, c});
+  }
+
+  Rng rng(0x57E4Aull);
+  const auto draw_batch = [&] {
+    std::vector<EdgeUpdate> ins, rem;
+    for (int k = 0; k < batch_edges; ++k) {
+      const auto r = static_cast<index_t>(rng.next_below(nodes));
+      const auto c = static_cast<index_t>(rng.next_below(nodes));
+      if (pattern.contains({r, c})) {
+        rem.push_back({r, c});
+      } else {
+        ins.push_back({r, c});
+      }
+    }
+    return std::make_pair(std::move(ins), std::move(rem));
+  };
+  const auto apply_to_pattern = [&](const std::vector<EdgeUpdate>& ins,
+                                    const std::vector<EdgeUpdate>& rem) {
+    for (const auto& e : ins) pattern.insert({e.row, e.col});
+    for (const auto& e : rem) pattern.erase({e.row, e.col});
+  };
+
+  DenseMatrix<real_t> b(nodes, feat_cols);
+  b.fill_uniform(rng);
+  DenseMatrix<real_t> c(nodes, feat_cols);
+
+  // ------------------------------------------------ phase 1: absorb+serve
+  serve::AdjacencyCache<real_t> cache(std::size_t{512} << 20);
+  serve::GraphKey key = serve::make_graph_key(a, 0, 0);
+  cache.insert(key, CbmMatrix<real_t>::compress(a));
+
+  RunStats staleness_series;
+  RunStats mutate_seconds;
+  RunStats serve_seconds;
+  std::int64_t edges_absorbed = 0;
+  double absorb_wall = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    const auto [ins, rem] = draw_batch();
+    Timer mutate_timer;
+    const auto out =
+        cache.mutate_or_invalidate(key, ins, rem, /*stale_threshold=*/1.0);
+    const double mt = mutate_timer.seconds();
+    if (out.entry == nullptr) {
+      std::fprintf(stderr, "streaming: mutation lost the entry at round %d\n",
+                   round);
+      return 1;
+    }
+    apply_to_pattern(ins, rem);
+    key = out.new_key;
+    edges_absorbed += out.mutation.inserted + out.mutation.removed;
+    absorb_wall += mt;
+    mutate_seconds.add(mt);
+    staleness_series.add(out.staleness);
+
+    // Serve one multiply through the (epoch-guarded) memoised plan.
+    Timer serve_timer;
+    const auto entry = cache.lookup(key);
+    const MultiplySchedule plan = entry->plan_for(
+        feat_cols,
+        [](const CbmMatrix<real_t>&) { return MultiplySchedule::fused(0); });
+    entry->cbm().multiply(b, c, plan);
+    serve_seconds.add(serve_timer.seconds());
+  }
+  const double edges_per_second =
+      absorb_wall > 0.0 ? static_cast<double>(edges_absorbed) / absorb_wall
+                        : 0.0;
+
+  // ------------------------------------------- phase 2: forced threshold
+  // Threshold 0 means the very first mutation is "too stale": exactly one
+  // recompression must fire for that batch, observable in the
+  // cbm.serve.cache.recompressions counter delta.
+  const auto before = obs::metrics_snapshot();
+  serve::AdjacencyCache<real_t> forced(std::size_t{512} << 20);
+  const CsrMatrix<real_t> current = [&] {
+    CooMatrix<real_t> coo;
+    coo.rows = nodes;
+    coo.cols = nodes;
+    for (const auto& [r, cc] : pattern) coo.push(r, cc, real_t{1});
+    return CsrMatrix<real_t>::from_coo(coo);
+  }();
+  serve::GraphKey forced_key = serve::make_graph_key(current, 0, 0);
+  forced.insert(forced_key, CbmMatrix<real_t>::compress(current));
+  const auto [fins, frem] = draw_batch();
+  const auto forced_out =
+      forced.mutate_or_invalidate(forced_key, fins, frem,
+                                  /*stale_threshold=*/0.0);
+  apply_to_pattern(fins, frem);
+  const auto after = obs::metrics_snapshot();
+  const auto counter_delta = [&](const char* name) {
+    const auto ib = before.counters.find(name);
+    const auto ia = after.counters.find(name);
+    const std::int64_t vb = ib == before.counters.end() ? 0 : ib->second;
+    const std::int64_t va = ia == after.counters.end() ? 0 : ia->second;
+    return va - vb;
+  };
+  const auto forced_recompressions =
+      static_cast<double>(counter_delta("cbm.serve.cache.recompressions"));
+  const bool forced_ok =
+      forced_recompressions == 1.0 &&
+      forced_out.action ==
+          serve::AdjacencyCache<real_t>::MutationOutcome::Action::kRecompressed;
+
+  const std::vector<std::pair<std::string, std::string>> labels = {
+      {"nodes", std::to_string(nodes)},
+      {"batch_edges", std::to_string(batch_edges)},
+      {"rounds", std::to_string(rounds)},
+      {"cols", std::to_string(feat_cols)}};
+  report.add("streaming_staleness", staleness_series, labels);
+  report.add("streaming_mutate_seconds", mutate_seconds, labels);
+  report.add("streaming_serve_seconds", serve_seconds, labels);
+  report.add_scalar("streaming_edges_per_second", edges_per_second, labels);
+  report.add_scalar("streaming_edges_absorbed",
+                    static_cast<double>(edges_absorbed), labels);
+  report.add_scalar("forced_recompressions", forced_recompressions, labels);
+
+  TablePrinter table({"Rounds", "Edges/s", "Absorbed", "Staleness (last)",
+                      "Mutate p50 [s]", "Serve p50 [s]", "Forced recompress"});
+  table.add_row({std::to_string(rounds), fmt_double(edges_per_second, 0),
+                 std::to_string(edges_absorbed),
+                 fmt_double(staleness_series.max(), 4),
+                 fmt_seconds(mutate_seconds.median()),
+                 fmt_seconds(serve_seconds.median()),
+                 fmt_double(forced_recompressions, 0)});
+  table.print();
+  return forced_ok ? 0 : 1;
+}

@@ -175,6 +175,13 @@ CbmMatrix<T> CbmMatrix<T>::compress_impl(const CsrMatrix<T>& a,
   }
   const double delta_seconds = delta_timer.seconds();
   m.diag_.assign(update_diag.begin(), update_diag.end());
+  // Mutation baselines: what a fresh compression of this matrix achieves —
+  // staleness() measures later drift against these (MST ignores α, so
+  // mutation re-checks admissibility at the always-valid α = 0 there).
+  m.alpha_ = options.algorithm == TreeAlgorithm::kMca ? options.alpha : 0;
+  m.mutation_.baseline_nnz = delta_stats.total_nnz;
+  m.mutation_.baseline_deltas = delta_stats.total_deltas;
+  m.mutation_.source_nnz = delta_stats.total_nnz;
 
   // CBM_VALIDATE=build|full re-verifies the invariants compression just
   // established (Property 1, arborescence shape, delta consistency, and the

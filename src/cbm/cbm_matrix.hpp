@@ -55,6 +55,37 @@ struct CbmOptions {
   index_t max_candidates_per_row = 0;  ///< 0 = unlimited (see DistanceGraph)
 };
 
+/// One edge mutation: toggle entry (row, col) of the binary pattern.
+/// Batches of these drive insert_edges / remove_edges (cbm/mutate.hpp).
+struct EdgeUpdate {
+  index_t row = 0;
+  index_t col = 0;
+};
+
+/// Outcome of one mutation batch (insert_edges / remove_edges).
+struct MutationResult {
+  std::int64_t inserted = 0;        ///< edges newly present
+  std::int64_t removed = 0;         ///< edges actually deleted
+  std::int64_t duplicate_inserts = 0;  ///< inserts of already-present edges
+  std::int64_t noop_removes = 0;    ///< removes of absent edges
+  index_t touched_rows = 0;         ///< rows whose delta storage changed
+  index_t reparented_rows = 0;      ///< rows re-attached to the virtual root
+  std::int64_t delta_nnz_change = 0;  ///< nnz(A') after − before
+  bool tree_changed = false;        ///< any re-parenting happened
+};
+
+/// Incremental-maintenance bookkeeping, kept by CbmMatrix across mutation
+/// batches and cross-checked by cbm::check::validate_mutation. Baselines are
+/// captured at the last full compression; `source_nnz` tracks nnz(op(A))
+/// through mutations so staleness() never reconstructs the matrix.
+struct MutationBookkeeping {
+  std::uint64_t epoch = 0;          ///< mutation batches since construction
+  index_t reparented_rows = 0;      ///< cumulative re-parents since compress
+  std::int64_t baseline_nnz = 0;    ///< nnz(A) at the last full compress
+  std::int64_t baseline_deltas = 0; ///< nnz(A') at the last full compress
+  std::int64_t source_nnz = 0;      ///< current nnz(A), tracked incrementally
+};
+
 /// Construction statistics (the paper's Table II columns, plus the
 /// per-phase split that the stage-level profiling exposes).
 struct CbmStats {
@@ -171,6 +202,56 @@ class CbmMatrix {
   /// interop and as a self-check; O(nnz(op(A))) time and memory.
   [[nodiscard]] CsrMatrix<T> materialize() const;
 
+  // ----------------------------------------------------------- mutation --
+  // Incremental maintenance for dynamic graphs (cbm/mutate.cpp): patch the
+  // delta CSR and repair the compression tree locally instead of
+  // recompressing (no distance graph, no MCA solve). Supported for kPlain
+  // and kSymScaled (the kinds whose column scale is recoverable; the
+  // diagonal is treated as fixed — recompress when D itself must change).
+  // NOT thread-safe against concurrent multiplies on the same instance:
+  // mutate a private copy and publish it (what serve's cache does), or
+  // serialise externally.
+
+  /// Inserts the given edges into the binary pattern. Already-present edges
+  /// are no-ops (counted in the result). Throws on out-of-range indices or
+  /// unsupported kinds.
+  MutationResult insert_edges(std::span<const EdgeUpdate> edges);
+
+  /// Removes the given edges. Absent edges are no-ops (counted). Same
+  /// contract as insert_edges.
+  MutationResult remove_edges(std::span<const EdgeUpdate> edges);
+
+  /// One batch applying inserts and removes together (shared core of the
+  /// two entry points; a single edge may appear in only one of the spans).
+  MutationResult mutate_edges(std::span<const EdgeUpdate> inserts,
+                              std::span<const EdgeUpdate> removes);
+
+  /// Compression staleness in [0, 1]: how far mutation has degraded this
+  /// matrix from its last full compression. The max of (a) the fraction of
+  /// rows re-parented to the virtual root and (b) the compression gain lost
+  /// versus the fresh-compress estimate (the gain ratio captured at the
+  /// last compress). 0 for a never-mutated matrix. Compared against
+  /// RuntimeConfig::stale_threshold (CBM_STALE_THRESHOLD) to trigger full
+  /// background recompression.
+  [[nodiscard]] double staleness() const;
+
+  /// Monotonic mutation-batch counter: anything memoised against this
+  /// matrix's structure (execution plans, shape fingerprints) must be
+  /// revalidated when the epoch moves.
+  [[nodiscard]] std::uint64_t mutation_epoch() const {
+    return mutation_.epoch;
+  }
+
+  /// The raw staleness bookkeeping (cross-checked by
+  /// cbm::check::validate_mutation).
+  [[nodiscard]] const MutationBookkeeping& mutation_state() const {
+    return mutation_;
+  }
+
+  /// The α threshold mutation re-checks admissibility against (the compress
+  /// option; 0 for from_parts / MST-built matrices).
+  [[nodiscard]] int alpha() const { return alpha_; }
+
   [[nodiscard]] index_t rows() const { return delta_.rows(); }
   [[nodiscard]] index_t cols() const { return delta_.cols(); }
   [[nodiscard]] CbmKind kind() const { return kind_; }
@@ -196,12 +277,22 @@ class CbmMatrix {
                                  std::span<const T> update_diag, CbmKind kind,
                                  const CbmOptions& options, CbmStats* stats);
 
+  /// Lazily builds row_nnz_ (per-row nnz of op(A)'s pattern, a topo sweep
+  /// over delta signs) and the mutation baselines (mutate.cpp).
+  void ensure_mutation_state();
+
   CbmKind kind_ = CbmKind::kPlain;
   CompressionTree tree_;
   CsrMatrix<T> delta_;   ///< A' or (AD)'
   std::vector<T> diag_;  ///< update-stage diagonal (kSymScaled / kTwoSided)
+  int alpha_ = 0;        ///< admissibility threshold mutation re-checks
+  MutationBookkeeping mutation_;
+  /// Per-row nnz of the represented pattern; empty until the first mutation
+  /// builds it (then maintained incrementally).
+  std::vector<index_t> row_nnz_;
   /// Fused-engine row schedule, derived from (tree_, kind_, diag_) at
-  /// construction and immutable afterwards — copies of the matrix share it.
+  /// construction and immutable afterwards except by mutation, which swaps
+  /// in a fresh schedule (copies of the matrix keep sharing the old one).
   std::shared_ptr<const FusedRowSchedule<T>> fused_schedule_;
 };
 

@@ -1,0 +1,466 @@
+// Incremental CBM maintenance (see mutate.hpp for the algorithm overview).
+//
+// Terminology used throughout:
+//  - "mutated row": a row named by the batch with at least one effective
+//    toggle (duplicate inserts / no-op removes do not count);
+//  - "patched child": an unmutated direct child of a mutated row — the only
+//    other rows whose delta storage the batch can change;
+//  - "applied change list": a mutated row's effective toggles, sorted by
+//    column, +1 for a gained column and −1 for a lost one.
+#include "cbm/mutate.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cbm/spmm_cbm_fused.hpp"
+#include "check/check.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "obs/obs.hpp"
+
+namespace cbm {
+
+namespace {
+
+/// Signed delta row under construction: (column, ±1). The ±scale value is
+/// materialised only when the CSR is rebuilt, with the same expression
+/// build_delta_matrix used — so patched rows are bitwise identical to what a
+/// fresh compression of the same tree would emit.
+using SignedRow = std::vector<std::pair<index_t, int>>;
+
+/// Applied change list: (column, +1 gained / −1 lost), sorted by column.
+using ChangeList = std::vector<std::pair<index_t, int>>;
+
+/// Applies a delta row to a parent pattern (Eq. 2): positive values insert
+/// their column, negative values delete the inherited one.
+template <typename T>
+std::vector<index_t> merge_delta(const std::vector<index_t>& parent,
+                                 std::span<const index_t> cols,
+                                 [[maybe_unused]] std::span<const T> vals) {
+  std::vector<index_t> out;
+  out.reserve(parent.size() + cols.size());
+  std::size_t i = 0;
+  std::size_t k = 0;
+  while (i < parent.size() || k < cols.size()) {
+    if (k == cols.size() || (i < parent.size() && parent[i] < cols[k])) {
+      out.push_back(parent[i++]);
+    } else if (i == parent.size() || cols[k] < parent[i]) {
+      CBM_DCHECK(vals[k] > T{0}, "insertion delta must be positive");
+      out.push_back(cols[k]);
+      ++k;
+    } else {
+      CBM_DCHECK(vals[k] < T{0}, "matching delta must be a removal");
+      ++i;
+      ++k;
+    }
+  }
+  return out;
+}
+
+/// Reconstructs pre-mutation row patterns on demand, caching every row it
+/// touches so shared ancestor chains are decompressed once per batch.
+template <typename T>
+class PatternCache {
+ public:
+  PatternCache(const CompressionTree& tree, const CsrMatrix<T>& delta)
+      : tree_(tree), delta_(delta) {}
+
+  const std::vector<index_t>& pattern(index_t x) {
+    if (const auto it = cache_.find(x); it != cache_.end()) return it->second;
+    // Walk towards the root until a cached ancestor (or the root itself),
+    // then materialise the chain top-down.
+    std::vector<index_t> chain;
+    index_t v = x;
+    while (v != tree_.virtual_root() && !cache_.contains(v)) {
+      chain.push_back(v);
+      v = tree_.parent(v);
+    }
+    const std::vector<index_t>* parent =
+        v == tree_.virtual_root() ? nullptr : &cache_.at(v);
+    for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+      const index_t r = *rit;
+      const auto cols = delta_.row_indices(r);
+      std::vector<index_t> pat =
+          parent == nullptr
+              ? std::vector<index_t>(cols.begin(), cols.end())
+              : merge_delta(*parent, cols, delta_.row_values(r));
+      parent = &(cache_[r] = std::move(pat));
+    }
+    return cache_.at(x);
+  }
+
+ private:
+  const CompressionTree& tree_;
+  const CsrMatrix<T>& delta_;
+  std::unordered_map<index_t, std::vector<index_t>> cache_;
+};
+
+/// old pattern + applied change list → new pattern (both sorted).
+std::vector<index_t> apply_changes(const std::vector<index_t>& oldp,
+                                   const ChangeList& changes) {
+  std::vector<index_t> out;
+  out.reserve(oldp.size() + changes.size());
+  std::size_t i = 0;
+  std::size_t k = 0;
+  while (i < oldp.size() || k < changes.size()) {
+    if (k == changes.size() ||
+        (i < oldp.size() && oldp[i] < changes[k].first)) {
+      out.push_back(oldp[i++]);
+    } else if (i == oldp.size() || changes[k].first < oldp[i]) {
+      CBM_DCHECK(changes[k].second > 0, "losing a column that is absent");
+      out.push_back(changes[k].first);
+      ++k;
+    } else {
+      CBM_DCHECK(changes[k].second < 0, "gaining a column already present");
+      ++i;  // column lost
+      ++k;
+    }
+  }
+  return out;
+}
+
+/// Signed difference of two patterns: +1 for columns only the child has,
+/// −1 for columns only the parent has — a compressed row's delta (Eq. 2).
+SignedRow diff_patterns(const std::vector<index_t>& child,
+                        const std::vector<index_t>& parent) {
+  SignedRow out;
+  std::size_t i = 0;
+  std::size_t k = 0;
+  while (i < child.size() || k < parent.size()) {
+    if (k == parent.size() || (i < child.size() && child[i] < parent[k])) {
+      out.emplace_back(child[i++], +1);
+    } else if (i == child.size() || parent[k] < child[i]) {
+      out.emplace_back(parent[k++], -1);
+    } else {
+      ++i;
+      ++k;
+    }
+  }
+  return out;
+}
+
+/// Full pattern as a root-attached delta row (all insertions).
+SignedRow root_row(const std::vector<index_t>& pattern) {
+  SignedRow out;
+  out.reserve(pattern.size());
+  for (const index_t c : pattern) out.emplace_back(c, +1);
+  return out;
+}
+
+/// Patches an unmutated child's delta row from its parent's applied change
+/// list alone. The child's own pattern is untouched — only the diff against
+/// the parent moves:
+///  - parent gained a column the child's delta inserted → the insertion is
+///    now inheritance: drop the entry;
+///  - parent gained a column the child has no entry for → the child must not
+///    inherit it: add a removal;
+///  - parent lost a column the child's delta removed → nothing left to
+///    cancel: drop the entry;
+///  - parent lost a column the child has no entry for → the child was
+///    inheriting it: add an insertion.
+template <typename T>
+SignedRow patch_child(std::span<const index_t> cols, std::span<const T> vals,
+                      const ChangeList& applied) {
+  SignedRow out;
+  out.reserve(cols.size() + applied.size());
+  std::size_t i = 0;
+  std::size_t k = 0;
+  while (i < cols.size() || k < applied.size()) {
+    if (k == applied.size() ||
+        (i < cols.size() && cols[i] < applied[k].first)) {
+      out.emplace_back(cols[i], vals[i] > T{0} ? +1 : -1);
+      ++i;
+    } else if (i == cols.size() || applied[k].first < cols[i]) {
+      out.emplace_back(applied[k].first, applied[k].second > 0 ? -1 : +1);
+      ++k;
+    } else {
+      // Same column: the existing entry's sign must match the parent's old
+      // state (an insertion implies the parent lacked the column, a removal
+      // implies it had it), so the toggle always cancels the entry.
+      CBM_DCHECK((applied[k].second > 0) == (vals[i] > T{0}),
+                 "delta entry inconsistent with parent mutation");
+      ++i;
+      ++k;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+template <typename T>
+void CbmMatrix<T>::ensure_mutation_state() {
+  const index_t n = rows();
+  if (static_cast<index_t>(row_nnz_.size()) == n) return;
+  // One topological sweep: a root row owns row_nnz(x) = nnz of its delta
+  // row; a compressed row adds its insertions and subtracts its removals
+  // from the parent's count.
+  row_nnz_.assign(static_cast<std::size_t>(n), 0);
+  for (const index_t x : tree_.topological_order()) {
+    if (tree_.is_root_child(x)) {
+      row_nnz_[x] = delta_.row_nnz(x);
+      continue;
+    }
+    index_t count = row_nnz_[tree_.parent(x)];
+    for (const T v : delta_.row_values(x)) count += v > T{0} ? 1 : -1;
+    CBM_DCHECK(count >= 0, "negative reconstructed row nnz");
+    row_nnz_[x] = count;
+  }
+  if (mutation_.epoch == 0 && mutation_.baseline_nnz == 0 &&
+      mutation_.baseline_deltas == 0) {
+    // Born via from_parts: adopt the current state as the staleness baseline
+    // (compress_impl fills these from its DeltaStats instead).
+    const std::int64_t total =
+        std::accumulate(row_nnz_.begin(), row_nnz_.end(), std::int64_t{0});
+    mutation_.baseline_nnz = total;
+    mutation_.baseline_deltas = delta_.nnz();
+    mutation_.source_nnz = total;
+  }
+}
+
+template <typename T>
+MutationResult CbmMatrix<T>::insert_edges(std::span<const EdgeUpdate> edges) {
+  return mutate_edges(edges, {});
+}
+
+template <typename T>
+MutationResult CbmMatrix<T>::remove_edges(std::span<const EdgeUpdate> edges) {
+  return mutate_edges({}, edges);
+}
+
+template <typename T>
+MutationResult CbmMatrix<T>::mutate_edges(std::span<const EdgeUpdate> inserts,
+                                          std::span<const EdgeUpdate> removes) {
+  CBM_SPAN("cbm.mutate");
+  Timer timer;
+  CBM_CHECK(cbm_kind_mutable(kind_),
+            "edge mutation requires kPlain or kSymScaled (other kinds fold a "
+            "column scale the matrix no longer stores — recompress instead)");
+  const index_t n = rows();
+  const index_t m = cols();
+  for (const auto& span : {inserts, removes}) {
+    for (const EdgeUpdate& e : span) {
+      CBM_CHECK(e.row >= 0 && e.row < n && e.col >= 0 && e.col < m,
+                "mutation edge out of range");
+    }
+  }
+  ensure_mutation_state();
+
+  // Gather both spans as (row, col, dir) and sort so each row's requested
+  // toggles come out grouped and column-ordered.
+  struct Op {
+    index_t row;
+    index_t col;
+    int dir;  // +1 insert request, −1 remove request
+  };
+  std::vector<Op> ops;
+  ops.reserve(inserts.size() + removes.size());
+  for (const EdgeUpdate& e : inserts) ops.push_back({e.row, e.col, +1});
+  for (const EdgeUpdate& e : removes) ops.push_back({e.row, e.col, -1});
+  std::sort(ops.begin(), ops.end(), [](const Op& a, const Op& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  MutationResult result;
+  PatternCache<T> old_patterns(tree_, delta_);
+  // Mutated rows with their applied change lists and new patterns.
+  std::unordered_map<index_t, ChangeList> applied;
+  std::unordered_map<index_t, std::vector<index_t>> new_pattern;
+  std::vector<index_t> mutated_rows;  // sorted (ops are row-sorted)
+
+  for (std::size_t s = 0; s < ops.size();) {
+    const index_t row = ops[s].row;
+    std::size_t e = s;
+    while (e < ops.size() && ops[e].row == row) ++e;
+    const std::vector<index_t>& oldp = old_patterns.pattern(row);
+    ChangeList changes;
+    for (std::size_t k = s; k < e;) {
+      const index_t col = ops[k].col;
+      std::int64_t n_ins = 0;
+      std::int64_t n_rem = 0;
+      while (k < e && ops[k].col == col) {
+        (ops[k].dir > 0 ? n_ins : n_rem) += 1;
+        ++k;
+      }
+      CBM_CHECK(n_ins == 0 || n_rem == 0,
+                "edge appears in both the insert and the remove span");
+      const bool present = std::binary_search(oldp.begin(), oldp.end(), col);
+      if (n_ins > 0) {
+        if (present) {
+          result.duplicate_inserts += n_ins;
+        } else {
+          result.inserted += 1;
+          result.duplicate_inserts += n_ins - 1;
+          changes.emplace_back(col, +1);
+        }
+      } else {
+        if (!present) {
+          result.noop_removes += n_rem;
+        } else {
+          result.removed += 1;
+          result.noop_removes += n_rem - 1;
+          changes.emplace_back(col, -1);
+        }
+      }
+    }
+    if (!changes.empty()) {
+      new_pattern.emplace(row, apply_changes(oldp, changes));
+      applied.emplace(row, std::move(changes));
+      mutated_rows.push_back(row);
+    }
+    s = e;
+  }
+
+  // New delta rows (signs only) for every affected row.
+  std::unordered_map<index_t, SignedRow> pending;
+  for (const index_t x : mutated_rows) {
+    const index_t p = tree_.parent(x);
+    if (p == tree_.virtual_root()) {
+      pending.emplace(x, root_row(new_pattern.at(x)));
+    } else {
+      const std::vector<index_t>& pp = new_pattern.contains(p)
+                                           ? new_pattern.at(p)
+                                           : old_patterns.pattern(p);
+      pending.emplace(x, diff_patterns(new_pattern.at(x), pp));
+    }
+  }
+  for (const index_t x : mutated_rows) {
+    for (const index_t c : tree_.children(x)) {
+      if (new_pattern.contains(c)) continue;  // re-diffed above
+      pending.emplace(c, patch_child(delta_.row_indices(c),
+                                     delta_.row_values(c), applied.at(x)));
+    }
+  }
+
+  // Admissibility repair (§V-C, sign-corrected): a compressed row whose
+  // delta no longer beats storing the pattern outright — |Δ(x)| < nnz(A_x) −
+  // α — is cut loose and re-attached to the virtual root. No parent search:
+  // staleness() accounts for the lost gain and the background recompression
+  // restores optimality.
+  std::vector<index_t> reparented;
+  for (auto& [r, row] : pending) {
+    if (tree_.parent(r) == tree_.virtual_root()) continue;
+    const bool is_mutated = new_pattern.contains(r);
+    const index_t rn = is_mutated ? static_cast<index_t>(new_pattern.at(r).size())
+                                  : row_nnz_[r];
+    if (static_cast<index_t>(row.size()) + alpha_ < rn) continue;
+    // A patched child's pattern is unchanged; rebuild it from the parent's
+    // old pattern only now that the re-attachment actually needs it.
+    const std::vector<index_t> pattern =
+        is_mutated ? new_pattern.at(r)
+                   : merge_delta(old_patterns.pattern(tree_.parent(r)),
+                                 delta_.row_indices(r), delta_.row_values(r));
+    row = root_row(pattern);
+    reparented.push_back(r);
+  }
+  std::sort(reparented.begin(), reparented.end());
+
+  // Rebuild the delta CSR in one O(nnz) pass, splicing the rewritten rows in.
+  const std::int64_t old_delta_nnz = delta_.nnz();
+  if (!pending.empty()) {
+    std::vector<offset_t> indptr(static_cast<std::size_t>(n) + 1, 0);
+    for (index_t x = 0; x < n; ++x) {
+      const auto it = pending.find(x);
+      const auto count = it != pending.end()
+                             ? static_cast<offset_t>(it->second.size())
+                             : static_cast<offset_t>(delta_.row_nnz(x));
+      indptr[x + 1] = indptr[x] + count;
+    }
+    std::vector<index_t> indices(static_cast<std::size_t>(indptr.back()));
+    std::vector<T> values(static_cast<std::size_t>(indptr.back()));
+    for (index_t x = 0; x < n; ++x) {
+      offset_t out = indptr[x];
+      if (const auto it = pending.find(x); it != pending.end()) {
+        for (const auto& [col, sign] : it->second) {
+          indices[out] = col;
+          // Same value expression as build_delta_matrix: the folded column
+          // scale is 1 for kPlain and the diagonal for kSymScaled, so the
+          // rewritten rows are bitwise identical to a fresh extraction.
+          const T scale = kind_ == CbmKind::kPlain ? T{1} : diag_[col];
+          values[out] = sign > 0 ? scale : -scale;
+          ++out;
+        }
+      } else {
+        const auto cols = delta_.row_indices(x);
+        const auto vals = delta_.row_values(x);
+        std::copy(cols.begin(), cols.end(), indices.begin() + out);
+        std::copy(vals.begin(), vals.end(), values.begin() + out);
+      }
+    }
+    delta_ = CsrMatrix<T>(n, m, std::move(indptr), std::move(indices),
+                          std::move(values));
+  }
+
+  // Tree repair + schedule maintenance, only when an edge was actually cut.
+  // The swap publishes a fresh FusedRowSchedule; copies of this matrix keep
+  // sharing the old one (copy-on-write at the schedule level).
+  if (!reparented.empty()) {
+    tree_ = tree_.with_reparented_to_root(reparented);
+    fused_schedule_ = std::make_shared<const FusedRowSchedule<T>>(
+        build_fused_row_schedule(tree_, kind_, std::span<const T>(diag_)));
+  }
+
+  // Bookkeeping: per-row nnz for mutated rows, then the staleness state.
+  for (const index_t x : mutated_rows) {
+    row_nnz_[x] = static_cast<index_t>(new_pattern.at(x).size());
+  }
+  mutation_.epoch += 1;
+  mutation_.reparented_rows += static_cast<index_t>(reparented.size());
+  mutation_.source_nnz += result.inserted - result.removed;
+
+  result.touched_rows = static_cast<index_t>(pending.size());
+  result.reparented_rows = static_cast<index_t>(reparented.size());
+  result.delta_nnz_change = delta_.nnz() - old_delta_nnz;
+  result.tree_changed = !reparented.empty();
+
+  CBM_COUNTER_ADD("cbm.mutate.calls", 1);
+  CBM_COUNTER_ADD("cbm.mutate.inserted_edges", result.inserted);
+  CBM_COUNTER_ADD("cbm.mutate.removed_edges", result.removed);
+  CBM_COUNTER_ADD("cbm.mutate.touched_rows",
+                  static_cast<std::int64_t>(result.touched_rows));
+  CBM_COUNTER_ADD("cbm.mutate.reparented_rows",
+                  static_cast<std::int64_t>(result.reparented_rows));
+  if (result.tree_changed) CBM_COUNTER_ADD("cbm.mutate.tree_rebuilds", 1);
+  CBM_GAUGE_SET("cbm.mutate.staleness", staleness());
+  CBM_GAUGE_SET("cbm.mutate.epoch", static_cast<double>(mutation_.epoch));
+  CBM_TIMING_RECORD("cbm.mutate", timer.seconds());
+
+  // CBM_VALIDATE=build|full re-audits the patched format the same way
+  // compression and from_parts do theirs.
+  if (const auto level = check::validate_level_from_env();
+      level != check::ValidateLevel::kOff) {
+    CBM_SPAN("cbm.validate");
+    check::enforce(check::validate(*this, {.level = level}));
+    CBM_COUNTER_ADD("cbm.validate.calls", 1);
+  }
+  return result;
+}
+
+template <typename T>
+double CbmMatrix<T>::staleness() const {
+  return mutation_staleness(mutation_, rows(), delta_.nnz());
+}
+
+// Member definitions live in this TU, so the class-level explicit
+// instantiations in cbm_matrix.cpp cannot see them — instantiate here.
+template void CbmMatrix<float>::ensure_mutation_state();
+template void CbmMatrix<double>::ensure_mutation_state();
+template MutationResult CbmMatrix<float>::insert_edges(
+    std::span<const EdgeUpdate>);
+template MutationResult CbmMatrix<double>::insert_edges(
+    std::span<const EdgeUpdate>);
+template MutationResult CbmMatrix<float>::remove_edges(
+    std::span<const EdgeUpdate>);
+template MutationResult CbmMatrix<double>::remove_edges(
+    std::span<const EdgeUpdate>);
+template MutationResult CbmMatrix<float>::mutate_edges(
+    std::span<const EdgeUpdate>, std::span<const EdgeUpdate>);
+template MutationResult CbmMatrix<double>::mutate_edges(
+    std::span<const EdgeUpdate>, std::span<const EdgeUpdate>);
+template double CbmMatrix<float>::staleness() const;
+template double CbmMatrix<double>::staleness() const;
+
+}  // namespace cbm

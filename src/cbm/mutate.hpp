@@ -1,0 +1,99 @@
+// Incremental CBM maintenance for dynamic graphs (ROADMAP item 3).
+//
+// Production graphs mutate; recompressing from scratch on every edge change
+// pays the two phases that dominate CbmMatrix::compress — candidate-edge
+// enumeration over all row pairs and the MCA solve — for a batch that
+// touches a handful of rows. insert_edges / remove_edges (declared on
+// CbmMatrix, implemented here) instead patch the format in place:
+//
+//  1. Delta patching. A mutated row x changes exactly two delta
+//     neighbourhoods: its own row (re-diffed against its parent's pattern,
+//     Eq. 2) and each child's row (patched entry-by-entry from x's change
+//     list alone — a column x gained that a child's delta inserted is now
+//     inherited, so the entry drops; a column x gained that the child never
+//     had needs a new removal entry, and symmetrically for losses). No
+//     other row's delta depends on x, so the work is proportional to the
+//     batch's Hamming neighbourhood, not the matrix.
+//
+//  2. Arborescence repair. Every affected tree edge re-runs the
+//     sign-corrected §V-C admissibility check |Δ(x)| < nnz(A_x) − α (the
+//     same inequality the distance graph admitted it under). An edge that
+//     no longer compresses is cut and the row re-attached to the virtual
+//     root with its full pattern as the delta row — the local MST-repair
+//     move; no solver runs. Property 1 (nnz(A') ≤ nnz(A)) survives by
+//     construction: re-attached rows store exactly nnz(A_x) deltas and
+//     surviving edges store strictly fewer.
+//
+//  3. Schedule maintenance. The FusedRowSchedule depends only on
+//     (tree, kind, diag), so a batch that cuts no tree edge keeps it
+//     untouched; a batch that does swaps in a rebuilt schedule (copies of
+//     the matrix keep sharing the old one — mutation is copy-on-write at
+//     the schedule level).
+//
+// Each batch bumps mutation_epoch() and updates the staleness bookkeeping:
+// staleness() reports max(reparented-row fraction, compression gain lost
+// versus the fresh-compress baseline), published as the cbm.mutate.staleness
+// gauge. Past RuntimeConfig::stale_threshold (CBM_STALE_THRESHOLD) the
+// caller should schedule a full background recompression — serve's
+// AdjacencyCache::mutate_or_invalidate and bench_streaming both do.
+//
+// Supported kinds: kPlain and kSymScaled (their column scale — 1 or the
+// stored diagonal — is recoverable; kColumnScaled/kTwoSided fold a diagonal
+// the matrix no longer holds, so they throw). The diagonal itself is
+// treated as fixed: mutating D·A·D edits A under the existing D. When D
+// must track the mutation (e.g. GCN degree normalisation), recompress.
+//
+// Thread safety: mutation is NOT safe against concurrent multiplies on the
+// same instance. Long-lived services mutate a private copy and publish it
+// atomically (the serve cache's clone-patch-reinsert path); tests serialise.
+//
+// cbm::check::validate_mutation cross-checks a mutated matrix: the Eq. 2
+// reconstruction against the expected pattern plus the staleness
+// bookkeeping recomputed from first principles.
+#pragma once
+
+#include <algorithm>
+
+#include "cbm/cbm_matrix.hpp"
+
+namespace cbm {
+
+// The mutation API itself lives on CbmMatrix / PartitionedCbmMatrix
+// (EdgeUpdate, MutationResult, MutationBookkeeping, insert_edges,
+// remove_edges, mutate_edges, staleness, mutation_epoch — see
+// cbm_matrix.hpp and partitioned.hpp). This header documents the algorithm
+// and hosts the pieces shared by the serving layer and the benches.
+
+/// The staleness value implied by a bookkeeping snapshot and the current
+/// delta count — the exact formula CbmMatrix::staleness() evaluates,
+/// exposed so cbm::check can recompute it from reconstructed ground truth
+/// and so tests can assert the published gauge. Returns 0 for epoch 0.
+/// Header-inline on purpose: cbm::check sits below cbm_core in the link
+/// graph and must not pull mutate.cpp's symbols.
+inline double mutation_staleness(const MutationBookkeeping& state, index_t rows,
+                                 std::int64_t current_deltas) {
+  if (state.epoch == 0) return 0.0;
+  const double reparented_frac =
+      rows > 0 ? static_cast<double>(state.reparented_rows) /
+                     static_cast<double>(rows)
+               : 0.0;
+  // Gain ratio 1 − nnz(A')/nnz(A): the fraction of the source nonzeros the
+  // format avoids storing (and avoids streaming in the multiply stage).
+  // Ratios rather than absolute counts so that the metric stays meaningful
+  // when mutation changes nnz(A) itself.
+  const auto gain = [](std::int64_t deltas, std::int64_t nnz) {
+    return nnz > 0
+               ? 1.0 - static_cast<double>(deltas) / static_cast<double>(nnz)
+               : 0.0;
+  };
+  const double lost = gain(state.baseline_deltas, state.baseline_nnz) -
+                      gain(current_deltas, state.source_nnz);
+  return std::clamp(std::max(reparented_frac, std::max(0.0, lost)), 0.0, 1.0);
+}
+
+/// True when `kind` supports in-place mutation (see file comment).
+[[nodiscard]] constexpr bool cbm_kind_mutable(CbmKind kind) {
+  return kind == CbmKind::kPlain || kind == CbmKind::kSymScaled;
+}
+
+}  // namespace cbm

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <optional>
 
+#include "cbm/mutate.hpp"
 #include "cbm/spmm_cbm_fused.hpp"
 #include "common/envknobs.hpp"
 #include "common/parallel.hpp"
@@ -293,6 +294,93 @@ void PartitionedCbmMatrix<T>::multiply_with_plans(
     }
   }
   graph.run();
+}
+
+template <typename T>
+void PartitionedCbmMatrix<T>::ensure_row_index() {
+  if (static_cast<index_t>(row_part_.size()) == rows_ && rows_ > 0) return;
+  row_part_.assign(static_cast<std::size_t>(rows_), -1);
+  row_local_.assign(static_cast<std::size_t>(rows_), -1);
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    const auto& rows = parts_[i].rows;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      row_part_[rows[r]] = static_cast<index_t>(i);
+      row_local_[rows[r]] = static_cast<index_t>(r);
+    }
+  }
+}
+
+template <typename T>
+MutationResult PartitionedCbmMatrix<T>::insert_edges(
+    std::span<const EdgeUpdate> edges) {
+  return mutate_edges(edges, {});
+}
+
+template <typename T>
+MutationResult PartitionedCbmMatrix<T>::remove_edges(
+    std::span<const EdgeUpdate> edges) {
+  return mutate_edges({}, edges);
+}
+
+template <typename T>
+MutationResult PartitionedCbmMatrix<T>::mutate_edges(
+    std::span<const EdgeUpdate> inserts, std::span<const EdgeUpdate> removes) {
+  CBM_SPAN("cbm.part_mutate");
+  ensure_row_index();
+  // Route each edge to the part owning its row, translating to the part's
+  // local row id (columns are global in every part, so they pass through).
+  std::vector<std::vector<EdgeUpdate>> part_ins(parts_.size());
+  std::vector<std::vector<EdgeUpdate>> part_rem(parts_.size());
+  const auto route = [&](std::span<const EdgeUpdate> edges,
+                         std::vector<std::vector<EdgeUpdate>>& buckets) {
+    for (const EdgeUpdate& e : edges) {
+      CBM_CHECK(e.row >= 0 && e.row < rows_, "mutation edge row out of range");
+      buckets[row_part_[e.row]].push_back({row_local_[e.row], e.col});
+    }
+  };
+  route(inserts, part_ins);
+  route(removes, part_rem);
+  MutationResult total;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (part_ins[i].empty() && part_rem[i].empty()) continue;
+    const MutationResult r =
+        parts_[i].cbm.mutate_edges(part_ins[i], part_rem[i]);
+    total.inserted += r.inserted;
+    total.removed += r.removed;
+    total.duplicate_inserts += r.duplicate_inserts;
+    total.noop_removes += r.noop_removes;
+    total.touched_rows += r.touched_rows;
+    total.reparented_rows += r.reparented_rows;
+    total.delta_nnz_change += r.delta_nnz_change;
+    total.tree_changed = total.tree_changed || r.tree_changed;
+  }
+  return total;
+}
+
+template <typename T>
+double PartitionedCbmMatrix<T>::staleness() const {
+  // The CbmMatrix staleness formula over pooled bookkeeping: reparented
+  // rows against the global row count, gain ratios over summed delta and
+  // source nonzeros. Any mutated part makes the pooled epoch nonzero.
+  MutationBookkeeping pooled;
+  std::int64_t current_deltas = 0;
+  for (const auto& part : parts_) {
+    const MutationBookkeeping& s = part.cbm.mutation_state();
+    pooled.epoch += s.epoch;
+    pooled.reparented_rows += s.reparented_rows;
+    pooled.baseline_nnz += s.baseline_nnz;
+    pooled.baseline_deltas += s.baseline_deltas;
+    pooled.source_nnz += s.source_nnz;
+    current_deltas += part.cbm.delta_matrix().nnz();
+  }
+  return mutation_staleness(pooled, rows_, current_deltas);
+}
+
+template <typename T>
+std::uint64_t PartitionedCbmMatrix<T>::mutation_epoch() const {
+  std::uint64_t total = 0;
+  for (const auto& part : parts_) total += part.cbm.mutation_epoch();
+  return total;
 }
 
 template <typename T>

@@ -90,6 +90,32 @@ class PartitionedCbmMatrix {
   /// `multiply(b, c, MultiplyOptions::auto_plan())`).
   void multiply_auto(const DenseMatrix<T>& b, DenseMatrix<T>& c);
 
+  // ----------------------------------------------------------- mutation --
+  // Incremental maintenance, routed: each edge goes to the part owning its
+  // global row (columns are global in every part) and the batch is applied
+  // part-locally by CbmMatrix's mutation. kPlain only — the scaled
+  // partitioned kinds build kTwoSided parts, which cannot be mutated
+  // in place (recompress instead). Same thread-safety contract as
+  // CbmMatrix: not safe against concurrent multiplies on this instance.
+
+  /// Inserts edges (global coordinates). See CbmMatrix::insert_edges.
+  MutationResult insert_edges(std::span<const EdgeUpdate> edges);
+
+  /// Removes edges (global coordinates). See CbmMatrix::remove_edges.
+  MutationResult remove_edges(std::span<const EdgeUpdate> edges);
+
+  /// One batch of inserts + removes; results aggregated across parts.
+  MutationResult mutate_edges(std::span<const EdgeUpdate> inserts,
+                              std::span<const EdgeUpdate> removes);
+
+  /// Aggregate staleness: the CbmMatrix formula evaluated over the summed
+  /// per-part bookkeeping (reparented rows and gain ratios pool across
+  /// parts; 0 while no part has been mutated).
+  [[nodiscard]] double staleness() const;
+
+  /// Sum of the parts' mutation epochs — moves on every effective batch.
+  [[nodiscard]] std::uint64_t mutation_epoch() const;
+
   [[nodiscard]] index_t rows() const { return rows_; }
   [[nodiscard]] index_t cols() const { return cols_; }
   [[nodiscard]] index_t num_parts() const {
@@ -119,9 +145,15 @@ class PartitionedCbmMatrix {
                            std::span<const MultiplySchedule> plans,
                            const RuntimeConfig& config);
 
+  /// Builds row_part_/row_local_ (global row → owning part and local row)
+  /// on first mutation; parts never exchange rows, so it is built once.
+  void ensure_row_index();
+
   std::vector<Part> parts_;
   index_t rows_ = 0;
   index_t cols_ = 0;
+  std::vector<index_t> row_part_;   ///< global row → part (mutation routing)
+  std::vector<index_t> row_local_;  ///< global row → row within its part
 };
 
 extern template class PartitionedCbmMatrix<float>;

@@ -1,10 +1,13 @@
 #include "check/check.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
 
+#include "cbm/mutate.hpp"    // mutation_staleness (header-inline)
 #include "cbm/spmm_cbm.hpp"  // cbm_kind_row_scaled (constexpr, header-only)
 #include "common/error.hpp"
 #include "obs/json.hpp"
@@ -456,6 +459,118 @@ CheckReport validate_against(const CompressionTree& tree, CbmKind kind,
                           options);
 }
 
+template <typename T>
+CheckReport validate_mutation(const CbmMatrix<T>& m,
+                              const CsrMatrix<T>* expected,
+                              const ValidateOptions& options) {
+  ValidateOptions opts = options;
+  opts.level = ValidateLevel::kFull;  // the reconstruction is the point
+  CheckReport report;
+  report.level = opts.level;
+  report.total_deltas = m.delta_matrix().nnz();
+  Reporter rep(opts, report);
+
+  check_structure(m.tree(), m.kind(), m.diagonal(), m.delta_matrix(), rep);
+  std::vector<std::vector<std::pair<index_t, T>>> rows_data;
+  report.reconstructed_nnz =
+      check_reconstruction(m.tree(), m.kind(), m.delta_matrix(), rows_data, rep);
+  if (report.reconstructed_nnz < 0) return report;  // shape already reported
+
+  const MutationBookkeeping& state = m.mutation_state();
+  const index_t n = m.rows();
+  // A from_parts-born matrix initialises its bookkeeping lazily on the first
+  // mutation; until then the tracked counts are meaningless zeros.
+  const bool tracked = state.epoch > 0 || state.baseline_nnz != 0 ||
+                       state.baseline_deltas != 0;
+
+  if (tracked) {
+    rep.rule_checked();
+    if (state.source_nnz != report.reconstructed_nnz) {
+      rep.fail("mutation-source-nnz",
+               cat("bookkeeping tracks nnz(A) = ", state.source_nnz,
+                   ", reconstruction has ", report.reconstructed_nnz));
+    }
+    // Property 1 against the tracked count: drift between the delta matrix
+    // and the bookkeeping shows up here even when both are self-consistent.
+    rep.rule_checked();
+    if (report.total_deltas > state.source_nnz) {
+      rep.fail("mutation-property-1",
+               cat("nnz(A') = ", report.total_deltas,
+                   " > tracked nnz(A) = ", state.source_nnz));
+    }
+  }
+
+  rep.rule_checked();
+  if (state.reparented_rows < 0 || state.reparented_rows > n) {
+    rep.fail("mutation-reparented",
+             cat("reparented_rows = ", state.reparented_rows,
+                 " outside [0, ", n, "]"));
+  } else if (state.epoch == 0 && state.reparented_rows != 0) {
+    rep.fail("mutation-reparented",
+             cat("epoch 0 but reparented_rows = ", state.reparented_rows));
+  }
+
+  // Staleness: the published value (the formula over the tracked state and
+  // the live delta count — exactly what staleness() returns) must agree
+  // with the formula evaluated on the *reconstructed* source nnz. A
+  // divergence means the incremental source_nnz tracking drifted in a way
+  // the metric actually feels.
+  rep.rule_checked();
+  const double got = mutation_staleness(state, n, report.total_deltas);
+  MutationBookkeeping truth = state;
+  truth.source_nnz = report.reconstructed_nnz;
+  const double want = mutation_staleness(truth, n, report.total_deltas);
+  if (got < 0.0 || got > 1.0 || std::abs(got - want) > 1e-12) {
+    rep.fail("mutation-staleness",
+             cat("staleness() = ", got,
+                 ", recomputed from the reconstruction = ", want));
+  }
+
+  // α admissibility from the reconstruction alone: mutation repair must
+  // leave every surviving tree edge strictly profitable at the matrix's α.
+  rep.rule_checked();
+  for (index_t x = 0; x < n; ++x) {
+    if (m.tree().parent(x) == m.tree().virtual_root()) continue;
+    const auto deltas = static_cast<std::int64_t>(m.delta_matrix().row_nnz(x));
+    const auto direct =
+        static_cast<std::int64_t>(rows_data[static_cast<std::size_t>(x)].size());
+    if (deltas + m.alpha() >= direct) {
+      rep.fail("mutation-alpha-admissible",
+               cat("row ", x, ": |delta| = ", deltas, " + alpha = ", m.alpha(),
+                   " >= nnz(A_x) = ", direct));
+    }
+  }
+
+  if (expected != nullptr) {
+    rep.rule_checked();
+    if (expected->rows() != n || expected->cols() != m.cols()) {
+      rep.fail("mutation-expected",
+               cat("expected is ", expected->rows(), "x", expected->cols(),
+                   ", matrix ", n, "x", m.cols()));
+    } else {
+      for (index_t x = 0; x < n; ++x) {
+        const auto& got_row = rows_data[static_cast<std::size_t>(x)];
+        const auto cols = expected->row_indices(x);
+        if (got_row.size() != cols.size()) {
+          rep.fail("mutation-expected",
+                   cat("row ", x, " reconstructs ", got_row.size(),
+                       " entries, expected ", cols.size()));
+          continue;
+        }
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+          if (got_row[k].first != cols[k]) {
+            rep.fail("mutation-expected",
+                     cat("row ", x, " entry ", k, " reconstructs col ",
+                         got_row[k].first, ", expected ", cols[k]));
+            break;
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
 template CheckReport validate_parts<float>(const CompressionTree&, CbmKind,
                                            std::span<const float>,
                                            const CsrMatrix<float>&,
@@ -476,5 +591,11 @@ template CheckReport validate_against<double>(const CompressionTree&, CbmKind,
                                               const CsrMatrix<double>&,
                                               std::span<const double>,
                                               const ValidateOptions&);
+template CheckReport validate_mutation<float>(const CbmMatrix<float>&,
+                                              const CsrMatrix<float>*,
+                                              const ValidateOptions&);
+template CheckReport validate_mutation<double>(const CbmMatrix<double>&,
+                                               const CsrMatrix<double>*,
+                                               const ValidateOptions&);
 
 }  // namespace cbm::check

@@ -108,6 +108,31 @@ CheckReport validate(const CbmMatrix<T>& m, const ValidateOptions& options = {})
                         options);
 }
 
+/// Validates a matrix maintained by incremental mutation (cbm/mutate.cpp):
+/// the full structural + reconstruction sweep, then the mutation
+/// bookkeeping cross-checked against ground truth recomputed from the Eq. 2
+/// reconstruction. Always runs at kFull depth (the reconstruction is the
+/// point). Rules beyond validate()'s:
+///  - mutation-source-nnz: the tracked nnz(op(A)) equals the
+///    reconstruction's (skipped for a never-mutated from_parts matrix,
+///    whose bookkeeping is lazily initialised);
+///  - mutation-reparented: cumulative re-parents lie in [0, rows] and are 0
+///    while the epoch is 0;
+///  - mutation-property-1: nnz(A') ≤ the tracked source nnz — Property 1
+///    holds against the bookkeeping, not just the reconstruction;
+///  - mutation-staleness: staleness() matches the formula recomputed here
+///    from the tracked state, and lies in [0, 1] (0 at epoch 0);
+///  - mutation-alpha-admissible: every surviving tree edge still satisfies
+///    the sign-corrected §V-C admission |Δ(x)| < nnz(A_x) − α at the
+///    matrix's own α, with nnz(A_x) taken from the reconstruction.
+/// `expected` (optional): the post-mutation pattern the caller believes
+/// op(A) should have — compared column-exactly per row (values are the
+/// scaling's business and already pinned by the reconstruction rule).
+template <typename T>
+CheckReport validate_mutation(const CbmMatrix<T>& m,
+                              const CsrMatrix<T>* expected = nullptr,
+                              const ValidateOptions& options = {});
+
 /// Throws CbmError carrying report.summary() when the report has issues.
 void enforce(const CheckReport& report);
 
@@ -129,5 +154,11 @@ extern template CheckReport validate_against<double>(
     const CompressionTree&, CbmKind, std::span<const double>,
     const CsrMatrix<double>&, const CsrMatrix<double>&,
     std::span<const double>, const ValidateOptions&);
+extern template CheckReport validate_mutation<float>(const CbmMatrix<float>&,
+                                                     const CsrMatrix<float>*,
+                                                     const ValidateOptions&);
+extern template CheckReport validate_mutation<double>(
+    const CbmMatrix<double>&, const CsrMatrix<double>*,
+    const ValidateOptions&);
 
 }  // namespace cbm::check

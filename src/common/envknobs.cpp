@@ -140,6 +140,11 @@ RuntimeConfig RuntimeConfig::from_env() {
   cfg.numa = numa_mode_from_env();
   cfg.exec_grain = env_exec_grain();
   cfg.perf = perf_mode_from_env();
+  cfg.stale_threshold = env_double_strict("CBM_STALE_THRESHOLD", 0.5);
+  if (const char* v = lookup("CBM_STALE_THRESHOLD");
+      v != nullptr && (cfg.stale_threshold < 0.0 || cfg.stale_threshold > 1.0)) {
+    bad_value("CBM_STALE_THRESHOLD", v, "a number in [0, 1]");
+  }
   return cfg;
 }
 

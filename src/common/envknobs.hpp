@@ -125,6 +125,10 @@ struct RuntimeConfig {
   index_t exec_grain = 64;
   /// CBM_PERF — hardware-counter sampling policy.
   PerfMode perf = PerfMode::kOff;
+  /// CBM_STALE_THRESHOLD — CbmMatrix::staleness() level at which holders of
+  /// a mutated matrix (serve's AdjacencyCache, the streaming bench) schedule
+  /// a full background recompression. In [0, 1]; 1 disables the trigger.
+  double stale_threshold = 0.5;
 
   /// Reads every knob above from the environment, with the same strict
   /// validation the historical per-site readers applied (garbage throws).

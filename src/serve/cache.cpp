@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <utility>
+#include <vector>
 
+#include "cbm/mutate.hpp"
 #include "cbm/serialize.hpp"
+#include "common/envknobs.hpp"
 #include "obs/obs.hpp"
 
 namespace cbm::serve {
@@ -111,6 +114,93 @@ void AdjacencyCache<T>::evict_over_budget_locked() {
     ++stats_.evictions;
     CBM_COUNTER_ADD("cbm.serve.cache.evictions", 1);
   }
+}
+
+template <typename T>
+bool AdjacencyCache<T>::invalidate(const GraphKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  bytes_ -= (*it->second)->bytes();
+  lru_.erase(it->second);
+  index_.erase(it);
+  ++stats_.invalidations;
+  stats_.entries = index_.size();
+  stats_.bytes = bytes_;
+  CBM_COUNTER_ADD("cbm.serve.cache.invalidations", 1);
+  CBM_GAUGE_SET("cbm.serve.cache.bytes", static_cast<std::int64_t>(bytes_));
+  CBM_GAUGE_SET("cbm.serve.cache.entries",
+                static_cast<std::int64_t>(index_.size()));
+  return true;
+}
+
+template <typename T>
+typename AdjacencyCache<T>::MutationOutcome
+AdjacencyCache<T>::mutate_or_invalidate(const GraphKey& key,
+                                        std::span<const EdgeUpdate> inserts,
+                                        std::span<const EdgeUpdate> removes,
+                                        double stale_threshold) {
+  CBM_SPAN("cbm.serve.mutate");
+  MutationOutcome out;
+  out.new_key = key;
+  // lookup (not a raw index probe) so a disk-resident entry is mutable too;
+  // the hit/miss accounting it does reflects a real access.
+  const EntryPtr entry = lookup(key);
+  if (entry == nullptr) return out;
+  if (!cbm_kind_mutable(entry->cbm().kind())) {
+    invalidate(key);
+    out.action = MutationOutcome::Action::kInvalidated;
+    CBM_COUNTER_ADD("cbm.serve.cache.mutation_invalidations", 1);
+    return out;
+  }
+
+  // Clone-patch-publish: in-flight multiplies keep the old snapshot via
+  // their shared_ptr; only the clone is ever mutated.
+  CbmMatrix<T> clone = entry->cbm();
+  out.mutation = clone.mutate_edges(inserts, removes);
+  out.staleness = clone.staleness();
+
+  // Canonical key of the mutated graph: the binary pattern a fresh request
+  // for it would fingerprint (values of scaled kinds are D's business).
+  CsrMatrix<T> pattern = clone.materialize();
+  if (clone.kind() != CbmKind::kPlain) {
+    for (auto& v : pattern.values_mut()) v = T{1};
+  }
+  out.new_key = make_graph_key(pattern, key.kind, key.alpha);
+
+  double threshold = stale_threshold;
+  if (threshold < 0.0) threshold = RuntimeConfig::from_env().stale_threshold;
+  if (out.staleness >= threshold) {
+    // Staleness crossed the line: the incremental patch has degraded the
+    // format enough that a full recompression pays for itself.
+    CbmOptions opts;
+    opts.alpha = key.alpha;
+    if (clone.kind() == CbmKind::kPlain) {
+      clone = CbmMatrix<T>::compress(pattern, opts);
+    } else {
+      const auto diag_span = clone.diagonal();
+      const std::vector<T> diag(diag_span.begin(), diag_span.end());
+      clone = CbmMatrix<T>::compress_scaled(pattern, diag, clone.kind(), opts);
+    }
+    out.staleness = clone.staleness();
+    out.action = MutationOutcome::Action::kRecompressed;
+    CBM_COUNTER_ADD("cbm.serve.cache.recompressions", 1);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.recompressions;
+  } else {
+    out.action = MutationOutcome::Action::kPatched;
+  }
+
+  invalidate(key);  // the pre-mutation version is superseded
+  out.entry = insert(out.new_key, std::move(clone));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.mutations;
+  }
+  CBM_COUNTER_ADD("cbm.serve.cache.mutations", 1);
+  CBM_GAUGE_SET("cbm.serve.cache.staleness_milli",
+                static_cast<std::int64_t>(out.staleness * 1000.0));
+  return out;
 }
 
 template <typename T>

@@ -9,12 +9,15 @@
 // well as recompression.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "cbm/cbm_matrix.hpp"
 #include "serve/fingerprint.hpp"
@@ -37,10 +40,23 @@ class CacheEntry {
   /// (tuning-cache lookup / probe / analytic policy via `resolve`), every
   /// later one reuses the decision — cached graphs skip re-planning exactly
   /// as they skip recompression. Thread-safe.
+  ///
+  /// Memoisation is epoch-guarded: a plan was resolved against a specific
+  /// delta structure, and incremental mutation (cbm/mutate.hpp) changes
+  /// that structure without changing the entry's identity. Every call
+  /// compares the matrix's mutation_epoch() with the epoch the memo was
+  /// built at and drops stale plans wholesale, so a mutated entry re-plans
+  /// on its next request instead of running a plan tuned for a shape that
+  /// no longer exists.
   MultiplySchedule plan_for(
       index_t bcols,
       const std::function<MultiplySchedule(const CbmMatrix<T>&)>& resolve) {
     const std::lock_guard<std::mutex> lock(plan_mutex_);
+    const std::uint64_t epoch = cbm_.mutation_epoch();
+    if (epoch != plans_epoch_) {
+      plans_.clear();
+      plans_epoch_ = epoch;
+    }
     const auto it = plans_.find(bcols);
     if (it != plans_.end()) return it->second;
     const MultiplySchedule plan = resolve(cbm_);
@@ -48,10 +64,31 @@ class CacheEntry {
     return plan;
   }
 
-  /// Number of widths with a memoised plan (tests / stats).
+  /// Number of widths with a memoised plan (tests / stats). Counts only
+  /// plans still valid for the current mutation epoch.
   [[nodiscard]] std::size_t plans_resolved() {
     const std::lock_guard<std::mutex> lock(plan_mutex_);
+    if (cbm_.mutation_epoch() != plans_epoch_) return 0;
     return plans_.size();
+  }
+
+  /// Applies an in-place mutation to the cached matrix (`fn` receives the
+  /// matrix mutably and its return value is passed through — typically a
+  /// MutationResult from insert_edges/remove_edges) and refreshes the
+  /// entry's byte accounting. The epoch guard in plan_for() then retires
+  /// every memoised plan automatically.
+  ///
+  /// Same thread-safety contract as CbmMatrix mutation: NOT safe against
+  /// concurrent multiplies on this entry's matrix. Cache-resident entries
+  /// should be mutated through AdjacencyCache::mutate_or_invalidate, which
+  /// clones instead (in-flight multiplies keep the old snapshot) and keeps
+  /// the cache's byte budget accounting coherent.
+  template <typename Fn>
+  auto mutate_cbm(Fn&& fn) {
+    const std::lock_guard<std::mutex> lock(plan_mutex_);
+    auto result = std::forward<Fn>(fn)(cbm_);
+    bytes_ = cbm_.bytes();
+    return result;
   }
 
  private:
@@ -60,6 +97,8 @@ class CacheEntry {
   std::size_t bytes_ = 0;
   std::mutex plan_mutex_;
   std::unordered_map<index_t, MultiplySchedule> plans_;
+  /// mutation_epoch() the memoised plans were resolved at.
+  std::uint64_t plans_epoch_ = 0;
 };
 
 /// LRU cache of compressed adjacencies with a byte budget and an optional
@@ -89,8 +128,33 @@ class AdjacencyCache {
     std::uint64_t evictions = 0;   ///< entries dropped for the byte budget
     std::uint64_t disk_hits = 0;   ///< misses satisfied by the disk tier
     std::uint64_t disk_errors = 0; ///< unreadable/mismatched disk entries
+    std::uint64_t mutations = 0;       ///< mutate_or_invalidate patches
+    std::uint64_t recompressions = 0;  ///< stale entries fully recompressed
+    std::uint64_t invalidations = 0;   ///< entries dropped by invalidate()
     std::size_t entries = 0;       ///< current resident entry count
     std::size_t bytes = 0;         ///< current resident payload bytes
+  };
+
+  /// What mutate_or_invalidate did for one edge batch.
+  struct MutationOutcome {
+    enum class Action {
+      kMiss,          ///< `key` not cached — nothing to maintain
+      kPatched,       ///< incremental patch applied (cbm/mutate.hpp)
+      kRecompressed,  ///< staleness crossed the threshold: fresh compress()
+      kInvalidated,   ///< non-mutable kind — entry dropped, caller rebuilds
+    };
+    Action action = Action::kMiss;
+    /// The post-mutation resident entry (kPatched/kRecompressed), else null.
+    EntryPtr entry;
+    /// Cache key of the mutated graph — the canonical make_graph_key of its
+    /// post-mutation binary pattern, so a later request arriving with the
+    /// mutated adjacency CSR hits this entry directly.
+    GraphKey new_key;
+    /// Edge accounting from the underlying CbmMatrix::mutate_edges.
+    MutationResult mutation;
+    /// staleness() of the resident entry after the call (0 after a
+    /// recompression — the baseline resets).
+    double staleness = 0.0;
   };
 
   explicit AdjacencyCache(std::size_t byte_budget,
@@ -106,6 +170,31 @@ class AdjacencyCache {
   /// already resident the existing entry is returned instead (first writer
   /// wins — concurrent compressions of the same graph converge).
   EntryPtr insert(const GraphKey& key, CbmMatrix<T> cbm);
+
+  /// Applies an edge batch to the cached graph `key` without taking the
+  /// old entry away from in-flight multiplies: the resident matrix is
+  /// cloned, the clone patched incrementally (CbmMatrix::mutate_edges),
+  /// and the result re-inserted under the mutated graph's canonical key;
+  /// the pre-mutation entry is then invalidated. When the patched clone's
+  /// staleness() reaches `stale_threshold` the clone is thrown away and the
+  /// mutated pattern fully recompressed instead (the "background
+  /// recompression" the staleness gauge exists to trigger — this call never
+  /// sits on the request path). Non-mutable kinds (kColumnScaled,
+  /// kTwoSided) cannot be patched; their entry is invalidated so the next
+  /// request recompresses.
+  ///
+  /// `stale_threshold` < 0 reads RuntimeConfig::from_env().stale_threshold
+  /// (the CBM_STALE_THRESHOLD knob). A key with no resident or disk entry
+  /// returns Action::kMiss.
+  MutationOutcome mutate_or_invalidate(const GraphKey& key,
+                                       std::span<const EdgeUpdate> inserts,
+                                       std::span<const EdgeUpdate> removes,
+                                       double stale_threshold = -1.0);
+
+  /// Drops the in-memory entry for `key` (the disk tier is left alone — its
+  /// file still describes the graph that key names). Returns whether an
+  /// entry was resident. In-flight multiplies keep their shared_ptr.
+  bool invalidate(const GraphKey& key);
 
   /// Drops every in-memory entry (the disk tier is left alone).
   void clear();

@@ -16,17 +16,23 @@ CompressionTree CompressionTree::from_parents(std::vector<index_t> parent) {
   CompressionTree tree;
   tree.parent_ = std::move(parent);
 
-  // Children lists in CSR-ish form (counts then bucket fill) over n+1 nodes,
-  // the last being the virtual root.
+  // Children lists in CSR form (counts then bucket fill) over n+1 nodes,
+  // the last being the virtual root. Kept on the tree (children() serves the
+  // mutation layer); the locals below alias them.
   std::vector<index_t> child_count(static_cast<std::size_t>(n) + 1, 0);
   for (index_t x = 0; x < n; ++x) ++child_count[tree.parent_[x]];
-  std::vector<offset_t> child_ptr(static_cast<std::size_t>(n) + 2, 0);
-  for (index_t v = 0; v <= n; ++v) child_ptr[v + 1] = child_ptr[v] + child_count[v];
-  std::vector<index_t> child(static_cast<std::size_t>(n));
-  {
-    std::vector<offset_t> cursor(child_ptr.begin(), child_ptr.end() - 1);
-    for (index_t x = 0; x < n; ++x) child[cursor[tree.parent_[x]]++] = x;
+  tree.child_ptr_.assign(static_cast<std::size_t>(n) + 2, 0);
+  for (index_t v = 0; v <= n; ++v) {
+    tree.child_ptr_[v + 1] = tree.child_ptr_[v] + child_count[v];
   }
+  tree.child_.assign(static_cast<std::size_t>(n), 0);
+  {
+    std::vector<offset_t> cursor(tree.child_ptr_.begin(),
+                                 tree.child_ptr_.end() - 1);
+    for (index_t x = 0; x < n; ++x) tree.child_[cursor[tree.parent_[x]]++] = x;
+  }
+  const auto& child_ptr = tree.child_ptr_;
+  const auto& child = tree.child_;
   tree.root_children_ = child_count[n];
 
   // BFS from the virtual root: gives the topological order and verifies that
@@ -70,6 +76,23 @@ CompressionTree CompressionTree::from_parents(std::vector<index_t> parent) {
     tree.branches_.push_back(sub);
   }
   return tree;
+}
+
+std::span<const index_t> CompressionTree::children(index_t x) const {
+  CBM_DCHECK(x >= 0 && x <= num_rows(), "children: node out of range");
+  return {child_.data() + child_ptr_[x],
+          static_cast<std::size_t>(child_ptr_[x + 1] - child_ptr_[x])};
+}
+
+CompressionTree CompressionTree::with_reparented_to_root(
+    std::span<const index_t> rows) const {
+  const index_t n = num_rows();
+  std::vector<index_t> parent(parent_);
+  for (const index_t x : rows) {
+    CBM_CHECK(x >= 0 && x < n, "with_reparented_to_root: row out of range");
+    parent[x] = n;
+  }
+  return from_parents(std::move(parent));
 }
 
 std::size_t CompressionTree::bytes() const {

@@ -36,6 +36,22 @@ class CompressionTree {
   /// Parent row of x (== virtual_root() when x is stored directly).
   [[nodiscard]] index_t parent(index_t x) const { return parent_[x]; }
 
+  /// The whole parent array (virtual root encoded as num_rows()).
+  [[nodiscard]] std::span<const index_t> parents() const { return parent_; }
+
+  /// Direct children of row x (empty for leaves). Valid for x in
+  /// [0, num_rows()); pass virtual_root() for the root's children.
+  [[nodiscard]] std::span<const index_t> children(index_t x) const;
+
+  /// New tree equal to this one with every row in `rows` re-attached to the
+  /// virtual root — the incremental-mutation repair primitive: when a
+  /// mutated row loses its admissible parent the arborescence is patched
+  /// locally instead of re-solved. Rows already at the root are accepted
+  /// (no-op). Derived structures (topological order, branches, depths) are
+  /// rebuilt; re-attaching to the root can never create a cycle.
+  [[nodiscard]] CompressionTree with_reparented_to_root(
+      std::span<const index_t> rows) const;
+
   /// True when x hangs directly off the virtual root.
   [[nodiscard]] bool is_root_child(index_t x) const {
     return parent_[x] == virtual_root();
@@ -69,6 +85,11 @@ class CompressionTree {
 
  private:
   std::vector<index_t> parent_;
+  /// Children in CSR form over n+1 nodes (the last bucket is the virtual
+  /// root's) — kept after construction so mutation can enumerate the rows
+  /// whose deltas depend on a patched row without a full scan.
+  std::vector<offset_t> child_ptr_;
+  std::vector<index_t> child_;
   std::vector<index_t> topo_;
   std::vector<std::vector<index_t>> branches_;
   index_t root_children_ = 0;

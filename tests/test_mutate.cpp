@@ -1,0 +1,885 @@
+// Mutation-differential harness for incremental CBM maintenance
+// (cbm/mutate.cpp): every mutated matrix must be indistinguishable — in
+// materialized form and through every multiply path — from a fresh
+// compression of the post-mutation graph, which itself is differenced
+// against the naive dense oracle. Randomized batches draw per-test seeds
+// (test::auto_seed); failures log the seed and CBM_TEST_SEED=<seed> reruns
+// the exact case (docs/testing.md).
+//
+// Coverage map:
+//  - basics + degenerate batches (duplicate inserts, no-op removes,
+//    delete-every-edge rows, empty batches), error contracts;
+//  - seeded insert/remove/mixed batches over the ten oracle input regimes,
+//    checked exactly (materialize) and through two-stage × fused × vector
+//    paths at 1 and 4 threads, with CBM_VALIDATE=full active;
+//  - D·A·D mutation, partitioned routing (including a batch that empties a
+//    partition's rows), staleness/epoch bookkeeping, validate_mutation
+//    positive + corrupted-patch negative cases;
+//  - serve-layer integration: epoch-guarded plan memoisation and
+//    mutate_or_invalidate (cache clone-patch-reinsert).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cbm/cbm_matrix.hpp"
+#include "cbm/mutate.hpp"
+#include "cbm/partitioned.hpp"
+#include "check/check.hpp"
+#include "common/envknobs.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "serve/cache.hpp"
+#include "serve/fingerprint.hpp"
+#include "sparse/scale.hpp"
+#include "test_util.hpp"
+#include "tune/tune.hpp"
+
+namespace cbm {
+namespace {
+
+using test::EnvGuard;
+
+// ------------------------------------------------------- input fixtures --
+
+/// The same ten input regimes the multiply differential sweeps.
+struct GenCase {
+  const char* name;
+  CsrMatrix<float> (*make)(std::uint64_t seed);
+};
+
+CsrMatrix<float> gen_random(std::uint64_t s) {
+  return check::random_binary<float>(48, 0.07, s);
+}
+CsrMatrix<float> gen_clustered(std::uint64_t s) {
+  return check::clustered_binary<float>(64, 5, 10, 2, s);
+}
+CsrMatrix<float> gen_banded(std::uint64_t s) {
+  return check::banded_binary<float>(56, 4, 0.6, s);
+}
+CsrMatrix<float> gen_power_law(std::uint64_t s) {
+  return check::power_law_binary<float>(64, 4, s);
+}
+CsrMatrix<float> gen_empty(std::uint64_t) {
+  return check::empty_binary<float>(40, 40);
+}
+CsrMatrix<float> gen_identity(std::uint64_t) {
+  return CsrMatrix<float>::identity(32);
+}
+CsrMatrix<float> gen_single_row(std::uint64_t s) {
+  Rng rng(s);
+  CooMatrix<float> coo;
+  coo.rows = 36;
+  coo.cols = 36;
+  coo.push(11, 0, 1.0f);
+  for (index_t j = 1; j < 36; ++j) {
+    if (rng.next_bool(0.4)) coo.push(11, j, 1.0f);
+  }
+  return CsrMatrix<float>::from_coo(coo);
+}
+CsrMatrix<float> gen_identical_rows(std::uint64_t s) {
+  return check::identical_rows_binary<float>(48, 9, s);
+}
+CsrMatrix<float> gen_dense_row(std::uint64_t s) {
+  return check::single_dense_row_binary<float>(40, 7, 0.05, s);
+}
+CsrMatrix<float> gen_dense(std::uint64_t) {
+  return check::dense_binary<float>(24, 24);
+}
+
+const GenCase kGenCases[] = {
+    {"random", gen_random},         {"clustered", gen_clustered},
+    {"banded", gen_banded},         {"power_law", gen_power_law},
+    {"empty", gen_empty},           {"identity", gen_identity},
+    {"single_row", gen_single_row}, {"identical_rows", gen_identical_rows},
+    {"dense_row", gen_dense_row},   {"dense", gen_dense},
+};
+
+constexpr double kRtol = 1e-4;
+constexpr double kAtol = 1e-5;
+constexpr std::int64_t kMaxUlps = 32;
+
+#define EXPECT_MATCHES_ORACLE(actual, oracle, what)                      \
+  do {                                                                   \
+    const auto cmp_ = check::compare_allclose((actual), (oracle), kRtol, \
+                                              kAtol, kMaxUlps);          \
+    EXPECT_TRUE(cmp_.ok) << what << ": " << cmp_.to_string();            \
+  } while (0)
+
+// ------------------------------------------------- reference bookkeeping --
+
+/// The binary pattern as a sorted edge set — the mutable ground truth the
+/// CBM mutation is differenced against.
+class RefPattern {
+ public:
+  RefPattern(const CsrMatrix<float>& a) : rows_(a.rows()), cols_(a.cols()) {
+    for (index_t r = 0; r < a.rows(); ++r) {
+      for (const index_t c : a.row_indices(r)) edges_.insert({r, c});
+    }
+  }
+
+  [[nodiscard]] bool has(index_t r, index_t c) const {
+    return edges_.contains({r, c});
+  }
+  void insert(index_t r, index_t c) { edges_.insert({r, c}); }
+  void remove(index_t r, index_t c) { edges_.erase({r, c}); }
+  [[nodiscard]] std::size_t nnz() const { return edges_.size(); }
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+
+  [[nodiscard]] CsrMatrix<float> to_csr() const {
+    CooMatrix<float> coo;
+    coo.rows = rows_;
+    coo.cols = cols_;
+    for (const auto& [r, c] : edges_) coo.push(r, c, 1.0f);
+    return CsrMatrix<float>::from_coo(coo);
+  }
+
+ private:
+  index_t rows_;
+  index_t cols_;
+  std::set<std::pair<index_t, index_t>> edges_;
+};
+
+/// Draws one mixed batch against `ref`: `flips` random cells are toggled
+/// (present → remove span, absent → insert span), and with the given
+/// probabilities extra duplicate inserts / no-op removes ride along so the
+/// degenerate accounting paths run constantly, not just in dedicated tests.
+struct Batch {
+  std::vector<EdgeUpdate> inserts;
+  std::vector<EdgeUpdate> removes;
+};
+
+Batch draw_batch(const RefPattern& ref, index_t flips, Rng& rng) {
+  Batch b;
+  std::set<std::pair<index_t, index_t>> chosen;
+  for (index_t k = 0; k < flips; ++k) {
+    const auto r = static_cast<index_t>(
+        rng.next_below(static_cast<std::uint64_t>(ref.rows())));
+    const auto c = static_cast<index_t>(
+        rng.next_below(static_cast<std::uint64_t>(ref.cols())));
+    if (!chosen.insert({r, c}).second) continue;  // one span per edge
+    if (ref.has(r, c)) {
+      b.removes.push_back({r, c});
+      if (rng.next_bool(0.15)) b.removes.push_back({r, c});  // duplicate op
+    } else {
+      b.inserts.push_back({r, c});
+      if (rng.next_bool(0.15)) b.inserts.push_back({r, c});
+    }
+  }
+  return b;
+}
+
+void apply_batch(RefPattern& ref, const Batch& b) {
+  for (const auto& e : b.inserts) ref.insert(e.row, e.col);
+  for (const auto& e : b.removes) ref.remove(e.row, e.col);
+}
+
+/// Full agreement sweep for one mutated matrix: exact materialization, the
+/// two-stage engine under representative schedules, the fused engine under
+/// several tile widths, and the vector path — each against the dense oracle
+/// of the reference pattern, at 1 and 4 threads.
+void expect_matches_reference(const CbmMatrix<float>& cbm,
+                              const RefPattern& ref, const std::string& what) {
+  const CsrMatrix<float> expected = ref.to_csr();
+  EXPECT_TRUE(cbm.materialize() == expected) << what << ": materialize";
+
+  const auto b =
+      check::random_dense<float>(ref.cols(), 9, test::auto_seed(777));
+  const auto oracle = check::dense_reference_multiply(expected, b);
+  for (const int threads : {1, 4}) {
+    ThreadScope scope(threads);
+    for (const UpdateSchedule update :
+         {UpdateSchedule::kSequential, UpdateSchedule::kBranchDynamic,
+          UpdateSchedule::kTaskGraph}) {
+      DenseMatrix<float> c(ref.rows(), 9);
+      c.fill(-3.0f);
+      cbm.multiply(b, c, MultiplySchedule::two_stage(update));
+      EXPECT_MATCHES_ORACLE(c, oracle,
+                            what << " two_stage update="
+                                 << static_cast<int>(update)
+                                 << " threads=" << threads);
+    }
+    for (const index_t tile : {index_t{0}, index_t{3}, index_t{64}}) {
+      DenseMatrix<float> c(ref.rows(), 9);
+      c.fill(-3.0f);
+      cbm.multiply(b, c, MultiplySchedule::fused(tile));
+      EXPECT_MATCHES_ORACLE(
+          c, oracle, what << " fused tile=" << tile << " threads=" << threads);
+    }
+  }
+  std::vector<float> x(static_cast<std::size_t>(ref.cols()));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.25f + 0.5f * static_cast<float>(i % 7);
+  }
+  const auto y_oracle = check::dense_reference_multiply_vector(
+      expected, std::span<const float>(x));
+  std::vector<float> y(static_cast<std::size_t>(ref.rows()), -3.0f);
+  cbm.multiply_vector(x, y);
+  const auto cmp = check::compare_allclose(
+      std::span<const float>(y), std::span<const float>(y_oracle), kRtol,
+      kAtol, kMaxUlps);
+  EXPECT_TRUE(cmp.ok) << what << " vector: " << cmp.to_string();
+}
+
+// ----------------------------------------------------------- basic cases --
+
+TEST(Mutate, InsertThenRemoveRoundTripsExactly) {
+  const auto a = test::clustered_binary(24, 3, 6, 1, 42);
+  auto cbm = CbmMatrix<float>::compress(a);
+  RefPattern ref(a);
+
+  const std::vector<EdgeUpdate> edges = {{0, 5}, {3, 7}, {11, 1}, {23, 23}};
+  std::vector<EdgeUpdate> fresh;  // the subset actually absent before
+  for (const auto& e : edges) {
+    if (!ref.has(e.row, e.col)) fresh.push_back(e);
+  }
+  ASSERT_FALSE(fresh.empty());
+
+  const MutationResult ins = cbm.insert_edges(fresh);
+  EXPECT_EQ(ins.inserted, static_cast<std::int64_t>(fresh.size()));
+  EXPECT_EQ(ins.duplicate_inserts, 0);
+  EXPECT_EQ(cbm.mutation_epoch(), 1u);
+  for (const auto& e : fresh) ref.insert(e.row, e.col);
+  expect_matches_reference(cbm, ref, "after insert");
+
+  const MutationResult rem = cbm.remove_edges(fresh);
+  EXPECT_EQ(rem.removed, static_cast<std::int64_t>(fresh.size()));
+  EXPECT_EQ(rem.noop_removes, 0);
+  EXPECT_EQ(cbm.mutation_epoch(), 2u);
+  for (const auto& e : fresh) ref.remove(e.row, e.col);
+  expect_matches_reference(cbm, ref, "after remove");
+  EXPECT_TRUE(cbm.materialize() == a);  // exact round trip
+}
+
+TEST(Mutate, DuplicateInsertsAndNoopRemovesAreCountedNotApplied) {
+  const auto a = test::clustered_binary(20, 2, 5, 1, 7);
+  auto cbm = CbmMatrix<float>::compress(a);
+  const RefPattern ref(a);
+
+  // An edge that exists and one that does not.
+  ASSERT_GT(a.nnz(), 0);
+  const index_t er = [&] {
+    for (index_t r = 0; r < a.rows(); ++r) {
+      if (a.row_nnz(r) > 0) return r;
+    }
+    return index_t{0};
+  }();
+  const index_t ec = a.row_indices(er)[0];
+
+  const std::vector<EdgeUpdate> dup_ins = {{er, ec}, {er, ec}};
+  const MutationResult ins = cbm.insert_edges(dup_ins);
+  EXPECT_EQ(ins.inserted, 0);
+  EXPECT_EQ(ins.duplicate_inserts, 2);
+  EXPECT_EQ(ins.touched_rows, 0);
+  EXPECT_EQ(ins.delta_nnz_change, 0);
+
+  index_t ar = 0, ac = 0;  // an absent edge
+  [&] {
+    for (index_t r = 0; r < a.rows(); ++r) {
+      for (index_t c = 0; c < a.cols(); ++c) {
+        if (!ref.has(r, c)) {
+          ar = r;
+          ac = c;
+          return;
+        }
+      }
+    }
+  }();
+  const std::vector<EdgeUpdate> noop_rem = {{ar, ac}, {ar, ac}, {ar, ac}};
+  const MutationResult rem = cbm.remove_edges(noop_rem);
+  EXPECT_EQ(rem.removed, 0);
+  EXPECT_EQ(rem.noop_removes, 3);
+  EXPECT_EQ(rem.touched_rows, 0);
+
+  // No-op batches still advance the epoch (memoisation must revalidate) but
+  // leave the matrix bit-identical.
+  EXPECT_EQ(cbm.mutation_epoch(), 2u);
+  EXPECT_TRUE(cbm.materialize() == a);
+  EXPECT_EQ(cbm.staleness(), 0.0);
+}
+
+TEST(Mutate, DeleteEveryEdgeOfARowAndOfTheMatrix) {
+  const auto a = test::clustered_binary(18, 2, 6, 1, 99);
+  auto cbm = CbmMatrix<float>::compress(a);
+  RefPattern ref(a);
+
+  // Empty one row completely (a row that other rows may compress against).
+  index_t victim = 0;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    if (a.row_nnz(r) > 0) {
+      victim = r;
+      break;
+    }
+  }
+  std::vector<EdgeUpdate> row_edges;
+  for (const index_t c : a.row_indices(victim)) row_edges.push_back({victim, c});
+  cbm.remove_edges(row_edges);
+  for (const auto& e : row_edges) ref.remove(e.row, e.col);
+  expect_matches_reference(cbm, ref, "one row emptied");
+  check::enforce(check::validate_mutation(cbm));
+
+  // Now delete every remaining edge — the all-empty matrix must still
+  // compress, multiply (to zero), and validate.
+  std::vector<EdgeUpdate> rest;
+  const auto current = ref.to_csr();
+  for (index_t r = 0; r < current.rows(); ++r) {
+    for (const index_t c : current.row_indices(r)) rest.push_back({r, c});
+  }
+  cbm.remove_edges(rest);
+  for (const auto& e : rest) ref.remove(e.row, e.col);
+  EXPECT_EQ(ref.nnz(), 0u);
+  expect_matches_reference(cbm, ref, "all edges deleted");
+  check::enforce(check::validate_mutation(cbm));
+}
+
+TEST(Mutate, ErrorContracts) {
+  const auto a = test::random_binary(16, 0.2, 5);
+  auto cbm = CbmMatrix<float>::compress(a);
+
+  const std::vector<EdgeUpdate> bad_row = {{16, 0}};
+  EXPECT_THROW(cbm.insert_edges(bad_row), CbmError);
+  const std::vector<EdgeUpdate> bad_col = {{0, -1}};
+  EXPECT_THROW(cbm.remove_edges(bad_col), CbmError);
+
+  // The same edge in both spans of one batch is a contract violation.
+  const std::vector<EdgeUpdate> both = {{2, 3}};
+  EXPECT_THROW(cbm.mutate_edges(both, both), CbmError);
+
+  // Column-scaled kinds fold a diagonal the matrix no longer stores.
+  const auto diag = test::random_diagonal<float>(16, 11);
+  auto ad = CbmMatrix<float>::compress_scaled(a, diag, CbmKind::kColumnScaled);
+  EXPECT_THROW(ad.insert_edges(both), CbmError);
+  auto dad2 = CbmMatrix<float>::compress_two_sided(a, diag, diag);
+  EXPECT_THROW(dad2.remove_edges(both), CbmError);
+
+  // A failed batch must not have half-applied anything.
+  EXPECT_TRUE(cbm.materialize() == a);
+  EXPECT_EQ(cbm.mutation_epoch(), 0u);
+}
+
+// ---------------------------------------------- randomized differentials --
+
+class MutateDifferential : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(MutateDifferential, BatchesMatchFreshCompressAndOracle) {
+  const auto gen = GetParam();
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  // Post-mutation validation runs inside every batch (the same audit a
+  // fresh compression gets).
+  const EnvGuard validate("CBM_VALIDATE", "full");
+
+  const auto a = gen.make(seed);
+  auto cbm = CbmMatrix<float>::compress(a, {.alpha = 2});
+  RefPattern ref(a);
+  Rng rng(seed ^ 0xA1u);
+
+  for (int round = 0; round < 4; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const Batch batch = draw_batch(ref, /*flips=*/12, rng);
+    const MutationResult res = cbm.mutate_edges(batch.inserts, batch.removes);
+    apply_batch(ref, batch);
+    EXPECT_EQ(cbm.mutation_epoch(), static_cast<std::uint64_t>(round + 1));
+
+    // Exact agreement with the reference pattern and with a fresh
+    // compression of it (materialized forms are canonical CSR, so
+    // patched-vs-fresh equality is bitwise).
+    const CsrMatrix<float> expected = ref.to_csr();
+    const auto fresh = CbmMatrix<float>::compress(expected, {.alpha = 2});
+    EXPECT_TRUE(cbm.materialize() == fresh.materialize());
+    EXPECT_EQ(static_cast<std::int64_t>(ref.nnz()),
+              cbm.mutation_state().source_nnz);
+    // Property 1 must survive patching.
+    EXPECT_LE(cbm.delta_matrix().nnz(), expected.nnz());
+    EXPECT_GE(res.touched_rows, 0);
+
+    check::enforce(check::validate_mutation(cbm, &expected));
+    expect_matches_reference(cbm, ref, std::string(gen.name));
+  }
+}
+
+TEST_P(MutateDifferential, InsertOnlyAndRemoveOnlyBatches) {
+  const auto gen = GetParam();
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = gen.make(seed);
+  auto cbm = CbmMatrix<float>::compress(a);
+  RefPattern ref(a);
+  Rng rng(seed ^ 0x5EEDu);
+
+  // Insert-only: densify a stripe of absent cells.
+  std::vector<EdgeUpdate> ins;
+  for (index_t k = 0; k < 20; ++k) {
+    const auto r = static_cast<index_t>(
+        rng.next_below(static_cast<std::uint64_t>(a.rows())));
+    const auto c = static_cast<index_t>(
+        rng.next_below(static_cast<std::uint64_t>(a.cols())));
+    if (!ref.has(r, c)) {
+      ins.push_back({r, c});
+      ref.insert(r, c);
+    }
+  }
+  cbm.insert_edges(ins);
+  expect_matches_reference(cbm, ref, std::string(gen.name) + " insert-only");
+  check::enforce(check::validate_mutation(cbm));
+
+  // Remove-only: delete a sample of present edges.
+  const auto current = ref.to_csr();
+  std::vector<EdgeUpdate> rem;
+  for (index_t r = 0; r < current.rows(); ++r) {
+    for (const index_t c : current.row_indices(r)) {
+      if (rng.next_bool(0.25)) {
+        rem.push_back({r, c});
+        ref.remove(r, c);
+      }
+    }
+  }
+  cbm.remove_edges(rem);
+  expect_matches_reference(cbm, ref, std::string(gen.name) + " remove-only");
+  check::enforce(check::validate_mutation(cbm));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegimes, MutateDifferential,
+                         ::testing::ValuesIn(kGenCases),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(Mutate, SymScaledDadMutationMatchesScaledOracle) {
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const EnvGuard validate("CBM_VALIDATE", "full");
+  const auto a = test::clustered_binary(40, 4, 8, 2, seed);
+  const auto diag = test::random_diagonal<float>(40, seed ^ 1);
+  auto cbm = CbmMatrix<float>::compress_scaled(a, diag, CbmKind::kSymScaled);
+  RefPattern ref(a);
+  Rng rng(seed ^ 0xDAD);
+
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const Batch batch = draw_batch(ref, /*flips=*/10, rng);
+    cbm.mutate_edges(batch.inserts, batch.removes);
+    apply_batch(ref, batch);
+
+    // Oracle: densify D·A·D of the reference pattern explicitly.
+    const auto pattern = ref.to_csr();
+    const auto dad = scale_both(pattern, std::span<const float>(diag),
+                                std::span<const float>(diag));
+    const auto b = check::random_dense<float>(40, 11, test::auto_seed(2));
+    const auto oracle = check::dense_reference_multiply(dad, b);
+    for (const int threads : {1, 4}) {
+      ThreadScope scope(threads);
+      DenseMatrix<float> c(40, 11);
+      c.fill(-3.0f);
+      cbm.multiply(b, c, MultiplySchedule::two_stage(UpdateSchedule::kBranchDynamic));
+      EXPECT_MATCHES_ORACLE(c, oracle, "dad two_stage threads=" << threads);
+      c.fill(-3.0f);
+      cbm.multiply(b, c, MultiplySchedule::fused(0));
+      EXPECT_MATCHES_ORACLE(c, oracle, "dad fused threads=" << threads);
+    }
+    EXPECT_TRUE(cbm.materialize() == dad);
+    check::enforce(check::validate_mutation(cbm, &pattern));
+  }
+}
+
+// ------------------------------------------------------------ partitioned --
+
+TEST(MutatePartitioned, RoutedBatchesMatchOracle) {
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = test::clustered_binary(64, 6, 9, 2, seed);
+  PartitionedOptions opts;
+  opts.num_clusters = 4;
+  auto part = PartitionedCbmMatrix<float>::compress(a, opts);
+  RefPattern ref(a);
+  Rng rng(seed ^ 0xAA);
+
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const Batch batch = draw_batch(ref, /*flips=*/16, rng);
+    const MutationResult res = part.mutate_edges(batch.inserts, batch.removes);
+    apply_batch(ref, batch);
+    EXPECT_GE(res.inserted, 0);
+    EXPECT_GE(res.removed, 0);
+
+    const auto expected = ref.to_csr();
+    const auto b = check::random_dense<float>(64, 10, test::auto_seed(3));
+    const auto oracle = check::dense_reference_multiply(expected, b);
+    DenseMatrix<float> c(64, 10);
+    c.fill(-3.0f);
+    part.multiply(b, c, MultiplySchedule::two_stage(UpdateSchedule::kBranchDynamic));
+    EXPECT_MATCHES_ORACLE(c, oracle, "partitioned two_stage");
+    c.fill(-3.0f);
+    part.multiply(b, c, MultiplySchedule::fused(0));
+    EXPECT_MATCHES_ORACLE(c, oracle, "partitioned fused");
+    for (const auto& p : part.parts()) {
+      check::enforce(check::validate_mutation(p.cbm));
+    }
+  }
+  EXPECT_GT(part.mutation_epoch(), 0u);
+  EXPECT_GE(part.staleness(), 0.0);
+  EXPECT_LE(part.staleness(), 1.0);
+}
+
+TEST(MutatePartitioned, EmptyingAPartitionKeepsMultiplyCorrect) {
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = test::clustered_binary(48, 4, 8, 1, seed);
+  PartitionedOptions opts;
+  opts.num_clusters = 4;
+  auto part = PartitionedCbmMatrix<float>::compress(a, opts);
+  ASSERT_GT(part.num_parts(), 1);
+  RefPattern ref(a);
+
+  // Remove every edge owned by part 0 — the part survives with empty rows.
+  std::vector<EdgeUpdate> batch;
+  for (const index_t gr : part.parts()[0].rows) {
+    for (const index_t c : a.row_indices(gr)) batch.push_back({gr, c});
+  }
+  part.remove_edges(batch);
+  for (const auto& e : batch) ref.remove(e.row, e.col);
+
+  const auto expected = ref.to_csr();
+  const auto b = check::random_dense<float>(48, 7, test::auto_seed(4));
+  const auto oracle = check::dense_reference_multiply(expected, b);
+  DenseMatrix<float> c(48, 7);
+  c.fill(-3.0f);
+  part.multiply(b, c, MultiplySchedule::fused(0));
+  EXPECT_MATCHES_ORACLE(c, oracle, "emptied partition");
+  EXPECT_EQ(part.parts()[0].cbm.delta_matrix().nnz(), 0);
+}
+
+// ------------------------------------------------ staleness & validation --
+
+TEST(Mutate, StalenessGrowsWithDegradationAndEpochIsMonotonic) {
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  // Identical rows: maximal compression gain, so scattering random edges
+  // over the rows steadily destroys admissibility and forces re-parents.
+  const auto a = check::identical_rows_binary<float>(32, 8, seed);
+  auto cbm = CbmMatrix<float>::compress(a);
+  EXPECT_EQ(cbm.staleness(), 0.0);
+  EXPECT_EQ(cbm.mutation_epoch(), 0u);
+
+  RefPattern ref(a);
+  Rng rng(seed ^ 0x57A1E);
+  double last = 0.0;
+  std::uint64_t last_epoch = 0;
+  index_t reparented = 0;
+  for (int round = 0; round < 6; ++round) {
+    const Batch batch = draw_batch(ref, /*flips=*/24, rng);
+    const MutationResult res = cbm.mutate_edges(batch.inserts, batch.removes);
+    apply_batch(ref, batch);
+    reparented += res.reparented_rows;
+    EXPECT_GT(cbm.mutation_epoch(), last_epoch);
+    last_epoch = cbm.mutation_epoch();
+    const double s = cbm.staleness();
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    last = s;
+    check::enforce(check::validate_mutation(cbm));
+  }
+  // Six rounds of 24 toggles over 32 near-identical rows must have cut at
+  // least one tree edge and registered as staleness.
+  EXPECT_GT(reparented, 0);
+  EXPECT_GT(last, 0.0);
+  EXPECT_EQ(cbm.mutation_state().reparented_rows, reparented);
+  expect_matches_reference(cbm, ref, "staleness scenario");
+}
+
+TEST(Mutate, ValidateMutationAcceptsFreshAndMutatedMatrices) {
+  const auto a = test::clustered_binary(24, 3, 6, 1, 17);
+  auto cbm = CbmMatrix<float>::compress(a, {.alpha = 1});
+  check::enforce(check::validate_mutation(cbm));  // epoch 0: trivially sane
+
+  const std::vector<EdgeUpdate> ins = {{0, 20}, {5, 3}};
+  cbm.insert_edges(ins);
+  const auto report = check::validate_mutation(cbm);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GE(report.rules_checked, 5);  // at least the five mutation rules
+}
+
+TEST(Mutate, ValidateMutationRejectsCorruptedPatches) {
+  // from_parts must not pre-reject the corrupted fixtures below — their
+  // detection is this test's business, not the constructor's.
+  const EnvGuard off("CBM_VALIDATE");
+  const auto a = test::clustered_binary(24, 3, 6, 1, 23);
+  auto cbm = CbmMatrix<float>::compress(a);
+  const std::vector<EdgeUpdate> ins = {{1, 19}};
+  cbm.insert_edges(ins);
+
+  // Corrupted delta value: a kPlain insertion delta must be exactly +1.
+  {
+    CsrMatrix<float> delta = cbm.delta_matrix();
+    ASSERT_GT(delta.nnz(), 0);
+    delta.values_mut()[0] *= 2.0f;
+    const auto bad = CbmMatrix<float>::from_parts(
+        CbmKind::kPlain, cbm.tree(), std::move(delta), {});
+    const auto report = check::validate_mutation(bad);
+    EXPECT_FALSE(report.ok());
+  }
+
+  // Inadmissible tree edge: child and parent patterns are disjoint, so the
+  // delta row is as large as storing the child directly — mutation repair
+  // must never leave such an edge behind, and the validator must flag it.
+  {
+    // Delta rows: row 0 = {+1@0} (root child), row 1 = {−1@0, +1@1} hung
+    // off row 0 — the child's pattern {1} shares nothing with the parent's
+    // {0}, so |Δ| = 2 ≥ nnz(A_x) = 1 and the edge never compresses.
+    std::vector<offset_t> indptr = {0, 1, 3};
+    std::vector<index_t> indices = {0, 0, 1};
+    std::vector<float> values = {1.0f, -1.0f, 1.0f};
+    CsrMatrix<float> delta(2, 4, std::move(indptr), std::move(indices),
+                           std::move(values));
+    auto tree = CompressionTree::from_parents({2, 0});
+    const auto bad = CbmMatrix<float>::from_parts(
+        CbmKind::kPlain, std::move(tree), std::move(delta), {});
+    const auto report = check::validate_mutation(bad);
+    EXPECT_FALSE(report.ok());
+    bool found = false;
+    for (const auto& issue : report.issues) {
+      found = found || issue.rule == "mutation-alpha-admissible";
+    }
+    EXPECT_TRUE(found) << report.summary();
+  }
+
+  // Wrong expected pattern: the matrix is fine, the caller's belief is not.
+  {
+    RefPattern wrong(a);  // pre-mutation pattern, missing the inserted edge
+    const auto expected = wrong.to_csr();
+    const auto report = check::validate_mutation(cbm, &expected);
+    EXPECT_FALSE(report.ok());
+    bool found = false;
+    for (const auto& issue : report.issues) {
+      found = found || issue.rule == "mutation-expected";
+    }
+    EXPECT_TRUE(found) << report.summary();
+  }
+}
+
+// ------------------------------------------------- latent-immutability fixes
+
+TEST(MutateServe, MemoisedPlansAreRetiredWhenTheEpochMoves) {
+  const auto a = test::clustered_binary(24, 3, 6, 1, 31);
+  const auto key = serve::make_graph_key(a, 0, 0);
+  serve::CacheEntry<float> entry(key, CbmMatrix<float>::compress(a));
+
+  int resolutions = 0;
+  const auto resolve = [&](const CbmMatrix<float>&) {
+    ++resolutions;
+    return MultiplySchedule::fused(8);
+  };
+  (void)entry.plan_for(16, resolve);
+  (void)entry.plan_for(16, resolve);
+  EXPECT_EQ(resolutions, 1);  // second call memoised
+  EXPECT_EQ(entry.plans_resolved(), 1u);
+
+  // In-place mutation through the entry's hook: the epoch moves, so the
+  // memoised plan — resolved against the old delta structure — must die.
+  index_t free_col = 0;  // a column row 0 does not populate
+  while (a.at(0, free_col) != 0.0f) ++free_col;
+  const std::vector<EdgeUpdate> ins = {{0, free_col}};
+  const MutationResult res =
+      entry.mutate_cbm([&](CbmMatrix<float>& m) { return m.insert_edges(ins); });
+  EXPECT_EQ(res.inserted, 1);
+  EXPECT_EQ(entry.plans_resolved(), 0u);  // stale memo already invisible
+  (void)entry.plan_for(16, resolve);
+  EXPECT_EQ(resolutions, 2);  // re-resolved against the mutated matrix
+  (void)entry.plan_for(16, resolve);
+  EXPECT_EQ(resolutions, 2);  // and memoised again at the new epoch
+}
+
+TEST(MutateTune, ShapeFingerprintTracksTheDeltaStructure) {
+  // The autotuner keys its cached winners by ShapeKey, which includes
+  // delta_nnz — so a mutation that changes the delta count re-probes
+  // instead of replaying a plan tuned for the old structure. Mirror
+  // resolve_plan's key construction before and after a mutation.
+  const auto a = test::clustered_binary(32, 4, 7, 1, 13);
+  auto cbm = CbmMatrix<float>::compress(a);
+  const auto shape_of = [](const CbmMatrix<float>& m) {
+    tune::ShapeKey k;
+    k.rows = m.rows();
+    k.cols = m.cols();
+    k.bcols = 16;
+    k.delta_nnz = static_cast<std::int64_t>(m.delta_matrix().nnz());
+    k.threads = 1;
+    k.elem_bytes = sizeof(float);
+    return k;
+  };
+  const std::string before = shape_of(cbm).fingerprint();
+  const std::vector<EdgeUpdate> ins = {{0, 30}, {1, 29}, {2, 28}};
+  const MutationResult res = cbm.insert_edges(ins);
+  ASSERT_NE(res.delta_nnz_change, 0);
+  const std::string after = shape_of(cbm).fingerprint();
+  EXPECT_NE(before, after);
+}
+
+// ---------------------------------------------------- serve cache mutation
+
+TEST(MutateServe, MutateOrInvalidatePatchesAndRehomesTheEntry) {
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = test::clustered_binary(32, 4, 7, 1, seed);
+  serve::AdjacencyCache<float> cache(std::size_t{64} << 20);
+  const auto key = serve::make_graph_key(a, 0, 0);
+  cache.insert(key, CbmMatrix<float>::compress(a));
+
+  RefPattern ref(a);
+  std::vector<EdgeUpdate> ins;
+  for (index_t r = 0; r < 6; ++r) {
+    if (!ref.has(r, 31 - r)) {
+      ins.push_back({r, 31 - r});
+      ref.insert(r, 31 - r);
+    }
+  }
+  ASSERT_FALSE(ins.empty());
+  const auto out =
+      cache.mutate_or_invalidate(key, ins, {}, /*stale_threshold=*/1.0);
+  using Action = serve::AdjacencyCache<float>::MutationOutcome::Action;
+  ASSERT_EQ(out.action, Action::kPatched);
+  ASSERT_NE(out.entry, nullptr);
+  EXPECT_EQ(out.mutation.inserted, static_cast<std::int64_t>(ins.size()));
+
+  // The entry now lives under the mutated graph's canonical key: a request
+  // arriving with the post-mutation adjacency hits it, the old key misses.
+  const auto expected = ref.to_csr();
+  EXPECT_EQ(out.new_key, serve::make_graph_key(expected, 0, 0));
+  EXPECT_EQ(cache.lookup(out.new_key), out.entry);
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  EXPECT_TRUE(out.entry->cbm().materialize() == expected);
+  EXPECT_EQ(cache.stats().mutations, 1u);
+  EXPECT_EQ(cache.stats().recompressions, 0u);
+}
+
+TEST(MutateServe, StaleThresholdForcesRecompression) {
+  const auto a = test::clustered_binary(24, 3, 6, 1, 3);
+  serve::AdjacencyCache<float> cache(std::size_t{64} << 20);
+  const auto key = serve::make_graph_key(a, 0, 0);
+  cache.insert(key, CbmMatrix<float>::compress(a));
+
+  const std::vector<EdgeUpdate> ins = {{0, 23}, {5, 22}};
+  // Threshold 0: every mutation is "too stale" — the patched clone is
+  // discarded and the mutated pattern recompressed from scratch.
+  const auto out = cache.mutate_or_invalidate(key, ins, {},
+                                              /*stale_threshold=*/0.0);
+  using Action = serve::AdjacencyCache<float>::MutationOutcome::Action;
+  ASSERT_EQ(out.action, Action::kRecompressed);
+  ASSERT_NE(out.entry, nullptr);
+  EXPECT_EQ(out.entry->cbm().mutation_epoch(), 0u);  // fresh baseline
+  EXPECT_EQ(out.staleness, 0.0);
+  EXPECT_EQ(cache.stats().recompressions, 1u);
+  check::enforce(check::validate_mutation(out.entry->cbm()));
+}
+
+TEST(MutateServe, DefaultThresholdComesFromTheEnvKnob) {
+  const EnvGuard knob("CBM_STALE_THRESHOLD", "0.0");
+  EXPECT_EQ(RuntimeConfig::from_env().stale_threshold, 0.0);
+  const auto a = test::clustered_binary(24, 3, 6, 1, 3);
+  serve::AdjacencyCache<float> cache(std::size_t{64} << 20);
+  const auto key = serve::make_graph_key(a, 0, 0);
+  cache.insert(key, CbmMatrix<float>::compress(a));
+  const std::vector<EdgeUpdate> ins = {{0, 23}};
+  const auto out = cache.mutate_or_invalidate(key, ins, {});
+  using Action = serve::AdjacencyCache<float>::MutationOutcome::Action;
+  EXPECT_EQ(out.action, Action::kRecompressed);
+}
+
+TEST(MutateServe, StaleThresholdKnobRejectsOutOfRangeValues) {
+  const EnvGuard knob("CBM_STALE_THRESHOLD", "1.5");
+  EXPECT_THROW(RuntimeConfig::from_env(), CbmError);
+}
+
+TEST(MutateServe, NonMutableKindIsInvalidated) {
+  const auto a = test::clustered_binary(20, 2, 5, 1, 9);
+  const auto diag = test::random_diagonal<float>(20, 1);
+  serve::AdjacencyCache<float> cache(std::size_t{64} << 20);
+  const auto key = serve::make_graph_key(
+      a, static_cast<std::uint32_t>(CbmKind::kTwoSided), 0);
+  cache.insert(key, CbmMatrix<float>::compress_two_sided(a, diag, diag));
+
+  const std::vector<EdgeUpdate> ins = {{0, 19}};
+  const auto out = cache.mutate_or_invalidate(key, ins, {});
+  using Action = serve::AdjacencyCache<float>::MutationOutcome::Action;
+  EXPECT_EQ(out.action, Action::kInvalidated);
+  EXPECT_EQ(out.entry, nullptr);
+  EXPECT_EQ(cache.lookup(key), nullptr);  // caller must rebuild
+  EXPECT_GE(cache.stats().invalidations, 1u);
+}
+
+TEST(MutateServe, MutatingAMissIsAMiss) {
+  serve::AdjacencyCache<float> cache(std::size_t{1} << 20);
+  serve::GraphKey key;
+  key.fingerprint = 0xDEAD;
+  const std::vector<EdgeUpdate> ins = {{0, 1}};
+  const auto out = cache.mutate_or_invalidate(key, ins, {});
+  using Action = serve::AdjacencyCache<float>::MutationOutcome::Action;
+  EXPECT_EQ(out.action, Action::kMiss);
+  EXPECT_EQ(out.entry, nullptr);
+}
+
+// -------------------------------------------------- concurrent publishing
+
+TEST(MutateConcurrent, CloneMutatePublishKeepsReadersConsistent) {
+  // The supported concurrency pattern (mutate.hpp): readers multiply on a
+  // shared_ptr snapshot while the writer clones, mutates the clone, and
+  // publishes it — no reader ever observes a half-mutated matrix. Each
+  // reader validates its result against the oracle of the exact snapshot
+  // it grabbed, so a torn publish fails the comparison (and TSan flags any
+  // data race on the nightly leg).
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const auto a = test::clustered_binary(32, 4, 7, 1, seed);
+
+  std::mutex publish_mutex;
+  auto published =
+      std::make_shared<const CbmMatrix<float>>(CbmMatrix<float>::compress(a));
+  const auto snapshot = [&] {
+    const std::lock_guard<std::mutex> lock(publish_mutex);
+    return published;
+  };
+
+  constexpr int kReaderRounds = 40;
+  const auto b = check::random_dense<float>(32, 6, seed ^ 5);
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < kReaderRounds; ++i) {
+        const auto snap = snapshot();
+        DenseMatrix<float> c(32, 6);
+        c.fill(-3.0f);
+        snap->multiply(b, c, MultiplySchedule::fused(0));
+        const auto oracle =
+            check::dense_reference_multiply(snap->materialize(), b);
+        const auto cmp =
+            check::compare_allclose(c, oracle, kRtol, kAtol, kMaxUlps);
+        EXPECT_TRUE(cmp.ok) << "reader round " << i << ": " << cmp.to_string();
+      }
+    });
+  }
+
+  RefPattern ref(a);
+  Rng rng(seed ^ 0xC0C0);
+  for (int round = 0; round < 10; ++round) {
+    const Batch batch = draw_batch(ref, /*flips=*/6, rng);
+    auto clone = std::make_shared<CbmMatrix<float>>(*snapshot());
+    clone->mutate_edges(batch.inserts, batch.removes);
+    apply_batch(ref, batch);
+    {
+      const std::lock_guard<std::mutex> lock(publish_mutex);
+      published = std::move(clone);
+    }
+  }
+  for (auto& r : readers) r.join();
+  expect_matches_reference(*snapshot(), ref, "final published snapshot");
+}
+
+}  // namespace
+}  // namespace cbm

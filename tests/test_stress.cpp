@@ -3,6 +3,14 @@
 // unit tests do not reach. Also compiles the umbrella header.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
 #include "cbm4gnn.hpp"
 #include "test_util.hpp"
 
@@ -171,6 +179,121 @@ TEST(Stress, SpmmHugeColumnsSmallMatrix) {
   DenseMatrix<float> c2(8, 700);
   cbm.multiply(b, c2);
   EXPECT_TRUE(allclose(c2, c, 1e-4, 1e-5));
+}
+
+TEST(Stress, LongRunMutationUnderConcurrentMultiplies) {
+  // The dynamic-graph soak (docs/dynamic_graphs.md): many mutation rounds —
+  // including the degenerate shapes (duplicate inserts, no-op removes,
+  // rows emptied completely and refilled) — interleaved with concurrent
+  // multiplies via the clone-mutate-publish pattern. Mutations stay
+  // externally serialized (the supported contract); multiplies race only
+  // against each other on immutable snapshots, which the nightly TSan leg
+  // verifies is clean. The pattern set is mirrored as ground truth and the
+  // final matrix is differenced against a fresh compression of it.
+  const std::uint64_t seed = test::auto_seed();
+  SCOPED_TRACE(test::seed_trace(seed));
+  const index_t n = 600;
+  const auto a = test::clustered_binary(n, 12, 16, 2, seed);
+  std::set<std::pair<index_t, index_t>> truth;
+  for (index_t r = 0; r < n; ++r) {
+    for (const index_t c : a.row_indices(r)) truth.insert({r, c});
+  }
+
+  std::mutex publish_mutex;
+  auto published =
+      std::make_shared<const CbmMatrix<float>>(CbmMatrix<float>::compress(a));
+  const auto snapshot = [&] {
+    const std::lock_guard<std::mutex> lock(publish_mutex);
+    return published;
+  };
+
+  std::atomic<bool> stop{false};
+  const auto b = test::random_dense<float>(n, 8, seed ^ 3);
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Rng tr(seed ^ static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto snap = snapshot();
+        DenseMatrix<float> c(n, 8);
+        const bool fused = tr.next_bool(0.5);
+        snap->multiply(b, c,
+                       fused ? MultiplySchedule::fused(0)
+                             : MultiplySchedule::two_stage());
+        // Spot-check one row against the snapshot's own pattern — cheap
+        // enough to run every iteration, sharp enough to catch a torn
+        // publish.
+        const auto row = static_cast<index_t>(tr.next_below(n));
+        const auto mat = snap->materialize();
+        for (index_t j = 0; j < 8; ++j) {
+          float acc = 0.0f;
+          for (std::size_t k = 0; k < mat.row_indices(row).size(); ++k) {
+            acc += mat.row_values(row)[k] * b(mat.row_indices(row)[k], j);
+          }
+          EXPECT_NEAR(c(row, j), acc, 1e-3f);
+        }
+      }
+    });
+  }
+
+  Rng rng(seed ^ 0xB16);
+  for (int round = 0; round < 60; ++round) {
+    std::vector<EdgeUpdate> ins, rem;
+    if (round % 10 == 7) {
+      // Degenerate round: empty one row entirely, with duplicate removes
+      // riding along.
+      const auto victim = static_cast<index_t>(rng.next_below(n));
+      for (const auto& [r, c] : truth) {
+        if (r == victim) {
+          rem.push_back({r, c});
+          rem.push_back({r, c});  // duplicate remove of a present edge is
+                                  // one removal + one no-op
+        }
+      }
+      if (!truth.contains({victim, 0})) {
+        rem.push_back({victim, 0});  // a pure no-op remove
+      }
+    } else {
+      for (int k = 0; k < 30; ++k) {
+        const auto r = static_cast<index_t>(rng.next_below(n));
+        const auto c = static_cast<index_t>(rng.next_below(n));
+        if (truth.contains({r, c})) {
+          rem.push_back({r, c});
+        } else {
+          ins.push_back({r, c});
+          if (rng.next_bool(0.1)) ins.push_back({r, c});  // duplicate insert
+        }
+      }
+    }
+    // An edge drawn twice lands in the same span twice (truth is stable
+    // within the round), which the batch contract allows.
+    auto clone = std::make_shared<CbmMatrix<float>>(*snapshot());
+    clone->mutate_edges(ins, rem);
+    for (const auto& e : ins) truth.insert({e.row, e.col});
+    for (const auto& e : rem) truth.erase({e.row, e.col});
+    {
+      const std::lock_guard<std::mutex> lock(publish_mutex);
+      published = std::move(clone);
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  // Final differential: the long-mutated matrix equals a fresh compression
+  // of the ground-truth pattern, entry for entry.
+  CooMatrix<float> coo;
+  coo.rows = n;
+  coo.cols = n;
+  for (const auto& [r, c] : truth) coo.push(r, c, 1.0f);
+  const auto expected = CsrMatrix<float>::from_coo(coo);
+  const auto snap = snapshot();
+  EXPECT_TRUE(snap->materialize() == expected);
+  const auto fresh = CbmMatrix<float>::compress(expected);
+  EXPECT_TRUE(snap->materialize() == fresh.materialize());
+  EXPECT_LE(snap->delta_matrix().nnz(), expected.nnz());  // Property 1
+  EXPECT_GT(snap->mutation_epoch(), 0u);
+  EXPECT_GE(snap->staleness(), 0.0);
+  EXPECT_LE(snap->staleness(), 1.0);
 }
 
 }  // namespace
